@@ -1,0 +1,126 @@
+// Ablation of the paper's closing future-work item: adaptive,
+// workload-aware partitioning. Compares three zone configurations of the
+// hil approach under a spatially skewed query workload (most queries hit
+// the hot urban area):
+//   1. default chunk placement (no zones),
+//   2. $bucketAuto equi-count zones (the paper's Section 4.2.4 recipe),
+//   3. equal-load zones derived from the workload (st/adaptive.h).
+// Metric: per-node share of the workload's total examined keys — hot-node
+// load is what limits throughput when "thousands of queries run at the same
+// time" (the paper's Section 5.2 discussion).
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "st/adaptive.h"
+
+namespace stix::bench {
+namespace {
+
+struct LoadReport {
+  uint64_t max_node_keys = 0;
+  uint64_t total_keys = 0;
+  double sum_millis = 0;
+};
+
+LoadReport RunWorkload(const st::StStore& store,
+                       const std::vector<st::WorkloadQuery>& workload,
+                       int repetitions) {
+  LoadReport report;
+  std::vector<uint64_t> per_node(store.cluster().num_shards(), 0);
+  for (int rep = 0; rep < repetitions; ++rep) {
+    for (const st::WorkloadQuery& wq : workload) {
+      const st::StQueryResult r =
+          store.Query(wq.rect, wq.t_begin_ms, wq.t_end_ms);
+      for (const cluster::ShardQueryReport& s : r.cluster.shard_reports) {
+        per_node[static_cast<size_t>(s.shard_id)] += s.stats.keys_examined;
+      }
+      report.sum_millis += r.cluster.modeled_millis;
+    }
+  }
+  for (uint64_t keys : per_node) {
+    report.max_node_keys = std::max(report.max_node_keys, keys);
+    report.total_keys += keys;
+  }
+  return report;
+}
+
+void Print(const char* label, const LoadReport& r, int num_shards) {
+  const double balance =
+      r.total_keys == 0
+          ? 0.0
+          : static_cast<double>(r.max_node_keys) * num_shards /
+                static_cast<double>(r.total_keys);
+  printf("  %-18s %14s %14s %8.2fx %10.2f ms\n", label,
+         WithThousands(static_cast<int64_t>(r.max_node_keys)).c_str(),
+         WithThousands(static_cast<int64_t>(r.total_keys)).c_str(), balance,
+         r.sum_millis);
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  printf("== bench_adaptive ==\n");
+  printf("ablation: workload-aware zones (paper Section 6 future work)\n");
+  printf("hil approach, R-like data, workload: 10x weight on the hot "
+         "downtown rectangle + background queries\n\n");
+
+  const DatasetInfo info = InfoFor(Dataset::kR, config);
+
+  // The skewed workload: downtown Athens hammered, two background regions.
+  std::vector<st::WorkloadQuery> workload;
+  const int64_t day = 24LL * 3600 * 1000;
+  for (int i = 0; i < 10; ++i) {
+    workload.push_back(st::WorkloadQuery{
+        geo::Rect{{23.70, 37.94}, {23.80, 38.02}},
+        info.t_begin_ms + (10 + 3 * i) * day,
+        info.t_begin_ms + (10 + 3 * i + 2) * day, 1.0});
+  }
+  workload.push_back(st::WorkloadQuery{
+      geo::Rect{{22.80, 40.50}, {23.10, 40.75}},  // Thessaloniki
+      info.t_begin_ms + 50 * day, info.t_begin_ms + 60 * day, 1.0});
+  workload.push_back(st::WorkloadQuery{
+      geo::Rect{{21.60, 38.10}, {21.90, 38.40}},  // Patras
+      info.t_begin_ms + 70 * day, info.t_begin_ms + 80 * day, 1.0});
+
+  printf("  %-18s %14s %14s %9s %13s\n", "configuration", "max node keys",
+         "total keys", "imbal.", "sum latency");
+
+  {
+    const auto store =
+        BuildLoadedStore(st::ApproachKind::kHil, Dataset::kR, config);
+    Print("default (no zones)",
+          RunWorkload(*store, workload, config.timed_runs),
+          config.num_shards);
+  }
+  {
+    const auto store =
+        BuildLoadedStore(st::ApproachKind::kHil, Dataset::kR, config);
+    if (!store->ConfigureZones().ok()) return 1;
+    Print("$bucketAuto zones",
+          RunWorkload(*store, workload, config.timed_runs),
+          config.num_shards);
+  }
+  {
+    const auto store =
+        BuildLoadedStore(st::ApproachKind::kHil, Dataset::kR, config);
+    const Status s = st::ApplyWorkloadAwareZones(store.get(), workload);
+    if (!s.ok()) {
+      fprintf(stderr, "adaptive zones failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    Print("workload-aware",
+          RunWorkload(*store, workload, config.timed_runs),
+          config.num_shards);
+  }
+
+  printf("\nimbal. = max-node share relative to a perfect spread (1.00x = "
+         "ideal); lower is better.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace stix::bench
+
+int main(int argc, char** argv) { return stix::bench::Main(argc, argv); }

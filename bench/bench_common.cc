@@ -1,0 +1,177 @@
+#include "bench/bench_common.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace stix::bench {
+
+const char* DatasetName(Dataset d) { return d == Dataset::kR ? "R" : "S"; }
+
+BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      if (arg.rfind(prefix, 0) == 0) return arg.c_str() + strlen(prefix);
+      return nullptr;
+    };
+    if (const char* v = value_of("--r_docs=")) {
+      config.r_docs = strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--s_docs=")) {
+      config.s_docs = strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--shards=")) {
+      config.num_shards = atoi(v);
+    } else if (const char* v = value_of("--warm=")) {
+      config.warm_runs = atoi(v);
+    } else if (const char* v = value_of("--timed=")) {
+      config.timed_runs = atoi(v);
+    } else if (const char* v = value_of("--seed=")) {
+      config.seed = strtoull(v, nullptr, 10);
+    } else if (arg == "--verbose") {
+      config.verbose = true;
+    } else {
+      fprintf(stderr,
+              "unknown flag %s\nusage: %s [--r_docs=N] [--s_docs=N] "
+              "[--shards=N] [--warm=N] [--timed=N] [--seed=N] [--verbose]\n",
+              arg.c_str(), argv[0]);
+      exit(2);
+    }
+  }
+  return config;
+}
+
+DatasetInfo InfoFor(Dataset dataset, const BenchConfig& config) {
+  (void)config;
+  if (dataset == Dataset::kR) {
+    workload::TrajectoryOptions defaults;
+    return DatasetInfo{workload::TrajectoryGenerator::GreeceMbr(),
+                       defaults.t_begin_ms, defaults.t_end_ms};
+  }
+  workload::UniformOptions defaults;
+  return DatasetInfo{workload::UniformGenerator::PaperMbr(),
+                     defaults.t_begin_ms, defaults.t_end_ms};
+}
+
+std::unique_ptr<st::StStore> BuildLoadedStore(st::ApproachKind kind,
+                                              Dataset dataset,
+                                              const BenchConfig& config) {
+  const DatasetInfo info = InfoFor(dataset, config);
+
+  st::StStoreOptions options;
+  options.approach.kind = kind;
+  options.approach.dataset_mbr = info.mbr;
+  options.cluster.num_shards = config.num_shards;
+  options.cluster.chunk_max_bytes = config.chunk_max_bytes;
+  options.cluster.seed = config.seed;
+  options.load_clock_begin_ms = info.t_begin_ms;
+
+  auto store = std::make_unique<st::StStore>(options);
+  Status s = store->Setup();
+  if (!s.ok()) {
+    fprintf(stderr, "store setup failed: %s\n", s.ToString().c_str());
+    exit(1);
+  }
+
+  Stopwatch load_timer;
+  bson::Document doc;
+  uint64_t loaded = 0;
+  if (dataset == Dataset::kR) {
+    workload::TrajectoryOptions traj;
+    traj.num_records = config.r_docs;
+    traj.seed = config.seed ^ 0x9e37ULL;
+    workload::TrajectoryGenerator gen(traj);
+    while (gen.Next(&doc)) {
+      s = store->Insert(std::move(doc));
+      if (!s.ok()) {
+        fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+        exit(1);
+      }
+      ++loaded;
+    }
+  } else {
+    workload::UniformOptions uni;
+    uni.num_records = config.s_docs;
+    uni.seed = config.seed ^ 0x51aULL;
+    workload::UniformGenerator gen(uni);
+    while (gen.Next(&doc)) {
+      s = store->Insert(std::move(doc));
+      if (!s.ok()) {
+        fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+        exit(1);
+      }
+      ++loaded;
+    }
+  }
+  s = store->FinishLoad();
+  if (!s.ok()) {
+    fprintf(stderr, "balance failed: %s\n", s.ToString().c_str());
+    exit(1);
+  }
+  if (config.verbose) {
+    fprintf(stderr,
+            "[load] %s/%s: %" PRIu64 " docs in %.1fs, %zu chunks\n",
+            st::ApproachName(kind), DatasetName(dataset), loaded,
+            load_timer.ElapsedMillis() / 1000.0,
+            store->cluster().chunks().num_chunks());
+  }
+  return store;
+}
+
+QueryMeasurement MeasureQuery(const st::StStore& store,
+                              const workload::StQuerySpec& spec,
+                              const BenchConfig& config) {
+  QueryMeasurement m;
+  m.query_name = spec.name;
+  for (int i = 0; i < config.warm_runs; ++i) {
+    (void)store.Query(spec.rect, spec.t_begin_ms, spec.t_end_ms);
+  }
+  double total_ms = 0.0, total_cover_ms = 0.0;
+  for (int i = 0; i < config.timed_runs; ++i) {
+    const st::StQueryResult r =
+        store.Query(spec.rect, spec.t_begin_ms, spec.t_end_ms);
+    total_ms += r.cluster.modeled_millis;
+    total_cover_ms += r.translated.cover_millis;
+    if (i + 1 == config.timed_runs) {
+      m.n_results = r.cluster.docs.size();
+      m.nodes = r.cluster.nodes_contacted;
+      m.max_keys = r.cluster.max_keys_examined;
+      m.max_docs = r.cluster.max_docs_examined;
+      m.cover_ranges = r.translated.num_ranges;
+      m.cover_singletons = r.translated.num_singletons;
+      for (const cluster::ShardQueryReport& rep : r.cluster.shard_reports) {
+        m.winning_indexes.push_back(rep.winning_index);
+      }
+    }
+  }
+  m.avg_millis = total_ms / config.timed_runs;
+  m.avg_cover_millis = total_cover_ms / config.timed_runs;
+  return m;
+}
+
+void PrintPanel(const std::string& title, const std::string& metric,
+                const std::vector<std::string>& approach_names,
+                const std::vector<std::vector<std::string>>& values,
+                const std::vector<std::string>& query_names) {
+  printf("\n%s — %s\n", title.c_str(), metric.c_str());
+  printf("%-8s", "query");
+  for (const std::string& name : approach_names) {
+    printf(" %14s", name.c_str());
+  }
+  printf("\n");
+  for (size_t q = 0; q < query_names.size(); ++q) {
+    printf("%-8s", query_names[q].c_str());
+    for (size_t a = 0; a < approach_names.size(); ++a) {
+      printf(" %14s", values[a][q].c_str());
+    }
+    printf("\n");
+  }
+}
+
+std::string Fmt(double v, int decimals) { return FormatFixed(v, decimals); }
+
+}  // namespace stix::bench

@@ -1,0 +1,89 @@
+#ifndef STIX_BENCH_BENCH_COMMON_H_
+#define STIX_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "st/st_store.h"
+#include "workload/query_workload.h"
+#include "workload/trajectory_generator.h"
+#include "workload/uniform_generator.h"
+
+namespace stix::bench {
+
+/// Which of the paper's two data sets a run uses.
+enum class Dataset { kR, kS };
+
+const char* DatasetName(Dataset d);
+
+/// Scale and methodology knobs shared by the table/figure benches. The
+/// paper runs 15.2M-63.9M documents on 12 shard VMs and measures 30 warm
+/// runs, averaging the last 10; the defaults here scale the data down ~60x
+/// (documented in EXPERIMENTS.md) and the repetitions accordingly.
+struct BenchConfig {
+  uint64_t r_docs = 250000;
+  uint64_t s_docs = 500000;  ///< Paper: |S| = 2 |R|.
+  int num_shards = 12;
+  uint64_t chunk_max_bytes = 512 * 1024;
+  int warm_runs = 2;   ///< Untimed warm-up executions per query.
+  int timed_runs = 3;  ///< Timed executions averaged per query.
+  uint64_t seed = 42;
+  bool verbose = false;
+
+  /// Parses --r_docs=, --s_docs=, --shards=, --warm=, --timed=, --seed=,
+  /// --verbose from argv; unknown flags abort with a usage message.
+  static BenchConfig FromArgs(int argc, char** argv);
+};
+
+/// Geographic extent and time span of one data set (drives hil*'s curve
+/// domain and the query windows).
+struct DatasetInfo {
+  geo::Rect mbr;
+  int64_t t_begin_ms;
+  int64_t t_end_ms;
+};
+
+DatasetInfo InfoFor(Dataset dataset, const BenchConfig& config);
+
+/// Builds, sets up and bulk-loads a store for one (approach, dataset) pair.
+/// Prints progress to stderr when config.verbose.
+std::unique_ptr<st::StStore> BuildLoadedStore(st::ApproachKind kind,
+                                              Dataset dataset,
+                                              const BenchConfig& config);
+
+/// One measured query: the paper's four metrics plus covering stats.
+struct QueryMeasurement {
+  std::string query_name;
+  uint64_t n_results = 0;
+  int nodes = 0;
+  uint64_t max_keys = 0;
+  uint64_t max_docs = 0;
+  double avg_millis = 0.0;        ///< Modeled execution time, averaged.
+  double avg_cover_millis = 0.0;  ///< Curve covering time (Table 8).
+  size_t cover_ranges = 0;
+  size_t cover_singletons = 0;
+  /// Winning index name per contacted shard (Table 7), from the last run.
+  std::vector<std::string> winning_indexes;
+};
+
+/// Runs a query warm_runs times untimed, then timed_runs times, averaging
+/// the modeled execution time (the paper's warm-state methodology).
+QueryMeasurement MeasureQuery(const st::StStore& store,
+                              const workload::StQuerySpec& spec,
+                              const BenchConfig& config);
+
+/// Prints one figure panel: rows = queries, columns = approaches, one of
+/// the four metrics. `values` is [approach][query].
+void PrintPanel(const std::string& title, const std::string& metric,
+                const std::vector<std::string>& approach_names,
+                const std::vector<std::vector<std::string>>& values,
+                const std::vector<std::string>& query_names);
+
+/// Convenience: formats with fixed decimals.
+std::string Fmt(double v, int decimals = 2);
+
+}  // namespace stix::bench
+
+#endif  // STIX_BENCH_BENCH_COMMON_H_

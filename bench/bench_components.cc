@@ -1,0 +1,196 @@
+// Micro-benchmarks (google-benchmark) for the substrate components and the
+// ablations called out in DESIGN.md: curve encodings, KeyString, B-tree
+// operations, BSON codec, LZ block compression, and the covering budget
+// sweep (covering precision vs $or fan-out).
+
+#include <benchmark/benchmark.h>
+
+#include "bson/codec.h"
+#include "common/lz.h"
+#include "common/rng.h"
+#include "geo/covering.h"
+#include "geo/geohash.h"
+#include "geo/hilbert.h"
+#include "geo/zorder.h"
+#include "keystring/keystring.h"
+#include "storage/btree.h"
+#include "workload/query_workload.h"
+#include "workload/trajectory_generator.h"
+
+namespace stix {
+namespace {
+
+// ---------- curve encodings ----------
+
+void BM_HilbertEncode(benchmark::State& state) {
+  const geo::HilbertCurve curve(static_cast<int>(state.range(0)),
+                                geo::GlobeRect());
+  Rng rng(1);
+  double lon = rng.NextDouble(-180, 180), lat = rng.NextDouble(-90, 90);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.PointToD(lon, lat));
+    lon += 0.001;
+    if (lon > 180) lon = -180;
+  }
+}
+BENCHMARK(BM_HilbertEncode)->Arg(13)->Arg(16);
+
+void BM_ZOrderEncode(benchmark::State& state) {
+  const geo::ZOrderCurve curve(static_cast<int>(state.range(0)),
+                               geo::GlobeRect());
+  Rng rng(1);
+  double lon = rng.NextDouble(-180, 180), lat = rng.NextDouble(-90, 90);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.PointToD(lon, lat));
+    lon += 0.001;
+    if (lon > 180) lon = -180;
+  }
+}
+BENCHMARK(BM_ZOrderEncode)->Arg(13)->Arg(16);
+
+void BM_GeoHashBase32(benchmark::State& state) {
+  Rng rng(1);
+  double lon = rng.NextDouble(-180, 180), lat = rng.NextDouble(-90, 90);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::GeoHashBase32(lon, lat, 10));
+    lat += 0.001;
+    if (lat > 90) lat = -90;
+  }
+}
+BENCHMARK(BM_GeoHashBase32);
+
+// ---------- coverings ----------
+
+void BM_CoverRectHilbert(benchmark::State& state) {
+  const geo::HilbertCurve curve(static_cast<int>(state.range(0)),
+                                geo::GlobeRect());
+  const geo::Rect big = workload::BigQueryRect();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::CoverRect(curve, big));
+  }
+}
+BENCHMARK(BM_CoverRectHilbert)->Arg(10)->Arg(13)->Arg(15);
+
+void BM_CoverRectBudget(benchmark::State& state) {
+  // Ablation: capping the number of ranges trades covering tightness for
+  // $or fan-out; this shows the covering cost side.
+  const geo::HilbertCurve curve(13, geo::GlobeRect());
+  const geo::Rect big = workload::BigQueryRect();
+  geo::CoveringOptions options;
+  options.max_ranges = static_cast<size_t>(state.range(0));
+  uint64_t cells = 0;
+  for (auto _ : state) {
+    const geo::Covering c = geo::CoverRect(curve, big, options);
+    cells = c.num_cells;
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["covered_cells"] = static_cast<double>(cells);
+}
+BENCHMARK(BM_CoverRectBudget)->Arg(4)->Arg(16)->Arg(64)->Arg(0);
+
+// ---------- keystring ----------
+
+void BM_KeyStringEncodeCompound(benchmark::State& state) {
+  int64_t h = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keystring::Encode(
+        {bson::Value::Int64(h), bson::Value::DateTime(1530403200000 + h)}));
+    ++h;
+  }
+}
+BENCHMARK(BM_KeyStringEncodeCompound);
+
+void BM_KeyStringDecode(benchmark::State& state) {
+  const std::string key = keystring::Encode(
+      {bson::Value::Int64(123456), bson::Value::DateTime(1530403200000)});
+  std::vector<bson::Value> values;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keystring::DecodeValues(key, &values));
+  }
+}
+BENCHMARK(BM_KeyStringDecode);
+
+// ---------- B-tree ----------
+
+void BM_BTreeInsert(benchmark::State& state) {
+  storage::BTree tree;
+  Rng rng(7);
+  uint64_t rid = 1;
+  for (auto _ : state) {
+    tree.Insert(keystring::Encode(bson::Value::Int64(
+                    static_cast<int64_t>(rng.Next() % 1000000))),
+                rid++);
+  }
+  state.counters["entries"] = static_cast<double>(tree.num_entries());
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeSeek(benchmark::State& state) {
+  storage::BTree tree;
+  Rng rng(7);
+  for (uint64_t i = 0; i < 100000; ++i) {
+    tree.Insert(keystring::Encode(bson::Value::Int64(
+                    static_cast<int64_t>(rng.Next() % 1000000))),
+                i + 1);
+  }
+  Rng probe(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.SeekGE(keystring::Encode(bson::Value::Int64(
+        static_cast<int64_t>(probe.Next() % 1000000)))));
+  }
+}
+BENCHMARK(BM_BTreeSeek);
+
+void BM_BTreeRangeScan100(benchmark::State& state) {
+  storage::BTree tree;
+  for (int64_t i = 0; i < 100000; ++i) {
+    tree.Insert(keystring::Encode(bson::Value::Int64(i)),
+                static_cast<uint64_t>(i + 1));
+  }
+  Rng rng(9);
+  for (auto _ : state) {
+    const int64_t start = static_cast<int64_t>(rng.NextBounded(99900));
+    uint64_t sum = 0;
+    int n = 0;
+    for (auto c = tree.SeekGE(keystring::Encode(bson::Value::Int64(start)));
+         c.Valid() && n < 100; c.Next(), ++n) {
+      sum += c.rid();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BTreeRangeScan100);
+
+// ---------- BSON / LZ ----------
+
+void BM_BsonEncodeTrajectoryDoc(benchmark::State& state) {
+  workload::TrajectoryOptions options;
+  options.num_records = 1;
+  workload::TrajectoryGenerator gen(options);
+  bson::Document doc;
+  gen.Next(&doc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bson::EncodeBson(doc));
+  }
+}
+BENCHMARK(BM_BsonEncodeTrajectoryDoc);
+
+void BM_LzCompress32K(benchmark::State& state) {
+  workload::TrajectoryOptions options;
+  options.num_records = 64;
+  workload::TrajectoryGenerator gen(options);
+  std::string block;
+  bson::Document doc;
+  while (gen.Next(&doc)) block += bson::EncodeBson(doc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LzCompress(block));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block.size()));
+}
+BENCHMARK(BM_LzCompress32K);
+
+}  // namespace
+}  // namespace stix
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Ablation of the paper's design choice of the Hilbert curve over Z-order
+// (GeoHash's bit interleaving) for the 1D mapping, quantifying the
+// clustering advantage [Moon et al., TKDE 2001] on the paper's own query
+// rectangles: number of 1D ranges per covering (the $or fan-out and the
+// number of disk seek positions) at several curve orders.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "geo/covering.h"
+#include "geo/hilbert.h"
+#include "geo/zorder.h"
+
+namespace stix::bench {
+namespace {
+
+void Report(const char* label, const geo::Rect& rect, const geo::Rect& domain) {
+  printf("\n%s\n", label);
+  printf("%-6s %14s %14s %14s %10s\n", "order", "hilbert ranges",
+         "zorder ranges", "cells", "z/h ratio");
+  for (int order : {8, 10, 12, 13, 14}) {
+    const geo::HilbertCurve hilbert(order, domain);
+    const geo::ZOrderCurve zorder(order, domain);
+    const geo::Covering ch = geo::CoverRect(hilbert, rect);
+    const geo::Covering cz = geo::CoverRect(zorder, rect);
+    printf("%-6d %14zu %14zu %14llu %10.2f\n", order, ch.ranges.size(),
+           cz.ranges.size(),
+           static_cast<unsigned long long>(ch.num_cells),
+           ch.ranges.empty()
+               ? 0.0
+               : static_cast<double>(cz.ranges.size()) /
+                     static_cast<double>(ch.ranges.size()));
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  printf("== bench_curve_ablation ==\n");
+  printf("design ablation: Hilbert vs Z-order 1D mapping "
+         "(DESIGN.md Section 5, choice 1)\n");
+  printf("Both curves cover the same cells for a rectangle; fewer 1D ranges "
+         "= fewer $or arms and fewer B-tree seek positions.\n");
+
+  const DatasetInfo r_info = InfoFor(Dataset::kR, config);
+  const DatasetInfo s_info = InfoFor(Dataset::kS, config);
+  Report("small query rect, curve over the globe (hil)",
+         workload::SmallQueryRect(), geo::GlobeRect());
+  Report("big query rect, curve over the globe (hil)",
+         workload::BigQueryRect(), geo::GlobeRect());
+  Report("big query rect, curve over the R MBR (hil*)",
+         workload::BigQueryRect(), r_info.mbr);
+  Report("big query rect, curve over the S MBR (hil*)",
+         workload::BigQueryRect(), s_info.mbr);
+  return 0;
+}
+
+}  // namespace
+}  // namespace stix::bench
+
+int main(int argc, char** argv) { return stix::bench::Main(argc, argv); }

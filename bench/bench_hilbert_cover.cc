@@ -1,0 +1,68 @@
+// Reproduces the paper's Table 8: average time of the Hilbert covering
+// algorithm (finding which 1D values to search in the index) for the small
+// and big query rectangles, under hil (globe-spanning curve) and hil*
+// (dataset-MBR curve), on the R and S extents. The paper reports 0.05-7.6
+// ms; hil* is slower because the same 13-bit budget over a smaller surface
+// means far more cells intersect the same rectangle.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "geo/covering.h"
+#include "geo/hilbert.h"
+
+namespace stix::bench {
+namespace {
+
+double AverageCoverMillis(const geo::HilbertCurve& curve,
+                          const geo::Rect& rect, int repetitions) {
+  // Warm up once.
+  (void)geo::CoverRect(curve, rect);
+  Stopwatch timer;
+  uint64_t sink = 0;
+  for (int i = 0; i < repetitions; ++i) {
+    sink += geo::CoverRect(curve, rect).ranges.size();
+  }
+  const double avg = timer.ElapsedMillis() / repetitions;
+  if (sink == 0) fprintf(stderr, "(empty coverings)\n");
+  return avg;
+}
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  printf("== bench_hilbert_cover ==\n");
+  printf("reproduces: Table 8 (avg time of the Hilbert covering algorithm, "
+         "ms)\n\n");
+
+  const int reps = 200;
+  printf("%-4s %-6s %10s %10s   %8s %8s\n", "set", "method", "Q^s (ms)",
+         "Q^b (ms)", "ranges_s", "ranges_b");
+  for (const Dataset dataset : {Dataset::kR, Dataset::kS}) {
+    const DatasetInfo info = InfoFor(dataset, config);
+    const geo::Rect small = workload::SmallQueryRect();
+    const geo::Rect big = workload::BigQueryRect();
+
+    const geo::HilbertCurve hil(13, geo::GlobeRect());
+    const geo::HilbertCurve hil_star(13, info.mbr);
+    for (const auto& [name, curve] :
+         {std::pair<const char*, const geo::HilbertCurve*>{"hil", &hil},
+          std::pair<const char*, const geo::HilbertCurve*>{"hil*",
+                                                           &hil_star}}) {
+      const double small_ms = AverageCoverMillis(*curve, small, reps);
+      const double big_ms = AverageCoverMillis(*curve, big, reps);
+      const geo::Covering cs = geo::CoverRect(*curve, small);
+      const geo::Covering cb = geo::CoverRect(*curve, big);
+      printf("%-4s %-6s %10.4f %10.4f   %8zu %8zu\n", DatasetName(dataset),
+             name, small_ms, big_ms, cs.ranges.size(), cb.ranges.size());
+    }
+  }
+  printf("\npaper reference (ms): R/hil 0.05|0.2, R/hil* 0.1|1.8, "
+         "S/hil 0.05|0.3, S/hil* 0.6|7.6\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace stix::bench
+
+int main(int argc, char** argv) { return stix::bench::Main(argc, argv); }

@@ -1,0 +1,84 @@
+// Reproduces the paper's Table 7: which index the query optimizer picks on
+// each node for the bslST approach (the compound {location 2dsphere, date}
+// index vs the {date} shard-key index), per query, data set and
+// distribution (default vs zones). The choice emerges from the multi-plan
+// racing executor, exactly as MongoDB's plan selection does.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace stix::bench {
+namespace {
+
+// Table 7 legend: ● all used nodes exploit the compound index, ○ all use
+// the date index, ◐ mixed usage among the used nodes.
+const char* UsageGlyph(const QueryMeasurement& m) {
+  size_t compound = 0, date = 0;
+  for (const std::string& name : m.winning_indexes) {
+    if (name == "location_2dsphere_date_1") {
+      ++compound;
+    } else if (name == "date_1") {
+      ++date;
+    }
+  }
+  if (compound > 0 && date > 0) return "(mixed)";
+  if (compound > 0) return "compound";
+  if (date > 0) return "date";
+  return "-";
+}
+
+void RunSuite(const char* distribution, Dataset dataset, bool zones,
+              const BenchConfig& config) {
+  const auto store = BuildLoadedStore(st::ApproachKind::kBslST, dataset,
+                                      config);
+  if (zones) {
+    const Status s = store->ConfigureZones();
+    if (!s.ok()) {
+      fprintf(stderr, "zones failed: %s\n", s.ToString().c_str());
+      exit(1);
+    }
+  }
+  const DatasetInfo info = InfoFor(dataset, config);
+  for (const bool big : {false, true}) {
+    const auto queries =
+        workload::MakeQuerySet(big, info.t_begin_ms, info.t_end_ms);
+    printf("  %-8s %-3s %-4s", distribution, DatasetName(dataset),
+           big ? "Q^b" : "Q^s");
+    for (const auto& spec : queries) {
+      const QueryMeasurement m = MeasureQuery(*store, spec, config);
+      size_t compound = 0;
+      for (const std::string& n : m.winning_indexes) {
+        compound += n == "location_2dsphere_date_1";
+      }
+      printf("  %-10s", UsageGlyph(m));
+      if (compound > 0 && compound < m.winning_indexes.size()) {
+        printf("[%zu/%zu cmp]", compound, m.winning_indexes.size());
+      }
+    }
+    printf("\n");
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  printf("== bench_index_usage ==\n");
+  printf("reproduces: Table 7 (index used per node, bslST approach)\n");
+  printf("paper legend: compound = {location: 2dsphere, date: 1}, "
+         "date = the {date: 1} shard-key index\n");
+  printf("  %-8s %-3s %-4s  %-10s  %-10s  %-10s  %-10s\n", "distrib",
+         "set", "cat", "Q1", "Q2", "Q3", "Q4");
+  for (const Dataset dataset : {Dataset::kR, Dataset::kS}) {
+    RunSuite("default", dataset, /*zones=*/false, config);
+  }
+  for (const Dataset dataset : {Dataset::kR, Dataset::kS}) {
+    RunSuite("zones", dataset, /*zones=*/true, config);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stix::bench
+
+int main(int argc, char** argv) { return stix::bench::Main(argc, argv); }

@@ -1,0 +1,138 @@
+// Reproduces the paper's default-sharding query study:
+//   Tables 2 and 3 (result counts of the small/big query suites on R and S)
+//   Figures 5-8 (max keys examined, max docs examined, nodes, avg execution
+//   time for bslST / bslTS / hil / hil*).
+// Data is scaled down versus the paper (see EXPERIMENTS.md); shapes, not
+// absolute values, are the reproduction target.
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace stix::bench {
+namespace {
+
+constexpr st::ApproachKind kApproaches[] = {
+    st::ApproachKind::kBslST, st::ApproachKind::kBslTS,
+    st::ApproachKind::kHil, st::ApproachKind::kHilStar};
+
+struct SuiteResult {
+  std::vector<QueryMeasurement> small;  // Q1^s..Q4^s
+  std::vector<QueryMeasurement> big;    // Q1^b..Q4^b
+};
+
+void PrintFigure(const std::string& figure, Dataset dataset, bool big,
+                 const std::map<st::ApproachKind, SuiteResult>& results) {
+  std::vector<std::string> approach_names;
+  std::vector<std::vector<std::string>> keys, docs, nodes, times;
+  std::vector<std::string> query_names;
+  for (const st::ApproachKind kind : kApproaches) {
+    const auto& suite =
+        big ? results.at(kind).big : results.at(kind).small;
+    approach_names.push_back(st::ApproachName(kind));
+    std::vector<std::string> k, d, n, t;
+    for (const QueryMeasurement& m : suite) {
+      k.push_back(WithThousands(static_cast<int64_t>(m.max_keys)));
+      d.push_back(WithThousands(static_cast<int64_t>(m.max_docs)));
+      n.push_back(std::to_string(m.nodes));
+      t.push_back(Fmt(m.avg_millis) + " ms");
+    }
+    keys.push_back(std::move(k));
+    docs.push_back(std::move(d));
+    nodes.push_back(std::move(n));
+    times.push_back(std::move(t));
+  }
+  for (const QueryMeasurement& m :
+       big ? results.begin()->second.big : results.begin()->second.small) {
+    query_names.push_back(m.query_name);
+  }
+
+  const std::string title = figure + " (" +
+                            std::string(big ? "big" : "small") +
+                            " queries, " + DatasetName(dataset) + " set, "
+                            "default sharding ranges)";
+  PrintPanel(title, "(a) max keys examined on any node", approach_names, keys,
+             query_names);
+  PrintPanel(title, "(b) max documents examined on any node", approach_names,
+             docs, query_names);
+  PrintPanel(title, "(c) number of nodes", approach_names, nodes, query_names);
+  PrintPanel(title, "(d) avg execution time", approach_names, times,
+             query_names);
+}
+
+void PrintResultCountTable(const char* table, Dataset dataset, bool big,
+                           const std::map<st::ApproachKind, SuiteResult>& res) {
+  // All approaches must agree on result counts — cross-validation that the
+  // four implementations answer queries identically.
+  const auto& reference = big ? res.begin()->second.big
+                              : res.begin()->second.small;
+  printf("\n%s: number of retrieved documents (%s queries, %s set)\n", table,
+         big ? "big" : "small", DatasetName(dataset));
+  for (size_t q = 0; q < reference.size(); ++q) {
+    printf("  %-6s %s\n", reference[q].query_name.c_str(),
+           WithThousands(static_cast<int64_t>(reference[q].n_results)).c_str());
+  }
+  for (const auto& [kind, suite] : res) {
+    const auto& list = big ? suite.big : suite.small;
+    for (size_t q = 0; q < reference.size(); ++q) {
+      if (list[q].n_results != reference[q].n_results) {
+        printf("  !! approach %s disagrees on %s: %" PRIu64 " vs %" PRIu64
+               "\n",
+               st::ApproachName(kind), list[q].query_name.c_str(),
+               list[q].n_results, reference[q].n_results);
+      }
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  printf("== bench_queries_default ==\n");
+  printf("reproduces: Tables 2-3, Figures 5-8 (paper Section 5.2)\n");
+  printf("scale: R=%" PRIu64 " docs, S=%" PRIu64 " docs, %d shards "
+         "(paper: 15.2M / 30.4M docs, 12 shards)\n",
+         config.r_docs, config.s_docs, config.num_shards);
+
+  for (const Dataset dataset : {Dataset::kR, Dataset::kS}) {
+    const DatasetInfo info = InfoFor(dataset, config);
+    const auto small_queries =
+        workload::MakeQuerySet(false, info.t_begin_ms, info.t_end_ms);
+    const auto big_queries =
+        workload::MakeQuerySet(true, info.t_begin_ms, info.t_end_ms);
+
+    std::map<st::ApproachKind, SuiteResult> results;
+    for (const st::ApproachKind kind : kApproaches) {
+      const auto store = BuildLoadedStore(kind, dataset, config);
+      SuiteResult suite;
+      for (const auto& spec : small_queries) {
+        suite.small.push_back(MeasureQuery(*store, spec, config));
+      }
+      for (const auto& spec : big_queries) {
+        suite.big.push_back(MeasureQuery(*store, spec, config));
+      }
+      results.emplace(kind, std::move(suite));
+    }
+
+    PrintResultCountTable(dataset == Dataset::kR ? "Table 2 (R row)"
+                                                 : "Table 2 (S row)",
+                          dataset, false, results);
+    PrintResultCountTable(dataset == Dataset::kR ? "Table 3 (R row)"
+                                                 : "Table 3 (S row)",
+                          dataset, true, results);
+    if (dataset == Dataset::kR) {
+      PrintFigure("Figure 5", dataset, false, results);
+      PrintFigure("Figure 6", dataset, true, results);
+    } else {
+      PrintFigure("Figure 7", dataset, false, results);
+      PrintFigure("Figure 8", dataset, true, results);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stix::bench
+
+int main(int argc, char** argv) { return stix::bench::Main(argc, argv); }

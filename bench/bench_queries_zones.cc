@@ -1,0 +1,112 @@
+// Reproduces the paper's zone-range query study, Figures 9-12: the same
+// four metrics as Figures 5-8 but with $bucketAuto zones assigned one per
+// shard (bslST/bslTS zone on date, hil on hilbertIndex). hil* is omitted,
+// as in the paper's Section 5.3.
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace stix::bench {
+namespace {
+
+constexpr st::ApproachKind kApproaches[] = {st::ApproachKind::kBslST,
+                                            st::ApproachKind::kBslTS,
+                                            st::ApproachKind::kHil};
+
+struct SuiteResult {
+  std::vector<QueryMeasurement> small;
+  std::vector<QueryMeasurement> big;
+};
+
+void PrintFigure(const std::string& figure, Dataset dataset, bool big,
+                 const std::map<st::ApproachKind, SuiteResult>& results) {
+  std::vector<std::string> approach_names;
+  std::vector<std::vector<std::string>> keys, docs, nodes, times;
+  std::vector<std::string> query_names;
+  for (const st::ApproachKind kind : kApproaches) {
+    const auto& suite = big ? results.at(kind).big : results.at(kind).small;
+    approach_names.push_back(st::ApproachName(kind));
+    std::vector<std::string> k, d, n, t;
+    for (const QueryMeasurement& m : suite) {
+      k.push_back(WithThousands(static_cast<int64_t>(m.max_keys)));
+      d.push_back(WithThousands(static_cast<int64_t>(m.max_docs)));
+      n.push_back(std::to_string(m.nodes));
+      t.push_back(Fmt(m.avg_millis) + " ms");
+    }
+    keys.push_back(std::move(k));
+    docs.push_back(std::move(d));
+    nodes.push_back(std::move(n));
+    times.push_back(std::move(t));
+  }
+  for (const QueryMeasurement& m :
+       big ? results.begin()->second.big : results.begin()->second.small) {
+    query_names.push_back(m.query_name);
+  }
+
+  const std::string title = figure + " (" +
+                            std::string(big ? "big" : "small") +
+                            " queries, " + DatasetName(dataset) +
+                            " set, zone ranges)";
+  PrintPanel(title, "(a) max keys examined on any node", approach_names, keys,
+             query_names);
+  PrintPanel(title, "(b) max documents examined on any node", approach_names,
+             docs, query_names);
+  PrintPanel(title, "(c) number of nodes", approach_names, nodes, query_names);
+  PrintPanel(title, "(d) avg execution time", approach_names, times,
+             query_names);
+}
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  printf("== bench_queries_zones ==\n");
+  printf("reproduces: Figures 9-12 (paper Section 5.3)\n");
+  printf("scale: R=%" PRIu64 " docs, S=%" PRIu64 " docs, %d shards\n",
+         config.r_docs, config.s_docs, config.num_shards);
+
+  for (const Dataset dataset : {Dataset::kR, Dataset::kS}) {
+    const DatasetInfo info = InfoFor(dataset, config);
+    const auto small_queries =
+        workload::MakeQuerySet(false, info.t_begin_ms, info.t_end_ms);
+    const auto big_queries =
+        workload::MakeQuerySet(true, info.t_begin_ms, info.t_end_ms);
+
+    std::map<st::ApproachKind, SuiteResult> results;
+    for (const st::ApproachKind kind : kApproaches) {
+      const auto store = BuildLoadedStore(kind, dataset, config);
+      const Status zs = store->ConfigureZones();
+      if (!zs.ok()) {
+        fprintf(stderr, "zone setup failed: %s\n", zs.ToString().c_str());
+        return 1;
+      }
+      if (config.verbose) {
+        fprintf(stderr, "[zones] %s/%s: %zu zones\n", st::ApproachName(kind),
+                DatasetName(dataset), store->cluster().zones().size());
+      }
+      SuiteResult suite;
+      for (const auto& spec : small_queries) {
+        suite.small.push_back(MeasureQuery(*store, spec, config));
+      }
+      for (const auto& spec : big_queries) {
+        suite.big.push_back(MeasureQuery(*store, spec, config));
+      }
+      results.emplace(kind, std::move(suite));
+    }
+
+    if (dataset == Dataset::kR) {
+      PrintFigure("Figure 9", dataset, false, results);
+      PrintFigure("Figure 10", dataset, true, results);
+    } else {
+      PrintFigure("Figure 11", dataset, false, results);
+      PrintFigure("Figure 12", dataset, true, results);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stix::bench
+
+int main(int argc, char** argv) { return stix::bench::Main(argc, argv); }

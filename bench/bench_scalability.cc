@@ -1,0 +1,124 @@
+// Reproduces the paper's scalability study (Section 5.4): query Q2^b on
+// growing instances R1..R4 of the real-like data set (same spatio-temporal
+// bounding box, more vehicles), for bslST / bslTS / hil.
+//   Table 4: size and #documents per scale factor
+//   Table 5: number of results of Q2^b per scale factor
+//   Figure 13: (a) max docs, (b) max keys, (c) nodes, (d) avg time
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace stix::bench {
+namespace {
+
+constexpr st::ApproachKind kApproaches[] = {st::ApproachKind::kBslST,
+                                            st::ApproachKind::kBslTS,
+                                            st::ApproachKind::kHil};
+
+int Main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  // Base scale for R1; R2..R4 multiply it. Kept below the default R size so
+  // the whole sweep stays fast.
+  const uint64_t base_docs = config.r_docs >= 4 ? config.r_docs / 2 : 125000;
+
+  printf("== bench_scalability ==\n");
+  printf("reproduces: Tables 4-5, Figure 13 (paper Section 5.4)\n");
+  printf("R1=%" PRIu64 " docs, scale factors x1..x4 "
+         "(paper: R1=15.2M .. R4=63.9M)\n", base_docs);
+
+  const DatasetInfo info = InfoFor(Dataset::kR, config);
+  const auto big_queries =
+      workload::MakeQuerySet(true, info.t_begin_ms, info.t_end_ms);
+  const workload::StQuerySpec q2b = big_queries[1];  // 1-day window
+
+  struct ScaleRow {
+    uint64_t docs = 0;
+    uint64_t logical_bytes = 0;
+    uint64_t compressed_bytes = 0;
+    uint64_t n_results = 0;
+    QueryMeasurement per_approach[3];
+  };
+  std::vector<ScaleRow> rows(4);
+
+  for (int scale = 1; scale <= 4; ++scale) {
+    ScaleRow& row = rows[scale - 1];
+    for (size_t a = 0; a < 3; ++a) {
+      BenchConfig scaled = config;
+      scaled.r_docs = base_docs * static_cast<uint64_t>(scale);
+      const auto store = BuildLoadedStore(kApproaches[a], Dataset::kR, scaled);
+      row.per_approach[a] = MeasureQuery(*store, q2b, scaled);
+      if (a == 0) {
+        const storage::CollectionStats stats =
+            store->cluster().ComputeDataStats();
+        row.docs = stats.num_documents;
+        row.logical_bytes = stats.logical_bytes;
+        row.compressed_bytes = stats.compressed_bytes;
+        row.n_results = row.per_approach[a].n_results;
+      }
+    }
+  }
+
+  printf("\nTable 4: instances R1-R4 of the real-like data set\n");
+  printf("%-22s %12s %12s %12s %12s\n", "", "R1", "R2", "R3", "R4");
+  printf("%-22s", "#documents");
+  for (const ScaleRow& r : rows) {
+    printf(" %12s", WithThousands(static_cast<int64_t>(r.docs)).c_str());
+  }
+  printf("\n%-22s", "size (BSON)");
+  for (const ScaleRow& r : rows) {
+    printf(" %12s", HumanBytes(r.logical_bytes).c_str());
+  }
+  printf("\n%-22s", "size (compressed)");
+  for (const ScaleRow& r : rows) {
+    printf(" %12s", HumanBytes(r.compressed_bytes).c_str());
+  }
+
+  printf("\n\nTable 5: number of results of Q2^b per scale factor\n");
+  printf("%-22s", "Q2^b");
+  for (const ScaleRow& r : rows) {
+    printf(" %12s", WithThousands(static_cast<int64_t>(r.n_results)).c_str());
+  }
+  printf("\n");
+
+  const char* metric_names[4] = {
+      "(a) max documents examined on any node",
+      "(b) max keys examined on any node", "(c) number of nodes",
+      "(d) avg execution time"};
+  std::vector<std::string> scales = {"R1", "R2", "R3", "R4"};
+  for (int metric = 0; metric < 4; ++metric) {
+    std::vector<std::string> approach_names;
+    std::vector<std::vector<std::string>> values;
+    for (size_t a = 0; a < 3; ++a) {
+      approach_names.push_back(st::ApproachName(kApproaches[a]));
+      std::vector<std::string> col;
+      for (const ScaleRow& r : rows) {
+        const QueryMeasurement& m = r.per_approach[a];
+        switch (metric) {
+          case 0:
+            col.push_back(WithThousands(static_cast<int64_t>(m.max_docs)));
+            break;
+          case 1:
+            col.push_back(WithThousands(static_cast<int64_t>(m.max_keys)));
+            break;
+          case 2:
+            col.push_back(std::to_string(m.nodes));
+            break;
+          default:
+            col.push_back(Fmt(m.avg_millis) + " ms");
+        }
+      }
+      values.push_back(std::move(col));
+    }
+    PrintPanel("Figure 13 (Q2^b on R1-R4, default sharding)",
+               metric_names[metric], approach_names, values, scales);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stix::bench
+
+int main(int argc, char** argv) { return stix::bench::Main(argc, argv); }

@@ -1,0 +1,117 @@
+// Reproduces the paper's storage accounting:
+//   Table 6: data size of R and S in the store, bsl vs hil(*) (the Hilbert
+//            approaches pay for the extra hilbertIndex field)
+//   Figure 14: total index sizes per approach, default distribution vs
+//              zone ranges, for R and S — including the _id-index growth
+//              after zone migration shuffles insertion order (prefix
+//              compression, paper Appendix A.3).
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace stix::bench {
+namespace {
+
+constexpr st::ApproachKind kApproaches[] = {
+    st::ApproachKind::kBslST, st::ApproachKind::kBslTS,
+    st::ApproachKind::kHil, st::ApproachKind::kHilStar};
+
+struct ApproachSizes {
+  uint64_t data_logical = 0;
+  uint64_t data_compressed = 0;
+  std::map<std::string, uint64_t> index_default;
+  std::map<std::string, uint64_t> index_zones;
+};
+
+void PrintIndexFigure(const char* panel, Dataset dataset, bool zones,
+                      const std::map<st::ApproachKind, ApproachSizes>& sizes) {
+  printf("\nFigure 14%s: total size of indexes, %s set, %s\n", panel,
+         DatasetName(dataset), zones ? "zone ranges" : "default distribution");
+  for (const st::ApproachKind kind : kApproaches) {
+    const ApproachSizes& s = sizes.at(kind);
+    const auto& index_sizes = zones ? s.index_zones : s.index_default;
+    uint64_t total = 0;
+    printf("  %-6s", st::ApproachName(kind));
+    for (const auto& [name, bytes] : index_sizes) {
+      printf("  %s=%s", name.c_str(), HumanBytes(bytes).c_str());
+      total += bytes;
+    }
+    printf("  | total=%s\n", HumanBytes(total).c_str());
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  printf("== bench_storage ==\n");
+  printf("reproduces: Table 6, Figure 14 (paper Section 5.1 / Appendix A)\n");
+  printf("scale: R=%" PRIu64 " docs, S=%" PRIu64 " docs, %d shards\n",
+         config.r_docs, config.s_docs, config.num_shards);
+
+  for (const Dataset dataset : {Dataset::kR, Dataset::kS}) {
+    std::map<st::ApproachKind, ApproachSizes> sizes;
+    for (const st::ApproachKind kind : kApproaches) {
+      const auto store = BuildLoadedStore(kind, dataset, config);
+      ApproachSizes s;
+      const storage::CollectionStats stats =
+          store->cluster().ComputeDataStats();
+      s.data_logical = stats.logical_bytes;
+      s.data_compressed = stats.compressed_bytes;
+      s.index_default = store->cluster().ComputeIndexSizes();
+      const Status zs = store->ConfigureZones();
+      if (!zs.ok()) {
+        fprintf(stderr, "zones failed: %s\n", zs.ToString().c_str());
+        return 1;
+      }
+      s.index_zones = store->cluster().ComputeIndexSizes();
+      sizes.emplace(kind, std::move(s));
+    }
+
+    printf("\nTable 6 (%s set): data size in the store\n",
+           DatasetName(dataset));
+    printf("  %-8s %16s %16s\n", "approach", "BSON bytes", "compressed");
+    // bsl row (bslST and bslTS store identical documents).
+    const ApproachSizes& bsl = sizes.at(st::ApproachKind::kBslST);
+    const ApproachSizes& hil = sizes.at(st::ApproachKind::kHil);
+    const ApproachSizes& hil_star = sizes.at(st::ApproachKind::kHilStar);
+    printf("  %-8s %16s %16s\n", "bsl",
+           HumanBytes(bsl.data_logical).c_str(),
+           HumanBytes(bsl.data_compressed).c_str());
+    printf("  %-8s %16s %16s\n", "hil",
+           HumanBytes(hil.data_logical).c_str(),
+           HumanBytes(hil.data_compressed).c_str());
+    printf("  %-8s %16s %16s\n", "hil*",
+           HumanBytes(hil_star.data_logical).c_str(),
+           HumanBytes(hil_star.data_compressed).c_str());
+    if (hil.data_logical <= bsl.data_logical) {
+      printf("  !! expected hil > bsl (hilbertIndex field overhead)\n");
+    }
+
+    const char* default_panel = dataset == Dataset::kR ? "a" : "c";
+    const char* zones_panel = dataset == Dataset::kR ? "b" : "d";
+    PrintIndexFigure(default_panel, dataset, /*zones=*/false, sizes);
+    PrintIndexFigure(zones_panel, dataset, /*zones=*/true, sizes);
+
+    // The Appendix A.3 effect: zones shuffle documents, _id prefix
+    // compression degrades, _id index grows.
+    for (const st::ApproachKind kind : kApproaches) {
+      const ApproachSizes& s = sizes.at(kind);
+      const uint64_t id_default = s.index_default.at("_id_");
+      const uint64_t id_zones = s.index_zones.at("_id_");
+      printf("  [check] %s/%s _id index: default=%s zones=%s (%+.1f%%)\n",
+             st::ApproachName(kind), DatasetName(dataset),
+             HumanBytes(id_default).c_str(), HumanBytes(id_zones).c_str(),
+             100.0 * (static_cast<double>(id_zones) -
+                      static_cast<double>(id_default)) /
+                 static_cast<double>(id_default));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stix::bench
+
+int main(int argc, char** argv) { return stix::bench::Main(argc, argv); }

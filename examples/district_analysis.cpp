@@ -1,0 +1,101 @@
+// Complex-geometry queries (the paper's Section 6 future-work item) over
+// data loaded from CSV, the way an adopter would feed their own records:
+// write a CSV, load it, then ask for everything inside a *polygonal* city
+// district instead of a bounding box.
+//
+//   build/examples/district_analysis
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/strings.h"
+#include "geo/region.h"
+#include "st/st_store.h"
+#include "workload/csv_loader.h"
+#include "workload/trajectory_generator.h"
+
+namespace {
+
+// Writes a CSV of synthetic fleet records (id, lon, lat, date) — standing in
+// for the operator's own export.
+std::string WriteFleetCsv(size_t records) {
+  const std::string path = "/tmp/stix_district_analysis.csv";
+  std::ofstream out(path);
+  stix::workload::TrajectoryOptions options;
+  options.num_records = records;
+  options.num_vehicles = 120;
+  options.payload_bytes = 0;
+  stix::workload::TrajectoryGenerator gen(options);
+  stix::bson::Document doc;
+  while (gen.Next(&doc)) {
+    double lon, lat;
+    stix::bson::ExtractGeoJsonPoint(*doc.Get("location"), &lon, &lat);
+    out << "v" << doc.Get("vehicleId")->AsInt32() << ","
+        << stix::FormatDouble(lon) << "," << stix::FormatDouble(lat) << ","
+        << doc.Get("date")->AsDateTime() << "\n";
+  }
+  return path;
+}
+
+}  // namespace
+
+int main() {
+  // hil* (curve over the data-set MBR): its fine cells make the polygon-vs-
+  // bounding-box difference visible at city-district granularity.
+  stix::st::StStoreOptions options;
+  options.approach.kind = stix::st::ApproachKind::kHilStar;
+  options.approach.dataset_mbr =
+      stix::workload::TrajectoryGenerator::GreeceMbr();
+  options.cluster.num_shards = 4;
+  stix::st::StStore store(options);
+  if (stix::Status s = store.Setup(); !s.ok()) {
+    fprintf(stderr, "setup: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const std::string csv = WriteFleetCsv(40000);
+  const stix::Result<uint64_t> loaded =
+      stix::workload::LoadCsvFile(csv, stix::workload::CsvSchema{}, &store);
+  if (!loaded.ok()) {
+    fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  (void)store.FinishLoad();
+  printf("loaded %llu CSV records\n\n",
+         static_cast<unsigned long long>(*loaded));
+
+  // A polygonal "downtown Athens" district (roughly the triangle between
+  // Omonia, the Acropolis and the Panathenaic stadium) — no bounding box
+  // could trace this.
+  const stix::geo::Polygon district({{23.7280, 38.0005},
+                                     {23.7190, 37.9760},
+                                     {23.7420, 37.9660},
+                                     {23.7580, 37.9800},
+                                     {23.7450, 38.0010}});
+
+  int64_t t0 = 0, t1 = 0;
+  stix::ParseIsoDate("2018-08-01T00:00:00", &t0);
+  stix::ParseIsoDate("2018-09-01T00:00:00", &t1);
+  const stix::st::StQueryResult in_district =
+      store.QueryPolygon(district, t0, t1);
+
+  // Compare with the bounding-box query an API without polygon support
+  // would have to issue (and then post-filter).
+  const stix::st::StQueryResult in_bbox =
+      store.Query(district.BoundingBox(), t0, t1);
+
+  printf("August, downtown-Athens district polygon:\n");
+  printf("  polygon query:      %5zu matches, %llu keys examined "
+         "(busiest node)\n",
+         in_district.cluster.docs.size(),
+         static_cast<unsigned long long>(
+             in_district.cluster.max_keys_examined));
+  printf("  bounding-box query: %5zu matches, %llu keys examined "
+         "(busiest node)\n",
+         in_bbox.cluster.docs.size(),
+         static_cast<unsigned long long>(in_bbox.cluster.max_keys_examined));
+  printf("\nThe polygon covering prunes the curve ranges outside the "
+         "district, so the exact answer costs no post-filtering and no "
+         "extra index work.\n");
+  return 0;
+}

@@ -1,0 +1,284 @@
+#include "bson/codec.h"
+
+#include <cstring>
+
+namespace stix::bson {
+namespace {
+
+// BSON element type tags (subset), as in the BSON spec.
+constexpr uint8_t kTagDouble = 0x01;
+constexpr uint8_t kTagString = 0x02;
+constexpr uint8_t kTagDocument = 0x03;
+constexpr uint8_t kTagArray = 0x04;
+constexpr uint8_t kTagObjectId = 0x07;
+constexpr uint8_t kTagBool = 0x08;
+constexpr uint8_t kTagDateTime = 0x09;
+constexpr uint8_t kTagNull = 0x0A;
+constexpr uint8_t kTagInt32 = 0x10;
+constexpr uint8_t kTagInt64 = 0x12;
+
+void PutLE32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutLE64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void EncodeValue(const Value& v, std::string* out);
+
+void EncodeElements(const Document& doc, std::string* out) {
+  const size_t len_pos = out->size();
+  PutLE32(0, out);  // placeholder
+  for (const auto& [name, value] : doc) {
+    uint8_t tag;
+    switch (value.type()) {
+      case Type::kDouble:
+        tag = kTagDouble;
+        break;
+      case Type::kString:
+        tag = kTagString;
+        break;
+      case Type::kDocument:
+        tag = kTagDocument;
+        break;
+      case Type::kArray:
+        tag = kTagArray;
+        break;
+      case Type::kObjectId:
+        tag = kTagObjectId;
+        break;
+      case Type::kBool:
+        tag = kTagBool;
+        break;
+      case Type::kDateTime:
+        tag = kTagDateTime;
+        break;
+      case Type::kNull:
+        tag = kTagNull;
+        break;
+      case Type::kInt32:
+        tag = kTagInt32;
+        break;
+      case Type::kInt64:
+        tag = kTagInt64;
+        break;
+      default:
+        tag = kTagNull;
+    }
+    out->push_back(static_cast<char>(tag));
+    *out += name;
+    out->push_back('\0');
+    EncodeValue(value, out);
+  }
+  out->push_back('\0');
+  const uint32_t total = static_cast<uint32_t>(out->size() - len_pos);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[len_pos + i] = static_cast<char>(total >> (8 * i));
+  }
+}
+
+void EncodeValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      out->push_back(v.AsBool() ? 1 : 0);
+      break;
+    case Type::kInt32:
+      PutLE32(static_cast<uint32_t>(v.AsInt32()), out);
+      break;
+    case Type::kInt64:
+      PutLE64(static_cast<uint64_t>(v.AsInt64()), out);
+      break;
+    case Type::kDateTime:
+      PutLE64(static_cast<uint64_t>(v.AsDateTime()), out);
+      break;
+    case Type::kDouble: {
+      uint64_t bits;
+      const double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutLE64(bits, out);
+      break;
+    }
+    case Type::kString: {
+      const std::string& s = v.AsString();
+      PutLE32(static_cast<uint32_t>(s.size() + 1), out);
+      *out += s;
+      out->push_back('\0');
+      break;
+    }
+    case Type::kObjectId:
+      for (uint8_t b : v.AsObjectId().bytes()) {
+        out->push_back(static_cast<char>(b));
+      }
+      break;
+    case Type::kDocument:
+      EncodeElements(v.AsDocument(), out);
+      break;
+    case Type::kArray: {
+      Document as_doc;
+      size_t i = 0;
+      for (const Value& item : v.AsArray()) {
+        as_doc.Append(std::to_string(i++), item);
+      }
+      EncodeElements(as_doc, out);
+      break;
+    }
+  }
+}
+
+// ---- decoding ----
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  bool Need(size_t n) const { return static_cast<size_t>(end - p) >= n; }
+};
+
+bool GetLE32(Cursor* c, uint32_t* v) {
+  if (!c->Need(4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<uint8_t>(c->p[i])) << (8 * i);
+  }
+  c->p += 4;
+  return true;
+}
+
+bool GetLE64(Cursor* c, uint64_t* v) {
+  if (!c->Need(8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<uint8_t>(c->p[i])) << (8 * i);
+  }
+  c->p += 8;
+  return true;
+}
+
+bool GetCString(Cursor* c, std::string* s) {
+  const void* nul = memchr(c->p, '\0', c->end - c->p);
+  if (nul == nullptr) return false;
+  const char* nul_p = static_cast<const char*>(nul);
+  s->assign(c->p, nul_p - c->p);
+  c->p = nul_p + 1;
+  return true;
+}
+
+bool DecodeDocumentBody(Cursor* c, Document* doc, bool* as_array_ok);
+
+bool DecodeValue(uint8_t tag, Cursor* c, Value* out) {
+  switch (tag) {
+    case kTagNull:
+      *out = Value::Null();
+      return true;
+    case kTagBool: {
+      if (!c->Need(1)) return false;
+      *out = Value::Bool(*c->p != 0);
+      ++c->p;
+      return true;
+    }
+    case kTagInt32: {
+      uint32_t v;
+      if (!GetLE32(c, &v)) return false;
+      *out = Value::Int32(static_cast<int32_t>(v));
+      return true;
+    }
+    case kTagInt64: {
+      uint64_t v;
+      if (!GetLE64(c, &v)) return false;
+      *out = Value::Int64(static_cast<int64_t>(v));
+      return true;
+    }
+    case kTagDateTime: {
+      uint64_t v;
+      if (!GetLE64(c, &v)) return false;
+      *out = Value::DateTime(static_cast<int64_t>(v));
+      return true;
+    }
+    case kTagDouble: {
+      uint64_t bits;
+      if (!GetLE64(c, &bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value::Double(d);
+      return true;
+    }
+    case kTagString: {
+      uint32_t len;
+      if (!GetLE32(c, &len) || len == 0 || !c->Need(len)) return false;
+      *out = Value::String(std::string(c->p, len - 1));
+      c->p += len;
+      return true;
+    }
+    case kTagObjectId: {
+      if (!c->Need(ObjectId::kSize)) return false;
+      std::array<uint8_t, ObjectId::kSize> bytes;
+      std::memcpy(bytes.data(), c->p, ObjectId::kSize);
+      c->p += ObjectId::kSize;
+      *out = Value::Id(ObjectId(bytes));
+      return true;
+    }
+    case kTagDocument: {
+      Document sub;
+      bool unused;
+      if (!DecodeDocumentBody(c, &sub, &unused)) return false;
+      *out = Value::MakeDocument(std::move(sub));
+      return true;
+    }
+    case kTagArray: {
+      Document sub;
+      bool unused;
+      if (!DecodeDocumentBody(c, &sub, &unused)) return false;
+      Array arr;
+      arr.reserve(sub.size());
+      for (const auto& [name, value] : sub) arr.push_back(value);
+      *out = Value::MakeArray(std::move(arr));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool DecodeDocumentBody(Cursor* c, Document* doc, bool* as_array_ok) {
+  *as_array_ok = true;
+  uint32_t total;
+  const char* start = c->p;
+  if (!GetLE32(c, &total) || total < 5) return false;
+  const char* doc_end = start + total;
+  if (doc_end > c->end) return false;
+  while (c->p < doc_end - 1) {
+    const uint8_t tag = static_cast<uint8_t>(*c->p++);
+    std::string name;
+    if (!GetCString(c, &name)) return false;
+    Value value;
+    if (!DecodeValue(tag, c, &value)) return false;
+    doc->Append(std::move(name), std::move(value));
+  }
+  if (c->p != doc_end - 1 || *c->p != '\0') return false;
+  ++c->p;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeBson(const Document& doc) {
+  std::string out;
+  out.reserve(doc.ApproxBsonSize());
+  EncodeElements(doc, &out);
+  return out;
+}
+
+Result<Document> DecodeBson(std::string_view bytes) {
+  Cursor c{bytes.data(), bytes.data() + bytes.size()};
+  Document doc;
+  bool unused;
+  if (!DecodeDocumentBody(&c, &doc, &unused) || c.p != c.end) {
+    return Status::Corruption("malformed BSON document");
+  }
+  return doc;
+}
+
+}  // namespace stix::bson

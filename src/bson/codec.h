@@ -1,0 +1,24 @@
+#ifndef STIX_BSON_CODEC_H_
+#define STIX_BSON_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "bson/document.h"
+#include "common/status.h"
+
+namespace stix::bson {
+
+/// Serializes a document into real BSON wire format (little-endian length
+/// prefix, type-tagged elements, NUL-terminated names). The storage engine
+/// compresses these bytes in blocks to account for on-disk size the way
+/// WiredTiger + snappy does (Table 6 of the paper).
+std::string EncodeBson(const Document& doc);
+
+/// Parses BSON bytes produced by EncodeBson (or any producer restricted to
+/// the supported types). Fails with Corruption on malformed input.
+Result<Document> DecodeBson(std::string_view bytes);
+
+}  // namespace stix::bson
+
+#endif  // STIX_BSON_CODEC_H_

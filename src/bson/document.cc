@@ -1,0 +1,139 @@
+#include "bson/document.h"
+
+#include <cstdlib>
+
+namespace stix::bson {
+
+const Value* Document::Get(std::string_view name) const {
+  for (const auto& [field_name, value] : fields_) {
+    if (field_name == name) return &value;
+  }
+  return nullptr;
+}
+
+const Value* Document::GetPath(std::string_view dotted_path) const {
+  const size_t dot = dotted_path.find('.');
+  const std::string_view head = dotted_path.substr(0, dot);
+  const Value* v = Get(head);
+  if (v == nullptr || dot == std::string_view::npos) return v;
+
+  const std::string_view rest = dotted_path.substr(dot + 1);
+  if (v->type() == Type::kDocument) return v->AsDocument().GetPath(rest);
+  if (v->type() == Type::kArray) {
+    // Address array elements by decimal index.
+    const size_t next_dot = rest.find('.');
+    const std::string_view index_str = rest.substr(0, next_dot);
+    char* end = nullptr;
+    const std::string index_copy(index_str);
+    const long index = strtol(index_copy.c_str(), &end, 10);
+    if (end == index_copy.c_str() || *end != '\0' || index < 0) return nullptr;
+    const Array& arr = v->AsArray();
+    if (static_cast<size_t>(index) >= arr.size()) return nullptr;
+    const Value* element = &arr[static_cast<size_t>(index)];
+    if (next_dot == std::string_view::npos) return element;
+    if (element->type() != Type::kDocument) return nullptr;
+    return element->AsDocument().GetPath(rest.substr(next_dot + 1));
+  }
+  return nullptr;
+}
+
+void Document::Set(std::string_view name, Value value) {
+  for (auto& [field_name, field_value] : fields_) {
+    if (field_name == name) {
+      field_value = std::move(value);
+      return;
+    }
+  }
+  Append(std::string(name), std::move(value));
+}
+
+size_t Document::ApproxBsonSize() const {
+  size_t total = 4 + 1;  // int32 length prefix + trailing NUL
+  for (const auto& [name, value] : fields_) {
+    total += 1 + name.size() + 1 + value.ApproxBsonSize();
+  }
+  return total;
+}
+
+int Compare(const Document& a, const Document& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const auto& [name_a, value_a] = a.field(i);
+    const auto& [name_b, value_b] = b.field(i);
+    const int name_cmp = name_a.compare(name_b);
+    if (name_cmp != 0) return name_cmp < 0 ? -1 : 1;
+    const int value_cmp = Compare(value_a, value_b);
+    if (value_cmp != 0) return value_cmp;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+Document GeoJsonPoint(double lon, double lat) {
+  Document point;
+  point.Append("type", Value::String("Point"));
+  point.Append("coordinates",
+               Value::MakeArray({Value::Double(lon), Value::Double(lat)}));
+  return point;
+}
+
+Document GeoJsonLineString(
+    const std::vector<std::pair<double, double>>& pts) {
+  Array coordinates;
+  coordinates.reserve(pts.size());
+  for (const auto& [lon, lat] : pts) {
+    coordinates.push_back(Value::MakeArray(
+        {Value::Double(lon), Value::Double(lat)}));
+  }
+  Document line;
+  line.Append("type", Value::String("LineString"));
+  line.Append("coordinates", Value::MakeArray(std::move(coordinates)));
+  return line;
+}
+
+bool ExtractGeoJsonLineString(
+    const Value& v, std::vector<std::pair<double, double>>* points) {
+  if (v.type() != Type::kDocument) return false;
+  const Document& doc = v.AsDocument();
+  const Value* type = doc.Get("type");
+  if (type == nullptr || type->type() != Type::kString ||
+      type->AsString() != "LineString") {
+    return false;
+  }
+  const Value* coords = doc.Get("coordinates");
+  if (coords == nullptr || coords->type() != Type::kArray) return false;
+  const Array& arr = coords->AsArray();
+  if (arr.size() < 2) return false;
+  points->clear();
+  points->reserve(arr.size());
+  for (const Value& vertex : arr) {
+    if (vertex.type() != Type::kArray) return false;
+    const Array& pair = vertex.AsArray();
+    if (pair.size() != 2 || !pair[0].IsNumber() || !pair[1].IsNumber()) {
+      return false;
+    }
+    points->emplace_back(pair[0].NumberAsDouble(), pair[1].NumberAsDouble());
+  }
+  return true;
+}
+
+bool ExtractGeoJsonPoint(const Value& v, double* lon, double* lat) {
+  if (v.type() != Type::kDocument) return false;
+  const Document& doc = v.AsDocument();
+  const Value* type = doc.Get("type");
+  if (type == nullptr || type->type() != Type::kString ||
+      type->AsString() != "Point") {
+    return false;
+  }
+  const Value* coords = doc.Get("coordinates");
+  if (coords == nullptr || coords->type() != Type::kArray) return false;
+  const Array& arr = coords->AsArray();
+  if (arr.size() != 2 || !arr[0].IsNumber() || !arr[1].IsNumber()) {
+    return false;
+  }
+  *lon = arr[0].NumberAsDouble();
+  *lat = arr[1].NumberAsDouble();
+  return true;
+}
+
+}  // namespace stix::bson

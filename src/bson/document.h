@@ -1,0 +1,118 @@
+#ifndef STIX_BSON_DOCUMENT_H_
+#define STIX_BSON_DOCUMENT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bson/value.h"
+
+namespace stix::bson {
+
+/// An ordered set of (field name, Value) pairs — the unit of storage, exactly
+/// as in a document store. Field order is preserved; lookup is linear, which
+/// wins for the small documents these workloads store.
+class Document {
+ public:
+  Document() = default;
+
+  /// Appends a field. Does not check for duplicates (callers own uniqueness,
+  /// as in MongoDB drivers).
+  void Append(std::string name, Value value) {
+    fields_.emplace_back(std::move(name), std::move(value));
+  }
+
+  /// Returns the value of a top-level field, or nullptr if absent.
+  const Value* Get(std::string_view name) const;
+
+  /// Returns the value at a dotted path ("location.coordinates"), descending
+  /// through nested documents; array elements are addressed by decimal index
+  /// ("coordinates.0"). Returns nullptr if any step is missing.
+  const Value* GetPath(std::string_view dotted_path) const;
+
+  /// Replaces the first field with this name, or appends if absent.
+  void Set(std::string_view name, Value value);
+
+  bool Has(std::string_view name) const { return Get(name) != nullptr; }
+
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  const std::pair<std::string, Value>& field(size_t i) const {
+    return fields_[i];
+  }
+
+  auto begin() const { return fields_.begin(); }
+  auto end() const { return fields_.end(); }
+
+  /// Size of this document if serialized as BSON (length header + elements +
+  /// terminator). Drives chunk sizing and Table 6's storage accounting.
+  size_t ApproxBsonSize() const;
+
+  /// Element-wise comparison in field order (name, then value), matching
+  /// MongoDB's document comparison.
+  friend int Compare(const Document& a, const Document& b);
+
+ private:
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Fluent builder for literals in tests/examples:
+///   auto doc = DocBuilder().Field("x", 1).Field("s", "hi").Build();
+class DocBuilder {
+ public:
+  DocBuilder&& Field(std::string name, Value v) && {
+    doc_.Append(std::move(name), std::move(v));
+    return std::move(*this);
+  }
+  DocBuilder&& Field(std::string name, int32_t v) && {
+    return std::move(*this).Field(std::move(name), Value::Int32(v));
+  }
+  DocBuilder&& Field(std::string name, int64_t v) && {
+    return std::move(*this).Field(std::move(name), Value::Int64(v));
+  }
+  DocBuilder&& Field(std::string name, double v) && {
+    return std::move(*this).Field(std::move(name), Value::Double(v));
+  }
+  DocBuilder&& Field(std::string name, const char* v) && {
+    return std::move(*this).Field(std::move(name), Value::String(v));
+  }
+  DocBuilder&& Field(std::string name, std::string v) && {
+    return std::move(*this).Field(std::move(name), Value::String(std::move(v)));
+  }
+  DocBuilder&& Field(std::string name, bool v) && {
+    return std::move(*this).Field(std::move(name), Value::Bool(v));
+  }
+  DocBuilder&& Field(std::string name, Document v) && {
+    return std::move(*this).Field(std::move(name),
+                                  Value::MakeDocument(std::move(v)));
+  }
+
+  Document Build() && { return std::move(doc_); }
+
+ private:
+  Document doc_;
+};
+
+/// Builds the GeoJSON Point sub-document MongoDB stores for 2dsphere fields:
+/// { "type": "Point", "coordinates": [lon, lat] }.
+Document GeoJsonPoint(double lon, double lat);
+
+/// Extracts (lon, lat) from a GeoJSON Point sub-document; returns false if
+/// the value does not have that shape.
+bool ExtractGeoJsonPoint(const Value& v, double* lon, double* lat);
+
+/// Builds a GeoJSON LineString sub-document:
+/// { "type": "LineString", "coordinates": [[lon, lat], ...] }.
+/// `lonlat_pairs` is a flat array [lon0, lat0, lon1, lat1, ...].
+Document GeoJsonLineString(const std::vector<std::pair<double, double>>& pts);
+
+/// Extracts the vertex list of a GeoJSON LineString (>= 2 vertices);
+/// returns false if the value does not have that shape.
+bool ExtractGeoJsonLineString(
+    const Value& v, std::vector<std::pair<double, double>>* points);
+
+}  // namespace stix::bson
+
+#endif  // STIX_BSON_DOCUMENT_H_

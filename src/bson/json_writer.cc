@@ -1,0 +1,103 @@
+#include "bson/json_writer.h"
+
+#include "common/strings.h"
+
+namespace stix::bson {
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void WriteValue(const Value& v, std::string* out);
+
+void WriteDocument(const Document& doc, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [name, value] : doc) {
+    if (!first) *out += ", ";
+    first = false;
+    AppendEscaped(name, out);
+    *out += ": ";
+    WriteValue(value, out);
+  }
+  out->push_back('}');
+}
+
+void WriteValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      break;
+    case Type::kInt32:
+      *out += std::to_string(v.AsInt32());
+      break;
+    case Type::kInt64:
+      *out += std::to_string(v.AsInt64());
+      break;
+    case Type::kDouble:
+      *out += stix::FormatDouble(v.AsDouble());
+      break;
+    case Type::kString:
+      AppendEscaped(v.AsString(), out);
+      break;
+    case Type::kDateTime:
+      *out += "ISODate(\"" + stix::FormatIsoDate(v.AsDateTime()) + "\")";
+      break;
+    case Type::kObjectId:
+      *out += "ObjectId(\"" + v.AsObjectId().ToHex() + "\")";
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Value& item : v.AsArray()) {
+        if (!first) *out += ", ";
+        first = false;
+        WriteValue(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kDocument:
+      WriteDocument(v.AsDocument(), out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ToJson(const Document& doc) {
+  std::string out;
+  WriteDocument(doc, &out);
+  return out;
+}
+
+std::string ToJson(const Value& value) {
+  std::string out;
+  WriteValue(value, &out);
+  return out;
+}
+
+}  // namespace stix::bson

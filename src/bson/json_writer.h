@@ -1,0 +1,17 @@
+#ifndef STIX_BSON_JSON_WRITER_H_
+#define STIX_BSON_JSON_WRITER_H_
+
+#include <string>
+
+#include "bson/document.h"
+
+namespace stix::bson {
+
+/// Renders a document in MongoDB extended-JSON-flavoured text, for examples
+/// and debugging: dates as ISODate("..."), ObjectIds as ObjectId("...").
+std::string ToJson(const Document& doc);
+std::string ToJson(const Value& value);
+
+}  // namespace stix::bson
+
+#endif  // STIX_BSON_JSON_WRITER_H_

@@ -1,0 +1,48 @@
+#include "bson/object_id.h"
+
+#include <cstdio>
+
+namespace stix::bson {
+
+uint32_t ObjectId::timestamp_seconds() const {
+  return (static_cast<uint32_t>(bytes_[0]) << 24) |
+         (static_cast<uint32_t>(bytes_[1]) << 16) |
+         (static_cast<uint32_t>(bytes_[2]) << 8) |
+         static_cast<uint32_t>(bytes_[3]);
+}
+
+std::string ObjectId::ToHex() const {
+  std::string out;
+  out.reserve(kSize * 2);
+  char buf[3];
+  for (uint8_t b : bytes_) {
+    snprintf(buf, sizeof(buf), "%02x", b);
+    out += buf;
+  }
+  return out;
+}
+
+ObjectIdGenerator::ObjectIdGenerator(uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t r = rng.Next();
+  for (int i = 0; i < 5; ++i) {
+    process_random_[i] = static_cast<uint8_t>(r >> (8 * i));
+  }
+  counter_ = static_cast<uint32_t>(rng.Next()) & 0x00ffffffu;
+}
+
+ObjectId ObjectIdGenerator::Generate(uint32_t timestamp_seconds) {
+  std::array<uint8_t, ObjectId::kSize> b;
+  b[0] = static_cast<uint8_t>(timestamp_seconds >> 24);
+  b[1] = static_cast<uint8_t>(timestamp_seconds >> 16);
+  b[2] = static_cast<uint8_t>(timestamp_seconds >> 8);
+  b[3] = static_cast<uint8_t>(timestamp_seconds);
+  for (int i = 0; i < 5; ++i) b[4 + i] = process_random_[i];
+  counter_ = (counter_ + 1) & 0x00ffffffu;
+  b[9] = static_cast<uint8_t>(counter_ >> 16);
+  b[10] = static_cast<uint8_t>(counter_ >> 8);
+  b[11] = static_cast<uint8_t>(counter_);
+  return ObjectId(b);
+}
+
+}  // namespace stix::bson

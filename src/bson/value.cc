@@ -1,0 +1,185 @@
+#include "bson/value.h"
+
+#include <cassert>
+
+#include "bson/document.h"
+
+namespace stix::bson {
+
+int CanonicalTypeRank(Type t) {
+  // MongoDB's BSON comparison order: MinKey < Null < Numbers < String <
+  // Object < Array < BinData < ObjectId < Boolean < Date < Timestamp < Regex.
+  switch (t) {
+    case Type::kNull:
+      return 0;
+    case Type::kDouble:
+    case Type::kInt32:
+    case Type::kInt64:
+      return 1;
+    case Type::kString:
+      return 2;
+    case Type::kDocument:
+      return 3;
+    case Type::kArray:
+      return 4;
+    case Type::kObjectId:
+      return 5;
+    case Type::kBool:
+      return 6;
+    case Type::kDateTime:
+      return 7;
+  }
+  return 8;
+}
+
+Value Value::MakeArray(Array items) {
+  return Value(Rep(std::make_shared<Array>(std::move(items))));
+}
+
+Value Value::MakeDocument(Document doc) {
+  return Value(Rep(std::make_shared<Document>(std::move(doc))));
+}
+
+Type Value::type() const {
+  struct Visitor {
+    Type operator()(std::monostate) const { return Type::kNull; }
+    Type operator()(bool) const { return Type::kBool; }
+    Type operator()(int32_t) const { return Type::kInt32; }
+    Type operator()(int64_t) const { return Type::kInt64; }
+    Type operator()(double) const { return Type::kDouble; }
+    Type operator()(const std::string&) const { return Type::kString; }
+    Type operator()(const DateTimeRep&) const { return Type::kDateTime; }
+    Type operator()(const ObjectId&) const { return Type::kObjectId; }
+    Type operator()(const std::shared_ptr<Array>&) const {
+      return Type::kArray;
+    }
+    Type operator()(const std::shared_ptr<Document>&) const {
+      return Type::kDocument;
+    }
+  };
+  return std::visit(Visitor{}, rep_);
+}
+
+bool Value::IsNumber() const {
+  const Type t = type();
+  return t == Type::kInt32 || t == Type::kInt64 || t == Type::kDouble;
+}
+
+const Array& Value::AsArray() const {
+  return *std::get<std::shared_ptr<Array>>(rep_);
+}
+
+const Document& Value::AsDocument() const {
+  return *std::get<std::shared_ptr<Document>>(rep_);
+}
+
+double Value::NumberAsDouble() const {
+  switch (type()) {
+    case Type::kInt32:
+      return AsInt32();
+    case Type::kInt64:
+      return static_cast<double>(AsInt64());
+    case Type::kDouble:
+      return AsDouble();
+    default:
+      assert(false && "NumberAsDouble on non-numeric value");
+      return 0.0;
+  }
+}
+
+size_t Value::ApproxBsonSize() const {
+  switch (type()) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool:
+      return 1;
+    case Type::kInt32:
+      return 4;
+    case Type::kInt64:
+    case Type::kDouble:
+    case Type::kDateTime:
+      return 8;
+    case Type::kString:
+      return 4 + AsString().size() + 1;  // int32 length + bytes + NUL
+    case Type::kObjectId:
+      return ObjectId::kSize;
+    case Type::kArray: {
+      // BSON arrays are documents keyed "0", "1", ...
+      size_t total = 4 + 1;
+      size_t index = 0;
+      for (const Value& v : AsArray()) {
+        const size_t digits = index < 10 ? 1 : (index < 100 ? 2 : 3);
+        total += 1 + digits + 1 + v.ApproxBsonSize();
+        ++index;
+      }
+      return total;
+    }
+    case Type::kDocument:
+      return AsDocument().ApproxBsonSize();
+  }
+  return 0;
+}
+
+namespace {
+
+int Cmp(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+int Cmp(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+}  // namespace
+
+int Compare(const Value& a, const Value& b) {
+  const Type ta = a.type();
+  const Type tb = b.type();
+  const int ra = CanonicalTypeRank(ta);
+  const int rb = CanonicalTypeRank(tb);
+  if (ra != rb) return ra < rb ? -1 : 1;
+
+  switch (ta) {
+    case Type::kNull:
+      return 0;
+    case Type::kInt32:
+    case Type::kInt64:
+    case Type::kDouble: {
+      // Cross-width numeric comparison. Exact for the magnitudes stored here.
+      if (ta != Type::kDouble && tb != Type::kDouble) {
+        const int64_t va = ta == Type::kInt32 ? a.AsInt32() : a.AsInt64();
+        const int64_t vb = tb == Type::kInt32 ? b.AsInt32() : b.AsInt64();
+        return Cmp(va, vb);
+      }
+      return Cmp(a.NumberAsDouble(), b.NumberAsDouble());
+    }
+    case Type::kString:
+      return a.AsString().compare(b.AsString()) < 0
+                 ? -1
+                 : (a.AsString() == b.AsString() ? 0 : 1);
+    case Type::kBool:
+      return Cmp(static_cast<int64_t>(a.AsBool()),
+                 static_cast<int64_t>(b.AsBool()));
+    case Type::kDateTime:
+      return Cmp(a.AsDateTime(), b.AsDateTime());
+    case Type::kObjectId: {
+      const auto& ba = a.AsObjectId().bytes();
+      const auto& bb = b.AsObjectId().bytes();
+      for (size_t i = 0; i < ObjectId::kSize; ++i) {
+        if (ba[i] != bb[i]) return ba[i] < bb[i] ? -1 : 1;
+      }
+      return 0;
+    }
+    case Type::kArray: {
+      const Array& aa = a.AsArray();
+      const Array& ab = b.AsArray();
+      const size_t n = std::min(aa.size(), ab.size());
+      for (size_t i = 0; i < n; ++i) {
+        const int c = Compare(aa[i], ab[i]);
+        if (c != 0) return c;
+      }
+      return Cmp(static_cast<int64_t>(aa.size()),
+                 static_cast<int64_t>(ab.size()));
+    }
+    case Type::kDocument:
+      return Compare(a.AsDocument(), b.AsDocument());
+  }
+  return 0;
+}
+
+}  // namespace stix::bson

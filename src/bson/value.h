@@ -1,0 +1,106 @@
+#ifndef STIX_BSON_VALUE_H_
+#define STIX_BSON_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bson/object_id.h"
+
+namespace stix::bson {
+
+class Document;
+class Value;
+
+/// BSON value types supported by this store (the subset MongoDB's
+/// spatio-temporal workloads use).
+enum class Type : uint8_t {
+  kNull = 0,
+  kDouble,
+  kInt32,
+  kInt64,
+  kString,
+  kDocument,
+  kArray,
+  kObjectId,
+  kBool,
+  kDateTime,  // Milliseconds since the Unix epoch, as MongoDB's ISODate.
+};
+
+/// Canonical sort rank of a type, mirroring MongoDB's cross-type BSON
+/// comparison order (numbers compare together regardless of width).
+int CanonicalTypeRank(Type t);
+
+using Array = std::vector<Value>;
+
+/// A dynamically typed BSON value. Documents and arrays are heap-allocated
+/// behind shared_ptr so Values stay cheap to copy when passed through query
+/// plan stages.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int32(int32_t v) { return Value(Rep(v)); }
+  static Value Int64(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value DateTime(int64_t millis_since_epoch) {
+    return Value(Rep(DateTimeRep{millis_since_epoch}));
+  }
+  static Value Id(ObjectId oid) { return Value(Rep(oid)); }
+  static Value MakeArray(Array items);
+  static Value MakeDocument(Document doc);
+
+  Type type() const;
+  bool is_null() const { return type() == Type::kNull; }
+  bool IsNumber() const;
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int32_t AsInt32() const { return std::get<int32_t>(rep_); }
+  int64_t AsInt64() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  int64_t AsDateTime() const { return std::get<DateTimeRep>(rep_).millis; }
+  const ObjectId& AsObjectId() const { return std::get<ObjectId>(rep_); }
+  const Array& AsArray() const;
+  const Document& AsDocument() const;
+
+  /// Numeric value widened to double (valid for kInt32/kInt64/kDouble).
+  double NumberAsDouble() const;
+
+  /// Size this value would occupy inside a serialized BSON document,
+  /// excluding the element header (type byte + field name).
+  size_t ApproxBsonSize() const;
+
+  /// Total ordering following MongoDB semantics: canonical type rank first,
+  /// numeric types compare by value across widths, strings lexicographically,
+  /// documents/arrays element-wise.
+  friend int Compare(const Value& a, const Value& b);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+
+ private:
+  struct DateTimeRep {
+    int64_t millis;
+  };
+  using Rep = std::variant<std::monostate, bool, int32_t, int64_t, double,
+                           std::string, DateTimeRep, ObjectId,
+                           std::shared_ptr<Array>, std::shared_ptr<Document>>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace stix::bson
+
+#endif  // STIX_BSON_VALUE_H_

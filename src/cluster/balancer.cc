@@ -1,0 +1,47 @@
+#include "cluster/balancer.h"
+
+#include <vector>
+
+namespace stix::cluster {
+
+std::optional<Migration> PickNextMigration(const ChunkManager& chunks,
+                                           int num_shards,
+                                           const std::vector<ZoneRange>& zones,
+                                           const BalancerOptions& options,
+                                           Rng* rng) {
+  // Priority 1: zone violations.
+  if (!zones.empty()) {
+    for (size_t i = 0; i < chunks.num_chunks(); ++i) {
+      const Chunk& c = chunks.chunk(i);
+      const int owner = ZoneForKey(zones, c.min);
+      if (owner >= 0 && owner != c.shard_id) {
+        return Migration{i, owner};
+      }
+    }
+  }
+
+  // Priority 2: even out chunk counts among shards, considering only chunks
+  // that are free to move (no zone pin).
+  std::vector<int> counts = chunks.CountsPerShard(num_shards);
+  int donor = 0, recipient = 0;
+  for (int s = 1; s < num_shards; ++s) {
+    if (counts[s] > counts[donor]) donor = s;
+    if (counts[s] < counts[recipient]) recipient = s;
+  }
+  if (counts[donor] - counts[recipient] < options.imbalance_threshold) {
+    return std::nullopt;
+  }
+
+  std::vector<size_t> movable;
+  for (size_t i = 0; i < chunks.num_chunks(); ++i) {
+    const Chunk& c = chunks.chunk(i);
+    if (c.shard_id != donor) continue;
+    if (!zones.empty() && ZoneForKey(zones, c.min) >= 0) continue;  // pinned
+    movable.push_back(i);
+  }
+  if (movable.empty()) return std::nullopt;
+  const size_t pick = movable[rng->NextBounded(movable.size())];
+  return Migration{pick, recipient};
+}
+
+}  // namespace stix::cluster

@@ -1,0 +1,40 @@
+#ifndef STIX_CLUSTER_BALANCER_H_
+#define STIX_CLUSTER_BALANCER_H_
+
+#include <optional>
+
+#include "cluster/chunk.h"
+#include "cluster/zones.h"
+#include "common/rng.h"
+
+namespace stix::cluster {
+
+/// A proposed chunk migration.
+struct Migration {
+  size_t chunk_index;
+  int to_shard;
+};
+
+/// Balancer policy options.
+struct BalancerOptions {
+  /// Migrate only when the donor has at least this many more chunks than
+  /// the recipient (MongoDB's migration threshold, scaled down).
+  int imbalance_threshold = 2;
+};
+
+/// Pure balancer policy (the decision half of MongoDB's Balancer; the
+/// cluster applies the moves). Priorities, in order:
+///  1. zone violations — a chunk sitting outside its zone's shard;
+///  2. plain imbalance — move a random chunk from the most-loaded to the
+///     least-loaded shard permitted for its zone.
+/// Returns nullopt when balanced. Randomness comes from the caller's seeded
+/// Rng, so placements are reproducible.
+std::optional<Migration> PickNextMigration(const ChunkManager& chunks,
+                                           int num_shards,
+                                           const std::vector<ZoneRange>& zones,
+                                           const BalancerOptions& options,
+                                           Rng* rng);
+
+}  // namespace stix::cluster
+
+#endif  // STIX_CLUSTER_BALANCER_H_

@@ -1,0 +1,137 @@
+#include "cluster/chunk.h"
+
+#include <algorithm>
+
+#include "keystring/keystring.h"
+
+namespace stix::cluster {
+namespace {
+
+// 64-bit mix for hashed sharding (splitmix64 finalizer).
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t HashBytes(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a then mixed
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+std::string ShardKeyPattern::KeyOf(const bson::Document& doc) const {
+  keystring::Builder b;
+  if (strategy_ == ShardingStrategy::kHashed) {
+    const bson::Value* v = doc.GetPath(paths_.front());
+    const std::string field_key =
+        keystring::Encode(v != nullptr ? *v : bson::Value::Null());
+    b.AppendValue(
+        bson::Value::Int64(static_cast<int64_t>(HashBytes(field_key))));
+    return std::move(b).Build();
+  }
+  for (const std::string& path : paths_) {
+    const bson::Value* v = doc.GetPath(path);
+    b.AppendValue(v != nullptr ? *v : bson::Value::Null());
+  }
+  return std::move(b).Build();
+}
+
+std::string ShardKeyPattern::DebugString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += paths_[i];
+    out += (strategy_ == ShardingStrategy::kHashed && i == 0) ? ": 'hashed'"
+                                                              : ": 1";
+  }
+  return out + "}";
+}
+
+Result<std::unique_ptr<ChunkManager>> ChunkManager::FromChunks(
+    std::vector<Chunk> chunk_table) {
+  std::sort(chunk_table.begin(), chunk_table.end(),
+            [](const Chunk& a, const Chunk& b) { return a.min < b.min; });
+  std::unique_ptr<ChunkManager> manager(new ChunkManager());
+  manager->chunks_ = std::move(chunk_table);
+  if (!manager->CheckInvariants()) {
+    return Status::Corruption("chunk table violates invariants");
+  }
+  return manager;
+}
+
+ChunkManager::ChunkManager(int initial_shard) {
+  Chunk all;
+  all.min = keystring::MinKey();
+  all.max = keystring::MaxKey();
+  all.shard_id = initial_shard;
+  chunks_.push_back(std::move(all));
+}
+
+size_t ChunkManager::FindChunkIndex(const std::string& key) const {
+  // Last chunk with min <= key.
+  const auto it = std::upper_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const std::string& k, const Chunk& c) { return k < c.min; });
+  return static_cast<size_t>(it - chunks_.begin()) - 1;
+}
+
+Status ChunkManager::Split(size_t i, const std::string& split_key) {
+  Chunk& left = chunks_[i];
+  if (split_key <= left.min || split_key >= left.max) {
+    return Status::InvalidArgument("split key outside chunk range");
+  }
+  Chunk right;
+  right.min = split_key;
+  right.max = left.max;
+  right.shard_id = left.shard_id;
+  right.bytes = left.bytes / 2;
+  right.docs = left.docs / 2;
+  left.max = split_key;
+  left.bytes -= right.bytes;
+  left.docs -= right.docs;
+  chunks_.insert(chunks_.begin() + i + 1, std::move(right));
+  return Status::OK();
+}
+
+std::vector<size_t> ChunkManager::ChunksIntersecting(
+    const std::string& start, const std::string& end) const {
+  std::vector<size_t> out;
+  // First chunk whose max > start.
+  size_t i = FindChunkIndex(start);
+  // FindChunkIndex returns the chunk with min <= start; it intersects iff
+  // max > start, which holds by construction (max > min, start >= min).
+  for (; i < chunks_.size() && chunks_[i].min <= end; ++i) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> ChunkManager::CountsPerShard(int num_shards) const {
+  std::vector<int> counts(num_shards, 0);
+  for (const Chunk& c : chunks_) {
+    if (c.shard_id >= 0 && c.shard_id < num_shards) ++counts[c.shard_id];
+  }
+  return counts;
+}
+
+bool ChunkManager::CheckInvariants() const {
+  if (chunks_.empty()) return false;
+  if (chunks_.front().min != keystring::MinKey()) return false;
+  if (chunks_.back().max != keystring::MaxKey()) return false;
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    if (chunks_[i].min >= chunks_[i].max) return false;
+    if (i > 0 && chunks_[i - 1].max != chunks_[i].min) return false;
+  }
+  return true;
+}
+
+}  // namespace stix::cluster

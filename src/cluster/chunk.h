@@ -1,0 +1,100 @@
+#ifndef STIX_CLUSTER_CHUNK_H_
+#define STIX_CLUSTER_CHUNK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bson/document.h"
+#include "common/status.h"
+
+namespace stix::cluster {
+
+/// How documents map to the shard-key space.
+enum class ShardingStrategy {
+  kRange,   ///< KeyString order of the shard-key fields (locality).
+  kHashed,  ///< Hash of the leading field (spreads, kills locality).
+};
+
+/// A (compound) shard key: ordered field paths plus the strategy. 2dsphere
+/// fields cannot participate (MongoDB restriction the paper works around via
+/// hilbertIndex).
+class ShardKeyPattern {
+ public:
+  ShardKeyPattern() = default;
+  ShardKeyPattern(std::vector<std::string> paths, ShardingStrategy strategy)
+      : paths_(std::move(paths)), strategy_(strategy) {}
+
+  const std::vector<std::string>& paths() const { return paths_; }
+  ShardingStrategy strategy() const { return strategy_; }
+  bool empty() const { return paths_.empty(); }
+
+  /// Position of this document in shard-key space (a KeyString). Missing
+  /// fields key as Null, like MongoDB.
+  std::string KeyOf(const bson::Document& doc) const;
+
+  /// "{hilbertIndex: 1, date: 1}" for reports.
+  std::string DebugString() const;
+
+ private:
+  std::vector<std::string> paths_;
+  ShardingStrategy strategy_ = ShardingStrategy::kRange;
+};
+
+/// A contiguous shard-key range [min, max) of the collection, resident on
+/// one shard. Splits when it outgrows the configured max size; `jumbo`
+/// marks chunks that cannot split because every document shares one key.
+struct Chunk {
+  std::string min;  ///< Inclusive KeyString lower bound.
+  std::string max;  ///< Exclusive KeyString upper bound.
+  int shard_id = 0;
+  uint64_t bytes = 0;
+  uint64_t docs = 0;
+  bool jumbo = false;
+};
+
+/// The config-server view: an ordered, gap-free partition of the shard-key
+/// space into chunks.
+class ChunkManager {
+ public:
+  /// Starts with one chunk [MinKey, MaxKey) on `initial_shard`.
+  explicit ChunkManager(int initial_shard);
+
+  /// Rebuilds a chunk table from a saved list (snapshot restore). Fails
+  /// with Corruption when the list violates the invariants (sorted,
+  /// contiguous, covering the whole key space).
+  static Result<std::unique_ptr<ChunkManager>> FromChunks(
+      std::vector<Chunk> chunk_table);
+
+  size_t num_chunks() const { return chunks_.size(); }
+  const Chunk& chunk(size_t i) const { return chunks_[i]; }
+  Chunk& chunk(size_t i) { return chunks_[i]; }
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+
+  /// Index of the chunk owning this key.
+  size_t FindChunkIndex(const std::string& key) const;
+
+  /// Splits chunk `i` at `split_key` (strictly inside its range); byte/doc
+  /// accounting is halved between the parts. Fails on out-of-range keys.
+  Status Split(size_t i, const std::string& split_key);
+
+  /// Chunk indexes whose range intersects [start, end] (end inclusive).
+  std::vector<size_t> ChunksIntersecting(const std::string& start,
+                                         const std::string& end) const;
+
+  /// Per-shard chunk counts (index = shard id), sized to `num_shards`.
+  std::vector<int> CountsPerShard(int num_shards) const;
+
+  /// Invariants: sorted, contiguous, covering [MinKey, MaxKey). For tests.
+  bool CheckInvariants() const;
+
+ private:
+  ChunkManager() = default;  // for FromChunks
+
+  std::vector<Chunk> chunks_;  // sorted by min
+};
+
+}  // namespace stix::cluster
+
+#endif  // STIX_CLUSTER_CHUNK_H_

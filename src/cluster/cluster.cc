@@ -1,0 +1,383 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <variant>
+
+#include "keystring/keystring.h"
+#include "query/planner.h"
+
+namespace stix::cluster {
+
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options), rng_(options.seed) {
+  shards_.reserve(options_.num_shards);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i));
+  }
+}
+
+std::string Cluster::IndexNameForPattern(const ShardKeyPattern& pattern) {
+  std::string name;
+  for (const std::string& path : pattern.paths()) {
+    if (!name.empty()) name += "_";
+    name += path;
+    name += "_1";
+  }
+  return name;
+}
+
+Status Cluster::ShardCollection(ShardKeyPattern pattern) {
+  if (sharded_) {
+    return Status::AlreadyExists("collection is already sharded");
+  }
+  if (pattern.empty()) {
+    return Status::InvalidArgument("shard key must have at least one field");
+  }
+  pattern_ = std::move(pattern);
+  chunks_ = std::make_unique<ChunkManager>(0);
+  shard_key_index_name_ = IndexNameForPattern(pattern_);
+
+  // Every shard gets the mandatory _id index and the shard-key index that
+  // sharding imposes (paper Section 4.1.2 / A.3).
+  for (auto& shard : shards_) {
+    Status s = shard->catalog().CreateIndex(index::IndexDescriptor(
+        "_id_", {{"_id", index::IndexFieldKind::kAscending}}));
+    if (!s.ok()) return s;
+    std::vector<index::IndexField> fields;
+    for (const std::string& path : pattern_.paths()) {
+      fields.push_back({path, index::IndexFieldKind::kAscending});
+    }
+    s = shard->catalog().CreateIndex(
+        index::IndexDescriptor(shard_key_index_name_, std::move(fields)));
+    if (!s.ok()) return s;
+  }
+  sharded_ = true;
+  return Status::OK();
+}
+
+Status Cluster::CreateIndex(const index::IndexDescriptor& descriptor) {
+  if (!sharded_) {
+    return Status::Internal("shard the collection before creating indexes");
+  }
+  for (auto& shard : shards_) {
+    index::IndexDescriptor copy(descriptor.name(), descriptor.fields(),
+                                descriptor.geohash_bits());
+    const Status s = shard->catalog().CreateIndex(std::move(copy));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status Cluster::Insert(bson::Document doc) {
+  if (!sharded_) {
+    return Status::Internal("shard the collection before inserting");
+  }
+  const std::string key = pattern_.KeyOf(doc);
+  const size_t chunk_index = chunks_->FindChunkIndex(key);
+  Chunk& chunk = chunks_->chunk(chunk_index);
+  const uint64_t doc_bytes = doc.ApproxBsonSize();
+
+  Result<storage::RecordId> rid =
+      shards_[static_cast<size_t>(chunk.shard_id)]->Insert(std::move(doc));
+  if (!rid.ok()) return rid.status();
+
+  chunk.bytes += doc_bytes;
+  chunk.docs += 1;
+  if (chunk.bytes > options_.chunk_max_bytes && !chunk.jumbo) {
+    MaybeSplitChunk(chunk_index);
+  }
+
+  if (options_.balance_every_inserts > 0 &&
+      ++inserts_since_balance_ >= options_.balance_every_inserts) {
+    inserts_since_balance_ = 0;
+    // One balancer round (the background Balancer's cadence).
+    const std::optional<Migration> m =
+        PickNextMigration(*chunks_, options_.num_shards, zones_,
+                          options_.balancer, &rng_);
+    if (m.has_value()) {
+      const Status s = MoveChunk(m->chunk_index, m->to_shard);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+void Cluster::MaybeSplitChunk(size_t chunk_index) {
+  Chunk& chunk = chunks_->chunk(chunk_index);
+  Shard& shard = *shards_[static_cast<size_t>(chunk.shard_id)];
+  const index::Index* skidx = shard.catalog().Get(shard_key_index_name_);
+  if (skidx == nullptr) return;
+
+  // Median shard-key value of the chunk, from the shard-key index.
+  std::vector<std::string> keys;
+  keys.reserve(chunk.docs);
+  for (storage::BTree::Cursor c = skidx->btree().SeekGE(chunk.min);
+       c.Valid() && c.key() < chunk.max; c.Next()) {
+    keys.push_back(c.key());
+  }
+  if (keys.size() < 2) {
+    chunk.jumbo = true;
+    return;
+  }
+  std::string split_key = keys[keys.size() / 2];
+  if (split_key == chunk.min) {
+    // All of the lower half shares the min key; find the first greater key
+    // (for {hilbertIndex, date} this is the paper's "split on the temporal
+    // dimension" case).
+    const auto it =
+        std::upper_bound(keys.begin(), keys.end(), chunk.min);
+    if (it == keys.end()) {
+      chunk.jumbo = true;  // one key value fills the chunk; cannot split
+      return;
+    }
+    split_key = *it;
+  }
+  chunks_->Split(chunk_index, split_key);
+}
+
+Status Cluster::MoveChunk(size_t chunk_index, int to_shard) {
+  Chunk& chunk = chunks_->chunk(chunk_index);
+  if (chunk.shard_id == to_shard) return Status::OK();
+  Shard& source = *shards_[static_cast<size_t>(chunk.shard_id)];
+  Shard& dest = *shards_[static_cast<size_t>(to_shard)];
+  const index::Index* skidx = source.catalog().Get(shard_key_index_name_);
+  if (skidx == nullptr) {
+    return Status::Internal("shard-key index missing on shard");
+  }
+
+  std::vector<storage::RecordId> rids;
+  rids.reserve(chunk.docs);
+  for (storage::BTree::Cursor c = skidx->btree().SeekGE(chunk.min);
+       c.Valid() && c.key() < chunk.max; c.Next()) {
+    rids.push_back(c.rid());
+  }
+  for (const storage::RecordId rid : rids) {
+    const bson::Document* doc = source.collection().records().Get(rid);
+    if (doc == nullptr) continue;
+    bson::Document copy = *doc;  // clone before the source slot dies
+    Status s = source.Remove(rid);
+    if (!s.ok()) return s;
+    Result<storage::RecordId> inserted = dest.Insert(std::move(copy));
+    if (!inserted.ok()) return inserted.status();
+  }
+  chunk.shard_id = to_shard;
+  return Status::OK();
+}
+
+Status Cluster::SetZones(std::vector<ZoneRange> zones) {
+  if (!sharded_) {
+    return Status::Internal("shard the collection before defining zones");
+  }
+  std::sort(zones.begin(), zones.end(),
+            [](const ZoneRange& a, const ZoneRange& b) { return a.min < b.min; });
+  for (size_t i = 1; i < zones.size(); ++i) {
+    if (zones[i].min < zones[i - 1].max) {
+      return Status::InvalidArgument("zone ranges overlap");
+    }
+  }
+
+  // Chunk boundaries must align with zone boundaries: split where needed.
+  for (const ZoneRange& z : zones) {
+    for (const std::string* boundary : {&z.min, &z.max}) {
+      if (*boundary == keystring::MinKey() ||
+          *boundary == keystring::MaxKey()) {
+        continue;
+      }
+      const size_t ci = chunks_->FindChunkIndex(*boundary);
+      if (chunks_->chunk(ci).min != *boundary) {
+        const Status s = chunks_->Split(ci, *boundary);
+        if (!s.ok()) return s;
+      }
+    }
+  }
+
+  zones_ = std::move(zones);
+  Balance();  // first priority of the balancer: fix zone violations
+  return Status::OK();
+}
+
+Status Cluster::SetZonesByBucketAuto(const std::string& path) {
+  const std::vector<bson::Value> boundaries =
+      BucketAutoBoundaries(shards_, path, options_.num_shards);
+  std::vector<ZoneRange> zones;
+  zones.reserve(boundaries.size() + 1);
+  std::string prev = keystring::MinKey();
+  int shard = 0;
+  for (const bson::Value& b : boundaries) {
+    std::string enc = keystring::Encode(b);
+    if (enc <= prev) continue;  // collapsed boundary under heavy skew
+    zones.push_back(ZoneRange{prev, enc, shard++});
+    prev = std::move(enc);
+  }
+  zones.push_back(ZoneRange{prev, keystring::MaxKey(), shard});
+  return SetZones(std::move(zones));
+}
+
+Status Cluster::RestoreShardingState(
+    ShardKeyPattern pattern, std::vector<Chunk> chunk_table,
+    std::vector<ZoneRange> zones,
+    const std::vector<index::IndexDescriptor>& secondary_indexes) {
+  if (sharded_) {
+    return Status::AlreadyExists("cannot restore into a sharded cluster");
+  }
+  for (const Chunk& c : chunk_table) {
+    if (c.shard_id < 0 || c.shard_id >= options_.num_shards) {
+      return Status::Corruption("chunk references unknown shard " +
+                                std::to_string(c.shard_id));
+    }
+  }
+  Result<std::unique_ptr<ChunkManager>> chunks =
+      ChunkManager::FromChunks(std::move(chunk_table));
+  if (!chunks.ok()) return chunks.status();
+
+  const Status s = ShardCollection(std::move(pattern));
+  if (!s.ok()) return s;
+  chunks_ = std::move(*chunks);
+  zones_ = std::move(zones);
+  for (const index::IndexDescriptor& desc : secondary_indexes) {
+    const Status cs = CreateIndex(desc);
+    if (!cs.ok()) return cs;
+  }
+  return Status::OK();
+}
+
+Status Cluster::RestoreDocumentToShard(int shard_id, bson::Document doc) {
+  if (!sharded_) {
+    return Status::Internal("restore sharding state before documents");
+  }
+  if (shard_id < 0 || shard_id >= options_.num_shards) {
+    return Status::InvalidArgument("unknown shard " +
+                                   std::to_string(shard_id));
+  }
+  Result<storage::RecordId> rid =
+      shards_[static_cast<size_t>(shard_id)]->Insert(std::move(doc));
+  return rid.ok() ? Status::OK() : rid.status();
+}
+
+void Cluster::Balance() {
+  // Cap rounds defensively; each successful migration strictly reduces either
+  // zone violations or imbalance, so this should never bind.
+  const size_t max_rounds = 16 * chunks_->num_chunks() + 64;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    const std::optional<Migration> m = PickNextMigration(
+        *chunks_, options_.num_shards, zones_, options_.balancer, &rng_);
+    if (!m.has_value()) return;
+    if (!MoveChunk(m->chunk_index, m->to_shard).ok()) return;
+  }
+}
+
+ClusterQueryResult Cluster::Query(const query::ExprPtr& expr) const {
+  const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
+  return router.Execute(expr, options_.exec);
+}
+
+Result<std::vector<bson::Document>> Cluster::Aggregate(
+    const query::Pipeline& pipeline) const {
+  std::vector<bson::Document> stream;
+  size_t first_merge_stage = 0;
+
+  const auto& stages = pipeline.stages();
+  if (!stages.empty()) {
+    if (const auto* match = std::get_if<query::MatchStage>(&stages[0])) {
+      // Push the $match down to the shards through the router.
+      ClusterQueryResult r = Query(match->expr);
+      stream = std::move(r.docs);
+      first_merge_stage = 1;
+    }
+  }
+  if (first_merge_stage == 0) {
+    // No leading $match: full scatter of the raw collection.
+    for (const auto& shard : shards_) {
+      shard->collection().records().ForEach(
+          [&](storage::RecordId, const bson::Document& doc) {
+            stream.push_back(doc);
+          });
+    }
+  }
+
+  query::Pipeline merge_stages(std::vector<query::PipelineStage>(
+      stages.begin() + static_cast<ptrdiff_t>(first_merge_stage),
+      stages.end()));
+  return query::RunPipeline(std::move(stream), merge_stages);
+}
+
+Result<uint64_t> Cluster::Delete(const query::ExprPtr& expr) {
+  const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
+  const std::vector<int> targets = router.TargetShards(expr);
+  uint64_t deleted = 0;
+  for (const int shard_id : targets) {
+    Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+    const query::ExecutionResult r = shard.RunQuery(expr, options_.exec);
+    for (size_t i = 0; i < r.rids.size(); ++i) {
+      // Update the owning chunk's accounting before the document dies.
+      const std::string key = pattern_.KeyOf(r.docs[i]);
+      Chunk& chunk = chunks_->chunk(chunks_->FindChunkIndex(key));
+      const uint64_t doc_bytes = r.docs[i].ApproxBsonSize();
+      const Status s = shard.Remove(r.rids[i]);
+      if (!s.ok()) return s;
+      chunk.bytes -= std::min(chunk.bytes, doc_bytes);
+      if (chunk.docs > 0) --chunk.docs;
+      ++deleted;
+    }
+  }
+  return deleted;
+}
+
+std::string Cluster::Explain(const query::ExprPtr& expr) const {
+  const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
+  bool broadcast = false;
+  const std::vector<int> targets = router.TargetShards(expr, &broadcast);
+
+  std::string out = "query: " + expr->DebugString() + "\n";
+  out += "shard key: " + pattern_.DebugString() + "\n";
+  out += "targeting: " + std::to_string(targets.size()) + "/" +
+         std::to_string(shards_.size()) + " shards" +
+         (broadcast ? " (broadcast)" : "") + "\n";
+  for (const int shard_id : targets) {
+    const Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+    out += "  shard " + std::to_string(shard_id) + " (" +
+           std::to_string(shard.num_documents()) + " docs):\n";
+    const std::vector<query::CandidatePlan> candidates =
+        query::Planner::Plan(shard.collection().records(), shard.catalog(),
+                             expr);
+    for (const query::CandidatePlan& plan : candidates) {
+      out += "    candidate: " + plan.summary + "\n";
+    }
+  }
+  return out;
+}
+
+std::vector<int> Cluster::TargetShards(const query::ExprPtr& expr) const {
+  const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
+  return router.TargetShards(expr);
+}
+
+uint64_t Cluster::total_documents() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->num_documents();
+  return total;
+}
+
+storage::CollectionStats Cluster::ComputeDataStats() const {
+  storage::CollectionStats total;
+  for (const auto& shard : shards_) {
+    const storage::CollectionStats s = shard->collection().ComputeStats();
+    total.num_documents += s.num_documents;
+    total.logical_bytes += s.logical_bytes;
+    total.compressed_bytes += s.compressed_bytes;
+  }
+  return total;
+}
+
+std::map<std::string, uint64_t> Cluster::ComputeIndexSizes() const {
+  std::map<std::string, uint64_t> sizes;
+  for (const auto& shard : shards_) {
+    for (const auto& idx : shard->catalog().indexes()) {
+      sizes[idx->descriptor().name()] +=
+          idx->btree().SizeWithPrefixCompression();
+    }
+  }
+  return sizes;
+}
+
+}  // namespace stix::cluster

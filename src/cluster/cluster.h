@@ -1,0 +1,151 @@
+#ifndef STIX_CLUSTER_CLUSTER_H_
+#define STIX_CLUSTER_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/balancer.h"
+#include "cluster/chunk.h"
+#include "cluster/router.h"
+#include "cluster/shard.h"
+#include "cluster/zones.h"
+#include "common/rng.h"
+#include "query/aggregate.h"
+
+namespace stix::cluster {
+
+/// Deployment-level knobs of the simulated cluster.
+struct ClusterOptions {
+  int num_shards = 12;  ///< The paper's deployment uses 12 shard VMs.
+
+  /// Chunk split threshold. MongoDB defaults to 64 MB; bench scale reduces
+  /// data ~60x versus the paper, so the default here keeps the number of
+  /// chunks per shard comparable.
+  uint64_t chunk_max_bytes = 512 * 1024;
+
+  /// Run one balancer round every N inserts (the background Balancer); 0
+  /// disables automatic balancing (call Balance() explicitly).
+  int balance_every_inserts = 4096;
+
+  uint64_t seed = 42;  ///< Drives balancer randomness; fully reproducible.
+
+  RouterOptions router;
+  query::ExecutorOptions exec;
+  BalancerOptions balancer;
+};
+
+/// A sharded document-store cluster in one process: N shards, a config view
+/// (chunks + zones) and a router. The public surface mirrors the operations
+/// the paper performs against MongoDB: shard a collection, create indexes,
+/// bulk insert, define zones with $bucketAuto boundaries, run queries, and
+/// inspect sizes.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_shards() const { return options_.num_shards; }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Declares the shard key. Creates the supporting index on every shard
+  /// (as MongoDB does) plus the always-present _id index. Must be called
+  /// once, before inserts.
+  Status ShardCollection(ShardKeyPattern pattern);
+
+  /// Creates a secondary index on every shard.
+  Status CreateIndex(const index::IndexDescriptor& descriptor);
+
+  /// Routes the document to the owning chunk's shard; splits chunks that
+  /// outgrow the limit and lets the balancer run periodically.
+  Status Insert(bson::Document doc);
+
+  /// Defines zones explicitly (sorted, disjoint, covering the key space)
+  /// and migrates data to comply.
+  Status SetZones(std::vector<ZoneRange> zones);
+
+  /// The paper's zone recipe: $bucketAuto equi-count boundaries on `path`
+  /// (a shard-key prefix field), one zone per shard.
+  Status SetZonesByBucketAuto(const std::string& path);
+
+  /// Runs balancer rounds until no migration is pending.
+  void Balance();
+
+  /// Snapshot-restore path: installs a previously saved sharding state
+  /// (pattern, chunk table, zones) and creates the mandatory and given
+  /// secondary indexes on every shard. The cluster must be fresh. The chunk
+  /// table must satisfy ChunkManager invariants.
+  Status RestoreShardingState(
+      ShardKeyPattern pattern, std::vector<Chunk> chunk_table,
+      std::vector<ZoneRange> zones,
+      const std::vector<index::IndexDescriptor>& secondary_indexes);
+
+  /// Snapshot-restore path: inserts directly into a shard, bypassing
+  /// routing and split/balance logic (placement comes from the restored
+  /// chunk table).
+  Status RestoreDocumentToShard(int shard_id, bson::Document doc);
+
+  /// Scatter/gather query through the router.
+  ClusterQueryResult Query(const query::ExprPtr& expr) const;
+
+  /// Runs an aggregation pipeline cluster-wide: a leading $match is routed
+  /// and executed on the shards like a query (index-assisted); the
+  /// remaining stages run on the merged stream at the router, as mongos
+  /// does for these stage types.
+  Result<std::vector<bson::Document>> Aggregate(
+      const query::Pipeline& pipeline) const;
+
+  /// Deletes every document matching the expression; returns the count.
+  /// Chunk byte/document accounting is updated (chunks never re-merge, as
+  /// in MongoDB).
+  Result<uint64_t> Delete(const query::ExprPtr& expr);
+
+  /// Shards the router would contact (for node-count studies).
+  std::vector<int> TargetShards(const query::ExprPtr& expr) const;
+
+  /// Human-readable multi-line plan report: targeting decision plus each
+  /// contacted shard's candidate plans (explain()-style, without running
+  /// the query).
+  std::string Explain(const query::ExprPtr& expr) const;
+
+  // --- introspection for benches/tests ---
+
+  const std::vector<std::unique_ptr<Shard>>& shards() const { return shards_; }
+  const ChunkManager& chunks() const { return *chunks_; }
+  const std::vector<ZoneRange>& zones() const { return zones_; }
+  const ShardKeyPattern& shard_key() const { return pattern_; }
+  uint64_t total_documents() const;
+
+  /// Aggregate data size (Table 6): logical and block-compressed bytes.
+  storage::CollectionStats ComputeDataStats() const;
+
+  /// Total index sizes across shards, per index name (Fig. 14).
+  std::map<std::string, uint64_t> ComputeIndexSizes() const;
+
+  /// Name of the index backing the shard key.
+  const std::string& shard_key_index_name() const {
+    return shard_key_index_name_;
+  }
+
+ private:
+  Status MoveChunk(size_t chunk_index, int to_shard);
+  void MaybeSplitChunk(size_t chunk_index);
+  static std::string IndexNameForPattern(const ShardKeyPattern& pattern);
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ChunkManager> chunks_;
+  ShardKeyPattern pattern_;
+  std::vector<ZoneRange> zones_;
+  std::string shard_key_index_name_;
+  Rng rng_;
+  int inserts_since_balance_ = 0;
+  bool sharded_ = false;
+};
+
+}  // namespace stix::cluster
+
+#endif  // STIX_CLUSTER_CLUSTER_H_

@@ -1,0 +1,152 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "keystring/keystring.h"
+#include "query/query_analysis.h"
+
+namespace stix::cluster {
+namespace {
+
+std::vector<int> AllShardIds(size_t n) {
+  std::vector<int> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<int>(i);
+  return ids;
+}
+
+}  // namespace
+
+std::vector<int> Router::TargetShards(const query::ExprPtr& expr,
+                                      bool* broadcast_out) const {
+  if (broadcast_out != nullptr) *broadcast_out = false;
+  const auto broadcast = [&] {
+    if (broadcast_out != nullptr) *broadcast_out = true;
+    return AllShardIds(shards_->size());
+  };
+
+  if (pattern_->empty()) return broadcast();
+
+  const std::map<std::string, query::PathInfo> paths =
+      query::AnalyzeQuery(expr);
+  const auto it0 = paths.find(pattern_->paths().front());
+  const query::PathInfo* info0 = it0 == paths.end() ? nullptr : &it0->second;
+  const index::FieldBounds bounds0 = query::AscendingBounds(info0);
+
+  if (bounds0.full_range || bounds0.intervals.empty()) return broadcast();
+
+  if (pattern_->strategy() == ShardingStrategy::kHashed) {
+    // Hashed sharding can only target equality points; anything else is a
+    // broadcast (exactly MongoDB's rule).
+    std::set<int> ids;
+    for (const index::ValueInterval& iv : bounds0.intervals) {
+      if (!iv.IsPoint()) return broadcast();
+    }
+    for (const index::ValueInterval& iv : bounds0.intervals) {
+      bson::Document probe;
+      probe.Append(pattern_->paths().front(), iv.lo);
+      const std::string key = pattern_->KeyOf(probe);
+      ids.insert(chunks_->chunk(chunks_->FindChunkIndex(key)).shard_id);
+    }
+    return std::vector<int>(ids.begin(), ids.end());
+  }
+
+  // Range sharding: per leading-field interval, derive a KeyString interval
+  // and collect intersecting chunks. Point intervals on the leading field
+  // let the second field's bounds narrow the range further (the hil case:
+  // one Hilbert cell, a time slice of it).
+  const index::FieldBounds bounds1 =
+      pattern_->paths().size() > 1
+          ? [&] {
+              const auto it1 = paths.find(pattern_->paths()[1]);
+              return query::AscendingBounds(
+                  it1 == paths.end() ? nullptr : &it1->second);
+            }()
+          : index::FieldBounds{{}, true};
+
+  std::set<int> ids;
+  for (const index::ValueInterval& iv : bounds0.intervals) {
+    std::string start, end;
+    if (iv.IsPoint() && !bounds1.full_range && !bounds1.intervals.empty()) {
+      keystring::Builder s;
+      s.AppendValue(iv.lo).AppendValue(bounds1.intervals.front().lo);
+      start = std::move(s).Build();
+      keystring::Builder e;
+      e.AppendValue(iv.hi).AppendValue(bounds1.intervals.back().hi);
+      end = std::move(e).Build() + keystring::MaxKey();
+    } else {
+      start = keystring::Encode(iv.lo);
+      end = keystring::Encode(iv.hi) + keystring::MaxKey();
+    }
+    for (size_t ci : chunks_->ChunksIntersecting(start, end)) {
+      ids.insert(chunks_->chunk(ci).shard_id);
+    }
+  }
+  return std::vector<int>(ids.begin(), ids.end());
+}
+
+ClusterQueryResult Router::Execute(
+    const query::ExprPtr& expr,
+    const query::ExecutorOptions& exec_options) const {
+  ClusterQueryResult result;
+  const std::vector<int> targets = TargetShards(expr, &result.broadcast);
+  result.nodes_contacted = static_cast<int>(targets.size());
+
+  std::vector<query::ExecutionResult> shard_results(targets.size());
+  if (options_.parallel_fanout && targets.size() > 1) {
+    ThreadPool pool(static_cast<int>(std::min<size_t>(targets.size(), 8)));
+    for (size_t i = 0; i < targets.size(); ++i) {
+      pool.Submit([&, i] {
+        shard_results[i] =
+            (*shards_)[static_cast<size_t>(targets[i])]->RunQuery(
+                expr, exec_options);
+      });
+    }
+    pool.Wait();
+  } else {
+    for (size_t i = 0; i < targets.size(); ++i) {
+      shard_results[i] =
+          (*shards_)[static_cast<size_t>(targets[i])]->RunQuery(
+              expr, exec_options);
+    }
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    ShardQueryReport report;
+    report.shard_id = targets[i];
+    report.stats = shard_results[i].stats;
+    report.millis = shard_results[i].exec_millis;
+    report.winning_index = shard_results[i].winning_index;
+    result.shard_reports.push_back(std::move(report));
+  }
+
+  Stopwatch merge_timer;
+  size_t total_docs = 0;
+  for (const query::ExecutionResult& r : shard_results) {
+    total_docs += r.docs.size();
+  }
+  result.docs.reserve(total_docs);
+  for (query::ExecutionResult& r : shard_results) {
+    for (bson::Document& d : r.docs) result.docs.push_back(std::move(d));
+  }
+  result.merge_millis = merge_timer.ElapsedMillis();
+
+  for (const ShardQueryReport& report : result.shard_reports) {
+    result.max_keys_examined =
+        std::max(result.max_keys_examined, report.stats.keys_examined);
+    result.max_docs_examined =
+        std::max(result.max_docs_examined, report.stats.docs_examined);
+    result.total_keys_examined += report.stats.keys_examined;
+    result.total_docs_examined += report.stats.docs_examined;
+    result.max_shard_millis = std::max(result.max_shard_millis, report.millis);
+    result.sum_shard_millis += report.millis;
+  }
+  result.modeled_millis = result.max_shard_millis +
+                          options_.per_node_overhead_ms *
+                              static_cast<double>(result.nodes_contacted) +
+                          result.merge_millis;
+  return result;
+}
+
+}  // namespace stix::cluster

@@ -1,0 +1,95 @@
+#ifndef STIX_CLUSTER_ROUTER_H_
+#define STIX_CLUSTER_ROUTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/chunk.h"
+#include "cluster/shard.h"
+
+namespace stix::cluster {
+
+/// Router (mongos) behaviour knobs.
+struct RouterOptions {
+  /// Fixed cost charged per contacted shard in the modelled latency
+  /// (connection handling + result batching on the mongos). The paper's
+  /// discussion of small queries hinges on this being small but non-zero;
+  /// it is scaled down with the data so it stays proportionally as minor
+  /// as a LAN round trip is against the paper's 10-1000 ms queries.
+  double per_node_overhead_ms = 0.02;
+
+  /// Execute shard queries concurrently on a thread pool (real mongos
+  /// behaviour). Off by default: the single-machine reproduction measures
+  /// per-shard latency serially and models the fan-out as
+  /// max(shard latencies), which is deterministic and unaffected by host
+  /// core count. Either way the reported metrics are identical except for
+  /// wall-clock measurement noise.
+  bool parallel_fanout = false;
+};
+
+/// Per-shard slice of a scatter/gather execution.
+struct ShardQueryReport {
+  int shard_id = 0;
+  query::ExecStats stats;
+  double millis = 0.0;
+  std::string winning_index;
+};
+
+/// Cluster-level query outcome with the paper's four metrics: execution
+/// time, max keys examined on any node, max docs examined on any node, and
+/// nodes contacted.
+struct ClusterQueryResult {
+  std::vector<bson::Document> docs;
+
+  int nodes_contacted = 0;
+  bool broadcast = false;
+
+  uint64_t max_keys_examined = 0;
+  uint64_t max_docs_examined = 0;
+  uint64_t total_keys_examined = 0;
+  uint64_t total_docs_examined = 0;
+
+  /// Slowest shard (per-shard work is measured one shard at a time, so this
+  /// is the latency a parallel fan-out would see).
+  double max_shard_millis = 0.0;
+  double sum_shard_millis = 0.0;
+  double merge_millis = 0.0;
+  /// max_shard + per-node overhead + merge: the headline execution time.
+  double modeled_millis = 0.0;
+
+  std::vector<ShardQueryReport> shard_reports;
+};
+
+/// The mongos: targets the minimal set of shards whose chunks can hold
+/// matching documents (by intersecting the query's shard-key bounds with
+/// chunk ranges) and falls back to broadcast when the shard key is
+/// unconstrained — the mechanism the paper leans on throughout Section 4.
+class Router {
+ public:
+  Router(const ShardKeyPattern* pattern, const ChunkManager* chunks,
+         const std::vector<std::unique_ptr<Shard>>* shards,
+         RouterOptions options)
+      : pattern_(pattern),
+        chunks_(chunks),
+        shards_(shards),
+        options_(options) {}
+
+  /// Shard ids this query must contact (sorted, unique).
+  std::vector<int> TargetShards(const query::ExprPtr& expr,
+                                bool* broadcast_out = nullptr) const;
+
+  /// Scatter/gather execution with per-shard measurement.
+  ClusterQueryResult Execute(const query::ExprPtr& expr,
+                             const query::ExecutorOptions& exec_options) const;
+
+ private:
+  const ShardKeyPattern* pattern_;
+  const ChunkManager* chunks_;
+  const std::vector<std::unique_ptr<Shard>>* shards_;
+  RouterOptions options_;
+};
+
+}  // namespace stix::cluster
+
+#endif  // STIX_CLUSTER_ROUTER_H_

@@ -1,0 +1,33 @@
+#include "cluster/shard.h"
+
+namespace stix::cluster {
+
+Result<storage::RecordId> Shard::Insert(bson::Document doc) {
+  const storage::RecordId rid = collection_.records().Insert(std::move(doc));
+  const bson::Document* stored = collection_.records().Get(rid);
+  const Status s = catalog_.OnInsert(*stored, rid);
+  if (!s.ok()) {
+    collection_.records().Remove(rid);
+    return s;
+  }
+  return rid;
+}
+
+Status Shard::Remove(storage::RecordId rid) {
+  const bson::Document* doc = collection_.records().Get(rid);
+  if (doc == nullptr) {
+    return Status::NotFound("record " + std::to_string(rid));
+  }
+  const Status s = catalog_.OnRemove(*doc, rid);
+  if (!s.ok()) return s;
+  collection_.records().Remove(rid);
+  return Status::OK();
+}
+
+query::ExecutionResult Shard::RunQuery(
+    const query::ExprPtr& expr, const query::ExecutorOptions& options) const {
+  return query::ExecuteQuery(collection_.records(), catalog_, expr, options,
+                             &plan_cache_);
+}
+
+}  // namespace stix::cluster

@@ -1,0 +1,59 @@
+#ifndef STIX_CLUSTER_SHARD_H_
+#define STIX_CLUSTER_SHARD_H_
+
+#include <string>
+
+#include "index/index_catalog.h"
+#include "query/executor.h"
+#include "query/plan_cache.h"
+#include "storage/collection.h"
+
+namespace stix::cluster {
+
+/// One MongoDB shard server: a shard-local collection plus its index
+/// catalog. Queries run against it through the same executor a standalone
+/// mongod would use; the router fans out and merges.
+class Shard {
+ public:
+  explicit Shard(int id) : id_(id) {}
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  int id() const { return id_; }
+
+  storage::Collection& collection() { return collection_; }
+  const storage::Collection& collection() const { return collection_; }
+  index::IndexCatalog& catalog() { return catalog_; }
+  const index::IndexCatalog& catalog() const { return catalog_; }
+
+  /// Stores a document and maintains every index.
+  Result<storage::RecordId> Insert(bson::Document doc);
+
+  /// Removes a record and its index entries (chunk migration).
+  Status Remove(storage::RecordId rid);
+
+  /// Runs a query locally, returning documents and explain-style stats.
+  /// Plan choices are remembered per query shape in this shard's plan
+  /// cache, as in mongod.
+  query::ExecutionResult RunQuery(const query::ExprPtr& expr,
+                                  const query::ExecutorOptions& options) const;
+
+  uint64_t num_documents() const {
+    return collection_.records().num_records();
+  }
+
+  const query::PlanCache& plan_cache() const { return plan_cache_; }
+
+ private:
+  int id_;
+  storage::Collection collection_;
+  index::IndexCatalog catalog_;
+  // Logically execution-state, not collection-state; mongod's cache is
+  // likewise invisible to readers.
+  mutable query::PlanCache plan_cache_;
+};
+
+}  // namespace stix::cluster
+
+#endif  // STIX_CLUSTER_SHARD_H_

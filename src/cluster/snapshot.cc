@@ -1,0 +1,347 @@
+#include "cluster/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "bson/codec.h"
+#include "common/lz.h"
+
+namespace stix::cluster {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'I', 'X', 'S', 'N', 'P', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kBlockTarget = 256 * 1024;
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void PutU32(uint32_t v, std::ostream* out) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->write(buf, 4);
+}
+
+void PutU64(uint64_t v, std::ostream* out) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->write(buf, 8);
+}
+
+bool GetU32(std::istream* in, uint32_t* v) {
+  char buf[4];
+  if (!in->read(buf, 4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<uint8_t>(buf[i])) << (8 * i);
+  }
+  return true;
+}
+
+bool GetU64(std::istream* in, uint64_t* v) {
+  char buf[8];
+  if (!in->read(buf, 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<uint8_t>(buf[i])) << (8 * i);
+  }
+  return true;
+}
+
+// ---- metadata <-> BSON ----
+
+bson::Document ChunkToDoc(const Chunk& c) {
+  return bson::DocBuilder()
+      .Field("min", c.min)
+      .Field("max", c.max)
+      .Field("shard", static_cast<int32_t>(c.shard_id))
+      .Field("bytes", static_cast<int64_t>(c.bytes))
+      .Field("docs", static_cast<int64_t>(c.docs))
+      .Field("jumbo", c.jumbo)
+      .Build();
+}
+
+Result<Chunk> ChunkFromDoc(const bson::Document& doc) {
+  const bson::Value* min = doc.Get("min");
+  const bson::Value* max = doc.Get("max");
+  const bson::Value* shard = doc.Get("shard");
+  if (min == nullptr || max == nullptr || shard == nullptr) {
+    return Status::Corruption("chunk metadata incomplete");
+  }
+  Chunk c;
+  c.min = min->AsString();
+  c.max = max->AsString();
+  c.shard_id = shard->AsInt32();
+  if (const bson::Value* v = doc.Get("bytes")) {
+    c.bytes = static_cast<uint64_t>(v->AsInt64());
+  }
+  if (const bson::Value* v = doc.Get("docs")) {
+    c.docs = static_cast<uint64_t>(v->AsInt64());
+  }
+  if (const bson::Value* v = doc.Get("jumbo")) c.jumbo = v->AsBool();
+  return c;
+}
+
+bson::Document MetadataDoc(const Cluster& cluster) {
+  bson::Document meta;
+  meta.Append("numShards", bson::Value::Int32(cluster.num_shards()));
+
+  bson::Array key_paths;
+  for (const std::string& p : cluster.shard_key().paths()) {
+    key_paths.push_back(bson::Value::String(p));
+  }
+  meta.Append("shardKeyPaths", bson::Value::MakeArray(std::move(key_paths)));
+  meta.Append("hashed",
+              bson::Value::Bool(cluster.shard_key().strategy() ==
+                                ShardingStrategy::kHashed));
+
+  bson::Array chunks;
+  for (const Chunk& c : cluster.chunks().chunks()) {
+    chunks.push_back(bson::Value::MakeDocument(ChunkToDoc(c)));
+  }
+  meta.Append("chunks", bson::Value::MakeArray(std::move(chunks)));
+
+  bson::Array zones;
+  for (const ZoneRange& z : cluster.zones()) {
+    zones.push_back(bson::Value::MakeDocument(
+        bson::DocBuilder()
+            .Field("min", z.min)
+            .Field("max", z.max)
+            .Field("shard", static_cast<int32_t>(z.shard_id))
+            .Build()));
+  }
+  meta.Append("zones", bson::Value::MakeArray(std::move(zones)));
+
+  // Secondary indexes (shard 0 is authoritative; _id and shard-key indexes
+  // are recreated implicitly on restore).
+  bson::Array indexes;
+  for (const auto& idx : cluster.shards()[0]->catalog().indexes()) {
+    const index::IndexDescriptor& desc = idx->descriptor();
+    if (desc.name() == "_id_" ||
+        desc.name() == cluster.shard_key_index_name()) {
+      continue;
+    }
+    bson::Array fields;
+    for (const index::IndexField& f : desc.fields()) {
+      fields.push_back(bson::Value::MakeDocument(
+          bson::DocBuilder()
+              .Field("path", f.path)
+              .Field("geo", f.kind == index::IndexFieldKind::k2dsphere)
+              .Build()));
+    }
+    indexes.push_back(bson::Value::MakeDocument(
+        bson::DocBuilder()
+            .Field("name", desc.name())
+            .Field("fields", bson::Value::MakeArray(std::move(fields)))
+            .Field("geohashBits", desc.geohash_bits())
+            .Build()));
+  }
+  meta.Append("indexes", bson::Value::MakeArray(std::move(indexes)));
+  return meta;
+}
+
+void WriteBlock(const std::string& raw, std::ostream* out) {
+  const std::string compressed = LzCompress(raw);
+  PutU32(static_cast<uint32_t>(raw.size()), out);
+  PutU32(static_cast<uint32_t>(compressed.size()), out);
+  PutU64(Fnv1a(compressed), out);
+  out->write(compressed.data(),
+             static_cast<std::streamsize>(compressed.size()));
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Cluster& cluster, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot create snapshot file: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  PutU32(kVersion, &out);
+
+  const std::string meta = bson::EncodeBson(MetadataDoc(cluster));
+  PutU32(static_cast<uint32_t>(meta.size()), &out);
+  PutU64(Fnv1a(meta), &out);
+  out.write(meta.data(), static_cast<std::streamsize>(meta.size()));
+
+  for (const auto& shard : cluster.shards()) {
+    PutU32(static_cast<uint32_t>(shard->id()), &out);
+    PutU64(shard->num_documents(), &out);
+    std::string block;
+    block.reserve(kBlockTarget + 4096);
+    shard->collection().records().ForEach(
+        [&](storage::RecordId, const bson::Document& doc) {
+          block += bson::EncodeBson(doc);
+          if (block.size() >= kBlockTarget) {
+            WriteBlock(block, &out);
+            block.clear();
+          }
+        });
+    if (!block.empty()) WriteBlock(block, &out);
+    PutU32(0, &out);  // raw_len 0: end of shard
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("snapshot write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Cluster>> LoadSnapshot(const std::string& path,
+                                              const ClusterOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open snapshot file: " + path);
+  }
+  char magic[8];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a STIX snapshot: " + path);
+  }
+  uint32_t version, meta_len;
+  if (!GetU32(&in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported snapshot version");
+  }
+  if (!GetU32(&in, &meta_len)) return Status::Corruption("truncated header");
+  uint64_t meta_checksum;
+  if (!GetU64(&in, &meta_checksum)) {
+    return Status::Corruption("truncated header");
+  }
+  std::string meta_bytes(meta_len, '\0');
+  if (!in.read(meta_bytes.data(), meta_len)) {
+    return Status::Corruption("truncated metadata");
+  }
+  if (Fnv1a(meta_bytes) != meta_checksum) {
+    return Status::Corruption("snapshot metadata checksum mismatch");
+  }
+  const Result<bson::Document> meta = bson::DecodeBson(meta_bytes);
+  if (!meta.ok()) return meta.status();
+
+  const bson::Value* num_shards = meta->Get("numShards");
+  const bson::Value* key_paths = meta->Get("shardKeyPaths");
+  const bson::Value* hashed = meta->Get("hashed");
+  const bson::Value* chunks_v = meta->Get("chunks");
+  const bson::Value* zones_v = meta->Get("zones");
+  const bson::Value* indexes_v = meta->Get("indexes");
+  if (num_shards == nullptr || key_paths == nullptr || hashed == nullptr ||
+      chunks_v == nullptr || zones_v == nullptr || indexes_v == nullptr) {
+    return Status::Corruption("snapshot metadata incomplete");
+  }
+
+  ClusterOptions restored_options = options;
+  restored_options.num_shards = num_shards->AsInt32();
+
+  std::vector<std::string> paths;
+  for (const bson::Value& p : key_paths->AsArray()) {
+    paths.push_back(p.AsString());
+  }
+  const ShardKeyPattern pattern(std::move(paths),
+                                hashed->AsBool()
+                                    ? ShardingStrategy::kHashed
+                                    : ShardingStrategy::kRange);
+
+  std::vector<Chunk> chunk_table;
+  for (const bson::Value& c : chunks_v->AsArray()) {
+    Result<Chunk> chunk = ChunkFromDoc(c.AsDocument());
+    if (!chunk.ok()) return chunk.status();
+    chunk_table.push_back(std::move(*chunk));
+  }
+  std::vector<ZoneRange> zones;
+  for (const bson::Value& z : zones_v->AsArray()) {
+    const bson::Document& zd = z.AsDocument();
+    zones.push_back(ZoneRange{zd.Get("min")->AsString(),
+                              zd.Get("max")->AsString(),
+                              zd.Get("shard")->AsInt32()});
+  }
+  std::vector<index::IndexDescriptor> secondary;
+  for (const bson::Value& i : indexes_v->AsArray()) {
+    const bson::Document& id = i.AsDocument();
+    std::vector<index::IndexField> fields;
+    for (const bson::Value& f : id.Get("fields")->AsArray()) {
+      const bson::Document& fd = f.AsDocument();
+      fields.push_back(index::IndexField{
+          fd.Get("path")->AsString(),
+          fd.Get("geo")->AsBool() ? index::IndexFieldKind::k2dsphere
+                                  : index::IndexFieldKind::kAscending});
+    }
+    secondary.emplace_back(id.Get("name")->AsString(), std::move(fields),
+                           id.Get("geohashBits")->AsInt32());
+  }
+
+  auto cluster = std::make_unique<Cluster>(restored_options);
+  Status s = cluster->RestoreShardingState(pattern, std::move(chunk_table),
+                                           std::move(zones), secondary);
+  if (!s.ok()) return s;
+
+  // Per-shard document streams.
+  for (int expected = 0; expected < restored_options.num_shards; ++expected) {
+    uint32_t shard_id;
+    uint64_t doc_count;
+    if (!GetU32(&in, &shard_id) || !GetU64(&in, &doc_count)) {
+      return Status::Corruption("truncated shard header");
+    }
+    uint64_t restored = 0;
+    for (;;) {
+      uint32_t raw_len, comp_len;
+      if (!GetU32(&in, &raw_len)) {
+        return Status::Corruption("truncated block header");
+      }
+      if (raw_len == 0) break;
+      uint64_t checksum;
+      if (!GetU32(&in, &comp_len) || !GetU64(&in, &checksum)) {
+        return Status::Corruption("truncated block header");
+      }
+      std::string compressed(comp_len, '\0');
+      if (!in.read(compressed.data(), comp_len)) {
+        return Status::Corruption("truncated block body");
+      }
+      if (Fnv1a(compressed) != checksum) {
+        return Status::Corruption("snapshot block checksum mismatch");
+      }
+      Result<std::string> raw = LzDecompress(compressed);
+      if (!raw.ok()) return raw.status();
+      if (raw->size() != raw_len) {
+        return Status::Corruption("snapshot block length mismatch");
+      }
+      // The block is a concatenation of BSON documents; each carries its
+      // own length prefix.
+      size_t offset = 0;
+      while (offset + 4 <= raw->size()) {
+        const uint32_t doc_len =
+            static_cast<uint32_t>(static_cast<uint8_t>((*raw)[offset])) |
+            static_cast<uint32_t>(static_cast<uint8_t>((*raw)[offset + 1]))
+                << 8 |
+            static_cast<uint32_t>(static_cast<uint8_t>((*raw)[offset + 2]))
+                << 16 |
+            static_cast<uint32_t>(static_cast<uint8_t>((*raw)[offset + 3]))
+                << 24;
+        if (doc_len < 5 || offset + doc_len > raw->size()) {
+          return Status::Corruption("malformed document in snapshot block");
+        }
+        Result<bson::Document> doc = bson::DecodeBson(
+            std::string_view(raw->data() + offset, doc_len));
+        if (!doc.ok()) return doc.status();
+        s = cluster->RestoreDocumentToShard(static_cast<int>(shard_id),
+                                            std::move(*doc));
+        if (!s.ok()) return s;
+        offset += doc_len;
+        ++restored;
+      }
+      if (offset != raw->size()) {
+        return Status::Corruption("trailing bytes in snapshot block");
+      }
+    }
+    if (restored != doc_count) {
+      return Status::Corruption("shard document count mismatch");
+    }
+  }
+  return cluster;
+}
+
+}  // namespace stix::cluster

@@ -1,0 +1,33 @@
+#ifndef STIX_CLUSTER_SNAPSHOT_H_
+#define STIX_CLUSTER_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+
+namespace stix::cluster {
+
+/// Binary snapshot of a whole cluster: shard-key pattern, chunk table,
+/// zones, index declarations and every shard's documents, written as
+/// LZ-compressed, checksummed blocks of BSON. Restoring reproduces the
+/// exact placement (no re-balancing, no re-routing), so a bulk load can be
+/// paid once and reused across runs.
+///
+/// Format (little-endian):
+///   magic "STIXSNP1" | u32 version | u32 meta_len | meta BSON |
+///   per shard: u32 shard_id, u64 doc_count,
+///     blocks: u32 raw_len, u32 comp_len, u64 fnv1a(comp), comp bytes;
+///     a block with raw_len == 0 ends the shard.
+Status SaveSnapshot(const Cluster& cluster, const std::string& path);
+
+/// Rebuilds a cluster from a snapshot. `options` supplies runtime knobs
+/// (seeds, executor/router settings, chunk size for *future* splits); the
+/// shard count, shard key, chunks, zones and index set come from the file.
+/// Fails with Corruption on format/checksum violations.
+Result<std::unique_ptr<Cluster>> LoadSnapshot(const std::string& path,
+                                              const ClusterOptions& options);
+
+}  // namespace stix::cluster
+
+#endif  // STIX_CLUSTER_SNAPSHOT_H_

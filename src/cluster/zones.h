@@ -1,0 +1,39 @@
+#ifndef STIX_CLUSTER_ZONES_H_
+#define STIX_CLUSTER_ZONES_H_
+
+#include <string>
+#include <vector>
+
+#include "bson/value.h"
+#include "cluster/shard.h"
+
+namespace stix::cluster {
+
+/// A zone pins a shard-key range [min, max) to one shard. Ranges may be
+/// prefixes of a compound shard key (the paper zones `hil` on hilbertIndex
+/// only, ignoring date) — KeyString prefix encodings compare correctly
+/// against full keys.
+struct ZoneRange {
+  std::string min;  ///< Inclusive KeyString lower bound.
+  std::string max;  ///< Exclusive KeyString upper bound.
+  int shard_id = 0;
+};
+
+/// Zone of a key, or -1 when no zone covers it. `zones` must be sorted by
+/// min and non-overlapping.
+int ZoneForKey(const std::vector<ZoneRange>& zones, const std::string& key);
+
+/// Validates ordering, non-overlap and coverage of [MinKey, MaxKey).
+bool ZonesCoverWholeSpace(const std::vector<ZoneRange>& zones);
+
+/// MongoDB's $bucketAuto over the values of one field across all shards:
+/// boundaries of `num_buckets` equi-count buckets (deduplicated, so heavy
+/// skew can yield fewer). Returns the n-1 internal boundary values; bucket i
+/// spans [boundary[i-1], boundary[i]).
+std::vector<bson::Value> BucketAutoBoundaries(
+    const std::vector<std::unique_ptr<Shard>>& shards, const std::string& path,
+    int num_buckets);
+
+}  // namespace stix::cluster
+
+#endif  // STIX_CLUSTER_ZONES_H_

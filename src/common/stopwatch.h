@@ -1,0 +1,31 @@
+#ifndef STIX_COMMON_STOPWATCH_H_
+#define STIX_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace stix {
+
+/// Monotonic wall-clock stopwatch used by the query executor and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stix
+
+#endif  // STIX_COMMON_STOPWATCH_H_

@@ -1,0 +1,107 @@
+#include "common/strings.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace stix {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // %.17g always round-trips but is noisy; try increasing precision until the
+  // parse round-trips.
+  for (int prec = 6; prec <= 17; ++prec) {
+    snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string FormatFixed(double v, int decimals) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string WithThousands(int64_t v) {
+  char digits[32];
+  snprintf(digits, sizeof(digits), "%" PRId64, v < 0 ? -v : v);
+  std::string out = v < 0 ? "-" : "";
+  const size_t n = std::char_traits<char>::length(digits);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  snprintf(buf, sizeof(buf), u == 0 ? "%.0f %s" : "%.2f %s", v, units[u]);
+  return buf;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatIsoDate(int64_t millis) {
+  const time_t secs = static_cast<time_t>(millis / 1000);
+  const int ms = static_cast<int>(millis % 1000 < 0 ? millis % 1000 + 1000
+                                                    : millis % 1000);
+  struct tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[40];
+  snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+           tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+           tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, ms);
+  return buf;
+}
+
+bool ParseIsoDate(std::string_view s, int64_t* millis_out) {
+  struct tm tm_utc = {};
+  int ms = 0;
+  // Fixed layout: YYYY-MM-DDTHH:MM:SS[.mmm][Z]
+  if (s.size() < 19) return false;
+  char buf[32];
+  const size_t n = s.size() < sizeof(buf) - 1 ? s.size() : sizeof(buf) - 1;
+  s.copy(buf, n);
+  buf[n] = '\0';
+  int year, mon, day, hour, min, sec;
+  const int matched = sscanf(buf, "%d-%d-%dT%d:%d:%d.%d", &year, &mon, &day,
+                             &hour, &min, &sec, &ms);
+  if (matched < 6) return false;
+  if (matched == 6) ms = 0;
+  tm_utc.tm_year = year - 1900;
+  tm_utc.tm_mon = mon - 1;
+  tm_utc.tm_mday = day;
+  tm_utc.tm_hour = hour;
+  tm_utc.tm_min = min;
+  tm_utc.tm_sec = sec;
+  const time_t secs = timegm(&tm_utc);
+  if (secs == static_cast<time_t>(-1)) return false;
+  *millis_out = static_cast<int64_t>(secs) * 1000 + ms;
+  return true;
+}
+
+}  // namespace stix

@@ -1,0 +1,38 @@
+#ifndef STIX_COMMON_STRINGS_H_
+#define STIX_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stix {
+
+/// Formats a double with enough digits to round-trip but without trailing
+/// noise ("23.72" not "23.719999999999999").
+std::string FormatDouble(double v);
+
+/// Formats with a fixed number of decimals.
+std::string FormatFixed(double v, int decimals);
+
+/// 1234567 -> "1,234,567" (used by benchmark tables).
+std::string WithThousands(int64_t v);
+
+/// Bytes -> human readable ("1.2 MB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Splits on a single character; keeps empty tokens.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Milliseconds since epoch -> "2018-10-01T08:34:40.067Z".
+std::string FormatIsoDate(int64_t millis);
+
+/// Parses "2018-10-01T08:34:40" (optionally with ".mmm" / trailing "Z") to
+/// milliseconds since epoch. Returns false on malformed input.
+bool ParseIsoDate(std::string_view s, int64_t* millis_out);
+
+}  // namespace stix
+
+#endif  // STIX_COMMON_STRINGS_H_

@@ -1,0 +1,46 @@
+#ifndef STIX_COMMON_THREAD_POOL_H_
+#define STIX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace stix {
+
+/// Fixed-size worker pool. Used by the router to fan a query out to shards;
+/// the single-machine reproduction still *measures* per-shard time separately
+/// (see Router), so correctness does not depend on physical parallelism.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks may run in any order.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace stix
+
+#endif  // STIX_COMMON_THREAD_POOL_H_

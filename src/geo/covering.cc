@@ -1,0 +1,89 @@
+#include "geo/covering.h"
+
+#include <algorithm>
+
+namespace stix::geo {
+namespace {
+
+struct DescentState {
+  const Curve2D* curve;
+  const Region* query;
+  size_t max_ranges;
+  std::vector<DRange>* out;
+};
+
+// Emits the d-range of the aligned block with corner (x, y) and side 2^k.
+// The quadtree-block property of both curves guarantees the range is the
+// aligned interval of width 4^k containing any of the block's cells.
+void EmitBlock(const DescentState& s, uint32_t x, uint32_t y, int k) {
+  const uint64_t width = static_cast<uint64_t>(1) << (2 * k);
+  const uint64_t base = s.curve->XyToD(x, y) & ~(width - 1);
+  s.out->push_back(DRange{base, base + width - 1});
+}
+
+void Descend(const DescentState& s, uint32_t x, uint32_t y, int k) {
+  const uint32_t size = static_cast<uint32_t>(1) << k;
+  const Rect block = s.curve->grid().BlockRect(x, y, size);
+  if (!s.query->IntersectsRect(block)) return;
+  if (s.query->ContainsRect(block) || k == 0 ||
+      (s.max_ranges > 0 && s.out->size() >= s.max_ranges)) {
+    EmitBlock(s, x, y, k);
+    return;
+  }
+  const uint32_t half = size / 2;
+  Descend(s, x, y, k - 1);
+  Descend(s, x + half, y, k - 1);
+  Descend(s, x, y + half, k - 1);
+  Descend(s, x + half, y + half, k - 1);
+}
+
+}  // namespace
+
+size_t Covering::NumSingletons() const {
+  size_t n = 0;
+  for (const DRange& r : ranges) {
+    if (r.lo == r.hi) ++n;
+  }
+  return n;
+}
+
+Covering CoverRegion(const Curve2D& curve, const Region& region,
+                     const CoveringOptions& options) {
+  Covering covering;
+  DescentState state{&curve, &region, options.max_ranges, &covering.ranges};
+  Descend(state, 0, 0, curve.order());
+
+  // Sort and merge contiguous/overlapping ranges so consecutive cells become
+  // one interval (the paper's range-vs-$in distinction relies on this).
+  std::sort(covering.ranges.begin(), covering.ranges.end(),
+            [](const DRange& a, const DRange& b) { return a.lo < b.lo; });
+  std::vector<DRange> merged;
+  merged.reserve(covering.ranges.size());
+  for (const DRange& r : covering.ranges) {
+    if (!merged.empty() && r.lo <= merged.back().hi + 1) {
+      merged.back().hi = std::max(merged.back().hi, r.hi);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  covering.ranges = std::move(merged);
+  for (const DRange& r : covering.ranges) {
+    covering.num_cells += r.hi - r.lo + 1;
+  }
+  return covering;
+}
+
+Covering CoverRect(const Curve2D& curve, const Rect& query,
+                   const CoveringOptions& options) {
+  return CoverRegion(curve, RectRegion(query), options);
+}
+
+bool CoveringContains(const Covering& covering, uint64_t d) {
+  const auto it = std::upper_bound(
+      covering.ranges.begin(), covering.ranges.end(), d,
+      [](uint64_t value, const DRange& r) { return value < r.lo; });
+  if (it == covering.ranges.begin()) return false;
+  return d <= std::prev(it)->hi;
+}
+
+}  // namespace stix::geo

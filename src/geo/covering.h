@@ -1,0 +1,62 @@
+#ifndef STIX_GEO_COVERING_H_
+#define STIX_GEO_COVERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/curve.h"
+#include "geo/region.h"
+
+namespace stix::geo {
+
+/// A closed interval [lo, hi] of curve positions.
+struct DRange {
+  uint64_t lo;
+  uint64_t hi;
+
+  friend bool operator==(const DRange& a, const DRange& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// Result of covering a query rectangle with curve ranges: the exact set of
+/// cells whose extent intersects the rectangle, compressed into maximal
+/// contiguous 1D ranges — the paper's "$or of $gte/$lte ranges plus $in of
+/// individual cells" (Section 4.2.2).
+struct Covering {
+  std::vector<DRange> ranges;  ///< Sorted, disjoint, non-adjacent.
+  uint64_t num_cells = 0;      ///< Total cells covered (sum of range widths).
+
+  /// Ranges of width one — the paper sends these through $in, wider ones
+  /// through $gte/$lte pairs.
+  size_t NumSingletons() const;
+};
+
+/// Covering options.
+struct CoveringOptions {
+  /// If > 0, stop refining once this many ranges exist; remaining frontier
+  /// blocks are emitted whole. More ranges = tighter covering = fewer false
+  /// positives but a bigger $or. 0 = exact covering.
+  size_t max_ranges = 0;
+};
+
+/// Computes the covering of `query` under `curve` by quadtree descent:
+/// blocks disjoint from the query are pruned, fully contained blocks emit
+/// their whole (contiguous, aligned) d-range, partial blocks recurse. Cost
+/// is O(perimeter cells * order), never proportional to the query area —
+/// this is the "Hilbert algorithm" whose runtime Table 8 reports.
+Covering CoverRect(const Curve2D& curve, const Rect& query,
+                   const CoveringOptions& options = {});
+
+/// Same descent over an arbitrary region (polygon support — the paper's
+/// complex-geometry future-work item).
+Covering CoverRegion(const Curve2D& curve, const Region& region,
+                     const CoveringOptions& options = {});
+
+/// True iff `d` falls inside one of the covering's ranges (binary search);
+/// used by tests and the curve-ablation bench.
+bool CoveringContains(const Covering& covering, uint64_t d);
+
+}  // namespace stix::geo
+
+#endif  // STIX_GEO_COVERING_H_

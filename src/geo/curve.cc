@@ -1,0 +1,39 @@
+#include "geo/curve.h"
+
+#include <cassert>
+
+namespace stix::geo {
+
+GridMapping::GridMapping(int order, const Rect& domain)
+    : order_(order), domain_(domain) {
+  assert(order >= 1 && order <= 16 && "curve order must be in [1, 16]");
+  cell_w_ = domain_.width() / static_cast<double>(grid_size());
+  cell_h_ = domain_.height() / static_cast<double>(grid_size());
+}
+
+uint32_t GridMapping::LonToX(double lon) const {
+  const double t = (lon - domain_.lo.lon) / cell_w_;
+  if (t <= 0.0) return 0;
+  const uint32_t max = grid_size() - 1;
+  const uint32_t x = static_cast<uint32_t>(t);
+  return x > max ? max : x;
+}
+
+uint32_t GridMapping::LatToY(double lat) const {
+  const double t = (lat - domain_.lo.lat) / cell_h_;
+  if (t <= 0.0) return 0;
+  const uint32_t max = grid_size() - 1;
+  const uint32_t y = static_cast<uint32_t>(t);
+  return y > max ? max : y;
+}
+
+Rect GridMapping::BlockRect(uint32_t x, uint32_t y, uint32_t size) const {
+  Rect r;
+  r.lo.lon = domain_.lo.lon + cell_w_ * static_cast<double>(x);
+  r.lo.lat = domain_.lo.lat + cell_h_ * static_cast<double>(y);
+  r.hi.lon = r.lo.lon + cell_w_ * static_cast<double>(size);
+  r.hi.lat = r.lo.lat + cell_h_ * static_cast<double>(size);
+  return r;
+}
+
+}  // namespace stix::geo

@@ -1,0 +1,71 @@
+#ifndef STIX_GEO_CURVE_H_
+#define STIX_GEO_CURVE_H_
+
+#include <cstdint>
+
+#include "geo/geo.h"
+
+namespace stix::geo {
+
+/// Maps geographic coordinates onto a 2^order x 2^order integer grid over a
+/// domain rectangle. Both curves (Hilbert, Z-order) and the GeoHash cells
+/// share this mapping, so `hil` vs `hil*` differ only in the domain passed
+/// here (globe vs dataset MBR) — exactly the paper's setup.
+class GridMapping {
+ public:
+  GridMapping(int order, const Rect& domain);
+
+  int order() const { return order_; }
+  uint32_t grid_size() const { return static_cast<uint32_t>(1) << order_; }
+  const Rect& domain() const { return domain_; }
+
+  /// Longitude -> column, clamped into the grid.
+  uint32_t LonToX(double lon) const;
+  /// Latitude -> row, clamped into the grid.
+  uint32_t LatToY(double lat) const;
+
+  /// Geographic extent of the aligned block with corner cell (x, y) spanning
+  /// `size` cells per side.
+  Rect BlockRect(uint32_t x, uint32_t y, uint32_t size) const;
+
+ private:
+  int order_;
+  Rect domain_;
+  double cell_w_;
+  double cell_h_;
+};
+
+/// A 2D space-filling curve over a grid: a bijection between cells (x, y)
+/// and positions d in [0, 4^order). Implementations must satisfy the
+/// quadtree-block property: every aligned 2^k x 2^k block occupies a
+/// contiguous, 4^k-aligned range of d values — this is what makes covering
+/// a query rectangle with 1D ranges cheap (see covering.h).
+class Curve2D {
+ public:
+  Curve2D(int order, const Rect& domain) : grid_(order, domain) {}
+  virtual ~Curve2D() = default;
+
+  virtual uint64_t XyToD(uint32_t x, uint32_t y) const = 0;
+  virtual void DToXy(uint64_t d, uint32_t* x, uint32_t* y) const = 0;
+
+  /// Human-readable curve name for benchmark tables ("hilbert", "zorder").
+  virtual const char* name() const = 0;
+
+  const GridMapping& grid() const { return grid_; }
+  int order() const { return grid_.order(); }
+  uint64_t num_cells() const {
+    return static_cast<uint64_t>(1) << (2 * grid_.order());
+  }
+
+  /// 1D position of the cell containing a geographic point.
+  uint64_t PointToD(double lon, double lat) const {
+    return XyToD(grid_.LonToX(lon), grid_.LatToY(lat));
+  }
+
+ private:
+  GridMapping grid_;
+};
+
+}  // namespace stix::geo
+
+#endif  // STIX_GEO_CURVE_H_

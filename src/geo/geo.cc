@@ -1,0 +1,47 @@
+#include "geo/geo.h"
+
+namespace stix::geo {
+
+namespace {
+constexpr double kEarthRadiusM = 6371008.8;
+}  // namespace
+
+double HaversineMeters(Point a, Point b) {
+  constexpr double kDegToRad = M_PI / 180.0;
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+Rect RectAroundPoint(Point center, double radius_m) {
+  constexpr double kMetersPerDegLat = 111320.0;
+  const double dlat = radius_m / kMetersPerDegLat;
+  const double cos_lat =
+      std::max(0.01, std::cos(center.lat * M_PI / 180.0));
+  const double dlon = radius_m / (kMetersPerDegLat * cos_lat);
+  Rect r;
+  r.lo.lon = std::max(-180.0, center.lon - dlon);
+  r.hi.lon = std::min(180.0, center.lon + dlon);
+  r.lo.lat = std::max(-90.0, center.lat - dlat);
+  r.hi.lat = std::min(90.0, center.lat + dlat);
+  return r;
+}
+
+double RectAreaKm2(const Rect& r) {
+  constexpr double kEarthRadiusKm = 6371.0088;
+  constexpr double kDegToRad = M_PI / 180.0;
+  const double lat1 = r.lo.lat * kDegToRad;
+  const double lat2 = r.hi.lat * kDegToRad;
+  const double dlon = (r.hi.lon - r.lo.lon) * kDegToRad;
+  if (dlon <= 0 || lat2 <= lat1) return 0.0;
+  // Spherical zone area between two latitudes, scaled by the lon fraction.
+  return kEarthRadiusKm * kEarthRadiusKm * dlon *
+         (std::sin(lat2) - std::sin(lat1));
+}
+
+}  // namespace stix::geo

@@ -1,0 +1,63 @@
+#ifndef STIX_GEO_GEO_H_
+#define STIX_GEO_GEO_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace stix::geo {
+
+/// A longitude/latitude position in degrees (WGS84 axis order lon, lat —
+/// GeoJSON order).
+struct Point {
+  double lon = 0.0;
+  double lat = 0.0;
+};
+
+/// An axis-aligned lon/lat rectangle, closed on all sides. This is the query
+/// shape of the paper ($geoWithin with a box) and the cell shape of grids.
+struct Rect {
+  Point lo;  ///< South-west corner (min lon, min lat).
+  Point hi;  ///< North-east corner (max lon, max lat).
+
+  bool Contains(Point p) const {
+    return p.lon >= lo.lon && p.lon <= hi.lon && p.lat >= lo.lat &&
+           p.lat <= hi.lat;
+  }
+
+  bool ContainsRect(const Rect& r) const {
+    return r.lo.lon >= lo.lon && r.hi.lon <= hi.lon && r.lo.lat >= lo.lat &&
+           r.hi.lat <= hi.lat;
+  }
+
+  bool Intersects(const Rect& r) const {
+    return !(r.hi.lon < lo.lon || r.lo.lon > hi.lon || r.hi.lat < lo.lat ||
+             r.lo.lat > hi.lat);
+  }
+
+  double width() const { return hi.lon - lo.lon; }
+  double height() const { return hi.lat - lo.lat; }
+
+  /// Degenerate-safe area in square degrees.
+  double AreaDeg2() const {
+    return std::max(0.0, width()) * std::max(0.0, height());
+  }
+};
+
+/// The whole-globe domain used by MongoDB's 2dsphere hashes and by the
+/// paper's `hil` approach.
+inline Rect GlobeRect() { return Rect{{-180.0, -90.0}, {180.0, 90.0}}; }
+
+/// Approximate area of a lon/lat rectangle in km^2 (spherical earth). Used
+/// only for reporting, mirroring the paper's "covers 526 km^2" statements.
+double RectAreaKm2(const Rect& r);
+
+/// Great-circle distance between two points in meters (haversine).
+double HaversineMeters(Point a, Point b);
+
+/// Axis-aligned rectangle of half-width `radius_m` meters around a center
+/// (degrees converted at the center's latitude; clamped to valid lon/lat).
+Rect RectAroundPoint(Point center, double radius_m);
+
+}  // namespace stix::geo
+
+#endif  // STIX_GEO_GEO_H_

@@ -1,0 +1,107 @@
+#include "geo/geohash.h"
+
+#include <cassert>
+
+namespace stix::geo {
+namespace {
+
+constexpr char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int Base32Index(char c) {
+  for (int i = 0; i < 32; ++i) {
+    if (kBase32[i] == c) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+GeoHash::GeoHash(int total_bits)
+    : total_bits_(total_bits), curve_(total_bits / 2, GlobeRect()) {
+  assert(total_bits >= 2 && total_bits <= 32 && total_bits % 2 == 0 &&
+         "geohash bits must be even and in [2, 32]");
+}
+
+uint64_t GeoHash::Encode(double lon, double lat) const {
+  return curve_.PointToD(lon, lat);
+}
+
+Rect GeoHash::CellRect(uint64_t hash) const {
+  uint32_t x, y;
+  curve_.DToXy(hash, &x, &y);
+  return curve_.grid().BlockRect(x, y, 1);
+}
+
+std::string GeoHashBase32(double lon, double lat, int precision) {
+  // Classic geohash: alternate interval-halving bits starting with longitude,
+  // packed 5 bits per base32 character.
+  double lon_lo = -180.0, lon_hi = 180.0;
+  double lat_lo = -90.0, lat_hi = 90.0;
+  std::string out;
+  out.reserve(precision);
+  int bit = 0;
+  int current = 0;
+  bool even = true;  // even bit -> longitude
+  while (static_cast<int>(out.size()) < precision) {
+    if (even) {
+      const double mid = (lon_lo + lon_hi) / 2;
+      if (lon >= mid) {
+        current = (current << 1) | 1;
+        lon_lo = mid;
+      } else {
+        current <<= 1;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2;
+      if (lat >= mid) {
+        current = (current << 1) | 1;
+        lat_lo = mid;
+      } else {
+        current <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even = !even;
+    if (++bit == 5) {
+      out += kBase32[current];
+      bit = 0;
+      current = 0;
+    }
+  }
+  return out;
+}
+
+bool GeoHashBase32Decode(const std::string& hash, double* lon, double* lat) {
+  double lon_lo = -180.0, lon_hi = 180.0;
+  double lat_lo = -90.0, lat_hi = 90.0;
+  bool even = true;
+  for (char c : hash) {
+    const int idx = Base32Index(c);
+    if (idx < 0) return false;
+    for (int bit = 4; bit >= 0; --bit) {
+      const int b = (idx >> bit) & 1;
+      if (even) {
+        const double mid = (lon_lo + lon_hi) / 2;
+        if (b) {
+          lon_lo = mid;
+        } else {
+          lon_hi = mid;
+        }
+      } else {
+        const double mid = (lat_lo + lat_hi) / 2;
+        if (b) {
+          lat_lo = mid;
+        } else {
+          lat_hi = mid;
+        }
+      }
+      even = !even;
+    }
+  }
+  *lon = (lon_lo + lon_hi) / 2;
+  *lat = (lat_lo + lat_hi) / 2;
+  return true;
+}
+
+}  // namespace stix::geo

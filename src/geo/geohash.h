@@ -1,0 +1,52 @@
+#ifndef STIX_GEO_GEOHASH_H_
+#define STIX_GEO_GEOHASH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/geo.h"
+#include "geo/zorder.h"
+
+namespace stix::geo {
+
+/// GeoHash — MongoDB's spatial hashing scheme: Z-order bit interleaving over
+/// the whole globe. MongoDB's 2dsphere B-tree stores 26-bit hashes by
+/// default (13 bits per dimension); the classic public GeoHash is the same
+/// bits rendered in base32.
+class GeoHash {
+ public:
+  /// Total bits must be even and in [2, 32]; MongoDB's default is 26.
+  static constexpr int kDefaultBits = 26;
+
+  explicit GeoHash(int total_bits = kDefaultBits);
+
+  int total_bits() const { return total_bits_; }
+  int bits_per_dim() const { return total_bits_ / 2; }
+
+  /// Hash of the cell containing (lon, lat): the top `total_bits` of the
+  /// interleaved Z-order value.
+  uint64_t Encode(double lon, double lat) const;
+
+  /// Geographic extent of a cell hash.
+  Rect CellRect(uint64_t hash) const;
+
+  /// Underlying curve (used by coverings of $geoWithin predicates).
+  const ZOrderCurve& curve() const { return curve_; }
+
+ private:
+  int total_bits_;
+  ZOrderCurve curve_;
+};
+
+/// Classic base32 GeoHash string of a point ("swbb5ftzes" for Athens at
+/// precision 10), provided for interoperability and the curves_demo example.
+/// `precision` counts base32 characters (5 bits each).
+std::string GeoHashBase32(double lon, double lat, int precision);
+
+/// Inverse of GeoHashBase32: center of the cell the string addresses.
+/// Returns false on invalid characters.
+bool GeoHashBase32Decode(const std::string& hash, double* lon, double* lat);
+
+}  // namespace stix::geo
+
+#endif  // STIX_GEO_GEOHASH_H_

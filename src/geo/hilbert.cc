@@ -1,0 +1,49 @@
+#include "geo/hilbert.h"
+
+namespace stix::geo {
+namespace {
+
+// Rotates/flips a quadrant so the curve orientation is correct (classic
+// iterative Hilbert transform).
+void Rotate(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    const uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertCurve::XyToD(uint32_t x, uint32_t y) const {
+  const uint32_t n = grid().grid_size();
+  uint64_t d = 0;
+  for (uint32_t s = n / 2; s > 0; s /= 2) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rotate(n, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertCurve::DToXy(uint64_t d, uint32_t* x, uint32_t* y) const {
+  const uint32_t n = grid().grid_size();
+  uint32_t rx, ry;
+  uint64_t t = d;
+  *x = *y = 0;
+  for (uint32_t s = 1; s < n; s *= 2) {
+    rx = 1 & static_cast<uint32_t>(t / 2);
+    ry = 1 & static_cast<uint32_t>(t ^ rx);
+    Rotate(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+}  // namespace stix::geo

@@ -1,0 +1,144 @@
+#include "geo/region.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stix::geo {
+namespace {
+
+double Cross(Point o, Point a, Point b) {
+  return (a.lon - o.lon) * (b.lat - o.lat) -
+         (a.lat - o.lat) * (b.lon - o.lon);
+}
+
+bool OnSegment(Point p, Point a, Point b) {
+  if (Cross(a, b, p) != 0.0) return false;
+  return p.lon >= std::min(a.lon, b.lon) && p.lon <= std::max(a.lon, b.lon) &&
+         p.lat >= std::min(a.lat, b.lat) && p.lat <= std::max(a.lat, b.lat);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(Point a1, Point a2, Point b1, Point b2) {
+  const double d1 = Cross(b1, b2, a1);
+  const double d2 = Cross(b1, b2, a2);
+  const double d3 = Cross(a1, a2, b1);
+  const double d4 = Cross(a1, a2, b2);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  return (d1 == 0 && OnSegment(a1, b1, b2)) ||
+         (d2 == 0 && OnSegment(a2, b1, b2)) ||
+         (d3 == 0 && OnSegment(b1, a1, a2)) ||
+         (d4 == 0 && OnSegment(b2, a1, a2));
+}
+
+bool SegmentIntersectsRect(Point a, Point b, const Rect& r) {
+  if (r.Contains(a) || r.Contains(b)) return true;
+  const Point corners[4] = {
+      {r.lo.lon, r.lo.lat}, {r.hi.lon, r.lo.lat},
+      {r.hi.lon, r.hi.lat}, {r.lo.lon, r.hi.lat}};
+  for (int e = 0; e < 4; ++e) {
+    if (SegmentsIntersect(a, b, corners[e], corners[(e + 1) % 4])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PolylineRegion::PolylineRegion(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  assert(vertices_.size() >= 2 && "a polyline needs at least two vertices");
+  bbox_.lo = bbox_.hi = vertices_.front();
+  for (const Point& v : vertices_) {
+    bbox_.lo.lon = std::min(bbox_.lo.lon, v.lon);
+    bbox_.lo.lat = std::min(bbox_.lo.lat, v.lat);
+    bbox_.hi.lon = std::max(bbox_.hi.lon, v.lon);
+    bbox_.hi.lat = std::max(bbox_.hi.lat, v.lat);
+  }
+}
+
+bool PolylineRegion::IntersectsRect(const Rect& r) const {
+  if (!bbox_.Intersects(r)) return false;
+  for (size_t i = 0; i + 1 < vertices_.size(); ++i) {
+    if (SegmentIntersectsRect(vertices_[i], vertices_[i + 1], r)) return true;
+  }
+  return false;
+}
+
+Polygon::Polygon(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  assert(vertices_.size() >= 3 && "a polygon needs at least three vertices");
+  bbox_.lo = bbox_.hi = vertices_.front();
+  for (const Point& v : vertices_) {
+    bbox_.lo.lon = std::min(bbox_.lo.lon, v.lon);
+    bbox_.lo.lat = std::min(bbox_.lo.lat, v.lat);
+    bbox_.hi.lon = std::max(bbox_.hi.lon, v.lon);
+    bbox_.hi.lat = std::max(bbox_.hi.lat, v.lat);
+  }
+}
+
+bool Polygon::Contains(Point p) const {
+  if (!bbox_.Contains(p)) return false;
+  bool inside = false;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    if (OnSegment(p, a, b)) return true;  // boundary counts as inside
+    const bool crosses =
+        (a.lat > p.lat) != (b.lat > p.lat) &&
+        p.lon < (b.lon - a.lon) * (p.lat - a.lat) / (b.lat - a.lat) + a.lon;
+    if (crosses) inside = !inside;
+  }
+  return inside;
+}
+
+bool Polygon::ContainsRect(const Rect& r) const {
+  // All four corners inside and no polygon edge cutting through any rect
+  // edge: for a simple polygon that is exact containment.
+  const Point corners[4] = {
+      {r.lo.lon, r.lo.lat}, {r.hi.lon, r.lo.lat},
+      {r.hi.lon, r.hi.lat}, {r.lo.lon, r.hi.lat}};
+  for (const Point& c : corners) {
+    if (!Contains(c)) return false;
+  }
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    for (int e = 0; e < 4; ++e) {
+      if (SegmentsIntersect(vertices_[i], vertices_[j], corners[e],
+                            corners[(e + 1) % 4])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Polygon::IntersectsRect(const Rect& r) const {
+  if (!bbox_.Intersects(r)) return false;
+  // A corner of the rect inside the polygon, a vertex of the polygon inside
+  // the rect, or crossing edges.
+  const Point corners[4] = {
+      {r.lo.lon, r.lo.lat}, {r.hi.lon, r.lo.lat},
+      {r.hi.lon, r.hi.lat}, {r.lo.lon, r.hi.lat}};
+  for (const Point& c : corners) {
+    if (Contains(c)) return true;
+  }
+  for (const Point& v : vertices_) {
+    if (r.Contains(v)) return true;
+  }
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    for (int e = 0; e < 4; ++e) {
+      if (SegmentsIntersect(vertices_[i], vertices_[j], corners[e],
+                            corners[(e + 1) % 4])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace stix::geo

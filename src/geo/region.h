@@ -1,0 +1,95 @@
+#ifndef STIX_GEO_REGION_H_
+#define STIX_GEO_REGION_H_
+
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace stix::geo {
+
+/// A 2D query region, as the covering algorithm sees it: it only ever asks
+/// how the region relates to grid-aligned rectangles. Rectangles and
+/// polygons implement this; the paper's queries are rectangles, polygon
+/// support is its "more complex data types" future-work item.
+class Region {
+ public:
+  virtual ~Region() = default;
+
+  /// True iff the region fully contains the rectangle.
+  virtual bool ContainsRect(const Rect& r) const = 0;
+
+  /// True iff the region and the rectangle share at least a boundary point.
+  /// May err on the side of true (a false positive only costs extra cells).
+  virtual bool IntersectsRect(const Rect& r) const = 0;
+
+  /// Bounding box (prunes the covering descent early).
+  virtual Rect BoundingBox() const = 0;
+};
+
+/// Rectangle region (the paper's $geoWithin $box).
+class RectRegion : public Region {
+ public:
+  explicit RectRegion(const Rect& rect) : rect_(rect) {}
+
+  bool ContainsRect(const Rect& r) const override {
+    return rect_.ContainsRect(r);
+  }
+  bool IntersectsRect(const Rect& r) const override {
+    return rect_.Intersects(r);
+  }
+  Rect BoundingBox() const override { return rect_; }
+
+ private:
+  Rect rect_;
+};
+
+/// A simple (non-self-intersecting) polygon with vertices in lon/lat,
+/// closed implicitly (last vertex connects back to the first). Point
+/// membership uses ray casting; boundary points count as inside.
+class Polygon : public Region {
+ public:
+  /// At least three vertices. Winding order does not matter.
+  explicit Polygon(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+
+  /// Point-in-polygon (ray casting, boundary-inclusive).
+  bool Contains(Point p) const;
+
+  bool ContainsRect(const Rect& r) const override;
+  bool IntersectsRect(const Rect& r) const override;
+  Rect BoundingBox() const override { return bbox_; }
+
+ private:
+  std::vector<Point> vertices_;
+  Rect bbox_;
+};
+
+/// True iff segments (a1,a2) and (b1,b2) intersect (touching counts).
+bool SegmentsIntersect(Point a1, Point a2, Point b1, Point b2);
+
+/// True iff the segment (a, b) intersects the rectangle (touching counts).
+bool SegmentIntersectsRect(Point a, Point b, const Rect& r);
+
+/// A polyline (GeoJSON LineString): a chain of >= 2 vertices. As a Region
+/// it never *contains* area, so coverings descend to the leaf cells the
+/// line passes through — exactly the cell set a multikey 2dsphere index
+/// stores for it.
+class PolylineRegion : public Region {
+ public:
+  explicit PolylineRegion(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+
+  bool ContainsRect(const Rect&) const override { return false; }
+  bool IntersectsRect(const Rect& r) const override;
+  Rect BoundingBox() const override { return bbox_; }
+
+ private:
+  std::vector<Point> vertices_;
+  Rect bbox_;
+};
+
+}  // namespace stix::geo
+
+#endif  // STIX_GEO_REGION_H_

@@ -1,0 +1,23 @@
+#ifndef STIX_GEO_ZORDER_H_
+#define STIX_GEO_ZORDER_H_
+
+#include "geo/curve.h"
+
+namespace stix::geo {
+
+/// The Z-order (Morton) curve: plain bit interleaving with the longitude bit
+/// first, which is exactly the bit layout of GeoHash. Kept behind the same
+/// Curve2D interface as Hilbert so the ablation bench can compare covering
+/// quality of the two 1D mappings head to head.
+class ZOrderCurve : public Curve2D {
+ public:
+  ZOrderCurve(int order, const Rect& domain) : Curve2D(order, domain) {}
+
+  uint64_t XyToD(uint32_t x, uint32_t y) const override;
+  void DToXy(uint64_t d, uint32_t* x, uint32_t* y) const override;
+  const char* name() const override { return "zorder"; }
+};
+
+}  // namespace stix::geo
+
+#endif  // STIX_GEO_ZORDER_H_

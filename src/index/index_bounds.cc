@@ -1,0 +1,65 @@
+#include "index/index_bounds.h"
+
+#include <algorithm>
+
+#include "bson/json_writer.h"
+
+namespace stix::index {
+
+void FieldBounds::Normalize() {
+  if (intervals.empty()) return;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const ValueInterval& a, const ValueInterval& b) {
+              return Compare(a.lo, b.lo) < 0;
+            });
+  std::vector<ValueInterval> merged;
+  merged.reserve(intervals.size());
+  for (ValueInterval& iv : intervals) {
+    if (!merged.empty() && Compare(iv.lo, merged.back().hi) <= 0) {
+      if (Compare(iv.hi, merged.back().hi) > 0) {
+        merged.back().hi = std::move(iv.hi);
+      }
+    } else {
+      merged.push_back(std::move(iv));
+    }
+  }
+  intervals = std::move(merged);
+}
+
+std::string IndexBounds::DebugString() const {
+  std::string out = "[";
+  bool first_field = true;
+  for (const FieldBounds& fb : fields) {
+    if (!first_field) out += "; ";
+    first_field = false;
+    if (fb.full_range) {
+      out += "(all)";
+      continue;
+    }
+    out += std::to_string(fb.intervals.size());
+    out += " ivals";
+  }
+  out += "]";
+  return out;
+}
+
+BoundsCheck CheckBounds(const FieldBounds& bounds, const bson::Value& v) {
+  if (bounds.full_range) {
+    return BoundsCheck{BoundsCheck::Kind::kInBounds, nullptr};
+  }
+  // First interval with hi >= v.
+  const auto it = std::lower_bound(
+      bounds.intervals.begin(), bounds.intervals.end(), v,
+      [](const ValueInterval& iv, const bson::Value& probe) {
+        return Compare(iv.hi, probe) < 0;
+      });
+  if (it == bounds.intervals.end()) {
+    return BoundsCheck{BoundsCheck::Kind::kExhausted, nullptr};
+  }
+  if (Compare(it->lo, v) <= 0) {
+    return BoundsCheck{BoundsCheck::Kind::kInBounds, nullptr};
+  }
+  return BoundsCheck{BoundsCheck::Kind::kSeekAhead, &it->lo};
+}
+
+}  // namespace stix::index

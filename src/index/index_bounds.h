@@ -1,0 +1,54 @@
+#ifndef STIX_INDEX_INDEX_BOUNDS_H_
+#define STIX_INDEX_INDEX_BOUNDS_H_
+
+#include <string>
+#include <vector>
+
+#include "bson/value.h"
+
+namespace stix::index {
+
+/// Closed interval of BSON values [lo, hi] (all the paper's predicates —
+/// $gte/$lte pairs, $in points, covering ranges — are closed).
+struct ValueInterval {
+  bson::Value lo;
+  bson::Value hi;
+
+  bool IsPoint() const { return Compare(lo, hi) == 0; }
+};
+
+/// The OR-set of intervals constraining one index field. An unconstrained
+/// field has full_range == true (scan everything for this position).
+struct FieldBounds {
+  std::vector<ValueInterval> intervals;  ///< Sorted by lo, disjoint.
+  bool full_range = false;
+
+  /// Sorts and merges overlapping/adjacent-equal intervals in place.
+  void Normalize();
+};
+
+/// Per-field bounds for a (possibly compound) index scan, in index field
+/// order — the shape MongoDB explain prints as indexBounds.
+struct IndexBounds {
+  std::vector<FieldBounds> fields;
+
+  std::string DebugString() const;
+};
+
+/// Outcome of checking one value against one field's bounds.
+struct BoundsCheck {
+  enum class Kind {
+    kInBounds,   ///< Value inside some interval.
+    kSeekAhead,  ///< Value in a gap; `seek_to` is the next interval's lo.
+    kExhausted,  ///< Value above every interval.
+  };
+  Kind kind;
+  const bson::Value* seek_to = nullptr;
+};
+
+/// Binary-searches `bounds` (full_range always in-bounds).
+BoundsCheck CheckBounds(const FieldBounds& bounds, const bson::Value& v);
+
+}  // namespace stix::index
+
+#endif  // STIX_INDEX_INDEX_BOUNDS_H_

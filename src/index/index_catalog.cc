@@ -1,0 +1,60 @@
+#include "index/index_catalog.h"
+
+namespace stix::index {
+
+Status IndexCatalog::CreateIndex(IndexDescriptor descriptor) {
+  if (Get(descriptor.name()) != nullptr) {
+    return Status::AlreadyExists("index '" + descriptor.name() + "' exists");
+  }
+  indexes_.push_back(std::make_unique<Index>(std::move(descriptor)));
+  return Status::OK();
+}
+
+Index* IndexCatalog::Get(const std::string& name) {
+  for (auto& idx : indexes_) {
+    if (idx->descriptor().name() == name) return idx.get();
+  }
+  return nullptr;
+}
+
+const Index* IndexCatalog::Get(const std::string& name) const {
+  for (const auto& idx : indexes_) {
+    if (idx->descriptor().name() == name) return idx.get();
+  }
+  return nullptr;
+}
+
+Status IndexCatalog::OnInsert(const bson::Document& doc,
+                              storage::RecordId rid) {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    const Status s = indexes_[i]->InsertDocument(doc, rid);
+    if (!s.ok()) {
+      // Roll back the entries already written so the catalog stays
+      // consistent with the record store.
+      for (size_t j = 0; j < i; ++j) {
+        indexes_[j]->RemoveDocument(doc, rid);
+      }
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status IndexCatalog::OnRemove(const bson::Document& doc,
+                              storage::RecordId rid) {
+  for (auto& idx : indexes_) {
+    const Status s = idx->RemoveDocument(doc, rid);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+uint64_t IndexCatalog::TotalSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& idx : indexes_) {
+    total += idx->btree().SizeWithPrefixCompression();
+  }
+  return total;
+}
+
+}  // namespace stix::index

@@ -1,0 +1,45 @@
+#ifndef STIX_INDEX_INDEX_CATALOG_H_
+#define STIX_INDEX_INDEX_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+
+namespace stix::index {
+
+/// The set of indexes on one shard-local collection. Keeps every index in
+/// sync on document insert/remove, like MongoDB's index catalog.
+class IndexCatalog {
+ public:
+  IndexCatalog() = default;
+
+  IndexCatalog(const IndexCatalog&) = delete;
+  IndexCatalog& operator=(const IndexCatalog&) = delete;
+
+  /// Creates an empty index. Fails with AlreadyExists on a duplicate name.
+  Status CreateIndex(IndexDescriptor descriptor);
+
+  /// Returns the index by name, or nullptr.
+  Index* Get(const std::string& name);
+  const Index* Get(const std::string& name) const;
+
+  Status OnInsert(const bson::Document& doc, storage::RecordId rid);
+  Status OnRemove(const bson::Document& doc, storage::RecordId rid);
+
+  const std::vector<std::unique_ptr<Index>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Total bytes across all indexes with prefix compression — what Fig. 14
+  /// charts per approach.
+  uint64_t TotalSizeBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace stix::index
+
+#endif  // STIX_INDEX_INDEX_CATALOG_H_

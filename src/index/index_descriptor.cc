@@ -1,0 +1,27 @@
+#include "index/index_descriptor.h"
+
+namespace stix::index {
+
+int IndexDescriptor::FirstGeoField() const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].kind == IndexFieldKind::k2dsphere) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string IndexDescriptor::KeyPatternString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const IndexField& f : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += f.path;
+    out += f.kind == IndexFieldKind::k2dsphere ? ": '2dsphere'" : ": 1";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace stix::index

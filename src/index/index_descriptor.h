@@ -1,0 +1,54 @@
+#ifndef STIX_INDEX_INDEX_DESCRIPTOR_H_
+#define STIX_INDEX_INDEX_DESCRIPTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/geohash.h"
+
+namespace stix::index {
+
+/// How one field participates in an index.
+enum class IndexFieldKind {
+  kAscending,  ///< Plain B-tree ordering of the BSON value ({field: 1}).
+  k2dsphere,   ///< GeoHash cell of a GeoJSON point ({field: "2dsphere"}).
+};
+
+struct IndexField {
+  std::string path;  ///< Dotted document path, e.g. "location".
+  IndexFieldKind kind = IndexFieldKind::kAscending;
+};
+
+/// Declaration of a (possibly compound) index, e.g.
+/// {location: "2dsphere", date: 1} or {hilbertIndex: 1, date: 1}.
+class IndexDescriptor {
+ public:
+  IndexDescriptor() = default;
+  IndexDescriptor(std::string name, std::vector<IndexField> fields,
+                  int geohash_bits = geo::GeoHash::kDefaultBits)
+      : name_(std::move(name)),
+        fields_(std::move(fields)),
+        geohash_bits_(geohash_bits) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<IndexField>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+
+  /// Precision of 2dsphere cell hashes (MongoDB default 26, max 32).
+  int geohash_bits() const { return geohash_bits_; }
+
+  /// Index of the first 2dsphere field, or -1 if none.
+  int FirstGeoField() const;
+
+  /// "{location: '2dsphere', date: 1}" for explain output and tables.
+  std::string KeyPatternString() const;
+
+ private:
+  std::string name_;
+  std::vector<IndexField> fields_;
+  int geohash_bits_ = geo::GeoHash::kDefaultBits;
+};
+
+}  // namespace stix::index
+
+#endif  // STIX_INDEX_INDEX_DESCRIPTOR_H_

@@ -1,0 +1,131 @@
+#include "index/key_generator.h"
+
+#include <algorithm>
+
+#include "geo/covering.h"
+#include "geo/region.h"
+#include "keystring/keystring.h"
+
+namespace stix::index {
+
+KeyGenerator::KeyGenerator(const IndexDescriptor& descriptor)
+    : descriptor_(descriptor), geohash_(descriptor.geohash_bits()) {}
+
+Result<std::vector<bson::Value>> KeyGenerator::FieldValues(
+    const bson::Document& doc, size_t field_index) const {
+  const IndexField& field = descriptor_.fields()[field_index];
+  const bson::Value* v = doc.GetPath(field.path);
+
+  switch (field.kind) {
+    case IndexFieldKind::kAscending: {
+      if (v == nullptr) return std::vector<bson::Value>{bson::Value::Null()};
+      if (v->type() == bson::Type::kArray) {
+        // Multikey: one entry per element (MongoDB array indexing).
+        std::vector<bson::Value> values(v->AsArray());
+        if (values.empty()) values.push_back(bson::Value::Null());
+        return values;
+      }
+      return std::vector<bson::Value>{*v};
+    }
+    case IndexFieldKind::k2dsphere: {
+      double lon, lat;
+      if (v != nullptr && bson::ExtractGeoJsonPoint(*v, &lon, &lat)) {
+        return std::vector<bson::Value>{bson::Value::Int64(
+            static_cast<int64_t>(geohash_.Encode(lon, lat)))};
+      }
+      std::vector<std::pair<double, double>> line;
+      if (v != nullptr && bson::ExtractGeoJsonLineString(*v, &line)) {
+        // One cell value per covering cell of the polyline (multikey).
+        std::vector<geo::Point> points;
+        points.reserve(line.size());
+        for (const auto& [plon, plat] : line) {
+          points.push_back(geo::Point{plon, plat});
+        }
+        const geo::Covering covering = geo::CoverRegion(
+            geohash_.curve(), geo::PolylineRegion(std::move(points)));
+        if (covering.num_cells > kMaxKeysPerDocument) {
+          return Status::InvalidArgument(
+              "LineString covers too many cells for indexing (" +
+              std::to_string(covering.num_cells) + ")");
+        }
+        std::vector<bson::Value> cells;
+        cells.reserve(covering.num_cells);
+        for (const geo::DRange& r : covering.ranges) {
+          for (uint64_t d = r.lo; d <= r.hi; ++d) {
+            cells.push_back(bson::Value::Int64(static_cast<int64_t>(d)));
+          }
+        }
+        return cells;
+      }
+      return Status::InvalidArgument(
+          "2dsphere field '" + field.path +
+          "' is neither a GeoJSON Point nor a LineString in document");
+    }
+  }
+  return Status::Internal("unknown index field kind");
+}
+
+Result<std::vector<std::string>> KeyGenerator::MakeKeys(
+    const bson::Document& doc) const {
+  // Cartesian product of per-field value lists.
+  std::vector<std::vector<bson::Value>> per_field;
+  per_field.reserve(descriptor_.num_fields());
+  size_t total = 1;
+  for (size_t i = 0; i < descriptor_.num_fields(); ++i) {
+    Result<std::vector<bson::Value>> values = FieldValues(doc, i);
+    if (!values.ok()) return values.status();
+    total *= values->size();
+    if (total > kMaxKeysPerDocument) {
+      return Status::InvalidArgument(
+          "document produces too many index keys");
+    }
+    per_field.push_back(std::move(*values));
+  }
+
+  std::vector<std::string> keys;
+  keys.reserve(total);
+  std::vector<size_t> cursor(per_field.size(), 0);
+  for (size_t n = 0; n < total; ++n) {
+    keystring::Builder b;
+    for (size_t f = 0; f < per_field.size(); ++f) {
+      b.AppendValue(per_field[f][cursor[f]]);
+    }
+    keys.push_back(std::move(b).Build());
+    // Odometer increment.
+    for (size_t f = per_field.size(); f-- > 0;) {
+      if (++cursor[f] < per_field[f].size()) break;
+      cursor[f] = 0;
+    }
+  }
+  // Deduplicate (an array with repeated values / a line revisiting a cell
+  // must not produce duplicate entries, as in MongoDB).
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+Result<std::string> KeyGenerator::MakeKey(const bson::Document& doc) const {
+  Result<std::vector<std::string>> keys = MakeKeys(doc);
+  if (!keys.ok()) return keys.status();
+  if (keys->size() != 1) {
+    return Status::InvalidArgument("document is multikey for this index");
+  }
+  return std::move(keys->front());
+}
+
+Result<std::vector<bson::Value>> KeyGenerator::MakeKeyValues(
+    const bson::Document& doc) const {
+  std::vector<bson::Value> values;
+  values.reserve(descriptor_.num_fields());
+  for (size_t i = 0; i < descriptor_.num_fields(); ++i) {
+    Result<std::vector<bson::Value>> field_values = FieldValues(doc, i);
+    if (!field_values.ok()) return field_values.status();
+    if (field_values->size() != 1) {
+      return Status::InvalidArgument("document is multikey for this index");
+    }
+    values.push_back(std::move(field_values->front()));
+  }
+  return values;
+}
+
+}  // namespace stix::index

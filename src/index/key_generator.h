@@ -1,0 +1,55 @@
+#ifndef STIX_INDEX_KEY_GENERATOR_H_
+#define STIX_INDEX_KEY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "bson/document.h"
+#include "common/status.h"
+#include "index/index_descriptor.h"
+
+namespace stix::index {
+
+/// Turns documents into index keys for a descriptor:
+///  - ascending fields contribute the document value at the path (Null when
+///    the field is missing, as MongoDB does for sparse-less indexes), or
+///    one key per element when the value is an array (multikey);
+///  - 2dsphere fields contribute the GeoHash cell value (Int64) of a
+///    GeoJSON Point, or one key per covering cell of a GeoJSON LineString
+///    (multikey — how MongoDB indexes complex geometries).
+/// A document's keys are the deduplicated cartesian product of the
+/// per-field value lists, KeyString-encoded in declaration order.
+class KeyGenerator {
+ public:
+  /// Guard against degenerate geometries exploding the index (MongoDB has
+  /// similar per-document limits).
+  static constexpr size_t kMaxKeysPerDocument = 1024;
+
+  explicit KeyGenerator(const IndexDescriptor& descriptor);
+
+  /// All index keys for this document (singleton for scalar point docs).
+  Result<std::vector<std::string>> MakeKeys(const bson::Document& doc) const;
+
+  /// Encoded index key for a document that produces exactly one key; fails
+  /// with InvalidArgument if the document is multikey for this index.
+  Result<std::string> MakeKey(const bson::Document& doc) const;
+
+  /// The per-field BSON values MakeKey would encode (single-key documents;
+  /// used by tests).
+  Result<std::vector<bson::Value>> MakeKeyValues(
+      const bson::Document& doc) const;
+
+  const geo::GeoHash& geohash() const { return geohash_; }
+
+ private:
+  /// The list of values field `i` contributes for this document.
+  Result<std::vector<bson::Value>> FieldValues(const bson::Document& doc,
+                                               size_t field_index) const;
+
+  const IndexDescriptor& descriptor_;
+  geo::GeoHash geohash_;
+};
+
+}  // namespace stix::index
+
+#endif  // STIX_INDEX_KEY_GENERATOR_H_

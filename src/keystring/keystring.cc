@@ -1,0 +1,224 @@
+#include "keystring/keystring.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace stix::keystring {
+namespace {
+
+// Discriminator bytes, spaced out so new types can slot in. Order follows
+// bson::CanonicalTypeRank.
+constexpr uint8_t kMinKeyByte = 0x00;
+constexpr uint8_t kNullByte = 0x10;
+constexpr uint8_t kNumberByte = 0x20;
+constexpr uint8_t kStringByte = 0x30;
+constexpr uint8_t kDocumentByte = 0x38;
+constexpr uint8_t kArrayByte = 0x40;
+constexpr uint8_t kObjectIdByte = 0x50;
+constexpr uint8_t kBoolByte = 0x58;
+constexpr uint8_t kDateTimeByte = 0x60;
+constexpr uint8_t kMaxKeyByte = 0xFF;
+
+void AppendBigEndian64(uint64_t v, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+// Maps a double onto uint64 such that unsigned comparison of the images
+// equals numeric comparison of the sources (IEEE-754 total order trick).
+uint64_t OrderedDoubleBits(double d) {
+  if (d == 0.0) d = 0.0;  // collapse -0.0 onto +0.0 (they compare equal)
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  if (bits & 0x8000000000000000ULL) {
+    return ~bits;
+  }
+  return bits | 0x8000000000000000ULL;
+}
+
+uint64_t OrderedInt64Bits(int64_t v) {
+  return static_cast<uint64_t>(v) ^ 0x8000000000000000ULL;
+}
+
+}  // namespace
+
+Builder& Builder::AppendValue(const bson::Value& v) {
+  using bson::Type;
+  switch (v.type()) {
+    case Type::kNull:
+      buf_.push_back(static_cast<char>(kNullByte));
+      break;
+    case Type::kInt32:
+    case Type::kInt64:
+    case Type::kDouble: {
+      // All numbers share a discriminator so cross-width comparison works.
+      // The doubles stored by this system (coordinates, Hilbert values,
+      // epoch millis) are all exactly representable.
+      buf_.push_back(static_cast<char>(kNumberByte));
+      AppendBigEndian64(OrderedDoubleBits(v.NumberAsDouble()), &buf_);
+      break;
+    }
+    case Type::kString: {
+      const std::string& s = v.AsString();
+      assert(s.find('\0') == std::string::npos &&
+             "embedded NUL not supported in KeyString");
+      buf_.push_back(static_cast<char>(kStringByte));
+      buf_ += s;
+      buf_.push_back('\0');
+      break;
+    }
+    case Type::kDateTime:
+      buf_.push_back(static_cast<char>(kDateTimeByte));
+      AppendBigEndian64(OrderedInt64Bits(v.AsDateTime()), &buf_);
+      break;
+    case Type::kObjectId: {
+      buf_.push_back(static_cast<char>(kObjectIdByte));
+      for (uint8_t b : v.AsObjectId().bytes()) {
+        buf_.push_back(static_cast<char>(b));
+      }
+      break;
+    }
+    case Type::kBool:
+      buf_.push_back(static_cast<char>(kBoolByte));
+      buf_.push_back(v.AsBool() ? 1 : 0);
+      break;
+    case Type::kArray: {
+      buf_.push_back(static_cast<char>(kArrayByte));
+      for (const bson::Value& item : v.AsArray()) {
+        buf_.push_back(1);  // element-follows marker beats end marker (0)
+        AppendValue(item);
+      }
+      buf_.push_back(0);
+      break;
+    }
+    case Type::kDocument: {
+      buf_.push_back(static_cast<char>(kDocumentByte));
+      for (const auto& [name, value] : v.AsDocument()) {
+        buf_.push_back(1);
+        buf_ += name;
+        buf_.push_back('\0');
+        AppendValue(value);
+      }
+      buf_.push_back(0);
+      break;
+    }
+  }
+  return *this;
+}
+
+Builder& Builder::AppendMinKey() {
+  buf_.push_back(static_cast<char>(kMinKeyByte));
+  return *this;
+}
+
+Builder& Builder::AppendMaxKey() {
+  buf_.push_back(static_cast<char>(kMaxKeyByte));
+  return *this;
+}
+
+Builder& Builder::AppendDocumentValues(const bson::Document& doc) {
+  for (const auto& [name, value] : doc) {
+    AppendValue(value);
+  }
+  return *this;
+}
+
+std::string Encode(const std::vector<bson::Value>& values) {
+  Builder b;
+  for (const bson::Value& v : values) b.AppendValue(v);
+  return std::move(b).Build();
+}
+
+std::string Encode(const bson::Value& value) {
+  Builder b;
+  b.AppendValue(value);
+  return std::move(b).Build();
+}
+
+std::string MinKey() { return std::string(1, static_cast<char>(kMinKeyByte)); }
+
+std::string MaxKey() { return std::string(1, static_cast<char>(kMaxKeyByte)); }
+
+namespace {
+
+uint64_t ReadBigEndian64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+double DoubleFromOrderedBits(uint64_t bits) {
+  if (bits & 0x8000000000000000ULL) {
+    bits &= 0x7FFFFFFFFFFFFFFFULL;
+  } else {
+    bits = ~bits;
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+bool DecodeValues(std::string_view keystring,
+                  std::vector<bson::Value>* values_out) {
+  values_out->clear();
+  const char* p = keystring.data();
+  const char* end = p + keystring.size();
+  while (p < end) {
+    const uint8_t tag = static_cast<uint8_t>(*p++);
+    switch (tag) {
+      case kNullByte:
+        values_out->push_back(bson::Value::Null());
+        break;
+      case kNumberByte: {
+        if (end - p < 8) return false;
+        values_out->push_back(
+            bson::Value::Double(DoubleFromOrderedBits(ReadBigEndian64(p))));
+        p += 8;
+        break;
+      }
+      case kStringByte: {
+        const void* nul = memchr(p, '\0', end - p);
+        if (nul == nullptr) return false;
+        const char* nul_p = static_cast<const char*>(nul);
+        values_out->push_back(
+            bson::Value::String(std::string(p, nul_p - p)));
+        p = nul_p + 1;
+        break;
+      }
+      case kDateTimeByte: {
+        if (end - p < 8) return false;
+        const uint64_t bits = ReadBigEndian64(p);
+        values_out->push_back(bson::Value::DateTime(
+            static_cast<int64_t>(bits ^ 0x8000000000000000ULL)));
+        p += 8;
+        break;
+      }
+      case kObjectIdByte: {
+        if (end - p < static_cast<ptrdiff_t>(bson::ObjectId::kSize)) {
+          return false;
+        }
+        std::array<uint8_t, bson::ObjectId::kSize> bytes;
+        std::memcpy(bytes.data(), p, bson::ObjectId::kSize);
+        values_out->push_back(bson::Value::Id(bson::ObjectId(bytes)));
+        p += bson::ObjectId::kSize;
+        break;
+      }
+      case kBoolByte: {
+        if (p >= end) return false;
+        values_out->push_back(bson::Value::Bool(*p++ != 0));
+        break;
+      }
+      default:
+        return false;  // nested / min / max not decodable
+    }
+  }
+  return true;
+}
+
+}  // namespace stix::keystring

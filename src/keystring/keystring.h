@@ -1,0 +1,66 @@
+#ifndef STIX_KEYSTRING_KEYSTRING_H_
+#define STIX_KEYSTRING_KEYSTRING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bson/document.h"
+
+namespace stix::keystring {
+
+/// Order-preserving binary encoding of a sequence of BSON values (the
+/// MongoDB "KeyString" idea): memcmp() over encodings sorts exactly like
+/// element-wise bson::Compare over the source values. B-tree index keys,
+/// chunk boundaries and zone ranges are all KeyStrings, so one comparator
+/// serves the whole system.
+///
+/// Layout per value: a discriminator byte whose numeric order equals the
+/// BSON canonical type order, followed by a type-specific payload that is
+/// itself order-preserving:
+///  - numbers (int32/int64/double) share one discriminator and are encoded
+///    through the totally-ordered double transform (sign-flip trick);
+///  - strings are raw bytes + 0x00 terminator (no embedded NULs);
+///  - datetimes are int64 with the sign bit flipped, big-endian;
+///  - ObjectIds are their 12 bytes verbatim;
+///  - documents/arrays recurse with per-element markers.
+class Builder {
+ public:
+  Builder& AppendValue(const bson::Value& v);
+  Builder& AppendMinKey();  ///< Sorts before every BSON value.
+  Builder& AppendMaxKey();  ///< Sorts after every BSON value.
+
+  /// Encodes each field value of `doc` in order (names are not encoded; the
+  /// index/shard-key descriptor fixes the field order).
+  Builder& AppendDocumentValues(const bson::Document& doc);
+
+  std::string Build() && { return std::move(buf_); }
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Convenience: encode a list of values.
+std::string Encode(const std::vector<bson::Value>& values);
+
+/// Convenience: encode one value.
+std::string Encode(const bson::Value& value);
+
+/// The encoding of a key consisting of a single MinKey / MaxKey, usable as
+/// -inf / +inf chunk boundaries for any shard key arity (memcmp order makes
+/// a single 0x00 byte sort below any longer key, and 0xFF above).
+std::string MinKey();
+std::string MaxKey();
+
+/// Decodes a KeyString produced by Builder back into scalar values (numbers
+/// come back as kDouble — the encoding is numeric-width-erasing, like
+/// MongoDB's). Supports the scalar types indexes store: null, number,
+/// string, datetime, ObjectId, bool. Returns false on nested or malformed
+/// encodings. Used by the index scan's bounds checker.
+bool DecodeValues(std::string_view keystring,
+                  std::vector<bson::Value>* values_out);
+
+}  // namespace stix::keystring
+
+#endif  // STIX_KEYSTRING_KEYSTRING_H_

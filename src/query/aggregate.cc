@@ -1,0 +1,227 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <map>
+
+#include "keystring/keystring.h"
+
+namespace stix::query {
+namespace {
+
+std::vector<bson::Document> ApplyMatch(std::vector<bson::Document> docs,
+                                       const MatchStage& stage) {
+  std::vector<bson::Document> out;
+  out.reserve(docs.size());
+  for (bson::Document& doc : docs) {
+    if (stage.expr->Matches(doc)) out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+std::vector<bson::Document> ApplyProject(std::vector<bson::Document> docs,
+                                         const ProjectStage& stage) {
+  std::vector<bson::Document> out;
+  out.reserve(docs.size());
+  for (const bson::Document& doc : docs) {
+    bson::Document projected;
+    for (const std::string& field : stage.fields) {
+      const bson::Value* v = doc.GetPath(field);
+      if (v != nullptr) projected.Append(field, *v);
+    }
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+std::vector<bson::Document> ApplySort(std::vector<bson::Document> docs,
+                                      const SortStage& stage) {
+  std::stable_sort(
+      docs.begin(), docs.end(),
+      [&](const bson::Document& a, const bson::Document& b) {
+        const bson::Value* va = a.GetPath(stage.path);
+        const bson::Value* vb = b.GetPath(stage.path);
+        const bson::Value null_value;
+        const int c = Compare(va != nullptr ? *va : null_value,
+                              vb != nullptr ? *vb : null_value);
+        return stage.ascending ? c < 0 : c > 0;
+      });
+  return docs;
+}
+
+struct GroupAccState {
+  double sum = 0;
+  uint64_t count = 0;         // docs contributing to sum/avg
+  uint64_t group_count = 0;   // docs in the group (for kCount)
+  bool has_minmax = false;
+  bson::Value min, max;
+};
+
+Result<std::vector<bson::Document>> ApplyGroup(
+    const std::vector<bson::Document>& docs, const GroupStage& stage) {
+  struct GroupData {
+    bson::Value key;
+    std::vector<GroupAccState> accs;
+  };
+  // Keyed by KeyString of the group key for deterministic ordering.
+  std::map<std::string, GroupData> groups;
+
+  for (const bson::Document& doc : docs) {
+    bson::Value key;  // null for missing / single-group
+    if (!stage.key_path.empty()) {
+      const bson::Value* v = doc.GetPath(stage.key_path);
+      if (v != nullptr) key = *v;
+    }
+    const std::string group_id = keystring::Encode(key);
+    GroupData& group = groups[group_id];
+    if (group.accs.empty()) {
+      group.key = key;
+      group.accs.resize(stage.accumulators.size());
+    }
+    for (size_t i = 0; i < stage.accumulators.size(); ++i) {
+      const Accumulator& acc = stage.accumulators[i];
+      GroupAccState& state = group.accs[i];
+      ++state.group_count;
+      if (acc.op == AccumulatorOp::kCount) continue;
+      const bson::Value* v = doc.GetPath(acc.input_path);
+      if (v == nullptr) continue;
+      switch (acc.op) {
+        case AccumulatorOp::kSum:
+        case AccumulatorOp::kAvg:
+          if (v->IsNumber()) {
+            state.sum += v->NumberAsDouble();
+            ++state.count;
+          }
+          break;
+        case AccumulatorOp::kMin:
+        case AccumulatorOp::kMax:
+          if (!state.has_minmax) {
+            state.min = state.max = *v;
+            state.has_minmax = true;
+          } else {
+            if (Compare(*v, state.min) < 0) state.min = *v;
+            if (Compare(*v, state.max) > 0) state.max = *v;
+          }
+          break;
+        case AccumulatorOp::kCount:
+          break;
+      }
+    }
+  }
+
+  std::vector<bson::Document> out;
+  out.reserve(groups.size());
+  for (auto& [group_id, group] : groups) {
+    bson::Document doc;
+    doc.Append("_id", group.key);
+    for (size_t i = 0; i < stage.accumulators.size(); ++i) {
+      const Accumulator& acc = stage.accumulators[i];
+      const GroupAccState& state = group.accs[i];
+      switch (acc.op) {
+        case AccumulatorOp::kCount:
+          doc.Append(acc.output_name,
+                     bson::Value::Int64(
+                         static_cast<int64_t>(state.group_count)));
+          break;
+        case AccumulatorOp::kSum:
+          doc.Append(acc.output_name, bson::Value::Double(state.sum));
+          break;
+        case AccumulatorOp::kAvg:
+          doc.Append(acc.output_name,
+                     state.count == 0
+                         ? bson::Value::Null()
+                         : bson::Value::Double(
+                               state.sum /
+                               static_cast<double>(state.count)));
+          break;
+        case AccumulatorOp::kMin:
+          doc.Append(acc.output_name,
+                     state.has_minmax ? state.min : bson::Value::Null());
+          break;
+        case AccumulatorOp::kMax:
+          doc.Append(acc.output_name,
+                     state.has_minmax ? state.max : bson::Value::Null());
+          break;
+      }
+    }
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+Result<std::vector<bson::Document>> ApplyBucketAuto(
+    const std::vector<bson::Document>& docs, const BucketAutoStage& stage) {
+  if (stage.buckets < 1) {
+    return Status::InvalidArgument("$bucketAuto needs at least one bucket");
+  }
+  std::vector<bson::Value> values;
+  values.reserve(docs.size());
+  for (const bson::Document& doc : docs) {
+    const bson::Value* v = doc.GetPath(stage.path);
+    if (v != nullptr) values.push_back(*v);
+  }
+  if (values.empty()) {
+    return Status::NotFound("$bucketAuto found no values at path '" +
+                            stage.path + "'");
+  }
+  std::sort(values.begin(), values.end(),
+            [](const bson::Value& a, const bson::Value& b) {
+              return Compare(a, b) < 0;
+            });
+
+  std::vector<bson::Document> out;
+  const size_t n = values.size();
+  const size_t buckets = std::min<size_t>(stage.buckets, n);
+  size_t start = 0;
+  for (size_t b = 0; b < buckets && start < n; ++b) {
+    size_t end = n * (b + 1) / buckets;
+    if (end <= start) end = start + 1;
+    // MongoDB keeps equal values in one bucket: extend past duplicates.
+    while (end < n && Compare(values[end - 1], values[end]) == 0) ++end;
+
+    bson::Document id;
+    id.Append("min", values[start]);
+    // Exclusive upper bound = next bucket's first value; the last bucket's
+    // max is the overall max (inclusive), as $bucketAuto reports.
+    id.Append("max", end < n ? values[end] : values[n - 1]);
+    bson::Document doc;
+    doc.Append("_id", bson::Value::MakeDocument(std::move(id)));
+    doc.Append("count",
+               bson::Value::Int64(static_cast<int64_t>(end - start)));
+    out.push_back(std::move(doc));
+    start = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<bson::Document>> RunPipeline(
+    std::vector<bson::Document> input, const Pipeline& pipeline) {
+  std::vector<bson::Document> docs = std::move(input);
+  for (const PipelineStage& stage : pipeline.stages()) {
+    if (const auto* match = std::get_if<MatchStage>(&stage)) {
+      if (match->expr == nullptr) {
+        return Status::InvalidArgument("$match with null expression");
+      }
+      docs = ApplyMatch(std::move(docs), *match);
+    } else if (const auto* project = std::get_if<ProjectStage>(&stage)) {
+      docs = ApplyProject(std::move(docs), *project);
+    } else if (const auto* sort = std::get_if<SortStage>(&stage)) {
+      docs = ApplySort(std::move(docs), *sort);
+    } else if (const auto* limit = std::get_if<LimitStage>(&stage)) {
+      if (docs.size() > limit->n) docs.resize(limit->n);
+    } else if (const auto* group = std::get_if<GroupStage>(&stage)) {
+      Result<std::vector<bson::Document>> grouped = ApplyGroup(docs, *group);
+      if (!grouped.ok()) return grouped.status();
+      docs = std::move(*grouped);
+    } else if (const auto* bucket = std::get_if<BucketAutoStage>(&stage)) {
+      Result<std::vector<bson::Document>> bucketed =
+          ApplyBucketAuto(docs, *bucket);
+      if (!bucketed.ok()) return bucketed.status();
+      docs = std::move(*bucketed);
+    }
+  }
+  return docs;
+}
+
+}  // namespace stix::query

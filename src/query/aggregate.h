@@ -1,0 +1,115 @@
+#ifndef STIX_QUERY_AGGREGATE_H_
+#define STIX_QUERY_AGGREGATE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bson/document.h"
+#include "common/status.h"
+#include "query/expression.h"
+
+namespace stix::query {
+
+/// A small aggregation-pipeline subset, enough for the analytics the paper's
+/// use cases call for and for the $bucketAuto zone recipe (Section 4.2.4):
+/// $match, $project, $sort, $limit, $group, $bucketAuto.
+
+/// {$match: <expr>} — filters documents.
+struct MatchStage {
+  ExprPtr expr;
+};
+
+/// {$project: {a: 1, b: 1}} — include-only projection of top-level fields
+/// and dotted paths (a dotted path materialises under its full name).
+struct ProjectStage {
+  std::vector<std::string> fields;
+};
+
+/// {$sort: {path: 1|-1}} — single-key sort, BSON value order.
+struct SortStage {
+  std::string path;
+  bool ascending = true;
+};
+
+/// {$limit: n}.
+struct LimitStage {
+  size_t n = 0;
+};
+
+/// Accumulators usable inside $group.
+enum class AccumulatorOp { kCount, kSum, kAvg, kMin, kMax };
+
+struct Accumulator {
+  std::string output_name;  ///< Field name in the group's output document.
+  AccumulatorOp op = AccumulatorOp::kCount;
+  std::string input_path;   ///< Ignored for kCount.
+};
+
+/// {$group: {_id: "$path", ...accumulators}}. An empty key_path groups
+/// everything into one document (like _id: null).
+struct GroupStage {
+  std::string key_path;
+  std::vector<Accumulator> accumulators;
+};
+
+/// {$bucketAuto: {groupBy: "$path", buckets: n}} — equi-count buckets over
+/// the values at `path`; output documents carry {_id: {min, max}, count}.
+/// This is exactly how the paper derives its zone boundaries.
+struct BucketAutoStage {
+  std::string path;
+  int buckets = 1;
+};
+
+using PipelineStage = std::variant<MatchStage, ProjectStage, SortStage,
+                                   LimitStage, GroupStage, BucketAutoStage>;
+
+/// An ordered list of stages.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  explicit Pipeline(std::vector<PipelineStage> stages)
+      : stages_(std::move(stages)) {}
+
+  Pipeline& Match(ExprPtr expr) {
+    stages_.push_back(MatchStage{std::move(expr)});
+    return *this;
+  }
+  Pipeline& Project(std::vector<std::string> fields) {
+    stages_.push_back(ProjectStage{std::move(fields)});
+    return *this;
+  }
+  Pipeline& Sort(std::string path, bool ascending = true) {
+    stages_.push_back(SortStage{std::move(path), ascending});
+    return *this;
+  }
+  Pipeline& Limit(size_t n) {
+    stages_.push_back(LimitStage{n});
+    return *this;
+  }
+  Pipeline& Group(GroupStage group) {
+    stages_.push_back(std::move(group));
+    return *this;
+  }
+  Pipeline& BucketAuto(std::string path, int buckets) {
+    stages_.push_back(BucketAutoStage{std::move(path), buckets});
+    return *this;
+  }
+
+  const std::vector<PipelineStage>& stages() const { return stages_; }
+
+ private:
+  std::vector<PipelineStage> stages_;
+};
+
+/// Runs a pipeline over an in-memory document stream (the merge side of a
+/// cluster aggregation; Cluster::Aggregate handles routing and the shard
+/// side). Fails with InvalidArgument on malformed stages (e.g. $avg over a
+/// non-numeric field is skipped per-document, but an unknown path in
+/// $bucketAuto with no values at all fails).
+Result<std::vector<bson::Document>> RunPipeline(
+    std::vector<bson::Document> input, const Pipeline& pipeline);
+
+}  // namespace stix::query
+
+#endif  // STIX_QUERY_AGGREGATE_H_

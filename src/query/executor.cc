@@ -1,0 +1,165 @@
+#include "query/executor.h"
+
+#include <algorithm>
+
+namespace stix::query {
+namespace {
+
+struct RacingState {
+  CandidatePlan* plan;
+  std::vector<bson::Document> docs;
+  std::vector<storage::RecordId> rids;
+  uint64_t works = 0;
+  bool eof = false;
+};
+
+void DrainToEof(PlanStage* root, RacingState* state) {
+  storage::RecordId rid;
+  const bson::Document* doc;
+  for (;;) {
+    const PlanStage::State s = root->Work(&rid, &doc);
+    ++state->works;
+    if (s == PlanStage::State::kEof) return;
+    if (s == PlanStage::State::kAdvanced) {
+      state->docs.push_back(*doc);
+      state->rids.push_back(rid);
+    }
+  }
+}
+
+// Runs the plan until EOF or until `works_cap` units are spent. Returns
+// true on EOF (complete result set in the state).
+bool DrainWithCap(PlanStage* root, uint64_t works_cap, RacingState* state) {
+  storage::RecordId rid;
+  const bson::Document* doc;
+  while (state->works < works_cap) {
+    const PlanStage::State s = root->Work(&rid, &doc);
+    ++state->works;
+    if (s == PlanStage::State::kEof) return true;
+    if (s == PlanStage::State::kAdvanced) {
+      state->docs.push_back(*doc);
+      state->rids.push_back(rid);
+    }
+  }
+  return false;
+}
+
+// Races all candidates (MongoDB's multi-planner trial) and returns the
+// winner, which may be partially or fully executed.
+RacingState* RunTrial(std::vector<RacingState>* racers,
+                      const storage::RecordStore& records,
+                      const ExecutorOptions& options) {
+  uint64_t budget = options.trial_works;
+  if (budget == 0) {
+    budget = std::max<uint64_t>(10000, records.num_records() * 3 / 10);
+  }
+  bool trial_over = false;
+  while (!trial_over) {
+    trial_over = true;
+    for (RacingState& racer : *racers) {
+      if (racer.eof || racer.works >= budget) continue;
+      trial_over = false;
+      storage::RecordId rid;
+      const bson::Document* doc;
+      const PlanStage::State state = racer.plan->root->Work(&rid, &doc);
+      ++racer.works;
+      if (state == PlanStage::State::kEof) {
+        racer.eof = true;
+      } else if (state == PlanStage::State::kAdvanced) {
+        racer.docs.push_back(*doc);
+        racer.rids.push_back(rid);
+        if (racer.docs.size() >= options.trial_results) {
+          return &racer;
+        }
+      }
+    }
+  }
+  // Most results; tie broken by least work done (cheapest progress).
+  RacingState* winner = &(*racers)[0];
+  for (RacingState& racer : *racers) {
+    if (racer.docs.size() > winner->docs.size() ||
+        (racer.docs.size() == winner->docs.size() &&
+         racer.works < winner->works)) {
+      winner = &racer;
+    }
+  }
+  return winner;
+}
+
+void FillResult(RacingState* winner, ExecutionResult* result) {
+  result->docs = std::move(winner->docs);
+  result->rids = std::move(winner->rids);
+  winner->plan->root->AccumulateStats(&result->stats);
+  result->stats.works = winner->works;
+  result->stats.n_returned = result->docs.size();
+  result->stats.plan_summary = winner->plan->summary;
+  result->winning_index = winner->plan->index_name;
+}
+
+}  // namespace
+
+ExecutionResult ExecuteQuery(const storage::RecordStore& records,
+                             const index::IndexCatalog& catalog,
+                             const ExprPtr& expr,
+                             const ExecutorOptions& options,
+                             PlanCache* cache) {
+  Stopwatch timer;
+  std::vector<CandidatePlan> candidates = Planner::Plan(records, catalog, expr);
+
+  ExecutionResult result;
+  result.num_candidates = static_cast<int>(candidates.size());
+
+  // Fast path: a cached plan for this query shape, bounded by the
+  // replanning budget.
+  std::string shape;
+  if (cache != nullptr && candidates.size() > 1) {
+    shape = QueryShape(*expr);
+    if (const PlanCacheEntry* entry = cache->Lookup(shape)) {
+      for (CandidatePlan& plan : candidates) {
+        if (plan.index_name != entry->index_name) continue;
+        const uint64_t cap = std::max<uint64_t>(
+            options.replan_min_works,
+            static_cast<uint64_t>(options.replan_factor *
+                                  static_cast<double>(entry->works)));
+        RacingState cached{&plan, {}, {}, 0, false};
+        if (DrainWithCap(cached.plan->root.get(), cap, &cached)) {
+          result.from_plan_cache = true;
+          FillResult(&cached, &result);
+          result.exec_millis = timer.ElapsedMillis();
+          return result;
+        }
+        // Budget blown: evict and fall through to a fresh race with fresh
+        // plan stages (MongoDB's replanning).
+        cache->Evict(shape);
+        result.replanned = true;
+        candidates = Planner::Plan(records, catalog, expr);
+        break;
+      }
+    }
+  }
+
+  std::vector<RacingState> racers;
+  racers.reserve(candidates.size());
+  for (CandidatePlan& plan : candidates) {
+    racers.push_back(RacingState{&plan, {}, {}, 0, false});
+  }
+
+  RacingState* winner = &racers[0];
+  const bool raced = racers.size() > 1;
+  if (raced) {
+    winner = RunTrial(&racers, records, options);
+  }
+  if (!winner->eof) {
+    DrainToEof(winner->plan->root.get(), winner);
+  }
+  if (raced && cache != nullptr) {
+    if (shape.empty()) shape = QueryShape(*expr);
+    cache->Store(shape, winner->plan->index_name, winner->works);
+  }
+
+  FillResult(winner, &result);
+  result.exec_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace stix::query

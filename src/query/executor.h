@@ -1,0 +1,58 @@
+#ifndef STIX_QUERY_EXECUTOR_H_
+#define STIX_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "query/plan_cache.h"
+#include "query/planner.h"
+
+namespace stix::query {
+
+/// Knobs of the trial-based plan selection (MongoDB's multi-planner).
+struct ExecutorOptions {
+  /// A plan that produces this many results during the trial wins
+  /// immediately (MongoDB's 101).
+  uint64_t trial_results = 101;
+  /// Per-plan work budget for the trial; 0 derives it from collection size
+  /// (MongoDB: max(10000, 0.3 * collection size)).
+  uint64_t trial_works = 0;
+  /// A cached plan may spend up to replan_factor * cached-works (but at
+  /// least replan_min_works) before it is abandoned and the shape re-raced
+  /// (MongoDB's internalQueryCacheEvictionRatio = 10).
+  double replan_factor = 10.0;
+  uint64_t replan_min_works = 200;
+};
+
+/// Result of running one query on one shard-local collection.
+struct ExecutionResult {
+  std::vector<bson::Document> docs;
+  /// RecordIds parallel to `docs` (consumed by deletes and diagnostics).
+  std::vector<storage::RecordId> rids;
+  ExecStats stats;
+  double exec_millis = 0.0;
+  std::string winning_index;  ///< Index the (multi-)planner settled on.
+  int num_candidates = 0;
+  bool from_plan_cache = false;
+  /// True when a cached plan blew its works budget and the shape was
+  /// re-raced during this execution.
+  bool replanned = false;
+};
+
+/// Plans and runs a query to completion. With multiple candidate plans the
+/// candidates race for a trial period and the most productive one continues
+/// — this is the mechanism behind the paper's Table 7 (bslST sometimes
+/// running on the {date} shard-key index instead of the compound index).
+///
+/// When `cache` is non-null, a winning multi-plan race is remembered by
+/// query shape and later executions of the same shape skip the race
+/// (MongoDB's plan cache; its warm-state measurements depend on it).
+ExecutionResult ExecuteQuery(const storage::RecordStore& records,
+                             const index::IndexCatalog& catalog,
+                             const ExprPtr& expr,
+                             const ExecutorOptions& options = {},
+                             PlanCache* cache = nullptr);
+
+}  // namespace stix::query
+
+#endif  // STIX_QUERY_EXECUTOR_H_

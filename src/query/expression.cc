@@ -1,0 +1,244 @@
+#include "query/expression.h"
+
+#include <algorithm>
+
+#include "bson/json_writer.h"
+
+namespace stix::query {
+namespace {
+
+bool SameTypeBracket(const bson::Value& a, const bson::Value& b) {
+  return bson::CanonicalTypeRank(a.type()) ==
+         bson::CanonicalTypeRank(b.type());
+}
+
+const char* OpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "$eq";
+    case CmpOp::kGt:
+      return "$gt";
+    case CmpOp::kGte:
+      return "$gte";
+    case CmpOp::kLt:
+      return "$lt";
+    case CmpOp::kLte:
+      return "$lte";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool CmpExpr::Matches(const bson::Document& doc) const {
+  const bson::Value* v = doc.GetPath(path_);
+  if (v == nullptr || !SameTypeBracket(*v, value_)) return false;
+  const int c = Compare(*v, value_);
+  switch (op_) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGte:
+      return c >= 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLte:
+      return c <= 0;
+  }
+  return false;
+}
+
+std::string CmpExpr::DebugString() const {
+  return "{" + path_ + ": {" + OpName(op_) + ": " + bson::ToJson(value_) +
+         "}}";
+}
+
+bool InExpr::Matches(const bson::Document& doc) const {
+  const bson::Value* v = doc.GetPath(path_);
+  if (v == nullptr) return false;
+  for (const bson::Value& candidate : values_) {
+    if (SameTypeBracket(*v, candidate) && Compare(*v, candidate) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string InExpr::DebugString() const {
+  std::string out = "{" + path_ + ": {$in: [";
+  bool first = true;
+  for (const bson::Value& v : values_) {
+    if (!first) out += ", ";
+    first = false;
+    out += bson::ToJson(v);
+  }
+  return out + "]}}";
+}
+
+bool AndExpr::Matches(const bson::Document& doc) const {
+  for (const ExprPtr& child : children_) {
+    if (!child->Matches(doc)) return false;
+  }
+  return true;
+}
+
+std::string AndExpr::DebugString() const {
+  std::string out = "{$and: [";
+  bool first = true;
+  for (const ExprPtr& child : children_) {
+    if (!first) out += ", ";
+    first = false;
+    out += child->DebugString();
+  }
+  return out + "]}";
+}
+
+bool OrExpr::Matches(const bson::Document& doc) const {
+  for (const ExprPtr& child : children_) {
+    if (child->Matches(doc)) return true;
+  }
+  return false;
+}
+
+std::string OrExpr::DebugString() const {
+  std::string out = "{$or: [";
+  bool first = true;
+  for (const ExprPtr& child : children_) {
+    if (!first) out += ", ";
+    first = false;
+    out += child->DebugString();
+  }
+  return out + "]}";
+}
+
+bool GeoWithinBoxExpr::Matches(const bson::Document& doc) const {
+  const bson::Value* v = doc.GetPath(path_);
+  double lon, lat;
+  if (v == nullptr || !bson::ExtractGeoJsonPoint(*v, &lon, &lat)) {
+    return false;
+  }
+  return box_.Contains(geo::Point{lon, lat});
+}
+
+bool GeoWithinPolygonExpr::Matches(const bson::Document& doc) const {
+  const bson::Value* v = doc.GetPath(path_);
+  double lon, lat;
+  if (v == nullptr || !bson::ExtractGeoJsonPoint(*v, &lon, &lat)) {
+    return false;
+  }
+  return polygon_.Contains(geo::Point{lon, lat});
+}
+
+std::string GeoWithinPolygonExpr::DebugString() const {
+  std::string out = "{" + path_ + ": {$geoWithin: {$polygon: [";
+  for (size_t i = 0; i < polygon_.vertices().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "[" + std::to_string(polygon_.vertices()[i].lon) + ", " +
+           std::to_string(polygon_.vertices()[i].lat) + "]";
+  }
+  return out + "]}}}";
+}
+
+ExprPtr MakeGeoWithinPolygon(std::string path, geo::Polygon polygon) {
+  return std::make_shared<GeoWithinPolygonExpr>(std::move(path),
+                                                std::move(polygon));
+}
+
+bool GeoIntersectsBoxExpr::Matches(const bson::Document& doc) const {
+  const bson::Value* v = doc.GetPath(path_);
+  if (v == nullptr) return false;
+  double lon, lat;
+  if (bson::ExtractGeoJsonPoint(*v, &lon, &lat)) {
+    return box_.Contains(geo::Point{lon, lat});
+  }
+  std::vector<std::pair<double, double>> line;
+  if (bson::ExtractGeoJsonLineString(*v, &line)) {
+    for (size_t i = 0; i + 1 < line.size(); ++i) {
+      if (geo::SegmentIntersectsRect(
+              geo::Point{line[i].first, line[i].second},
+              geo::Point{line[i + 1].first, line[i + 1].second}, box_)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string GeoIntersectsBoxExpr::DebugString() const {
+  return "{" + path_ + ": {$geoIntersects: {$box: [[" +
+         std::to_string(box_.lo.lon) + ", " + std::to_string(box_.lo.lat) +
+         "], [" + std::to_string(box_.hi.lon) + ", " +
+         std::to_string(box_.hi.lat) + "]]}}}";
+}
+
+ExprPtr MakeGeoIntersectsBox(std::string path, geo::Rect box) {
+  return std::make_shared<GeoIntersectsBoxExpr>(std::move(path), box);
+}
+
+std::string GeoWithinBoxExpr::DebugString() const {
+  return "{" + path_ + ": {$geoWithin: {$box: [[" +
+         std::to_string(box_.lo.lon) + ", " + std::to_string(box_.lo.lat) +
+         "], [" + std::to_string(box_.hi.lon) + ", " +
+         std::to_string(box_.hi.lat) + "]]}}}";
+}
+
+bool RangeSetExpr::Matches(const bson::Document& doc) const {
+  const bson::Value* v = doc.GetPath(path_);
+  if (v == nullptr) return false;
+  // First range with hi >= v; inside iff its lo <= v.
+  const auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), *v,
+      [](const Range& r, const bson::Value& probe) {
+        return Compare(r.hi, probe) < 0;
+      });
+  if (it == ranges_.end()) return false;
+  return SameTypeBracket(*v, it->lo) && Compare(it->lo, *v) <= 0 &&
+         SameTypeBracket(*v, it->hi);
+}
+
+std::string RangeSetExpr::DebugString() const {
+  // Summarised rendering: the full $or would be thousands of arms.
+  size_t singles = 0;
+  for (const Range& r : ranges_) singles += Compare(r.lo, r.hi) == 0;
+  std::string out = "{$or: [" + path_ + ": " +
+                    std::to_string(ranges_.size() - singles) + " ranges + " +
+                    std::to_string(singles) + " $in values";
+  if (!ranges_.empty()) {
+    out += ", e.g. [" + bson::ToJson(ranges_.front().lo) + ".." +
+           bson::ToJson(ranges_.front().hi) + "]";
+  }
+  return out + "]}";
+}
+
+ExprPtr MakeRangeSet(std::string path,
+                     std::vector<RangeSetExpr::Range> ranges) {
+  return std::make_shared<RangeSetExpr>(std::move(path), std::move(ranges));
+}
+
+ExprPtr MakeCmp(std::string path, CmpOp op, bson::Value value) {
+  return std::make_shared<CmpExpr>(std::move(path), op, std::move(value));
+}
+
+ExprPtr MakeIn(std::string path, std::vector<bson::Value> values) {
+  return std::make_shared<InExpr>(std::move(path), std::move(values));
+}
+
+ExprPtr MakeAnd(std::vector<ExprPtr> children) {
+  return std::make_shared<AndExpr>(std::move(children));
+}
+
+ExprPtr MakeOr(std::vector<ExprPtr> children) {
+  return std::make_shared<OrExpr>(std::move(children));
+}
+
+ExprPtr MakeGeoWithinBox(std::string path, geo::Rect box) {
+  return std::make_shared<GeoWithinBoxExpr>(std::move(path), box);
+}
+
+ExprPtr MakeRange(const std::string& path, bson::Value lo, bson::Value hi) {
+  return MakeAnd({MakeCmp(path, CmpOp::kGte, std::move(lo)),
+                  MakeCmp(path, CmpOp::kLte, std::move(hi))});
+}
+
+}  // namespace stix::query

@@ -1,0 +1,240 @@
+#ifndef STIX_QUERY_EXPRESSION_H_
+#define STIX_QUERY_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bson/document.h"
+#include "geo/geo.h"
+#include "geo/region.h"
+
+namespace stix::query {
+
+/// Comparison operators of the match language.
+enum class CmpOp { kEq, kGt, kGte, kLt, kLte };
+
+/// A match expression tree — the query language subset the paper's workload
+/// needs: $and, $or, $in, range comparisons and $geoWithin with a box.
+class MatchExpr {
+ public:
+  enum class Kind {
+    kCmp,
+    kIn,
+    kAnd,
+    kOr,
+    kGeoWithinBox,
+    kGeoWithinPolygon,
+    kGeoIntersectsBox,
+    kRangeSet,
+  };
+
+  explicit MatchExpr(Kind kind) : kind_(kind) {}
+  virtual ~MatchExpr() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// True iff the document satisfies this predicate.
+  virtual bool Matches(const bson::Document& doc) const = 0;
+
+  /// Mongo-shell-flavoured rendering for logs and examples.
+  virtual std::string DebugString() const = 0;
+
+ private:
+  Kind kind_;
+};
+
+using ExprPtr = std::shared_ptr<const MatchExpr>;
+
+/// {path: {$op: value}}. Values only match within their canonical type
+/// bracket (a date bound never matches a number), as in MongoDB.
+class CmpExpr : public MatchExpr {
+ public:
+  CmpExpr(std::string path, CmpOp op, bson::Value value)
+      : MatchExpr(Kind::kCmp),
+        path_(std::move(path)),
+        op_(op),
+        value_(std::move(value)) {}
+
+  bool Matches(const bson::Document& doc) const override;
+  std::string DebugString() const override;
+
+  const std::string& path() const { return path_; }
+  CmpOp op() const { return op_; }
+  const bson::Value& value() const { return value_; }
+
+ private:
+  std::string path_;
+  CmpOp op_;
+  bson::Value value_;
+};
+
+/// {path: {$in: [v1, v2, ...]}}.
+class InExpr : public MatchExpr {
+ public:
+  InExpr(std::string path, std::vector<bson::Value> values)
+      : MatchExpr(Kind::kIn),
+        path_(std::move(path)),
+        values_(std::move(values)) {}
+
+  bool Matches(const bson::Document& doc) const override;
+  std::string DebugString() const override;
+
+  const std::string& path() const { return path_; }
+  const std::vector<bson::Value>& values() const { return values_; }
+
+ private:
+  std::string path_;
+  std::vector<bson::Value> values_;
+};
+
+/// {$and: [...]}; an empty $and matches everything.
+class AndExpr : public MatchExpr {
+ public:
+  explicit AndExpr(std::vector<ExprPtr> children)
+      : MatchExpr(Kind::kAnd), children_(std::move(children)) {}
+
+  bool Matches(const bson::Document& doc) const override;
+  std::string DebugString() const override;
+
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+ private:
+  std::vector<ExprPtr> children_;
+};
+
+/// {$or: [...]}.
+class OrExpr : public MatchExpr {
+ public:
+  explicit OrExpr(std::vector<ExprPtr> children)
+      : MatchExpr(Kind::kOr), children_(std::move(children)) {}
+
+  bool Matches(const bson::Document& doc) const override;
+  std::string DebugString() const override;
+
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+ private:
+  std::vector<ExprPtr> children_;
+};
+
+/// {path: {$geoWithin: {$box: ...}}} over a GeoJSON point field — the exact
+/// geometric predicate; index scans only pre-filter by cell, this is the
+/// refinement step.
+class GeoWithinBoxExpr : public MatchExpr {
+ public:
+  GeoWithinBoxExpr(std::string path, geo::Rect box)
+      : MatchExpr(Kind::kGeoWithinBox),
+        path_(std::move(path)),
+        box_(box),
+        region_(box) {}
+
+  bool Matches(const bson::Document& doc) const override;
+  std::string DebugString() const override;
+
+  const std::string& path() const { return path_; }
+  const geo::Rect& box() const { return box_; }
+
+  /// Region view for index-bounds covering.
+  const geo::Region& region() const { return region_; }
+
+ private:
+  std::string path_;
+  geo::Rect box_;
+  geo::RectRegion region_;
+};
+
+/// {path: {$geoWithin: {$polygon: ...}}} over a GeoJSON point field — the
+/// paper's "more complex data types" extension: exact point-in-polygon
+/// refinement over the same cell-covering index access path.
+class GeoWithinPolygonExpr : public MatchExpr {
+ public:
+  GeoWithinPolygonExpr(std::string path, geo::Polygon polygon)
+      : MatchExpr(Kind::kGeoWithinPolygon),
+        path_(std::move(path)),
+        polygon_(std::move(polygon)) {}
+
+  bool Matches(const bson::Document& doc) const override;
+  std::string DebugString() const override;
+
+  const std::string& path() const { return path_; }
+  const geo::Polygon& polygon() const { return polygon_; }
+  const geo::Region& region() const { return polygon_; }
+
+ private:
+  std::string path_;
+  geo::Polygon polygon_;
+};
+
+/// {path: {$geoIntersects: {$box: ...}}} over a GeoJSON Point *or
+/// LineString* field: matches documents whose geometry touches the
+/// rectangle (a point inside it; a line crossing it). The complex-geometry
+/// counterpart of $geoWithin, served by multikey 2dsphere indexes.
+class GeoIntersectsBoxExpr : public MatchExpr {
+ public:
+  GeoIntersectsBoxExpr(std::string path, geo::Rect box)
+      : MatchExpr(Kind::kGeoIntersectsBox),
+        path_(std::move(path)),
+        box_(box),
+        region_(box) {}
+
+  bool Matches(const bson::Document& doc) const override;
+  std::string DebugString() const override;
+
+  const std::string& path() const { return path_; }
+  const geo::Rect& box() const { return box_; }
+  const geo::Region& region() const { return region_; }
+
+ private:
+  std::string path_;
+  geo::Rect box_;
+  geo::RectRegion region_;
+};
+
+/// A sorted, disjoint set of closed [lo, hi] intervals on one path — the
+/// efficient form of the paper's "$or of $gte/$lte ranges plus $in of single
+/// cells" over hilbertIndex. Semantically identical to that $or; matching is
+/// a binary search instead of a linear walk, which matters when a covering
+/// has thousands of ranges (hil* on the S extent).
+class RangeSetExpr : public MatchExpr {
+ public:
+  struct Range {
+    bson::Value lo;
+    bson::Value hi;
+  };
+
+  /// `ranges` must be sorted by lo and disjoint (as curve coverings are).
+  RangeSetExpr(std::string path, std::vector<Range> ranges)
+      : MatchExpr(Kind::kRangeSet),
+        path_(std::move(path)),
+        ranges_(std::move(ranges)) {}
+
+  bool Matches(const bson::Document& doc) const override;
+  std::string DebugString() const override;
+
+  const std::string& path() const { return path_; }
+  const std::vector<Range>& ranges() const { return ranges_; }
+
+ private:
+  std::string path_;
+  std::vector<Range> ranges_;
+};
+
+// Builder helpers.
+ExprPtr MakeCmp(std::string path, CmpOp op, bson::Value value);
+ExprPtr MakeIn(std::string path, std::vector<bson::Value> values);
+ExprPtr MakeAnd(std::vector<ExprPtr> children);
+ExprPtr MakeOr(std::vector<ExprPtr> children);
+ExprPtr MakeGeoWithinBox(std::string path, geo::Rect box);
+ExprPtr MakeGeoWithinPolygon(std::string path, geo::Polygon polygon);
+ExprPtr MakeGeoIntersectsBox(std::string path, geo::Rect box);
+
+/// {path: {$gte: lo, $lte: hi}} as one AND.
+ExprPtr MakeRange(const std::string& path, bson::Value lo, bson::Value hi);
+
+/// Sorted disjoint interval set on one path (see RangeSetExpr).
+ExprPtr MakeRangeSet(std::string path, std::vector<RangeSetExpr::Range> ranges);
+
+}  // namespace stix::query
+
+#endif  // STIX_QUERY_EXPRESSION_H_

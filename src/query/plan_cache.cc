@@ -1,0 +1,86 @@
+#include "query/plan_cache.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace stix::query {
+namespace {
+
+void AppendShape(const MatchExpr& expr, std::string* out) {
+  switch (expr.kind()) {
+    case MatchExpr::Kind::kCmp: {
+      const auto& cmp = static_cast<const CmpExpr&>(expr);
+      const char* op = "?";
+      switch (cmp.op()) {
+        case CmpOp::kEq:
+          op = "eq";
+          break;
+        case CmpOp::kGt:
+        case CmpOp::kGte:
+          op = "gte";  // bound direction matters, width does not
+          break;
+        case CmpOp::kLt:
+        case CmpOp::kLte:
+          op = "lte";
+          break;
+      }
+      *out += op;
+      *out += '(';
+      *out += cmp.path();
+      *out += ')';
+      break;
+    }
+    case MatchExpr::Kind::kIn:
+      *out += "in(" + static_cast<const InExpr&>(expr).path() + ")";
+      break;
+    case MatchExpr::Kind::kRangeSet:
+      *out += "rset(" + static_cast<const RangeSetExpr&>(expr).path() + ")";
+      break;
+    case MatchExpr::Kind::kGeoWithinBox:
+      *out += "geo(" + static_cast<const GeoWithinBoxExpr&>(expr).path() + ")";
+      break;
+    case MatchExpr::Kind::kGeoWithinPolygon:
+      *out += "geopoly(" +
+              static_cast<const GeoWithinPolygonExpr&>(expr).path() + ")";
+      break;
+    case MatchExpr::Kind::kGeoIntersectsBox:
+      *out += "geoisect(" +
+              static_cast<const GeoIntersectsBoxExpr&>(expr).path() + ")";
+      break;
+    case MatchExpr::Kind::kAnd:
+    case MatchExpr::Kind::kOr: {
+      const auto& children =
+          expr.kind() == MatchExpr::Kind::kAnd
+              ? static_cast<const AndExpr&>(expr).children()
+              : static_cast<const OrExpr&>(expr).children();
+      std::vector<std::string> parts;
+      parts.reserve(children.size());
+      for (const ExprPtr& child : children) {
+        std::string part;
+        AppendShape(*child, &part);
+        parts.push_back(std::move(part));
+      }
+      // Order-insensitive and deduplicated: {$or: [10 ranges]} and
+      // {$or: [12 ranges]} on the same path share a shape.
+      std::sort(parts.begin(), parts.end());
+      parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+      *out += expr.kind() == MatchExpr::Kind::kAnd ? "and[" : "or[";
+      for (const std::string& part : parts) {
+        *out += part;
+        *out += ',';
+      }
+      *out += ']';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string QueryShape(const MatchExpr& expr) {
+  std::string shape;
+  AppendShape(expr, &shape);
+  return shape;
+}
+
+}  // namespace stix::query

@@ -1,0 +1,57 @@
+#ifndef STIX_QUERY_PLAN_CACHE_H_
+#define STIX_QUERY_PLAN_CACHE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "query/expression.h"
+
+namespace stix::query {
+
+/// Canonical shape of a query: the predicate structure and paths with the
+/// constants erased — two spatio-temporal range queries with different
+/// rectangles/windows share a shape. This is MongoDB's plan-cache key.
+std::string QueryShape(const MatchExpr& expr);
+
+/// One remembered plan decision: the winning index and how much work the
+/// winner needed when it was cached. The works figure drives replanning: a
+/// later execution of the same shape that blows well past it (MongoDB's
+/// 10x eviction ratio) abandons the cached plan and re-races — this is what
+/// lets a shape cached from a *small* rectangle recover when a *big*
+/// rectangle of the same shape arrives (the paper's Table 7 shows exactly
+/// such per-query index flips).
+struct PlanCacheEntry {
+  std::string index_name;
+  uint64_t works = 0;
+};
+
+/// Maps query shapes to the plan the multi-planner last chose for them, so
+/// repeated (warm) executions skip the plan race — without this, every run
+/// would pay the losing candidates' trial work, which MongoDB only pays
+/// once per shape. One cache per shard, as plan choice is data-dependent
+/// (the paper's Table 7 shows different nodes choosing different indexes).
+class PlanCache {
+ public:
+  /// Cached entry for this shape, or nullptr.
+  const PlanCacheEntry* Lookup(const std::string& shape) const {
+    const auto it = entries_.find(shape);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  void Store(const std::string& shape, std::string index_name,
+             uint64_t works) {
+    entries_[shape] = PlanCacheEntry{std::move(index_name), works};
+  }
+
+  void Evict(const std::string& shape) { entries_.erase(shape); }
+
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, PlanCacheEntry> entries_;
+};
+
+}  // namespace stix::query
+
+#endif  // STIX_QUERY_PLAN_CACHE_H_

@@ -1,0 +1,153 @@
+#include "query/plan_stage.h"
+
+#include <cassert>
+
+#include "keystring/keystring.h"
+
+namespace stix::query {
+
+IndexScanStage::IndexScanStage(const index::Index& idx,
+                               index::IndexBounds bounds)
+    : index_(idx), bounds_(std::move(bounds)) {
+  assert(bounds_.fields.size() == index_.descriptor().num_fields());
+}
+
+std::string IndexScanStage::BuildStartKey() const {
+  keystring::Builder b;
+  for (const index::FieldBounds& fb : bounds_.fields) {
+    if (fb.full_range || fb.intervals.empty()) {
+      b.AppendMinKey();
+    } else {
+      b.AppendValue(fb.intervals.front().lo);
+    }
+  }
+  return std::move(b).Build();
+}
+
+PlanStage::State IndexScanStage::Work(storage::RecordId* rid_out,
+                                      const bson::Document** doc_out) {
+  *doc_out = nullptr;
+  if (done_) return State::kEof;
+  if (!initialized_) {
+    cursor_ = index_.btree().SeekGE(BuildStartKey());
+    initialized_ = true;
+    return State::kNeedTime;
+  }
+  if (!cursor_.Valid()) {
+    done_ = true;
+    return State::kEof;
+  }
+
+  ++keys_examined_;
+  const std::string& key = cursor_.key();
+  if (!keystring::DecodeValues(key, &decoded_) ||
+      decoded_.size() != bounds_.fields.size()) {
+    // An index key this scan cannot interpret: skip it.
+    cursor_.Next();
+    return State::kNeedTime;
+  }
+
+  for (size_t i = 0; i < bounds_.fields.size(); ++i) {
+    const index::BoundsCheck check =
+        index::CheckBounds(bounds_.fields[i], decoded_[i]);
+    if (check.kind == index::BoundsCheck::Kind::kInBounds) continue;
+
+    keystring::Builder seek;
+    if (check.kind == index::BoundsCheck::Kind::kSeekAhead) {
+      // Jump to (prefix values..., next interval lo, -inf...).
+      for (size_t j = 0; j < i; ++j) seek.AppendValue(decoded_[j]);
+      seek.AppendValue(*check.seek_to);
+      for (size_t j = i + 1; j < bounds_.fields.size(); ++j) {
+        seek.AppendMinKey();
+      }
+    } else {  // kExhausted
+      if (i == 0) {
+        // Leading field past its last interval: scan is complete.
+        done_ = true;
+        return State::kEof;
+      }
+      // Skip every remaining key sharing the prefix decoded_[0..i-1].
+      for (size_t j = 0; j < i; ++j) seek.AppendValue(decoded_[j]);
+      seek.AppendMaxKey();
+    }
+    const std::string seek_key = std::move(seek).Build();
+    if (seek_key <= key) {
+      // Defensive progress guarantee; should not normally trigger.
+      cursor_.Next();
+    } else {
+      cursor_ = index_.btree().SeekGE(seek_key);
+    }
+    return State::kNeedTime;
+  }
+
+  const storage::RecordId rid = cursor_.rid();
+  cursor_.Next();
+  if (index_.is_multikey() && !returned_rids_.insert(rid).second) {
+    return State::kNeedTime;  // already emitted via another key
+  }
+  *rid_out = rid;
+  return State::kAdvanced;
+}
+
+void IndexScanStage::AccumulateStats(ExecStats* stats) const {
+  stats->keys_examined += keys_examined_;
+}
+
+std::string IndexScanStage::Summary() const {
+  return "IXSCAN " + index_.descriptor().KeyPatternString();
+}
+
+FetchStage::FetchStage(const storage::RecordStore& records,
+                       std::unique_ptr<PlanStage> child, ExprPtr filter)
+    : records_(records), child_(std::move(child)), filter_(std::move(filter)) {}
+
+PlanStage::State FetchStage::Work(storage::RecordId* rid_out,
+                                  const bson::Document** doc_out) {
+  storage::RecordId rid = storage::kInvalidRecordId;
+  const bson::Document* unused = nullptr;
+  const State child_state = child_->Work(&rid, &unused);
+  if (child_state != State::kAdvanced) return child_state;
+
+  const bson::Document* doc = records_.Get(rid);
+  if (doc == nullptr) return State::kNeedTime;  // record vanished (migration)
+  ++docs_examined_;
+  if (filter_ != nullptr && !filter_->Matches(*doc)) return State::kNeedTime;
+  *rid_out = rid;
+  *doc_out = doc;
+  return State::kAdvanced;
+}
+
+void FetchStage::AccumulateStats(ExecStats* stats) const {
+  stats->docs_examined += docs_examined_;
+  child_->AccumulateStats(stats);
+}
+
+std::string FetchStage::Summary() const {
+  return "FETCH -> " + child_->Summary();
+}
+
+CollScanStage::CollScanStage(const storage::RecordStore& records,
+                             ExprPtr filter)
+    : records_(records), filter_(std::move(filter)) {}
+
+PlanStage::State CollScanStage::Work(storage::RecordId* rid_out,
+                                     const bson::Document** doc_out) {
+  *doc_out = nullptr;
+  if (next_id_ > records_.max_record_id()) return State::kEof;
+  const storage::RecordId rid = next_id_++;
+  const bson::Document* doc = records_.Get(rid);
+  if (doc == nullptr) return State::kNeedTime;
+  ++docs_examined_;
+  if (filter_ != nullptr && !filter_->Matches(*doc)) return State::kNeedTime;
+  *rid_out = rid;
+  *doc_out = doc;
+  return State::kAdvanced;
+}
+
+void CollScanStage::AccumulateStats(ExecStats* stats) const {
+  stats->docs_examined += docs_examined_;
+}
+
+std::string CollScanStage::Summary() const { return "COLLSCAN"; }
+
+}  // namespace stix::query

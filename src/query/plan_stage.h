@@ -1,0 +1,118 @@
+#ifndef STIX_QUERY_PLAN_STAGE_H_
+#define STIX_QUERY_PLAN_STAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "index/index.h"
+#include "index/index_bounds.h"
+#include "query/expression.h"
+#include "storage/btree.h"
+#include "storage/record_store.h"
+
+namespace stix::query {
+
+/// Execution counters in MongoDB explain() vocabulary. keysExamined counts
+/// index entries the scan visited (matching or not); docsExamined counts
+/// FETCH-stage record loads — the paper's two cost metrics.
+struct ExecStats {
+  uint64_t keys_examined = 0;
+  uint64_t docs_examined = 0;
+  uint64_t n_returned = 0;
+  uint64_t works = 0;
+  std::string plan_summary;  ///< e.g. "IXSCAN {date: 1}" or "COLLSCAN".
+};
+
+/// A Volcano-with-work-units plan stage (as in MongoDB's executor): each
+/// Work() call performs one unit of work and either produces a document,
+/// asks for more time, or signals end of stream. The unit granularity is
+/// what makes multi-plan "racing" meaningful.
+class PlanStage {
+ public:
+  enum class State { kAdvanced, kNeedTime, kEof };
+
+  virtual ~PlanStage() = default;
+
+  /// On kAdvanced, *doc_out points at the produced document (owned by the
+  /// record store) and *rid_out is its id.
+  virtual State Work(storage::RecordId* rid_out,
+                     const bson::Document** doc_out) = 0;
+
+  virtual void AccumulateStats(ExecStats* stats) const = 0;
+
+  virtual std::string Summary() const = 0;
+};
+
+/// Index scan with MongoDB-style compound-bounds checking: visits keys in
+/// order, validates every field position against its interval set, and
+/// seeks ahead over gaps (point-interval prefixes become direct seeks, range
+/// prefixes degrade trailing bounds into per-key checks — the asymmetry
+/// between the paper's bslST and bslTS lives exactly here).
+class IndexScanStage : public PlanStage {
+ public:
+  IndexScanStage(const index::Index& idx, index::IndexBounds bounds);
+
+  State Work(storage::RecordId* rid_out,
+             const bson::Document** doc_out) override;
+  void AccumulateStats(ExecStats* stats) const override;
+  std::string Summary() const override;
+
+ private:
+  /// Builds the lowest possible key consistent with the bounds' first
+  /// intervals, to position the initial seek.
+  std::string BuildStartKey() const;
+
+  const index::Index& index_;
+  index::IndexBounds bounds_;
+  storage::BTree::Cursor cursor_;
+  bool initialized_ = false;
+  bool done_ = false;
+  uint64_t keys_examined_ = 0;
+  std::vector<bson::Value> decoded_;  // scratch
+  /// Multikey indexes can emit a RecordId once per matching key; the scan
+  /// deduplicates so FETCH sees each document once (MongoDB semantics).
+  std::unordered_set<storage::RecordId> returned_rids_;
+};
+
+/// Fetches the document for each rid the child produces, counts it as
+/// examined, and applies the residual filter (the $geoWithin refinement and
+/// any predicates the index bounds did not cover).
+class FetchStage : public PlanStage {
+ public:
+  FetchStage(const storage::RecordStore& records,
+             std::unique_ptr<PlanStage> child, ExprPtr filter);
+
+  State Work(storage::RecordId* rid_out,
+             const bson::Document** doc_out) override;
+  void AccumulateStats(ExecStats* stats) const override;
+  std::string Summary() const override;
+
+ private:
+  const storage::RecordStore& records_;
+  std::unique_ptr<PlanStage> child_;
+  ExprPtr filter_;
+  uint64_t docs_examined_ = 0;
+};
+
+/// Full collection scan with a filter — the plan of last resort.
+class CollScanStage : public PlanStage {
+ public:
+  CollScanStage(const storage::RecordStore& records, ExprPtr filter);
+
+  State Work(storage::RecordId* rid_out,
+             const bson::Document** doc_out) override;
+  void AccumulateStats(ExecStats* stats) const override;
+  std::string Summary() const override;
+
+ private:
+  const storage::RecordStore& records_;
+  ExprPtr filter_;
+  storage::RecordId next_id_ = 1;
+  uint64_t docs_examined_ = 0;
+};
+
+}  // namespace stix::query
+
+#endif  // STIX_QUERY_PLAN_STAGE_H_

@@ -1,0 +1,37 @@
+#ifndef STIX_QUERY_PLANNER_H_
+#define STIX_QUERY_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index_catalog.h"
+#include "query/plan_stage.h"
+
+namespace stix::query {
+
+/// One runnable candidate plan.
+struct CandidatePlan {
+  std::unique_ptr<PlanStage> root;
+  std::string summary;
+  std::string index_name;  ///< Empty for COLLSCAN.
+};
+
+/// Generates candidate plans for a match expression against a collection's
+/// indexes, MongoDB-style:
+///  - an index is usable iff its *leading* field is constrained (an interval
+///    set for an ascending field, a $geoWithin for a 2dsphere field) —
+///    compound indexes are prefix-first (paper Section 3.1);
+///  - every usable index yields an IXSCAN+FETCH(filter) candidate whose
+///    bounds cover as many fields as have constraints;
+///  - if no index is usable, the single candidate is a filtered COLLSCAN.
+class Planner {
+ public:
+  static std::vector<CandidatePlan> Plan(const storage::RecordStore& records,
+                                         const index::IndexCatalog& catalog,
+                                         const ExprPtr& expr);
+};
+
+}  // namespace stix::query
+
+#endif  // STIX_QUERY_PLANNER_H_

@@ -1,0 +1,143 @@
+#include "st/approach.h"
+
+#include "common/stopwatch.h"
+
+namespace stix::st {
+
+const char* ApproachName(ApproachKind kind) {
+  switch (kind) {
+    case ApproachKind::kBslST:
+      return "bslST";
+    case ApproachKind::kBslTS:
+      return "bslTS";
+    case ApproachKind::kHil:
+      return "hil";
+    case ApproachKind::kHilStar:
+      return "hil*";
+  }
+  return "?";
+}
+
+Approach::Approach(const ApproachConfig& config) : config_(config) {
+  if (uses_hilbert()) {
+    const geo::Rect domain = config_.kind == ApproachKind::kHilStar
+                                 ? config_.dataset_mbr
+                                 : geo::GlobeRect();
+    hilbert_ = std::make_unique<geo::HilbertCurve>(config_.hilbert_order,
+                                                   domain);
+  }
+}
+
+cluster::ShardKeyPattern Approach::shard_key() const {
+  if (uses_hilbert()) {
+    return cluster::ShardKeyPattern({kHilbertField, kDateField},
+                                    cluster::ShardingStrategy::kRange);
+  }
+  return cluster::ShardKeyPattern({kDateField},
+                                  cluster::ShardingStrategy::kRange);
+}
+
+std::vector<index::IndexDescriptor> Approach::secondary_indexes() const {
+  std::vector<index::IndexDescriptor> out;
+  switch (config_.kind) {
+    case ApproachKind::kBslST:
+      out.emplace_back(
+          "location_2dsphere_date_1",
+          std::vector<index::IndexField>{
+              {kLocationField, index::IndexFieldKind::k2dsphere},
+              {kDateField, index::IndexFieldKind::kAscending}},
+          config_.geohash_bits);
+      break;
+    case ApproachKind::kBslTS:
+      out.emplace_back(
+          "date_1_location_2dsphere",
+          std::vector<index::IndexField>{
+              {kDateField, index::IndexFieldKind::kAscending},
+              {kLocationField, index::IndexFieldKind::k2dsphere}},
+          config_.geohash_bits);
+      break;
+    case ApproachKind::kHil:
+    case ApproachKind::kHilStar:
+      // The shard-key compound index {hilbertIndex, date} is the
+      // spatio-temporal index; nothing extra (paper A.3).
+      break;
+  }
+  return out;
+}
+
+Status Approach::EnrichDocument(bson::Document* doc) const {
+  if (!uses_hilbert()) return Status::OK();
+  const bson::Value* loc = doc->Get(kLocationField);
+  double lon, lat;
+  if (loc == nullptr || !bson::ExtractGeoJsonPoint(*loc, &lon, &lat)) {
+    return Status::InvalidArgument(
+        "document has no GeoJSON point in 'location'");
+  }
+  doc->Set(kHilbertField,
+           bson::Value::Int64(
+               static_cast<int64_t>(hilbert_->PointToD(lon, lat))));
+  return Status::OK();
+}
+
+TranslatedQuery Approach::TranslateQuery(const geo::Rect& rect,
+                                         int64_t t_begin_ms,
+                                         int64_t t_end_ms) const {
+  return TranslateRegionQuery(query::MakeGeoWithinBox(kLocationField, rect),
+                              geo::RectRegion(rect), t_begin_ms, t_end_ms);
+}
+
+TranslatedQuery Approach::TranslatePolygonQuery(const geo::Polygon& polygon,
+                                                int64_t t_begin_ms,
+                                                int64_t t_end_ms) const {
+  return TranslateRegionQuery(
+      query::MakeGeoWithinPolygon(kLocationField, polygon), polygon,
+      t_begin_ms, t_end_ms);
+}
+
+TranslatedQuery Approach::TranslateRegionQuery(query::ExprPtr geo_predicate,
+                                               const geo::Region& region,
+                                               int64_t t_begin_ms,
+                                               int64_t t_end_ms) const {
+  TranslatedQuery out;
+  std::vector<query::ExprPtr> conjuncts;
+  conjuncts.push_back(std::move(geo_predicate));
+  conjuncts.push_back(query::MakeRange(kDateField,
+                                       bson::Value::DateTime(t_begin_ms),
+                                       bson::Value::DateTime(t_end_ms)));
+
+  if (uses_hilbert()) {
+    Stopwatch cover_timer;
+    const geo::Covering covering = geo::CoverRegion(*hilbert_, region);
+    out.cover_millis = cover_timer.ElapsedMillis();
+
+    // Consecutive cells become ranges; isolated cells are width-one entries
+    // (the paper's $gte/$lte pairs plus $in, Section 4.2.2). The RangeSet
+    // node keeps the identical semantics but matches by binary search — a
+    // hil* covering over a small MBR can have thousands of arms.
+    std::vector<query::RangeSetExpr::Range> ranges;
+    ranges.reserve(covering.ranges.size());
+    for (const geo::DRange& r : covering.ranges) {
+      if (r.lo == r.hi) {
+        ++out.num_singletons;
+      } else {
+        ++out.num_ranges;
+      }
+      ranges.push_back(query::RangeSetExpr::Range{
+          bson::Value::Int64(static_cast<int64_t>(r.lo)),
+          bson::Value::Int64(static_cast<int64_t>(r.hi))});
+    }
+    if (!ranges.empty()) {
+      conjuncts.push_back(query::MakeRangeSet(kHilbertField,
+                                              std::move(ranges)));
+    }
+  }
+
+  out.expr = query::MakeAnd(std::move(conjuncts));
+  return out;
+}
+
+std::string Approach::zone_path() const {
+  return uses_hilbert() ? kHilbertField : kDateField;
+}
+
+}  // namespace stix::st

@@ -1,0 +1,109 @@
+#ifndef STIX_ST_APPROACH_H_
+#define STIX_ST_APPROACH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/chunk.h"
+#include "geo/covering.h"
+#include "geo/hilbert.h"
+#include "index/index_descriptor.h"
+#include "query/expression.h"
+
+namespace stix::st {
+
+/// Field names of the paper's document schema.
+inline constexpr char kLocationField[] = "location";
+inline constexpr char kDateField[] = "date";
+inline constexpr char kHilbertField[] = "hilbertIndex";
+
+/// The four evaluated methods (paper Section 5.1, "Methodology").
+enum class ApproachKind {
+  kBslST,    ///< Shard on {date}; compound index {location 2dsphere, date}.
+  kBslTS,    ///< Shard on {date}; compound index {date, location 2dsphere}.
+  kHil,      ///< hilbertIndex over the globe; shard {hilbertIndex, date}.
+  kHilStar,  ///< hilbertIndex over the dataset MBR; shard {hilbertIndex, date}.
+};
+
+const char* ApproachName(ApproachKind kind);
+
+/// Tunables shared by the approaches.
+struct ApproachConfig {
+  ApproachKind kind = ApproachKind::kHil;
+  /// Hilbert curve bits per dimension (paper: 13, matching the 26 total bits
+  /// of the 2dsphere GeoHash).
+  int hilbert_order = 13;
+  /// 2dsphere GeoHash precision in total bits (MongoDB default 26).
+  int geohash_bits = 26;
+  /// MBR of the data set; only consulted by kHilStar.
+  geo::Rect dataset_mbr = geo::GlobeRect();
+};
+
+/// A spatio-temporal range query translated into the store's match language,
+/// plus the cost of the curve-covering step (reported separately by the
+/// paper's Table 8 and excluded from its execution-time figures).
+struct TranslatedQuery {
+  query::ExprPtr expr;
+  double cover_millis = 0.0;  ///< Time spent in CoverRect (0 for baselines).
+  size_t num_ranges = 0;      ///< Width->1 ranges in the $or.
+  size_t num_singletons = 0;  ///< Cells that went into the $in.
+};
+
+/// Strategy object tying together everything one approach defines: how to
+/// shard, which indexes to build, how to enrich documents, how to phrase
+/// queries, and which field zones are keyed on (paper Section 4).
+class Approach {
+ public:
+  explicit Approach(const ApproachConfig& config);
+
+  const ApproachConfig& config() const { return config_; }
+  ApproachKind kind() const { return config_.kind; }
+  const char* name() const { return ApproachName(config_.kind); }
+  bool uses_hilbert() const {
+    return config_.kind == ApproachKind::kHil ||
+           config_.kind == ApproachKind::kHilStar;
+  }
+
+  /// Shard key ({date} for baselines, {hilbertIndex, date} for Hilbert).
+  cluster::ShardKeyPattern shard_key() const;
+
+  /// Secondary indexes beyond the shard-key and _id indexes (the baselines'
+  /// compound 2dsphere index; none for the Hilbert approaches).
+  std::vector<index::IndexDescriptor> secondary_indexes() const;
+
+  /// Adds the hilbertIndex field for Hilbert approaches; no-op otherwise.
+  /// Fails if the location field is not a GeoJSON point.
+  Status EnrichDocument(bson::Document* doc) const;
+
+  /// Rect + closed time interval -> the approach's query document
+  /// (baselines: $geoWithin + date range; Hilbert: plus the $or over
+  /// covering ranges / $in over single cells — Section 4.2.2).
+  TranslatedQuery TranslateQuery(const geo::Rect& rect, int64_t t_begin_ms,
+                                 int64_t t_end_ms) const;
+
+  /// Polygon variant (the paper's complex-geometry future-work item): same
+  /// covering machinery, exact point-in-polygon refinement.
+  TranslatedQuery TranslatePolygonQuery(const geo::Polygon& polygon,
+                                        int64_t t_begin_ms,
+                                        int64_t t_end_ms) const;
+
+  /// Field zones are defined on ("date" / "hilbertIndex"), Section 4.x.3.
+  std::string zone_path() const;
+
+  /// The curve behind hilbertIndex (null for baselines).
+  const geo::HilbertCurve* hilbert() const { return hilbert_.get(); }
+
+ private:
+  TranslatedQuery TranslateRegionQuery(query::ExprPtr geo_predicate,
+                                       const geo::Region& region,
+                                       int64_t t_begin_ms,
+                                       int64_t t_end_ms) const;
+
+  ApproachConfig config_;
+  std::unique_ptr<geo::HilbertCurve> hilbert_;
+};
+
+}  // namespace stix::st
+
+#endif  // STIX_ST_APPROACH_H_

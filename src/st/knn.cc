@@ -1,0 +1,56 @@
+#include "st/knn.h"
+
+#include <algorithm>
+
+namespace stix::st {
+
+KnnResult KnnQuery(const StStore& store, geo::Point center,
+                   int64_t t_begin_ms, int64_t t_end_ms,
+                   const KnnOptions& options) {
+  KnnResult result;
+  double radius_m = options.initial_radius_m;
+
+  for (int round = 0; round <= options.max_expansions; ++round) {
+    const geo::Rect ring = geo::RectAroundPoint(center, radius_m);
+    const StQueryResult query =
+        store.Query(ring, t_begin_ms, t_end_ms);
+    ++result.queries_issued;
+    result.total_keys_examined += query.cluster.total_keys_examined;
+
+    std::vector<Neighbor> candidates;
+    candidates.reserve(query.cluster.docs.size());
+    for (const bson::Document& doc : query.cluster.docs) {
+      const bson::Value* loc = doc.Get(kLocationField);
+      double lon, lat;
+      if (loc == nullptr || !bson::ExtractGeoJsonPoint(*loc, &lon, &lat)) {
+        continue;
+      }
+      candidates.push_back(
+          Neighbor{doc, geo::HaversineMeters(center, {lon, lat})});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance_m < b.distance_m;
+              });
+    if (candidates.size() > options.k) candidates.resize(options.k);
+
+    // Final iff the k-th candidate is certainly closer than anything the
+    // square might have missed (i.e. within the inscribed radius), or the
+    // square already spans the whole globe / expansion budget.
+    const bool covers_everything =
+        ring.lo.lon <= -180.0 && ring.hi.lon >= 180.0 &&
+        ring.lo.lat <= -90.0 && ring.hi.lat >= 90.0;
+    const bool complete =
+        candidates.size() >= options.k &&
+        candidates.back().distance_m <= radius_m;
+    if (complete || covers_everything || round == options.max_expansions) {
+      result.neighbors = std::move(candidates);
+      return result;
+    }
+    radius_m *= 2.0;
+    ++result.expansions;
+  }
+  return result;
+}
+
+}  // namespace stix::st

@@ -1,0 +1,46 @@
+#ifndef STIX_ST_KNN_H_
+#define STIX_ST_KNN_H_
+
+#include <vector>
+
+#include "st/st_store.h"
+
+namespace stix::st {
+
+/// k-nearest-neighbour search options.
+struct KnnOptions {
+  size_t k = 10;
+  /// First search ring radius; doubles on each expansion.
+  double initial_radius_m = 250.0;
+  /// Give up (return what was found) after this many doublings.
+  int max_expansions = 16;
+};
+
+/// One kNN answer: a matching document and its great-circle distance.
+struct Neighbor {
+  bson::Document doc;
+  double distance_m = 0.0;
+};
+
+/// kNN outcome plus the cost of the expanding search.
+struct KnnResult {
+  std::vector<Neighbor> neighbors;  ///< Ascending distance, `<= k` entries.
+  int expansions = 0;               ///< Radius doublings performed.
+  int queries_issued = 0;
+  uint64_t total_keys_examined = 0;
+};
+
+/// Finds the k documents nearest to `center` among those within the closed
+/// time interval, by expanding-ring range queries over the store (the
+/// classic space-filling-curve kNN recipe, here an extension on top of the
+/// paper's range-query machinery):
+/// a square of half-width r is queried; the answer is final once at least k
+/// candidates lie within distance r (no point outside the square can be
+/// closer). Otherwise r doubles.
+KnnResult KnnQuery(const StStore& store, geo::Point center,
+                   int64_t t_begin_ms, int64_t t_end_ms,
+                   const KnnOptions& options = {});
+
+}  // namespace stix::st
+
+#endif  // STIX_ST_KNN_H_

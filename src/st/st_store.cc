@@ -1,0 +1,70 @@
+#include "st/st_store.h"
+
+namespace stix::st {
+
+StStore::StStore(const StStoreOptions& options)
+    : options_(options),
+      approach_(options.approach),
+      cluster_(options.cluster),
+      id_generator_(options.cluster.seed ^ 0x1d5ULL) {}
+
+Status StStore::Setup() {
+  Status s = cluster_.ShardCollection(approach_.shard_key());
+  if (!s.ok()) return s;
+  for (const index::IndexDescriptor& desc : approach_.secondary_indexes()) {
+    s = cluster_.CreateIndex(desc);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status StStore::Insert(bson::Document doc) {
+  if (!doc.Has("_id")) {
+    const uint32_t load_seconds = static_cast<uint32_t>(
+        options_.load_clock_begin_ms / 1000 +
+        static_cast<int64_t>(inserted_ /
+                             static_cast<uint64_t>(
+                                 options_.docs_per_id_second)));
+    doc.Append("_id", bson::Value::Id(id_generator_.Generate(load_seconds)));
+  }
+  const Status s = approach_.EnrichDocument(&doc);
+  if (!s.ok()) return s;
+  ++inserted_;
+  return cluster_.Insert(std::move(doc));
+}
+
+Status StStore::FinishLoad() {
+  cluster_.Balance();
+  return Status::OK();
+}
+
+Status StStore::ConfigureZones() {
+  return cluster_.SetZonesByBucketAuto(approach_.zone_path());
+}
+
+StQueryResult StStore::Query(const geo::Rect& rect, int64_t t_begin_ms,
+                             int64_t t_end_ms) const {
+  StQueryResult out;
+  out.translated = approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
+  out.cluster = cluster_.Query(out.translated.expr);
+  return out;
+}
+
+Result<uint64_t> StStore::Delete(const geo::Rect& rect, int64_t t_begin_ms,
+                                 int64_t t_end_ms) {
+  const TranslatedQuery translated =
+      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
+  return cluster_.Delete(translated.expr);
+}
+
+StQueryResult StStore::QueryPolygon(const geo::Polygon& polygon,
+                                    int64_t t_begin_ms,
+                                    int64_t t_end_ms) const {
+  StQueryResult out;
+  out.translated =
+      approach_.TranslatePolygonQuery(polygon, t_begin_ms, t_end_ms);
+  out.cluster = cluster_.Query(out.translated.expr);
+  return out;
+}
+
+}  // namespace stix::st

@@ -1,0 +1,86 @@
+#ifndef STIX_ST_ST_STORE_H_
+#define STIX_ST_ST_STORE_H_
+
+#include <memory>
+
+#include "bson/object_id.h"
+#include "cluster/cluster.h"
+#include "st/approach.h"
+
+namespace stix::st {
+
+/// StStore configuration: an approach plus the cluster deployment.
+struct StStoreOptions {
+  ApproachConfig approach;
+  cluster::ClusterOptions cluster;
+  /// _id generation: the load clock starts here and advances one second per
+  /// `docs_per_id_second` inserts — the driver-side ObjectId timestamps the
+  /// paper's A.3 prefix-compression analysis depends on.
+  int64_t load_clock_begin_ms = 1538352000000;  // 2018-10-01T00:00:00Z
+  int docs_per_id_second = 128;
+};
+
+/// Result of one spatio-temporal query at cluster level.
+struct StQueryResult {
+  cluster::ClusterQueryResult cluster;
+  TranslatedQuery translated;
+};
+
+/// The paper's system: a sharded document store set up for one of the four
+/// approaches, exposing spatio-temporal load and query operations.
+///
+///   StStoreOptions opts;
+///   opts.approach.kind = ApproachKind::kHil;
+///   StStore store(opts);
+///   store.Setup();
+///   store.Insert(doc);            // doc has location + date fields
+///   store.FinishLoad();
+///   auto res = store.Query(rect, t0, t1);
+class StStore {
+ public:
+  explicit StStore(const StStoreOptions& options);
+
+  const Approach& approach() const { return approach_; }
+  cluster::Cluster& cluster() { return cluster_; }
+  const cluster::Cluster& cluster() const { return cluster_; }
+
+  /// Shards the collection and creates the approach's indexes.
+  Status Setup();
+
+  /// Adds _id (driver-style) and hilbertIndex (if applicable), then routes
+  /// the insert.
+  Status Insert(bson::Document doc);
+
+  /// Final balancer pass after bulk load.
+  Status FinishLoad();
+
+  /// Applies the approach's zone configuration ($bucketAuto equi-count
+  /// ranges on the zone path, one zone per shard) and migrates.
+  Status ConfigureZones();
+
+  /// Spatio-temporal range query: rectangle + closed time interval (millis).
+  StQueryResult Query(const geo::Rect& rect, int64_t t_begin_ms,
+                      int64_t t_end_ms) const;
+
+  /// Polygon + closed time interval — complex geometries over the same
+  /// indexing/sharding machinery (paper future work, Section 6).
+  StQueryResult QueryPolygon(const geo::Polygon& polygon, int64_t t_begin_ms,
+                             int64_t t_end_ms) const;
+
+  /// Deletes every document in the rectangle/time window (data retention:
+  /// the motivating fleet operators age out old positions). Returns the
+  /// number of documents removed.
+  Result<uint64_t> Delete(const geo::Rect& rect, int64_t t_begin_ms,
+                          int64_t t_end_ms);
+
+ private:
+  StStoreOptions options_;
+  Approach approach_;
+  cluster::Cluster cluster_;
+  bson::ObjectIdGenerator id_generator_;
+  uint64_t inserted_ = 0;
+};
+
+}  // namespace stix::st
+
+#endif  // STIX_ST_ST_STORE_H_

@@ -1,0 +1,305 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stix::storage {
+
+namespace {
+
+struct EntryRef {
+  std::string_view key;
+  RecordId rid;
+};
+
+bool EntryLess(std::string_view key_a, RecordId rid_a, std::string_view key_b,
+               RecordId rid_b) {
+  const int c = key_a.compare(key_b);
+  if (c != 0) return c < 0;
+  return rid_a < rid_b;
+}
+
+size_t CommonPrefixLen(std::string_view a, std::string_view b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+struct BTree::Node {
+  bool is_leaf;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+};
+
+struct BTree::LeafNode : BTree::Node {
+  struct Entry {
+    std::string key;
+    RecordId rid;
+  };
+
+  LeafNode() : Node(true) {}
+
+  std::vector<Entry> entries;
+  LeafNode* next = nullptr;
+  LeafNode* prev = nullptr;
+};
+
+struct BTree::InternalNode : BTree::Node {
+  InternalNode() : Node(false) {}
+
+  // Separators carry (key, rid) so that runs of duplicate keys may span a
+  // leaf split and still route correctly: child i covers entries in
+  // [separators[i], separators[i+1]) under (key, rid) order, and
+  // separators[0] is conceptually -inf (never compared).
+  struct Separator {
+    std::string key;
+    RecordId rid;
+  };
+  std::vector<Separator> separators;
+  std::vector<std::unique_ptr<Node>> children;
+
+  // Index of the child whose range contains the entry (key, rid).
+  size_t ChildIndexFor(std::string_view key, RecordId rid) const {
+    size_t lo = 1, result = 0;
+    size_t hi = separators.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      const Separator& sep = separators[mid];
+      if (EntryLess(sep.key, sep.rid, key, rid) ||
+          (sep.key == key && sep.rid == rid)) {
+        result = mid;
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return result;
+  }
+};
+
+BTree::BTree() : root_(std::make_unique<LeafNode>()) {}
+BTree::~BTree() = default;
+
+std::unique_ptr<BTree::Node> BTree::InsertRec(Node* node, std::string_view key,
+                                              RecordId rid,
+                                              std::string* split_key,
+                                              RecordId* split_rid) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    const auto it = std::lower_bound(
+        leaf->entries.begin(), leaf->entries.end(), EntryRef{key, rid},
+        [](const LeafNode::Entry& e, const EntryRef& probe) {
+          return EntryLess(e.key, e.rid, probe.key, probe.rid);
+        });
+    leaf->entries.insert(it, LeafNode::Entry{std::string(key), rid});
+    if (leaf->entries.size() <= kMaxLeafEntries) return nullptr;
+
+    // Split: move the upper half into a new right sibling.
+    auto right = std::make_unique<LeafNode>();
+    const size_t half = leaf->entries.size() / 2;
+    right->entries.assign(std::make_move_iterator(leaf->entries.begin() + half),
+                          std::make_move_iterator(leaf->entries.end()));
+    leaf->entries.resize(half);
+    right->next = leaf->next;
+    right->prev = leaf;
+    if (leaf->next != nullptr) leaf->next->prev = right.get();
+    leaf->next = right.get();
+    *split_key = right->entries.front().key;
+    *split_rid = right->entries.front().rid;
+    return right;
+  }
+
+  auto* internal = static_cast<InternalNode*>(node);
+  const size_t child_idx = internal->ChildIndexFor(key, rid);
+  std::string child_split_key;
+  RecordId child_split_rid = 0;
+  std::unique_ptr<Node> new_child =
+      InsertRec(internal->children[child_idx].get(), key, rid,
+                &child_split_key, &child_split_rid);
+  if (new_child == nullptr) return nullptr;
+
+  internal->separators.insert(
+      internal->separators.begin() + child_idx + 1,
+      InternalNode::Separator{std::move(child_split_key), child_split_rid});
+  internal->children.insert(internal->children.begin() + child_idx + 1,
+                            std::move(new_child));
+  if (internal->children.size() <= kMaxInternalChildren) return nullptr;
+
+  // Split the internal node.
+  auto right = std::make_unique<InternalNode>();
+  const size_t half = internal->children.size() / 2;
+  *split_key = internal->separators[half].key;
+  *split_rid = internal->separators[half].rid;
+  right->separators.assign(
+      std::make_move_iterator(internal->separators.begin() + half),
+      std::make_move_iterator(internal->separators.end()));
+  right->children.assign(
+      std::make_move_iterator(internal->children.begin() + half),
+      std::make_move_iterator(internal->children.end()));
+  internal->separators.resize(half);
+  internal->children.resize(half);
+  return right;
+}
+
+void BTree::Insert(std::string_view key, RecordId rid) {
+  std::string split_key;
+  RecordId split_rid = 0;
+  std::unique_ptr<Node> new_sibling =
+      InsertRec(root_.get(), key, rid, &split_key, &split_rid);
+  ++num_entries_;
+  if (new_sibling == nullptr) return;
+
+  auto new_root = std::make_unique<InternalNode>();
+  new_root->separators.push_back({});  // -inf placeholder
+  new_root->separators.push_back(
+      InternalNode::Separator{std::move(split_key), split_rid});
+  new_root->children.push_back(std::move(root_));
+  new_root->children.push_back(std::move(new_sibling));
+  root_ = std::move(new_root);
+  ++height_;
+}
+
+bool BTree::Remove(std::string_view key, RecordId rid) {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    node = internal->children[internal->ChildIndexFor(key, rid)].get();
+  }
+  auto* leaf = static_cast<LeafNode*>(node);
+  const auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), EntryRef{key, rid},
+      [](const LeafNode::Entry& e, const EntryRef& probe) {
+        return EntryLess(e.key, e.rid, probe.key, probe.rid);
+      });
+  if (it == leaf->entries.end() || it->key != key || it->rid != rid) {
+    return false;
+  }
+  leaf->entries.erase(it);
+  --num_entries_;
+  // Lazy deletion: underfull/empty leaves stay; cursors skip them.
+  return true;
+}
+
+const std::string& BTree::Cursor::key() const {
+  return static_cast<const LeafNode*>(leaf_)->entries[pos_].key;
+}
+
+RecordId BTree::Cursor::rid() const {
+  return static_cast<const LeafNode*>(leaf_)->entries[pos_].rid;
+}
+
+void BTree::Cursor::Next() {
+  ++pos_;
+  SkipEmptyLeaves();
+}
+
+void BTree::Cursor::SkipEmptyLeaves() {
+  auto* leaf = static_cast<LeafNode*>(leaf_);
+  while (leaf != nullptr && pos_ >= leaf->entries.size()) {
+    leaf = leaf->next;
+    pos_ = 0;
+  }
+  leaf_ = leaf;
+}
+
+BTree::Cursor BTree::First() const {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = static_cast<InternalNode*>(node)->children.front().get();
+  }
+  Cursor c;
+  c.leaf_ = node;
+  c.pos_ = 0;
+  c.SkipEmptyLeaves();
+  return c;
+}
+
+BTree::Cursor BTree::SeekGE(std::string_view key) const {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    node = internal->children[internal->ChildIndexFor(key, 0)].get();
+  }
+  auto* leaf = static_cast<LeafNode*>(node);
+  const auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafNode::Entry& e, std::string_view probe) {
+        return std::string_view(e.key) < probe;
+      });
+  Cursor c;
+  c.leaf_ = leaf;
+  c.pos_ = static_cast<size_t>(it - leaf->entries.begin());
+  c.SkipEmptyLeaves();
+  return c;
+}
+
+namespace {
+
+// Fixed overheads for size accounting: per entry (RecordId + slot) and per
+// page (headers), roughly WiredTiger's.
+constexpr uint64_t kPerEntryOverhead = 12;
+constexpr uint64_t kPerPageOverhead = 64;
+
+}  // namespace
+
+uint64_t BTree::SizeWithPrefixCompression() const {
+  uint64_t total = 0;
+  for (Cursor c = First(); c.Valid();) {
+    // Walk one leaf at a time.
+    const auto* leaf = static_cast<const LeafNode*>(c.leaf_);
+    total += kPerPageOverhead;
+    std::string_view prev;
+    bool first = true;
+    for (const auto& e : leaf->entries) {
+      if (first) {
+        total += e.key.size() + kPerEntryOverhead;
+        first = false;
+      } else {
+        total += e.key.size() - CommonPrefixLen(prev, e.key) +
+                 kPerEntryOverhead;
+      }
+      prev = e.key;
+    }
+    // Advance cursor past this leaf.
+    const void* this_leaf = c.leaf_;
+    while (c.Valid() && c.leaf_ == this_leaf) c.Next();
+  }
+  return total;
+}
+
+uint64_t BTree::SizeUncompressed() const {
+  uint64_t total = 0;
+  const void* current_leaf = nullptr;
+  for (Cursor c = First(); c.Valid(); c.Next()) {
+    if (c.leaf_ != current_leaf) {
+      total += kPerPageOverhead;
+      current_leaf = c.leaf_;
+    }
+    total += c.key().size() + kPerEntryOverhead;
+  }
+  return total;
+}
+
+bool BTree::CheckInvariants() const {
+  uint64_t entries_seen = 0;
+  // Check global ordering via leaf chain.
+  std::string prev_key;
+  RecordId prev_rid = 0;
+  bool first = true;
+  for (Cursor c = First(); c.Valid(); c.Next()) {
+    // Strict order over (key, rid): duplicates of the same pair never occur.
+    if (!first && !EntryLess(prev_key, prev_rid, c.key(), c.rid())) {
+      return false;
+    }
+    prev_key = c.key();
+    prev_rid = c.rid();
+    first = false;
+    ++entries_seen;
+  }
+  return entries_seen == num_entries_;
+}
+
+}  // namespace stix::storage

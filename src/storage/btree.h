@@ -1,0 +1,102 @@
+#ifndef STIX_STORAGE_BTREE_H_
+#define STIX_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/record_store.h"
+
+namespace stix::storage {
+
+/// An in-memory B+tree from KeyString bytes to RecordIds — the index
+/// structure under every MongoDB index (single-field, compound and the
+/// GeoHash cells of 2dsphere alike; see the paper's Table 1 and Section 3.1).
+///
+/// Entries are ordered by (key, rid) so duplicate keys are supported the way
+/// MongoDB's non-unique indexes are. Leaves are chained for range scans.
+/// `SizeWithPrefixCompression()` accounts storage the way WiredTiger's
+/// index prefix compression does, which is what makes the _id index grow
+/// after zone migration shuffles insertion order (paper Fig. 14).
+class BTree {
+ public:
+  /// Split thresholds. Small enough to give realistic tree heights at bench
+  /// scale, large enough to keep scans cache-friendly.
+  static constexpr size_t kMaxLeafEntries = 128;
+  static constexpr size_t kMaxInternalChildren = 64;
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) = default;
+  BTree& operator=(BTree&&) = default;
+
+  void Insert(std::string_view key, RecordId rid);
+
+  /// Removes one (key, rid) entry; false if not present.
+  bool Remove(std::string_view key, RecordId rid);
+
+  /// Forward cursor over (key, rid) entries in order.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    bool Valid() const { return leaf_ != nullptr; }
+    const std::string& key() const;
+    RecordId rid() const;
+    void Next();
+
+   private:
+    friend class BTree;
+    struct LeafNodeTag;
+    void* leaf_ = nullptr;  // LeafNode*, type-erased to keep the header small
+    size_t pos_ = 0;
+    void SkipEmptyLeaves();
+  };
+
+  /// Cursor at the smallest entry.
+  Cursor First() const;
+
+  /// Cursor at the first entry with entry.key >= key.
+  Cursor SeekGE(std::string_view key) const;
+
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Bytes this index would occupy with WiredTiger-style prefix compression:
+  /// within each leaf, every key pays only its suffix after the longest
+  /// common prefix with its predecessor, plus fixed per-entry and per-page
+  /// overheads.
+  uint64_t SizeWithPrefixCompression() const;
+
+  /// Bytes without prefix compression (full keys), for comparison benches.
+  uint64_t SizeUncompressed() const;
+
+  int height() const { return height_; }
+
+  /// Internal consistency check for tests: ordering within and across
+  /// leaves, separator correctness, entry count. Returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  // If the child split, returns the new right sibling and sets
+  // (*split_key, *split_rid) to its first entry.
+  std::unique_ptr<Node> InsertRec(Node* node, std::string_view key,
+                                  RecordId rid, std::string* split_key,
+                                  RecordId* split_rid);
+
+  std::unique_ptr<Node> root_;
+  uint64_t num_entries_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace stix::storage
+
+#endif  // STIX_STORAGE_BTREE_H_

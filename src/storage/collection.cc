@@ -1,0 +1,28 @@
+#include "storage/collection.h"
+
+#include "bson/codec.h"
+#include "common/lz.h"
+
+namespace stix::storage {
+
+CollectionStats Collection::ComputeStats() const {
+  CollectionStats stats;
+  stats.num_documents = records_.num_records();
+  stats.logical_bytes = records_.logical_size_bytes();
+
+  std::string block;
+  block.reserve(kBlockSize * 2);
+  uint64_t compressed = 0;
+  records_.ForEach([&](RecordId, const bson::Document& doc) {
+    block += bson::EncodeBson(doc);
+    if (block.size() >= kBlockSize) {
+      compressed += LzCompress(block).size();
+      block.clear();
+    }
+  });
+  if (!block.empty()) compressed += LzCompress(block).size();
+  stats.compressed_bytes = compressed;
+  return stats;
+}
+
+}  // namespace stix::storage

@@ -1,0 +1,40 @@
+#ifndef STIX_STORAGE_COLLECTION_H_
+#define STIX_STORAGE_COLLECTION_H_
+
+#include <cstdint>
+
+#include "storage/record_store.h"
+
+namespace stix::storage {
+
+/// Storage statistics mirrored after MongoDB's collStats.
+struct CollectionStats {
+  uint64_t num_documents = 0;
+  uint64_t logical_bytes = 0;     ///< Uncompressed BSON bytes.
+  uint64_t compressed_bytes = 0;  ///< After block compression (storageSize).
+};
+
+/// One shard-local collection: a record store plus WiredTiger-style storage
+/// accounting. Block compression is computed by actually serializing
+/// documents into 32 KB blocks and compressing them with the repo's LZ codec
+/// (snappy's role in the paper's deployment).
+class Collection {
+ public:
+  Collection() = default;
+
+  RecordStore& records() { return records_; }
+  const RecordStore& records() const { return records_; }
+
+  /// Computes full stats; compressed size is O(data) — call from benches and
+  /// storage reports, not per query.
+  CollectionStats ComputeStats() const;
+
+ private:
+  static constexpr size_t kBlockSize = 32 * 1024;
+
+  RecordStore records_;
+};
+
+}  // namespace stix::storage
+
+#endif  // STIX_STORAGE_COLLECTION_H_

@@ -1,0 +1,37 @@
+#include "storage/record_store.h"
+
+namespace stix::storage {
+
+RecordId RecordStore::Insert(bson::Document doc) {
+  logical_size_bytes_ += doc.ApproxBsonSize();
+  ++num_records_;
+  records_.emplace_back(std::move(doc));
+  return static_cast<RecordId>(records_.size());  // ids are 1-based
+}
+
+const bson::Document* RecordStore::Get(RecordId id) const {
+  if (id == kInvalidRecordId || id > records_.size()) return nullptr;
+  const auto& slot = records_[id - 1];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+bool RecordStore::Remove(RecordId id) {
+  if (id == kInvalidRecordId || id > records_.size()) return false;
+  auto& slot = records_[id - 1];
+  if (!slot.has_value()) return false;
+  logical_size_bytes_ -= slot->ApproxBsonSize();
+  --num_records_;
+  slot.reset();
+  return true;
+}
+
+void RecordStore::ForEach(
+    const std::function<void(RecordId, const bson::Document&)>& fn) const {
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].has_value()) {
+      fn(static_cast<RecordId>(i + 1), *records_[i]);
+    }
+  }
+}
+
+}  // namespace stix::storage

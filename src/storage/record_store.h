@@ -1,0 +1,61 @@
+#ifndef STIX_STORAGE_RECORD_STORE_H_
+#define STIX_STORAGE_RECORD_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bson/document.h"
+
+namespace stix::storage {
+
+/// Identifies a record within one shard's record store. 0 is invalid.
+using RecordId = uint64_t;
+constexpr RecordId kInvalidRecordId = 0;
+
+/// Heap of documents addressed by RecordId — the "collection data" half of a
+/// document store (indexes point into it with RecordIds, the FETCH stage
+/// reads through it and is what "docsExamined" counts).
+class RecordStore {
+ public:
+  RecordStore() = default;
+
+  RecordStore(const RecordStore&) = delete;
+  RecordStore& operator=(const RecordStore&) = delete;
+  RecordStore(RecordStore&&) = default;
+  RecordStore& operator=(RecordStore&&) = default;
+
+  /// Stores a document, returning its id.
+  RecordId Insert(bson::Document doc);
+
+  /// Returns the live document or nullptr (removed / never existed).
+  const bson::Document* Get(RecordId id) const;
+
+  /// Removes a record (used by chunk migration); false if already gone.
+  bool Remove(RecordId id);
+
+  /// Visits live records in RecordId order (collection scan order).
+  void ForEach(
+      const std::function<void(RecordId, const bson::Document&)>& fn) const;
+
+  uint64_t num_records() const { return num_records_; }
+
+  /// Highest RecordId ever issued (ids are dense from 1; removed slots stay
+  /// addressable and return nullptr).
+  RecordId max_record_id() const {
+    return static_cast<RecordId>(records_.size());
+  }
+
+  /// Sum of ApproxBsonSize over live documents — the uncompressed data size.
+  uint64_t logical_size_bytes() const { return logical_size_bytes_; }
+
+ private:
+  std::vector<std::optional<bson::Document>> records_;
+  uint64_t num_records_ = 0;
+  uint64_t logical_size_bytes_ = 0;
+};
+
+}  // namespace stix::storage
+
+#endif  // STIX_STORAGE_RECORD_STORE_H_

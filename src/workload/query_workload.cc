@@ -1,0 +1,50 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stix::workload {
+
+geo::Rect SmallQueryRect() {
+  return {{23.757495, 37.987295}, {23.766958, 37.992997}};
+}
+
+geo::Rect BigQueryRect() {
+  return {{23.606039, 38.023982}, {24.032754, 38.353926}};
+}
+
+std::vector<StQuerySpec> MakeQuerySet(bool big, int64_t span_begin_ms,
+                                      int64_t span_end_ms) {
+  constexpr int64_t kHourMs = 3600LL * 1000;
+  const int64_t durations[4] = {kHourMs, 24 * kHourMs, 7 * 24 * kHourMs,
+                                30 * 24 * kHourMs};
+  // Disjoint placement at fractions of the span; clamp so Q4 fits even in
+  // the S set's 2.5-month span.
+  const double offsets[4] = {0.10, 0.20, 0.35, 0.55};
+  const int64_t span = span_end_ms - span_begin_ms;
+  assert(span > durations[3] && "data span shorter than the longest query");
+
+  const geo::Rect rect = big ? BigQueryRect() : SmallQueryRect();
+  std::vector<StQuerySpec> out;
+  int64_t prev_end = span_begin_ms;
+  for (int i = 0; i < 4; ++i) {
+    StQuerySpec q;
+    q.name = "Q" + std::to_string(i + 1) + (big ? "^b" : "^s");
+    q.rect = rect;
+    int64_t begin =
+        span_begin_ms + static_cast<int64_t>(offsets[i] * static_cast<double>(span));
+    begin = std::max(begin, prev_end);  // keep the spans disjoint
+    int64_t end = begin + durations[i];
+    if (end > span_end_ms) {
+      end = span_end_ms;
+      begin = std::max(span_begin_ms, end - durations[i]);
+    }
+    q.t_begin_ms = begin;
+    q.t_end_ms = end;
+    prev_end = end;
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace stix::workload

@@ -1,0 +1,40 @@
+#ifndef STIX_WORKLOAD_QUERY_WORKLOAD_H_
+#define STIX_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace stix::workload {
+
+/// One spatio-temporal range query of the benchmark.
+struct StQuerySpec {
+  std::string name;  ///< "Q1^s" .. "Q4^b"
+  geo::Rect rect;
+  int64_t t_begin_ms = 0;
+  int64_t t_end_ms = 0;
+
+  double duration_hours() const {
+    return static_cast<double>(t_end_ms - t_begin_ms) / 3600000.0;
+  }
+};
+
+/// The paper's small-query rectangle (526 km^2, central Athens):
+/// [(23.757495, 37.987295), (23.766958, 37.992997)].
+geo::Rect SmallQueryRect();
+
+/// The paper's big-query rectangle (~2603x larger):
+/// [(23.606039, 38.023982), (24.032754, 38.353926)].
+geo::Rect BigQueryRect();
+
+/// Builds Q1..Q4 of one category over a data set's time span: temporal
+/// constraints of 1 hour, 1 day, 1 week and 1 month, placed on disjoint
+/// sub-spans (the paper's queries do not overlap temporally).
+std::vector<StQuerySpec> MakeQuerySet(bool big, int64_t span_begin_ms,
+                                      int64_t span_end_ms);
+
+}  // namespace stix::workload
+
+#endif  // STIX_WORKLOAD_QUERY_WORKLOAD_H_

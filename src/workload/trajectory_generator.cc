@@ -1,0 +1,150 @@
+#include "workload/trajectory_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stix::workload {
+namespace {
+
+/// Urban hotspots with selection weights and spread — the spatial skew of
+/// the fleet data (Athens dominates, as the paper's query rectangles
+/// suggest). The dense "Athens core" models the downtown area the paper's
+/// small query rectangle targets: fleet activity concentrates on a few
+/// city-centre blocks.
+struct City {
+  double lon;
+  double lat;
+  double weight;
+  double sigma;  ///< Gaussian spread of destinations, degrees.
+};
+
+constexpr City kCities[] = {
+    {23.7620, 37.9900, 0.12, 0.006},  // Athens core (downtown blocks)
+    {23.7275, 37.9838, 0.24, 0.050},  // Athens metro area
+    {22.9444, 40.6401, 0.17, 0.040},  // Thessaloniki
+    {21.7346, 38.2466, 0.10, 0.035},  // Patras
+    {25.1442, 35.3387, 0.08, 0.030},  // Heraklion
+    {22.4194, 39.6390, 0.07, 0.030},  // Larissa
+    {22.9444, 39.3622, 0.06, 0.025},  // Volos
+    {20.8537, 39.6650, 0.05, 0.025},  // Ioannina
+    {24.4019, 40.9396, 0.05, 0.025},  // Kavala
+};
+constexpr double kCityWeightTotal = 0.94;  // remainder: uniform background
+
+constexpr const char* kRoadTypes[] = {"motorway", "primary", "secondary",
+                                      "residential", "service"};
+
+}  // namespace
+
+TrajectoryGenerator::TrajectoryGenerator(const TrajectoryOptions& options)
+    : options_(options), rng_(options.seed) {
+  // Sampling cadence so all vehicles together emit num_records over the span.
+  const double span_s =
+      static_cast<double>(options_.t_end_ms - options_.t_begin_ms) / 1000.0;
+  sample_interval_s_ = span_s * static_cast<double>(options_.num_vehicles) /
+                       static_cast<double>(options_.num_records);
+
+  // A mildly repetitive payload: compresses, but not perfectly, like real
+  // telemetry CSV columns.
+  payload_template_.reserve(options_.payload_bytes);
+  while (payload_template_.size() < options_.payload_bytes) {
+    payload_template_ += "sensor=ok;rpm=";
+    payload_template_ += std::to_string(800 + rng_.NextInt(0, 2400));
+    payload_template_ += ";din=1;";
+  }
+  payload_template_.resize(options_.payload_bytes);
+
+  vehicles_.reserve(options_.num_vehicles);
+  for (int i = 0; i < options_.num_vehicles; ++i) {
+    Vehicle v;
+    v.id = i;
+    v.pos = PickDestination();
+    v.dest = PickDestination();
+    // 8..28 m/s in degrees (~1e-5 deg/m).
+    v.speed_deg_per_s = rng_.NextDouble(8.0, 28.0) / 111000.0;
+    // Staggered start so the first samples are spread over one interval.
+    v.next_emit_ms =
+        options_.t_begin_ms +
+        static_cast<int64_t>(rng_.NextDouble() * sample_interval_s_ * 1000.0);
+    v.fuel = rng_.NextDouble(20.0, 100.0);
+    v.odometer_km = rng_.NextDouble(0.0, 250000.0);
+    vehicles_.push_back(v);
+  }
+  for (Vehicle& v : vehicles_) schedule_.push(&v);
+}
+
+geo::Point TrajectoryGenerator::PickDestination() {
+  const double r = rng_.NextDouble();
+  if (r < kCityWeightTotal) {
+    double acc = 0.0;
+    for (const City& c : kCities) {
+      acc += c.weight;
+      if (r < acc) {
+        geo::Point p{c.lon + rng_.NextGaussian() * c.sigma,
+                     c.lat + rng_.NextGaussian() * c.sigma * 0.8};
+        p.lon = std::clamp(p.lon, options_.mbr.lo.lon, options_.mbr.hi.lon);
+        p.lat = std::clamp(p.lat, options_.mbr.lo.lat, options_.mbr.hi.lat);
+        return p;
+      }
+    }
+  }
+  return geo::Point{rng_.NextDouble(options_.mbr.lo.lon, options_.mbr.hi.lon),
+                    rng_.NextDouble(options_.mbr.lo.lat, options_.mbr.hi.lat)};
+}
+
+void TrajectoryGenerator::Advance(Vehicle* v, double dt_seconds) {
+  const double dx = v->dest.lon - v->pos.lon;
+  const double dy = v->dest.lat - v->pos.lat;
+  const double dist = std::sqrt(dx * dx + dy * dy);
+  const double step = v->speed_deg_per_s * dt_seconds;
+  if (dist <= step || dist < 1e-9) {
+    v->pos = v->dest;
+    v->dest = PickDestination();
+    v->speed_deg_per_s = rng_.NextDouble(8.0, 28.0) / 111000.0;
+  } else {
+    v->pos.lon += dx / dist * step + rng_.NextGaussian() * 5e-4;
+    v->pos.lat += dy / dist * step + rng_.NextGaussian() * 5e-4;
+    v->pos.lon = std::clamp(v->pos.lon, options_.mbr.lo.lon,
+                            options_.mbr.hi.lon);
+    v->pos.lat = std::clamp(v->pos.lat, options_.mbr.lo.lat,
+                            options_.mbr.hi.lat);
+  }
+  v->odometer_km += v->speed_deg_per_s * 111.0 * dt_seconds;
+  v->fuel -= dt_seconds * 0.002;
+  if (v->fuel < 5.0) v->fuel = 100.0;  // refuel
+}
+
+bool TrajectoryGenerator::Next(bson::Document* doc) {
+  if (emitted_ >= options_.num_records || schedule_.empty()) return false;
+  Vehicle* v = schedule_.top();
+  schedule_.pop();
+  const int64_t now_ms = v->next_emit_ms;
+
+  *doc = bson::Document();
+  doc->Append("vehicleId", bson::Value::Int32(v->id));
+  doc->Append(
+      "location",
+      bson::Value::MakeDocument(bson::GeoJsonPoint(v->pos.lon, v->pos.lat)));
+  doc->Append("date", bson::Value::DateTime(now_ms));
+  doc->Append("speed",
+              bson::Value::Double(v->speed_deg_per_s * 111000.0 * 3.6));
+  doc->Append("heading", bson::Value::Double(rng_.NextDouble(0.0, 360.0)));
+  doc->Append("fuelLevel", bson::Value::Double(v->fuel));
+  doc->Append("odometer", bson::Value::Double(v->odometer_km));
+  doc->Append("roadType", bson::Value::String(
+                              kRoadTypes[rng_.NextBounded(5)]));
+  doc->Append("temperatureC", bson::Value::Double(rng_.NextDouble(8.0, 38.0)));
+  doc->Append("poiDistanceM", bson::Value::Double(rng_.NextDouble(0, 2500)));
+  doc->Append("payload", bson::Value::String(payload_template_));
+
+  // Schedule the vehicle's next sample with +-20% jitter and advance it.
+  const double dt = sample_interval_s_ * rng_.NextDouble(0.8, 1.2);
+  Advance(v, dt);
+  v->next_emit_ms = now_ms + static_cast<int64_t>(dt * 1000.0);
+  if (v->next_emit_ms < options_.t_end_ms) schedule_.push(v);
+
+  ++emitted_;
+  return true;
+}
+
+}  // namespace stix::workload

@@ -1,0 +1,79 @@
+#ifndef STIX_WORKLOAD_TRAJECTORY_GENERATOR_H_
+#define STIX_WORKLOAD_TRAJECTORY_GENERATOR_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "bson/document.h"
+#include "common/rng.h"
+#include "geo/geo.h"
+
+namespace stix::workload {
+
+/// Stand-in for the paper's proprietary fleet-management data set (R):
+/// GPS traces of vehicles moving inside Greece's MBR between hotspot cities,
+/// sampled in global time order (the order a CSV bulk load would insert).
+/// The properties the experiments depend on are reproduced: heavy spatial
+/// skew around urban hotspots with inter-city corridors, per-record extra
+/// telemetry fields (the paper's 75 CSV columns), and a five-month span.
+struct TrajectoryOptions {
+  uint64_t seed = 7;
+  uint64_t num_records = 250000;
+  int num_vehicles = 400;
+  /// Paper R MBR: [(19.632533, 34.929233), (28.245285, 41.757797)].
+  geo::Rect mbr = {{19.632533, 34.929233}, {28.245285, 41.757797}};
+  int64_t t_begin_ms = 1530403200000;  ///< 2018-07-01T00:00:00Z
+  int64_t t_end_ms = 1543622400000;    ///< 2018-12-01T00:00:00Z
+  /// Opaque blob standing in for the remaining CSV columns (weather, road
+  /// network, POIs, ...) so document sizes resemble the real set at bench
+  /// scale.
+  size_t payload_bytes = 256;
+};
+
+class TrajectoryGenerator {
+ public:
+  explicit TrajectoryGenerator(const TrajectoryOptions& options);
+
+  /// Produces the next record in global time order; false when exhausted.
+  bool Next(bson::Document* doc);
+
+  const TrajectoryOptions& options() const { return options_; }
+  uint64_t emitted() const { return emitted_; }
+
+  /// MBR of the paper's real data set.
+  static geo::Rect GreeceMbr() {
+    return {{19.632533, 34.929233}, {28.245285, 41.757797}};
+  }
+
+ private:
+  struct Vehicle {
+    int id;
+    geo::Point pos;
+    geo::Point dest;
+    double speed_deg_per_s;  // great-circle speed expressed in degrees
+    int64_t next_emit_ms;
+    double fuel;
+    double odometer_km;
+  };
+  struct EmitOrder {
+    bool operator()(const Vehicle* a, const Vehicle* b) const {
+      return a->next_emit_ms > b->next_emit_ms;
+    }
+  };
+
+  geo::Point PickDestination();
+  void Advance(Vehicle* v, double dt_seconds);
+
+  TrajectoryOptions options_;
+  Rng rng_;
+  std::vector<Vehicle> vehicles_;
+  std::priority_queue<Vehicle*, std::vector<Vehicle*>, EmitOrder> schedule_;
+  double sample_interval_s_;
+  uint64_t emitted_ = 0;
+  std::string payload_template_;
+};
+
+}  // namespace stix::workload
+
+#endif  // STIX_WORKLOAD_TRAJECTORY_GENERATOR_H_

@@ -1,0 +1,20 @@
+#include "workload/uniform_generator.h"
+
+namespace stix::workload {
+
+bool UniformGenerator::Next(bson::Document* doc) {
+  if (emitted_ >= options_.num_records) return false;
+  *doc = bson::Document();
+  doc->Append("id", bson::Value::Int64(static_cast<int64_t>(emitted_)));
+  doc->Append("location",
+              bson::Value::MakeDocument(bson::GeoJsonPoint(
+                  rng_.NextDouble(options_.mbr.lo.lon, options_.mbr.hi.lon),
+                  rng_.NextDouble(options_.mbr.lo.lat, options_.mbr.hi.lat))));
+  doc->Append("date",
+              bson::Value::DateTime(rng_.NextInt(options_.t_begin_ms,
+                                                 options_.t_end_ms - 1)));
+  ++emitted_;
+  return true;
+}
+
+}  // namespace stix::workload

@@ -1,0 +1,48 @@
+#ifndef STIX_WORKLOAD_UNIFORM_GENERATOR_H_
+#define STIX_WORKLOAD_UNIFORM_GENERATOR_H_
+
+#include <cstdint>
+
+#include "bson/document.h"
+#include "common/rng.h"
+#include "geo/geo.h"
+
+namespace stix::workload {
+
+/// The paper's synthetic S set: uniformly random (id, longitude, latitude,
+/// date) records over a small MBR (1.54% of R's area) and half of R's time
+/// span, with twice as many records.
+struct UniformOptions {
+  uint64_t seed = 11;
+  uint64_t num_records = 500000;
+  /// Paper S MBR: [(23.3, 37.6), (24.3, 38.5)].
+  geo::Rect mbr = {{23.3, 37.6}, {24.3, 38.5}};
+  int64_t t_begin_ms = 1530403200000;  ///< 2018-07-01T00:00:00Z
+  int64_t t_end_ms = 1537012800000;    ///< 2018-09-15T12:00:00Z (2.5 months)
+};
+
+class UniformGenerator {
+ public:
+  explicit UniformGenerator(const UniformOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Produces the next record; false when `num_records` have been emitted.
+  /// Dates are random, so records arrive in *load* order, not time order —
+  /// exactly what makes the S set's _id index compress differently from R's
+  /// (paper A.3).
+  bool Next(bson::Document* doc);
+
+  const UniformOptions& options() const { return options_; }
+  uint64_t emitted() const { return emitted_; }
+
+  static geo::Rect PaperMbr() { return {{23.3, 37.6}, {24.3, 38.5}}; }
+
+ private:
+  UniformOptions options_;
+  Rng rng_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace stix::workload
+
+#endif  // STIX_WORKLOAD_UNIFORM_GENERATOR_H_

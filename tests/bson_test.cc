@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "bson/codec.h"
+#include "bson/document.h"
+#include "bson/json_writer.h"
+#include "bson/object_id.h"
+#include "bson/value.h"
+#include "common/rng.h"
+
+namespace stix::bson {
+namespace {
+
+// ---------- Value basics ----------
+
+TEST(ValueTest, TypesReport) {
+  EXPECT_EQ(Value::Null().type(), Type::kNull);
+  EXPECT_EQ(Value::Bool(true).type(), Type::kBool);
+  EXPECT_EQ(Value::Int32(1).type(), Type::kInt32);
+  EXPECT_EQ(Value::Int64(1).type(), Type::kInt64);
+  EXPECT_EQ(Value::Double(1.0).type(), Type::kDouble);
+  EXPECT_EQ(Value::String("x").type(), Type::kString);
+  EXPECT_EQ(Value::DateTime(0).type(), Type::kDateTime);
+  EXPECT_EQ(Value::MakeArray({}).type(), Type::kArray);
+  EXPECT_EQ(Value::MakeDocument(Document()).type(), Type::kDocument);
+}
+
+TEST(ValueTest, NumberWidening) {
+  EXPECT_DOUBLE_EQ(Value::Int32(7).NumberAsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Int64(1LL << 40).NumberAsDouble(),
+                   static_cast<double>(1LL << 40));
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).NumberAsDouble(), 2.5);
+}
+
+TEST(ValueCompareTest, CrossWidthNumericEquality) {
+  EXPECT_EQ(Compare(Value::Int32(5), Value::Int64(5)), 0);
+  EXPECT_EQ(Compare(Value::Int64(5), Value::Double(5.0)), 0);
+  EXPECT_LT(Compare(Value::Int32(4), Value::Double(4.5)), 0);
+  EXPECT_GT(Compare(Value::Int64(10), Value::Double(9.5)), 0);
+}
+
+TEST(ValueCompareTest, CanonicalTypeOrder) {
+  // Null < numbers < string < document < array < objectid < bool < date.
+  EXPECT_LT(Compare(Value::Null(), Value::Int32(0)), 0);
+  EXPECT_LT(Compare(Value::Int32(999), Value::String("")), 0);
+  EXPECT_LT(Compare(Value::String("zzz"),
+                    Value::MakeDocument(Document())), 0);
+  EXPECT_LT(Compare(Value::MakeDocument(Document()), Value::MakeArray({})), 0);
+  EXPECT_LT(Compare(Value::Bool(true), Value::DateTime(0)), 0);
+}
+
+TEST(ValueCompareTest, StringsLexicographic) {
+  EXPECT_LT(Compare(Value::String("abc"), Value::String("abd")), 0);
+  EXPECT_EQ(Compare(Value::String("abc"), Value::String("abc")), 0);
+  EXPECT_LT(Compare(Value::String("ab"), Value::String("abc")), 0);
+}
+
+TEST(ValueCompareTest, DatesByMillis) {
+  EXPECT_LT(Compare(Value::DateTime(1000), Value::DateTime(2000)), 0);
+  EXPECT_EQ(Compare(Value::DateTime(5), Value::DateTime(5)), 0);
+}
+
+TEST(ValueCompareTest, ArraysElementWiseThenLength) {
+  const Value a = Value::MakeArray({Value::Int32(1), Value::Int32(2)});
+  const Value b = Value::MakeArray({Value::Int32(1), Value::Int32(3)});
+  const Value c = Value::MakeArray({Value::Int32(1)});
+  EXPECT_LT(Compare(a, b), 0);
+  EXPECT_LT(Compare(c, a), 0);
+}
+
+TEST(ValueCompareTest, Int64BeyondDoublePrecisionStaysExact) {
+  const int64_t base = (1LL << 60) + 1;
+  EXPECT_LT(Compare(Value::Int64(base), Value::Int64(base + 1)), 0);
+}
+
+// ---------- Document ----------
+
+TEST(DocumentTest, AppendAndGet) {
+  auto doc = DocBuilder().Field("a", 1).Field("b", "two").Build();
+  ASSERT_NE(doc.Get("a"), nullptr);
+  EXPECT_EQ(doc.Get("a")->AsInt32(), 1);
+  EXPECT_EQ(doc.Get("b")->AsString(), "two");
+  EXPECT_EQ(doc.Get("missing"), nullptr);
+}
+
+TEST(DocumentTest, SetReplacesOrAppends) {
+  Document doc;
+  doc.Set("x", Value::Int32(1));
+  doc.Set("x", Value::Int32(2));
+  EXPECT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc.Get("x")->AsInt32(), 2);
+}
+
+TEST(DocumentTest, GetPathThroughNestedDocuments) {
+  Document inner;
+  inner.Append("deep", Value::String("value"));
+  auto doc = DocBuilder().Field("outer", std::move(inner)).Build();
+  const Value* v = doc.GetPath("outer.deep");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->AsString(), "value");
+  EXPECT_EQ(doc.GetPath("outer.missing"), nullptr);
+  EXPECT_EQ(doc.GetPath("missing.deep"), nullptr);
+}
+
+TEST(DocumentTest, GetPathThroughArrays) {
+  Document doc = GeoJsonPoint(23.7, 37.9);
+  const Value* lon = doc.GetPath("coordinates.0");
+  const Value* lat = doc.GetPath("coordinates.1");
+  ASSERT_NE(lon, nullptr);
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lon->AsDouble(), 23.7);
+  EXPECT_DOUBLE_EQ(lat->AsDouble(), 37.9);
+  EXPECT_EQ(doc.GetPath("coordinates.2"), nullptr);
+  EXPECT_EQ(doc.GetPath("coordinates.x"), nullptr);
+}
+
+TEST(DocumentTest, FieldOrderPreserved) {
+  auto doc =
+      DocBuilder().Field("z", 1).Field("a", 2).Field("m", 3).Build();
+  EXPECT_EQ(doc.field(0).first, "z");
+  EXPECT_EQ(doc.field(1).first, "a");
+  EXPECT_EQ(doc.field(2).first, "m");
+}
+
+TEST(DocumentTest, ApproxBsonSizeMatchesEncodedSize) {
+  auto doc = DocBuilder()
+                 .Field("name", "athens")
+                 .Field("n", 42)
+                 .Field("f", 2.75)
+                 .Field("point", GeoJsonPoint(23.72, 37.98))
+                 .Build();
+  EXPECT_EQ(doc.ApproxBsonSize(), EncodeBson(doc).size());
+}
+
+TEST(GeoJsonTest, PointRoundTrip) {
+  const Document p = GeoJsonPoint(23.727539, 37.983810);
+  double lon = 0, lat = 0;
+  ASSERT_TRUE(ExtractGeoJsonPoint(Value::MakeDocument(p), &lon, &lat));
+  EXPECT_DOUBLE_EQ(lon, 23.727539);
+  EXPECT_DOUBLE_EQ(lat, 37.983810);
+}
+
+TEST(GeoJsonTest, RejectsNonPoints) {
+  double lon, lat;
+  EXPECT_FALSE(ExtractGeoJsonPoint(Value::Int32(3), &lon, &lat));
+  Document bad;
+  bad.Append("type", Value::String("Polygon"));
+  EXPECT_FALSE(
+      ExtractGeoJsonPoint(Value::MakeDocument(std::move(bad)), &lon, &lat));
+  Document missing_coords;
+  missing_coords.Append("type", Value::String("Point"));
+  EXPECT_FALSE(ExtractGeoJsonPoint(Value::MakeDocument(std::move(missing_coords)),
+                                   &lon, &lat));
+}
+
+// ---------- ObjectId ----------
+
+TEST(ObjectIdTest, GeneratorEmbedsTimestamp) {
+  ObjectIdGenerator gen(99);
+  const ObjectId id = gen.Generate(1538352000);
+  EXPECT_EQ(id.timestamp_seconds(), 1538352000u);
+}
+
+TEST(ObjectIdTest, CounterAdvancesMonotonically) {
+  ObjectIdGenerator gen(99);
+  const ObjectId a = gen.Generate(100);
+  const ObjectId b = gen.Generate(100);
+  EXPECT_LT(a, b);  // same timestamp, counter breaks the tie
+}
+
+TEST(ObjectIdTest, OrderFollowsTimestamp) {
+  ObjectIdGenerator gen(99);
+  const ObjectId later = gen.Generate(2000);
+  const ObjectId earlier = gen.Generate(1000);
+  // Timestamp dominates even though the counter went up.
+  EXPECT_LT(earlier, later);
+}
+
+TEST(ObjectIdTest, HexIs24Chars) {
+  ObjectIdGenerator gen(1);
+  EXPECT_EQ(gen.Generate(42).ToHex().size(), 24u);
+}
+
+TEST(ObjectIdTest, SharedPrefixForNearbyTimestamps) {
+  // The property Fig. 14's prefix-compression analysis rests on.
+  ObjectIdGenerator gen(5);
+  const ObjectId a = gen.Generate(1538352000);
+  const ObjectId b = gen.Generate(1538352001);
+  int common = 0;
+  while (common < 12 && a.bytes()[common] == b.bytes()[common]) ++common;
+  EXPECT_GE(common, 3);  // timestamps differ only in the last byte
+}
+
+// ---------- codec ----------
+
+TEST(CodecTest, RoundTripsAllTypes) {
+  Array arr{Value::Int32(1), Value::String("two"), Value::Null()};
+  ObjectIdGenerator gen(3);
+  auto doc = DocBuilder()
+                 .Field("_id", Value::Id(gen.Generate(1234)))
+                 .Field("null", Value::Null())
+                 .Field("bool", true)
+                 .Field("i32", 7)
+                 .Field("i64", Value::Int64(1LL << 40))
+                 .Field("dbl", 3.25)
+                 .Field("str", "hello")
+                 .Field("date", Value::DateTime(1538383980067))
+                 .Field("arr", Value::MakeArray(arr))
+                 .Field("sub", GeoJsonPoint(1.5, 2.5))
+                 .Build();
+  const std::string bytes = EncodeBson(doc);
+  const Result<Document> decoded = DecodeBson(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(Compare(doc, *decoded), 0);
+}
+
+TEST(CodecTest, RejectsTruncated) {
+  const std::string bytes =
+      EncodeBson(DocBuilder().Field("a", 1).Field("b", "xyz").Build());
+  for (size_t cut : {0UL, 1UL, 4UL, bytes.size() - 1}) {
+    EXPECT_FALSE(DecodeBson(std::string_view(bytes.data(), cut)).ok());
+  }
+}
+
+TEST(CodecTest, RejectsTrailingGarbage) {
+  std::string bytes = EncodeBson(DocBuilder().Field("a", 1).Build());
+  bytes += "junk";
+  EXPECT_FALSE(DecodeBson(bytes).ok());
+}
+
+TEST(CodecTest, RandomDocumentsRoundTrip) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    Document doc;
+    const int fields = static_cast<int>(rng.NextBounded(8)) + 1;
+    for (int f = 0; f < fields; ++f) {
+      const std::string name = "f" + std::to_string(f);
+      switch (rng.NextBounded(5)) {
+        case 0:
+          doc.Append(name, Value::Int32(static_cast<int32_t>(rng.Next())));
+          break;
+        case 1:
+          doc.Append(name, Value::Double(rng.NextDouble(-1e6, 1e6)));
+          break;
+        case 2:
+          doc.Append(name, Value::String(std::string(rng.NextBounded(32),
+                                                     'a')));
+          break;
+        case 3:
+          doc.Append(name, Value::DateTime(rng.NextInt(0, 2000000000)));
+          break;
+        default:
+          doc.Append(name, Value::Bool(rng.NextBool(0.5)));
+      }
+    }
+    const Result<Document> decoded = DecodeBson(EncodeBson(doc));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(Compare(doc, *decoded), 0);
+  }
+}
+
+TEST(CodecFuzzTest, MutatedBytesNeverCrash) {
+  // Decoding hostile bytes must fail cleanly (Status), never crash or
+  // over-read — flip bytes of a valid document at every position.
+  ObjectIdGenerator gen(8);
+  const std::string valid = EncodeBson(
+      DocBuilder()
+          .Field("_id", Value::Id(gen.Generate(500)))
+          .Field("s", "hello world")
+          .Field("n", 42)
+          .Field("pt", GeoJsonPoint(23.7, 37.9))
+          .Field("d", Value::DateTime(1538382880067))
+          .Build());
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid;
+    const int mutations = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int m = 0; m < mutations; ++m) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(rng.NextBounded(256));
+    }
+    // Either decodes to some document or fails; both are acceptable.
+    (void)DecodeBson(mutated);
+  }
+  SUCCEED();
+}
+
+TEST(CodecFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(100);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes;
+    const size_t n = rng.NextBounded(128);
+    for (size_t i = 0; i < n; ++i) {
+      bytes.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    (void)DecodeBson(bytes);
+  }
+  SUCCEED();
+}
+
+// ---------- json writer ----------
+
+TEST(JsonWriterTest, RendersScalars) {
+  auto doc = DocBuilder().Field("a", 1).Field("s", "x\"y").Build();
+  EXPECT_EQ(ToJson(doc), "{\"a\": 1, \"s\": \"x\\\"y\"}");
+}
+
+TEST(JsonWriterTest, RendersDatesAsIso) {
+  const std::string text =
+      ToJson(Value::DateTime(1530403200000));
+  EXPECT_EQ(text, "ISODate(\"2018-07-01T00:00:00.000Z\")");
+}
+
+TEST(JsonWriterTest, RendersGeoJsonPoint) {
+  const std::string text = ToJson(GeoJsonPoint(23.5, 37.25));
+  EXPECT_EQ(text,
+            "{\"type\": \"Point\", \"coordinates\": [23.5, 37.25]}");
+}
+
+}  // namespace
+}  // namespace stix::bson

@@ -1,0 +1,209 @@
+// Tests for the future-work extensions built on top of the paper's system:
+// kNN via expanding-ring queries and workload-aware adaptive zones.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "st/adaptive.h"
+#include "st/knn.h"
+
+namespace stix::st {
+namespace {
+
+using bson::Value;
+
+constexpr int64_t kBegin = 1530403200000;
+constexpr int64_t kStepMs = 60000;
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StStoreOptions options;
+    options.approach.kind = ApproachKind::kHil;
+    options.approach.dataset_mbr = geo::Rect{{23.0, 37.0}, {25.0, 39.0}};
+    options.cluster.num_shards = 4;
+    options.cluster.chunk_max_bytes = 16 * 1024;
+    options.cluster.seed = 13;
+    store_ = std::make_unique<StStore>(options);
+    ASSERT_TRUE(store_->Setup().ok());
+
+    Rng rng(77);
+    for (int i = 0; i < kDocs; ++i) {
+      // 70% clustered around a hotspot, 30% uniform.
+      double lon, lat;
+      if (rng.NextBool(0.7)) {
+        lon = 23.72 + rng.NextGaussian() * 0.02;
+        lat = 37.98 + rng.NextGaussian() * 0.02;
+      } else {
+        lon = rng.NextDouble(23.0, 25.0);
+        lat = rng.NextDouble(37.0, 39.0);
+      }
+      lon = std::clamp(lon, 23.0, 25.0);
+      lat = std::clamp(lat, 37.0, 39.0);
+      bson::Document doc;
+      doc.Append("seq", Value::Int32(i));
+      doc.Append(kLocationField,
+                 Value::MakeDocument(bson::GeoJsonPoint(lon, lat)));
+      doc.Append(kDateField, Value::DateTime(kBegin + i * kStepMs));
+      lons_.push_back(lon);
+      lats_.push_back(lat);
+      ASSERT_TRUE(store_->Insert(std::move(doc)).ok());
+    }
+    ASSERT_TRUE(store_->FinishLoad().ok());
+  }
+
+  // Exact kNN by full scan of the generator's record.
+  std::vector<std::pair<double, int>> NaiveKnn(geo::Point center, size_t k,
+                                               int64_t t0, int64_t t1) const {
+    std::vector<std::pair<double, int>> all;
+    for (int i = 0; i < kDocs; ++i) {
+      const int64_t t = kBegin + i * kStepMs;
+      if (t < t0 || t > t1) continue;
+      all.emplace_back(
+          geo::HaversineMeters(center, {lons_[i], lats_[i]}), i);
+    }
+    std::sort(all.begin(), all.end());
+    if (all.size() > k) all.resize(k);
+    return all;
+  }
+
+  static constexpr int kDocs = 3000;
+  std::unique_ptr<StStore> store_;
+  std::vector<double> lons_, lats_;
+};
+
+TEST_F(ExtensionsTest, KnnMatchesNaive) {
+  const geo::Point center{23.72, 37.98};
+  const int64_t t0 = kBegin;
+  const int64_t t1 = kBegin + kDocs * kStepMs;
+  KnnOptions options;
+  options.k = 15;
+  const KnnResult result = KnnQuery(*store_, center, t0, t1, options);
+  const auto naive = NaiveKnn(center, 15, t0, t1);
+
+  ASSERT_EQ(result.neighbors.size(), naive.size());
+  for (size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(result.neighbors[i].doc.Get("seq")->AsInt32(),
+              naive[i].second)
+        << "rank " << i;
+    EXPECT_NEAR(result.neighbors[i].distance_m, naive[i].first, 1e-6);
+  }
+  // Distances ascend.
+  for (size_t i = 1; i < result.neighbors.size(); ++i) {
+    EXPECT_GE(result.neighbors[i].distance_m,
+              result.neighbors[i - 1].distance_m);
+  }
+}
+
+TEST_F(ExtensionsTest, KnnInSparseAreaExpands) {
+  // Far from the hotspot: the initial 250 m ring is empty, so the search
+  // must expand several times and still find the right answer.
+  const geo::Point center{24.8, 38.8};
+  const int64_t t0 = kBegin;
+  const int64_t t1 = kBegin + kDocs * kStepMs;
+  KnnOptions options;
+  options.k = 5;
+  const KnnResult result = KnnQuery(*store_, center, t0, t1, options);
+  const auto naive = NaiveKnn(center, 5, t0, t1);
+  ASSERT_EQ(result.neighbors.size(), 5u);
+  EXPECT_GT(result.expansions, 2);
+  for (size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(result.neighbors[i].doc.Get("seq")->AsInt32(),
+              naive[i].second);
+  }
+}
+
+TEST_F(ExtensionsTest, KnnRespectsTimeWindow) {
+  const geo::Point center{23.72, 37.98};
+  const int64_t t0 = kBegin + 1000 * kStepMs;
+  const int64_t t1 = kBegin + 1500 * kStepMs;
+  KnnOptions options;
+  options.k = 8;
+  const KnnResult result = KnnQuery(*store_, center, t0, t1, options);
+  for (const Neighbor& n : result.neighbors) {
+    const int64_t t = n.doc.Get(kDateField)->AsDateTime();
+    EXPECT_GE(t, t0);
+    EXPECT_LE(t, t1);
+  }
+  const auto naive = NaiveKnn(center, 8, t0, t1);
+  ASSERT_EQ(result.neighbors.size(), naive.size());
+  EXPECT_EQ(result.neighbors.front().doc.Get("seq")->AsInt32(),
+            naive.front().second);
+}
+
+TEST_F(ExtensionsTest, KnnWithKLargerThanMatchesReturnsAll) {
+  const geo::Point center{23.72, 37.98};
+  const int64_t t0 = kBegin;
+  const int64_t t1 = kBegin + 10 * kStepMs;  // only ~11 documents exist
+  KnnOptions options;
+  options.k = 50;
+  const KnnResult result = KnnQuery(*store_, center, t0, t1, options);
+  EXPECT_EQ(result.neighbors.size(), 11u);
+}
+
+TEST_F(ExtensionsTest, WorkloadAwareZonesBalanceLoad) {
+  // A workload hammering the hotspot.
+  std::vector<WorkloadQuery> workload;
+  const geo::Rect hot{{23.68, 37.94}, {23.76, 38.02}};
+  workload.push_back(
+      WorkloadQuery{hot, kBegin, kBegin + kDocs * kStepMs, 10.0});
+  const Result<std::vector<cluster::ZoneRange>> zones =
+      ComputeWorkloadAwareZones(*store_, workload);
+  ASSERT_TRUE(zones.ok()) << zones.status().ToString();
+  EXPECT_GT(zones->size(), 1u);
+  EXPECT_TRUE(cluster::ZonesCoverWholeSpace(*zones));
+
+  ASSERT_TRUE(ApplyWorkloadAwareZones(store_.get(), workload).ok());
+  EXPECT_EQ(store_->cluster().total_documents(),
+            static_cast<uint64_t>(kDocs));
+
+  // The hot query is now served by more than one node: its covering spans
+  // several equal-load zones.
+  const StQueryResult r =
+      store_->Query(hot, kBegin, kBegin + kDocs * kStepMs);
+  EXPECT_GT(r.cluster.nodes_contacted, 1);
+
+  // Queries still return correct results after the migration.
+  std::set<int> ids;
+  for (const bson::Document& doc : r.cluster.docs) {
+    ids.insert(doc.Get("seq")->AsInt32());
+  }
+  size_t naive = 0;
+  for (int i = 0; i < kDocs; ++i) {
+    naive += hot.Contains({lons_[i], lats_[i]});
+  }
+  EXPECT_EQ(ids.size(), naive);
+}
+
+TEST_F(ExtensionsTest, WorkloadAwareZonesSpreadHotRegionWiderThanBucketAuto) {
+  // Under equi-count ($bucketAuto) zones, the hotspot (70% of the data in
+  // ~0.04 deg^2) concentrates on few shards; equal-load zones cut it finer.
+  std::vector<WorkloadQuery> workload;
+  const geo::Rect hot{{23.70, 37.96}, {23.74, 38.00}};
+  workload.push_back(
+      WorkloadQuery{hot, kBegin, kBegin + kDocs * kStepMs, 1.0});
+
+  const Result<std::vector<cluster::ZoneRange>> adaptive =
+      ComputeWorkloadAwareZones(*store_, workload);
+  ASSERT_TRUE(adaptive.ok());
+
+  // Count zones whose range intersects the hot covering.
+  const auto translated = store_->approach().TranslateQuery(
+      hot, kBegin, kBegin + kDocs * kStepMs);
+  std::set<int> adaptive_shards;
+  for (const cluster::ZoneRange& z : *adaptive) {
+    adaptive_shards.insert(z.shard_id);
+  }
+  EXPECT_GE(adaptive_shards.size(), 3u)
+      << "equal-load zoning should use most shards";
+}
+
+TEST_F(ExtensionsTest, WorkloadAwareZonesRejectEmptyWorkload) {
+  EXPECT_FALSE(ComputeWorkloadAwareZones(*store_, {}).ok());
+}
+
+}  // namespace
+}  // namespace stix::st

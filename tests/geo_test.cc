@@ -1,0 +1,407 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/covering.h"
+#include "geo/geohash.h"
+#include "geo/hilbert.h"
+#include "geo/zorder.h"
+
+namespace stix::geo {
+namespace {
+
+// ---------- Rect ----------
+
+TEST(RectTest, ContainsIsClosed) {
+  const Rect r{{0, 0}, {10, 5}};
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({10, 5}));
+  EXPECT_TRUE(r.Contains({5, 2.5}));
+  EXPECT_FALSE(r.Contains({10.001, 2}));
+  EXPECT_FALSE(r.Contains({5, -0.001}));
+}
+
+TEST(RectTest, IntersectsAndContainsRect) {
+  const Rect a{{0, 0}, {10, 10}};
+  const Rect b{{5, 5}, {15, 15}};
+  const Rect c{{11, 11}, {12, 12}};
+  const Rect inner{{2, 2}, {3, 3}};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.ContainsRect(inner));
+  EXPECT_FALSE(a.ContainsRect(b));
+}
+
+TEST(RectTest, AreaKm2Plausible) {
+  // The paper's small query rect covers a few tens of km^2 (it reports
+  // 526 km^2 for a rectangle that is actually ~0.5 km^2 in planar math; we
+  // just check the spherical computation is in a sane range).
+  const double athens = RectAreaKm2(
+      Rect{{23.757495, 37.987295}, {23.766958, 37.992997}});
+  EXPECT_GT(athens, 0.1);
+  EXPECT_LT(athens, 10.0);
+  // One degree square near the equator is ~12,300 km^2.
+  const double equator = RectAreaKm2(Rect{{0, 0}, {1, 1}});
+  EXPECT_NEAR(equator, 12364.0, 150.0);
+}
+
+// ---------- GridMapping ----------
+
+TEST(GridMappingTest, ClampsOutOfDomain) {
+  const GridMapping grid(4, Rect{{0, 0}, {16, 16}});
+  EXPECT_EQ(grid.LonToX(-5), 0u);
+  EXPECT_EQ(grid.LonToX(100), 15u);
+  EXPECT_EQ(grid.LatToY(-5), 0u);
+  EXPECT_EQ(grid.LatToY(100), 15u);
+}
+
+TEST(GridMappingTest, CellBoundariesAlign) {
+  const GridMapping grid(3, Rect{{0, 0}, {8, 8}});
+  EXPECT_EQ(grid.LonToX(2.999), 2u);
+  EXPECT_EQ(grid.LonToX(3.0), 3u);
+  const Rect block = grid.BlockRect(2, 4, 2);
+  EXPECT_DOUBLE_EQ(block.lo.lon, 2.0);
+  EXPECT_DOUBLE_EQ(block.lo.lat, 4.0);
+  EXPECT_DOUBLE_EQ(block.hi.lon, 4.0);
+  EXPECT_DOUBLE_EQ(block.hi.lat, 6.0);
+}
+
+// ---------- curves: shared properties ----------
+
+class CurveParamTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Curve2D> MakeCurve(int order) const {
+    const Rect domain{{-180, -90}, {180, 90}};
+    if (std::string(GetParam()) == "hilbert") {
+      return std::make_unique<HilbertCurve>(order, domain);
+    }
+    return std::make_unique<ZOrderCurve>(order, domain);
+  }
+};
+
+TEST_P(CurveParamTest, BijectionOnSmallGrid) {
+  const auto curve = MakeCurve(4);  // 16x16
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      const uint64_t d = curve->XyToD(x, y);
+      EXPECT_LT(d, curve->num_cells());
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate d=" << d;
+      uint32_t rx, ry;
+      curve->DToXy(d, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST_P(CurveParamTest, RoundTripAtOrder13) {
+  const auto curve = MakeCurve(13);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBounded(1u << 13));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBounded(1u << 13));
+    uint32_t rx, ry;
+    curve->DToXy(curve->XyToD(x, y), &rx, &ry);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+  }
+}
+
+TEST_P(CurveParamTest, QuadtreeBlocksAreAlignedContiguousRanges) {
+  // The property the covering algorithm exploits: any aligned 2^k x 2^k
+  // block occupies exactly one aligned d-range of width 4^k.
+  const int order = 5;
+  const auto curve = MakeCurve(order);
+  for (int k = 0; k <= order; ++k) {
+    const uint32_t size = 1u << k;
+    const uint64_t width = 1ull << (2 * k);
+    for (uint32_t bx = 0; bx < (1u << order); bx += size) {
+      for (uint32_t by = 0; by < (1u << order); by += size) {
+        const uint64_t base = curve->XyToD(bx, by) & ~(width - 1);
+        for (uint32_t dx = 0; dx < size; ++dx) {
+          for (uint32_t dy = 0; dy < size; ++dy) {
+            const uint64_t d = curve->XyToD(bx + dx, by + dy);
+            ASSERT_GE(d, base);
+            ASSERT_LT(d, base + width);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Curves, CurveParamTest,
+                         ::testing::Values("hilbert", "zorder"));
+
+// ---------- Hilbert specifics ----------
+
+TEST(HilbertTest, ConsecutiveDsAreAdjacentCells) {
+  // The clustering property (Moon et al.) that motivated the paper's choice:
+  // successive curve positions are edge neighbours.
+  const HilbertCurve curve(6, GlobeRect());
+  uint32_t px, py;
+  curve.DToXy(0, &px, &py);
+  for (uint64_t d = 1; d < curve.num_cells(); ++d) {
+    uint32_t x, y;
+    curve.DToXy(d, &x, &y);
+    const uint32_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    ASSERT_EQ(manhattan, 1u) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(HilbertTest, Order1MatchesTextbookLayout) {
+  // Order-1 Hilbert visits (0,0) -> (0,1) -> (1,1) -> (1,0).
+  const HilbertCurve curve(1, Rect{{0, 0}, {2, 2}});
+  EXPECT_EQ(curve.XyToD(0, 0), 0u);
+  EXPECT_EQ(curve.XyToD(0, 1), 1u);
+  EXPECT_EQ(curve.XyToD(1, 1), 2u);
+  EXPECT_EQ(curve.XyToD(1, 0), 3u);
+}
+
+TEST(ZOrderTest, InterleavesLongitudeFirst) {
+  const ZOrderCurve curve(2, Rect{{0, 0}, {4, 4}});
+  // x=1 contributes the higher bit of each pair.
+  EXPECT_EQ(curve.XyToD(0, 0), 0u);
+  EXPECT_EQ(curve.XyToD(0, 1), 1u);
+  EXPECT_EQ(curve.XyToD(1, 0), 2u);
+  EXPECT_EQ(curve.XyToD(1, 1), 3u);
+  EXPECT_EQ(curve.XyToD(2, 0), 8u);
+}
+
+// ---------- GeoHash ----------
+
+TEST(GeoHashTest, AthensBase32MatchesThePaper) {
+  // Paper Section 2.1: Athens (37.983810, 23.727539). The paper prints
+  // "swbb5ftzes" at precision 10, but the canonical GeoHash algorithm
+  // yields "swbb5ftzex" (the last character differs — paper typo); the
+  // precision-5 prefix "swbb5" agrees either way.
+  EXPECT_EQ(GeoHashBase32(23.727539, 37.983810, 10), "swbb5ftzex");
+  EXPECT_EQ(GeoHashBase32(23.727539, 37.983810, 5), "swbb5");
+}
+
+TEST(GeoHashTest, Base32DecodeReturnsCellCenter) {
+  double lon, lat;
+  ASSERT_TRUE(GeoHashBase32Decode("swbb5ftzes", &lon, &lat));
+  EXPECT_NEAR(lon, 23.727539, 1e-4);
+  EXPECT_NEAR(lat, 37.983810, 1e-4);
+  EXPECT_FALSE(GeoHashBase32Decode("swbb5!", &lon, &lat));
+}
+
+TEST(GeoHashTest, EncodeStaysWithinBits) {
+  const GeoHash gh(26);
+  const uint64_t h = gh.Encode(23.727539, 37.983810);
+  EXPECT_LT(h, 1ull << 26);
+}
+
+TEST(GeoHashTest, CellRectContainsPoint) {
+  const GeoHash gh(26);
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const double lon = rng.NextDouble(-180, 180);
+    const double lat = rng.NextDouble(-90, 90);
+    const Rect cell = gh.CellRect(gh.Encode(lon, lat));
+    EXPECT_TRUE(cell.Contains({lon, lat}))
+        << "lon=" << lon << " lat=" << lat;
+  }
+}
+
+TEST(GeoHashTest, NearbyPointsShareCellAtLowPrecision) {
+  const GeoHash coarse(8);
+  EXPECT_EQ(coarse.Encode(23.7275, 37.9838), coarse.Encode(23.7280, 37.9840));
+}
+
+// ---------- coverings ----------
+
+TEST(CoveringTest, ExhaustiveAgainstBruteForce) {
+  // On a small grid, the covering must contain exactly the cells whose
+  // extent intersects the query rectangle.
+  const Rect domain{{0, 0}, {16, 16}};
+  const HilbertCurve hilbert(4, domain);
+  const ZOrderCurve zorder(4, domain);
+  Rng rng(21);
+  for (int trial = 0; trial < 60; ++trial) {
+    const double x1 = rng.NextDouble(0, 16);
+    const double x2 = rng.NextDouble(0, 16);
+    const double y1 = rng.NextDouble(0, 16);
+    const double y2 = rng.NextDouble(0, 16);
+    const Rect query{{std::min(x1, x2), std::min(y1, y2)},
+                     {std::max(x1, x2), std::max(y1, y2)}};
+    for (const Curve2D* curve :
+         {static_cast<const Curve2D*>(&hilbert),
+          static_cast<const Curve2D*>(&zorder)}) {
+      const Covering covering = CoverRect(*curve, query);
+      for (uint32_t x = 0; x < 16; ++x) {
+        for (uint32_t y = 0; y < 16; ++y) {
+          const bool expected =
+              query.Intersects(curve->grid().BlockRect(x, y, 1));
+          const bool actual =
+              CoveringContains(covering, curve->XyToD(x, y));
+          ASSERT_EQ(expected, actual)
+              << curve->name() << " cell (" << x << "," << y << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(CoveringTest, RangesAreSortedDisjointNonAdjacent) {
+  const HilbertCurve curve(10, GlobeRect());
+  const Covering covering =
+      CoverRect(curve, Rect{{10, 10}, {40, 30}});
+  ASSERT_FALSE(covering.ranges.empty());
+  for (size_t i = 0; i < covering.ranges.size(); ++i) {
+    EXPECT_LE(covering.ranges[i].lo, covering.ranges[i].hi);
+    if (i > 0) {
+      // Strictly after the previous range, with a gap (else merge failed).
+      EXPECT_GT(covering.ranges[i].lo, covering.ranges[i - 1].hi + 1);
+    }
+  }
+}
+
+TEST(CoveringTest, NumCellsMatchesRangeWidths) {
+  const HilbertCurve curve(8, GlobeRect());
+  const Covering covering = CoverRect(curve, Rect{{-10, -10}, {15, 20}});
+  uint64_t total = 0;
+  for (const DRange& r : covering.ranges) total += r.hi - r.lo + 1;
+  EXPECT_EQ(total, covering.num_cells);
+}
+
+TEST(CoveringTest, WholeDomainIsOneRange) {
+  const HilbertCurve curve(7, GlobeRect());
+  const Covering covering = CoverRect(curve, GlobeRect());
+  ASSERT_EQ(covering.ranges.size(), 1u);
+  EXPECT_EQ(covering.ranges[0].lo, 0u);
+  EXPECT_EQ(covering.ranges[0].hi, curve.num_cells() - 1);
+}
+
+TEST(CoveringTest, DisjointQueryYieldsEmptyCovering) {
+  const HilbertCurve curve(6, Rect{{0, 0}, {10, 10}});
+  const Covering covering = CoverRect(curve, Rect{{20, 20}, {30, 30}});
+  EXPECT_TRUE(covering.ranges.empty());
+  EXPECT_EQ(covering.num_cells, 0u);
+}
+
+TEST(CoveringTest, PointsInsideQueryAlwaysCovered) {
+  const HilbertCurve curve(13, GlobeRect());
+  const Rect query{{23.606039, 38.023982}, {24.032754, 38.353926}};
+  const Covering covering = CoverRect(curve, query);
+  Rng rng(33);
+  for (int i = 0; i < 1000; ++i) {
+    const double lon = rng.NextDouble(query.lo.lon, query.hi.lon);
+    const double lat = rng.NextDouble(query.lo.lat, query.hi.lat);
+    EXPECT_TRUE(CoveringContains(covering, curve.PointToD(lon, lat)));
+  }
+}
+
+TEST(CoveringTest, MaxRangesBudgetCoarsensButStillCovers) {
+  const HilbertCurve curve(13, GlobeRect());
+  const Rect query{{23.606039, 38.023982}, {24.032754, 38.353926}};
+  const Covering exact = CoverRect(curve, query);
+  CoveringOptions opts;
+  opts.max_ranges = 8;
+  const Covering coarse = CoverRect(curve, query, opts);
+  EXPECT_LE(coarse.ranges.size(), exact.ranges.size());
+  EXPECT_GE(coarse.num_cells, exact.num_cells);
+  Rng rng(34);
+  for (int i = 0; i < 300; ++i) {
+    const double lon = rng.NextDouble(query.lo.lon, query.hi.lon);
+    const double lat = rng.NextDouble(query.lo.lat, query.hi.lat);
+    EXPECT_TRUE(CoveringContains(coarse, curve.PointToD(lon, lat)));
+  }
+}
+
+TEST(CoveringTest, HilbertProducesFewerRangesThanZOrderOnPaperQueries) {
+  // The clustering advantage [Moon et al. 2001] the paper cites: for the
+  // same rectangle the Hilbert covering compresses into no more intervals
+  // than Z-order's (usually strictly fewer).
+  const HilbertCurve hilbert(13, GlobeRect());
+  const ZOrderCurve zorder(13, GlobeRect());
+  const Rect big{{23.606039, 38.023982}, {24.032754, 38.353926}};
+  const Covering ch = CoverRect(hilbert, big);
+  const Covering cz = CoverRect(zorder, big);
+  EXPECT_LE(ch.ranges.size(), cz.ranges.size());
+  EXPECT_EQ(ch.num_cells, cz.num_cells);  // same cells, different order
+}
+
+TEST(CoveringTest, DegeneratePointRectCoversOneCellPerCurvePosition) {
+  const HilbertCurve curve(13, GlobeRect());
+  const Rect point{{23.7275, 37.9838}, {23.7275, 37.9838}};
+  const Covering covering = CoverRect(curve, point);
+  ASSERT_FALSE(covering.ranges.empty());
+  // A point touches at most 4 cells (when exactly on a corner).
+  EXPECT_LE(covering.num_cells, 4u);
+  EXPECT_TRUE(
+      CoveringContains(covering, curve.PointToD(23.7275, 37.9838)));
+}
+
+TEST(CoveringTest, DeterministicAcrossCalls) {
+  const HilbertCurve curve(12, GlobeRect());
+  const Rect q{{5.0, 5.0}, {9.5, 11.25}};
+  const Covering a = CoverRect(curve, q);
+  const Covering b = CoverRect(curve, q);
+  ASSERT_EQ(a.ranges.size(), b.ranges.size());
+  for (size_t i = 0; i < a.ranges.size(); ++i) {
+    EXPECT_EQ(a.ranges[i], b.ranges[i]);
+  }
+}
+
+TEST(GridMappingTest, Order16RoundTrips) {
+  const HilbertCurve curve(16, GlobeRect());
+  Rng rng(71);
+  for (int i = 0; i < 500; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBounded(1u << 16));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBounded(1u << 16));
+    uint32_t rx, ry;
+    curve.DToXy(curve.XyToD(x, y), &rx, &ry);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+    EXPECT_LT(curve.XyToD(x, y), curve.num_cells());
+  }
+}
+
+TEST(GeoDistanceTest, HaversineKnownValues) {
+  // Athens <-> Thessaloniki is ~300 km.
+  const double d = HaversineMeters({23.7275, 37.9838}, {22.9444, 40.6401});
+  EXPECT_NEAR(d, 301000, 5000);
+  EXPECT_DOUBLE_EQ(HaversineMeters({10, 10}, {10, 10}), 0.0);
+}
+
+TEST(GeoDistanceTest, RectAroundPointHasRequestedReach) {
+  const geo::Point center{23.7275, 37.9838};
+  const Rect r = RectAroundPoint(center, 1000.0);
+  EXPECT_TRUE(r.Contains(center));
+  // The north edge is ~1000 m away.
+  EXPECT_NEAR(HaversineMeters(center, {center.lon, r.hi.lat}), 1000.0, 20.0);
+  // The east edge too (longitude compensated by latitude).
+  EXPECT_NEAR(HaversineMeters(center, {r.hi.lon, center.lat}), 1000.0, 20.0);
+}
+
+TEST(CoveringContainsTest, BinarySearchEdges) {
+  Covering c;
+  c.ranges = {DRange{5, 9}, DRange{20, 20}, DRange{30, 40}};
+  EXPECT_FALSE(CoveringContains(c, 4));
+  EXPECT_TRUE(CoveringContains(c, 5));
+  EXPECT_TRUE(CoveringContains(c, 9));
+  EXPECT_FALSE(CoveringContains(c, 10));
+  EXPECT_TRUE(CoveringContains(c, 20));
+  EXPECT_FALSE(CoveringContains(c, 21));
+  EXPECT_TRUE(CoveringContains(c, 40));
+  EXPECT_FALSE(CoveringContains(c, 41));
+}
+
+TEST(CoveringTest, SingletonCount) {
+  Covering c;
+  c.ranges = {DRange{1, 1}, DRange{3, 7}, DRange{9, 9}};
+  EXPECT_EQ(c.NumSingletons(), 2u);
+}
+
+}  // namespace
+}  // namespace stix::geo

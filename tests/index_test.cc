@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "index/index.h"
+#include "index/index_bounds.h"
+#include "index/index_catalog.h"
+#include "index/key_generator.h"
+#include "keystring/keystring.h"
+
+namespace stix::index {
+namespace {
+
+using bson::Value;
+
+bson::Document PointDoc(double lon, double lat, int64_t date_ms) {
+  bson::Document doc;
+  doc.Append("location",
+             Value::MakeDocument(bson::GeoJsonPoint(lon, lat)));
+  doc.Append("date", Value::DateTime(date_ms));
+  doc.Append("hilbertIndex", Value::Int64(42));
+  return doc;
+}
+
+// ---------- descriptors ----------
+
+TEST(IndexDescriptorTest, KeyPatternString) {
+  const IndexDescriptor desc(
+      "x", {{"location", IndexFieldKind::k2dsphere},
+            {"date", IndexFieldKind::kAscending}});
+  EXPECT_EQ(desc.KeyPatternString(), "{location: '2dsphere', date: 1}");
+  EXPECT_EQ(desc.FirstGeoField(), 0);
+  const IndexDescriptor plain("y", {{"date", IndexFieldKind::kAscending}});
+  EXPECT_EQ(plain.FirstGeoField(), -1);
+}
+
+// ---------- key generation ----------
+
+TEST(KeyGeneratorTest, AscendingFieldsEncodeDocumentValues) {
+  const IndexDescriptor desc(
+      "hd", {{"hilbertIndex", IndexFieldKind::kAscending},
+             {"date", IndexFieldKind::kAscending}});
+  const KeyGenerator gen(desc);
+  const bson::Document doc = PointDoc(23.7, 37.9, 1000);
+  const Result<std::string> key = gen.MakeKey(doc);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, keystring::Encode(
+                      {Value::Int64(42), Value::DateTime(1000)}));
+}
+
+TEST(KeyGeneratorTest, MissingFieldEncodesNull) {
+  const IndexDescriptor desc("d", {{"nope", IndexFieldKind::kAscending}});
+  const KeyGenerator gen(desc);
+  const Result<std::string> key = gen.MakeKey(PointDoc(0, 0, 0));
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, keystring::Encode(Value::Null()));
+}
+
+TEST(KeyGeneratorTest, GeoFieldEncodesCellHash) {
+  const IndexDescriptor desc(
+      "g", {{"location", IndexFieldKind::k2dsphere}}, 26);
+  const KeyGenerator gen(desc);
+  const Result<std::vector<Value>> values =
+      gen.MakeKeyValues(PointDoc(23.727539, 37.983810, 0));
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 1u);
+  const geo::GeoHash gh(26);
+  EXPECT_EQ((*values)[0].AsInt64(),
+            static_cast<int64_t>(gh.Encode(23.727539, 37.983810)));
+}
+
+TEST(KeyGeneratorTest, GeoFieldRejectsNonPoint) {
+  const IndexDescriptor desc(
+      "g", {{"date", IndexFieldKind::k2dsphere}});  // date is not a point
+  const KeyGenerator gen(desc);
+  EXPECT_FALSE(gen.MakeKey(PointDoc(0, 0, 0)).ok());
+}
+
+// ---------- Index / catalog ----------
+
+TEST(IndexTest, InsertThenRemoveKeepsTreeEmpty) {
+  Index idx(IndexDescriptor("d", {{"date", IndexFieldKind::kAscending}}));
+  const bson::Document doc = PointDoc(1, 2, 777);
+  ASSERT_TRUE(idx.InsertDocument(doc, 9).ok());
+  EXPECT_EQ(idx.btree().num_entries(), 1u);
+  ASSERT_TRUE(idx.RemoveDocument(doc, 9).ok());
+  EXPECT_EQ(idx.btree().num_entries(), 0u);
+  EXPECT_FALSE(idx.RemoveDocument(doc, 9).ok());
+}
+
+TEST(IndexCatalogTest, RejectsDuplicateNames) {
+  IndexCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateIndex(IndexDescriptor(
+                      "a", {{"x", IndexFieldKind::kAscending}}))
+                  .ok());
+  EXPECT_EQ(catalog
+                .CreateIndex(IndexDescriptor(
+                    "a", {{"y", IndexFieldKind::kAscending}}))
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(IndexCatalogTest, MaintainsAllIndexes) {
+  IndexCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateIndex(IndexDescriptor(
+                      "d", {{"date", IndexFieldKind::kAscending}}))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .CreateIndex(IndexDescriptor(
+                      "h", {{"hilbertIndex", IndexFieldKind::kAscending}}))
+                  .ok());
+  const bson::Document doc = PointDoc(5, 5, 123);
+  ASSERT_TRUE(catalog.OnInsert(doc, 1).ok());
+  for (const auto& idx : catalog.indexes()) {
+    EXPECT_EQ(idx->btree().num_entries(), 1u);
+  }
+  ASSERT_TRUE(catalog.OnRemove(doc, 1).ok());
+  for (const auto& idx : catalog.indexes()) {
+    EXPECT_EQ(idx->btree().num_entries(), 0u);
+  }
+}
+
+TEST(IndexCatalogTest, FailedInsertRollsBackEarlierIndexes) {
+  IndexCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateIndex(IndexDescriptor(
+                      "d", {{"date", IndexFieldKind::kAscending}}))
+                  .ok());
+  // This index will fail keygen: 'date' is not a GeoJSON point.
+  ASSERT_TRUE(catalog
+                  .CreateIndex(IndexDescriptor(
+                      "bad", {{"date", IndexFieldKind::k2dsphere}}))
+                  .ok());
+  const bson::Document doc = PointDoc(1, 1, 55);
+  EXPECT_FALSE(catalog.OnInsert(doc, 3).ok());
+  EXPECT_EQ(catalog.indexes()[0]->btree().num_entries(), 0u)
+      << "first index entry must have been rolled back";
+}
+
+TEST(IndexCatalogTest, TotalSizeSumsIndexes) {
+  IndexCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateIndex(IndexDescriptor(
+                      "d", {{"date", IndexFieldKind::kAscending}}))
+                  .ok());
+  const uint64_t empty = catalog.TotalSizeBytes();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(catalog.OnInsert(PointDoc(i, i, i * 1000), i + 1).ok());
+  }
+  EXPECT_GT(catalog.TotalSizeBytes(), empty);
+}
+
+// ---------- bounds ----------
+
+FieldBounds MakeBounds(std::vector<std::pair<int64_t, int64_t>> ranges) {
+  FieldBounds fb;
+  for (const auto& [lo, hi] : ranges) {
+    fb.intervals.push_back(
+        ValueInterval{Value::Int64(lo), Value::Int64(hi)});
+  }
+  fb.Normalize();
+  return fb;
+}
+
+TEST(FieldBoundsTest, NormalizeSortsAndMerges) {
+  const FieldBounds fb = MakeBounds({{10, 20}, {1, 5}, {15, 30}, {40, 40}});
+  ASSERT_EQ(fb.intervals.size(), 3u);
+  EXPECT_EQ(fb.intervals[0].lo.AsInt64(), 1);
+  EXPECT_EQ(fb.intervals[0].hi.AsInt64(), 5);
+  EXPECT_EQ(fb.intervals[1].lo.AsInt64(), 10);
+  EXPECT_EQ(fb.intervals[1].hi.AsInt64(), 30);
+  EXPECT_TRUE(fb.intervals[2].IsPoint());
+}
+
+TEST(CheckBoundsTest, InGapAndExhausted) {
+  const FieldBounds fb = MakeBounds({{5, 9}, {20, 25}});
+  EXPECT_EQ(CheckBounds(fb, Value::Int64(7)).kind,
+            BoundsCheck::Kind::kInBounds);
+  const BoundsCheck gap = CheckBounds(fb, Value::Int64(12));
+  EXPECT_EQ(gap.kind, BoundsCheck::Kind::kSeekAhead);
+  EXPECT_EQ(gap.seek_to->AsInt64(), 20);
+  EXPECT_EQ(CheckBounds(fb, Value::Int64(26)).kind,
+            BoundsCheck::Kind::kExhausted);
+  EXPECT_EQ(CheckBounds(fb, Value::Int64(4)).kind,
+            BoundsCheck::Kind::kSeekAhead);
+}
+
+TEST(CheckBoundsTest, FullRangeAlwaysIn) {
+  FieldBounds fb;
+  fb.full_range = true;
+  EXPECT_EQ(CheckBounds(fb, Value::String("anything")).kind,
+            BoundsCheck::Kind::kInBounds);
+}
+
+TEST(CheckBoundsTest, CrossNumericWidths) {
+  // Index keys decode numbers as Double; bounds may be Int64.
+  const FieldBounds fb = MakeBounds({{100, 200}});
+  EXPECT_EQ(CheckBounds(fb, Value::Double(150.0)).kind,
+            BoundsCheck::Kind::kInBounds);
+  EXPECT_EQ(CheckBounds(fb, Value::Double(99.5)).kind,
+            BoundsCheck::Kind::kSeekAhead);
+}
+
+}  // namespace
+}  // namespace stix::index

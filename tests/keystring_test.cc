@@ -1,0 +1,209 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bson/object_id.h"
+#include "common/rng.h"
+#include "keystring/keystring.h"
+
+namespace stix::keystring {
+namespace {
+
+using bson::Value;
+
+// The core contract: memcmp order of encodings == bson::Compare order.
+void ExpectOrderPreserved(const Value& a, const Value& b) {
+  const int value_cmp = Compare(a, b);
+  const std::string ka = Encode(a);
+  const std::string kb = Encode(b);
+  const int key_cmp = ka.compare(kb) < 0 ? -1 : (ka == kb ? 0 : 1);
+  EXPECT_EQ(value_cmp < 0 ? -1 : (value_cmp == 0 ? 0 : 1), key_cmp)
+      << "values order differently from their keystrings";
+}
+
+TEST(KeyStringTest, NumbersOrderAcrossWidths) {
+  const std::vector<Value> values = {
+      Value::Double(-1e9), Value::Int32(-5),     Value::Double(-0.5),
+      Value::Int32(0),     Value::Double(0.25),  Value::Int32(1),
+      Value::Int64(2),     Value::Double(2.5),   Value::Int64(1LL << 40),
+      Value::Double(1e18),
+  };
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      ExpectOrderPreserved(values[i], values[j]);
+    }
+  }
+}
+
+TEST(KeyStringTest, NegativeZeroEqualsPositiveZero) {
+  EXPECT_EQ(Encode(Value::Double(0.0)), Encode(Value::Double(-0.0)));
+}
+
+TEST(KeyStringTest, StringsOrder) {
+  ExpectOrderPreserved(Value::String("a"), Value::String("b"));
+  ExpectOrderPreserved(Value::String("ab"), Value::String("abc"));
+  ExpectOrderPreserved(Value::String(""), Value::String("a"));
+  ExpectOrderPreserved(Value::String("same"), Value::String("same"));
+}
+
+TEST(KeyStringTest, DatesOrder) {
+  ExpectOrderPreserved(Value::DateTime(-1000), Value::DateTime(0));
+  ExpectOrderPreserved(Value::DateTime(1530403200000),
+                       Value::DateTime(1543622400000));
+}
+
+TEST(KeyStringTest, CrossTypeCanonicalOrder) {
+  const std::vector<Value> ordered = {
+      Value::Null(),        Value::Int32(123),  Value::String("s"),
+      Value::Bool(false),   Value::DateTime(5),
+  };
+  for (size_t i = 0; i + 1 < ordered.size(); ++i) {
+    ExpectOrderPreserved(ordered[i], ordered[i + 1]);
+  }
+}
+
+TEST(KeyStringTest, ObjectIdsOrderByBytes) {
+  bson::ObjectIdGenerator gen(4);
+  const Value a = Value::Id(gen.Generate(100));
+  const Value b = Value::Id(gen.Generate(200));
+  ExpectOrderPreserved(a, b);
+}
+
+TEST(KeyStringTest, CompoundKeysOrderLexicographically) {
+  // (h, date) pairs: h dominates, date breaks ties.
+  const std::string k1 =
+      Encode({Value::Int64(5), Value::DateTime(100)});
+  const std::string k2 =
+      Encode({Value::Int64(5), Value::DateTime(200)});
+  const std::string k3 =
+      Encode({Value::Int64(6), Value::DateTime(0)});
+  EXPECT_LT(k1, k2);
+  EXPECT_LT(k2, k3);
+}
+
+TEST(KeyStringTest, PrefixEncodingSortsBelowExtensions) {
+  // enc(h) as a zone boundary vs enc(h, date) full keys: the prefix must
+  // sort <= every full key with the same h and < keys with larger h.
+  const std::string prefix = Encode(Value::Int64(5));
+  const std::string full_same =
+      Encode({Value::Int64(5), Value::DateTime(-999999)});
+  const std::string full_above =
+      Encode({Value::Int64(6), Value::DateTime(0)});
+  EXPECT_LT(prefix, full_same);
+  EXPECT_LT(prefix, full_above);
+  const std::string prefix6 = Encode(Value::Int64(6));
+  EXPECT_LT(full_same, prefix6);
+}
+
+TEST(KeyStringTest, MinMaxKeysBracketEverything) {
+  const std::vector<Value> values = {
+      Value::Null(),  Value::Int64(-1LL << 50), Value::String(""),
+      Value::Bool(true), Value::DateTime(1LL << 60),
+  };
+  for (const Value& v : values) {
+    EXPECT_LT(MinKey(), Encode(v));
+    EXPECT_GT(MaxKey(), Encode(v));
+  }
+}
+
+TEST(KeyStringTest, MinKeyPaddingSortsBelowAnyValueSuffix) {
+  keystring::Builder with_pad;
+  with_pad.AppendValue(Value::Int64(7)).AppendMinKey();
+  const std::string padded = std::move(with_pad).Build();
+  const std::string real =
+      Encode({Value::Int64(7), Value::DateTime(-1LL << 40)});
+  EXPECT_LT(padded, real);
+}
+
+TEST(KeyStringTest, MaxKeySuffixSortsAboveAnyValueSuffix) {
+  keystring::Builder with_pad;
+  with_pad.AppendValue(Value::Int64(7)).AppendMaxKey();
+  const std::string padded = std::move(with_pad).Build();
+  const std::string real =
+      Encode({Value::Int64(7), Value::DateTime(1LL << 60)});
+  EXPECT_GT(padded, real);
+}
+
+TEST(KeyStringTest, RandomizedOrderProperty) {
+  Rng rng(23);
+  std::vector<Value> values;
+  for (int i = 0; i < 200; ++i) {
+    switch (rng.NextBounded(4)) {
+      case 0:
+        values.push_back(Value::Int64(rng.NextInt(-1000000, 1000000)));
+        break;
+      case 1:
+        values.push_back(Value::Double(rng.NextDouble(-1e6, 1e6)));
+        break;
+      case 2:
+        values.push_back(Value::DateTime(rng.NextInt(0, 2000000000)));
+        break;
+      default:
+        values.push_back(
+            Value::String(std::string(rng.NextBounded(10), 'a' + rng.NextBounded(26))));
+    }
+  }
+  for (int trial = 0; trial < 500; ++trial) {
+    const Value& a = values[rng.NextBounded(values.size())];
+    const Value& b = values[rng.NextBounded(values.size())];
+    ExpectOrderPreserved(a, b);
+  }
+}
+
+TEST(KeyStringDecodeTest, RoundTripsScalars) {
+  bson::ObjectIdGenerator gen(6);
+  const std::vector<Value> values = {
+      Value::Null(),
+      Value::Double(23.727539),
+      Value::Int64(12345),  // decodes as Double, compares equal
+      Value::String("swbb5"),
+      Value::DateTime(1538383980067),
+      Value::Id(gen.Generate(77)),
+      Value::Bool(true),
+  };
+  const std::string key = Encode(values);
+  std::vector<Value> decoded;
+  ASSERT_TRUE(DecodeValues(key, &decoded));
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(Compare(values[i], decoded[i]), 0) << "at " << i;
+  }
+}
+
+TEST(KeyStringDecodeTest, ReEncodingDecodedValuesIsIdentity) {
+  // The index scan builds seek keys from decoded values; the bytes must
+  // match the original encoding exactly.
+  const std::string key = Encode(
+      {Value::Int64(987654), Value::DateTime(1538383980067),
+       Value::String("leaf")});
+  std::vector<Value> decoded;
+  ASSERT_TRUE(DecodeValues(key, &decoded));
+  EXPECT_EQ(Encode(decoded), key);
+}
+
+TEST(KeyStringDecodeTest, RandomBytesNeverCrash) {
+  Rng rng(101);
+  std::vector<bson::Value> decoded;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes;
+    const size_t n = rng.NextBounded(64);
+    for (size_t i = 0; i < n; ++i) {
+      bytes.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    (void)DecodeValues(bytes, &decoded);  // must not crash or over-read
+  }
+  SUCCEED();
+}
+
+TEST(KeyStringDecodeTest, RejectsTruncatedAndSentinels) {
+  std::vector<Value> decoded;
+  std::string key = Encode(Value::DateTime(1234567));
+  key.pop_back();
+  EXPECT_FALSE(DecodeValues(key, &decoded));
+  EXPECT_FALSE(DecodeValues(MinKey(), &decoded));
+  EXPECT_FALSE(DecodeValues(MaxKey(), &decoded));
+}
+
+}  // namespace
+}  // namespace stix::keystring

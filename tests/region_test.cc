@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/covering.h"
+#include "geo/hilbert.h"
+#include "geo/region.h"
+#include "geo/zorder.h"
+
+namespace stix::geo {
+namespace {
+
+Polygon Triangle() {
+  return Polygon({{0, 0}, {10, 0}, {5, 10}});
+}
+
+// An L-shaped (concave) polygon.
+Polygon LShape() {
+  return Polygon({{0, 0}, {10, 0}, {10, 4}, {4, 4}, {4, 10}, {0, 10}});
+}
+
+TEST(SegmentsIntersectTest, BasicCases) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {10, 10}, {0, 10}, {10, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+  // Touching endpoint counts.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {5, 5}, {5, 5}, {9, 0}));
+  // Collinear overlap counts.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {4, 0}, {2, 0}, {6, 0}));
+  // Parallel non-collinear.
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {4, 0}, {0, 1}, {4, 1}));
+}
+
+TEST(PolygonTest, ContainsPoint) {
+  const Polygon tri = Triangle();
+  EXPECT_TRUE(tri.Contains({5, 2}));
+  EXPECT_TRUE(tri.Contains({5, 9.9}));
+  EXPECT_FALSE(tri.Contains({0.1, 9}));
+  EXPECT_FALSE(tri.Contains({-1, 0}));
+  // Boundary is inside.
+  EXPECT_TRUE(tri.Contains({5, 0}));
+  EXPECT_TRUE(tri.Contains({0, 0}));
+}
+
+TEST(PolygonTest, ConcaveContains) {
+  const Polygon l = LShape();
+  EXPECT_TRUE(l.Contains({2, 2}));
+  EXPECT_TRUE(l.Contains({8, 2}));
+  EXPECT_TRUE(l.Contains({2, 8}));
+  EXPECT_FALSE(l.Contains({8, 8}));  // the notch
+}
+
+TEST(PolygonTest, BoundingBox) {
+  const Rect bb = Triangle().BoundingBox();
+  EXPECT_DOUBLE_EQ(bb.lo.lon, 0);
+  EXPECT_DOUBLE_EQ(bb.hi.lon, 10);
+  EXPECT_DOUBLE_EQ(bb.hi.lat, 10);
+}
+
+TEST(PolygonTest, ContainsRect) {
+  const Polygon tri = Triangle();
+  EXPECT_TRUE(tri.ContainsRect({{4, 1}, {6, 3}}));
+  EXPECT_FALSE(tri.ContainsRect({{0, 0}, {10, 10}}));  // corners outside
+  EXPECT_FALSE(tri.ContainsRect({{0, 8}, {1, 9}}));    // fully outside
+  const Polygon l = LShape();
+  // Fully inside one arm of the L -> contained; covering the notch -> not.
+  EXPECT_TRUE(l.ContainsRect({{1, 1}, {3, 3}}));
+  EXPECT_FALSE(l.ContainsRect({{5, 5}, {9, 9}}));
+  EXPECT_FALSE(l.ContainsRect({{3, 3}, {5, 5}}));  // straddles the notch
+}
+
+TEST(PolygonTest, LShapeContainsHorizontalBar) {
+  // [1,1]..[9,3.5] lies fully inside the bottom bar of the L.
+  EXPECT_TRUE(LShape().ContainsRect({{1, 1}, {9, 3.5}}));
+}
+
+TEST(PolygonTest, IntersectsRect) {
+  const Polygon tri = Triangle();
+  EXPECT_TRUE(tri.IntersectsRect({{4, 1}, {6, 3}}));    // inside
+  EXPECT_TRUE(tri.IntersectsRect({{-5, -5}, {15, 15}}));  // rect contains tri
+  EXPECT_TRUE(tri.IntersectsRect({{4, -1}, {6, 1}}));   // edge crossing
+  EXPECT_FALSE(tri.IntersectsRect({{8, 8}, {9, 9}}));   // near but outside
+  EXPECT_FALSE(tri.IntersectsRect({{11, 0}, {12, 1}}));
+}
+
+TEST(PolygonCoveringTest, ExhaustiveAgainstBruteForceOnSmallGrid) {
+  const Rect domain{{0, 0}, {16, 16}};
+  const HilbertCurve hilbert(4, domain);
+  const Polygon poly({{1.5, 1.5}, {14.5, 2.5}, {12.5, 14.0}, {3.0, 11.0}});
+  const Covering covering = CoverRegion(hilbert, poly);
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      const Rect cell = hilbert.grid().BlockRect(x, y, 1);
+      const bool expected = poly.IntersectsRect(cell);
+      const bool actual = CoveringContains(covering, hilbert.XyToD(x, y));
+      ASSERT_EQ(expected, actual) << "cell (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(PolygonCoveringTest, PointsInsidePolygonAlwaysCovered) {
+  const HilbertCurve curve(13, GlobeRect());
+  // A triangle over Attica.
+  const Polygon poly({{23.5, 37.9}, {24.1, 38.0}, {23.8, 38.4}});
+  const Covering covering = CoverRegion(curve, poly);
+  Rng rng(61);
+  int tested = 0;
+  while (tested < 300) {
+    const Point p{rng.NextDouble(23.5, 24.1), rng.NextDouble(37.9, 38.4)};
+    if (!poly.Contains(p)) continue;
+    ++tested;
+    EXPECT_TRUE(CoveringContains(covering, curve.PointToD(p.lon, p.lat)));
+  }
+}
+
+TEST(PolygonCoveringTest, TighterThanBoundingBoxCovering) {
+  const HilbertCurve curve(13, GlobeRect());
+  const Polygon poly({{23.5, 37.9}, {24.1, 38.0}, {23.8, 38.4}});
+  const Covering poly_cover = CoverRegion(curve, poly);
+  const Covering bbox_cover = CoverRect(curve, poly.BoundingBox());
+  EXPECT_LT(poly_cover.num_cells, bbox_cover.num_cells);
+}
+
+TEST(RectRegionTest, DelegatesToRect) {
+  const RectRegion region(Rect{{0, 0}, {10, 10}});
+  EXPECT_TRUE(region.ContainsRect({{1, 1}, {2, 2}}));
+  EXPECT_FALSE(region.ContainsRect({{5, 5}, {15, 15}}));
+  EXPECT_TRUE(region.IntersectsRect({{5, 5}, {15, 15}}));
+  EXPECT_FALSE(region.IntersectsRect({{11, 11}, {12, 12}}));
+}
+
+}  // namespace
+}  // namespace stix::geo

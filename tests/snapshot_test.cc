@@ -1,0 +1,186 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "cluster/snapshot.h"
+#include "common/rng.h"
+
+namespace stix::cluster {
+namespace {
+
+using bson::Value;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/stix_snapshot_test.snap";
+    ClusterOptions options;
+    options.num_shards = 3;
+    options.chunk_max_bytes = 8 * 1024;
+    options.seed = 21;
+    source_ = std::make_unique<Cluster>(options);
+    ASSERT_TRUE(source_
+                    ->ShardCollection(ShardKeyPattern(
+                        {"hilbertIndex", "date"}, ShardingStrategy::kRange))
+                    .ok());
+    ASSERT_TRUE(source_
+                    ->CreateIndex(index::IndexDescriptor(
+                        "location_2dsphere_date_1",
+                        {{"location", index::IndexFieldKind::k2dsphere},
+                         {"date", index::IndexFieldKind::kAscending}}))
+                    .ok());
+    Rng rng(5);
+    for (int i = 0; i < 1200; ++i) {
+      bson::Document doc;
+      doc.Append("_id", Value::Int64(i));
+      doc.Append("location",
+                 Value::MakeDocument(bson::GeoJsonPoint(
+                     rng.NextDouble(0, 10), rng.NextDouble(0, 10))));
+      doc.Append("date", Value::DateTime(60000LL * i));
+      doc.Append("hilbertIndex", Value::Int64(rng.NextInt(0, 50)));
+      doc.Append("pad", Value::String(std::string(64, 'x')));
+      ASSERT_TRUE(source_->Insert(std::move(doc)).ok());
+    }
+    source_->Balance();
+    ASSERT_TRUE(source_->SetZonesByBucketAuto("hilbertIndex").ok());
+  }
+
+  void TearDown() override { remove(path_.c_str()); }
+
+  std::string path_;
+  std::unique_ptr<Cluster> source_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesEverything) {
+  ASSERT_TRUE(SaveSnapshot(*source_, path_).ok());
+  const Result<std::unique_ptr<Cluster>> restored =
+      LoadSnapshot(path_, ClusterOptions{});
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const Cluster& r = **restored;
+
+  // Topology.
+  EXPECT_EQ(r.num_shards(), source_->num_shards());
+  EXPECT_EQ(r.shard_key().DebugString(), source_->shard_key().DebugString());
+  EXPECT_EQ(r.total_documents(), source_->total_documents());
+  ASSERT_EQ(r.chunks().num_chunks(), source_->chunks().num_chunks());
+  for (size_t i = 0; i < r.chunks().num_chunks(); ++i) {
+    EXPECT_EQ(r.chunks().chunk(i).min, source_->chunks().chunk(i).min);
+    EXPECT_EQ(r.chunks().chunk(i).shard_id,
+              source_->chunks().chunk(i).shard_id);
+  }
+  EXPECT_EQ(r.zones().size(), source_->zones().size());
+
+  // Exact per-shard placement.
+  for (int s = 0; s < r.num_shards(); ++s) {
+    EXPECT_EQ(r.shards()[s]->num_documents(),
+              source_->shards()[s]->num_documents())
+        << "shard " << s;
+    // Index sets match (including the secondary geo index).
+    EXPECT_EQ(r.shards()[s]->catalog().indexes().size(),
+              source_->shards()[s]->catalog().indexes().size());
+    EXPECT_NE(r.shards()[s]->catalog().Get("location_2dsphere_date_1"),
+              nullptr);
+  }
+
+  // Queries agree.
+  const query::ExprPtr q = query::MakeAnd(
+      {query::MakeGeoWithinBox("location", {{2, 2}, {7, 7}}),
+       query::MakeRange("date", Value::DateTime(0),
+                        Value::DateTime(60000LL * 800))});
+  const ClusterQueryResult a = source_->Query(q);
+  const ClusterQueryResult b = r.Query(q);
+  EXPECT_EQ(a.docs.size(), b.docs.size());
+  EXPECT_EQ(a.nodes_contacted, b.nodes_contacted);
+}
+
+TEST_F(SnapshotTest, RestoredClusterAcceptsNewInserts) {
+  ASSERT_TRUE(SaveSnapshot(*source_, path_).ok());
+  const Result<std::unique_ptr<Cluster>> restored =
+      LoadSnapshot(path_, ClusterOptions{});
+  ASSERT_TRUE(restored.ok());
+  Cluster& r = **restored;
+  bson::Document doc;
+  doc.Append("_id", Value::Int64(999999));
+  doc.Append("location",
+             Value::MakeDocument(bson::GeoJsonPoint(5, 5)));
+  doc.Append("date", Value::DateTime(60000LL * 5000));
+  doc.Append("hilbertIndex", Value::Int64(25));
+  ASSERT_TRUE(r.Insert(std::move(doc)).ok());
+  EXPECT_EQ(r.total_documents(), source_->total_documents() + 1);
+}
+
+TEST_F(SnapshotTest, DetectsCorruption) {
+  ASSERT_TRUE(SaveSnapshot(*source_, path_).ok());
+  // Flip one byte somewhere in the payload region.
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(4096);
+  char byte;
+  f.seekg(4096);
+  f.read(&byte, 1);
+  f.seekp(4096);
+  byte = static_cast<char>(byte ^ 0x5A);
+  f.write(&byte, 1);
+  f.close();
+  const Result<std::unique_ptr<Cluster>> restored =
+      LoadSnapshot(path_, ClusterOptions{});
+  EXPECT_FALSE(restored.ok());
+}
+
+TEST_F(SnapshotTest, RejectsWrongMagicAndMissingFile) {
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f << "definitely not a snapshot";
+  }
+  EXPECT_EQ(LoadSnapshot(path_, ClusterOptions{}).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(LoadSnapshot("/nonexistent.snap", ClusterOptions{})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SnapshotHashedTest, PreservesHashedStrategy) {
+  const std::string path = testing::TempDir() + "/stix_snapshot_hashed.snap";
+  ClusterOptions options;
+  options.num_shards = 2;
+  Cluster source(options);
+  ASSERT_TRUE(source
+                  .ShardCollection(ShardKeyPattern(
+                      {"date"}, ShardingStrategy::kHashed))
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    bson::Document doc;
+    doc.Append("_id", Value::Int64(i));
+    doc.Append("date", Value::DateTime(1000LL * i));
+    ASSERT_TRUE(source.Insert(std::move(doc)).ok());
+  }
+  ASSERT_TRUE(SaveSnapshot(source, path).ok());
+  const Result<std::unique_ptr<Cluster>> restored =
+      LoadSnapshot(path, ClusterOptions{});
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->shard_key().strategy(), ShardingStrategy::kHashed);
+  EXPECT_EQ((*restored)->total_documents(), 50u);
+  // Hashed routing still works on the restored cluster: an equality query
+  // targets one shard.
+  const query::ExprPtr eq =
+      query::MakeCmp("date", query::CmpOp::kEq, Value::DateTime(5000));
+  EXPECT_EQ((*restored)->TargetShards(eq).size(), 1u);
+  remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, RejectsTruncatedFile) {
+  ASSERT_TRUE(SaveSnapshot(*source_, path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents.resize(contents.size() * 2 / 3);
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out << contents;
+  out.close();
+  EXPECT_FALSE(LoadSnapshot(path_, ClusterOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace stix::cluster

@@ -1,0 +1,216 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "workload/query_workload.h"
+#include "workload/trajectory_generator.h"
+#include "workload/uniform_generator.h"
+
+namespace stix::workload {
+namespace {
+
+// ---------- trajectory generator (R substitute) ----------
+
+TEST(TrajectoryGeneratorTest, EmitsExactlyRequestedRecords) {
+  TrajectoryOptions opts;
+  opts.num_records = 5000;
+  opts.num_vehicles = 20;
+  TrajectoryGenerator gen(opts);
+  bson::Document doc;
+  uint64_t n = 0;
+  while (gen.Next(&doc)) ++n;
+  EXPECT_EQ(n, 5000u);
+  EXPECT_FALSE(gen.Next(&doc));
+}
+
+TEST(TrajectoryGeneratorTest, RecordsHaveSchemaAndStayInMbr) {
+  TrajectoryOptions opts;
+  opts.num_records = 2000;
+  opts.num_vehicles = 10;
+  TrajectoryGenerator gen(opts);
+  bson::Document doc;
+  while (gen.Next(&doc)) {
+    double lon, lat;
+    ASSERT_TRUE(
+        bson::ExtractGeoJsonPoint(*doc.Get("location"), &lon, &lat));
+    EXPECT_TRUE(opts.mbr.Contains({lon, lat}));
+    ASSERT_TRUE(doc.Has("date"));
+    const int64_t t = doc.Get("date")->AsDateTime();
+    EXPECT_GE(t, opts.t_begin_ms);
+    EXPECT_LT(t, opts.t_end_ms);
+    EXPECT_TRUE(doc.Has("vehicleId"));
+    EXPECT_TRUE(doc.Has("speed"));
+    EXPECT_TRUE(doc.Has("payload"));
+    EXPECT_EQ(doc.Get("payload")->AsString().size(), opts.payload_bytes);
+  }
+}
+
+TEST(TrajectoryGeneratorTest, EmitsInGlobalTimeOrder) {
+  TrajectoryOptions opts;
+  opts.num_records = 3000;
+  opts.num_vehicles = 25;
+  TrajectoryGenerator gen(opts);
+  bson::Document doc;
+  int64_t prev = opts.t_begin_ms - 1;
+  while (gen.Next(&doc)) {
+    const int64_t t = doc.Get("date")->AsDateTime();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TrajectoryGeneratorTest, DeterministicForSameSeed) {
+  TrajectoryOptions opts;
+  opts.num_records = 500;
+  TrajectoryGenerator a(opts), b(opts);
+  bson::Document da, db;
+  while (a.Next(&da)) {
+    ASSERT_TRUE(b.Next(&db));
+    EXPECT_EQ(Compare(da, db), 0);
+  }
+}
+
+TEST(TrajectoryGeneratorTest, SpatiallySkewedTowardHotspots) {
+  TrajectoryOptions opts;
+  opts.num_records = 20000;
+  opts.num_vehicles = 100;
+  TrajectoryGenerator gen(opts);
+  bson::Document doc;
+  uint64_t near_athens = 0, total = 0;
+  const geo::Rect athens{{23.4, 37.7}, {24.0, 38.3}};
+  while (gen.Next(&doc)) {
+    double lon, lat;
+    bson::ExtractGeoJsonPoint(*doc.Get("location"), &lon, &lat);
+    near_athens += athens.Contains({lon, lat});
+    ++total;
+  }
+  // Athens box is ~0.7% of the MBR area but must hold a large share of the
+  // records (the R set's skew).
+  EXPECT_GT(static_cast<double>(near_athens) / static_cast<double>(total),
+            0.10);
+}
+
+TEST(TrajectoryGeneratorTest, UsesManyVehicles) {
+  TrajectoryOptions opts;
+  opts.num_records = 5000;
+  opts.num_vehicles = 50;
+  TrajectoryGenerator gen(opts);
+  bson::Document doc;
+  std::map<int, int> per_vehicle;
+  while (gen.Next(&doc)) {
+    per_vehicle[doc.Get("vehicleId")->AsInt32()]++;
+  }
+  EXPECT_EQ(per_vehicle.size(), 50u);
+}
+
+// ---------- uniform generator (S set) ----------
+
+TEST(UniformGeneratorTest, MatchesPaperDefinition) {
+  UniformOptions opts;
+  opts.num_records = 3000;
+  UniformGenerator gen(opts);
+  bson::Document doc;
+  uint64_t n = 0;
+  while (gen.Next(&doc)) {
+    double lon, lat;
+    ASSERT_TRUE(
+        bson::ExtractGeoJsonPoint(*doc.Get("location"), &lon, &lat));
+    EXPECT_TRUE(UniformGenerator::PaperMbr().Contains({lon, lat}));
+    const int64_t t = doc.Get("date")->AsDateTime();
+    EXPECT_GE(t, opts.t_begin_ms);
+    EXPECT_LT(t, opts.t_end_ms);
+    // Only the paper's four columns: id, location(lon, lat), date.
+    EXPECT_EQ(doc.size(), 3u);
+    ++n;
+  }
+  EXPECT_EQ(n, 3000u);
+}
+
+TEST(UniformGeneratorTest, RoughlyUniformQuadrants) {
+  UniformOptions opts;
+  opts.num_records = 40000;
+  UniformGenerator gen(opts);
+  bson::Document doc;
+  const double mid_lon = (opts.mbr.lo.lon + opts.mbr.hi.lon) / 2;
+  const double mid_lat = (opts.mbr.lo.lat + opts.mbr.hi.lat) / 2;
+  int quad[4] = {0, 0, 0, 0};
+  while (gen.Next(&doc)) {
+    double lon, lat;
+    bson::ExtractGeoJsonPoint(*doc.Get("location"), &lon, &lat);
+    quad[(lon >= mid_lon) * 2 + (lat >= mid_lat)]++;
+  }
+  for (int q : quad) EXPECT_NEAR(q, 10000, 500);
+}
+
+TEST(UniformGeneratorTest, DatesAreNotTimeOrdered) {
+  UniformOptions opts;
+  opts.num_records = 1000;
+  UniformGenerator gen(opts);
+  bson::Document doc;
+  int inversions = 0;
+  int64_t prev = 0;
+  bool first = true;
+  while (gen.Next(&doc)) {
+    const int64_t t = doc.Get("date")->AsDateTime();
+    if (!first && t < prev) ++inversions;
+    prev = t;
+    first = false;
+  }
+  EXPECT_GT(inversions, 300);  // random order, ~half inverted
+}
+
+// ---------- query workload ----------
+
+TEST(QueryWorkloadTest, PaperRectangles) {
+  const geo::Rect small = SmallQueryRect();
+  const geo::Rect big = BigQueryRect();
+  EXPECT_DOUBLE_EQ(small.lo.lon, 23.757495);
+  EXPECT_DOUBLE_EQ(big.hi.lat, 38.353926);
+  // Paper: the big rect is ~2603x the small one (planar areas).
+  EXPECT_NEAR(big.AreaDeg2() / small.AreaDeg2(), 2609.0, 30.0);
+  // Both lie inside the S MBR so both data sets can answer them.
+  EXPECT_TRUE(geo::Rect({{23.3, 37.6}, {24.3, 38.5}}).ContainsRect(small));
+  EXPECT_TRUE(geo::Rect({{23.3, 37.6}, {24.3, 38.5}}).ContainsRect(big));
+}
+
+TEST(QueryWorkloadTest, FourDisjointGrowingWindows) {
+  const int64_t begin = 1530403200000;
+  const int64_t end = 1543622400000;  // 5 months
+  for (bool big : {false, true}) {
+    const auto qs = MakeQuerySet(big, begin, end);
+    ASSERT_EQ(qs.size(), 4u);
+    EXPECT_NEAR(qs[0].duration_hours(), 1.0, 1e-9);
+    EXPECT_NEAR(qs[1].duration_hours(), 24.0, 1e-9);
+    EXPECT_NEAR(qs[2].duration_hours(), 7 * 24.0, 1e-9);
+    EXPECT_NEAR(qs[3].duration_hours(), 30 * 24.0, 1e-9);
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_GE(qs[i].t_begin_ms, begin);
+      EXPECT_LE(qs[i].t_end_ms, end);
+      if (i > 0) {
+        EXPECT_GE(qs[i].t_begin_ms, qs[i - 1].t_end_ms);
+      }
+    }
+  }
+}
+
+TEST(QueryWorkloadTest, FitsInShortSpanToo) {
+  // The S set's 2.5-month span must still fit all four windows.
+  const int64_t begin = 1530403200000;
+  const int64_t end = 1537012800000;
+  const auto qs = MakeQuerySet(true, begin, end);
+  EXPECT_NEAR(qs[3].duration_hours(), 30 * 24.0, 1e-9);
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_GE(qs[i].t_begin_ms, qs[i - 1].t_end_ms);
+  }
+  EXPECT_LE(qs[3].t_end_ms, end);
+}
+
+TEST(QueryWorkloadTest, NamesFollowPaperNotation) {
+  const auto qs = MakeQuerySet(false, 0, 40LL * 24 * 3600 * 1000);
+  EXPECT_EQ(qs[0].name, "Q1^s");
+  const auto qb = MakeQuerySet(true, 0, 40LL * 24 * 3600 * 1000);
+  EXPECT_EQ(qb[3].name, "Q4^b");
+}
+
+}  // namespace
+}  // namespace stix::workload
