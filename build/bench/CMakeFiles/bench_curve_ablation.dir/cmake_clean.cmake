@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_curve_ablation.dir/bench_curve_ablation.cc.o"
+  "CMakeFiles/bench_curve_ablation.dir/bench_curve_ablation.cc.o.d"
+  "bench_curve_ablation"
+  "bench_curve_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_curve_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

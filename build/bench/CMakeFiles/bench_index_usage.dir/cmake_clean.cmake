@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_usage.dir/bench_index_usage.cc.o"
+  "CMakeFiles/bench_index_usage.dir/bench_index_usage.cc.o.d"
+  "bench_index_usage"
+  "bench_index_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

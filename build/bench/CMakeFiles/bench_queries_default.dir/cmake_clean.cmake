@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queries_default.dir/bench_queries_default.cc.o"
+  "CMakeFiles/bench_queries_default.dir/bench_queries_default.cc.o.d"
+  "bench_queries_default"
+  "bench_queries_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queries_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

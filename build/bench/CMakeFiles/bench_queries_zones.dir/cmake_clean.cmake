@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queries_zones.dir/bench_queries_zones.cc.o"
+  "CMakeFiles/bench_queries_zones.dir/bench_queries_zones.cc.o.d"
+  "bench_queries_zones"
+  "bench_queries_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queries_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stix_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/stix_bench_common.dir/bench_common.cc.o.d"
+  "libstix_bench_common.a"
+  "libstix_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stix_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

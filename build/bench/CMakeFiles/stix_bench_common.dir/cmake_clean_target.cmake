@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstix_bench_common.a"
+)

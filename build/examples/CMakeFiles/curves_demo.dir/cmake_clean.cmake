@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curves_demo.dir/curves_demo.cpp.o"
+  "CMakeFiles/curves_demo.dir/curves_demo.cpp.o.d"
+  "curves_demo"
+  "curves_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curves_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

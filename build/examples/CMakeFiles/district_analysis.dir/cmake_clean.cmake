@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/district_analysis.dir/district_analysis.cpp.o"
+  "CMakeFiles/district_analysis.dir/district_analysis.cpp.o.d"
+  "district_analysis"
+  "district_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/district_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

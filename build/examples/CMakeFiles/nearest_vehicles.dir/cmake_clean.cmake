@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearest_vehicles.dir/nearest_vehicles.cpp.o"
+  "CMakeFiles/nearest_vehicles.dir/nearest_vehicles.cpp.o.d"
+  "nearest_vehicles"
+  "nearest_vehicles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearest_vehicles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_tuning.dir/zone_tuning.cpp.o"
+  "CMakeFiles/zone_tuning.dir/zone_tuning.cpp.o.d"
+  "zone_tuning"
+  "zone_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bson/codec.cc" "src/CMakeFiles/stix.dir/bson/codec.cc.o" "gcc" "src/CMakeFiles/stix.dir/bson/codec.cc.o.d"
+  "/root/repo/src/bson/document.cc" "src/CMakeFiles/stix.dir/bson/document.cc.o" "gcc" "src/CMakeFiles/stix.dir/bson/document.cc.o.d"
+  "/root/repo/src/bson/json_writer.cc" "src/CMakeFiles/stix.dir/bson/json_writer.cc.o" "gcc" "src/CMakeFiles/stix.dir/bson/json_writer.cc.o.d"
+  "/root/repo/src/bson/object_id.cc" "src/CMakeFiles/stix.dir/bson/object_id.cc.o" "gcc" "src/CMakeFiles/stix.dir/bson/object_id.cc.o.d"
+  "/root/repo/src/bson/value.cc" "src/CMakeFiles/stix.dir/bson/value.cc.o" "gcc" "src/CMakeFiles/stix.dir/bson/value.cc.o.d"
+  "/root/repo/src/cluster/balancer.cc" "src/CMakeFiles/stix.dir/cluster/balancer.cc.o" "gcc" "src/CMakeFiles/stix.dir/cluster/balancer.cc.o.d"
+  "/root/repo/src/cluster/chunk.cc" "src/CMakeFiles/stix.dir/cluster/chunk.cc.o" "gcc" "src/CMakeFiles/stix.dir/cluster/chunk.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/stix.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/stix.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/router.cc" "src/CMakeFiles/stix.dir/cluster/router.cc.o" "gcc" "src/CMakeFiles/stix.dir/cluster/router.cc.o.d"
+  "/root/repo/src/cluster/shard.cc" "src/CMakeFiles/stix.dir/cluster/shard.cc.o" "gcc" "src/CMakeFiles/stix.dir/cluster/shard.cc.o.d"
+  "/root/repo/src/cluster/snapshot.cc" "src/CMakeFiles/stix.dir/cluster/snapshot.cc.o" "gcc" "src/CMakeFiles/stix.dir/cluster/snapshot.cc.o.d"
+  "/root/repo/src/cluster/zones.cc" "src/CMakeFiles/stix.dir/cluster/zones.cc.o" "gcc" "src/CMakeFiles/stix.dir/cluster/zones.cc.o.d"
+  "/root/repo/src/common/lz.cc" "src/CMakeFiles/stix.dir/common/lz.cc.o" "gcc" "src/CMakeFiles/stix.dir/common/lz.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/stix.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/stix.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/stix.dir/common/status.cc.o" "gcc" "src/CMakeFiles/stix.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/stix.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/stix.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/stix.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/stix.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/geo/covering.cc" "src/CMakeFiles/stix.dir/geo/covering.cc.o" "gcc" "src/CMakeFiles/stix.dir/geo/covering.cc.o.d"
+  "/root/repo/src/geo/curve.cc" "src/CMakeFiles/stix.dir/geo/curve.cc.o" "gcc" "src/CMakeFiles/stix.dir/geo/curve.cc.o.d"
+  "/root/repo/src/geo/geo.cc" "src/CMakeFiles/stix.dir/geo/geo.cc.o" "gcc" "src/CMakeFiles/stix.dir/geo/geo.cc.o.d"
+  "/root/repo/src/geo/geohash.cc" "src/CMakeFiles/stix.dir/geo/geohash.cc.o" "gcc" "src/CMakeFiles/stix.dir/geo/geohash.cc.o.d"
+  "/root/repo/src/geo/hilbert.cc" "src/CMakeFiles/stix.dir/geo/hilbert.cc.o" "gcc" "src/CMakeFiles/stix.dir/geo/hilbert.cc.o.d"
+  "/root/repo/src/geo/region.cc" "src/CMakeFiles/stix.dir/geo/region.cc.o" "gcc" "src/CMakeFiles/stix.dir/geo/region.cc.o.d"
+  "/root/repo/src/geo/zorder.cc" "src/CMakeFiles/stix.dir/geo/zorder.cc.o" "gcc" "src/CMakeFiles/stix.dir/geo/zorder.cc.o.d"
+  "/root/repo/src/index/index_bounds.cc" "src/CMakeFiles/stix.dir/index/index_bounds.cc.o" "gcc" "src/CMakeFiles/stix.dir/index/index_bounds.cc.o.d"
+  "/root/repo/src/index/index_catalog.cc" "src/CMakeFiles/stix.dir/index/index_catalog.cc.o" "gcc" "src/CMakeFiles/stix.dir/index/index_catalog.cc.o.d"
+  "/root/repo/src/index/index_descriptor.cc" "src/CMakeFiles/stix.dir/index/index_descriptor.cc.o" "gcc" "src/CMakeFiles/stix.dir/index/index_descriptor.cc.o.d"
+  "/root/repo/src/index/key_generator.cc" "src/CMakeFiles/stix.dir/index/key_generator.cc.o" "gcc" "src/CMakeFiles/stix.dir/index/key_generator.cc.o.d"
+  "/root/repo/src/keystring/keystring.cc" "src/CMakeFiles/stix.dir/keystring/keystring.cc.o" "gcc" "src/CMakeFiles/stix.dir/keystring/keystring.cc.o.d"
+  "/root/repo/src/query/aggregate.cc" "src/CMakeFiles/stix.dir/query/aggregate.cc.o" "gcc" "src/CMakeFiles/stix.dir/query/aggregate.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/stix.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/stix.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/expression.cc" "src/CMakeFiles/stix.dir/query/expression.cc.o" "gcc" "src/CMakeFiles/stix.dir/query/expression.cc.o.d"
+  "/root/repo/src/query/plan_cache.cc" "src/CMakeFiles/stix.dir/query/plan_cache.cc.o" "gcc" "src/CMakeFiles/stix.dir/query/plan_cache.cc.o.d"
+  "/root/repo/src/query/plan_stage.cc" "src/CMakeFiles/stix.dir/query/plan_stage.cc.o" "gcc" "src/CMakeFiles/stix.dir/query/plan_stage.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/stix.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/stix.dir/query/planner.cc.o.d"
+  "/root/repo/src/query/query_analysis.cc" "src/CMakeFiles/stix.dir/query/query_analysis.cc.o" "gcc" "src/CMakeFiles/stix.dir/query/query_analysis.cc.o.d"
+  "/root/repo/src/st/adaptive.cc" "src/CMakeFiles/stix.dir/st/adaptive.cc.o" "gcc" "src/CMakeFiles/stix.dir/st/adaptive.cc.o.d"
+  "/root/repo/src/st/approach.cc" "src/CMakeFiles/stix.dir/st/approach.cc.o" "gcc" "src/CMakeFiles/stix.dir/st/approach.cc.o.d"
+  "/root/repo/src/st/knn.cc" "src/CMakeFiles/stix.dir/st/knn.cc.o" "gcc" "src/CMakeFiles/stix.dir/st/knn.cc.o.d"
+  "/root/repo/src/st/st_store.cc" "src/CMakeFiles/stix.dir/st/st_store.cc.o" "gcc" "src/CMakeFiles/stix.dir/st/st_store.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/stix.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/stix.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/collection.cc" "src/CMakeFiles/stix.dir/storage/collection.cc.o" "gcc" "src/CMakeFiles/stix.dir/storage/collection.cc.o.d"
+  "/root/repo/src/storage/record_store.cc" "src/CMakeFiles/stix.dir/storage/record_store.cc.o" "gcc" "src/CMakeFiles/stix.dir/storage/record_store.cc.o.d"
+  "/root/repo/src/workload/csv_loader.cc" "src/CMakeFiles/stix.dir/workload/csv_loader.cc.o" "gcc" "src/CMakeFiles/stix.dir/workload/csv_loader.cc.o.d"
+  "/root/repo/src/workload/query_workload.cc" "src/CMakeFiles/stix.dir/workload/query_workload.cc.o" "gcc" "src/CMakeFiles/stix.dir/workload/query_workload.cc.o.d"
+  "/root/repo/src/workload/trajectory_generator.cc" "src/CMakeFiles/stix.dir/workload/trajectory_generator.cc.o" "gcc" "src/CMakeFiles/stix.dir/workload/trajectory_generator.cc.o.d"
+  "/root/repo/src/workload/uniform_generator.cc" "src/CMakeFiles/stix.dir/workload/uniform_generator.cc.o" "gcc" "src/CMakeFiles/stix.dir/workload/uniform_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

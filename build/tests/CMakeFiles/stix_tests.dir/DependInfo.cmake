@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregate_test.cc" "tests/CMakeFiles/stix_tests.dir/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/aggregate_test.cc.o.d"
+  "/root/repo/tests/bson_test.cc" "tests/CMakeFiles/stix_tests.dir/bson_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/bson_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/stix_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/stix_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/csv_loader_test.cc" "tests/CMakeFiles/stix_tests.dir/csv_loader_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/csv_loader_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/stix_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/geo_test.cc" "tests/CMakeFiles/stix_tests.dir/geo_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/geo_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/stix_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/keystring_test.cc" "tests/CMakeFiles/stix_tests.dir/keystring_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/keystring_test.cc.o.d"
+  "/root/repo/tests/multikey_test.cc" "tests/CMakeFiles/stix_tests.dir/multikey_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/multikey_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/stix_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/region_test.cc" "tests/CMakeFiles/stix_tests.dir/region_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/region_test.cc.o.d"
+  "/root/repo/tests/snapshot_test.cc" "tests/CMakeFiles/stix_tests.dir/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/snapshot_test.cc.o.d"
+  "/root/repo/tests/st_test.cc" "tests/CMakeFiles/stix_tests.dir/st_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/st_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/stix_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/stix_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/stix_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

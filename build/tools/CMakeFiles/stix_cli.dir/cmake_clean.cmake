@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stix_cli.dir/stix_cli.cc.o"
+  "CMakeFiles/stix_cli.dir/stix_cli.cc.o.d"
+  "stix_cli"
+  "stix_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stix_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
