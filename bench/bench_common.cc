@@ -32,12 +32,17 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       config.timed_runs = atoi(v);
     } else if (const char* v = value_of("--seed=")) {
       config.seed = strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--json=")) {
+      config.json_path = v;
+    } else if (arg == "--serial") {
+      config.parallel_fanout = false;
     } else if (arg == "--verbose") {
       config.verbose = true;
     } else {
       fprintf(stderr,
               "unknown flag %s\nusage: %s [--r_docs=N] [--s_docs=N] "
-              "[--shards=N] [--warm=N] [--timed=N] [--seed=N] [--verbose]\n",
+              "[--shards=N] [--warm=N] [--timed=N] [--seed=N] "
+              "[--json=PATH] [--serial] [--verbose]\n",
               arg.c_str(), argv[0]);
       exit(2);
     }
@@ -68,6 +73,7 @@ std::unique_ptr<st::StStore> BuildLoadedStore(st::ApproachKind kind,
   options.cluster.num_shards = config.num_shards;
   options.cluster.chunk_max_bytes = config.chunk_max_bytes;
   options.cluster.seed = config.seed;
+  options.cluster.router.parallel_fanout = config.parallel_fanout;
   options.load_clock_begin_ms = info.t_begin_ms;
 
   auto store = std::make_unique<st::StStore>(options);
@@ -136,6 +142,7 @@ QueryMeasurement MeasureQuery(const st::StStore& store,
         store.Query(spec.rect, spec.t_begin_ms, spec.t_end_ms);
     total_ms += r.cluster.modeled_millis;
     total_cover_ms += r.translated.cover_millis;
+    if (r.translated.cache_hit) ++m.cover_cache_hits;
     if (i + 1 == config.timed_runs) {
       m.n_results = r.cluster.docs.size();
       m.nodes = r.cluster.nodes_contacted;
@@ -173,5 +180,69 @@ void PrintPanel(const std::string& title, const std::string& metric,
 }
 
 std::string Fmt(double v, int decimals) { return FormatFixed(v, decimals); }
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const BenchConfig& config,
+                    const std::vector<BenchJsonEntry>& entries) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  fprintf(f, "{\n  \"bench\": \"%s\",\n", JsonEscape(bench_name).c_str());
+  fprintf(f,
+          "  \"config\": {\"r_docs\": %" PRIu64 ", \"s_docs\": %" PRIu64
+          ", \"shards\": %d, \"warm_runs\": %d, \"timed_runs\": %d, "
+          "\"seed\": %" PRIu64 ", \"parallel_fanout\": %s},\n",
+          config.r_docs, config.s_docs, config.num_shards, config.warm_runs,
+          config.timed_runs, config.seed,
+          config.parallel_fanout ? "true" : "false");
+  fprintf(f, "  \"queries\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BenchJsonEntry& e = entries[i];
+    fprintf(f,
+            "    {\"approach\": \"%s\", \"dataset\": \"%s\", "
+            "\"suite\": \"%s\", \"query\": \"%s\", "
+            "\"n_results\": %" PRIu64 ", \"nodes\": %d, "
+            "\"max_keys\": %" PRIu64 ", \"max_docs\": %" PRIu64 ", "
+            "\"avg_millis\": %.6f, \"avg_cover_millis\": %.6f, "
+            "\"cover_ranges\": %zu, \"cover_singletons\": %zu, "
+            "\"cover_cache_hits\": %d}%s\n",
+            JsonEscape(e.approach).c_str(), JsonEscape(e.dataset).c_str(),
+            JsonEscape(e.suite).c_str(), JsonEscape(e.m.query_name).c_str(),
+            e.m.n_results, e.m.nodes, e.m.max_keys, e.m.max_docs,
+            e.m.avg_millis, e.m.avg_cover_millis, e.m.cover_ranges,
+            e.m.cover_singletons, e.m.cover_cache_hits,
+            i + 1 == entries.size() ? "" : ",");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  return true;
+}
 
 }  // namespace stix::bench

@@ -31,9 +31,16 @@ struct BenchConfig {
   int timed_runs = 3;  ///< Timed executions averaged per query.
   uint64_t seed = 42;
   bool verbose = false;
+  /// Fan queries out on the cluster's shared executor pool (real mongos
+  /// behaviour). Default on; --serial falls back to one-shard-at-a-time.
+  bool parallel_fanout = true;
+  /// When non-empty, per-query measurements are also written as JSON here
+  /// (see WriteBenchJson) so successive PRs can track the perf trajectory.
+  std::string json_path;
 
   /// Parses --r_docs=, --s_docs=, --shards=, --warm=, --timed=, --seed=,
-  /// --verbose from argv; unknown flags abort with a usage message.
+  /// --json=, --serial, --verbose from argv; unknown flags abort with a
+  /// usage message.
   static BenchConfig FromArgs(int argc, char** argv);
 };
 
@@ -66,7 +73,25 @@ struct QueryMeasurement {
   size_t cover_singletons = 0;
   /// Winning index name per contacted shard (Table 7), from the last run.
   std::vector<std::string> winning_indexes;
+  /// Timed runs whose translation came from the covering cache (warm-path
+  /// indicator: equals timed_runs once the shape has been seen).
+  int cover_cache_hits = 0;
 };
+
+/// One row of the JSON perf log: where the measurement came from plus the
+/// measurement itself.
+struct BenchJsonEntry {
+  std::string approach;
+  std::string dataset;
+  std::string suite;  ///< e.g. "small" / "big".
+  QueryMeasurement m;
+};
+
+/// Writes entries as a JSON document (schema: {bench, config, queries:[...]})
+/// to `path`. Returns false (with a message on stderr) on I/O failure.
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const BenchConfig& config,
+                    const std::vector<BenchJsonEntry>& entries);
 
 /// Runs a query warm_runs times untimed, then timed_runs times, averaging
 /// the modeled execution time (the paper's warm-state methodology).

@@ -95,6 +95,7 @@ int Main(int argc, char** argv) {
          "(paper: 15.2M / 30.4M docs, 12 shards)\n",
          config.r_docs, config.s_docs, config.num_shards);
 
+  std::vector<BenchJsonEntry> json_entries;
   for (const Dataset dataset : {Dataset::kR, Dataset::kS}) {
     const DatasetInfo info = InfoFor(dataset, config);
     const auto small_queries =
@@ -108,10 +109,22 @@ int Main(int argc, char** argv) {
       SuiteResult suite;
       for (const auto& spec : small_queries) {
         suite.small.push_back(MeasureQuery(*store, spec, config));
+        json_entries.push_back(BenchJsonEntry{st::ApproachName(kind),
+                                              DatasetName(dataset), "small",
+                                              suite.small.back()});
       }
       for (const auto& spec : big_queries) {
         suite.big.push_back(MeasureQuery(*store, spec, config));
+        json_entries.push_back(BenchJsonEntry{st::ApproachName(kind),
+                                              DatasetName(dataset), "big",
+                                              suite.big.back()});
       }
+      const st::CoverCacheStats cache =
+          store->approach().cover_cache_stats();
+      printf("[covering cache] %s/%s: %" PRIu64 " hits / %" PRIu64
+             " misses (%.0f%% warm hit rate)\n",
+             st::ApproachName(kind), DatasetName(dataset), cache.hits,
+             cache.misses, 100.0 * cache.HitRate());
       results.emplace(kind, std::move(suite));
     }
 
@@ -127,6 +140,13 @@ int Main(int argc, char** argv) {
     } else {
       PrintFigure("Figure 7", dataset, false, results);
       PrintFigure("Figure 8", dataset, true, results);
+    }
+  }
+  if (!config.json_path.empty()) {
+    if (WriteBenchJson(config.json_path, "bench_queries_default", config,
+                       json_entries)) {
+      printf("\nwrote %zu measurements to %s\n", json_entries.size(),
+             config.json_path.c_str());
     }
   }
   return 0;

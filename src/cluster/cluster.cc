@@ -9,7 +9,11 @@
 namespace stix::cluster {
 
 Cluster::Cluster(const ClusterOptions& options)
-    : options_(options), rng_(options.seed) {
+    : options_(options),
+      exec_pool_(std::make_unique<ThreadPool>(
+          options.fanout_threads > 0 ? options.fanout_threads
+                                     : ThreadPool::DefaultThreads())),
+      rng_(options.seed) {
   shards_.reserve(options_.num_shards);
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(i));
@@ -267,7 +271,8 @@ void Cluster::Balance() {
 }
 
 ClusterQueryResult Cluster::Query(const query::ExprPtr& expr) const {
-  const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
+  const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
+                      exec_pool_.get());
   return router.Execute(expr, options_.exec);
 }
 
@@ -310,9 +315,11 @@ Result<uint64_t> Cluster::Delete(const query::ExprPtr& expr) {
     const query::ExecutionResult r = shard.RunQuery(expr, options_.exec);
     for (size_t i = 0; i < r.rids.size(); ++i) {
       // Update the owning chunk's accounting before the document dies.
-      const std::string key = pattern_.KeyOf(r.docs[i]);
+      // r.docs borrows from the record store; removing record i leaves the
+      // remaining pointers valid (slots are tombstoned, never reallocated).
+      const std::string key = pattern_.KeyOf(*r.docs[i]);
       Chunk& chunk = chunks_->chunk(chunks_->FindChunkIndex(key));
-      const uint64_t doc_bytes = r.docs[i].ApproxBsonSize();
+      const uint64_t doc_bytes = r.docs[i]->ApproxBsonSize();
       const Status s = shard.Remove(r.rids[i]);
       if (!s.ok()) return s;
       chunk.bytes -= std::min(chunk.bytes, doc_bytes);

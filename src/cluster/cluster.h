@@ -31,6 +31,10 @@ struct ClusterOptions {
 
   uint64_t seed = 42;  ///< Drives balancer randomness; fully reproducible.
 
+  /// Size of the cluster's long-lived executor pool (shared by every query
+  /// fan-out; see Router). 0 = hardware_concurrency.
+  int fanout_threads = 0;
+
   RouterOptions router;
   query::ExecutorOptions exec;
   BalancerOptions balancer;
@@ -130,12 +134,17 @@ class Cluster {
     return shard_key_index_name_;
   }
 
+  /// The long-lived executor pool every query fan-out runs on (one per
+  /// cluster, created at construction — never per query).
+  ThreadPool& exec_pool() const { return *exec_pool_; }
+
  private:
   Status MoveChunk(size_t chunk_index, int to_shard);
   void MaybeSplitChunk(size_t chunk_index);
   static std::string IndexNameForPattern(const ShardKeyPattern& pattern);
 
   ClusterOptions options_;
+  std::unique_ptr<ThreadPool> exec_pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ChunkManager> chunks_;
   ShardKeyPattern pattern_;

@@ -95,16 +95,18 @@ ClusterQueryResult Router::Execute(
   result.nodes_contacted = static_cast<int>(targets.size());
 
   std::vector<query::ExecutionResult> shard_results(targets.size());
-  if (options_.parallel_fanout && targets.size() > 1) {
-    ThreadPool pool(static_cast<int>(std::min<size_t>(targets.size(), 8)));
+  if (options_.parallel_fanout && pool_ != nullptr && targets.size() > 1) {
+    // Warm threads from the cluster's long-lived pool; the TaskGroup scopes
+    // completion to this query so concurrent queries can share the pool.
+    ThreadPool::TaskGroup group(pool_);
     for (size_t i = 0; i < targets.size(); ++i) {
-      pool.Submit([&, i] {
+      group.Submit([&, i] {
         shard_results[i] =
             (*shards_)[static_cast<size_t>(targets[i])]->RunQuery(
                 expr, exec_options);
       });
     }
-    pool.Wait();
+    group.Wait();
   } else {
     for (size_t i = 0; i < targets.size(); ++i) {
       shard_results[i] =
@@ -126,9 +128,11 @@ ClusterQueryResult Router::Execute(
   for (const query::ExecutionResult& r : shard_results) {
     total_docs += r.docs.size();
   }
+  // The shards returned borrowed pointers into their record stores; this is
+  // the single point where result documents are materialized.
   result.docs.reserve(total_docs);
-  for (query::ExecutionResult& r : shard_results) {
-    for (bson::Document& d : r.docs) result.docs.push_back(std::move(d));
+  for (const query::ExecutionResult& r : shard_results) {
+    for (const bson::Document* d : r.docs) result.docs.push_back(*d);
   }
   result.merge_millis = merge_timer.ElapsedMillis();
 

@@ -7,6 +7,7 @@
 
 #include "cluster/chunk.h"
 #include "cluster/shard.h"
+#include "common/thread_pool.h"
 
 namespace stix::cluster {
 
@@ -19,12 +20,12 @@ struct RouterOptions {
   /// as a LAN round trip is against the paper's 10-1000 ms queries.
   double per_node_overhead_ms = 0.02;
 
-  /// Execute shard queries concurrently on a thread pool (real mongos
-  /// behaviour). Off by default: the single-machine reproduction measures
-  /// per-shard latency serially and models the fan-out as
-  /// max(shard latencies), which is deterministic and unaffected by host
-  /// core count. Either way the reported metrics are identical except for
-  /// wall-clock measurement noise.
+  /// Execute shard queries concurrently on the cluster's shared thread
+  /// pool (real mongos behaviour). Off by default: the single-machine
+  /// reproduction measures per-shard latency serially and models the
+  /// fan-out as max(shard latencies), which is deterministic and unaffected
+  /// by host core count. Either way the reported metrics are identical
+  /// except for wall-clock measurement noise. The benches turn this on.
   bool parallel_fanout = false;
 };
 
@@ -67,13 +68,17 @@ struct ClusterQueryResult {
 /// unconstrained — the mechanism the paper leans on throughout Section 4.
 class Router {
  public:
+  /// `pool` is the cluster's long-lived executor pool; the router never
+  /// creates threads of its own. May be null, in which case the fan-out
+  /// degrades to serial regardless of `options.parallel_fanout`.
   Router(const ShardKeyPattern* pattern, const ChunkManager* chunks,
          const std::vector<std::unique_ptr<Shard>>* shards,
-         RouterOptions options)
+         RouterOptions options, ThreadPool* pool = nullptr)
       : pattern_(pattern),
         chunks_(chunks),
         shards_(shards),
-        options_(options) {}
+        options_(options),
+        pool_(pool) {}
 
   /// Shard ids this query must contact (sorted, unique).
   std::vector<int> TargetShards(const query::ExprPtr& expr,
@@ -88,6 +93,7 @@ class Router {
   const ChunkManager* chunks_;
   const std::vector<std::unique_ptr<Shard>>* shards_;
   RouterOptions options_;
+  ThreadPool* pool_;
 };
 
 }  // namespace stix::cluster

@@ -1,12 +1,28 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+
 namespace stix {
+namespace {
+
+std::atomic<uint64_t> g_threads_started{0};
+
+}  // namespace
+
+int ThreadPool::DefaultThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+uint64_t ThreadPool::threads_started() {
+  return g_threads_started.load(std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+    g_threads_started.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -48,11 +64,32 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop();
     }
     task();
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->pending;
+  }
+  pool_->Submit([state = state_, task = std::move(task)] {
+    task();
+    // Notify under the lock: the waiter may destroy the TaskGroup as soon
+    // as pending hits 0, but `state` is kept alive by this closure.
+    std::lock_guard<std::mutex> lock(state->mu);
+    --state->pending;
+    state->done.notify_all();
+  });
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done.wait(lock, [this] { return state_->pending == 0; });
 }
 
 }  // namespace stix

@@ -5,9 +5,12 @@
 namespace stix::query {
 namespace {
 
+// Plan stages yield (RecordId, const Document*) into the record store, so
+// racers accumulate borrowed pointers — losing candidates never copy a
+// document, and the winner's pointers flow to the caller unchanged.
 struct RacingState {
   CandidatePlan* plan;
-  std::vector<bson::Document> docs;
+  std::vector<const bson::Document*> docs;
   std::vector<storage::RecordId> rids;
   uint64_t works = 0;
   bool eof = false;
@@ -21,7 +24,7 @@ void DrainToEof(PlanStage* root, RacingState* state) {
     ++state->works;
     if (s == PlanStage::State::kEof) return;
     if (s == PlanStage::State::kAdvanced) {
-      state->docs.push_back(*doc);
+      state->docs.push_back(doc);
       state->rids.push_back(rid);
     }
   }
@@ -37,7 +40,7 @@ bool DrainWithCap(PlanStage* root, uint64_t works_cap, RacingState* state) {
     ++state->works;
     if (s == PlanStage::State::kEof) return true;
     if (s == PlanStage::State::kAdvanced) {
-      state->docs.push_back(*doc);
+      state->docs.push_back(doc);
       state->rids.push_back(rid);
     }
   }
@@ -66,7 +69,7 @@ RacingState* RunTrial(std::vector<RacingState>* racers,
       if (state == PlanStage::State::kEof) {
         racer.eof = true;
       } else if (state == PlanStage::State::kAdvanced) {
-        racer.docs.push_back(*doc);
+        racer.docs.push_back(doc);
         racer.rids.push_back(rid);
         if (racer.docs.size() >= options.trial_results) {
           return &racer;
@@ -115,25 +118,32 @@ ExecutionResult ExecuteQuery(const storage::RecordStore& records,
   if (cache != nullptr && candidates.size() > 1) {
     shape = QueryShape(*expr);
     if (const PlanCacheEntry* entry = cache->Lookup(shape)) {
+      CandidatePlan* cached_plan = nullptr;
       for (CandidatePlan& plan : candidates) {
-        if (plan.index_name != entry->index_name) continue;
+        if (plan.index_name == entry->index_name) {
+          cached_plan = &plan;
+          break;
+        }
+      }
+      if (cached_plan != nullptr) {
         const uint64_t cap = std::max<uint64_t>(
             options.replan_min_works,
             static_cast<uint64_t>(options.replan_factor *
                                   static_cast<double>(entry->works)));
-        RacingState cached{&plan, {}, {}, 0, false};
+        RacingState cached{cached_plan, {}, {}, 0, false};
         if (DrainWithCap(cached.plan->root.get(), cap, &cached)) {
           result.from_plan_cache = true;
           FillResult(&cached, &result);
           result.exec_millis = timer.ElapsedMillis();
           return result;
         }
-        // Budget blown: evict and fall through to a fresh race with fresh
-        // plan stages (MongoDB's replanning).
+        // Budget blown: evict and replan from scratch with fresh plan
+        // stages (MongoDB's replanning). `cached_plan` points into the old
+        // candidate vector, so it must die before the vector is replaced.
         cache->Evict(shape);
         result.replanned = true;
+        cached_plan = nullptr;
         candidates = Planner::Plan(records, catalog, expr);
-        break;
       }
     }
   }

@@ -25,10 +25,25 @@ struct ExecutorOptions {
 };
 
 /// Result of running one query on one shard-local collection.
+///
+/// Matched documents are returned as borrowed pointers into the shard's
+/// RecordStore — the executor copies nothing. Pointers stay valid until the
+/// collection is next mutated; callers that outlive that window (the router
+/// merge, deletes) materialize what they need exactly once.
 struct ExecutionResult {
-  std::vector<bson::Document> docs;
+  std::vector<const bson::Document*> docs;
   /// RecordIds parallel to `docs` (consumed by deletes and diagnostics).
   std::vector<storage::RecordId> rids;
+
+  /// Copies the matched documents out of the record store (the one
+  /// materialization point for callers that need owned documents).
+  std::vector<bson::Document> MaterializeDocs() const {
+    std::vector<bson::Document> out;
+    out.reserve(docs.size());
+    for (const bson::Document* d : docs) out.push_back(*d);
+    return out;
+  }
+
   ExecStats stats;
   double exec_millis = 0.0;
   std::string winning_index;  ///< Index the (multi-)planner settled on.

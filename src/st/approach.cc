@@ -3,6 +3,34 @@
 #include "common/stopwatch.h"
 
 namespace stix::st {
+namespace {
+
+/// Translation cache entries are few and large wins each; the cap only
+/// guards against unbounded ad-hoc workloads. On overflow the cache is
+/// dropped wholesale — simpler than LRU and overflow is rare at this size.
+constexpr size_t kCoverCacheMaxEntries = 4096;
+
+}  // namespace
+
+size_t Approach::CacheKeyHash::operator()(const CacheKey& k) const {
+  // FNV-1a over the raw bytes: the key is a POD of doubles/int64s compared
+  // bitwise via ==, so hashing the bit patterns is consistent with it.
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const void* p, size_t n) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(&k.lo_lon, sizeof k.lo_lon);
+  mix(&k.lo_lat, sizeof k.lo_lat);
+  mix(&k.hi_lon, sizeof k.hi_lon);
+  mix(&k.hi_lat, sizeof k.hi_lat);
+  mix(&k.t_begin_ms, sizeof k.t_begin_ms);
+  mix(&k.t_end_ms, sizeof k.t_end_ms);
+  return static_cast<size_t>(h);
+}
 
 const char* ApproachName(ApproachKind kind) {
   switch (kind) {
@@ -82,8 +110,45 @@ Status Approach::EnrichDocument(bson::Document* doc) const {
 TranslatedQuery Approach::TranslateQuery(const geo::Rect& rect,
                                          int64_t t_begin_ms,
                                          int64_t t_end_ms) const {
-  return TranslateRegionQuery(query::MakeGeoWithinBox(kLocationField, rect),
-                              geo::RectRegion(rect), t_begin_ms, t_end_ms);
+  // Normalize -0.0 so bitwise hashing agrees with value equality.
+  const auto norm = [](double d) { return d == 0.0 ? 0.0 : d; };
+  const CacheKey key{norm(rect.lo.lon), norm(rect.lo.lat), norm(rect.hi.lon),
+                     norm(rect.hi.lat), t_begin_ms, t_end_ms};
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = cover_cache_.find(key);
+    if (it != cover_cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      TranslatedQuery out = it->second;  // shares the immutable expr
+      out.cache_hit = true;
+      out.cover_millis = 0.0;  // the covering was not recomputed
+      return out;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Compute outside the lock: coverings can be expensive and concurrent
+  // queries must not serialize on them. A racing duplicate insert is
+  // harmless (same value, last writer wins).
+  TranslatedQuery fresh =
+      TranslateRegionQuery(query::MakeGeoWithinBox(kLocationField, rect),
+                           geo::RectRegion(rect), t_begin_ms, t_end_ms);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cover_cache_.size() >= kCoverCacheMaxEntries) cover_cache_.clear();
+    cover_cache_[key] = fresh;
+  }
+  return fresh;
+}
+
+size_t Approach::cover_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cover_cache_.size();
+}
+
+void Approach::ClearCoverCache() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cover_cache_.clear();
 }
 
 TranslatedQuery Approach::TranslatePolygonQuery(const geo::Polygon& polygon,

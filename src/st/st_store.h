@@ -44,6 +44,10 @@ class StStore {
   cluster::Cluster& cluster() { return cluster_; }
   const cluster::Cluster& cluster() const { return cluster_; }
 
+  /// The cluster's long-lived executor pool; every query fan-out reuses its
+  /// warm threads (no per-query thread creation anywhere in the store).
+  ThreadPool& exec_pool() const { return cluster_.exec_pool(); }
+
   /// Shards the collection and creates the approach's indexes.
   Status Setup();
 

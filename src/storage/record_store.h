@@ -30,6 +30,10 @@ class RecordStore {
   RecordId Insert(bson::Document doc);
 
   /// Returns the live document or nullptr (removed / never existed).
+  /// Pointer stability: the returned pointer survives Remove of *other*
+  /// records (slots are tombstoned in place) but not Insert, which may
+  /// reallocate the slot vector. The zero-copy query pipeline (executor ->
+  /// router merge) relies on this window.
   const bson::Document* Get(RecordId id) const;
 
   /// Removes a record (used by chunk migration); false if already gone.

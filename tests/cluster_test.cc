@@ -1,11 +1,14 @@
+#include <atomic>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "cluster/balancer.h"
 #include "cluster/cluster.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "keystring/keystring.h"
 
 namespace stix::cluster {
@@ -467,6 +470,59 @@ TEST_F(ClusterTest, ParallelFanoutMatchesSerial) {
     return out;
   };
   EXPECT_EQ(ids(rs), ids(rp));
+}
+
+TEST_F(ClusterTest, ParallelFanoutReusesSharedPoolWithoutThreadCreation) {
+  ClusterOptions opts = SmallOptions();
+  opts.router.parallel_fanout = true;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster
+                  .ShardCollection(ShardKeyPattern(
+                      {"date"}, ShardingStrategy::kRange))
+                  .ok());
+  Load(&cluster, 2000);
+  cluster.Balance();
+
+  const query::ExprPtr q = query::MakeRange(
+      "date", Value::DateTime(60000LL * 300), Value::DateTime(60000LL * 600));
+  // Ensure the query fans out (>1 shard) so the parallel path runs.
+  ASSERT_GT(cluster.TargetShards(q).size(), 1u);
+
+  const uint64_t threads_before = ThreadPool::threads_started();
+  const uint64_t tasks_before = cluster.exec_pool().tasks_completed();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(cluster.Query(q).docs.size(), 301u);
+  }
+  EXPECT_EQ(ThreadPool::threads_started(), threads_before)
+      << "a query execution created OS threads";
+  EXPECT_GT(cluster.exec_pool().tasks_completed(), tasks_before)
+      << "the fan-out bypassed the cluster's shared pool";
+}
+
+TEST_F(ClusterTest, ConcurrentQueriesShareThePoolSafely) {
+  ClusterOptions opts = SmallOptions();
+  opts.router.parallel_fanout = true;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster
+                  .ShardCollection(ShardKeyPattern(
+                      {"date"}, ShardingStrategy::kRange))
+                  .ok());
+  Load(&cluster, 2000);
+  cluster.Balance();
+
+  const query::ExprPtr q = query::MakeRange(
+      "date", Value::DateTime(60000LL * 300), Value::DateTime(60000LL * 600));
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&cluster, &q, &wrong] {
+      for (int i = 0; i < 5; ++i) {
+        if (cluster.Query(q).docs.size() != 301u) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(wrong.load(), 0);
 }
 
 TEST_F(ClusterTest, JumboChunkWhenOneKeyDominates) {

@@ -201,8 +201,8 @@ TEST_F(MixedGeometryTest, GeoIntersectsMatchesNaiveViaIndex) {
   const ExecutionResult r = ExecuteQuery(records_, catalog_, q);
   EXPECT_EQ(r.winning_index, "geo_date");
   std::set<int> got;
-  for (const bson::Document& doc : r.docs) {
-    got.insert(doc.Get("id")->AsInt32());
+  for (const bson::Document* doc : r.docs) {
+    got.insert(doc->Get("id")->AsInt32());
   }
   EXPECT_EQ(got, NaiveIds(q));
   EXPECT_GT(r.docs.size(), 0u);
@@ -214,8 +214,8 @@ TEST_F(MixedGeometryTest, MultikeyScanReturnsEachDocumentOnce) {
   const ExprPtr q = MakeGeoIntersectsBox("location", {{0, 0}, {30, 30}});
   const ExecutionResult r = ExecuteQuery(records_, catalog_, q);
   std::set<int> unique_ids;
-  for (const bson::Document& doc : r.docs) {
-    EXPECT_TRUE(unique_ids.insert(doc.Get("id")->AsInt32()).second)
+  for (const bson::Document* doc : r.docs) {
+    EXPECT_TRUE(unique_ids.insert(doc->Get("id")->AsInt32()).second)
         << "duplicate document in result set";
   }
   EXPECT_EQ(unique_ids.size(), 450u);
@@ -274,9 +274,9 @@ TEST_F(MixedGeometryTest, GeoWithinStillWorksOnPointsOnly) {
   const ExprPtr q = MakeGeoWithinBox("location", {{5, 5}, {25, 25}});
   const ExecutionResult r = ExecuteQuery(records_, catalog_, q);
   EXPECT_EQ(r.docs.size(), NaiveIds(q).size());
-  for (const bson::Document& doc : r.docs) {
+  for (const bson::Document* doc : r.docs) {
     double lon, lat;
-    EXPECT_TRUE(bson::ExtractGeoJsonPoint(*doc.Get("location"), &lon, &lat))
+    EXPECT_TRUE(bson::ExtractGeoJsonPoint(*doc->Get("location"), &lon, &lat))
         << "a LineString leaked into $geoWithin results";
   }
 }

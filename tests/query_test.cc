@@ -319,8 +319,8 @@ class QueryExecTest : public ::testing::Test {
 
   std::set<int> ResultIds(const ExecutionResult& r) const {
     std::set<int> ids;
-    for (const bson::Document& doc : r.docs) {
-      ids.insert(doc.Get("id")->AsInt32());
+    for (const bson::Document* doc : r.docs) {
+      ids.insert(doc->Get("id")->AsInt32());
     }
     return ids;
   }
@@ -367,7 +367,7 @@ TEST_F(QueryExecTest, CollScanWhenNoIndexUsable) {
   EXPECT_EQ(r.stats.plan_summary, "COLLSCAN");
   EXPECT_EQ(r.stats.docs_examined, 2000u);
   ASSERT_EQ(r.docs.size(), 1u);
-  EXPECT_EQ(r.docs[0].Get("id")->AsInt32(), 77);
+  EXPECT_EQ(r.docs[0]->Get("id")->AsInt32(), 77);
 }
 
 TEST_F(QueryExecTest, IndexScanExaminesFarFewerDocsThanCollScan) {
@@ -535,6 +535,36 @@ TEST_F(QueryExecTest, ReplanningRecoversFromPoisonedCache) {
   EXPECT_EQ(ResultIds(big_r), NaiveIds(big_q));
   // The re-raced winner replaced the cache entry.
   ASSERT_EQ(cache.size(), 1u);
+}
+
+TEST_F(QueryExecTest, ReplanRaceUsesFreshPlanStages) {
+  // Regression test for the replan path: when a cached plan blows its works
+  // budget mid-drain, the executor must discard the partially-consumed
+  // stages and re-race freshly planned candidates (a stale pointer into the
+  // replaced candidate vector would corrupt the race). Poison the cache
+  // directly with a deliberately bad entry — the date index with a works
+  // figure of 1 — so the very first execution takes the replan branch.
+  PlanCache cache;
+  const ExprPtr q = MakeAnd(
+      {MakeGeoWithinBox("location", {{2.0, 2.0}, {2.3, 2.3}}),
+       MakeRange("date", Value::DateTime(0),
+                 Value::DateTime(60000LL * 2000))});
+  cache.Store(QueryShape(*q), "date_1", /*works=*/1);
+
+  ExecutorOptions options;
+  options.replan_min_works = 1;  // budget = max(1, 10 * 1) = 10 works
+  const ExecutionResult r = ExecuteQuery(records_, catalog_, q, options, &cache);
+  EXPECT_TRUE(r.replanned);
+  EXPECT_FALSE(r.from_plan_cache);
+  EXPECT_EQ(r.winning_index, "loc_2dsphere_date_1");
+  EXPECT_EQ(ResultIds(r), NaiveIds(q));
+
+  // The re-race overwrote the poisoned entry; a rerun with the default
+  // budget trusts the refreshed cache and returns the same documents.
+  const ExecutionResult again = ExecuteQuery(records_, catalog_, q, {}, &cache);
+  EXPECT_TRUE(again.from_plan_cache);
+  EXPECT_FALSE(again.replanned);
+  EXPECT_EQ(ResultIds(again), NaiveIds(q));
 }
 
 TEST_F(QueryExecTest, PlanCacheReusedAcrossDifferentConstants) {

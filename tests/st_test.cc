@@ -1,4 +1,5 @@
 #include <set>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -252,6 +253,82 @@ TEST_P(StStoreParamTest, QueriesMatchNaiveWithDefaultSharding) {
         << "approach=" << store.approach().name();
     EXPECT_GT(r.cluster.nodes_contacted, 0);
   }
+}
+
+TEST_P(StStoreParamTest, ParallelAndSerialFanoutAgree) {
+  // Determinism of the scatter/gather: the parallel fan-out on the shared
+  // pool must return exactly what the serial reference returns — documents,
+  // per-shard metrics, and plan choices — for every approach.
+  StStoreOptions serial_opts = Options();
+  serial_opts.cluster.router.parallel_fanout = false;
+  StStoreOptions parallel_opts = Options();
+  parallel_opts.cluster.router.parallel_fanout = true;
+  StStore serial(serial_opts);
+  StStore parallel(parallel_opts);
+  for (StStore* s : {&serial, &parallel}) {
+    ASSERT_TRUE(s->Setup().ok());
+    Load(s);
+  }
+
+  struct Case {
+    geo::Rect rect;
+    int64_t t0, t1;
+  };
+  const Case cases[] = {
+      {{{23.5, 37.5}, {23.8, 37.9}}, kSpanBegin, kSpanBegin + 400 * kStepMs},
+      {{{23.2, 37.2}, {24.8, 38.8}}, kSpanBegin + 100 * kStepMs,
+       kSpanBegin + 200 * kStepMs},
+      {{{23.2, 37.2}, {24.8, 38.8}}, kSpanBegin, kSpanBegin + kDocs * kStepMs},
+  };
+  for (const Case& c : cases) {
+    const StQueryResult rs = serial.Query(c.rect, c.t0, c.t1);
+    const StQueryResult rp = parallel.Query(c.rect, c.t0, c.t1);
+    EXPECT_EQ(ResultIds(rs), ResultIds(rp));
+    EXPECT_EQ(rs.cluster.broadcast, rp.cluster.broadcast);
+    EXPECT_EQ(rs.cluster.nodes_contacted, rp.cluster.nodes_contacted);
+    EXPECT_EQ(rs.cluster.max_keys_examined, rp.cluster.max_keys_examined);
+    EXPECT_EQ(rs.cluster.max_docs_examined, rp.cluster.max_docs_examined);
+    EXPECT_EQ(rs.cluster.total_keys_examined, rp.cluster.total_keys_examined);
+    EXPECT_EQ(rs.cluster.total_docs_examined, rp.cluster.total_docs_examined);
+    // Same plan decisions on every contacted shard.
+    auto winners = [](const StQueryResult& r) {
+      std::set<std::pair<int, std::string>> out;
+      for (const cluster::ShardQueryReport& rep : r.cluster.shard_reports) {
+        out.insert({rep.shard_id, rep.winning_index});
+      }
+      return out;
+    };
+    EXPECT_EQ(winners(rs), winners(rp)) << "approach="
+                                        << serial.approach().name();
+  }
+}
+
+TEST_P(StStoreParamTest, CoveringCacheServesRepeatedTranslations) {
+  StStore store(Options());
+  ASSERT_TRUE(store.Setup().ok());
+  Load(&store);
+
+  const geo::Rect rect{{23.4, 37.4}, {24.1, 38.2}};
+  const int64_t t0 = kSpanBegin;
+  const int64_t t1 = kSpanBegin + 500 * kStepMs;
+  const StQueryResult cold = store.Query(rect, t0, t1);
+  EXPECT_FALSE(cold.translated.cache_hit);
+  const StQueryResult warm = store.Query(rect, t0, t1);
+  EXPECT_TRUE(warm.translated.cache_hit);
+  // The memoized covering is byte-for-byte the one computed cold.
+  EXPECT_EQ(warm.translated.num_ranges, cold.translated.num_ranges);
+  EXPECT_EQ(warm.translated.num_singletons, cold.translated.num_singletons);
+  EXPECT_EQ(ResultIds(warm), ResultIds(cold));
+
+  const CoverCacheStats stats = store.approach().cover_cache_stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.misses, 1u);
+  EXPECT_GT(stats.HitRate(), 0.0);
+
+  // A different time window is a distinct cache entry.
+  const StQueryResult other = store.Query(rect, t0, t1 + kStepMs);
+  EXPECT_FALSE(other.translated.cache_hit);
+  EXPECT_EQ(store.approach().cover_cache_size(), 2u);
 }
 
 TEST_P(StStoreParamTest, QueriesMatchNaiveWithZones) {
