@@ -33,14 +33,20 @@ struct BenchConfig {
   bool verbose = false;
   /// Fan queries out on the cluster's shared executor pool (real mongos
   /// behaviour). Default on; --serial falls back to one-shard-at-a-time.
+  /// Feeds ClusterOptions::parallel_fanout — the one knob the library
+  /// consumes.
   bool parallel_fanout = true;
+  /// Per-shard getMore batch size for measured queries; 0 (default) drains
+  /// each shard in one round, the classic gather the paper measures.
+  /// Non-zero exercises the streaming cursor path (EXPERIMENTS.md).
+  size_t batch_size = 0;
   /// When non-empty, per-query measurements are also written as JSON here
   /// (see WriteBenchJson) so successive PRs can track the perf trajectory.
   std::string json_path;
 
   /// Parses --r_docs=, --s_docs=, --shards=, --warm=, --timed=, --seed=,
-  /// --json=, --serial, --verbose from argv; unknown flags abort with a
-  /// usage message.
+  /// --batch=, --json=, --serial, --verbose from argv; unknown flags abort
+  /// with a usage message.
   static BenchConfig FromArgs(int argc, char** argv);
 };
 
@@ -76,6 +82,12 @@ struct QueryMeasurement {
   /// Timed runs whose translation came from the covering cache (warm-path
   /// indicator: equals timed_runs once the shape has been seen).
   int cover_cache_hits = 0;
+  /// Bytes copied out of shard record stores at the merge (last run) — what
+  /// the zero-copy pipeline actually materializes.
+  uint64_t bytes_materialized = 0;
+  /// Time from cursor open to the first merged batch (last run) — what
+  /// streaming buys over run-to-completion; averaged over timed runs.
+  double first_result_millis = 0.0;
 };
 
 /// One row of the JSON perf log: where the measurement came from plus the

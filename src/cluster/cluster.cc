@@ -272,8 +272,15 @@ void Cluster::Balance() {
 
 ClusterQueryResult Cluster::Query(const query::ExprPtr& expr) const {
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
-                      exec_pool_.get());
+                      exec_pool_.get(), options_.parallel_fanout);
   return router.Execute(expr, options_.exec);
+}
+
+std::unique_ptr<ClusterCursor> Cluster::OpenCursor(
+    const query::ExprPtr& expr, const CursorOptions& cursor_options) const {
+  const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
+                      exec_pool_.get(), options_.parallel_fanout);
+  return router.OpenCursor(expr, options_.exec, cursor_options);
 }
 
 Result<std::vector<bson::Document>> Cluster::Aggregate(
@@ -313,16 +320,22 @@ Result<uint64_t> Cluster::Delete(const query::ExprPtr& expr) {
   for (const int shard_id : targets) {
     Shard& shard = *shards_[static_cast<size_t>(shard_id)];
     const query::ExecutionResult r = shard.RunQuery(expr, options_.exec);
+    // r.docs borrows from the record store, so read everything the
+    // accounting needs before the first Remove invalidates the borrow
+    // window (the generation check in CheckBorrows enforces exactly this
+    // discipline).
+    r.CheckBorrows();
+    std::vector<std::pair<std::string, uint64_t>> doomed;
+    doomed.reserve(r.docs.size());
+    for (const bson::Document* doc : r.docs) {
+      doomed.emplace_back(pattern_.KeyOf(*doc), doc->ApproxBsonSize());
+    }
     for (size_t i = 0; i < r.rids.size(); ++i) {
       // Update the owning chunk's accounting before the document dies.
-      // r.docs borrows from the record store; removing record i leaves the
-      // remaining pointers valid (slots are tombstoned, never reallocated).
-      const std::string key = pattern_.KeyOf(*r.docs[i]);
-      Chunk& chunk = chunks_->chunk(chunks_->FindChunkIndex(key));
-      const uint64_t doc_bytes = r.docs[i]->ApproxBsonSize();
+      Chunk& chunk = chunks_->chunk(chunks_->FindChunkIndex(doomed[i].first));
       const Status s = shard.Remove(r.rids[i]);
       if (!s.ok()) return s;
-      chunk.bytes -= std::min(chunk.bytes, doc_bytes);
+      chunk.bytes -= std::min(chunk.bytes, doomed[i].second);
       if (chunk.docs > 0) --chunk.docs;
       ++deleted;
     }

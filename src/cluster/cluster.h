@@ -35,6 +35,17 @@ struct ClusterOptions {
   /// fan-out; see Router). 0 = hardware_concurrency.
   int fanout_threads = 0;
 
+  /// Execute shard fan-outs concurrently on the cluster's pool (real mongos
+  /// behaviour) — the single knob consumed by both the library and the
+  /// benches. Off by default: the single-machine reproduction measures
+  /// per-shard latency serially and models the fan-out as
+  /// max(shard latencies), which is deterministic and unaffected by host
+  /// core count. Either way the reported metrics are identical except for
+  /// wall-clock measurement noise. The benches turn this on (`--serial`
+  /// turns it back off); when the router is handed no pool the fan-out
+  /// degrades to serial regardless of this flag.
+  bool parallel_fanout = false;
+
   RouterOptions router;
   query::ExecutorOptions exec;
   BalancerOptions balancer;
@@ -92,8 +103,15 @@ class Cluster {
   /// chunk table).
   Status RestoreDocumentToShard(int shard_id, bson::Document doc);
 
-  /// Scatter/gather query through the router.
+  /// Scatter/gather query through the router (open + drain of a cursor).
   ClusterQueryResult Query(const query::ExprPtr& expr) const;
+
+  /// Opens a streaming cursor through the router: batched getMore rounds,
+  /// optional limit pushdown (see CursorOptions). The cursor borrows the
+  /// cluster's shards and pool — consume it before mutating the cluster.
+  std::unique_ptr<ClusterCursor> OpenCursor(
+      const query::ExprPtr& expr,
+      const CursorOptions& cursor_options = {}) const;
 
   /// Runs an aggregation pipeline cluster-wide: a leading $match is routed
   /// and executed on the shards like a query (index-assisted); the

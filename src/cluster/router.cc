@@ -87,55 +87,129 @@ std::vector<int> Router::TargetShards(const query::ExprPtr& expr,
   return std::vector<int>(ids.begin(), ids.end());
 }
 
+std::unique_ptr<ClusterCursor> Router::OpenCursor(
+    const query::ExprPtr& expr, const query::ExecutorOptions& exec_options,
+    const CursorOptions& cursor_options) const {
+  bool broadcast = false;
+  std::vector<int> targets = TargetShards(expr, &broadcast);
+  return std::unique_ptr<ClusterCursor>(
+      new ClusterCursor(shards_, std::move(targets), broadcast, expr,
+                        exec_options, options_, parallel_fanout_, pool_,
+                        cursor_options));
+}
+
 ClusterQueryResult Router::Execute(
     const query::ExprPtr& expr,
     const query::ExecutorOptions& exec_options) const {
-  ClusterQueryResult result;
-  const std::vector<int> targets = TargetShards(expr, &result.broadcast);
-  result.nodes_contacted = static_cast<int>(targets.size());
+  // One unbounded getMore per shard: the classic run-to-completion
+  // scatter/gather is the degenerate case of the streaming cursor, so both
+  // paths share one merge and one set of accounting.
+  CursorOptions full_drain;
+  full_drain.batch_size = 0;
+  full_drain.limit = 0;
+  return OpenCursor(expr, exec_options, full_drain)->Drain();
+}
 
-  std::vector<query::ExecutionResult> shard_results(targets.size());
-  if (options_.parallel_fanout && pool_ != nullptr && targets.size() > 1) {
+ClusterCursor::ClusterCursor(
+    const std::vector<std::unique_ptr<Shard>>* shards,
+    std::vector<int> targets, bool broadcast, const query::ExprPtr& expr,
+    const query::ExecutorOptions& exec_options,
+    const RouterOptions& router_options, bool parallel_fanout,
+    ThreadPool* pool, const CursorOptions& cursor_options)
+    : targets_(std::move(targets)),
+      broadcast_(broadcast),
+      router_options_(router_options),
+      parallel_fanout_(parallel_fanout),
+      pool_(pool),
+      cursor_options_(cursor_options) {
+  cursors_.reserve(targets_.size());
+  for (int target : targets_) {
+    // The limit is pushed down whole to every shard: any one shard might
+    // have to satisfy it alone, and no shard ever needs to produce more.
+    cursors_.push_back((*shards)[static_cast<size_t>(target)]->OpenCursor(
+        expr, exec_options, cursor_options_.limit));
+  }
+}
+
+std::vector<bson::Document> ClusterCursor::NextBatch() {
+  std::vector<bson::Document> out;
+  if (exhausted_) return out;
+
+  const size_t n = cursors_.size();
+  std::vector<ShardCursor::Batch> batches(n);
+  std::vector<size_t> active;
+  active.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!cursors_[i]->exhausted()) active.push_back(i);
+  }
+  if (parallel_fanout_ && pool_ != nullptr && active.size() > 1) {
     // Warm threads from the cluster's long-lived pool; the TaskGroup scopes
-    // completion to this query so concurrent queries can share the pool.
+    // completion to this round so concurrent queries can share the pool.
     ThreadPool::TaskGroup group(pool_);
-    for (size_t i = 0; i < targets.size(); ++i) {
+    for (size_t i : active) {
       group.Submit([&, i] {
-        shard_results[i] =
-            (*shards_)[static_cast<size_t>(targets[i])]->RunQuery(
-                expr, exec_options);
+        batches[i] = cursors_[i]->GetMore(cursor_options_.batch_size);
       });
     }
     group.Wait();
   } else {
-    for (size_t i = 0; i < targets.size(); ++i) {
-      shard_results[i] =
-          (*shards_)[static_cast<size_t>(targets[i])]->RunQuery(
-              expr, exec_options);
+    for (size_t i : active) {
+      batches[i] = cursors_[i]->GetMore(cursor_options_.batch_size);
     }
   }
-  for (size_t i = 0; i < targets.size(); ++i) {
+  ++num_batches_;
+
+  // Merge in shard-target order. The shards returned borrowed pointers
+  // into their record stores; this is the single point where result
+  // documents are materialized.
+  Stopwatch merge_timer;
+  size_t round_docs = 0;
+  for (size_t i : active) round_docs += batches[i].docs.size();
+  out.reserve(round_docs);
+  for (size_t i : active) {
+    const ShardCursor::Batch& batch = batches[i];
+    batch.CheckBorrows();
+    for (const bson::Document* d : batch.docs) {
+      if (cursor_options_.limit != 0 && returned_ >= cursor_options_.limit) {
+        break;
+      }
+      out.push_back(*d);
+      bytes_materialized_ += d->ApproxBsonSize();
+      ++returned_;
+    }
+  }
+  merge_millis_ += merge_timer.ElapsedMillis();
+  if (!out.empty() && first_result_millis_ < 0.0) {
+    first_result_millis_ = open_timer_.ElapsedMillis();
+  }
+
+  if (cursor_options_.limit != 0 && returned_ >= cursor_options_.limit) {
+    exhausted_ = true;
+  } else {
+    exhausted_ = true;
+    for (const std::unique_ptr<ShardCursor>& cursor : cursors_) {
+      if (!cursor->exhausted()) {
+        exhausted_ = false;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+ClusterQueryResult ClusterCursor::Summary() const {
+  ClusterQueryResult result;
+  result.nodes_contacted = static_cast<int>(targets_.size());
+  result.broadcast = broadcast_;
+  result.shard_reports.reserve(targets_.size());
+  for (size_t i = 0; i < targets_.size(); ++i) {
     ShardQueryReport report;
-    report.shard_id = targets[i];
-    report.stats = shard_results[i].stats;
-    report.millis = shard_results[i].exec_millis;
-    report.winning_index = shard_results[i].winning_index;
+    report.shard_id = targets_[i];
+    report.stats = cursors_[i]->stats();
+    report.millis = cursors_[i]->exec_millis();
+    report.winning_index = cursors_[i]->winning_index();
     result.shard_reports.push_back(std::move(report));
   }
-
-  Stopwatch merge_timer;
-  size_t total_docs = 0;
-  for (const query::ExecutionResult& r : shard_results) {
-    total_docs += r.docs.size();
-  }
-  // The shards returned borrowed pointers into their record stores; this is
-  // the single point where result documents are materialized.
-  result.docs.reserve(total_docs);
-  for (const query::ExecutionResult& r : shard_results) {
-    for (const bson::Document* d : r.docs) result.docs.push_back(*d);
-  }
-  result.merge_millis = merge_timer.ElapsedMillis();
-
   for (const ShardQueryReport& report : result.shard_reports) {
     result.max_keys_examined =
         std::max(result.max_keys_examined, report.stats.keys_examined);
@@ -146,10 +220,32 @@ ClusterQueryResult Router::Execute(
     result.max_shard_millis = std::max(result.max_shard_millis, report.millis);
     result.sum_shard_millis += report.millis;
   }
+  result.merge_millis = merge_millis_;
   result.modeled_millis = result.max_shard_millis +
-                          options_.per_node_overhead_ms *
+                          router_options_.per_node_overhead_ms *
                               static_cast<double>(result.nodes_contacted) +
                           result.merge_millis;
+  result.n_returned = returned_;
+  result.bytes_materialized = bytes_materialized_;
+  result.first_result_millis =
+      first_result_millis_ < 0.0 ? 0.0 : first_result_millis_;
+  result.num_batches = num_batches_;
+  return result;
+}
+
+ClusterQueryResult ClusterCursor::Drain() {
+  std::vector<bson::Document> docs;
+  while (!exhausted_) {
+    std::vector<bson::Document> batch = NextBatch();
+    if (docs.empty()) {
+      docs = std::move(batch);
+    } else {
+      docs.insert(docs.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+    }
+  }
+  ClusterQueryResult result = Summary();
+  result.docs = std::move(docs);
   return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "cluster/chunk.h"
 #include "cluster/shard.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
 namespace stix::cluster {
@@ -19,14 +20,17 @@ struct RouterOptions {
   /// it is scaled down with the data so it stays proportionally as minor
   /// as a LAN round trip is against the paper's 10-1000 ms queries.
   double per_node_overhead_ms = 0.02;
+};
 
-  /// Execute shard queries concurrently on the cluster's shared thread
-  /// pool (real mongos behaviour). Off by default: the single-machine
-  /// reproduction measures per-shard latency serially and models the
-  /// fan-out as max(shard latencies), which is deterministic and unaffected
-  /// by host core count. Either way the reported metrics are identical
-  /// except for wall-clock measurement noise. The benches turn this on.
-  bool parallel_fanout = false;
+/// Knobs for a streaming cluster cursor.
+struct CursorOptions {
+  /// Documents requested from each shard per getMore round; 0 drains every
+  /// shard in a single round (the classic run-to-completion gather).
+  size_t batch_size = 101;
+  /// Total documents the cursor will produce; 0 = unlimited. Pushed down to
+  /// every shard executor (trial target and stream length), so limit-k
+  /// queries examine strictly fewer keys/docs than a full drain.
+  uint64_t limit = 0;
 };
 
 /// Per-shard slice of a scatter/gather execution.
@@ -59,7 +63,75 @@ struct ClusterQueryResult {
   /// max_shard + per-node overhead + merge: the headline execution time.
   double modeled_millis = 0.0;
 
+  /// Streaming accounting: documents the merge produced, bytes copied out
+  /// of shard record stores at the materialization point, time from cursor
+  /// open to the first non-empty merged batch, and getMore rounds issued.
+  /// For a full drain n_returned == docs.size().
+  uint64_t n_returned = 0;
+  uint64_t bytes_materialized = 0;
+  double first_result_millis = 0.0;
+  int num_batches = 0;
+
   std::vector<ShardQueryReport> shard_reports;
+};
+
+/// A streaming scatter/gather cursor (the mongos getMore loop): each
+/// NextBatch() asks every still-open shard cursor for one batch — in
+/// parallel on the cluster pool when enabled — and merges the results in
+/// shard-target order. Memory held at any moment is one batch per shard
+/// instead of the full result set, and a pushed-down limit stops all
+/// shard-side work as soon as it is satisfied.
+///
+/// Lifetime: borrows the shards (via their cursors) and must be consumed
+/// before any shard's collection mutates; each merged batch is materialized
+/// (owned documents), so the *returned* batches outlive anything.
+class ClusterCursor {
+ public:
+  ClusterCursor(const ClusterCursor&) = delete;
+  ClusterCursor& operator=(const ClusterCursor&) = delete;
+
+  /// Pulls and merges the next round of per-shard batches. An empty return
+  /// means the stream is exhausted (the converse does not hold: the final
+  /// batch of a limited stream can be non-empty).
+  std::vector<bson::Document> NextBatch();
+
+  bool exhausted() const { return exhausted_; }
+
+  /// Metrics accumulated so far (complete once exhausted), with `docs`
+  /// left empty — batches hand ownership to the caller as they stream.
+  ClusterQueryResult Summary() const;
+
+  /// Drains the remaining stream and returns the full result, docs
+  /// included — Router::Execute is exactly open + Drain with batch size 0.
+  ClusterQueryResult Drain();
+
+  const std::vector<int>& targets() const { return targets_; }
+
+ private:
+  friend class Router;
+  ClusterCursor(const std::vector<std::unique_ptr<Shard>>* shards,
+                std::vector<int> targets, bool broadcast,
+                const query::ExprPtr& expr,
+                const query::ExecutorOptions& exec_options,
+                const RouterOptions& router_options, bool parallel_fanout,
+                ThreadPool* pool, const CursorOptions& cursor_options);
+
+  std::vector<int> targets_;
+  bool broadcast_ = false;
+  RouterOptions router_options_;
+  bool parallel_fanout_ = false;
+  ThreadPool* pool_ = nullptr;
+  CursorOptions cursor_options_;
+
+  /// Parallel to targets_.
+  std::vector<std::unique_ptr<ShardCursor>> cursors_;
+  bool exhausted_ = false;
+  uint64_t returned_ = 0;
+  uint64_t bytes_materialized_ = 0;
+  double merge_millis_ = 0.0;
+  double first_result_millis_ = -1.0;  // <0 = no result produced yet
+  int num_batches_ = 0;
+  Stopwatch open_timer_;
 };
 
 /// The mongos: targets the minimal set of shards whose chunks can hold
@@ -69,22 +141,34 @@ struct ClusterQueryResult {
 class Router {
  public:
   /// `pool` is the cluster's long-lived executor pool; the router never
-  /// creates threads of its own. May be null, in which case the fan-out
-  /// degrades to serial regardless of `options.parallel_fanout`.
+  /// creates threads of its own. `parallel_fanout` (the ClusterOptions
+  /// knob) only takes effect when a pool is supplied — with a null pool the
+  /// fan-out always degrades to a serial walk on the calling thread.
   Router(const ShardKeyPattern* pattern, const ChunkManager* chunks,
          const std::vector<std::unique_ptr<Shard>>* shards,
-         RouterOptions options, ThreadPool* pool = nullptr)
+         RouterOptions options, ThreadPool* pool = nullptr,
+         bool parallel_fanout = false)
       : pattern_(pattern),
         chunks_(chunks),
         shards_(shards),
         options_(options),
-        pool_(pool) {}
+        pool_(pool),
+        parallel_fanout_(parallel_fanout) {}
 
   /// Shard ids this query must contact (sorted, unique).
   std::vector<int> TargetShards(const query::ExprPtr& expr,
                                 bool* broadcast_out = nullptr) const;
 
-  /// Scatter/gather execution with per-shard measurement.
+  /// Opens a streaming cursor: targets the shards, opens one shard cursor
+  /// per target (lazily — no shard work until the first NextBatch), and
+  /// returns the merge cursor. The cursor captures everything it needs, so
+  /// it may outlive this Router (but not the shards).
+  std::unique_ptr<ClusterCursor> OpenCursor(
+      const query::ExprPtr& expr, const query::ExecutorOptions& exec_options,
+      const CursorOptions& cursor_options = {}) const;
+
+  /// Scatter/gather execution with per-shard measurement: open + drain with
+  /// a single unbounded getMore per shard.
   ClusterQueryResult Execute(const query::ExprPtr& expr,
                              const query::ExecutorOptions& exec_options) const;
 
@@ -94,6 +178,7 @@ class Router {
   const std::vector<std::unique_ptr<Shard>>* shards_;
   RouterOptions options_;
   ThreadPool* pool_;
+  bool parallel_fanout_;
 };
 
 }  // namespace stix::cluster

@@ -30,4 +30,40 @@ query::ExecutionResult Shard::RunQuery(
                              &plan_cache_);
 }
 
+std::unique_ptr<ShardCursor> Shard::OpenCursor(
+    query::ExprPtr expr, const query::ExecutorOptions& options,
+    uint64_t limit) const {
+  return std::unique_ptr<ShardCursor>(
+      new ShardCursor(*this, std::move(expr), options, limit));
+}
+
+ShardCursor::ShardCursor(const Shard& shard, query::ExprPtr expr,
+                         const query::ExecutorOptions& options, uint64_t limit)
+    : shard_(shard),
+      exec_(shard.collection().records(), shard.catalog(), std::move(expr),
+            options, &shard.plan_cache_, limit) {}
+
+int ShardCursor::shard_id() const { return shard_.id(); }
+
+ShardCursor::Batch ShardCursor::GetMore(size_t batch_size) {
+  Batch batch;
+  const storage::RecordStore& records = shard_.collection().records();
+  Stopwatch timer;
+  storage::RecordId rid;
+  const bson::Document* doc;
+  while (!done_ && (batch_size == 0 || batch.docs.size() < batch_size)) {
+    if (exec_.Next(&rid, &doc)) {
+      batch.docs.push_back(doc);
+      batch.rids.push_back(rid);
+    } else {
+      done_ = true;
+    }
+  }
+  exec_millis_ += timer.ElapsedMillis();
+  batch.exhausted = done_;
+  batch.borrow_source = &records;
+  batch.borrow_generation = records.generation();
+  return batch;
+}
+
 }  // namespace stix::cluster

@@ -1,14 +1,73 @@
 #ifndef STIX_CLUSTER_SHARD_H_
 #define STIX_CLUSTER_SHARD_H_
 
+#include <memory>
 #include <string>
 
+#include "common/stopwatch.h"
 #include "index/index_catalog.h"
 #include "query/executor.h"
 #include "query/plan_cache.h"
 #include "storage/collection.h"
 
 namespace stix::cluster {
+
+class Shard;
+
+/// A resumable cursor over one shard's results — the shard half of the
+/// getMore protocol. Each GetMore() pulls up to a batch of documents from
+/// the shard's PlanExecutor, timing only the work actually performed, so a
+/// stream abandoned early charges the shard only for what it produced.
+///
+/// Lifetime: the cursor borrows the shard and its batches borrow documents
+/// from the shard's RecordStore; consume each batch before the collection
+/// next mutates (the batch carries a borrow guard) and drop the cursor
+/// before the shard.
+class ShardCursor {
+ public:
+  /// One getMore's worth of results, as borrowed pointers.
+  struct Batch {
+    std::vector<const bson::Document*> docs;
+    std::vector<storage::RecordId> rids;
+    /// True when the stream ended at or before the end of this batch.
+    bool exhausted = false;
+
+    /// Borrow guard, as on query::ExecutionResult: valid only while the
+    /// source store's generation is unchanged.
+    const storage::RecordStore* borrow_source = nullptr;
+    uint64_t borrow_generation = 0;
+    bool BorrowsValid() const {
+      return borrow_source == nullptr ||
+             borrow_source->generation() == borrow_generation;
+    }
+    void CheckBorrows() const { assert(BorrowsValid()); }
+  };
+
+  /// Pulls up to `batch_size` more documents (0 = run to exhaustion).
+  Batch GetMore(size_t batch_size);
+
+  bool exhausted() const { return done_; }
+  int shard_id() const;
+
+  /// Executor counters so far (final once exhausted).
+  query::ExecStats stats() const { return exec_.CurrentStats(); }
+  /// Shard-side execution time accumulated across GetMore calls.
+  double exec_millis() const { return exec_millis_; }
+  uint64_t n_returned() const { return exec_.n_returned(); }
+  const std::string& winning_index() const { return exec_.winning_index(); }
+  bool from_plan_cache() const { return exec_.from_plan_cache(); }
+  bool replanned() const { return exec_.replanned(); }
+
+ private:
+  friend class Shard;
+  ShardCursor(const Shard& shard, query::ExprPtr expr,
+              const query::ExecutorOptions& options, uint64_t limit);
+
+  const Shard& shard_;
+  query::PlanExecutor exec_;
+  double exec_millis_ = 0.0;
+  bool done_ = false;
+};
 
 /// One MongoDB shard server: a shard-local collection plus its index
 /// catalog. Queries run against it through the same executor a standalone
@@ -33,11 +92,19 @@ class Shard {
   /// Removes a record and its index entries (chunk migration).
   Status Remove(storage::RecordId rid);
 
-  /// Runs a query locally, returning documents and explain-style stats.
-  /// Plan choices are remembered per query shape in this shard's plan
-  /// cache, as in mongod.
+  /// Runs a query locally to completion, returning documents and
+  /// explain-style stats. Plan choices are remembered per query shape in
+  /// this shard's plan cache, as in mongod.
   query::ExecutionResult RunQuery(const query::ExprPtr& expr,
                                   const query::ExecutorOptions& options) const;
+
+  /// Opens a resumable cursor over this shard's results for `expr`. A
+  /// non-zero `limit` is pushed down to the executor (trial race target and
+  /// stream length). Planning is lazy: the shard does no work until the
+  /// first GetMore.
+  std::unique_ptr<ShardCursor> OpenCursor(query::ExprPtr expr,
+                                          const query::ExecutorOptions& options,
+                                          uint64_t limit = 0) const;
 
   uint64_t num_documents() const {
     return collection_.records().num_records();
@@ -46,6 +113,10 @@ class Shard {
   const query::PlanCache& plan_cache() const { return plan_cache_; }
 
  private:
+  // Cursors share the shard's plan cache, like getMore continuations share
+  // mongod's.
+  friend class ShardCursor;
+
   int id_;
   storage::Collection collection_;
   index::IndexCatalog catalog_;

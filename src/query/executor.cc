@@ -3,63 +3,53 @@
 #include <algorithm>
 
 namespace stix::query {
-namespace {
 
-// Plan stages yield (RecordId, const Document*) into the record store, so
-// racers accumulate borrowed pointers — losing candidates never copy a
-// document, and the winner's pointers flow to the caller unchanged.
-struct RacingState {
-  CandidatePlan* plan;
-  std::vector<const bson::Document*> docs;
-  std::vector<storage::RecordId> rids;
-  uint64_t works = 0;
-  bool eof = false;
-};
+PlanExecutor::PlanExecutor(const storage::RecordStore& records,
+                           const index::IndexCatalog& catalog, ExprPtr expr,
+                           const ExecutorOptions& options, PlanCache* cache,
+                           uint64_t limit)
+    : records_(records),
+      catalog_(catalog),
+      expr_(std::move(expr)),
+      options_(options),
+      cache_(cache),
+      limit_(limit) {}
 
-void DrainToEof(PlanStage* root, RacingState* state) {
-  storage::RecordId rid;
-  const bson::Document* doc;
+// Replays a cached plan under the replanning works cap, buffering results.
+// Returns true when the result set is complete (EOF, or the pushed-down
+// limit satisfied) — false means the budget blew and the shape must be
+// re-raced.
+bool PlanExecutor::DrainCachedWithCap(Racer* racer, uint64_t cap) {
+  WorkItem item;
   for (;;) {
-    const PlanStage::State s = root->Work(&rid, &doc);
-    ++state->works;
-    if (s == PlanStage::State::kEof) return;
-    if (s == PlanStage::State::kAdvanced) {
-      state->docs.push_back(doc);
-      state->rids.push_back(rid);
+    if (limit_ != 0 && racer->docs.size() >= limit_) return true;
+    const PlanStage::NextResult r =
+        racer->plan->root->Next(&item, &racer->works, cap);
+    if (r == PlanStage::NextResult::kBudget) return false;
+    if (r == PlanStage::NextResult::kEof) {
+      racer->eof = true;
+      return true;
     }
+    racer->docs.push_back(item.doc);
+    racer->rids.push_back(item.rid);
   }
-}
-
-// Runs the plan until EOF or until `works_cap` units are spent. Returns
-// true on EOF (complete result set in the state).
-bool DrainWithCap(PlanStage* root, uint64_t works_cap, RacingState* state) {
-  storage::RecordId rid;
-  const bson::Document* doc;
-  while (state->works < works_cap) {
-    const PlanStage::State s = root->Work(&rid, &doc);
-    ++state->works;
-    if (s == PlanStage::State::kEof) return true;
-    if (s == PlanStage::State::kAdvanced) {
-      state->docs.push_back(doc);
-      state->rids.push_back(rid);
-    }
-  }
-  return false;
 }
 
 // Races all candidates (MongoDB's multi-planner trial) and returns the
 // winner, which may be partially or fully executed.
-RacingState* RunTrial(std::vector<RacingState>* racers,
-                      const storage::RecordStore& records,
-                      const ExecutorOptions& options) {
-  uint64_t budget = options.trial_works;
+PlanExecutor::Racer* PlanExecutor::RunTrial() {
+  uint64_t budget = options_.trial_works;
   if (budget == 0) {
-    budget = std::max<uint64_t>(10000, records.num_records() * 3 / 10);
+    budget = std::max<uint64_t>(10000, records_.num_records() * 3 / 10);
   }
+  // The pushed-down limit caps the trial's result target: once any plan can
+  // satisfy the whole query there is nothing left to race for.
+  uint64_t target = options_.trial_results;
+  if (limit_ != 0 && limit_ < target) target = limit_;
   bool trial_over = false;
   while (!trial_over) {
     trial_over = true;
-    for (RacingState& racer : *racers) {
+    for (Racer& racer : racers_) {
       if (racer.eof || racer.works >= budget) continue;
       trial_over = false;
       storage::RecordId rid;
@@ -71,15 +61,15 @@ RacingState* RunTrial(std::vector<RacingState>* racers,
       } else if (state == PlanStage::State::kAdvanced) {
         racer.docs.push_back(doc);
         racer.rids.push_back(rid);
-        if (racer.docs.size() >= options.trial_results) {
+        if (racer.docs.size() >= target) {
           return &racer;
         }
       }
     }
   }
   // Most results; tie broken by least work done (cheapest progress).
-  RacingState* winner = &(*racers)[0];
-  for (RacingState& racer : *racers) {
+  Racer* winner = &racers_[0];
+  for (Racer& racer : racers_) {
     if (racer.docs.size() > winner->docs.size() ||
         (racer.docs.size() == winner->docs.size() &&
          racer.works < winner->works)) {
@@ -89,37 +79,17 @@ RacingState* RunTrial(std::vector<RacingState>* racers,
   return winner;
 }
 
-void FillResult(RacingState* winner, ExecutionResult* result) {
-  result->docs = std::move(winner->docs);
-  result->rids = std::move(winner->rids);
-  winner->plan->root->AccumulateStats(&result->stats);
-  result->stats.works = winner->works;
-  result->stats.n_returned = result->docs.size();
-  result->stats.plan_summary = winner->plan->summary;
-  result->winning_index = winner->plan->index_name;
-}
-
-}  // namespace
-
-ExecutionResult ExecuteQuery(const storage::RecordStore& records,
-                             const index::IndexCatalog& catalog,
-                             const ExprPtr& expr,
-                             const ExecutorOptions& options,
-                             PlanCache* cache) {
-  Stopwatch timer;
-  std::vector<CandidatePlan> candidates = Planner::Plan(records, catalog, expr);
-
-  ExecutionResult result;
-  result.num_candidates = static_cast<int>(candidates.size());
+void PlanExecutor::Prepare() {
+  candidates_ = Planner::Plan(records_, catalog_, expr_);
+  num_candidates_ = static_cast<int>(candidates_.size());
 
   // Fast path: a cached plan for this query shape, bounded by the
   // replanning budget.
-  std::string shape;
-  if (cache != nullptr && candidates.size() > 1) {
-    shape = QueryShape(*expr);
-    if (const PlanCacheEntry* entry = cache->Lookup(shape)) {
+  if (cache_ != nullptr && candidates_.size() > 1) {
+    shape_ = QueryShape(*expr_);
+    if (const PlanCacheEntry* entry = cache_->Lookup(shape_)) {
       CandidatePlan* cached_plan = nullptr;
-      for (CandidatePlan& plan : candidates) {
+      for (CandidatePlan& plan : candidates_) {
         if (plan.index_name == entry->index_name) {
           cached_plan = &plan;
           break;
@@ -127,47 +97,123 @@ ExecutionResult ExecuteQuery(const storage::RecordStore& records,
       }
       if (cached_plan != nullptr) {
         const uint64_t cap = std::max<uint64_t>(
-            options.replan_min_works,
-            static_cast<uint64_t>(options.replan_factor *
+            options_.replan_min_works,
+            static_cast<uint64_t>(options_.replan_factor *
                                   static_cast<double>(entry->works)));
-        RacingState cached{cached_plan, {}, {}, 0, false};
-        if (DrainWithCap(cached.plan->root.get(), cap, &cached)) {
-          result.from_plan_cache = true;
-          FillResult(&cached, &result);
-          result.exec_millis = timer.ElapsedMillis();
-          return result;
+        racers_.push_back(Racer{cached_plan, {}, {}, 0, false});
+        if (DrainCachedWithCap(&racers_.back(), cap)) {
+          winner_ = &racers_.back();
+          from_plan_cache_ = true;
+          phase_ = Phase::kBuffer;
+          return;
         }
         // Budget blown: evict and replan from scratch with fresh plan
-        // stages (MongoDB's replanning). `cached_plan` points into the old
-        // candidate vector, so it must die before the vector is replaced.
-        cache->Evict(shape);
-        result.replanned = true;
-        cached_plan = nullptr;
-        candidates = Planner::Plan(records, catalog, expr);
+        // stages (MongoDB's replanning). The racer and its plan pointer
+        // must die before the candidate vector is replaced.
+        cache_->Evict(shape_);
+        replanned_ = true;
+        racers_.clear();
+        candidates_ = Planner::Plan(records_, catalog_, expr_);
       }
     }
   }
 
-  std::vector<RacingState> racers;
-  racers.reserve(candidates.size());
-  for (CandidatePlan& plan : candidates) {
-    racers.push_back(RacingState{&plan, {}, {}, 0, false});
+  racers_.reserve(candidates_.size());
+  for (CandidatePlan& plan : candidates_) {
+    racers_.push_back(Racer{&plan, {}, {}, 0, false});
   }
+  winner_ = &racers_[0];
+  raced_ = racers_.size() > 1;
+  if (raced_) winner_ = RunTrial();
+  phase_ = Phase::kBuffer;
+}
 
-  RacingState* winner = &racers[0];
-  const bool raced = racers.size() > 1;
-  if (raced) {
-    winner = RunTrial(&racers, records, options);
+bool PlanExecutor::Next(storage::RecordId* rid_out,
+                        const bson::Document** doc_out) {
+  if (phase_ == Phase::kInit) Prepare();
+  if (phase_ == Phase::kDone) return false;
+  if (limit_ != 0 && returned_ >= limit_) {
+    Finish();
+    return false;
   }
-  if (!winner->eof) {
-    DrainToEof(winner->plan->root.get(), winner);
+  if (phase_ == Phase::kBuffer) {
+    // Replay what the trial (or cached drain) already produced.
+    if (buffer_pos_ < winner_->docs.size()) {
+      *rid_out = winner_->rids[buffer_pos_];
+      *doc_out = winner_->docs[buffer_pos_];
+      ++buffer_pos_;
+      ++returned_;
+      return true;
+    }
+    phase_ = Phase::kStream;
   }
-  if (raced && cache != nullptr) {
-    if (shape.empty()) shape = QueryShape(*expr);
-    cache->Store(shape, winner->plan->index_name, winner->works);
+  if (winner_->eof) {
+    Finish();
+    return false;
   }
+  WorkItem item;
+  const PlanStage::NextResult r =
+      winner_->plan->root->Next(&item, &winner_->works);
+  if (r == PlanStage::NextResult::kEof) {
+    winner_->eof = true;
+    Finish();
+    return false;
+  }
+  *rid_out = item.rid;
+  *doc_out = item.doc;
+  ++returned_;
+  return true;
+}
 
-  FillResult(winner, &result);
+void PlanExecutor::Finish() {
+  phase_ = Phase::kDone;
+  // A raced winner that ran to EOF is remembered with its full works figure
+  // — the number later replanning budgets derive from, and exactly what the
+  // batch executor stored after its full drain. A stream abandoned early
+  // (limit) stores nothing: a partial works count would poison those
+  // budgets.
+  if (raced_ && winner_ != nullptr && winner_->eof && cache_ != nullptr) {
+    if (shape_.empty()) shape_ = QueryShape(*expr_);
+    cache_->Store(shape_, winner_->plan->index_name, winner_->works);
+  }
+}
+
+ExecStats PlanExecutor::CurrentStats() const {
+  ExecStats stats;
+  if (winner_ == nullptr) return stats;
+  winner_->plan->root->AccumulateStats(&stats);
+  stats.works = winner_->works;
+  stats.n_returned = returned_;
+  stats.plan_summary = winner_->plan->summary;
+  return stats;
+}
+
+const std::string& PlanExecutor::winning_index() const {
+  static const std::string kNoWinner;
+  return winner_ == nullptr ? kNoWinner : winner_->plan->index_name;
+}
+
+ExecutionResult ExecuteQuery(const storage::RecordStore& records,
+                             const index::IndexCatalog& catalog,
+                             const ExprPtr& expr,
+                             const ExecutorOptions& options,
+                             PlanCache* cache) {
+  Stopwatch timer;
+  PlanExecutor exec(records, catalog, expr, options, cache);
+  ExecutionResult result;
+  storage::RecordId rid;
+  const bson::Document* doc;
+  while (exec.Next(&rid, &doc)) {
+    result.docs.push_back(doc);
+    result.rids.push_back(rid);
+  }
+  result.stats = exec.CurrentStats();
+  result.winning_index = exec.winning_index();
+  result.num_candidates = exec.num_candidates();
+  result.from_plan_cache = exec.from_plan_cache();
+  result.replanned = exec.replanned();
+  result.borrow_source = &records;
+  result.borrow_generation = records.generation();
   result.exec_millis = timer.ElapsedMillis();
   return result;
 }

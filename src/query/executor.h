@@ -1,6 +1,8 @@
 #ifndef STIX_QUERY_EXECUTOR_H_
 #define STIX_QUERY_EXECUTOR_H_
 
+#include <cassert>
+#include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -35,9 +37,23 @@ struct ExecutionResult {
   /// RecordIds parallel to `docs` (consumed by deletes and diagnostics).
   std::vector<storage::RecordId> rids;
 
+  /// Borrow guard: the store the pointers borrow from and its generation at
+  /// production time (see RecordStore::generation()). Reading `docs` after
+  /// the store mutated is a use-after-mutate bug — debug builds abort via
+  /// CheckBorrows(), release builds can test BorrowsValid().
+  const storage::RecordStore* borrow_source = nullptr;
+  uint64_t borrow_generation = 0;
+
+  bool BorrowsValid() const {
+    return borrow_source == nullptr ||
+           borrow_source->generation() == borrow_generation;
+  }
+  void CheckBorrows() const { assert(BorrowsValid()); }
+
   /// Copies the matched documents out of the record store (the one
   /// materialization point for callers that need owned documents).
   std::vector<bson::Document> MaterializeDocs() const {
+    CheckBorrows();
     std::vector<bson::Document> out;
     out.reserve(docs.size());
     for (const bson::Document* d : docs) out.push_back(*d);
@@ -54,10 +70,95 @@ struct ExecutionResult {
   bool replanned = false;
 };
 
-/// Plans and runs a query to completion. With multiple candidate plans the
-/// candidates race for a trial period and the most productive one continues
-/// — this is the mechanism behind the paper's Table 7 (bslST sometimes
-/// running on the {date} shard-key index instead of the compound index).
+/// Resumable, demand-driven query executor — the shard half of the
+/// streaming pipeline. Construction is cheap; the first Next() call plans
+/// the query and settles on a winner (replaying a cached plan under the
+/// replanning budget, re-racing mid-stream when the budget blows, or
+/// running the full multi-plan trial race), and every Next() after that
+/// pulls a single result from the winning plan on demand.
+///
+/// A non-zero `limit` is pushed down: the stream ends after `limit`
+/// documents and the trial race's result target is capped to it, so a
+/// limit-k execution examines strictly fewer keys/docs than a full drain.
+/// An unlimited drain performs the exact Work()-call sequence of the old
+/// batch executor, so stats, winner and cache state come out identical.
+///
+/// Lifetime: borrows `records`, `catalog` and `cache` and yields document
+/// pointers into `records`; consume results before the collection next
+/// mutates (see ExecutionResult's borrow guard) and do not outlive the
+/// shard.
+class PlanExecutor {
+ public:
+  PlanExecutor(const storage::RecordStore& records,
+               const index::IndexCatalog& catalog, ExprPtr expr,
+               const ExecutorOptions& options = {}, PlanCache* cache = nullptr,
+               uint64_t limit = 0);
+
+  PlanExecutor(const PlanExecutor&) = delete;
+  PlanExecutor& operator=(const PlanExecutor&) = delete;
+
+  /// Pulls the next result; false at end of stream (EOF or limit reached),
+  /// after which the stats/winner accessors are final. *doc_out borrows
+  /// from the record store.
+  bool Next(storage::RecordId* rid_out, const bson::Document** doc_out);
+
+  /// True once Next() has returned false.
+  bool exhausted() const { return phase_ == Phase::kDone; }
+
+  /// Counters accumulated so far; after an unlimited drain they match the
+  /// batch executor's ExecStats exactly.
+  ExecStats CurrentStats() const;
+
+  uint64_t n_returned() const { return returned_; }
+  const std::string& winning_index() const;
+  int num_candidates() const { return num_candidates_; }
+  bool from_plan_cache() const { return from_plan_cache_; }
+  bool replanned() const { return replanned_; }
+
+ private:
+  enum class Phase { kInit, kBuffer, kStream, kDone };
+
+  // Racers accumulate borrowed pointers during the trial — losing
+  // candidates never copy a document, and the winner's buffered results
+  // are replayed to the caller before live streaming resumes.
+  struct Racer {
+    CandidatePlan* plan;
+    std::vector<const bson::Document*> docs;
+    std::vector<storage::RecordId> rids;
+    uint64_t works = 0;
+    bool eof = false;
+  };
+
+  void Prepare();
+  bool DrainCachedWithCap(Racer* racer, uint64_t cap);
+  Racer* RunTrial();
+  void Finish();
+
+  const storage::RecordStore& records_;
+  const index::IndexCatalog& catalog_;
+  ExprPtr expr_;
+  ExecutorOptions options_;
+  PlanCache* cache_;
+  uint64_t limit_;
+
+  Phase phase_ = Phase::kInit;
+  std::vector<CandidatePlan> candidates_;
+  std::vector<Racer> racers_;
+  Racer* winner_ = nullptr;
+  size_t buffer_pos_ = 0;
+  uint64_t returned_ = 0;
+  std::string shape_;
+  bool raced_ = false;
+  int num_candidates_ = 0;
+  bool from_plan_cache_ = false;
+  bool replanned_ = false;
+};
+
+/// Plans and runs a query to completion (open + drain over PlanExecutor).
+/// With multiple candidate plans the candidates race for a trial period and
+/// the most productive one continues — this is the mechanism behind the
+/// paper's Table 7 (bslST sometimes running on the {date} shard-key index
+/// instead of the compound index).
 ///
 /// When `cache` is non-null, a winning multi-plan race is remembered by
 /// query shape and later executions of the same shape skip the race

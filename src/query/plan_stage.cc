@@ -6,6 +6,19 @@
 
 namespace stix::query {
 
+PlanStage::NextResult PlanStage::Next(WorkItem* item, uint64_t* works,
+                                      uint64_t works_budget) {
+  for (;;) {
+    if (works_budget != 0 && *works >= works_budget) {
+      return NextResult::kBudget;
+    }
+    const State state = Work(&item->rid, &item->doc);
+    ++*works;
+    if (state == State::kAdvanced) return NextResult::kDoc;
+    if (state == State::kEof) return NextResult::kEof;
+  }
+}
+
 IndexScanStage::IndexScanStage(const index::Index& idx,
                                index::IndexBounds bounds)
     : index_(idx), bounds_(std::move(bounds)) {

@@ -25,6 +25,14 @@ struct ExecStats {
   std::string plan_summary;  ///< e.g. "IXSCAN {date: 1}" or "COLLSCAN".
 };
 
+/// One unit of output from a plan stage: a record id plus a document pointer
+/// borrowed from the shard's RecordStore (valid until the store mutates —
+/// see RecordStore::generation()).
+struct WorkItem {
+  storage::RecordId rid = storage::kInvalidRecordId;
+  const bson::Document* doc = nullptr;
+};
+
 /// A Volcano-with-work-units plan stage (as in MongoDB's executor): each
 /// Work() call performs one unit of work and either produces a document,
 /// asks for more time, or signals end of stream. The unit granularity is
@@ -33,12 +41,25 @@ class PlanStage {
  public:
   enum class State { kAdvanced, kNeedTime, kEof };
 
+  /// Outcome of a Next() pull — either a document was produced, the stream
+  /// ended, or the works budget ran out before either happened.
+  enum class NextResult { kDoc, kEof, kBudget };
+
   virtual ~PlanStage() = default;
 
   /// On kAdvanced, *doc_out points at the produced document (owned by the
   /// record store) and *rid_out is its id.
   virtual State Work(storage::RecordId* rid_out,
                      const bson::Document** doc_out) = 0;
+
+  /// Demand-driven pull: spins Work() until the stage produces a document
+  /// or reaches end of stream, charging every unit spent to *works. When
+  /// works_budget is non-zero the pull also stops (kBudget) once *works
+  /// reaches the budget, so a caller can drain a cached plan under the
+  /// replanning cap without overshooting. The budget is checked before each
+  /// unit, matching the batch executor's accounting: the Work() call that
+  /// returns kEof is itself counted as a unit.
+  NextResult Next(WorkItem* item, uint64_t* works, uint64_t works_budget = 0);
 
   virtual void AccumulateStats(ExecStats* stats) const = 0;
 

@@ -3,6 +3,22 @@
 #include <algorithm>
 
 namespace stix::st {
+namespace {
+
+// Keeps `best` sorted ascending by distance with at most k entries; a
+// candidate no closer than the current k-th is dropped without copying.
+void OfferCandidate(Neighbor candidate, size_t k, std::vector<Neighbor>* best) {
+  if (best->size() >= k && candidate.distance_m >= best->back().distance_m) {
+    return;
+  }
+  const auto pos = std::upper_bound(
+      best->begin(), best->end(), candidate.distance_m,
+      [](double d, const Neighbor& n) { return d < n.distance_m; });
+  best->insert(pos, std::move(candidate));
+  if (best->size() > k) best->pop_back();
+}
+
+}  // namespace
 
 KnnResult KnnQuery(const StStore& store, geo::Point center,
                    int64_t t_begin_ms, int64_t t_end_ms,
@@ -12,27 +28,34 @@ KnnResult KnnQuery(const StStore& store, geo::Point center,
 
   for (int round = 0; round <= options.max_expansions; ++round) {
     const geo::Rect ring = geo::RectAroundPoint(center, radius_m);
-    const StQueryResult query =
-        store.Query(ring, t_begin_ms, t_end_ms);
-    ++result.queries_issued;
-    result.total_keys_examined += query.cluster.total_keys_examined;
 
-    std::vector<Neighbor> candidates;
-    candidates.reserve(query.cluster.docs.size());
-    for (const bson::Document& doc : query.cluster.docs) {
-      const bson::Value* loc = doc.Get(kLocationField);
-      double lon, lat;
-      if (loc == nullptr || !bson::ExtractGeoJsonPoint(*loc, &lon, &lat)) {
-        continue;
+    // Stream the ring probe: batches arrive per shard getMore round and
+    // only the k best candidates seen so far are retained. The candidate
+    // budget (if any) rides down to the shard executors as a limit, which
+    // terminates the probe's index scans early.
+    StCursorOptions cursor_options;
+    cursor_options.batch_size = options.batch_size;
+    cursor_options.limit = options.candidate_budget;
+    StCursor cursor =
+        store.OpenQuery(ring, t_begin_ms, t_end_ms, cursor_options);
+    ++result.queries_issued;
+
+    std::vector<Neighbor> best;
+    best.reserve(options.k + 1);
+    while (!cursor.exhausted()) {
+      for (bson::Document& doc : cursor.NextBatch()) {
+        const bson::Value* loc = doc.Get(kLocationField);
+        double lon, lat;
+        if (loc == nullptr || !bson::ExtractGeoJsonPoint(*loc, &lon, &lat)) {
+          continue;
+        }
+        ++result.candidates_examined;
+        OfferCandidate(
+            Neighbor{std::move(doc), geo::HaversineMeters(center, {lon, lat})},
+            options.k, &best);
       }
-      candidates.push_back(
-          Neighbor{doc, geo::HaversineMeters(center, {lon, lat})});
     }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Neighbor& a, const Neighbor& b) {
-                return a.distance_m < b.distance_m;
-              });
-    if (candidates.size() > options.k) candidates.resize(options.k);
+    result.total_keys_examined += cursor.Summary().cluster.total_keys_examined;
 
     // Final iff the k-th candidate is certainly closer than anything the
     // square might have missed (i.e. within the inscribed radius), or the
@@ -41,10 +64,9 @@ KnnResult KnnQuery(const StStore& store, geo::Point center,
         ring.lo.lon <= -180.0 && ring.hi.lon >= 180.0 &&
         ring.lo.lat <= -90.0 && ring.hi.lat >= 90.0;
     const bool complete =
-        candidates.size() >= options.k &&
-        candidates.back().distance_m <= radius_m;
+        best.size() >= options.k && best.back().distance_m <= radius_m;
     if (complete || covers_everything || round == options.max_expansions) {
-      result.neighbors = std::move(candidates);
+      result.neighbors = std::move(best);
       return result;
     }
     radius_m *= 2.0;

@@ -14,6 +14,15 @@ struct KnnOptions {
   double initial_radius_m = 250.0;
   /// Give up (return what was found) after this many doublings.
   int max_expansions = 16;
+  /// Documents pulled per shard per getMore while streaming a ring probe.
+  size_t batch_size = 256;
+  /// Candidate budget per ring probe, pushed down the cursor stack as a
+  /// limit: the probe's shard executors stop as soon as this many
+  /// candidates have been produced. 0 (default) keeps the search exact; a
+  /// non-zero budget makes it approximate — a ring that hits the budget may
+  /// miss closer points it never pulled — in exchange for bounded per-probe
+  /// work (the top-k early-termination the streaming stack exists for).
+  uint64_t candidate_budget = 0;
 };
 
 /// One kNN answer: a matching document and its great-circle distance.
@@ -28,6 +37,10 @@ struct KnnResult {
   int expansions = 0;               ///< Radius doublings performed.
   int queries_issued = 0;
   uint64_t total_keys_examined = 0;
+  /// Ring-probe documents that reached the merger across all rounds. The
+  /// search streams each probe and keeps only the best k, so this bounds
+  /// transient memory at k + one batch per shard regardless of ring size.
+  uint64_t candidates_examined = 0;
 };
 
 /// Finds the k documents nearest to `center` among those within the closed

@@ -42,12 +42,51 @@ Status StStore::ConfigureZones() {
   return cluster_.SetZonesByBucketAuto(approach_.zone_path());
 }
 
+StCursor::StCursor(TranslatedQuery translated,
+                   std::unique_ptr<cluster::ClusterCursor> cursor)
+    : translated_(std::move(translated)), cursor_(std::move(cursor)) {}
+
+StQueryResult StCursor::Summary() const {
+  StQueryResult out;
+  out.cluster = cursor_->Summary();
+  out.translated = translated_;
+  return out;
+}
+
+StQueryResult StCursor::Drain() {
+  StQueryResult out;
+  out.cluster = cursor_->Drain();
+  out.translated = translated_;
+  return out;
+}
+
+namespace {
+
+cluster::CursorOptions ToClusterCursorOptions(const StCursorOptions& o) {
+  cluster::CursorOptions out;
+  out.batch_size = o.batch_size;
+  out.limit = o.limit;
+  return out;
+}
+
+}  // namespace
+
 StQueryResult StStore::Query(const geo::Rect& rect, int64_t t_begin_ms,
                              int64_t t_end_ms) const {
-  StQueryResult out;
-  out.translated = approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
-  out.cluster = cluster_.Query(out.translated.expr);
-  return out;
+  StCursorOptions full_drain;
+  full_drain.batch_size = 0;
+  full_drain.limit = 0;
+  return OpenQuery(rect, t_begin_ms, t_end_ms, full_drain).Drain();
+}
+
+StCursor StStore::OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
+                            int64_t t_end_ms,
+                            const StCursorOptions& cursor_options) const {
+  TranslatedQuery translated =
+      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
+  std::unique_ptr<cluster::ClusterCursor> cursor = cluster_.OpenCursor(
+      translated.expr, ToClusterCursorOptions(cursor_options));
+  return StCursor(std::move(translated), std::move(cursor));
 }
 
 Result<uint64_t> StStore::Delete(const geo::Rect& rect, int64_t t_begin_ms,
@@ -60,11 +99,20 @@ Result<uint64_t> StStore::Delete(const geo::Rect& rect, int64_t t_begin_ms,
 StQueryResult StStore::QueryPolygon(const geo::Polygon& polygon,
                                     int64_t t_begin_ms,
                                     int64_t t_end_ms) const {
-  StQueryResult out;
-  out.translated =
+  StCursorOptions full_drain;
+  full_drain.batch_size = 0;
+  full_drain.limit = 0;
+  return OpenPolygonQuery(polygon, t_begin_ms, t_end_ms, full_drain).Drain();
+}
+
+StCursor StStore::OpenPolygonQuery(const geo::Polygon& polygon,
+                                   int64_t t_begin_ms, int64_t t_end_ms,
+                                   const StCursorOptions& cursor_options) const {
+  TranslatedQuery translated =
       approach_.TranslatePolygonQuery(polygon, t_begin_ms, t_end_ms);
-  out.cluster = cluster_.Query(out.translated.expr);
-  return out;
+  std::unique_ptr<cluster::ClusterCursor> cursor = cluster_.OpenCursor(
+      translated.expr, ToClusterCursorOptions(cursor_options));
+  return StCursor(std::move(translated), std::move(cursor));
 }
 
 }  // namespace stix::st

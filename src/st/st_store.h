@@ -26,6 +26,46 @@ struct StQueryResult {
   TranslatedQuery translated;
 };
 
+/// Cursor knobs for StStore::OpenQuery (the spatio-temporal face of
+/// cluster::CursorOptions).
+struct StCursorOptions {
+  /// Documents per shard per getMore round; 0 = single unbounded round.
+  size_t batch_size = 101;
+  /// Total documents to produce; 0 = unlimited. Pushed down to every shard
+  /// executor, which is what lets kNN probes stop at a candidate budget.
+  uint64_t limit = 0;
+};
+
+/// A streaming spatio-temporal query: the approach's translated expression
+/// driven through a cluster cursor. Batches are owned documents; Summary()
+/// carries the paper's four metrics plus the covering-translation stats.
+class StCursor {
+ public:
+  StCursor(StCursor&&) = default;
+  StCursor& operator=(StCursor&&) = default;
+
+  /// Next merged batch; empty means exhausted.
+  std::vector<bson::Document> NextBatch() { return cursor_->NextBatch(); }
+
+  bool exhausted() const { return cursor_->exhausted(); }
+
+  /// Metrics so far (docs left empty — batches own the documents).
+  StQueryResult Summary() const;
+
+  /// Drains the remaining stream into a full StQueryResult (docs filled).
+  StQueryResult Drain();
+
+  const TranslatedQuery& translated() const { return translated_; }
+
+ private:
+  friend class StStore;
+  StCursor(TranslatedQuery translated,
+           std::unique_ptr<cluster::ClusterCursor> cursor);
+
+  TranslatedQuery translated_;
+  std::unique_ptr<cluster::ClusterCursor> cursor_;
+};
+
 /// The paper's system: a sharded document store set up for one of the four
 /// approaches, exposing spatio-temporal load and query operations.
 ///
@@ -63,13 +103,27 @@ class StStore {
   Status ConfigureZones();
 
   /// Spatio-temporal range query: rectangle + closed time interval (millis).
+  /// Implemented as OpenQuery + drain, so it is byte-identical to consuming
+  /// the cursor yourself.
   StQueryResult Query(const geo::Rect& rect, int64_t t_begin_ms,
                       int64_t t_end_ms) const;
+
+  /// Streaming variant of Query: returns a cursor over the same translated
+  /// expression. The cursor borrows the cluster — consume it before
+  /// mutating the store.
+  StCursor OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
+                     int64_t t_end_ms,
+                     const StCursorOptions& cursor_options = {}) const;
 
   /// Polygon + closed time interval — complex geometries over the same
   /// indexing/sharding machinery (paper future work, Section 6).
   StQueryResult QueryPolygon(const geo::Polygon& polygon, int64_t t_begin_ms,
                              int64_t t_end_ms) const;
+
+  /// Streaming variant of QueryPolygon.
+  StCursor OpenPolygonQuery(const geo::Polygon& polygon, int64_t t_begin_ms,
+                            int64_t t_end_ms,
+                            const StCursorOptions& cursor_options = {}) const;
 
   /// Deletes every document in the rectangle/time window (data retention:
   /// the motivating fleet operators age out old positions). Returns the

@@ -45,6 +45,14 @@ class RecordStore {
 
   uint64_t num_records() const { return num_records_; }
 
+  /// Mutation generation: bumped on every Insert and Remove. Borrowed
+  /// `const Document*` handed out by the query pipeline are only guaranteed
+  /// valid while the generation is unchanged (Insert may reallocate the slot
+  /// vector; Remove kills the removed slot). Debug-mode borrow checks in
+  /// `query::ExecutionResult` and the shard/cluster cursors compare a
+  /// snapshot of this counter before dereferencing.
+  uint64_t generation() const { return generation_; }
+
   /// Highest RecordId ever issued (ids are dense from 1; removed slots stay
   /// addressable and return nullptr).
   RecordId max_record_id() const {
@@ -58,6 +66,7 @@ class RecordStore {
   std::vector<std::optional<bson::Document>> records_;
   uint64_t num_records_ = 0;
   uint64_t logical_size_bytes_ = 0;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace stix::storage

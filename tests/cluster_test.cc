@@ -447,7 +447,7 @@ TEST_F(ClusterTest, DataStatsAggregate) {
 TEST_F(ClusterTest, ParallelFanoutMatchesSerial) {
   ClusterOptions opts = SmallOptions();
   Cluster serial(opts);
-  opts.router.parallel_fanout = true;
+  opts.parallel_fanout = true;
   Cluster parallel(opts);
   for (Cluster* c : {&serial, &parallel}) {
     ASSERT_TRUE(c->ShardCollection(ShardKeyPattern(
@@ -474,7 +474,7 @@ TEST_F(ClusterTest, ParallelFanoutMatchesSerial) {
 
 TEST_F(ClusterTest, ParallelFanoutReusesSharedPoolWithoutThreadCreation) {
   ClusterOptions opts = SmallOptions();
-  opts.router.parallel_fanout = true;
+  opts.parallel_fanout = true;
   Cluster cluster(opts);
   ASSERT_TRUE(cluster
                   .ShardCollection(ShardKeyPattern(
@@ -501,7 +501,7 @@ TEST_F(ClusterTest, ParallelFanoutReusesSharedPoolWithoutThreadCreation) {
 
 TEST_F(ClusterTest, ConcurrentQueriesShareThePoolSafely) {
   ClusterOptions opts = SmallOptions();
-  opts.router.parallel_fanout = true;
+  opts.parallel_fanout = true;
   Cluster cluster(opts);
   ASSERT_TRUE(cluster
                   .ShardCollection(ShardKeyPattern(

@@ -260,9 +260,9 @@ TEST_P(StStoreParamTest, ParallelAndSerialFanoutAgree) {
   // pool must return exactly what the serial reference returns — documents,
   // per-shard metrics, and plan choices — for every approach.
   StStoreOptions serial_opts = Options();
-  serial_opts.cluster.router.parallel_fanout = false;
+  serial_opts.cluster.parallel_fanout = false;
   StStoreOptions parallel_opts = Options();
-  parallel_opts.cluster.router.parallel_fanout = true;
+  parallel_opts.cluster.parallel_fanout = true;
   StStore serial(serial_opts);
   StStore parallel(parallel_opts);
   for (StStore* s : {&serial, &parallel}) {
