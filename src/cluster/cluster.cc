@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <variant>
 
+#include "common/failpoint.h"
 #include "keystring/keystring.h"
 #include "query/planner.h"
 
 namespace stix::cluster {
+
+// Fires at the start of every chunk migration, before any document moves.
+// An error action aborts the migration cleanly (no partial move: chunk
+// ownership and both shards are untouched); a delay models a slow donor.
+STIX_FAIL_POINT_DEFINE(balancerMoveChunk);
 
 Cluster::Cluster(const ClusterOptions& options)
     : options_(options),
@@ -142,6 +148,7 @@ void Cluster::MaybeSplitChunk(size_t chunk_index) {
 Status Cluster::MoveChunk(size_t chunk_index, int to_shard) {
   Chunk& chunk = chunks_->chunk(chunk_index);
   if (chunk.shard_id == to_shard) return Status::OK();
+  if (Status s = CheckFailPoint(balancerMoveChunk); !s.ok()) return s;
   Shard& source = *shards_[static_cast<size_t>(chunk.shard_id)];
   Shard& dest = *shards_[static_cast<size_t>(to_shard)];
   const index::Index* skidx = source.catalog().Get(shard_key_index_name_);

@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "keystring/keystring.h"
 #include "query/query_analysis.h"
 
 namespace stix::cluster {
+
+// Fires on every ClusterCursor merge round, before the getMores go out. A
+// delay action models a slow mongos merge; an error action kills the whole
+// cursor (the mongos losing its cursor state).
+STIX_FAIL_POINT_DEFINE(clusterMergeBatch);
+
 namespace {
 
 std::vector<int> AllShardIds(size_t n) {
@@ -135,12 +142,24 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
   std::vector<bson::Document> out;
   if (exhausted_) return out;
 
+  if (Status s = CheckFailPoint(clusterMergeBatch); !s.ok()) {
+    status_ = std::move(s);
+    exhausted_ = true;
+    return out;
+  }
+
   const size_t n = cursors_.size();
   std::vector<ShardCursor::Batch> batches(n);
   std::vector<size_t> active;
   active.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (!cursors_[i]->exhausted()) active.push_back(i);
+  }
+  if (active.empty()) {
+    // No getMore round was issued (zero targets, or a limit satisfied
+    // exactly at a shard boundary): nothing to merge and no batch to count.
+    exhausted_ = true;
+    return out;
   }
   if (parallel_fanout_ && pool_ != nullptr && active.size() > 1) {
     // Warm threads from the cluster's long-lived pool; the TaskGroup scopes
@@ -158,6 +177,17 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
     }
   }
   ++num_batches_;
+
+  // A shard dying mid-stream kills the whole cursor, as a failed getMore
+  // does on mongos: surface the first error, drop this round's documents
+  // (a partial round is not a result), and stop.
+  for (size_t i : active) {
+    if (!batches[i].error.ok()) {
+      status_ = batches[i].error;
+      exhausted_ = true;
+      return out;
+    }
+  }
 
   // Merge in shard-target order. The shards returned borrowed pointers
   // into their record stores; this is the single point where result
@@ -199,6 +229,7 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
 
 ClusterQueryResult ClusterCursor::Summary() const {
   ClusterQueryResult result;
+  result.status = status_;
   result.nodes_contacted = static_cast<int>(targets_.size());
   result.broadcast = broadcast_;
   result.shard_reports.reserve(targets_.size());

@@ -47,6 +47,11 @@ struct ShardQueryReport {
 struct ClusterQueryResult {
   std::vector<bson::Document> docs;
 
+  /// Non-OK when the stream was killed by a shard or merge fault (e.g. an
+  /// injected fail point): `docs` then holds only the rounds merged before
+  /// the fault. OK for every clean execution.
+  Status status;
+
   int nodes_contacted = 0;
   bool broadcast = false;
 
@@ -97,6 +102,10 @@ class ClusterCursor {
 
   bool exhausted() const { return exhausted_; }
 
+  /// Non-OK once a shard died mid-stream or the merge faulted; the cursor
+  /// is then exhausted and produces no further documents.
+  const Status& status() const { return status_; }
+
   /// Metrics accumulated so far (complete once exhausted), with `docs`
   /// left empty — batches hand ownership to the caller as they stream.
   ClusterQueryResult Summary() const;
@@ -126,6 +135,7 @@ class ClusterCursor {
   /// Parallel to targets_.
   std::vector<std::unique_ptr<ShardCursor>> cursors_;
   bool exhausted_ = false;
+  Status status_;
   uint64_t returned_ = 0;
   uint64_t bytes_materialized_ = 0;
   double merge_millis_ = 0.0;

@@ -1,6 +1,13 @@
 #include "cluster/shard.h"
 
+#include "common/failpoint.h"
+
 namespace stix::cluster {
+
+// Fires on every ShardCursor::GetMore. A delay action models a slow shard;
+// an error action kills the stream mid-flight (the batch carries the error
+// and no documents, like a shard host dying between getMores).
+STIX_FAIL_POINT_DEFINE(shardGetMore);
 
 Result<storage::RecordId> Shard::Insert(bson::Document doc) {
   const storage::RecordId rid = collection_.records().Insert(std::move(doc));
@@ -48,6 +55,14 @@ int ShardCursor::shard_id() const { return shard_.id(); }
 ShardCursor::Batch ShardCursor::GetMore(size_t batch_size) {
   Batch batch;
   const storage::RecordStore& records = shard_.collection().records();
+  if (Status s = CheckFailPoint(shardGetMore); !s.ok()) {
+    done_ = true;
+    batch.exhausted = true;
+    batch.error = std::move(s);
+    batch.borrow_source = &records;
+    batch.borrow_generation = records.generation();
+    return batch;
+  }
   Stopwatch timer;
   storage::RecordId rid;
   const bson::Document* doc;

@@ -31,6 +31,9 @@ class ShardCursor {
     std::vector<storage::RecordId> rids;
     /// True when the stream ended at or before the end of this batch.
     bool exhausted = false;
+    /// Non-OK when the shard died mid-stream (e.g. an injected fault): the
+    /// batch carries no documents and the cursor is permanently exhausted.
+    Status error;
 
     /// Borrow guard, as on query::ExecutionResult: valid only while the
     /// source store's generation is unchanged.

@@ -1,0 +1,119 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace stix {
+
+FailPoint::FailPoint(const char* name) : name_(name) {
+  FailPointRegistry::Instance().Register(this);
+}
+
+void FailPoint::Enable(Config config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = std::move(config);
+  entered_.store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+  enabled_.store(config_.mode != Mode::kOff, std::memory_order_release);
+}
+
+void FailPoint::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_.mode = Mode::kOff;
+  enabled_.store(false, std::memory_order_release);
+}
+
+std::optional<Status> FailPoint::Evaluate() {
+  if (!enabled()) return std::nullopt;
+
+  bool fire = false;
+  double delay_ms = 0.0;
+  StatusCode error_code = StatusCode::kOk;
+  std::string error_message;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_.load(std::memory_order_relaxed)) return std::nullopt;
+    entered_.fetch_add(1, std::memory_order_relaxed);
+    switch (config_.mode) {
+      case Mode::kOff:
+        return std::nullopt;
+      case Mode::kAlwaysOn:
+        fire = true;
+        break;
+      case Mode::kTimes:
+        if (config_.count > 0) {
+          --config_.count;
+          fire = true;
+          if (config_.count == 0) {
+            config_.mode = Mode::kOff;
+            enabled_.store(false, std::memory_order_release);
+          }
+        }
+        break;
+      case Mode::kSkip:
+        if (config_.count > 0) {
+          --config_.count;
+        } else {
+          fire = true;
+        }
+        break;
+    }
+    if (fire) {
+      delay_ms = config_.delay_ms;
+      error_code = config_.error_code;
+      error_message = config_.error_message;
+    }
+  }
+  if (!fire) return std::nullopt;
+
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  if (error_code != StatusCode::kOk) {
+    if (error_message.empty()) {
+      error_message = "fail point " + name_ + " triggered";
+    }
+    return Status(error_code, std::move(error_message));
+  }
+  return Status::OK();
+}
+
+FailPointRegistry& FailPointRegistry::Instance() {
+  static FailPointRegistry registry;
+  return registry;
+}
+
+void FailPointRegistry::Register(FailPoint* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.push_back(point);
+}
+
+FailPoint* FailPointRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FailPoint* point : points_) {
+    if (point->name() == name) return point;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> FailPointRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const FailPoint* point : points_) names.push_back(point->name());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void FailPointRegistry::DisableAll() {
+  std::vector<FailPoint*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = points_;
+  }
+  for (FailPoint* point : snapshot) point->Disable();
+}
+
+}  // namespace stix

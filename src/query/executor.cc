@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace stix::query {
+
+// Fires when Prepare finds a usable cached plan: the plan is abandoned as
+// if its works budget blew on the first pull, forcing the mid-stream replan
+// path (eviction + fresh multi-planner race). Results must be unaffected.
+STIX_FAIL_POINT_DEFINE(planExecutorReplan);
 
 PlanExecutor::PlanExecutor(const storage::RecordStore& records,
                            const index::IndexCatalog& catalog, ExprPtr expr,
@@ -100,12 +107,16 @@ void PlanExecutor::Prepare() {
             options_.replan_min_works,
             static_cast<uint64_t>(options_.replan_factor *
                                   static_cast<double>(entry->works)));
-        racers_.push_back(Racer{cached_plan, {}, {}, 0, false});
-        if (DrainCachedWithCap(&racers_.back(), cap)) {
-          winner_ = &racers_.back();
-          from_plan_cache_ = true;
-          phase_ = Phase::kBuffer;
-          return;
+        const bool forced_replan =
+            planExecutorReplan.Evaluate().has_value();
+        if (!forced_replan) {
+          racers_.push_back(Racer{cached_plan, {}, {}, 0, false});
+          if (DrainCachedWithCap(&racers_.back(), cap)) {
+            winner_ = &racers_.back();
+            from_plan_cache_ = true;
+            phase_ = Phase::kBuffer;
+            return;
+          }
         }
         // Budget blown: evict and replan from scratch with fresh plan
         // stages (MongoDB's replanning). The racer and its plan pointer

@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/failpoint.h"
+
 namespace stix::storage {
+
+// Fires whenever a leaf or internal node splits. Insert has no Status
+// channel, so only the delay action is honored (error configs still count
+// as fired for observability).
+STIX_FAIL_POINT_DEFINE(btreeNodeSplit);
+
+// Fires on every successful entry removal (the lazy-deletion path that
+// stands in for a merge in this tree).
+STIX_FAIL_POINT_DEFINE(btreeRemoveEntry);
 
 namespace {
 
@@ -96,6 +107,7 @@ std::unique_ptr<BTree::Node> BTree::InsertRec(Node* node, std::string_view key,
         });
     leaf->entries.insert(it, LeafNode::Entry{std::string(key), rid});
     if (leaf->entries.size() <= kMaxLeafEntries) return nullptr;
+    (void)btreeNodeSplit.Evaluate();
 
     // Split: move the upper half into a new right sibling.
     auto right = std::make_unique<LeafNode>();
@@ -127,6 +139,7 @@ std::unique_ptr<BTree::Node> BTree::InsertRec(Node* node, std::string_view key,
   internal->children.insert(internal->children.begin() + child_idx + 1,
                             std::move(new_child));
   if (internal->children.size() <= kMaxInternalChildren) return nullptr;
+  (void)btreeNodeSplit.Evaluate();
 
   // Split the internal node.
   auto right = std::make_unique<InternalNode>();
@@ -177,6 +190,7 @@ bool BTree::Remove(std::string_view key, RecordId rid) {
   if (it == leaf->entries.end() || it->key != key || it->rid != rid) {
     return false;
   }
+  (void)btreeRemoveEntry.Evaluate();
   leaf->entries.erase(it);
   --num_entries_;
   // Lazy deletion: underfull/empty leaves stay; cursors skip them.

@@ -1,0 +1,188 @@
+// Unit tests for src/st/adaptive.cc: error paths, structural invariants of
+// the produced zones, deterministic sampling, and both zone paths
+// (hilbertIndex for the Hilbert approaches, date for the baselines).
+// extensions_test.cc covers the load-balancing behaviour end to end; this
+// file pins down the contract of ComputeWorkloadAwareZones itself.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "keystring/keystring.h"
+#include "st/adaptive.h"
+
+namespace stix::st {
+namespace {
+
+using bson::Value;
+
+constexpr int64_t kBegin = 1530403200000;
+constexpr int64_t kStepMs = 60000;
+constexpr int kDocs = 1200;
+
+std::unique_ptr<StStore> MakeStore(ApproachKind kind, int num_shards) {
+  StStoreOptions options;
+  options.approach.kind = kind;
+  options.approach.dataset_mbr = geo::Rect{{23.0, 37.0}, {25.0, 39.0}};
+  options.cluster.num_shards = num_shards;
+  options.cluster.chunk_max_bytes = 16 * 1024;
+  options.cluster.seed = 13;
+  auto store = std::make_unique<StStore>(options);
+  EXPECT_TRUE(store->Setup().ok());
+  return store;
+}
+
+// 60% hotspot / 40% uniform, same shape as the adaptive benchmark.
+void FillStore(StStore* store, std::vector<geo::Point>* points) {
+  Rng rng(77);
+  for (int i = 0; i < kDocs; ++i) {
+    double lon, lat;
+    if (rng.NextBool(0.6)) {
+      lon = std::clamp(23.72 + rng.NextGaussian() * 0.02, 23.0, 25.0);
+      lat = std::clamp(37.98 + rng.NextGaussian() * 0.02, 37.0, 39.0);
+    } else {
+      lon = rng.NextDouble(23.0, 25.0);
+      lat = rng.NextDouble(37.0, 39.0);
+    }
+    bson::Document doc;
+    doc.Append("seq", Value::Int32(i));
+    doc.Append(kLocationField,
+               Value::MakeDocument(bson::GeoJsonPoint(lon, lat)));
+    doc.Append(kDateField, Value::DateTime(kBegin + i * kStepMs));
+    if (points != nullptr) points->push_back({lon, lat});
+    ASSERT_TRUE(store->Insert(std::move(doc)).ok());
+  }
+  ASSERT_TRUE(store->FinishLoad().ok());
+}
+
+std::vector<WorkloadQuery> HotspotWorkload(double weight = 5.0) {
+  return {WorkloadQuery{geo::Rect{{23.68, 37.94}, {23.76, 38.02}}, kBegin,
+                        kBegin + kDocs * kStepMs, weight}};
+}
+
+// The structural contract every zone set must satisfy: sorted, disjoint,
+// contiguous, covering [MinKey, MaxKey), shard ids ascending within range.
+void ExpectWellFormedZones(const std::vector<cluster::ZoneRange>& zones,
+                           int num_shards) {
+  ASSERT_FALSE(zones.empty());
+  EXPECT_TRUE(cluster::ZonesCoverWholeSpace(zones));
+  EXPECT_EQ(zones.front().min, keystring::MinKey());
+  EXPECT_EQ(zones.back().max, keystring::MaxKey());
+  EXPECT_LE(zones.size(), static_cast<size_t>(num_shards));
+  for (size_t i = 0; i < zones.size(); ++i) {
+    EXPECT_LT(zones[i].min, zones[i].max) << "zone " << i;
+    EXPECT_GE(zones[i].shard_id, 0);
+    EXPECT_LT(zones[i].shard_id, num_shards);
+    if (i > 0) {
+      EXPECT_EQ(zones[i - 1].max, zones[i].min) << "gap before zone " << i;
+      EXPECT_LT(zones[i - 1].shard_id, zones[i].shard_id);
+    }
+  }
+}
+
+TEST(AdaptiveZonesTest, EmptyWorkloadIsInvalidArgument) {
+  auto store = MakeStore(ApproachKind::kHil, 4);
+  FillStore(store.get(), nullptr);
+  const auto result = ComputeWorkloadAwareZones(*store, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdaptiveZonesTest, EmptyStoreIsNotFound) {
+  auto store = MakeStore(ApproachKind::kHil, 4);
+  const auto result = ComputeWorkloadAwareZones(*store, HotspotWorkload());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AdaptiveZonesTest, ZonesAreSortedDisjointAndCoverKeySpace) {
+  auto store = MakeStore(ApproachKind::kHil, 4);
+  FillStore(store.get(), nullptr);
+  const auto zones = ComputeWorkloadAwareZones(*store, HotspotWorkload());
+  ASSERT_TRUE(zones.ok()) << zones.status().ToString();
+  ExpectWellFormedZones(*zones, 4);
+  EXPECT_GT(zones->size(), 1u);
+}
+
+TEST(AdaptiveZonesTest, SampleThinningIsDeterministicAndValid) {
+  auto store = MakeStore(ApproachKind::kHil, 4);
+  FillStore(store.get(), nullptr);
+  AdaptiveZoneOptions options;
+  options.sample_limit = 200;  // forces thinning: 200 of 1200 documents
+  const auto a = ComputeWorkloadAwareZones(*store, HotspotWorkload(), options);
+  const auto b = ComputeWorkloadAwareZones(*store, HotspotWorkload(), options);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  ExpectWellFormedZones(*a, 4);
+  // Same seed, same store: the thinned sample and thus the zones are
+  // identical across calls.
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].min, (*b)[i].min);
+    EXPECT_EQ((*a)[i].max, (*b)[i].max);
+    EXPECT_EQ((*a)[i].shard_id, (*b)[i].shard_id);
+  }
+}
+
+TEST(AdaptiveZonesTest, ColdWorkloadFallsBackToBackgroundWeight) {
+  // A workload whose rectangle matches no document: every sample carries
+  // only the background weight, which degrades to equi-count zoning —
+  // still one valid zone per shard, not a single catch-all.
+  auto store = MakeStore(ApproachKind::kHil, 4);
+  FillStore(store.get(), nullptr);
+  std::vector<WorkloadQuery> cold = {
+      WorkloadQuery{geo::Rect{{24.9, 38.9}, {24.99, 38.99}},
+                    kBegin - 2 * kStepMs, kBegin - kStepMs, 100.0}};
+  const auto zones = ComputeWorkloadAwareZones(*store, cold);
+  ASSERT_TRUE(zones.ok()) << zones.status().ToString();
+  ExpectWellFormedZones(*zones, 4);
+  EXPECT_GT(zones->size(), 1u);
+}
+
+TEST(AdaptiveZonesTest, BaselineApproachZonesOnDatePath) {
+  // The baselines zone on `date`. Dates are unique per document, so every
+  // cut lands between distinct values and all four zones materialise.
+  auto store = MakeStore(ApproachKind::kBslST, 4);
+  FillStore(store.get(), nullptr);
+  const auto zones = ComputeWorkloadAwareZones(*store, HotspotWorkload(1.0));
+  ASSERT_TRUE(zones.ok()) << zones.status().ToString();
+  ExpectWellFormedZones(*zones, 4);
+  EXPECT_EQ(zones->size(), 4u);
+}
+
+TEST(AdaptiveZonesTest, ApplyMigratesWithoutChangingQueryResults) {
+  auto store = MakeStore(ApproachKind::kHil, 4);
+  std::vector<geo::Point> points;
+  FillStore(store.get(), &points);
+
+  const geo::Rect hot{{23.68, 37.94}, {23.76, 38.02}};
+  const int64_t t0 = kBegin;
+  const int64_t t1 = kBegin + kDocs * kStepMs;
+
+  auto collect = [&]() {
+    std::set<int> ids;
+    const StQueryResult r = store->Query(hot, t0, t1);
+    EXPECT_TRUE(r.cluster.status.ok());
+    for (const bson::Document& doc : r.cluster.docs) {
+      ids.insert(doc.Get("seq")->AsInt32());
+    }
+    return ids;
+  };
+
+  const std::set<int> before = collect();
+  size_t naive = 0;
+  for (const geo::Point& p : points) naive += hot.Contains(p);
+  EXPECT_EQ(before.size(), naive);
+
+  ASSERT_TRUE(ApplyWorkloadAwareZones(store.get(), HotspotWorkload()).ok());
+  EXPECT_EQ(store->cluster().total_documents(),
+            static_cast<uint64_t>(kDocs));
+  EXPECT_EQ(collect(), before);
+}
+
+}  // namespace
+}  // namespace stix::st

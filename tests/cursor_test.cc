@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "index/index_catalog.h"
 #include "query/executor.h"
@@ -515,6 +516,124 @@ TEST_F(ClusterCursorTest, SummaryWhileStreamingThenFinal) {
   EXPECT_EQ(done.n_returned, total);
   EXPECT_EQ(done.n_returned, 901u);
   EXPECT_GE(done.num_batches, mid.num_batches);
+}
+
+// ---------- batch accounting: zero-result shards and mid-stream death ----
+
+TEST_F(ClusterCursorTest, ZeroResultShardsKeepAccountingConsistent) {
+  Cluster cluster(Options(/*parallel_fanout=*/false));
+  BuildAndLoad(&cluster);
+
+  // _id is not the shard key, so this broadcasts to all four shards — but
+  // the matching documents carry early dates and live on a strict subset of
+  // them: the other shards answer every getMore round with zero documents.
+  const ExprPtr q = query::MakeRange("_id", Value::Int64(0),
+                                     Value::Int64(99));
+  const ClusterQueryResult full = cluster.Query(q);
+  ASSERT_TRUE(full.status.ok());
+  ASSERT_EQ(full.docs.size(), 100u);
+  ASSERT_EQ(full.nodes_contacted, 4);
+  ASSERT_EQ(full.shard_reports.size(), 4u);
+  bool some_shard_empty = false;
+  for (const ShardQueryReport& report : full.shard_reports) {
+    if (report.stats.n_returned == 0) some_shard_empty = true;
+  }
+  ASSERT_TRUE(some_shard_empty);
+  EXPECT_EQ(full.num_batches, 1);  // single unbounded round, never more
+
+  // Batched streaming over the same query: empty per-shard batches must not
+  // distort the merge, the document count, or the round count.
+  CursorOptions copts;
+  copts.batch_size = 7;
+  const ClusterQueryResult streamed = cluster.OpenCursor(q, copts)->Drain();
+  EXPECT_TRUE(streamed.status.ok());
+  EXPECT_EQ(Ids(streamed.docs), Ids(full.docs));
+  EXPECT_EQ(streamed.n_returned, 100u);
+  EXPECT_EQ(streamed.total_keys_examined, full.total_keys_examined);
+  // Rounds continue until the slowest shard is exhausted; with the largest
+  // per-shard slice under 100 docs at 7/round, that is at most
+  // ceil(100/7)+1 = 16 rounds and at least 2.
+  EXPECT_GT(streamed.num_batches, 1);
+  EXPECT_LE(streamed.num_batches, 16);
+}
+
+TEST_F(ClusterCursorTest, QueryMatchingNothingCountsOneRound) {
+  Cluster cluster(Options(/*parallel_fanout=*/false));
+  BuildAndLoad(&cluster);
+  // Far beyond every stored date: the router still targets the last chunk's
+  // shard, which answers one empty, exhausted round.
+  const ExprPtr q = query::MakeRange("date", Value::DateTime(60000LL * 100000),
+                                     Value::DateTime(60000LL * 100001));
+  auto cursor = cluster.OpenCursor(q, CursorOptions{/*batch_size=*/7,
+                                                    /*limit=*/0});
+  EXPECT_TRUE(cursor->NextBatch().empty());
+  EXPECT_TRUE(cursor->exhausted());
+  const ClusterQueryResult r = cursor->Summary();
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.n_returned, 0u);
+  EXPECT_EQ(r.num_batches, 1);
+}
+
+TEST_F(ClusterCursorTest, NextBatchAfterExhaustionAddsNoPhantomRound) {
+  Cluster cluster(Options(/*parallel_fanout=*/false));
+  BuildAndLoad(&cluster);
+  auto cursor = cluster.OpenCursor(WideQuery(), CursorOptions{/*batch_size=*/50,
+                                                              /*limit=*/0});
+  uint64_t total = 0;
+  while (!cursor->exhausted()) total += cursor->NextBatch().size();
+  ASSERT_EQ(total, 901u);
+  const int rounds = cursor->Summary().num_batches;
+
+  EXPECT_TRUE(cursor->NextBatch().empty());
+  EXPECT_TRUE(cursor->NextBatch().empty());
+  EXPECT_EQ(cursor->Summary().num_batches, rounds);
+  EXPECT_EQ(cursor->Summary().n_returned, 901u);
+}
+
+TEST_F(ClusterCursorTest, ShardDyingMidStreamSurfacesErrorAndStopsStream) {
+  Cluster cluster(Options(/*parallel_fanout=*/false));
+  BuildAndLoad(&cluster);
+  const ExprPtr q = WideQuery();
+  const std::vector<int> targets = cluster.TargetShards(q);
+  ASSERT_GT(targets.size(), 1u);
+
+  // Let every shard answer the first round, then kill the next getMore: the
+  // shard "dies" between rounds two and one.
+  FailPoint* fp = FailPointRegistry::Instance().Find("shardGetMore");
+  ASSERT_NE(fp, nullptr);
+  FailPoint::Config config;
+  config.mode = FailPoint::Mode::kSkip;
+  config.count = targets.size();
+  config.error_code = StatusCode::kInternal;
+  config.error_message = "shard host died mid-stream";
+  fp->Enable(config);
+
+  auto cursor = cluster.OpenCursor(q, CursorOptions{/*batch_size=*/50,
+                                                    /*limit=*/0});
+  const std::vector<bson::Document> first = cursor->NextBatch();
+  EXPECT_FALSE(first.empty());
+  EXPECT_TRUE(cursor->status().ok());
+
+  const std::vector<bson::Document> second = cursor->NextBatch();
+  EXPECT_TRUE(second.empty());  // the failed round's documents are dropped
+  EXPECT_TRUE(cursor->exhausted());
+  EXPECT_FALSE(cursor->status().ok());
+  EXPECT_EQ(cursor->status().code(), StatusCode::kInternal);
+  fp->Disable();
+
+  const ClusterQueryResult summary = cursor->Summary();
+  EXPECT_FALSE(summary.status.ok());
+  EXPECT_EQ(summary.num_batches, 2);  // both issued rounds are accounted
+  EXPECT_EQ(summary.n_returned, first.size());
+
+  // Further pulls stay empty and do not disturb the accounting.
+  EXPECT_TRUE(cursor->NextBatch().empty());
+  EXPECT_EQ(cursor->Summary().num_batches, 2);
+
+  // A fresh cursor over the same cluster streams the full result cleanly.
+  const ClusterQueryResult recovered = cluster.Query(q);
+  EXPECT_TRUE(recovered.status.ok());
+  EXPECT_EQ(recovered.docs.size(), 901u);
 }
 
 }  // namespace

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -401,6 +402,132 @@ TEST(CoveringTest, SingletonCount) {
   Covering c;
   c.ranges = {DRange{1, 1}, DRange{3, 7}, DRange{9, 9}};
   EXPECT_EQ(c.NumSingletons(), 2u);
+}
+
+// ---------- covering property tests across curves, orders, domains ----------
+
+// Every covering must be sorted, disjoint, non-adjacent (maximal ranges),
+// and num_cells must equal the sum of range widths.
+void ExpectWellFormedCovering(const Covering& c) {
+  uint64_t cells = 0;
+  for (size_t i = 0; i < c.ranges.size(); ++i) {
+    ASSERT_LE(c.ranges[i].lo, c.ranges[i].hi) << "range " << i;
+    if (i > 0) {
+      // lo > prev.hi + 1: adjacent ranges would not be maximal.
+      ASSERT_GT(c.ranges[i].lo, c.ranges[i - 1].hi + 1) << "range " << i;
+    }
+    cells += c.ranges[i].hi - c.ranges[i].lo + 1;
+  }
+  EXPECT_EQ(c.num_cells, cells);
+}
+
+// A random query rectangle spanning at most `max_span` cells per side,
+// placed uniformly in the domain. Bounding the span in *cells* keeps
+// CoverRect's perimeter cost flat as the order grows to 16.
+Rect RandomCellRect(Rng& rng, const GridMapping& grid, uint32_t max_span) {
+  const uint32_t n = grid.grid_size();
+  const double cell_w = (grid.domain().hi.lon - grid.domain().lo.lon) / n;
+  const double cell_h = (grid.domain().hi.lat - grid.domain().lo.lat) / n;
+  const uint32_t w = 1 + rng.NextBounded(std::min(n, max_span));
+  const uint32_t h = 1 + rng.NextBounded(std::min(n, max_span));
+  const uint32_t x0 = static_cast<uint32_t>(rng.NextBounded(n - w + 1));
+  const uint32_t y0 = static_cast<uint32_t>(rng.NextBounded(n - h + 1));
+  // Fractional offsets keep the corners strictly inside their cells, so the
+  // rectangle is not grid-aligned (the harder case for the descent).
+  const double lo_lon =
+      grid.domain().lo.lon + (x0 + rng.NextDouble() * 0.5) * cell_w;
+  const double lo_lat =
+      grid.domain().lo.lat + (y0 + rng.NextDouble() * 0.5) * cell_h;
+  const double hi_lon = grid.domain().lo.lon +
+                        (x0 + w - 1 + 0.5 + rng.NextDouble() * 0.5) * cell_w;
+  const double hi_lat = grid.domain().lo.lat +
+                        (y0 + h - 1 + 0.5 + rng.NextDouble() * 0.5) * cell_h;
+  return Rect{{lo_lon, lo_lat}, {hi_lon, hi_lat}};
+}
+
+// The core soundness property behind query correctness (a cell missing
+// from the covering would silently drop matching documents): every point
+// inside the rectangle maps to a covered cell. Exactness: for an
+// axis-aligned rect the intersecting cells are exactly the cell bounding
+// box, so num_cells is known in closed form.
+void CheckCoveringProperties(const Curve2D& curve, Rng& rng) {
+  const GridMapping& grid = curve.grid();
+  const Rect query = RandomCellRect(rng, grid, 14);
+  const Covering covering = CoverRect(curve, query);
+  ExpectWellFormedCovering(covering);
+
+  const uint64_t cells_x =
+      grid.LonToX(query.hi.lon) - grid.LonToX(query.lo.lon) + 1;
+  const uint64_t cells_y =
+      grid.LatToY(query.hi.lat) - grid.LatToY(query.lo.lat) + 1;
+  EXPECT_EQ(covering.num_cells, cells_x * cells_y)
+      << curve.name() << " order " << curve.order();
+
+  auto check_point = [&](double lon, double lat) {
+    EXPECT_TRUE(CoveringContains(covering, curve.PointToD(lon, lat)))
+        << curve.name() << " order " << curve.order() << " point (" << lon
+        << ", " << lat << ") rect [" << query.lo.lon << "," << query.lo.lat
+        << "]..[" << query.hi.lon << "," << query.hi.lat << "]";
+  };
+  check_point(query.lo.lon, query.lo.lat);
+  check_point(query.hi.lon, query.hi.lat);
+  check_point(query.lo.lon, query.hi.lat);
+  check_point(query.hi.lon, query.lo.lat);
+  for (int i = 0; i < 24; ++i) {
+    check_point(rng.NextDouble(query.lo.lon, query.hi.lon),
+                rng.NextDouble(query.lo.lat, query.hi.lat));
+  }
+
+  // A max_ranges budget may coarsen the covering but must stay sound and
+  // can only grow the cell count (frontier blocks are emitted whole).
+  for (const size_t budget : {size_t{1}, size_t{4}, size_t{16}}) {
+    CoveringOptions opts;
+    opts.max_ranges = budget;
+    const Covering coarse = CoverRect(curve, query, opts);
+    ExpectWellFormedCovering(coarse);
+    EXPECT_GE(coarse.num_cells, covering.num_cells);
+    for (int i = 0; i < 8; ++i) {
+      const double lon = rng.NextDouble(query.lo.lon, query.hi.lon);
+      const double lat = rng.NextDouble(query.lo.lat, query.hi.lat);
+      EXPECT_TRUE(CoveringContains(coarse, curve.PointToD(lon, lat)))
+          << curve.name() << " order " << curve.order() << " budget "
+          << budget;
+    }
+  }
+}
+
+TEST(CoveringPropertyTest, HilbertAllOrdersGlobeDomain) {
+  Rng rng(9001);
+  for (int order = 1; order <= 16; ++order) {
+    const HilbertCurve curve(order, GlobeRect());
+    for (int trial = 0; trial < 3; ++trial) CheckCoveringProperties(curve, rng);
+  }
+}
+
+TEST(CoveringPropertyTest, ZOrderAllOrdersGlobeDomain) {
+  Rng rng(9002);
+  for (int order = 1; order <= 16; ++order) {
+    const ZOrderCurve curve(order, GlobeRect());
+    for (int trial = 0; trial < 3; ++trial) CheckCoveringProperties(curve, rng);
+  }
+}
+
+TEST(CoveringPropertyTest, DatasetMbrDomains) {
+  // hil* shrinks the domain to the dataset MBR; same properties must hold
+  // on small, skewed domains for both curves.
+  const Rect mbrs[] = {Rect{{23.0, 37.0}, {25.0, 39.0}},
+                       Rect{{-74.3, 40.4}, {-73.6, 41.0}}};
+  Rng rng(9003);
+  for (const Rect& mbr : mbrs) {
+    for (int order : {1, 2, 5, 9, 13, 16}) {
+      const HilbertCurve hilbert(order, mbr);
+      const ZOrderCurve zorder(order, mbr);
+      for (int trial = 0; trial < 3; ++trial) {
+        CheckCoveringProperties(hilbert, rng);
+        CheckCoveringProperties(zorder, rng);
+      }
+    }
+  }
 }
 
 }  // namespace

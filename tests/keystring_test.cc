@@ -1,4 +1,7 @@
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -194,6 +197,116 @@ TEST(KeyStringDecodeTest, RandomBytesNeverCrash) {
     (void)DecodeValues(bytes, &decoded);  // must not crash or over-read
   }
   SUCCEED();
+}
+
+// ---------- randomized property tests over the full scalar palette ----------
+
+// Draws one random scalar Value covering every type the index layer encodes.
+// Integers stay within ±2^53: numbers encode through their double image
+// (OrderedDoubleBits), so wider int64s would lose low bits and the
+// round-trip comparison would no longer be exact.
+Value RandomScalar(Rng& rng, bson::ObjectIdGenerator& gen) {
+  switch (rng.NextBounded(8)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Bool(rng.NextBool(0.5));
+    case 2:
+      return Value::Int32(
+          static_cast<int32_t>(rng.NextInt(INT32_MIN, INT32_MAX)));
+    case 3:
+      return Value::Int64(
+          rng.NextInt(-(1LL << 53), 1LL << 53));
+    case 4: {
+      // Mix magnitudes: tiny, unit-scale, and huge doubles.
+      const double mag = rng.NextDouble(-9, 18);
+      const double v = rng.NextDouble(-1.0, 1.0) * std::pow(10.0, mag);
+      return Value::Double(v);
+    }
+    case 5: {
+      // NUL-free strings: the encoder terminates strings with 0x00.
+      std::string s;
+      const size_t n = rng.NextBounded(12);
+      for (size_t i = 0; i < n; ++i) {
+        s.push_back(static_cast<char>(1 + rng.NextBounded(255)));
+      }
+      return Value::String(std::move(s));
+    }
+    case 6:
+      return Value::DateTime(rng.NextInt(-(1LL << 41), 1LL << 41));
+    default:
+      return Value::Id(gen.Generate(static_cast<uint32_t>(rng.Next())));
+  }
+}
+
+TEST(KeyStringPropertyTest, RandomScalarsRoundTripThroughDecode) {
+  Rng rng(4242);
+  bson::ObjectIdGenerator gen(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Value v = RandomScalar(rng, gen);
+    const std::string key = Encode(v);
+    std::vector<Value> decoded;
+    ASSERT_TRUE(DecodeValues(key, &decoded)) << "trial " << trial;
+    ASSERT_EQ(decoded.size(), 1u);
+    EXPECT_EQ(Compare(v, decoded[0]), 0)
+        << "trial " << trial << ": decode changed the value";
+    // Decoded values must re-encode to the identical bytes (seek keys are
+    // rebuilt from decoded values).
+    EXPECT_EQ(Encode(decoded[0]), key) << "trial " << trial;
+  }
+}
+
+TEST(KeyStringPropertyTest, RandomPairsOrderLikeSemanticCompare) {
+  Rng rng(31337);
+  bson::ObjectIdGenerator gen(10);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Value a = RandomScalar(rng, gen);
+    const Value b = RandomScalar(rng, gen);
+    ExpectOrderPreserved(a, b);
+  }
+}
+
+TEST(KeyStringPropertyTest, RandomSequencesOrderLexicographically) {
+  // Multi-value keys (the (h, date) compound of the Hilbert approaches and
+  // wider secondary indexes) must order exactly like the element-wise
+  // lexicographic semantic comparison.
+  Rng rng(271828);
+  bson::ObjectIdGenerator gen(11);
+  auto random_seq = [&]() {
+    std::vector<Value> seq;
+    const size_t n = 1 + rng.NextBounded(3);
+    for (size_t i = 0; i < n; ++i) seq.push_back(RandomScalar(rng, gen));
+    return seq;
+  };
+  auto semantic_cmp = [](const std::vector<Value>& a,
+                         const std::vector<Value>& b) {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      const int c = Compare(a[i], b[i]);
+      if (c != 0) return c < 0 ? -1 : 1;
+    }
+    return a.size() < b.size() ? -1 : (a.size() == b.size() ? 0 : 1);
+  };
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::vector<Value> a = random_seq();
+    std::vector<Value> b = random_seq();
+    // Shared prefixes exercise the tie-breaking path.
+    if (rng.NextBool(0.3) && !a.empty()) {
+      b = a;
+      b.back() = RandomScalar(rng, gen);
+    }
+    const std::string ka = Encode(a);
+    const std::string kb = Encode(b);
+    const int key_cmp = ka.compare(kb) < 0 ? -1 : (ka == kb ? 0 : 1);
+    EXPECT_EQ(semantic_cmp(a, b), key_cmp) << "trial " << trial;
+
+    std::vector<Value> decoded;
+    ASSERT_TRUE(DecodeValues(ka, &decoded));
+    ASSERT_EQ(decoded.size(), a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(Compare(a[i], decoded[i]), 0) << "trial " << trial;
+    }
+  }
 }
 
 TEST(KeyStringDecodeTest, RejectsTruncatedAndSentinels) {

@@ -14,7 +14,11 @@ using bson::Value;
 class SnapshotTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/stix_snapshot_test.snap";
+    // Unique per test case: ctest -j runs cases as concurrent processes,
+    // and a shared file races the corruption tests against the load tests.
+    path_ = testing::TempDir() + "/stix_snapshot_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".snap";
     ClusterOptions options;
     options.num_shards = 3;
     options.chunk_max_bytes = 8 * 1024;

@@ -1,0 +1,545 @@
+// stix_fuzz — deterministic differential fuzzing of the query stack.
+//
+// From a single 64-bit seed, generates a randomized workload (skewed + uniform
+// documents, rect+time queries, limits, batch sizes, mid-run chunk
+// splits/migrations) and checks all four approaches (bslST, bslTS, hil, hil*)
+// against a brute-force oracle, plus metamorphic invariants:
+//
+//   * batch-size invariance     — any getMore batch size yields the same set
+//   * cursor-drain parity       — OpenQuery+drain == Query()
+//   * limit-prefix property     — limit k returns min(k, |full|) docs, all
+//                                 drawn from the full result set
+//   * rect-splitting additivity — partitioning the query rectangle partitions
+//                                 the result set
+//
+// A final fail-point phase proves injected faults are either tolerated
+// (delay / forced replan: identical results) or surfaced (error: non-OK
+// status), and that the system recovers once the fault is cleared.
+//
+// Any divergence prints a one-line REPRO command carrying the failing seed.
+// Exit status: 0 = all seeds clean, 1 = at least one divergence.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "st/st_store.h"
+
+namespace stix {
+namespace {
+
+using st::ApproachKind;
+using st::StStore;
+using st::StStoreOptions;
+
+constexpr ApproachKind kApproaches[] = {ApproachKind::kBslST,
+                                        ApproachKind::kBslTS,
+                                        ApproachKind::kHil,
+                                        ApproachKind::kHilStar};
+
+struct FuzzConfig {
+  uint64_t seed_base = 1;
+  int num_seeds = 1;
+  int docs = 1000;
+  int queries = 10;
+  bool failpoints = true;
+  bool verbose = false;
+};
+
+// Ground-truth record of one generated document.
+struct FuzzDoc {
+  double lon;
+  double lat;
+  int64_t t_ms;
+  int32_t fid;
+};
+
+struct FuzzQuery {
+  geo::Rect rect;
+  int64_t t_begin_ms;
+  int64_t t_end_ms;
+};
+
+std::vector<int32_t> OracleFids(const std::vector<FuzzDoc>& docs,
+                                const FuzzQuery& q) {
+  std::vector<int32_t> fids;
+  for (const FuzzDoc& d : docs) {
+    if (q.rect.Contains({d.lon, d.lat}) && d.t_ms >= q.t_begin_ms &&
+        d.t_ms <= q.t_end_ms) {
+      fids.push_back(d.fid);
+    }
+  }
+  std::sort(fids.begin(), fids.end());
+  return fids;
+}
+
+std::vector<int32_t> SortedFids(const std::vector<bson::Document>& docs) {
+  std::vector<int32_t> fids;
+  fids.reserve(docs.size());
+  for (const bson::Document& doc : docs) {
+    const bson::Value* v = doc.Get("fid");
+    fids.push_back(v == nullptr ? -1 : v->AsInt32());
+  }
+  std::sort(fids.begin(), fids.end());
+  return fids;
+}
+
+bool HasDuplicates(const std::vector<int32_t>& sorted) {
+  return std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end();
+}
+
+// Divergence reporting: context for the one-line repro.
+struct SeedContext {
+  uint64_t seed;
+  const FuzzConfig* config;
+  int divergences = 0;
+
+  void Report(const char* approach, const char* check, const FuzzQuery& q,
+              size_t expected, size_t got) {
+    ++divergences;
+    std::fprintf(stderr,
+                 "DIVERGENCE seed=%" PRIu64
+                 " approach=%s check=%s rect=[(%.6f,%.6f)-(%.6f,%.6f)] "
+                 "t=[%" PRId64 ",%" PRId64 "] expected=%zu got=%zu\n",
+                 seed, approach, check, q.rect.lo.lon, q.rect.lo.lat,
+                 q.rect.hi.lon, q.rect.hi.lat, q.t_begin_ms, q.t_end_ms,
+                 expected, got);
+    std::fprintf(stderr,
+                 "REPRO: stix_fuzz --seed=%" PRIu64 " --docs=%d --queries=%d\n",
+                 seed, config->docs, config->queries);
+  }
+};
+
+// Generates the per-seed document workload: a few Gaussian hot spots over a
+// random MBR plus uniform background, all timestamps within a random span.
+std::vector<FuzzDoc> GenerateDocs(Rng* rng, int count, geo::Rect* mbr_out,
+                                  int64_t* t0_out, int64_t* span_out) {
+  const double center_lon = rng->NextDouble(-170.0, 170.0);
+  const double center_lat = rng->NextDouble(-80.0, 80.0);
+  const double extent_lon = rng->NextDouble(0.5, 20.0);
+  const double extent_lat = rng->NextDouble(0.5, 20.0);
+  const geo::Rect mbr{
+      {std::max(-180.0, center_lon - extent_lon),
+       std::max(-90.0, center_lat - extent_lat)},
+      {std::min(180.0, center_lon + extent_lon),
+       std::min(90.0, center_lat + extent_lat)}};
+  *mbr_out = mbr;
+
+  const int64_t t0 = 1538352000000;  // 2018-10-01T00:00:00Z
+  const int64_t span =
+      3600000 + static_cast<int64_t>(rng->NextBounded(90ull * 24 * 3600000));
+  *t0_out = t0;
+  *span_out = span;
+
+  const int num_clusters = 1 + static_cast<int>(rng->NextBounded(3));
+  struct Hot {
+    double lon, lat, sigma_lon, sigma_lat;
+  };
+  std::vector<Hot> hots;
+  for (int i = 0; i < num_clusters; ++i) {
+    hots.push_back(Hot{rng->NextDouble(mbr.lo.lon, mbr.hi.lon),
+                       rng->NextDouble(mbr.lo.lat, mbr.hi.lat),
+                       mbr.width() * rng->NextDouble(0.01, 0.15),
+                       mbr.height() * rng->NextDouble(0.01, 0.15)});
+  }
+
+  std::vector<FuzzDoc> docs;
+  docs.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FuzzDoc d;
+    if (!docs.empty() && rng->NextBool(0.02)) {
+      // Exact duplicate position+time under a fresh fid: stresses duplicate
+      // keys through every index and the merge.
+      const FuzzDoc& src = docs[rng->NextBounded(docs.size())];
+      d = src;
+    } else if (rng->NextBool(0.25)) {
+      d.lon = rng->NextDouble(mbr.lo.lon, mbr.hi.lon);
+      d.lat = rng->NextDouble(mbr.lo.lat, mbr.hi.lat);
+      d.t_ms = t0 + static_cast<int64_t>(
+                        rng->NextBounded(static_cast<uint64_t>(span) + 1));
+    } else {
+      const Hot& hot = hots[rng->NextBounded(hots.size())];
+      d.lon = std::min(mbr.hi.lon,
+                       std::max(mbr.lo.lon,
+                                hot.lon + rng->NextGaussian() * hot.sigma_lon));
+      d.lat = std::min(mbr.hi.lat,
+                       std::max(mbr.lo.lat,
+                                hot.lat + rng->NextGaussian() * hot.sigma_lat));
+      d.t_ms = t0 + static_cast<int64_t>(
+                        rng->NextBounded(static_cast<uint64_t>(span) + 1));
+    }
+    d.fid = i;
+    docs.push_back(d);
+  }
+  return docs;
+}
+
+FuzzQuery GenerateQuery(Rng* rng, const geo::Rect& mbr, int64_t t0,
+                        int64_t span) {
+  FuzzQuery q;
+  // Center mostly inside the MBR, occasionally outside (empty-ish results).
+  const double margin = rng->NextBool(0.1) ? 0.3 : 0.0;
+  const double cx = rng->NextDouble(mbr.lo.lon - margin * mbr.width(),
+                                    mbr.hi.lon + margin * mbr.width());
+  const double cy = rng->NextDouble(mbr.lo.lat - margin * mbr.height(),
+                                    mbr.hi.lat + margin * mbr.height());
+  // Width spans ~3 decades: tiny cells up to most of the MBR.
+  const double w =
+      mbr.width() * std::pow(10.0, rng->NextDouble(-2.5, 0.0));
+  const double h =
+      mbr.height() * std::pow(10.0, rng->NextDouble(-2.5, 0.0));
+  q.rect = geo::Rect{{cx - w / 2, cy - h / 2}, {cx + w / 2, cy + h / 2}};
+
+  if (rng->NextBool(0.2)) {
+    q.t_begin_ms = t0;
+    q.t_end_ms = t0 + span;
+  } else {
+    const int64_t lo =
+        t0 + static_cast<int64_t>(rng->NextBounded(static_cast<uint64_t>(span)));
+    const int64_t len = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(span) *
+                                rng->NextDouble(0.001, 1.0)));
+    q.t_begin_ms = lo;
+    q.t_end_ms = std::min(t0 + span, lo + len);
+  }
+  return q;
+}
+
+bson::Document MakeDoc(const FuzzDoc& d) {
+  bson::Document doc;
+  doc.Append(st::kLocationField,
+             bson::Value::MakeDocument(bson::GeoJsonPoint(d.lon, d.lat)));
+  doc.Append(st::kDateField, bson::Value::DateTime(d.t_ms));
+  doc.Append("fid", bson::Value::Int32(d.fid));
+  return doc;
+}
+
+// Drains a streaming cursor fully; sets *status_out from the cursor summary.
+std::vector<int32_t> DrainFids(st::StCursor cursor, Status* status_out) {
+  std::vector<bson::Document> all;
+  while (!cursor.exhausted()) {
+    std::vector<bson::Document> batch = cursor.NextBatch();
+    all.insert(all.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  if (status_out != nullptr) *status_out = cursor.Summary().cluster.status;
+  return SortedFids(all);
+}
+
+// Runs the differential + metamorphic checks for one query against every
+// store. Returns false (after reporting) on the first divergence.
+bool CheckQuery(const std::vector<std::unique_ptr<StStore>>& stores,
+                const std::vector<FuzzDoc>& docs, const FuzzQuery& q,
+                Rng* rng, SeedContext* ctx) {
+  const std::vector<int32_t> oracle = OracleFids(docs, q);
+  const std::set<int32_t> oracle_set(oracle.begin(), oracle.end());
+
+  const size_t batch_sizes[] = {1, 3, 17, 101};
+  const size_t batch = batch_sizes[rng->NextBounded(4)];
+  const uint64_t limit = 1 + rng->NextBounded(oracle.size() + 3);
+  const bool check_split = rng->NextBool(0.5);
+
+  // Rectangle partition at a random longitude: [lo, x] and (x, hi] — the
+  // nextafter gap keeps the two closed rects disjoint and exhaustive over
+  // representable doubles.
+  const double split_x =
+      rng->NextDouble(q.rect.lo.lon, q.rect.hi.lon);
+  FuzzQuery left = q, right = q;
+  left.rect.hi.lon = split_x;
+  right.rect.lo.lon = std::nextafter(split_x, 1e9);
+
+  for (const auto& store : stores) {
+    const char* name = store->approach().name();
+
+    // 1. Oracle equality via Query().
+    const st::StQueryResult full = store->Query(q.rect, q.t_begin_ms,
+                                                q.t_end_ms);
+    if (!full.cluster.status.ok()) {
+      ctx->Report(name, "query-status", q, 0, 1);
+      return false;
+    }
+    const std::vector<int32_t> got = SortedFids(full.cluster.docs);
+    if (HasDuplicates(got)) {
+      ctx->Report(name, "duplicates", q, oracle.size(), got.size());
+      return false;
+    }
+    if (got != oracle) {
+      ctx->Report(name, "oracle", q, oracle.size(), got.size());
+      return false;
+    }
+
+    // 2. Batch-size invariance + cursor-drain == Query() parity.
+    st::StCursorOptions copts;
+    copts.batch_size = batch;
+    Status cursor_status;
+    const std::vector<int32_t> streamed = DrainFids(
+        store->OpenQuery(q.rect, q.t_begin_ms, q.t_end_ms, copts),
+        &cursor_status);
+    if (!cursor_status.ok() || streamed != oracle) {
+      ctx->Report(name, "batch-invariance", q, oracle.size(), streamed.size());
+      return false;
+    }
+
+    // 3. Limit-prefix property: min(k, |full|) results, all from the full
+    // result set. (A set property, not an order prefix: limit pushdown may
+    // legitimately change the winning plan and per-shard production order.)
+    st::StCursorOptions lopts;
+    lopts.batch_size = batch_sizes[rng->NextBounded(4)];
+    lopts.limit = limit;
+    const std::vector<int32_t> limited = DrainFids(
+        store->OpenQuery(q.rect, q.t_begin_ms, q.t_end_ms, lopts), nullptr);
+    const size_t want =
+        std::min<size_t>(static_cast<size_t>(limit), oracle.size());
+    bool limit_ok = limited.size() == want && !HasDuplicates(limited);
+    for (const int32_t fid : limited) {
+      if (oracle_set.count(fid) == 0) limit_ok = false;
+    }
+    if (!limit_ok) {
+      ctx->Report(name, "limit-prefix", q, want, limited.size());
+      return false;
+    }
+
+    // 4. Rectangle-splitting additivity: the two halves partition the set.
+    if (check_split) {
+      std::vector<int32_t> parts = SortedFids(
+          store->Query(left.rect, left.t_begin_ms, left.t_end_ms)
+              .cluster.docs);
+      const std::vector<int32_t> right_fids = SortedFids(
+          store->Query(right.rect, right.t_begin_ms, right.t_end_ms)
+              .cluster.docs);
+      parts.insert(parts.end(), right_fids.begin(), right_fids.end());
+      std::sort(parts.begin(), parts.end());
+      if (parts != oracle) {
+        ctx->Report(name, "rect-split-additivity", q, oracle.size(),
+                    parts.size());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Fault phases: delays and forced replans must leave results identical;
+// injected errors must surface as a non-OK status; clearing the fault must
+// restore correct results.
+bool CheckFailPoints(const std::vector<std::unique_ptr<StStore>>& stores,
+                     const std::vector<FuzzDoc>& docs, const FuzzQuery& q,
+                     Rng* rng, SeedContext* ctx) {
+  FailPointRegistry& registry = FailPointRegistry::Instance();
+  const std::vector<int32_t> oracle = OracleFids(docs, q);
+  StStore& victim = *stores[rng->NextBounded(stores.size())];
+  const char* name = victim.approach().name();
+
+  // Tolerated faults: results must not change.
+  const char* tolerated[] = {"shardGetMore", "clusterMergeBatch",
+                             "planExecutorReplan"};
+  for (const char* site : tolerated) {
+    FailPoint* fp = registry.Find(site);
+    if (fp == nullptr) {
+      std::fprintf(stderr, "FATAL: fail point %s not registered\n", site);
+      ctx->divergences++;
+      return false;
+    }
+    FailPoint::Config config;
+    config.mode = FailPoint::Mode::kAlwaysOn;
+    config.delay_ms = std::strcmp(site, "planExecutorReplan") == 0
+                          ? 0.0    // pure branch-forcing, no sleep
+                          : 0.02;  // slow shard / slow merge
+    fp->Enable(config);
+    const st::StQueryResult r = victim.Query(q.rect, q.t_begin_ms, q.t_end_ms);
+    fp->Disable();
+    const std::vector<int32_t> got = SortedFids(r.cluster.docs);
+    if (!r.cluster.status.ok() || got != oracle) {
+      ctx->Report(name, (std::string("failpoint-delay-") + site).c_str(), q,
+                  oracle.size(), got.size());
+      return false;
+    }
+  }
+
+  // Surfaced faults: the stream dies with a non-OK status, then recovers.
+  const char* fatal_sites[] = {"shardGetMore", "clusterMergeBatch"};
+  for (const char* site : fatal_sites) {
+    FailPoint* fp = registry.Find(site);
+    FailPoint::Config config;
+    config.mode = FailPoint::Mode::kTimes;
+    config.count = 1;
+    config.error_code = StatusCode::kInternal;
+    config.error_message = std::string("injected fault at ") + site;
+    fp->Enable(config);
+    const st::StQueryResult r = victim.Query(q.rect, q.t_begin_ms, q.t_end_ms);
+    fp->Disable();
+    // shardGetMore only fires when at least one shard is contacted.
+    const bool expect_error =
+        std::strcmp(site, "shardGetMore") != 0 || r.cluster.nodes_contacted > 0;
+    if (expect_error && r.cluster.status.ok()) {
+      ctx->Report(name, (std::string("failpoint-error-") + site).c_str(), q, 1,
+                  0);
+      return false;
+    }
+    const std::vector<int32_t> after =
+        SortedFids(victim.Query(q.rect, q.t_begin_ms, q.t_end_ms).cluster.docs);
+    if (after != oracle) {
+      ctx->Report(name, (std::string("failpoint-recovery-") + site).c_str(), q,
+                  oracle.size(), after.size());
+      return false;
+    }
+  }
+  registry.DisableAll();
+  return true;
+}
+
+bool RunSeed(uint64_t seed, const FuzzConfig& config) {
+  SeedContext ctx{seed, &config};
+  Rng rng(seed);
+  Rng data_rng = rng.Fork();
+  Rng knob_rng = rng.Fork();
+  Rng query_rng = rng.Fork();
+
+  geo::Rect mbr;
+  int64_t t0 = 0, span = 0;
+  const std::vector<FuzzDoc> docs =
+      GenerateDocs(&data_rng, config.docs, &mbr, &t0, &span);
+
+  // Random deployment knobs, shared by all four stores so only the approach
+  // differs. Small chunks force splits; a short balancer cadence forces
+  // migrations during the load.
+  const int num_shards = 2 + static_cast<int>(knob_rng.NextBounded(4));
+  const uint64_t chunk_max_bytes = 4096 + knob_rng.NextBounded(24 * 1024);
+  const int balance_every = 64 + static_cast<int>(knob_rng.NextBounded(256));
+  const int hilbert_order = 4 + static_cast<int>(knob_rng.NextBounded(8));
+  const bool use_zones = knob_rng.NextBool(0.5);
+  const bool mid_run_zones = use_zones && knob_rng.NextBool(0.5);
+
+  std::vector<std::unique_ptr<StStore>> stores;
+  for (const ApproachKind kind : kApproaches) {
+    StStoreOptions options;
+    options.approach.kind = kind;
+    options.approach.hilbert_order = hilbert_order;
+    options.approach.dataset_mbr = mbr;
+    options.cluster.num_shards = num_shards;
+    options.cluster.chunk_max_bytes = chunk_max_bytes;
+    options.cluster.balance_every_inserts = balance_every;
+    options.cluster.seed = seed;
+    stores.push_back(std::make_unique<StStore>(options));
+    if (!stores.back()->Setup().ok()) {
+      std::fprintf(stderr, "FATAL: store setup failed (seed=%" PRIu64 ")\n",
+                   seed);
+      return false;
+    }
+  }
+  for (const FuzzDoc& d : docs) {
+    for (const auto& store : stores) {
+      const Status s = store->Insert(MakeDoc(d));
+      if (!s.ok()) {
+        std::fprintf(stderr, "FATAL: insert failed: %s (seed=%" PRIu64 ")\n",
+                     s.ToString().c_str(), seed);
+        return false;
+      }
+    }
+  }
+  for (const auto& store : stores) {
+    if (!store->FinishLoad().ok()) return false;
+  }
+  if (use_zones && !mid_run_zones) {
+    for (const auto& store : stores) {
+      if (!store->ConfigureZones().ok()) return false;
+    }
+  }
+
+  FuzzQuery last_query{};
+  for (int i = 0; i < config.queries; ++i) {
+    if (mid_run_zones && i == config.queries / 2) {
+      // Mid-run migrations: re-zone every store between query rounds (no
+      // cursor is open across this point — cursors borrow the cluster).
+      for (const auto& store : stores) {
+        if (!store->ConfigureZones().ok()) return false;
+      }
+    }
+    const FuzzQuery q = GenerateQuery(&query_rng, mbr, t0, span);
+    last_query = q;
+    if (!CheckQuery(stores, docs, q, &query_rng, &ctx)) return false;
+  }
+
+  if (config.failpoints &&
+      !CheckFailPoints(stores, docs, last_query, &query_rng, &ctx)) {
+    return false;
+  }
+
+  if (config.verbose) {
+    std::printf("seed %" PRIu64 ": ok (%d docs, %d queries, %d shards, "
+                "order %d%s)\n",
+                seed, config.docs, config.queries, num_shards, hilbert_order,
+                use_zones ? (mid_run_zones ? ", mid-run zones" : ", zones")
+                          : "");
+  }
+  return ctx.divergences == 0;
+}
+
+int FuzzMain(int argc, char** argv) {
+  FuzzConfig config;
+  bool explicit_seed = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--seed=", 0) == 0) {
+      config.seed_base = std::strtoull(value("--seed="), nullptr, 10);
+      config.num_seeds = 1;
+      explicit_seed = true;
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      config.num_seeds = std::atoi(value("--seeds="));
+    } else if (arg.rfind("--seed-base=", 0) == 0) {
+      config.seed_base = std::strtoull(value("--seed-base="), nullptr, 10);
+    } else if (arg.rfind("--docs=", 0) == 0) {
+      config.docs = std::atoi(value("--docs="));
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      config.queries = std::atoi(value("--queries="));
+    } else if (arg == "--no-failpoints") {
+      config.failpoints = false;
+    } else if (arg == "--verbose" || arg == "-v") {
+      config.verbose = true;
+    } else if (arg == "--list-failpoints") {
+      for (const std::string& name : FailPointRegistry::Instance().Names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: stix_fuzz [--seed=N | --seeds=N --seed-base=N] "
+                   "[--docs=N] [--queries=N] [--no-failpoints] [--verbose] "
+                   "[--list-failpoints]\n");
+      return 2;
+    }
+  }
+  if (explicit_seed && config.num_seeds != 1) {
+    std::fprintf(stderr, "--seed and --seeds are mutually exclusive\n");
+    return 2;
+  }
+
+  int failures = 0;
+  for (int i = 0; i < config.num_seeds; ++i) {
+    const uint64_t seed = config.seed_base + static_cast<uint64_t>(i);
+    if (!RunSeed(seed, config)) ++failures;
+  }
+  std::printf("stix_fuzz: %d seed%s, %d divergence%s (docs=%d queries=%d "
+              "failpoints=%s)\n",
+              config.num_seeds, config.num_seeds == 1 ? "" : "s", failures,
+              failures == 1 ? "" : "s", config.docs, config.queries,
+              config.failpoints ? "on" : "off");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace stix
+
+int main(int argc, char** argv) { return stix::FuzzMain(argc, argv); }
