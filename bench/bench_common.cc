@@ -40,11 +40,14 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       config.parallel_fanout = false;
     } else if (arg == "--verbose") {
       config.verbose = true;
+    } else if (arg == "--server-status") {
+      config.server_status = true;
     } else {
       fprintf(stderr,
               "unknown flag %s\nusage: %s [--r_docs=N] [--s_docs=N] "
               "[--shards=N] [--warm=N] [--timed=N] [--seed=N] "
-              "[--batch=N] [--json=PATH] [--serial] [--verbose]\n",
+              "[--batch=N] [--json=PATH] [--serial] [--verbose] "
+              "[--server-status]\n",
               arg.c_str(), argv[0]);
       exit(2);
     }

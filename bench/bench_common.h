@@ -43,10 +43,13 @@ struct BenchConfig {
   /// When non-empty, per-query measurements are also written as JSON here
   /// (see WriteBenchJson) so successive PRs can track the perf trajectory.
   std::string json_path;
+  /// Dump Cluster::ServerStatus() (metrics registry + profiler) to stdout
+  /// after the bench finishes — the observability counterpart of --json.
+  bool server_status = false;
 
   /// Parses --r_docs=, --s_docs=, --shards=, --warm=, --timed=, --seed=,
-  /// --batch=, --json=, --serial, --verbose from argv; unknown flags abort
-  /// with a usage message.
+  /// --batch=, --json=, --serial, --verbose, --server-status from argv;
+  /// unknown flags abort with a usage message.
   static BenchConfig FromArgs(int argc, char** argv);
 };
 

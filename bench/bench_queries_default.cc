@@ -122,9 +122,13 @@ int Main(int argc, char** argv) {
       const st::CoverCacheStats cache =
           store->approach().cover_cache_stats();
       printf("[covering cache] %s/%s: %" PRIu64 " hits / %" PRIu64
-             " misses (%.0f%% warm hit rate)\n",
+             " misses / %" PRIu64 " evictions (%.0f%% warm hit rate)\n",
              st::ApproachName(kind), DatasetName(dataset), cache.hits,
-             cache.misses, 100.0 * cache.HitRate());
+             cache.misses, cache.evictions, 100.0 * cache.HitRate());
+      if (config.server_status) {
+        printf("[server status] %s/%s: %s\n", st::ApproachName(kind),
+               DatasetName(dataset), store->cluster().ServerStatus().c_str());
+      }
       results.emplace(kind, std::move(suite));
     }
 

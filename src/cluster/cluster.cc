@@ -1,9 +1,11 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <sstream>
 #include <variant>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "keystring/keystring.h"
 #include "query/planner.h"
 
@@ -19,6 +21,7 @@ Cluster::Cluster(const ClusterOptions& options)
       exec_pool_(std::make_unique<ThreadPool>(
           options.fanout_threads > 0 ? options.fanout_threads
                                      : ThreadPool::DefaultThreads())),
+      profiler_(options.profiler),
       rng_(options.seed) {
   shards_.reserve(options_.num_shards);
   for (int i = 0; i < options_.num_shards; ++i) {
@@ -279,14 +282,14 @@ void Cluster::Balance() {
 
 ClusterQueryResult Cluster::Query(const query::ExprPtr& expr) const {
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
-                      exec_pool_.get(), options_.parallel_fanout);
+                      exec_pool_.get(), options_.parallel_fanout, &profiler_);
   return router.Execute(expr, options_.exec);
 }
 
 std::unique_ptr<ClusterCursor> Cluster::OpenCursor(
     const query::ExprPtr& expr, const CursorOptions& cursor_options) const {
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
-                      exec_pool_.get(), options_.parallel_fanout);
+                      exec_pool_.get(), options_.parallel_fanout, &profiler_);
   return router.OpenCursor(expr, options_.exec, cursor_options);
 }
 
@@ -372,6 +375,33 @@ std::string Cluster::Explain(const query::ExprPtr& expr) const {
     }
   }
   return out;
+}
+
+ClusterExplain Cluster::Explain(const query::ExprPtr& expr,
+                                query::ExplainVerbosity verbosity) const {
+  query::ExecutorOptions exec = options_.exec;
+  exec.stage_timing = true;
+  const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
+                      exec_pool_.get(), options_.parallel_fanout, &profiler_);
+  CursorOptions full_drain;
+  full_drain.batch_size = 0;
+  const std::unique_ptr<ClusterCursor> cursor =
+      router.OpenCursor(expr, exec, full_drain);
+  while (!cursor->exhausted()) (void)cursor->NextBatch();
+  ClusterExplain explain = cursor->Explain(verbosity);
+  explain.shard_key = pattern_.DebugString();
+  explain.total_shards = static_cast<int>(shards_.size());
+  return explain;
+}
+
+std::string Cluster::ServerStatus() const {
+  std::ostringstream out;
+  out << "{\"shards\": " << shards_.size()
+      << ", \"documents\": " << total_documents()
+      << ", \"chunks\": " << (chunks_ == nullptr ? 0 : chunks_->num_chunks())
+      << ", \"metrics\": " << MetricsRegistry::Instance().ToJson()
+      << ", \"profiler\": " << profiler_.ToJson() << "}";
+  return out.str();
 }
 
 std::vector<int> Cluster::TargetShards(const query::ExprPtr& expr) const {

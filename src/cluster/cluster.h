@@ -8,6 +8,7 @@
 
 #include "cluster/balancer.h"
 #include "cluster/chunk.h"
+#include "cluster/profiler.h"
 #include "cluster/router.h"
 #include "cluster/shard.h"
 #include "cluster/zones.h"
@@ -49,6 +50,10 @@ struct ClusterOptions {
   RouterOptions router;
   query::ExecutorOptions exec;
   BalancerOptions balancer;
+  /// Slow-op profiler (off by default; see OpProfiler). When enabled, every
+  /// query/cursor whose modeled time crosses the threshold is recorded with
+  /// its full explain tree, queryable via profiler() / ServerStatus().
+  ProfilerOptions profiler;
 };
 
 /// A sharded document-store cluster in one process: N shards, a config view
@@ -133,6 +138,25 @@ class Cluster {
   /// the query).
   std::string Explain(const query::ExprPtr& expr) const;
 
+  /// Structured explain: executes the query once through the normal cursor
+  /// path with per-stage timing enabled and returns the full execution
+  /// tree — targeting decision, per-shard winning plans with stage
+  /// counters, and (at kAllPlansExecution) rejected candidates. The
+  /// per-stage keys/docs summed over shards equal the result totals of that
+  /// same execution. Plan caches advance exactly as a normal query would
+  /// advance them.
+  ClusterExplain Explain(const query::ExprPtr& expr,
+                         query::ExplainVerbosity verbosity) const;
+
+  /// Server-wide status document: deployment shape, the global metrics
+  /// registry snapshot, and the slow-op profiler's retained ops, as one
+  /// JSON object (mongod's serverStatus, scaled down).
+  std::string ServerStatus() const;
+
+  /// The cluster's slow-op profiler (configure via ClusterOptions::profiler
+  /// or OpProfiler::Configure; ops are recorded at cursor exhaustion).
+  OpProfiler& profiler() const { return profiler_; }
+
   // --- introspection for benches/tests ---
 
   const std::vector<std::unique_ptr<Shard>>& shards() const { return shards_; }
@@ -163,6 +187,9 @@ class Cluster {
 
   ClusterOptions options_;
   std::unique_ptr<ThreadPool> exec_pool_;
+  // Execution-state, not collection-state (like the shard plan caches):
+  // const queries record into it.
+  mutable OpProfiler profiler_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ChunkManager> chunks_;
   ShardKeyPattern pattern_;

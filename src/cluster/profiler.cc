@@ -1,0 +1,65 @@
+#include "cluster/profiler.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "query/explain.h"
+
+namespace stix::cluster {
+
+std::string ProfiledOp::ToJson() const {
+  char millis[32];
+  std::snprintf(millis, sizeof(millis), "%.3f", modeled_millis);
+  std::ostringstream out;
+  out << "{\"op\": " << op_id << ", \"query\": \""
+      << query::JsonEscape(query) << "\", \"millis\": " << millis
+      << ", \"explain\": " << explain.ToJson() << "}";
+  return out.str();
+}
+
+void OpProfiler::Configure(ProfilerOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  while (ring_.size() > options_.capacity) ring_.pop_front();
+}
+
+void OpProfiler::Record(ProfiledOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.capacity == 0) return;
+  op.op_id = next_op_id_++;
+  ++num_recorded_;
+  if (ring_.size() >= options_.capacity) ring_.pop_front();
+  ring_.push_back(std::move(op));
+}
+
+std::vector<ProfiledOp> OpProfiler::Ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<ProfiledOp>(ring_.begin(), ring_.end());
+}
+
+void OpProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  num_recorded_ = 0;
+  next_op_id_ = 1;
+}
+
+std::string OpProfiler::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char slow[32];
+  std::snprintf(slow, sizeof(slow), "%.3f", options_.slow_millis);
+  std::ostringstream out;
+  out << "{\"enabled\": " << (options_.enabled ? "true" : "false")
+      << ", \"slowMs\": " << slow << ", \"capacity\": " << options_.capacity
+      << ", \"recorded\": " << num_recorded_ << ", \"ops\": [";
+  bool first = true;
+  for (const ProfiledOp& op : ring_) {
+    if (!first) out << ", ";
+    first = false;
+    out << op.ToJson();
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace stix::cluster

@@ -1,0 +1,90 @@
+#ifndef STIX_CLUSTER_PROFILER_H_
+#define STIX_CLUSTER_PROFILER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+
+namespace stix::cluster {
+
+/// Slow-op profiler knobs (MongoDB's system.profile, scaled down).
+struct ProfilerOptions {
+  bool enabled = false;
+  /// Ops whose modeled execution time reaches this threshold are recorded;
+  /// 0 records every op (deterministic tests, the nightly CI profile run).
+  double slow_millis = 100.0;
+  /// Ring-buffer capacity: the newest `capacity` slow ops are retained.
+  size_t capacity = 128;
+};
+
+/// One recorded slow op: what ran, how slow it was, and the full explain
+/// tree of that very execution (not a re-run — the counters are the ones
+/// the slow execution actually accumulated).
+struct ProfiledOp {
+  uint64_t op_id = 0;  ///< Monotonic per-profiler id (1-based).
+  std::string query;   ///< Filter, in MatchExpr debug syntax.
+  double modeled_millis = 0.0;
+  ClusterExplain explain;
+
+  std::string ToJson() const;
+};
+
+/// Bounded in-memory op log: a mutex-guarded ring of the most recent slow
+/// ops. Recording happens at cursor exhaustion — far off any per-document
+/// path — so a plain mutex is plenty.
+class OpProfiler {
+ public:
+  explicit OpProfiler(ProfilerOptions options = {}) : options_(options) {}
+
+  OpProfiler(const OpProfiler&) = delete;
+  OpProfiler& operator=(const OpProfiler&) = delete;
+
+  ProfilerOptions options() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_;
+  }
+
+  /// Reconfigures threshold/capacity/enablement; existing entries beyond a
+  /// shrunken capacity are dropped oldest-first.
+  void Configure(ProfilerOptions options);
+
+  /// True when a finished op this slow should be recorded.
+  bool ShouldRecord(double modeled_millis) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_.enabled && modeled_millis >= options_.slow_millis;
+  }
+
+  /// Stamps an op_id on the op and appends it, evicting the oldest entry
+  /// when the ring is full.
+  void Record(ProfiledOp op);
+
+  /// Retained ops, oldest first.
+  std::vector<ProfiledOp> Ops() const;
+
+  /// Ops ever recorded (including ones the ring has since evicted).
+  uint64_t num_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_recorded_;
+  }
+
+  void Clear();
+
+  /// {"enabled": .., "slowMs": .., "capacity": .., "recorded": ..,
+  ///  "ops": [...]} — the profiler section of Cluster::ServerStatus().
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  ProfilerOptions options_;
+  std::deque<ProfiledOp> ring_;
+  uint64_t next_op_id_ = 1;
+  uint64_t num_recorded_ = 0;
+};
+
+}  // namespace stix::cluster
+
+#endif  // STIX_CLUSTER_PROFILER_H_

@@ -1,9 +1,13 @@
 #include "cluster/router.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
+#include <sstream>
 
+#include "cluster/profiler.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "keystring/keystring.h"
@@ -102,7 +106,7 @@ std::unique_ptr<ClusterCursor> Router::OpenCursor(
   return std::unique_ptr<ClusterCursor>(
       new ClusterCursor(shards_, std::move(targets), broadcast, expr,
                         exec_options, options_, parallel_fanout_, pool_,
-                        cursor_options));
+                        cursor_options, profiler_));
 }
 
 ClusterQueryResult Router::Execute(
@@ -122,13 +126,16 @@ ClusterCursor::ClusterCursor(
     std::vector<int> targets, bool broadcast, const query::ExprPtr& expr,
     const query::ExecutorOptions& exec_options,
     const RouterOptions& router_options, bool parallel_fanout,
-    ThreadPool* pool, const CursorOptions& cursor_options)
+    ThreadPool* pool, const CursorOptions& cursor_options,
+    OpProfiler* profiler)
     : targets_(std::move(targets)),
       broadcast_(broadcast),
       router_options_(router_options),
       parallel_fanout_(parallel_fanout),
       pool_(pool),
-      cursor_options_(cursor_options) {
+      cursor_options_(cursor_options),
+      expr_(expr),
+      profiler_(profiler) {
   cursors_.reserve(targets_.size());
   for (int target : targets_) {
     // The limit is pushed down whole to every shard: any one shard might
@@ -145,6 +152,7 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
   if (Status s = CheckFailPoint(clusterMergeBatch); !s.ok()) {
     status_ = std::move(s);
     exhausted_ = true;
+    MaybeProfile();
     return out;
   }
 
@@ -159,6 +167,7 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
     // No getMore round was issued (zero targets, or a limit satisfied
     // exactly at a shard boundary): nothing to merge and no batch to count.
     exhausted_ = true;
+    MaybeProfile();
     return out;
   }
   if (parallel_fanout_ && pool_ != nullptr && active.size() > 1) {
@@ -176,18 +185,23 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
       batches[i] = cursors_[i]->GetMore(cursor_options_.batch_size);
     }
   }
-  ++num_batches_;
-
   // A shard dying mid-stream kills the whole cursor, as a failed getMore
   // does on mongos: surface the first error, drop this round's documents
-  // (a partial round is not a result), and stop.
+  // (a partial round is not a result), and stop. The faulted round is NOT
+  // counted in num_batches — it delivered nothing, and counting it made the
+  // drained-cursor accounting diverge from one-shot Query() under fault
+  // injection.
   for (size_t i : active) {
     if (!batches[i].error.ok()) {
       status_ = batches[i].error;
       exhausted_ = true;
+      MaybeProfile();
       return out;
     }
   }
+  ++num_batches_;
+  STIX_METRIC_COUNTER(cluster_batches, "cluster.batches");
+  cluster_batches.Increment();
 
   // Merge in shard-target order. The shards returned borrowed pointers
   // into their record stores; this is the single point where result
@@ -209,8 +223,15 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
     }
   }
   merge_millis_ += merge_timer.ElapsedMillis();
+  STIX_METRIC_COUNTER(cluster_bytes, "cluster.bytes_materialized");
+  uint64_t round_bytes = 0;
+  for (const bson::Document& d : out) round_bytes += d.ApproxBsonSize();
+  cluster_bytes.Increment(round_bytes);
   if (!out.empty() && first_result_millis_ < 0.0) {
     first_result_millis_ = open_timer_.ElapsedMillis();
+    STIX_METRIC_HISTOGRAM(first_result, "cluster.first_result_micros");
+    first_result.Observe(
+        static_cast<uint64_t>(first_result_millis_ * 1000.0));
   }
 
   if (cursor_options_.limit != 0 && returned_ >= cursor_options_.limit) {
@@ -224,6 +245,7 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
       }
     }
   }
+  if (exhausted_) MaybeProfile();
   return out;
 }
 
@@ -262,6 +284,73 @@ ClusterQueryResult ClusterCursor::Summary() const {
       first_result_millis_ < 0.0 ? 0.0 : first_result_millis_;
   result.num_batches = num_batches_;
   return result;
+}
+
+ClusterExplain ClusterCursor::Explain(query::ExplainVerbosity verbosity) const {
+  ClusterExplain explain;
+  explain.verbosity = verbosity;
+  explain.query = expr_ == nullptr ? "" : expr_->DebugString();
+  explain.broadcast = broadcast_;
+  explain.result = Summary();
+  explain.shards.reserve(cursors_.size());
+  for (const std::unique_ptr<ShardCursor>& cursor : cursors_) {
+    explain.shards.push_back(cursor->Explain());
+  }
+  return explain;
+}
+
+void ClusterCursor::MaybeProfile() {
+  if (profiler_ == nullptr) return;
+  const double modeled = Summary().modeled_millis;
+  if (!profiler_->ShouldRecord(modeled)) return;
+  ProfiledOp op;
+  op.query = expr_ == nullptr ? "" : expr_->DebugString();
+  op.modeled_millis = modeled;
+  op.explain = Explain(query::ExplainVerbosity::kExecStats);
+  profiler_->Record(std::move(op));
+}
+
+uint64_t ClusterExplain::SumStageKeysExamined() const {
+  uint64_t sum = 0;
+  for (const ShardExplain& shard : shards) {
+    sum += shard.winning_plan.TotalKeysExamined();
+  }
+  return sum;
+}
+
+uint64_t ClusterExplain::SumStageDocsExamined() const {
+  uint64_t sum = 0;
+  for (const ShardExplain& shard : shards) {
+    sum += shard.winning_plan.TotalDocsExamined();
+  }
+  return sum;
+}
+
+std::string ClusterExplain::ToJson() const {
+  std::ostringstream out;
+  out << "{\"verbosity\": \"" << query::ExplainVerbosityName(verbosity)
+      << "\", \"query\": \"" << query::JsonEscape(query)
+      << "\", \"shardKey\": \"" << query::JsonEscape(shard_key)
+      << "\", \"totalShards\": " << total_shards
+      << ", \"broadcast\": " << (broadcast ? "true" : "false");
+  if (verbosity != query::ExplainVerbosity::kQueryPlanner) {
+    char millis[32];
+    std::snprintf(millis, sizeof(millis), "%.3f", result.modeled_millis);
+    out << ", \"executionStats\": {\"nReturned\": " << result.n_returned
+        << ", \"totalKeysExamined\": " << result.total_keys_examined
+        << ", \"totalDocsExamined\": " << result.total_docs_examined
+        << ", \"nodesContacted\": " << result.nodes_contacted
+        << ", \"numBatches\": " << result.num_batches
+        << ", \"bytesMaterialized\": " << result.bytes_materialized
+        << ", \"executionTimeMillis\": " << millis << "}";
+  }
+  out << ", \"shards\": [";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shards[i].ToJson(verbosity);
+  }
+  out << "]}";
+  return out.str();
 }
 
 ClusterQueryResult ClusterCursor::Drain() {

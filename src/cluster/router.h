@@ -12,6 +12,8 @@
 
 namespace stix::cluster {
 
+class OpProfiler;
+
 /// Router (mongos) behaviour knobs.
 struct RouterOptions {
   /// Fixed cost charged per contacted shard in the modelled latency
@@ -80,6 +82,32 @@ struct ClusterQueryResult {
   std::vector<ShardQueryReport> shard_reports;
 };
 
+/// Cluster-level explain: the targeting decision, this execution's totals,
+/// and every contacted shard's explain slice (winning stage tree, rejected
+/// candidates). Produced by one real execution — the stage trees and
+/// `result` describe the same run, so per-stage keys/docs summed over the
+/// shard trees equal result.total_* exactly. The shard-key / total-shards
+/// framing and any approach-level covering cost are attached by the layers
+/// that know them (Cluster, st::StStore).
+struct ClusterExplain {
+  query::ExplainVerbosity verbosity = query::ExplainVerbosity::kExecStats;
+  std::string query;      ///< Filter, in MatchExpr debug syntax.
+  std::string shard_key;  ///< "{date: 1}" etc.; set by Cluster.
+  int total_shards = 0;   ///< Cluster size; set by Cluster.
+  bool broadcast = false;
+  /// Totals of the explain execution, docs dropped (explain reports, it
+  /// does not return result sets).
+  ClusterQueryResult result;
+  std::vector<ShardExplain> shards;
+
+  /// Sums of per-stage counters over every shard's winning tree; equal to
+  /// result.total_keys_examined / total_docs_examined by construction.
+  uint64_t SumStageKeysExamined() const;
+  uint64_t SumStageDocsExamined() const;
+
+  std::string ToJson() const;
+};
+
 /// A streaming scatter/gather cursor (the mongos getMore loop): each
 /// NextBatch() asks every still-open shard cursor for one batch — in
 /// parallel on the cluster pool when enabled — and merges the results in
@@ -114,6 +142,11 @@ class ClusterCursor {
   /// included — Router::Execute is exactly open + Drain with batch size 0.
   ClusterQueryResult Drain();
 
+  /// Explain view of this cursor's execution so far (complete once
+  /// exhausted): Summary() totals plus every shard cursor's stage trees.
+  /// shard_key/total_shards are left for the owning Cluster to fill.
+  ClusterExplain Explain(query::ExplainVerbosity verbosity) const;
+
   const std::vector<int>& targets() const { return targets_; }
 
  private:
@@ -123,7 +156,12 @@ class ClusterCursor {
                 const query::ExprPtr& expr,
                 const query::ExecutorOptions& exec_options,
                 const RouterOptions& router_options, bool parallel_fanout,
-                ThreadPool* pool, const CursorOptions& cursor_options);
+                ThreadPool* pool, const CursorOptions& cursor_options,
+                OpProfiler* profiler);
+
+  /// Hands the finished op to the profiler when it crosses the slow-op
+  /// threshold. Called exactly once, at the exhaustion transition.
+  void MaybeProfile();
 
   std::vector<int> targets_;
   bool broadcast_ = false;
@@ -131,6 +169,8 @@ class ClusterCursor {
   bool parallel_fanout_ = false;
   ThreadPool* pool_ = nullptr;
   CursorOptions cursor_options_;
+  query::ExprPtr expr_;  ///< For explain/profiler rendering.
+  OpProfiler* profiler_ = nullptr;
 
   /// Parallel to targets_.
   std::vector<std::unique_ptr<ShardCursor>> cursors_;
@@ -154,16 +194,19 @@ class Router {
   /// creates threads of its own. `parallel_fanout` (the ClusterOptions
   /// knob) only takes effect when a pool is supplied — with a null pool the
   /// fan-out always degrades to a serial walk on the calling thread.
+  /// `profiler` (optional) receives every finished cursor that crosses the
+  /// slow-op threshold.
   Router(const ShardKeyPattern* pattern, const ChunkManager* chunks,
          const std::vector<std::unique_ptr<Shard>>* shards,
          RouterOptions options, ThreadPool* pool = nullptr,
-         bool parallel_fanout = false)
+         bool parallel_fanout = false, OpProfiler* profiler = nullptr)
       : pattern_(pattern),
         chunks_(chunks),
         shards_(shards),
         options_(options),
         pool_(pool),
-        parallel_fanout_(parallel_fanout) {}
+        parallel_fanout_(parallel_fanout),
+        profiler_(profiler) {}
 
   /// Shard ids this query must contact (sorted, unique).
   std::vector<int> TargetShards(const query::ExprPtr& expr,
@@ -189,6 +232,7 @@ class Router {
   RouterOptions options_;
   ThreadPool* pool_;
   bool parallel_fanout_;
+  OpProfiler* profiler_;
 };
 
 }  // namespace stix::cluster

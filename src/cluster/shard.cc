@@ -1,8 +1,40 @@
 #include "cluster/shard.h"
 
+#include <cstdio>
+#include <sstream>
+
 #include "common/failpoint.h"
 
 namespace stix::cluster {
+
+std::string ShardExplain::ToJson(query::ExplainVerbosity v) const {
+  std::ostringstream out;
+  out << "{\"shard\": " << shard_id << ", \"winningIndex\": \""
+      << query::JsonEscape(winning_index) << "\", \"numCandidates\": "
+      << num_candidates << ", \"fromPlanCache\": "
+      << (from_plan_cache ? "true" : "false")
+      << ", \"replanned\": " << (replanned ? "true" : "false");
+  if (v != query::ExplainVerbosity::kQueryPlanner) {
+    char millis[32];
+    std::snprintf(millis, sizeof(millis), "%.3f", exec_millis);
+    out << ", \"nReturned\": " << stats.n_returned
+        << ", \"keysExamined\": " << stats.keys_examined
+        << ", \"docsExamined\": " << stats.docs_examined
+        << ", \"works\": " << stats.works
+        << ", \"executionTimeMillis\": " << millis;
+  }
+  out << ", \"winningPlan\": " << winning_plan.ToJson(v);
+  if (v == query::ExplainVerbosity::kAllPlansExecution) {
+    out << ", \"rejectedPlans\": [";
+    for (size_t i = 0; i < rejected_plans.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << rejected_plans[i].ToJson(v);
+    }
+    out << "]";
+  }
+  out << "}";
+  return out.str();
+}
 
 // Fires on every ShardCursor::GetMore. A delay action models a slow shard;
 // an error action kills the stream mid-flight (the batch carries the error
@@ -51,6 +83,28 @@ ShardCursor::ShardCursor(const Shard& shard, query::ExprPtr expr,
             options, &shard.plan_cache_, limit) {}
 
 int ShardCursor::shard_id() const { return shard_.id(); }
+
+ShardExplain ShardCursor::Explain() const {
+  ShardExplain explain;
+  explain.shard_id = shard_.id();
+  explain.winning_index = exec_.winning_index();
+  explain.num_candidates = exec_.num_candidates();
+  explain.from_plan_cache = exec_.from_plan_cache();
+  explain.replanned = exec_.replanned();
+  explain.stats = exec_.CurrentStats();
+  explain.exec_millis = exec_millis_;
+  explain.winning_plan = exec_.ExplainWinner();
+  explain.rejected_plans = exec_.ExplainRejected();
+  return explain;
+}
+
+ShardExplain Shard::Explain(const query::ExprPtr& expr,
+                            query::ExecutorOptions options) const {
+  options.stage_timing = true;
+  const std::unique_ptr<ShardCursor> cursor = OpenCursor(expr, options);
+  while (!cursor->exhausted()) (void)cursor->GetMore(0);
+  return cursor->Explain();
+}
 
 ShardCursor::Batch ShardCursor::GetMore(size_t batch_size) {
   Batch batch;

@@ -7,12 +7,34 @@
 #include "common/stopwatch.h"
 #include "index/index_catalog.h"
 #include "query/executor.h"
+#include "query/explain.h"
 #include "query/plan_cache.h"
 #include "storage/collection.h"
 
 namespace stix::cluster {
 
 class Shard;
+
+/// One shard's slice of an explain: the winning plan's executed stage tree,
+/// the rejected candidates' partial trees, and the executor-level framing
+/// (plan-cache provenance, totals). The winning tree's per-stage keys/docs
+/// sum exactly to `stats` — the invariant explain golden tests and the fuzz
+/// harness check.
+struct ShardExplain {
+  int shard_id = 0;
+  std::string winning_index;
+  int num_candidates = 0;
+  bool from_plan_cache = false;
+  bool replanned = false;
+  query::ExecStats stats;
+  double exec_millis = 0.0;
+  query::ExplainNode winning_plan;
+  std::vector<query::ExplainNode> rejected_plans;
+
+  /// JSON object (stage trees serialized at the given verbosity; rejected
+  /// plans only at kAllPlansExecution).
+  std::string ToJson(query::ExplainVerbosity v) const;
+};
 
 /// A resumable cursor over one shard's results — the shard half of the
 /// getMore protocol. Each GetMore() pulls up to a batch of documents from
@@ -54,6 +76,10 @@ class ShardCursor {
 
   /// Executor counters so far (final once exhausted).
   query::ExecStats stats() const { return exec_.CurrentStats(); }
+  /// Explain slice of this cursor's execution so far (complete once
+  /// exhausted). Stage timing is present when the executor options enabled
+  /// it (ExecutorOptions::stage_timing).
+  ShardExplain Explain() const;
   /// Shard-side execution time accumulated across GetMore calls.
   double exec_millis() const { return exec_millis_; }
   uint64_t n_returned() const { return exec_.n_returned(); }
@@ -108,6 +134,13 @@ class Shard {
   std::unique_ptr<ShardCursor> OpenCursor(query::ExprPtr expr,
                                           const query::ExecutorOptions& options,
                                           uint64_t limit = 0) const;
+
+  /// Executes `expr` to exhaustion with per-stage timing enabled and
+  /// returns the explain slice of that execution (mongod's explain: the
+  /// query runs once, and what ran is what is reported). Plan-cache state
+  /// advances exactly as a normal query would advance it.
+  ShardExplain Explain(const query::ExprPtr& expr,
+                       query::ExecutorOptions options) const;
 
   uint64_t num_documents() const {
     return collection_.records().num_records();

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+
 namespace stix {
 namespace {
 
@@ -36,11 +39,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Fan-out pool pressure for ServerStatus: instantaneous queue depth (with
+  // its high-water mark) and per-task run latency.
+  STIX_METRIC_GAUGE(queue_depth, "fanout.queue_depth");
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
+  queue_depth.Add(1);
+  queue_depth.UpdateMax();
   task_available_.notify_one();
 }
 
@@ -63,7 +71,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    STIX_METRIC_GAUGE(queue_depth, "fanout.queue_depth");
+    STIX_METRIC_HISTOGRAM(task_micros, "fanout.task_micros");
+    STIX_METRIC_COUNTER(tasks_done, "fanout.tasks_completed");
+    queue_depth.Sub(1);
+    Stopwatch task_timer;
     task();
+    task_micros.Observe(static_cast<uint64_t>(task_timer.ElapsedMicros()));
+    tasks_done.Increment();
     tasks_completed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -5,36 +5,107 @@
 namespace stix::geo {
 namespace {
 
-struct DescentState {
+// Emits the d-range of the aligned block with corner (x, y) and side 2^k.
+// The quadtree-block property of both curves guarantees the range is the
+// aligned interval of width 4^k containing any of the block's cells.
+void EmitBlock(const Curve2D& curve, uint32_t x, uint32_t y, int k,
+               std::vector<DRange>* out) {
+  const uint64_t width = static_cast<uint64_t>(1) << (2 * k);
+  const uint64_t base = curve.XyToD(x, y) & ~(width - 1);
+  out->push_back(DRange{base, base + width - 1});
+}
+
+// Sorts and merges contiguous/overlapping ranges so consecutive cells become
+// one interval (the paper's range-vs-$in distinction relies on this), then
+// tallies num_cells.
+void SortMergeCount(Covering* covering) {
+  std::sort(covering->ranges.begin(), covering->ranges.end(),
+            [](const DRange& a, const DRange& b) { return a.lo < b.lo; });
+  std::vector<DRange> merged;
+  merged.reserve(covering->ranges.size());
+  for (const DRange& r : covering->ranges) {
+    if (!merged.empty() && r.lo <= merged.back().hi + 1) {
+      merged.back().hi = std::max(merged.back().hi, r.hi);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  covering->ranges = std::move(merged);
+  covering->num_cells = 0;
+  for (const DRange& r : covering->ranges) {
+    covering->num_cells += r.hi - r.lo + 1;
+  }
+}
+
+// ---- Rectangles: exact descent in integer cell coordinates. ----
+//
+// The query rectangle is mapped to an inclusive cell span through the SAME
+// clamped LonToX/LatToY the index key generator applies to documents, and
+// the descent intersects aligned blocks with that span in pure integer
+// arithmetic. Monotonicity of the coordinate mapping then guarantees: every
+// point inside the query rect maps to a cell inside the span, so the
+// covering can never miss a matching document — including points clamped in
+// from outside the grid domain (antimeridian, poles, outside a dataset
+// MBR), which land in the boundary cells the clamped span includes. The
+// previous floating-point block-extent test could disagree with the key
+// mapping by one cell at ulp-level boundaries and silently drop documents.
+
+struct CellSpan {
+  uint32_t x0, y0, x1, y1;  // inclusive
+};
+
+struct RectDescentState {
+  const Curve2D* curve;
+  CellSpan span;
+  size_t max_ranges;
+  std::vector<DRange>* out;
+};
+
+void DescendCells(const RectDescentState& s, uint32_t x, uint32_t y, int k) {
+  const uint32_t size = static_cast<uint32_t>(1) << k;
+  const uint32_t bx1 = x + size - 1;
+  const uint32_t by1 = y + size - 1;
+  if (x > s.span.x1 || bx1 < s.span.x0 || y > s.span.y1 || by1 < s.span.y0) {
+    return;
+  }
+  const bool contained = x >= s.span.x0 && bx1 <= s.span.x1 &&
+                         y >= s.span.y0 && by1 <= s.span.y1;
+  if (contained || k == 0 ||
+      (s.max_ranges > 0 && s.out->size() >= s.max_ranges)) {
+    EmitBlock(*s.curve, x, y, k, s.out);
+    return;
+  }
+  const uint32_t half = size / 2;
+  DescendCells(s, x, y, k - 1);
+  DescendCells(s, x + half, y, k - 1);
+  DescendCells(s, x, y + half, k - 1);
+  DescendCells(s, x + half, y + half, k - 1);
+}
+
+// ---- Arbitrary regions: geometric descent on block extents. ----
+
+struct RegionDescentState {
   const Curve2D* curve;
   const Region* query;
   size_t max_ranges;
   std::vector<DRange>* out;
 };
 
-// Emits the d-range of the aligned block with corner (x, y) and side 2^k.
-// The quadtree-block property of both curves guarantees the range is the
-// aligned interval of width 4^k containing any of the block's cells.
-void EmitBlock(const DescentState& s, uint32_t x, uint32_t y, int k) {
-  const uint64_t width = static_cast<uint64_t>(1) << (2 * k);
-  const uint64_t base = s.curve->XyToD(x, y) & ~(width - 1);
-  s.out->push_back(DRange{base, base + width - 1});
-}
-
-void Descend(const DescentState& s, uint32_t x, uint32_t y, int k) {
+void DescendRegion(const RegionDescentState& s, uint32_t x, uint32_t y,
+                   int k) {
   const uint32_t size = static_cast<uint32_t>(1) << k;
   const Rect block = s.curve->grid().BlockRect(x, y, size);
   if (!s.query->IntersectsRect(block)) return;
   if (s.query->ContainsRect(block) || k == 0 ||
       (s.max_ranges > 0 && s.out->size() >= s.max_ranges)) {
-    EmitBlock(s, x, y, k);
+    EmitBlock(*s.curve, x, y, k, s.out);
     return;
   }
   const uint32_t half = size / 2;
-  Descend(s, x, y, k - 1);
-  Descend(s, x + half, y, k - 1);
-  Descend(s, x, y + half, k - 1);
-  Descend(s, x + half, y + half, k - 1);
+  DescendRegion(s, x, y, k - 1);
+  DescendRegion(s, x + half, y, k - 1);
+  DescendRegion(s, x, y + half, k - 1);
+  DescendRegion(s, x + half, y + half, k - 1);
 }
 
 }  // namespace
@@ -47,35 +118,31 @@ size_t Covering::NumSingletons() const {
   return n;
 }
 
-Covering CoverRegion(const Curve2D& curve, const Region& region,
-                     const CoveringOptions& options) {
+Covering CoverRect(const Curve2D& curve, const Rect& query,
+                   const CoveringOptions& options) {
+  const GridMapping& grid = curve.grid();
+  CellSpan span;
+  span.x0 = grid.LonToX(std::min(query.lo.lon, query.hi.lon));
+  span.x1 = grid.LonToX(std::max(query.lo.lon, query.hi.lon));
+  span.y0 = grid.LatToY(std::min(query.lo.lat, query.hi.lat));
+  span.y1 = grid.LatToY(std::max(query.lo.lat, query.hi.lat));
   Covering covering;
-  DescentState state{&curve, &region, options.max_ranges, &covering.ranges};
-  Descend(state, 0, 0, curve.order());
-
-  // Sort and merge contiguous/overlapping ranges so consecutive cells become
-  // one interval (the paper's range-vs-$in distinction relies on this).
-  std::sort(covering.ranges.begin(), covering.ranges.end(),
-            [](const DRange& a, const DRange& b) { return a.lo < b.lo; });
-  std::vector<DRange> merged;
-  merged.reserve(covering.ranges.size());
-  for (const DRange& r : covering.ranges) {
-    if (!merged.empty() && r.lo <= merged.back().hi + 1) {
-      merged.back().hi = std::max(merged.back().hi, r.hi);
-    } else {
-      merged.push_back(r);
-    }
-  }
-  covering.ranges = std::move(merged);
-  for (const DRange& r : covering.ranges) {
-    covering.num_cells += r.hi - r.lo + 1;
-  }
+  RectDescentState state{&curve, span, options.max_ranges, &covering.ranges};
+  DescendCells(state, 0, 0, curve.order());
+  SortMergeCount(&covering);
   return covering;
 }
 
-Covering CoverRect(const Curve2D& curve, const Rect& query,
-                   const CoveringOptions& options) {
-  return CoverRegion(curve, RectRegion(query), options);
+Covering CoverRegion(const Curve2D& curve, const Region& region,
+                     const CoveringOptions& options) {
+  Rect rect;
+  if (region.AsRect(&rect)) return CoverRect(curve, rect, options);
+  Covering covering;
+  RegionDescentState state{&curve, &region, options.max_ranges,
+                           &covering.ranges};
+  DescendRegion(state, 0, 0, curve.order());
+  SortMergeCount(&covering);
+  return covering;
 }
 
 bool CoveringContains(const Covering& covering, uint64_t d) {

@@ -45,6 +45,15 @@ struct CoveringOptions {
 /// their whole (contiguous, aligned) d-range, partial blocks recurse. Cost
 /// is O(perimeter cells * order), never proportional to the query area —
 /// this is the "Hilbert algorithm" whose runtime Table 8 reports.
+///
+/// Rectangles descend in *integer cell coordinates*: the query is mapped to
+/// the inclusive cell span [LonToX(lo.lon), LonToX(hi.lon)] x
+/// [LatToY(lo.lat), LatToY(hi.lat)] — the same clamped mapping document
+/// keys use — so the covering contains every cell any in-rect point maps
+/// to, bit-for-bit. Queries reaching outside the grid domain (antimeridian,
+/// poles, beyond a dataset MBR) clamp to the boundary cells, exactly where
+/// out-of-domain documents are keyed; the covering of a rectangle is
+/// therefore never empty.
 Covering CoverRect(const Curve2D& curve, const Rect& query,
                    const CoveringOptions& options = {});
 

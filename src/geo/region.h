@@ -24,6 +24,16 @@ class Region {
 
   /// Bounding box (prunes the covering descent early).
   virtual Rect BoundingBox() const = 0;
+
+  /// When the region is exactly an axis-aligned rectangle, writes it to
+  /// *out and returns true. CoverRegion uses this to dispatch rectangles to
+  /// the exact integer-grid covering (see covering.h), which agrees
+  /// bit-for-bit with the cell mapping document keys use — the
+  /// floating-point descent is kept only for genuinely curved regions.
+  virtual bool AsRect(Rect* out) const {
+    (void)out;
+    return false;
+  }
 };
 
 /// Rectangle region (the paper's $geoWithin $box).
@@ -38,6 +48,10 @@ class RectRegion : public Region {
     return rect_.Intersects(r);
   }
   Rect BoundingBox() const override { return rect_; }
+  bool AsRect(Rect* out) const override {
+    *out = rect_;
+    return true;
+  }
 
  private:
   Rect rect_;

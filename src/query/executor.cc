@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace stix::query {
 
@@ -61,7 +62,7 @@ PlanExecutor::Racer* PlanExecutor::RunTrial() {
       trial_over = false;
       storage::RecordId rid;
       const bson::Document* doc;
-      const PlanStage::State state = racer.plan->root->Work(&rid, &doc);
+      const PlanStage::State state = racer.plan->root->WorkUnit(&rid, &doc);
       ++racer.works;
       if (state == PlanStage::State::kEof) {
         racer.eof = true;
@@ -87,7 +88,12 @@ PlanExecutor::Racer* PlanExecutor::RunTrial() {
 }
 
 void PlanExecutor::Prepare() {
+  const auto apply_stage_timing = [this] {
+    if (!options_.stage_timing) return;
+    for (CandidatePlan& plan : candidates_) plan.root->EnableTiming();
+  };
   candidates_ = Planner::Plan(records_, catalog_, expr_);
+  apply_stage_timing();
   num_candidates_ = static_cast<int>(candidates_.size());
 
   // Fast path: a cached plan for this query shape, bounded by the
@@ -122,9 +128,12 @@ void PlanExecutor::Prepare() {
         // stages (MongoDB's replanning). The racer and its plan pointer
         // must die before the candidate vector is replaced.
         cache_->Evict(shape_);
+        STIX_METRIC_COUNTER(replans, "executor.replans");
+        replans.Increment();
         replanned_ = true;
         racers_.clear();
         candidates_ = Planner::Plan(records_, catalog_, expr_);
+        apply_stage_timing();
       }
     }
   }
@@ -197,6 +206,24 @@ ExecStats PlanExecutor::CurrentStats() const {
   stats.n_returned = returned_;
   stats.plan_summary = winner_->plan->summary;
   return stats;
+}
+
+ExplainNode PlanExecutor::ExplainWinner() const {
+  if (winner_ == nullptr) {
+    ExplainNode none;
+    none.stage = "NONE";
+    return none;
+  }
+  return winner_->plan->root->Explain();
+}
+
+std::vector<ExplainNode> PlanExecutor::ExplainRejected() const {
+  std::vector<ExplainNode> rejected;
+  for (const Racer& racer : racers_) {
+    if (&racer == winner_) continue;
+    rejected.push_back(racer.plan->root->Explain());
+  }
+  return rejected;
 }
 
 const std::string& PlanExecutor::winning_index() const {

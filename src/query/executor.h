@@ -24,6 +24,9 @@ struct ExecutorOptions {
   /// (MongoDB's internalQueryCacheEvictionRatio = 10).
   double replan_factor = 10.0;
   uint64_t replan_min_works = 200;
+  /// Per-stage wall-clock timing on every plan stage (explain/profiler
+  /// executions). Off by default: normal queries pay no clock reads.
+  bool stage_timing = false;
 };
 
 /// Result of running one query on one shard-local collection.
@@ -114,6 +117,19 @@ class PlanExecutor {
   int num_candidates() const { return num_candidates_; }
   bool from_plan_cache() const { return from_plan_cache_; }
   bool replanned() const { return replanned_; }
+
+  /// Explain tree of the winning plan. The counters are whatever the
+  /// execution has accumulated so far, so after a drain the tree's
+  /// keys/docs sums equal CurrentStats() exactly (winner-only, like the
+  /// stats — losing racers and an abandoned cached plan report through
+  /// ExplainRejected instead). An unprepared executor returns an empty
+  /// "NONE" node.
+  ExplainNode ExplainWinner() const;
+
+  /// Explain trees of every candidate that did not win (trial losers, and
+  /// the abandoned cached plan's fresh re-race losers), with the partial
+  /// counters they accumulated.
+  std::vector<ExplainNode> ExplainRejected() const;
 
  private:
   enum class Phase { kInit, kBuffer, kStream, kDone };

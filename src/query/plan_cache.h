@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "query/expression.h"
 
 namespace stix::query {
@@ -32,18 +33,33 @@ struct PlanCacheEntry {
 /// (the paper's Table 7 shows different nodes choosing different indexes).
 class PlanCache {
  public:
-  /// Cached entry for this shape, or nullptr.
+  /// Cached entry for this shape, or nullptr. Hit/miss feeds the
+  /// server-wide registry ("plan_cache.hits"/"plan_cache.misses").
   const PlanCacheEntry* Lookup(const std::string& shape) const {
+    STIX_METRIC_COUNTER(hits, "plan_cache.hits");
+    STIX_METRIC_COUNTER(misses, "plan_cache.misses");
     const auto it = entries_.find(shape);
-    return it == entries_.end() ? nullptr : &it->second;
+    if (it == entries_.end()) {
+      misses.Increment();
+      return nullptr;
+    }
+    hits.Increment();
+    return &it->second;
   }
 
   void Store(const std::string& shape, std::string index_name,
              uint64_t works) {
+    STIX_METRIC_COUNTER(stores, "plan_cache.stores");
+    stores.Increment();
     entries_[shape] = PlanCacheEntry{std::move(index_name), works};
   }
 
-  void Evict(const std::string& shape) { entries_.erase(shape); }
+  void Evict(const std::string& shape) {
+    if (entries_.erase(shape) > 0) {
+      STIX_METRIC_COUNTER(evictions, "plan_cache.evictions");
+      evictions.Increment();
+    }
+  }
 
   void Clear() { entries_.clear(); }
   size_t size() const { return entries_.size(); }

@@ -2,9 +2,38 @@
 
 #include <cassert>
 
+#include "common/stopwatch.h"
 #include "keystring/keystring.h"
 
 namespace stix::query {
+
+PlanStage::State PlanStage::WorkUnit(storage::RecordId* rid_out,
+                                     const bson::Document** doc_out) {
+  ++stage_works_;
+  State state;
+  if (timing_enabled_) {
+    Stopwatch timer;
+    state = Work(rid_out, doc_out);
+    stage_time_nanos_ += static_cast<uint64_t>(timer.ElapsedNanos());
+  } else {
+    state = Work(rid_out, doc_out);
+  }
+  if (state == State::kAdvanced) ++stage_advanced_;
+  return state;
+}
+
+void PlanStage::EnableTiming() {
+  timing_enabled_ = true;
+  if (PlanStage* child = child_stage()) child->EnableTiming();
+}
+
+void PlanStage::FillExplainBase(ExplainNode* node) const {
+  node->works = stage_works_;
+  node->advanced = stage_advanced_;
+  if (timing_enabled_) {
+    node->time_millis = static_cast<double>(stage_time_nanos_) / 1e6;
+  }
+}
 
 PlanStage::NextResult PlanStage::Next(WorkItem* item, uint64_t* works,
                                       uint64_t works_budget) {
@@ -12,7 +41,7 @@ PlanStage::NextResult PlanStage::Next(WorkItem* item, uint64_t* works,
     if (works_budget != 0 && *works >= works_budget) {
       return NextResult::kBudget;
     }
-    const State state = Work(&item->rid, &item->doc);
+    const State state = WorkUnit(&item->rid, &item->doc);
     ++*works;
     if (state == State::kAdvanced) return NextResult::kDoc;
     if (state == State::kEof) return NextResult::kEof;
@@ -110,6 +139,17 @@ std::string IndexScanStage::Summary() const {
   return "IXSCAN " + index_.descriptor().KeyPatternString();
 }
 
+ExplainNode IndexScanStage::Explain() const {
+  ExplainNode node;
+  node.stage = "IXSCAN";
+  node.index_name = index_.descriptor().name();
+  node.key_pattern = index_.descriptor().KeyPatternString();
+  node.bounds = bounds_.DebugString();
+  node.keys_examined = keys_examined_;
+  FillExplainBase(&node);
+  return node;
+}
+
 FetchStage::FetchStage(const storage::RecordStore& records,
                        std::unique_ptr<PlanStage> child, ExprPtr filter)
     : records_(records), child_(std::move(child)), filter_(std::move(filter)) {}
@@ -118,7 +158,7 @@ PlanStage::State FetchStage::Work(storage::RecordId* rid_out,
                                   const bson::Document** doc_out) {
   storage::RecordId rid = storage::kInvalidRecordId;
   const bson::Document* unused = nullptr;
-  const State child_state = child_->Work(&rid, &unused);
+  const State child_state = child_->WorkUnit(&rid, &unused);
   if (child_state != State::kAdvanced) return child_state;
 
   const bson::Document* doc = records_.Get(rid);
@@ -137,6 +177,16 @@ void FetchStage::AccumulateStats(ExecStats* stats) const {
 
 std::string FetchStage::Summary() const {
   return "FETCH -> " + child_->Summary();
+}
+
+ExplainNode FetchStage::Explain() const {
+  ExplainNode node;
+  node.stage = "FETCH";
+  if (filter_ != nullptr) node.filter = filter_->DebugString();
+  node.docs_examined = docs_examined_;
+  FillExplainBase(&node);
+  node.children.push_back(child_->Explain());
+  return node;
 }
 
 CollScanStage::CollScanStage(const storage::RecordStore& records,
@@ -162,5 +212,14 @@ void CollScanStage::AccumulateStats(ExecStats* stats) const {
 }
 
 std::string CollScanStage::Summary() const { return "COLLSCAN"; }
+
+ExplainNode CollScanStage::Explain() const {
+  ExplainNode node;
+  node.stage = "COLLSCAN";
+  if (filter_ != nullptr) node.filter = filter_->DebugString();
+  node.docs_examined = docs_examined_;
+  FillExplainBase(&node);
+  return node;
+}
 
 }  // namespace stix::query

@@ -8,6 +8,7 @@
 
 #include "index/index.h"
 #include "index/index_bounds.h"
+#include "query/explain.h"
 #include "query/expression.h"
 #include "storage/btree.h"
 #include "storage/record_store.h"
@@ -52,6 +53,23 @@ class PlanStage {
   virtual State Work(storage::RecordId* rid_out,
                      const bson::Document** doc_out) = 0;
 
+  /// Bookkeeping entry point every caller (executors, parent stages) uses
+  /// instead of Work(): charges the unit to this stage's explain counters
+  /// — and, when stage timing is enabled, its clock — then delegates to
+  /// Work(). One branch on a bool when timing is off, so the hot path pays
+  /// two increments.
+  State WorkUnit(storage::RecordId* rid_out, const bson::Document** doc_out);
+
+  /// Turns on per-stage wall-clock timing for this stage and its subtree
+  /// (explain/profiler executions only — never the default query path).
+  /// Times are inclusive of children, like MongoDB's
+  /// executionTimeMillisEstimate.
+  void EnableTiming();
+
+  /// Explain subtree for this stage, counters included (see explain.h for
+  /// what each verbosity serializes — the node always carries everything).
+  virtual ExplainNode Explain() const = 0;
+
   /// Demand-driven pull: spins Work() until the stage produces a document
   /// or reaches end of stream, charging every unit spent to *works. When
   /// works_budget is non-zero the pull also stops (kBudget) once *works
@@ -64,6 +82,19 @@ class PlanStage {
   virtual void AccumulateStats(ExecStats* stats) const = 0;
 
   virtual std::string Summary() const = 0;
+
+ protected:
+  /// Copies the base counters (works/advanced/time) into an explain node.
+  void FillExplainBase(ExplainNode* node) const;
+
+  /// Input stage, for EnableTiming's recursion (every stage here has at
+  /// most one input). Leaf stages keep the null default.
+  virtual PlanStage* child_stage() { return nullptr; }
+
+  uint64_t stage_works_ = 0;
+  uint64_t stage_advanced_ = 0;
+  bool timing_enabled_ = false;
+  uint64_t stage_time_nanos_ = 0;
 };
 
 /// Index scan with MongoDB-style compound-bounds checking: visits keys in
@@ -79,6 +110,7 @@ class IndexScanStage : public PlanStage {
              const bson::Document** doc_out) override;
   void AccumulateStats(ExecStats* stats) const override;
   std::string Summary() const override;
+  ExplainNode Explain() const override;
 
  private:
   /// Builds the lowest possible key consistent with the bounds' first
@@ -109,6 +141,10 @@ class FetchStage : public PlanStage {
              const bson::Document** doc_out) override;
   void AccumulateStats(ExecStats* stats) const override;
   std::string Summary() const override;
+  ExplainNode Explain() const override;
+
+ protected:
+  PlanStage* child_stage() override { return child_.get(); }
 
  private:
   const storage::RecordStore& records_;
@@ -126,6 +162,7 @@ class CollScanStage : public PlanStage {
              const bson::Document** doc_out) override;
   void AccumulateStats(ExecStats* stats) const override;
   std::string Summary() const override;
+  ExplainNode Explain() const override;
 
  private:
   const storage::RecordStore& records_;

@@ -1,16 +1,9 @@
 #include "st/approach.h"
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 
 namespace stix::st {
-namespace {
-
-/// Translation cache entries are few and large wins each; the cap only
-/// guards against unbounded ad-hoc workloads. On overflow the cache is
-/// dropped wholesale — simpler than LRU and overflow is rare at this size.
-constexpr size_t kCoverCacheMaxEntries = 4096;
-
-}  // namespace
 
 size_t Approach::CacheKeyHash::operator()(const CacheKey& k) const {
   // FNV-1a over the raw bytes: the key is a POD of doubles/int64s compared
@@ -114,18 +107,27 @@ TranslatedQuery Approach::TranslateQuery(const geo::Rect& rect,
   const auto norm = [](double d) { return d == 0.0 ? 0.0 : d; };
   const CacheKey key{norm(rect.lo.lon), norm(rect.lo.lat), norm(rect.hi.lon),
                      norm(rect.hi.lat), t_begin_ms, t_end_ms};
+  STIX_METRIC_COUNTER(cover_hits, "cover_cache.hits");
+  STIX_METRIC_COUNTER(cover_misses, "cover_cache.misses");
+  STIX_METRIC_COUNTER(cover_evictions, "cover_cache.evictions");
+  STIX_METRIC_GAUGE(cover_size, "cover_cache.size");
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     const auto it = cover_cache_.find(key);
     if (it != cover_cache_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      TranslatedQuery out = it->second;  // shares the immutable expr
+      cover_hits.Increment();
+      // Refresh recency: the hit entry moves to the front of the LRU list.
+      cover_cache_lru_.splice(cover_cache_lru_.begin(), cover_cache_lru_,
+                              it->second);
+      TranslatedQuery out = it->second->second;  // shares the immutable expr
       out.cache_hit = true;
       out.cover_millis = 0.0;  // the covering was not recomputed
       return out;
     }
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  cover_misses.Increment();
 
   // Compute outside the lock: coverings can be expensive and concurrent
   // queries must not serialize on them. A racing duplicate insert is
@@ -133,10 +135,26 @@ TranslatedQuery Approach::TranslateQuery(const geo::Rect& rect,
   TranslatedQuery fresh =
       TranslateRegionQuery(query::MakeGeoWithinBox(kLocationField, rect),
                            geo::RectRegion(rect), t_begin_ms, t_end_ms);
+  if (config_.cover_cache_capacity == 0) return fresh;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    if (cover_cache_.size() >= kCoverCacheMaxEntries) cover_cache_.clear();
-    cover_cache_[key] = fresh;
+    const auto it = cover_cache_.find(key);
+    if (it != cover_cache_.end()) {
+      // A racing translation of the same key won; keep its entry.
+      cover_cache_lru_.splice(cover_cache_lru_.begin(), cover_cache_lru_,
+                              it->second);
+    } else {
+      cover_cache_lru_.emplace_front(key, fresh);
+      cover_cache_[key] = cover_cache_lru_.begin();
+      while (cover_cache_.size() > config_.cover_cache_capacity) {
+        cover_cache_.erase(cover_cache_lru_.back().first);
+        cover_cache_lru_.pop_back();
+        cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+        cover_evictions.Increment();
+      }
+    }
+    cover_size.Set(static_cast<int64_t>(cover_cache_.size()));
+    cover_size.UpdateMax();
   }
   return fresh;
 }
@@ -149,6 +167,7 @@ size_t Approach::cover_cache_size() const {
 void Approach::ClearCoverCache() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   cover_cache_.clear();
+  cover_cache_lru_.clear();
 }
 
 TranslatedQuery Approach::TranslatePolygonQuery(const geo::Polygon& polygon,

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/chunk.h"
@@ -42,6 +44,10 @@ struct ApproachConfig {
   int geohash_bits = 26;
   /// MBR of the data set; only consulted by kHilStar.
   geo::Rect dataset_mbr = geo::GlobeRect();
+  /// Covering/translation cache capacity in entries (LRU eviction beyond
+  /// it); 0 disables memoization entirely. Bounds the cache under workloads
+  /// with unboundedly many distinct query rects.
+  size_t cover_cache_capacity = 4096;
 };
 
 /// A spatio-temporal range query translated into the store's match language,
@@ -58,10 +64,11 @@ struct TranslatedQuery {
   bool cache_hit = false;
 };
 
-/// Hit/miss counters of the covering & translation cache.
+/// Hit/miss/eviction counters of the covering & translation cache.
 struct CoverCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t evictions = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -123,7 +130,8 @@ class Approach {
   /// instance).
   CoverCacheStats cover_cache_stats() const {
     return CoverCacheStats{cache_hits_.load(std::memory_order_relaxed),
-                           cache_misses_.load(std::memory_order_relaxed)};
+                           cache_misses_.load(std::memory_order_relaxed),
+                           cache_evictions_.load(std::memory_order_relaxed)};
   }
 
   /// Entries currently memoized (for tests/diagnostics).
@@ -153,14 +161,21 @@ class Approach {
   ApproachConfig config_;
   std::unique_ptr<geo::HilbertCurve> hilbert_;
 
-  /// Memoized rect translations. Values hold immutable shared expressions,
-  /// so concurrent readers can share them freely. Guarded by cache_mu_;
-  /// counters are atomics so stats reads never block translation.
+  /// Memoized rect translations as a bounded LRU: a recency list of
+  /// (key, value) pairs plus an index into it. A hit splices its entry to
+  /// the front; an insert beyond capacity evicts from the back. Values hold
+  /// immutable shared expressions, so concurrent readers can share them
+  /// freely. Guarded by cache_mu_; counters are atomics so stats reads
+  /// never block translation.
+  using CacheEntry = std::pair<CacheKey, TranslatedQuery>;
   mutable std::mutex cache_mu_;
-  mutable std::unordered_map<CacheKey, TranslatedQuery, CacheKeyHash>
+  mutable std::list<CacheEntry> cover_cache_lru_;
+  mutable std::unordered_map<CacheKey, std::list<CacheEntry>::iterator,
+                             CacheKeyHash>
       cover_cache_;
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> cache_misses_{0};
+  mutable std::atomic<uint64_t> cache_evictions_{0};
 };
 
 }  // namespace stix::st

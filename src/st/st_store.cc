@@ -1,6 +1,22 @@
 #include "st/st_store.h"
 
+#include <cstdio>
+#include <sstream>
+
 namespace stix::st {
+
+std::string StExplain::ToJson() const {
+  char millis[32];
+  std::snprintf(millis, sizeof(millis), "%.3f", cover_millis);
+  std::ostringstream out;
+  out << "{\"approach\": \"" << query::JsonEscape(approach)
+      << "\", \"covering\": {\"coverMillis\": " << millis
+      << ", \"numRanges\": " << num_ranges
+      << ", \"numSingletons\": " << num_singletons << ", \"cacheHit\": "
+      << (cover_cache_hit ? "true" : "false")
+      << "}, \"cluster\": " << cluster.ToJson() << "}";
+  return out.str();
+}
 
 StStore::StStore(const StStoreOptions& options)
     : options_(options),
@@ -87,6 +103,21 @@ StCursor StStore::OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
   std::unique_ptr<cluster::ClusterCursor> cursor = cluster_.OpenCursor(
       translated.expr, ToClusterCursorOptions(cursor_options));
   return StCursor(std::move(translated), std::move(cursor));
+}
+
+StExplain StStore::Explain(const geo::Rect& rect, int64_t t_begin_ms,
+                           int64_t t_end_ms,
+                           query::ExplainVerbosity verbosity) const {
+  const TranslatedQuery translated =
+      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
+  StExplain explain;
+  explain.approach = approach_.name();
+  explain.cover_millis = translated.cover_millis;
+  explain.num_ranges = translated.num_ranges;
+  explain.num_singletons = translated.num_singletons;
+  explain.cover_cache_hit = translated.cache_hit;
+  explain.cluster = cluster_.Explain(translated.expr, verbosity);
+  return explain;
 }
 
 Result<uint64_t> StStore::Delete(const geo::Rect& rect, int64_t t_begin_ms,

@@ -26,6 +26,23 @@ struct StQueryResult {
   TranslatedQuery translated;
 };
 
+/// Approach-aware explain: the cluster execution tree plus the translation
+/// cost the cluster cannot see — which approach phrased the query, how long
+/// the curve covering took, how wide it came out, and whether it was served
+/// from the covering cache. The paper's Table 8 separates exactly this cost
+/// from execution time.
+struct StExplain {
+  std::string approach;  ///< ApproachName of the translating approach.
+  double cover_millis = 0.0;
+  size_t num_ranges = 0;
+  size_t num_singletons = 0;
+  bool cover_cache_hit = false;
+  cluster::ClusterExplain cluster;
+
+  /// {"approach": .., "covering": {..}, "cluster": <ClusterExplain>}.
+  std::string ToJson() const;
+};
+
 /// Cursor knobs for StStore::OpenQuery (the spatio-temporal face of
 /// cluster::CursorOptions).
 struct StCursorOptions {
@@ -114,6 +131,15 @@ class StStore {
   StCursor OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
                      int64_t t_end_ms,
                      const StCursorOptions& cursor_options = {}) const;
+
+  /// Structured explain of a spatio-temporal range query: translates the
+  /// rect/time window through the approach (advancing the covering cache
+  /// like a normal query), executes it once with per-stage timing, and
+  /// returns the full tree with the translation cost attached.
+  StExplain Explain(const geo::Rect& rect, int64_t t_begin_ms,
+                    int64_t t_end_ms,
+                    query::ExplainVerbosity verbosity =
+                        query::ExplainVerbosity::kExecStats) const;
 
   /// Polygon + closed time interval — complex geometries over the same
   /// indexing/sharding machinery (paper future work, Section 6).

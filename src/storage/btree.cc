@@ -4,8 +4,27 @@
 #include <cassert>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace stix::storage {
+
+namespace {
+
+// Server-wide storage counters ("btree.splits", "btree.node_reads"): split
+// pressure tracks write amplification, node reads per seek tracks how much
+// of the tree queries walk (the B+tree half of the paper's keys-examined
+// story).
+void CountSplit() {
+  STIX_METRIC_COUNTER(splits, "btree.splits");
+  splits.Increment();
+}
+
+void CountNodeReads(uint64_t n) {
+  STIX_METRIC_COUNTER(node_reads, "btree.node_reads");
+  node_reads.Increment(n);
+}
+
+}  // namespace
 
 // Fires whenever a leaf or internal node splits. Insert has no Status
 // channel, so only the delay action is honored (error configs still count
@@ -108,6 +127,7 @@ std::unique_ptr<BTree::Node> BTree::InsertRec(Node* node, std::string_view key,
     leaf->entries.insert(it, LeafNode::Entry{std::string(key), rid});
     if (leaf->entries.size() <= kMaxLeafEntries) return nullptr;
     (void)btreeNodeSplit.Evaluate();
+    CountSplit();
 
     // Split: move the upper half into a new right sibling.
     auto right = std::make_unique<LeafNode>();
@@ -140,6 +160,7 @@ std::unique_ptr<BTree::Node> BTree::InsertRec(Node* node, std::string_view key,
                             std::move(new_child));
   if (internal->children.size() <= kMaxInternalChildren) return nullptr;
   (void)btreeNodeSplit.Evaluate();
+  CountSplit();
 
   // Split the internal node.
   auto right = std::make_unique<InternalNode>();
@@ -221,9 +242,12 @@ void BTree::Cursor::SkipEmptyLeaves() {
 
 BTree::Cursor BTree::First() const {
   Node* node = root_.get();
+  uint64_t nodes_read = 1;
   while (!node->is_leaf) {
     node = static_cast<InternalNode*>(node)->children.front().get();
+    ++nodes_read;
   }
+  CountNodeReads(nodes_read);
   Cursor c;
   c.leaf_ = node;
   c.pos_ = 0;
@@ -233,10 +257,13 @@ BTree::Cursor BTree::First() const {
 
 BTree::Cursor BTree::SeekGE(std::string_view key) const {
   Node* node = root_.get();
+  uint64_t nodes_read = 1;
   while (!node->is_leaf) {
     auto* internal = static_cast<InternalNode*>(node);
     node = internal->children[internal->ChildIndexFor(key, 0)].get();
+    ++nodes_read;
   }
+  CountNodeReads(nodes_read);
   auto* leaf = static_cast<LeafNode*>(node);
   const auto it = std::lower_bound(
       leaf->entries.begin(), leaf->entries.end(), key,

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -222,8 +223,11 @@ TEST(GeoHashTest, NearbyPointsShareCellAtLowPrecision) {
 // ---------- coverings ----------
 
 TEST(CoveringTest, ExhaustiveAgainstBruteForce) {
-  // On a small grid, the covering must contain exactly the cells whose
-  // extent intersects the query rectangle.
+  // On a small grid, the covering must contain exactly the cells of the
+  // integer span the query corners map to — the same clamped LonToX/LatToY
+  // mapping document keys go through, so covering membership and key
+  // generation can never disagree (not even at ulp-level cell boundaries,
+  // where the old floating-point block-extent test could drop a cell).
   const Rect domain{{0, 0}, {16, 16}};
   const HilbertCurve hilbert(4, domain);
   const ZOrderCurve zorder(4, domain);
@@ -238,11 +242,15 @@ TEST(CoveringTest, ExhaustiveAgainstBruteForce) {
     for (const Curve2D* curve :
          {static_cast<const Curve2D*>(&hilbert),
           static_cast<const Curve2D*>(&zorder)}) {
+      const GridMapping& grid = curve->grid();
+      const uint32_t qx0 = grid.LonToX(query.lo.lon);
+      const uint32_t qx1 = grid.LonToX(query.hi.lon);
+      const uint32_t qy0 = grid.LatToY(query.lo.lat);
+      const uint32_t qy1 = grid.LatToY(query.hi.lat);
       const Covering covering = CoverRect(*curve, query);
       for (uint32_t x = 0; x < 16; ++x) {
         for (uint32_t y = 0; y < 16; ++y) {
-          const bool expected =
-              query.Intersects(curve->grid().BlockRect(x, y, 1));
+          const bool expected = x >= qx0 && x <= qx1 && y >= qy0 && y <= qy1;
           const bool actual =
               CoveringContains(covering, curve->XyToD(x, y));
           ASSERT_EQ(expected, actual)
@@ -283,11 +291,17 @@ TEST(CoveringTest, WholeDomainIsOneRange) {
   EXPECT_EQ(covering.ranges[0].hi, curve.num_cells() - 1);
 }
 
-TEST(CoveringTest, DisjointQueryYieldsEmptyCovering) {
+TEST(CoveringTest, DisjointQueryClampsToBoundaryCells) {
+  // A rectangle entirely outside the grid domain clamps to the boundary
+  // cell its corners map to — the cell where out-of-domain documents are
+  // keyed (hil*'s dataset-MBR case), so such documents are still reachable
+  // through the index. The covering of a rectangle is never empty.
   const HilbertCurve curve(6, Rect{{0, 0}, {10, 10}});
   const Covering covering = CoverRect(curve, Rect{{20, 20}, {30, 30}});
-  EXPECT_TRUE(covering.ranges.empty());
-  EXPECT_EQ(covering.num_cells, 0u);
+  ASSERT_EQ(covering.num_cells, 1u);
+  // An out-of-domain point (clamped by PointToD) lands in that exact cell.
+  EXPECT_TRUE(CoveringContains(covering, curve.PointToD(25.0, 25.0)));
+  EXPECT_TRUE(CoveringContains(covering, curve.PointToD(1e9, 1e9)));
 }
 
 TEST(CoveringTest, PointsInsideQueryAlwaysCovered) {
@@ -509,6 +523,127 @@ TEST(CoveringPropertyTest, ZOrderAllOrdersGlobeDomain) {
   for (int order = 1; order <= 16; ++order) {
     const ZOrderCurve curve(order, GlobeRect());
     for (int trial = 0; trial < 3; ++trial) CheckCoveringProperties(curve, rng);
+  }
+}
+
+// ---------- domain-edge property tests (antimeridian, poles, beyond-MBR) ----------
+
+// Soundness at the edges of the curve domain: every point inside the query
+// rectangle — including points the grid clamps in from outside the domain —
+// must map (via the same clamped PointToD that keys documents) to a covered
+// cell. A miss here is the silent-drop bug class: the document is keyed
+// into a cell the covering does not reach.
+void CheckEdgeRect(const Curve2D& curve, const Rect& query, Rng& rng) {
+  const Covering covering = CoverRect(curve, query);
+  ExpectWellFormedCovering(covering);
+  ASSERT_FALSE(covering.ranges.empty())
+      << curve.name() << " order " << curve.order();
+  auto check_point = [&](double lon, double lat) {
+    EXPECT_TRUE(CoveringContains(covering, curve.PointToD(lon, lat)))
+        << curve.name() << " order " << curve.order() << " point (" << lon
+        << ", " << lat << ") rect [" << query.lo.lon << "," << query.lo.lat
+        << "]..[" << query.hi.lon << "," << query.hi.lat << "]";
+  };
+  check_point(query.lo.lon, query.lo.lat);
+  check_point(query.hi.lon, query.hi.lat);
+  check_point(query.lo.lon, query.hi.lat);
+  check_point(query.hi.lon, query.lo.lat);
+  for (int i = 0; i < 32; ++i) {
+    check_point(rng.NextDouble(query.lo.lon, query.hi.lon),
+                rng.NextDouble(query.lo.lat, query.hi.lat));
+  }
+}
+
+TEST(CoveringEdgeTest, AntimeridianAndPoleRects) {
+  Rng rng(9100);
+  const Rect edge_rects[] = {
+      Rect{{179.0, 10.0}, {180.0, 20.0}},      // eastern antimeridian edge
+      Rect{{-180.0, -20.0}, {-179.0, -10.0}},  // western antimeridian edge
+      Rect{{170.0, 80.0}, {180.0, 90.0}},      // north-pole corner
+      Rect{{-180.0, -90.0}, {-170.0, -80.0}},  // south-pole corner
+      Rect{{-180.0, 89.9}, {180.0, 90.0}},     // polar cap strip
+      Rect{{180.0, 90.0}, {180.0, 90.0}},      // degenerate corner point
+      Rect{{-180.0, -90.0}, {180.0, 90.0}},    // whole globe
+  };
+  for (const int order : {1, 4, 9, 13, 16}) {
+    const HilbertCurve hilbert(order, GlobeRect());
+    const ZOrderCurve zorder(order, GlobeRect());
+    for (const Rect& q : edge_rects) {
+      CheckEdgeRect(hilbert, q, rng);
+      CheckEdgeRect(zorder, q, rng);
+    }
+  }
+  // GeoHash keys documents through Encode (the curve's clamped PointToD);
+  // coverings of the same curve must reach every encoded corner cell.
+  const GeoHash geohash(26);
+  for (const Rect& q : edge_rects) {
+    const Covering c = CoverRect(geohash.curve(), q);
+    EXPECT_TRUE(CoveringContains(c, geohash.Encode(q.lo.lon, q.lo.lat)));
+    EXPECT_TRUE(CoveringContains(c, geohash.Encode(q.hi.lon, q.hi.lat)));
+    EXPECT_TRUE(CoveringContains(c, geohash.Encode(q.lo.lon, q.hi.lat)));
+    EXPECT_TRUE(CoveringContains(c, geohash.Encode(q.hi.lon, q.lo.lat)));
+  }
+}
+
+TEST(CoveringEdgeTest, QueriesBeyondDatasetMbrReachClampedPoints) {
+  // The hil* case: the curve domain is the dataset MBR, but documents (and
+  // queries) may sit outside it — both clamp to the boundary cells, and a
+  // query overlapping a document's true position must cover the cell the
+  // document was keyed into.
+  const Rect mbr{{23.0, 37.0}, {25.0, 39.0}};
+  Rng rng(9101);
+  for (const int order : {2, 6, 11}) {
+    const HilbertCurve hilbert(order, mbr);
+    const ZOrderCurve zorder(order, mbr);
+    for (const Curve2D* curve :
+         {static_cast<const Curve2D*>(&hilbert),
+          static_cast<const Curve2D*>(&zorder)}) {
+      // Overlaps the MBR's east edge and extends far beyond it.
+      CheckEdgeRect(*curve, Rect{{24.5, 38.0}, {30.0, 38.5}}, rng);
+      // Sits entirely outside, north-east of the MBR.
+      CheckEdgeRect(*curve, Rect{{40.0, 40.0}, {50.0, 50.0}}, rng);
+      // Straddles the whole MBR and more.
+      CheckEdgeRect(*curve, Rect{{-10.0, 0.0}, {60.0, 60.0}}, rng);
+    }
+  }
+}
+
+TEST(CoveringEdgeTest, UlpBoundaryPointsAlwaysCovered) {
+  // Degenerate query rectangles sitting exactly on interior cell
+  // boundaries, and one ulp to either side. Under the old floating-point
+  // block-extent descent the covering and the key mapping could round a
+  // boundary into different cells; the integer-space descent shares the
+  // mapping, so the covered cell is the keyed cell by construction.
+  Rng rng(9102);
+  for (const int order : {4, 10, 16}) {
+    const HilbertCurve curve(order, GlobeRect());
+    const GridMapping& grid = curve.grid();
+    const uint32_t n = grid.grid_size();
+    for (int trial = 0; trial < 40; ++trial) {
+      const uint32_t x = static_cast<uint32_t>(rng.NextBounded(n));
+      const uint32_t y = static_cast<uint32_t>(rng.NextBounded(n));
+      // Boundary coordinates computed by a different floating-point route
+      // than the grid's internal cell-width multiples.
+      const double lon =
+          grid.domain().lo.lon +
+          (grid.domain().hi.lon - grid.domain().lo.lon) *
+              (static_cast<double>(x) / static_cast<double>(n));
+      const double lat =
+          grid.domain().lo.lat +
+          (grid.domain().hi.lat - grid.domain().lo.lat) *
+              (static_cast<double>(y) / static_cast<double>(n));
+      for (const double qlon :
+           {lon, std::nextafter(lon, -1e18), std::nextafter(lon, 1e18)}) {
+        for (const double qlat :
+             {lat, std::nextafter(lat, -1e18), std::nextafter(lat, 1e18)}) {
+          const Rect q{{qlon, qlat}, {qlon, qlat}};
+          const Covering c = CoverRect(curve, q);
+          EXPECT_TRUE(CoveringContains(c, curve.PointToD(qlon, qlat)))
+              << "order " << order << " point (" << qlon << ", " << qlat
+              << ")";
+        }
+      }
+    }
   }
 }
 

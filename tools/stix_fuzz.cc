@@ -9,6 +9,8 @@
 //   * cursor-drain parity       — OpenQuery+drain == Query()
 //   * limit-prefix property     — limit k returns min(k, |full|) docs, all
 //                                 drawn from the full result set
+//   * explain consistency       — explain()'s per-stage counters summed over
+//                                 shards equal that execution's totals
 //   * rect-splitting additivity — partitioning the query rectangle partitions
 //                                 the result set
 //
@@ -31,6 +33,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "st/st_store.h"
 
@@ -53,6 +56,13 @@ struct FuzzConfig {
   int queries = 10;
   bool failpoints = true;
   bool verbose = false;
+  /// Record every op in each store's slow-op profiler (slow_millis = 0).
+  bool profile = false;
+  /// Print the last store's ServerStatus() JSON after the run.
+  bool server_status = false;
+  /// After all seeds, fail if any core counter never moved — catches
+  /// instrumentation that silently went dead (the nightly CI guard).
+  bool check_counters = false;
 };
 
 // Ground-truth record of one generated document.
@@ -308,7 +318,26 @@ bool CheckQuery(const std::vector<std::unique_ptr<StStore>>& stores,
       return false;
     }
 
-    // 4. Rectangle-splitting additivity: the two halves partition the set.
+    // 4. Explain-tree consistency: explain executes the query once, and its
+    // per-stage counters summed over shards must equal that execution's
+    // totals exactly — and the execution must still match the oracle.
+    const st::StExplain explain =
+        store->Explain(q.rect, q.t_begin_ms, q.t_end_ms);
+    const cluster::ClusterExplain& ce = explain.cluster;
+    if (ce.SumStageKeysExamined() != ce.result.total_keys_examined ||
+        ce.SumStageDocsExamined() != ce.result.total_docs_examined) {
+      ctx->Report(name, "explain-stage-sums", q,
+                  static_cast<size_t>(ce.result.total_keys_examined),
+                  static_cast<size_t>(ce.SumStageKeysExamined()));
+      return false;
+    }
+    if (ce.result.n_returned != oracle.size()) {
+      ctx->Report(name, "explain-n-returned", q, oracle.size(),
+                  static_cast<size_t>(ce.result.n_returned));
+      return false;
+    }
+
+    // 5. Rectangle-splitting additivity: the two halves partition the set.
     if (check_split) {
       std::vector<int32_t> parts = SortedFids(
           store->Query(left.rect, left.t_begin_ms, left.t_end_ms)
@@ -397,7 +426,8 @@ bool CheckFailPoints(const std::vector<std::unique_ptr<StStore>>& stores,
   return true;
 }
 
-bool RunSeed(uint64_t seed, const FuzzConfig& config) {
+bool RunSeed(uint64_t seed, const FuzzConfig& config,
+             std::string* server_status_out) {
   SeedContext ctx{seed, &config};
   Rng rng(seed);
   Rng data_rng = rng.Fork();
@@ -429,6 +459,11 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config) {
     options.cluster.chunk_max_bytes = chunk_max_bytes;
     options.cluster.balance_every_inserts = balance_every;
     options.cluster.seed = seed;
+    if (config.profile) {
+      options.cluster.profiler.enabled = true;
+      options.cluster.profiler.slow_millis = 0.0;  // record every op
+      options.cluster.profiler.capacity = 64;
+    }
     stores.push_back(std::make_unique<StStore>(options));
     if (!stores.back()->Setup().ok()) {
       std::fprintf(stderr, "FATAL: store setup failed (seed=%" PRIu64 ")\n",
@@ -474,6 +509,10 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config) {
     return false;
   }
 
+  if (server_status_out != nullptr && !stores.empty()) {
+    *server_status_out = stores.back()->cluster().ServerStatus();
+  }
+
   if (config.verbose) {
     std::printf("seed %" PRIu64 ": ok (%d docs, %d queries, %d shards, "
                 "order %d%s)\n",
@@ -508,6 +547,12 @@ int FuzzMain(int argc, char** argv) {
       config.failpoints = false;
     } else if (arg == "--verbose" || arg == "-v") {
       config.verbose = true;
+    } else if (arg == "--profile") {
+      config.profile = true;
+    } else if (arg == "--server-status") {
+      config.server_status = true;
+    } else if (arg == "--check-counters") {
+      config.check_counters = true;
     } else if (arg == "--list-failpoints") {
       for (const std::string& name : FailPointRegistry::Instance().Names()) {
         std::printf("%s\n", name.c_str());
@@ -517,6 +562,7 @@ int FuzzMain(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: stix_fuzz [--seed=N | --seeds=N --seed-base=N] "
                    "[--docs=N] [--queries=N] [--no-failpoints] [--verbose] "
+                   "[--profile] [--server-status] [--check-counters] "
                    "[--list-failpoints]\n");
       return 2;
     }
@@ -527,10 +573,35 @@ int FuzzMain(int argc, char** argv) {
   }
 
   int failures = 0;
+  std::string server_status;
   for (int i = 0; i < config.num_seeds; ++i) {
     const uint64_t seed = config.seed_base + static_cast<uint64_t>(i);
-    if (!RunSeed(seed, config)) ++failures;
+    if (!RunSeed(seed, config,
+                 config.server_status ? &server_status : nullptr)) {
+      ++failures;
+    }
   }
+
+  if (config.check_counters) {
+    // Counters that any non-trivial fuzz run must have moved; a zero means
+    // the instrumentation point silently died.
+    std::vector<const char*> required = {
+        "btree.node_reads",  "btree.splits",       "plan_cache.hits",
+        "plan_cache.misses", "cover_cache.hits",   "cover_cache.misses",
+        "cluster.batches",   "cluster.bytes_materialized"};
+    if (config.failpoints) required.push_back("executor.replans");
+    for (const char* name : required) {
+      if (MetricsRegistry::Instance().GetCounter(name).value() == 0) {
+        std::fprintf(stderr, "DEAD COUNTER: %s never incremented\n", name);
+        ++failures;
+      }
+    }
+  }
+
+  if (config.server_status) {
+    std::printf("%s\n", server_status.c_str());
+  }
+
   std::printf("stix_fuzz: %d seed%s, %d divergence%s (docs=%d queries=%d "
               "failpoints=%s)\n",
               config.num_seeds, config.num_seeds == 1 ? "" : "s", failures,
