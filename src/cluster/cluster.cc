@@ -1,6 +1,8 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <chrono>
+#include <map>
 #include <sstream>
 #include <variant>
 
@@ -28,6 +30,8 @@ Cluster::Cluster(const ClusterOptions& options)
     shards_.push_back(std::make_unique<Shard>(i));
   }
 }
+
+Cluster::~Cluster() { StopBalancer(); }
 
 std::string Cluster::IndexNameForPattern(const ShardKeyPattern& pattern) {
   std::string name;
@@ -85,28 +89,46 @@ Status Cluster::Insert(bson::Document doc) {
   if (!sharded_) {
     return Status::Internal("shard the collection before inserting");
   }
-  const std::string key = pattern_.KeyOf(doc);
-  const size_t chunk_index = chunks_->FindChunkIndex(key);
-  Chunk& chunk = chunks_->chunk(chunk_index);
-  const uint64_t doc_bytes = doc.ApproxBsonSize();
+  {
+    // Routing, the shard write, chunk accounting and a possible split are
+    // one atomic topology step; the shard's own exclusive lock nests inside
+    // (topology < shard data).
+    const std::unique_lock<std::shared_mutex> topo(topology_mu_);
+    const std::string key = pattern_.KeyOf(doc);
+    const size_t chunk_index = chunks_->FindChunkIndex(key);
+    Chunk& chunk = chunks_->chunk(chunk_index);
+    const uint64_t doc_bytes = doc.ApproxBsonSize();
 
-  Result<storage::RecordId> rid =
-      shards_[static_cast<size_t>(chunk.shard_id)]->Insert(std::move(doc));
-  if (!rid.ok()) return rid.status();
+    Result<storage::RecordId> rid =
+        shards_[static_cast<size_t>(chunk.shard_id)]->Insert(std::move(doc));
+    if (!rid.ok()) return rid.status();
 
-  chunk.bytes += doc_bytes;
-  chunk.docs += 1;
-  if (chunk.bytes > options_.chunk_max_bytes && !chunk.jumbo) {
-    MaybeSplitChunk(chunk_index);
+    chunk.bytes += doc_bytes;
+    chunk.docs += 1;
+    if (chunk.bytes > options_.chunk_max_bytes && !chunk.jumbo) {
+      MaybeSplitChunk(chunk_index);
+    }
   }
 
-  if (options_.balance_every_inserts > 0 &&
-      ++inserts_since_balance_ >= options_.balance_every_inserts) {
-    inserts_since_balance_ = 0;
-    // One balancer round (the background Balancer's cadence).
-    const std::optional<Migration> m =
-        PickNextMigration(*chunks_, options_.num_shards, zones_,
-                          options_.balancer, &rng_);
+  // The inline balancer cadence runs with the topology lock released — a
+  // migration takes it again itself (and a self-deadlock would be the
+  // alternative). Cadence state is shared with the background balancer.
+  bool run_round = false;
+  if (options_.balance_every_inserts > 0) {
+    const std::lock_guard<std::mutex> bl(balance_mu_);
+    if (++inserts_since_balance_ >= options_.balance_every_inserts) {
+      inserts_since_balance_ = 0;
+      run_round = true;
+    }
+  }
+  if (run_round) {
+    std::optional<Migration> m;
+    {
+      const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+      const std::lock_guard<std::mutex> bl(balance_mu_);
+      m = PickNextMigration(*chunks_, options_.num_shards, zones_,
+                            options_.balancer, &rng_);
+    }
     if (m.has_value()) {
       const Status s = MoveChunk(m->chunk_index, m->to_shard);
       if (!s.ok()) return s;
@@ -148,33 +170,107 @@ void Cluster::MaybeSplitChunk(size_t chunk_index) {
   chunks_->Split(chunk_index, split_key);
 }
 
+// Two-phase chunk migration (MongoDB's moveChunk, with its critical
+// section). The copy phase clones the chunk's documents from the donor
+// under a shared lock, concurrently with readers and other shards'
+// writers. The commit phase then takes the migration latch exclusive
+// (held shared by every open cluster cursor; contention aborts the
+// migration benignly), re-resolves the chunk under the exclusive topology
+// lock, and — aborting benignly if the chunk split or moved during the
+// copy — applies the removes/inserts under both shards' data locks and
+// flips ownership. Documents are immutable here (no
+// updates), so a pre-copied clone is never stale; documents inserted after
+// the copy snapshot are cloned as stragglers inside the commit.
 Status Cluster::MoveChunk(size_t chunk_index, int to_shard) {
-  Chunk& chunk = chunks_->chunk(chunk_index);
-  if (chunk.shard_id == to_shard) return Status::OK();
+  STIX_METRIC_COUNTER(committed, "balancer.migrations_committed");
+  STIX_METRIC_COUNTER(aborted, "balancer.migrations_aborted");
+
+  // Snapshot the chunk identity. The index may be stale (a concurrent split
+  // shifts indices) — harmless: it still names a real chunk, and the commit
+  // re-validates against this snapshot.
+  std::string min, max;
+  int from_shard = -1;
+  {
+    const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+    if (chunk_index >= chunks_->num_chunks()) return Status::OK();
+    const Chunk& chunk = chunks_->chunk(chunk_index);
+    if (chunk.shard_id == to_shard) return Status::OK();
+    min = chunk.min;
+    max = chunk.max;
+    from_shard = chunk.shard_id;
+  }
   if (Status s = CheckFailPoint(balancerMoveChunk); !s.ok()) return s;
-  Shard& source = *shards_[static_cast<size_t>(chunk.shard_id)];
+  Shard& source = *shards_[static_cast<size_t>(from_shard)];
   Shard& dest = *shards_[static_cast<size_t>(to_shard)];
+
+  // Copy phase: clone the chunk's current documents under the donor's
+  // shared lock. Readers keep streaming; only the donor's writers wait.
+  std::map<storage::RecordId, bson::Document> clones;
+  {
+    const std::shared_lock<std::shared_mutex> data(source.data_mutex());
+    const index::Index* skidx = source.catalog().Get(shard_key_index_name_);
+    if (skidx == nullptr) {
+      return Status::Internal("shard-key index missing on shard");
+    }
+    for (storage::BTree::Cursor c = skidx->btree().SeekGE(min);
+         c.Valid() && c.key() < max; c.Next()) {
+      const bson::Document* doc = source.collection().records().Get(c.rid());
+      if (doc != nullptr) clones.emplace(c.rid(), *doc);
+    }
+  }
+
+  // Commit phase (the critical section). Lock order: latch < topology <
+  // shard data, shards in id order. The latch is try-locked: interleaving
+  // inserts with an open cursor on one thread is legal, and that thread
+  // already holds the latch shared — blocking here would self-deadlock.
+  // Contention aborts the migration benignly; a later round retries.
+  const std::unique_lock<std::shared_mutex> commit(migration_commit_latch_,
+                                                   std::try_to_lock);
+  if (!commit.owns_lock()) {
+    aborted.Increment();
+    return Status::OK();
+  }
+  const std::unique_lock<std::shared_mutex> topo(topology_mu_);
+  const size_t idx = chunks_->FindChunkIndex(min);
+  Chunk& chunk = chunks_->chunk(idx);
+  if (chunk.min != min || chunk.max != max || chunk.shard_id != from_shard) {
+    // The chunk split or was migrated while we copied. Nothing moved;
+    // a later round re-picks against the new topology.
+    aborted.Increment();
+    return Status::OK();
+  }
+  std::unique_lock<std::shared_mutex> first_lock(
+      source.id() < dest.id() ? source.data_mutex() : dest.data_mutex());
+  std::unique_lock<std::shared_mutex> second_lock(
+      source.id() < dest.id() ? dest.data_mutex() : source.data_mutex());
+
   const index::Index* skidx = source.catalog().Get(shard_key_index_name_);
   if (skidx == nullptr) {
     return Status::Internal("shard-key index missing on shard");
   }
-
   std::vector<storage::RecordId> rids;
-  rids.reserve(chunk.docs);
-  for (storage::BTree::Cursor c = skidx->btree().SeekGE(chunk.min);
-       c.Valid() && c.key() < chunk.max; c.Next()) {
+  for (storage::BTree::Cursor c = skidx->btree().SeekGE(min);
+       c.Valid() && c.key() < max; c.Next()) {
     rids.push_back(c.rid());
   }
   for (const storage::RecordId rid : rids) {
-    const bson::Document* doc = source.collection().records().Get(rid);
-    if (doc == nullptr) continue;
-    bson::Document copy = *doc;  // clone before the source slot dies
-    Status s = source.Remove(rid);
+    bson::Document copy;
+    if (const auto it = clones.find(rid); it != clones.end()) {
+      copy = std::move(it->second);
+    } else {
+      // Inserted after the copy snapshot: clone it now, inside the
+      // critical section.
+      const bson::Document* doc = source.collection().records().Get(rid);
+      if (doc == nullptr) continue;
+      copy = *doc;
+    }
+    Status s = source.RemoveLocked(rid);
     if (!s.ok()) return s;
-    Result<storage::RecordId> inserted = dest.Insert(std::move(copy));
+    Result<storage::RecordId> inserted = dest.InsertLocked(std::move(copy));
     if (!inserted.ok()) return inserted.status();
   }
   chunk.shard_id = to_shard;
+  committed.Increment();
   return Status::OK();
 }
 
@@ -190,22 +286,24 @@ Status Cluster::SetZones(std::vector<ZoneRange> zones) {
     }
   }
 
-  // Chunk boundaries must align with zone boundaries: split where needed.
-  for (const ZoneRange& z : zones) {
-    for (const std::string* boundary : {&z.min, &z.max}) {
-      if (*boundary == keystring::MinKey() ||
-          *boundary == keystring::MaxKey()) {
-        continue;
-      }
-      const size_t ci = chunks_->FindChunkIndex(*boundary);
-      if (chunks_->chunk(ci).min != *boundary) {
-        const Status s = chunks_->Split(ci, *boundary);
-        if (!s.ok()) return s;
+  {
+    const std::unique_lock<std::shared_mutex> topo(topology_mu_);
+    // Chunk boundaries must align with zone boundaries: split where needed.
+    for (const ZoneRange& z : zones) {
+      for (const std::string* boundary : {&z.min, &z.max}) {
+        if (*boundary == keystring::MinKey() ||
+            *boundary == keystring::MaxKey()) {
+          continue;
+        }
+        const size_t ci = chunks_->FindChunkIndex(*boundary);
+        if (chunks_->chunk(ci).min != *boundary) {
+          const Status s = chunks_->Split(ci, *boundary);
+          if (!s.ok()) return s;
+        }
       }
     }
+    zones_ = std::move(zones);
   }
-
-  zones_ = std::move(zones);
   Balance();  // first priority of the balancer: fix zone violations
   return Status::OK();
 }
@@ -271,26 +369,95 @@ Status Cluster::RestoreDocumentToShard(int shard_id, bson::Document doc) {
 void Cluster::Balance() {
   // Cap rounds defensively; each successful migration strictly reduces either
   // zone violations or imbalance, so this should never bind.
-  const size_t max_rounds = 16 * chunks_->num_chunks() + 64;
+  size_t max_rounds = 0;
+  {
+    const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+    max_rounds = 16 * chunks_->num_chunks() + 64;
+  }
   for (size_t round = 0; round < max_rounds; ++round) {
-    const std::optional<Migration> m = PickNextMigration(
-        *chunks_, options_.num_shards, zones_, options_.balancer, &rng_);
+    std::optional<Migration> m;
+    {
+      const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+      const std::lock_guard<std::mutex> bl(balance_mu_);
+      m = PickNextMigration(*chunks_, options_.num_shards, zones_,
+                            options_.balancer, &rng_);
+    }
     if (!m.has_value()) return;
     if (!MoveChunk(m->chunk_index, m->to_shard).ok()) return;
   }
 }
 
+void Cluster::RunBalancerRound() {
+  std::optional<Migration> m;
+  {
+    const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+    if (chunks_ == nullptr) return;  // balancer started before sharding
+    const std::lock_guard<std::mutex> bl(balance_mu_);
+    m = PickNextMigration(*chunks_, options_.num_shards, zones_,
+                          options_.balancer, &rng_);
+  }
+  // Failures (an enabled balancerMoveChunk fail point, a benign abort) are
+  // the background balancer's to swallow: the next round re-picks.
+  if (m.has_value()) (void)MoveChunk(m->chunk_index, m->to_shard);
+}
+
+void Cluster::BalancerMain(int interval_ms) {
+  std::unique_lock<std::mutex> lock(balancer_thread_mu_);
+  while (!balancer_stop_) {
+    lock.unlock();
+    RunBalancerRound();
+    lock.lock();
+    balancer_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                          [this] { return balancer_stop_; });
+  }
+  balancer_running_ = false;
+  balancer_cv_.notify_all();
+}
+
+void Cluster::StartBalancer() {
+  const std::lock_guard<std::mutex> lock(balancer_thread_mu_);
+  if (balancer_running_) return;
+  balancer_running_ = true;
+  balancer_stop_ = false;
+  const int interval_ms = std::max(1, options_.balancer.background_interval_ms);
+  // The balancer occupies one worker of the cluster's long-lived pool for
+  // its whole run; query fan-outs share the remaining workers.
+  exec_pool_->Submit([this, interval_ms] { BalancerMain(interval_ms); });
+}
+
+void Cluster::StopBalancer() {
+  std::unique_lock<std::mutex> lock(balancer_thread_mu_);
+  if (!balancer_running_ && !balancer_stop_) return;
+  balancer_stop_ = true;
+  balancer_cv_.notify_all();
+  balancer_cv_.wait(lock, [this] { return !balancer_running_; });
+  balancer_stop_ = false;
+}
+
+bool Cluster::balancer_running() const {
+  const std::lock_guard<std::mutex> lock(balancer_thread_mu_);
+  return balancer_running_;
+}
+
 ClusterQueryResult Cluster::Query(const query::ExprPtr& expr) const {
-  const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
-                      exec_pool_.get(), options_.parallel_fanout, &profiler_);
-  return router.Execute(expr, options_.exec);
+  // One unbounded getMore per shard — identical to Router::Execute, but
+  // routed through OpenCursor so the drain holds the migration latch.
+  CursorOptions full_drain;
+  full_drain.batch_size = 0;
+  full_drain.limit = 0;
+  return OpenCursor(expr, full_drain)->Drain();
 }
 
 std::unique_ptr<ClusterCursor> Cluster::OpenCursor(
     const query::ExprPtr& expr, const CursorOptions& cursor_options) const {
+  // Lock order: migration latch (kept by the cursor until it closes),
+  // then topology (released once targeting is done).
+  std::shared_lock<std::shared_mutex> latch(migration_commit_latch_);
+  const std::shared_lock<std::shared_mutex> topo(topology_mu_);
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
                       exec_pool_.get(), options_.parallel_fanout, &profiler_);
-  return router.OpenCursor(expr, options_.exec, cursor_options);
+  return router.OpenCursor(expr, options_.exec, cursor_options,
+                           std::move(latch));
 }
 
 Result<std::vector<bson::Document>> Cluster::Aggregate(
@@ -308,7 +475,10 @@ Result<std::vector<bson::Document>> Cluster::Aggregate(
     }
   }
   if (first_merge_stage == 0) {
-    // No leading $match: full scatter of the raw collection.
+    // No leading $match: full scatter of the raw collection. The shared
+    // topology hold fences out concurrent writers (all of which take it
+    // exclusive).
+    const std::shared_lock<std::shared_mutex> topo(topology_mu_);
     for (const auto& shard : shards_) {
       shard->collection().records().ForEach(
           [&](storage::RecordId, const bson::Document& doc) {
@@ -324,6 +494,10 @@ Result<std::vector<bson::Document>> Cluster::Aggregate(
 }
 
 Result<uint64_t> Cluster::Delete(const query::ExprPtr& expr) {
+  // One exclusive topology step: serializes against inserts and migration
+  // commits, so per-shard query-then-remove stays internally consistent
+  // and chunk accounting cannot race.
+  const std::unique_lock<std::shared_mutex> topo(topology_mu_);
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
   const std::vector<int> targets = router.TargetShards(expr);
   uint64_t deleted = 0;
@@ -354,6 +528,7 @@ Result<uint64_t> Cluster::Delete(const query::ExprPtr& expr) {
 }
 
 std::string Cluster::Explain(const query::ExprPtr& expr) const {
+  const std::shared_lock<std::shared_mutex> topo(topology_mu_);
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
   bool broadcast = false;
   const std::vector<int> targets = router.TargetShards(expr, &broadcast);
@@ -381,12 +556,17 @@ ClusterExplain Cluster::Explain(const query::ExprPtr& expr,
                                 query::ExplainVerbosity verbosity) const {
   query::ExecutorOptions exec = options_.exec;
   exec.stage_timing = true;
-  const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
-                      exec_pool_.get(), options_.parallel_fanout, &profiler_);
   CursorOptions full_drain;
   full_drain.batch_size = 0;
-  const std::unique_ptr<ClusterCursor> cursor =
-      router.OpenCursor(expr, exec, full_drain);
+  std::unique_ptr<ClusterCursor> cursor;
+  {
+    std::shared_lock<std::shared_mutex> latch(migration_commit_latch_);
+    const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+    const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
+                        exec_pool_.get(), options_.parallel_fanout,
+                        &profiler_);
+    cursor = router.OpenCursor(expr, exec, full_drain, std::move(latch));
+  }
   while (!cursor->exhausted()) (void)cursor->NextBatch();
   ClusterExplain explain = cursor->Explain(verbosity);
   explain.shard_key = pattern_.DebugString();
@@ -395,27 +575,37 @@ ClusterExplain Cluster::Explain(const query::ExprPtr& expr,
 }
 
 std::string Cluster::ServerStatus() const {
+  const uint64_t documents = total_documents();
+  size_t num_chunks = 0;
+  {
+    const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+    num_chunks = chunks_ == nullptr ? 0 : chunks_->num_chunks();
+  }
   std::ostringstream out;
-  out << "{\"shards\": " << shards_.size()
-      << ", \"documents\": " << total_documents()
-      << ", \"chunks\": " << (chunks_ == nullptr ? 0 : chunks_->num_chunks())
+  out << "{\"shards\": " << shards_.size() << ", \"documents\": " << documents
+      << ", \"chunks\": " << num_chunks
       << ", \"metrics\": " << MetricsRegistry::Instance().ToJson()
       << ", \"profiler\": " << profiler_.ToJson() << "}";
   return out.str();
 }
 
 std::vector<int> Cluster::TargetShards(const query::ExprPtr& expr) const {
+  const std::shared_lock<std::shared_mutex> topo(topology_mu_);
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
   return router.TargetShards(expr);
 }
 
 uint64_t Cluster::total_documents() const {
+  // Every shard-data writer holds topology_mu_ exclusive, so a shared hold
+  // makes the per-shard record counts safe to read.
+  const std::shared_lock<std::shared_mutex> topo(topology_mu_);
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->num_documents();
   return total;
 }
 
 storage::CollectionStats Cluster::ComputeDataStats() const {
+  const std::shared_lock<std::shared_mutex> topo(topology_mu_);
   storage::CollectionStats total;
   for (const auto& shard : shards_) {
     const storage::CollectionStats s = shard->collection().ComputeStats();
@@ -427,6 +617,7 @@ storage::CollectionStats Cluster::ComputeDataStats() const {
 }
 
 std::map<std::string, uint64_t> Cluster::ComputeIndexSizes() const {
+  const std::shared_lock<std::shared_mutex> topo(topology_mu_);
   std::map<std::string, uint64_t> sizes;
   for (const auto& shard : shards_) {
     for (const auto& idx : shard->catalog().indexes()) {

@@ -1,8 +1,11 @@
 #ifndef STIX_CLUSTER_CLUSTER_H_
 #define STIX_CLUSTER_CLUSTER_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -61,9 +64,30 @@ struct ClusterOptions {
 /// the paper performs against MongoDB: shard a collection, create indexes,
 /// bulk insert, define zones with $bucketAuto boundaries, run queries, and
 /// inspect sizes.
+///
+/// Concurrency model (see DESIGN.md §"Concurrency model" for the full
+/// contract). Queries, inserts, deletes and chunk migrations may run on
+/// different threads concurrently once the collection is sharded; the
+/// setup-time calls (ShardCollection, CreateIndex, Restore*) are
+/// single-threaded and must precede any concurrency. Three cluster locks in
+/// a fixed order, shard data locks last:
+///
+///   migration_commit_latch_  — held shared by every open ClusterCursor for
+///       its lifetime; a migration's commit phase takes it exclusive, so
+///       chunk ownership never flips under a live stream (chunk *copies*
+///       proceed concurrently — MongoDB's critical section, stretched to
+///       cursor granularity);
+///   topology_mu_             — chunks_ + zones_ + chunk accounting;
+///       writers (Insert routing/split, migration commit, Delete) take it
+///       exclusive, targeting and introspection take it shared. Because
+///       every shard-data writer holds it exclusive, it also establishes
+///       the happens-before for lock-free reads like total_documents();
+///   shard data_mu_ (per shard) — see Shard; always acquired last, both
+///       shards in shard-id order inside a migration commit.
 class Cluster {
  public:
   explicit Cluster(const ClusterOptions& options = {});
+  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -94,6 +118,20 @@ class Cluster {
   /// Runs balancer rounds until no migration is pending.
   void Balance();
 
+  /// Starts the online balancer: a background task on the cluster's
+  /// executor pool that runs one balancer round (pick + two-phase move)
+  /// every BalancerOptions::background_interval_ms, concurrently with
+  /// queries and inserts. Idempotent. Call after setup (ShardCollection /
+  /// Restore*) — the thread no-ops until the collection is sharded.
+  void StartBalancer();
+
+  /// Stops the online balancer and joins its task (any in-flight migration
+  /// finishes first). Idempotent; also called by the destructor.
+  void StopBalancer();
+
+  /// True between StartBalancer() and StopBalancer().
+  bool balancer_running() const;
+
   /// Snapshot-restore path: installs a previously saved sharding state
   /// (pattern, chunk table, zones) and creates the mandatory and given
   /// secondary indexes on every shard. The cluster must be fresh. The chunk
@@ -113,7 +151,11 @@ class Cluster {
 
   /// Opens a streaming cursor through the router: batched getMore rounds,
   /// optional limit pushdown (see CursorOptions). The cursor borrows the
-  /// cluster's shards and pool — consume it before mutating the cluster.
+  /// cluster's shards and pool. Under the default yield policy it may be
+  /// consumed while inserts and balancer rounds run concurrently (it holds
+  /// the migration-commit latch shared until closed); under
+  /// YieldPolicy::kAbortOnMutation the legacy rule applies — consume it
+  /// before mutating the cluster.
   std::unique_ptr<ClusterCursor> OpenCursor(
       const query::ExprPtr& expr,
       const CursorOptions& cursor_options = {}) const;
@@ -183,6 +225,10 @@ class Cluster {
  private:
   Status MoveChunk(size_t chunk_index, int to_shard);
   void MaybeSplitChunk(size_t chunk_index);
+  /// One background-balancer cadence: pick under the topology lock, then
+  /// two-phase move. Aborted commits are benign (retried next round).
+  void RunBalancerRound();
+  void BalancerMain(int interval_ms);
   static std::string IndexNameForPattern(const ShardKeyPattern& pattern);
 
   ClusterOptions options_;
@@ -198,6 +244,20 @@ class Cluster {
   Rng rng_;
   int inserts_since_balance_ = 0;
   bool sharded_ = false;
+
+  // --- concurrency control (lock order: latch < topology < shard data) ---
+  // Shared by cursors for their lifetime, exclusive for a migration commit.
+  mutable std::shared_mutex migration_commit_latch_;
+  // Guards chunks_, zones_ and chunk accounting (see class comment).
+  mutable std::shared_mutex topology_mu_;
+  // Guards rng_ and inserts_since_balance_ (balancer cadence state shared
+  // by the insert path and the background balancer).
+  mutable std::mutex balance_mu_;
+  // Background balancer lifecycle.
+  mutable std::mutex balancer_thread_mu_;
+  mutable std::condition_variable balancer_cv_;
+  bool balancer_running_ = false;
+  bool balancer_stop_ = false;
 };
 
 }  // namespace stix::cluster

@@ -100,13 +100,14 @@ std::vector<int> Router::TargetShards(const query::ExprPtr& expr,
 
 std::unique_ptr<ClusterCursor> Router::OpenCursor(
     const query::ExprPtr& expr, const query::ExecutorOptions& exec_options,
-    const CursorOptions& cursor_options) const {
+    const CursorOptions& cursor_options,
+    std::shared_lock<std::shared_mutex> migration_latch) const {
   bool broadcast = false;
   std::vector<int> targets = TargetShards(expr, &broadcast);
   return std::unique_ptr<ClusterCursor>(
       new ClusterCursor(shards_, std::move(targets), broadcast, expr,
                         exec_options, options_, parallel_fanout_, pool_,
-                        cursor_options, profiler_));
+                        cursor_options, profiler_, std::move(migration_latch)));
 }
 
 ClusterQueryResult Router::Execute(
@@ -127,7 +128,7 @@ ClusterCursor::ClusterCursor(
     const query::ExecutorOptions& exec_options,
     const RouterOptions& router_options, bool parallel_fanout,
     ThreadPool* pool, const CursorOptions& cursor_options,
-    OpProfiler* profiler)
+    OpProfiler* profiler, std::shared_lock<std::shared_mutex> migration_latch)
     : targets_(std::move(targets)),
       broadcast_(broadcast),
       router_options_(router_options),
@@ -135,7 +136,8 @@ ClusterCursor::ClusterCursor(
       pool_(pool),
       cursor_options_(cursor_options),
       expr_(expr),
-      profiler_(profiler) {
+      profiler_(profiler),
+      migration_latch_(std::move(migration_latch)) {
   cursors_.reserve(targets_.size());
   for (int target : targets_) {
     // The limit is pushed down whole to every shard: any one shard might
@@ -150,8 +152,10 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
   if (exhausted_) return out;
 
   if (Status s = CheckFailPoint(clusterMergeBatch); !s.ok()) {
+    // The mongos lost its cursor state: the shard halves must not leak.
     status_ = std::move(s);
     exhausted_ = true;
+    CloseShardCursors();
     MaybeProfile();
     return out;
   }
@@ -167,6 +171,7 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
     // No getMore round was issued (zero targets, or a limit satisfied
     // exactly at a shard boundary): nothing to merge and no batch to count.
     exhausted_ = true;
+    CloseShardCursors();
     MaybeProfile();
     return out;
   }
@@ -193,8 +198,11 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
   // injection.
   for (size_t i : active) {
     if (!batches[i].error.ok()) {
+      // The other shards' cursors are still live; close them all so the
+      // cluster never leaks shard cursors on a partial failure.
       status_ = batches[i].error;
       exhausted_ = true;
+      CloseShardCursors();
       MaybeProfile();
       return out;
     }
@@ -203,22 +211,28 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
   STIX_METRIC_COUNTER(cluster_batches, "cluster.batches");
   cluster_batches.Increment();
 
-  // Merge in shard-target order. The shards returned borrowed pointers
-  // into their record stores; this is the single point where result
-  // documents are materialized.
+  // Merge in shard-target order. Yield-policy batches arrive already
+  // materialized (shard-owned documents, moved here for free); legacy
+  // batches borrow from the record stores and this is their single
+  // materialization point.
   Stopwatch merge_timer;
   size_t round_docs = 0;
   for (size_t i : active) round_docs += batches[i].docs.size();
   out.reserve(round_docs);
   for (size_t i : active) {
-    const ShardCursor::Batch& batch = batches[i];
+    ShardCursor::Batch& batch = batches[i];
     batch.CheckBorrows();
-    for (const bson::Document* d : batch.docs) {
+    const bool owned = !batch.owned.empty();
+    for (size_t j = 0; j < batch.docs.size(); ++j) {
       if (cursor_options_.limit != 0 && returned_ >= cursor_options_.limit) {
         break;
       }
-      out.push_back(*d);
-      bytes_materialized_ += d->ApproxBsonSize();
+      if (owned) {
+        out.push_back(std::move(batch.owned[j]));
+      } else {
+        out.push_back(*batch.docs[j]);
+      }
+      bytes_materialized_ += out.back().ApproxBsonSize();
       ++returned_;
     }
   }
@@ -245,8 +259,25 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
       }
     }
   }
-  if (exhausted_) MaybeProfile();
+  if (exhausted_) {
+    CloseShardCursors();
+    MaybeProfile();
+  }
   return out;
+}
+
+void ClusterCursor::Kill() {
+  if (exhausted_) return;
+  status_ = Status::Internal("operation was interrupted (cursor killed)");
+  exhausted_ = true;
+  CloseShardCursors();
+}
+
+void ClusterCursor::CloseShardCursors() {
+  for (const std::unique_ptr<ShardCursor>& cursor : cursors_) {
+    cursor->Close();
+  }
+  if (migration_latch_.owns_lock()) migration_latch_.unlock();
 }
 
 ClusterQueryResult ClusterCursor::Summary() const {

@@ -2,6 +2,7 @@
 #define STIX_CLUSTER_ROUTER_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -115,13 +116,24 @@ struct ClusterExplain {
 /// instead of the full result set, and a pushed-down limit stops all
 /// shard-side work as soon as it is satisfied.
 ///
-/// Lifetime: borrows the shards (via their cursors) and must be consumed
-/// before any shard's collection mutates; each merged batch is materialized
-/// (owned documents), so the *returned* batches outlive anything.
+/// Lifetime: borrows the shards (via their cursors). Under the default
+/// yield policy the cursor survives concurrent inserts and balancer rounds:
+/// it holds the cluster's migration-commit latch shared for its lifetime
+/// (chunk *copies* proceed, chunk ownership cannot flip mid-stream) and
+/// every batch is shard-materialized. Under kAbortOnMutation the legacy
+/// contract applies: consume the stream before any shard mutates. Each
+/// merged batch the caller receives is owned either way.
+///
+/// Resource discipline: every path that abandons the stream — exhaustion,
+/// a shard getMore fault, a merge fault, Kill(), destruction — closes all
+/// outstanding shard cursors and releases the migration latch, so the
+/// "cluster.open_cursors" gauge always returns to zero.
 class ClusterCursor {
  public:
   ClusterCursor(const ClusterCursor&) = delete;
   ClusterCursor& operator=(const ClusterCursor&) = delete;
+
+  ~ClusterCursor() { CloseShardCursors(); }
 
   /// Pulls and merges the next round of per-shard batches. An empty return
   /// means the stream is exhausted (the converse does not hold: the final
@@ -133,6 +145,11 @@ class ClusterCursor {
   /// Non-OK once a shard died mid-stream or the merge faulted; the cursor
   /// is then exhausted and produces no further documents.
   const Status& status() const { return status_; }
+
+  /// Kills the stream (mongos killCursors): the cursor becomes exhausted
+  /// with a non-OK status, every outstanding shard cursor is closed and the
+  /// migration latch released. Idempotent; a no-op after exhaustion.
+  void Kill();
 
   /// Metrics accumulated so far (complete once exhausted), with `docs`
   /// left empty — batches hand ownership to the caller as they stream.
@@ -157,11 +174,18 @@ class ClusterCursor {
                 const query::ExecutorOptions& exec_options,
                 const RouterOptions& router_options, bool parallel_fanout,
                 ThreadPool* pool, const CursorOptions& cursor_options,
-                OpProfiler* profiler);
+                OpProfiler* profiler,
+                std::shared_lock<std::shared_mutex> migration_latch);
 
   /// Hands the finished op to the profiler when it crosses the slow-op
   /// threshold. Called exactly once, at the exhaustion transition.
   void MaybeProfile();
+
+  /// Closes every outstanding shard cursor and releases the migration
+  /// latch. Idempotent; called on every exhaustion transition and from the
+  /// destructor. Shard cursors stay allocated (their stats feed
+  /// Summary/Explain after the stream ends) — only their shard claims drop.
+  void CloseShardCursors();
 
   std::vector<int> targets_;
   bool broadcast_ = false;
@@ -182,6 +206,11 @@ class ClusterCursor {
   double first_result_millis_ = -1.0;  // <0 = no result produced yet
   int num_batches_ = 0;
   Stopwatch open_timer_;
+  /// Held shared for the cursor's lifetime under the yield policy: chunk
+  /// ownership cannot commit while any cluster cursor streams (the
+  /// migration's copy phase still runs concurrently). Default-constructed
+  /// (empty) when the owning cluster has no latch or legacy mode is on.
+  std::shared_lock<std::shared_mutex> migration_latch_;
 };
 
 /// The mongos: targets the minimal set of shards whose chunks can hold
@@ -216,9 +245,17 @@ class Router {
   /// per target (lazily — no shard work until the first NextBatch), and
   /// returns the merge cursor. The cursor captures everything it needs, so
   /// it may outlive this Router (but not the shards).
+  ///
+  /// `migration_latch` (optional, and supplied by the owning Cluster) is a
+  /// shared hold on the cluster's migration-commit latch, acquired by the
+  /// caller *before* the topology lock so the cluster-wide lock order
+  /// (commit latch < topology < shard data) is never inverted. The cursor
+  /// keeps it until it closes, fencing chunk-ownership flips out of live
+  /// streams. Direct Router users (shard-local tests) pass nothing.
   std::unique_ptr<ClusterCursor> OpenCursor(
       const query::ExprPtr& expr, const query::ExecutorOptions& exec_options,
-      const CursorOptions& cursor_options = {}) const;
+      const CursorOptions& cursor_options = {},
+      std::shared_lock<std::shared_mutex> migration_latch = {}) const;
 
   /// Scatter/gather execution with per-shard measurement: open + drain with
   /// a single unbounded getMore per shard.

@@ -1,11 +1,45 @@
 #include "cluster/shard.h"
 
 #include <cstdio>
+#include <mutex>
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace stix::cluster {
+namespace {
+
+// Shard-lock acquisition with contention accounting: the uncontended path
+// is a single try_lock (no clock reads); only a blocked acquisition pays
+// for a stopwatch and feeds the wait metrics.
+std::shared_lock<std::shared_mutex> LockShared(std::shared_mutex& mu) {
+  std::shared_lock<std::shared_mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    STIX_METRIC_COUNTER(waits, "shard.lock_waits");
+    STIX_METRIC_HISTOGRAM(wait_micros, "shard.lock_wait_micros");
+    Stopwatch timer;
+    lock.lock();
+    waits.Increment();
+    wait_micros.Observe(static_cast<uint64_t>(timer.ElapsedMicros()));
+  }
+  return lock;
+}
+
+std::unique_lock<std::shared_mutex> LockExclusive(std::shared_mutex& mu) {
+  std::unique_lock<std::shared_mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    STIX_METRIC_COUNTER(waits, "shard.lock_waits");
+    STIX_METRIC_HISTOGRAM(wait_micros, "shard.lock_wait_micros");
+    Stopwatch timer;
+    lock.lock();
+    waits.Increment();
+    wait_micros.Observe(static_cast<uint64_t>(timer.ElapsedMicros()));
+  }
+  return lock;
+}
+
+}  // namespace
 
 std::string ShardExplain::ToJson(query::ExplainVerbosity v) const {
   std::ostringstream out;
@@ -42,6 +76,11 @@ std::string ShardExplain::ToJson(query::ExplainVerbosity v) const {
 STIX_FAIL_POINT_DEFINE(shardGetMore);
 
 Result<storage::RecordId> Shard::Insert(bson::Document doc) {
+  const std::unique_lock<std::shared_mutex> lock = LockExclusive(data_mu_);
+  return InsertLocked(std::move(doc));
+}
+
+Result<storage::RecordId> Shard::InsertLocked(bson::Document doc) {
   const storage::RecordId rid = collection_.records().Insert(std::move(doc));
   const bson::Document* stored = collection_.records().Get(rid);
   const Status s = catalog_.OnInsert(*stored, rid);
@@ -53,6 +92,11 @@ Result<storage::RecordId> Shard::Insert(bson::Document doc) {
 }
 
 Status Shard::Remove(storage::RecordId rid) {
+  const std::unique_lock<std::shared_mutex> lock = LockExclusive(data_mu_);
+  return RemoveLocked(rid);
+}
+
+Status Shard::RemoveLocked(storage::RecordId rid) {
   const bson::Document* doc = collection_.records().Get(rid);
   if (doc == nullptr) {
     return Status::NotFound("record " + std::to_string(rid));
@@ -65,6 +109,7 @@ Status Shard::Remove(storage::RecordId rid) {
 
 query::ExecutionResult Shard::RunQuery(
     const query::ExprPtr& expr, const query::ExecutorOptions& options) const {
+  const std::shared_lock<std::shared_mutex> lock = LockShared(data_mu_);
   return query::ExecuteQuery(collection_.records(), catalog_, expr, options,
                              &plan_cache_);
 }
@@ -79,8 +124,20 @@ std::unique_ptr<ShardCursor> Shard::OpenCursor(
 ShardCursor::ShardCursor(const Shard& shard, query::ExprPtr expr,
                          const query::ExecutorOptions& options, uint64_t limit)
     : shard_(shard),
+      options_(options),
       exec_(shard.collection().records(), shard.catalog(), std::move(expr),
-            options, &shard.plan_cache_, limit) {}
+            options, &shard.plan_cache_, limit) {
+  STIX_METRIC_GAUGE(open_cursors, "cluster.open_cursors");
+  open_cursors.Add(1);
+}
+
+void ShardCursor::Close() {
+  if (closed_) return;
+  closed_ = true;
+  done_ = true;
+  STIX_METRIC_GAUGE(open_cursors, "cluster.open_cursors");
+  open_cursors.Sub(1);
+}
 
 int ShardCursor::shard_id() const { return shard_.id(); }
 
@@ -108,15 +165,24 @@ ShardExplain Shard::Explain(const query::ExprPtr& expr,
 
 ShardCursor::Batch ShardCursor::GetMore(size_t batch_size) {
   Batch batch;
-  const storage::RecordStore& records = shard_.collection().records();
+  if (done_) {
+    batch.exhausted = true;
+    return batch;
+  }
+  // Evaluated outside the shard lock: an injected delay stalls this cursor,
+  // not the shard's writers.
   if (Status s = CheckFailPoint(shardGetMore); !s.ok()) {
     done_ = true;
     batch.exhausted = true;
     batch.error = std::move(s);
-    batch.borrow_source = &records;
-    batch.borrow_generation = records.generation();
     return batch;
   }
+  const bool yield =
+      options_.yield_policy == query::YieldPolicy::kYieldAndRestore;
+  const std::shared_lock<std::shared_mutex> lock =
+      LockShared(shard_.data_mutex());
+  const storage::RecordStore& records = shard_.collection().records();
+  if (yield) exec_.RestoreState();
   Stopwatch timer;
   storage::RecordId rid;
   const bson::Document* doc;
@@ -130,8 +196,20 @@ ShardCursor::Batch ShardCursor::GetMore(size_t batch_size) {
   }
   exec_millis_ += timer.ElapsedMillis();
   batch.exhausted = done_;
-  batch.borrow_source = &records;
-  batch.borrow_generation = records.generation();
+  if (yield) {
+    // Detach before the lock drops: the executor collapses to KeyString
+    // positions and the batch takes ownership of its documents, so writers
+    // and migrations may run freely until the next GetMore.
+    exec_.SaveState();
+    batch.owned.reserve(batch.docs.size());
+    for (const bson::Document* d : batch.docs) batch.owned.push_back(*d);
+    for (size_t i = 0; i < batch.docs.size(); ++i) {
+      batch.docs[i] = &batch.owned[i];
+    }
+  } else {
+    batch.borrow_source = &records;
+    batch.borrow_generation = records.generation();
+  }
   return batch;
 }
 

@@ -2,6 +2,7 @@
 #define STIX_CLUSTER_SHARD_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "common/stopwatch.h"
@@ -41,16 +42,30 @@ struct ShardExplain {
 /// the shard's PlanExecutor, timing only the work actually performed, so a
 /// stream abandoned early charges the shard only for what it produced.
 ///
-/// Lifetime: the cursor borrows the shard and its batches borrow documents
-/// from the shard's RecordStore; consume each batch before the collection
-/// next mutates (the batch carries a borrow guard) and drop the cursor
-/// before the shard.
+/// Concurrency: every GetMore holds the shard's lock shared for the
+/// duration of the pull. Under the default yield policy the executor
+/// detaches from storage before the lock drops (SaveState) and each batch
+/// is materialized into cursor-owned documents, so the cursor survives
+/// concurrent inserts and chunk migrations between getMores. Under
+/// YieldPolicy::kAbortOnMutation the legacy zero-copy contract applies:
+/// batches borrow from the shard's RecordStore and must be consumed before
+/// the collection next mutates (the batch carries a borrow guard).
+///
+/// Every open cursor is tracked in the "cluster.open_cursors" gauge until
+/// Close() (called by the owning ClusterCursor on exhaustion, error and
+/// kill, and by the destructor as a backstop).
 class ShardCursor {
  public:
-  /// One getMore's worth of results, as borrowed pointers.
+  /// One getMore's worth of results.
   struct Batch {
+    /// Result documents. Under kYieldAndRestore these point into `owned`
+    /// (stable across Batch moves); under kAbortOnMutation they borrow from
+    /// the shard's RecordStore.
     std::vector<const bson::Document*> docs;
     std::vector<storage::RecordId> rids;
+    /// Backing storage for `docs` under the yield policy; empty in legacy
+    /// mode.
+    std::vector<bson::Document> owned;
     /// True when the stream ended at or before the end of this batch.
     bool exhausted = false;
     /// Non-OK when the shard died mid-stream (e.g. an injected fault): the
@@ -58,7 +73,8 @@ class ShardCursor {
     Status error;
 
     /// Borrow guard, as on query::ExecutionResult: valid only while the
-    /// source store's generation is unchanged.
+    /// source store's generation is unchanged. Owned batches have no borrow
+    /// source and are always valid.
     const storage::RecordStore* borrow_source = nullptr;
     uint64_t borrow_generation = 0;
     bool BorrowsValid() const {
@@ -68,8 +84,16 @@ class ShardCursor {
     void CheckBorrows() const { assert(BorrowsValid()); }
   };
 
+  ~ShardCursor() { Close(); }
+
   /// Pulls up to `batch_size` more documents (0 = run to exhaustion).
   Batch GetMore(size_t batch_size);
+
+  /// Releases the cursor's claim on the shard: the stream is permanently
+  /// exhausted and the open-cursor gauge is decremented (exactly once; Close
+  /// is idempotent). The router calls this on every path that abandons the
+  /// stream — exhaustion, a shard or merge fault, and Kill().
+  void Close();
 
   bool exhausted() const { return done_; }
   int shard_id() const;
@@ -93,14 +117,23 @@ class ShardCursor {
               const query::ExecutorOptions& options, uint64_t limit);
 
   const Shard& shard_;
+  query::ExecutorOptions options_;
   query::PlanExecutor exec_;
   double exec_millis_ = 0.0;
   bool done_ = false;
+  bool closed_ = false;
 };
 
 /// One MongoDB shard server: a shard-local collection plus its index
 /// catalog. Queries run against it through the same executor a standalone
 /// mongod would use; the router fans out and merges.
+///
+/// Concurrency: a reader–writer lock over the shard's data (collection +
+/// indexes). Readers — OpenCursor/GetMore/Explain/RunQuery — hold it
+/// shared; Insert and Remove (migration apply) hold it exclusive. Acquired
+/// last in the cluster's lock order (migration latch < topology < shard
+/// data) and never held across calls out of the shard. Contended
+/// acquisitions feed "shard.lock_waits" / "shard.lock_wait_micros".
 class Shard {
  public:
   explicit Shard(int id) : id_(id) {}
@@ -115,15 +148,18 @@ class Shard {
   index::IndexCatalog& catalog() { return catalog_; }
   const index::IndexCatalog& catalog() const { return catalog_; }
 
-  /// Stores a document and maintains every index.
+  /// Stores a document and maintains every index (exclusive lock).
   Result<storage::RecordId> Insert(bson::Document doc);
 
-  /// Removes a record and its index entries (chunk migration).
+  /// Removes a record and its index entries (chunk migration; exclusive
+  /// lock).
   Status Remove(storage::RecordId rid);
 
   /// Runs a query locally to completion, returning documents and
   /// explain-style stats. Plan choices are remembered per query shape in
-  /// this shard's plan cache, as in mongod.
+  /// this shard's plan cache, as in mongod. Holds the shard lock shared for
+  /// the whole execution; the result borrows the record store, so consume
+  /// it before the next local mutation.
   query::ExecutionResult RunQuery(const query::ExprPtr& expr,
                                   const query::ExecutorOptions& options) const;
 
@@ -148,6 +184,17 @@ class Shard {
 
   const query::PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// The shard's reader–writer data lock. Exposed for multi-record critical
+  /// sections that must hold it across calls (the migration commit batches
+  /// its removes/inserts under one exclusive acquisition via the *Locked
+  /// entry points below).
+  std::shared_mutex& data_mutex() const { return data_mu_; }
+
+  /// Insert/Remove bodies without the lock acquisition, for callers that
+  /// already hold data_mutex() exclusively.
+  Result<storage::RecordId> InsertLocked(bson::Document doc);
+  Status RemoveLocked(storage::RecordId rid);
+
  private:
   // Cursors share the shard's plan cache, like getMore continuations share
   // mongod's.
@@ -156,6 +203,9 @@ class Shard {
   int id_;
   storage::Collection collection_;
   index::IndexCatalog catalog_;
+  // Guards collection_ + catalog_ (see class comment). The plan cache and
+  // metrics lock themselves.
+  mutable std::shared_mutex data_mu_;
   // Logically execution-state, not collection-state; mongod's cache is
   // likewise invisible to readers.
   mutable query::PlanCache plan_cache_;

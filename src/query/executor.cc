@@ -100,7 +100,7 @@ void PlanExecutor::Prepare() {
   // replanning budget.
   if (cache_ != nullptr && candidates_.size() > 1) {
     shape_ = QueryShape(*expr_);
-    if (const PlanCacheEntry* entry = cache_->Lookup(shape_)) {
+    if (const std::optional<PlanCacheEntry> entry = cache_->Lookup(shape_)) {
       CandidatePlan* cached_plan = nullptr;
       for (CandidatePlan& plan : candidates_) {
         if (plan.index_name == entry->index_name) {
@@ -183,6 +183,27 @@ bool PlanExecutor::Next(storage::RecordId* rid_out,
   *doc_out = item.doc;
   ++returned_;
   return true;
+}
+
+void PlanExecutor::SaveState() {
+  if (phase_ == Phase::kInit || phase_ == Phase::kDone || saved_) return;
+  if (phase_ == Phase::kBuffer) {
+    // Unreturned buffered results still point into the record store;
+    // materialize them into executor-owned storage and repoint. The deque
+    // never reallocates elements, so earlier repointed entries stay valid.
+    for (size_t i = buffer_pos_; i < winner_->docs.size(); ++i) {
+      owned_buffer_.push_back(*winner_->docs[i]);
+      winner_->docs[i] = &owned_buffer_.back();
+    }
+  }
+  winner_->plan->root->SaveState();
+  saved_ = true;
+}
+
+void PlanExecutor::RestoreState() {
+  if (!saved_) return;
+  saved_ = false;
+  winner_->plan->root->RestoreState();
 }
 
 void PlanExecutor::Finish() {

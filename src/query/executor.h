@@ -2,6 +2,7 @@
 #define STIX_QUERY_EXECUTOR_H_
 
 #include <cassert>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,19 @@
 #include "query/planner.h"
 
 namespace stix::query {
+
+/// What a paused executor does about concurrent collection mutation.
+enum class YieldPolicy {
+  /// Detach from btree/record-store memory at every batch boundary
+  /// (SaveState) and reposition from the last KeyString on resume
+  /// (RestoreState) — reads survive concurrent inserts and migrations, as
+  /// MongoDB's YIELD_AUTO does. The default.
+  kYieldAndRestore,
+  /// Legacy pre-yield behaviour: keep raw cursors across batches and rely
+  /// on the RecordStore generation borrow guard to catch use-after-mutate.
+  /// Only safe when the collection is quiesced for the cursor's lifetime.
+  kAbortOnMutation,
+};
 
 /// Knobs of the trial-based plan selection (MongoDB's multi-planner).
 struct ExecutorOptions {
@@ -27,6 +41,9 @@ struct ExecutorOptions {
   /// Per-stage wall-clock timing on every plan stage (explain/profiler
   /// executions). Off by default: normal queries pay no clock reads.
   bool stage_timing = false;
+  /// See YieldPolicy. kYieldAndRestore lets shard cursors survive
+  /// concurrent writers and the online balancer between getMore calls.
+  YieldPolicy yield_policy = YieldPolicy::kYieldAndRestore;
 };
 
 /// Result of running one query on one shard-local collection.
@@ -108,6 +125,20 @@ class PlanExecutor {
   /// True once Next() has returned false.
   bool exhausted() const { return phase_ == Phase::kDone; }
 
+  /// Detaches the execution from btree/record-store memory so the
+  /// collection may mutate while the executor is dormant (a MongoDB yield):
+  /// unreturned trial-race results are materialized into executor-owned
+  /// storage and every stage cursor collapses to its last KeyString
+  /// position. Called by ShardCursor at batch boundaries, while the shard
+  /// lock is still held. Idempotent; a no-op before the first Next() and
+  /// after exhaustion.
+  void SaveState();
+
+  /// Repositions the stages after SaveState, before the next pull — under
+  /// the shard lock. Entries removed during the yield are stepped over;
+  /// entries inserted behind the scan position are not revisited.
+  void RestoreState();
+
   /// Counters accumulated so far; after an unlimited drain they match the
   /// batch executor's ExecStats exactly.
   ExecStats CurrentStats() const;
@@ -161,6 +192,11 @@ class PlanExecutor {
   std::vector<CandidatePlan> candidates_;
   std::vector<Racer> racers_;
   Racer* winner_ = nullptr;
+  // Documents materialized out of the record store at SaveState so the
+  // buffered replay survives mutation; a deque so pointers handed back to
+  // the winner's doc vector stay stable as more yields append.
+  std::deque<bson::Document> owned_buffer_;
+  bool saved_ = false;
   size_t buffer_pos_ = 0;
   uint64_t returned_ = 0;
   std::string shape_;

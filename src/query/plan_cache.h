@@ -1,6 +1,8 @@
 #ifndef STIX_QUERY_PLAN_CACHE_H_
 #define STIX_QUERY_PLAN_CACHE_H_
 
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -31,40 +33,54 @@ struct PlanCacheEntry {
 /// would pay the losing candidates' trial work, which MongoDB only pays
 /// once per shape. One cache per shard, as plan choice is data-dependent
 /// (the paper's Table 7 shows different nodes choosing different indexes).
+///
+/// Thread-safe: concurrent cursors on one shard share the shard's cache, so
+/// every operation locks and Lookup returns the entry by value (a pointer
+/// into the map could be evicted under the caller's feet).
 class PlanCache {
  public:
-  /// Cached entry for this shape, or nullptr. Hit/miss feeds the
+  /// Cached entry for this shape, or nullopt. Hit/miss feeds the
   /// server-wide registry ("plan_cache.hits"/"plan_cache.misses").
-  const PlanCacheEntry* Lookup(const std::string& shape) const {
+  std::optional<PlanCacheEntry> Lookup(const std::string& shape) const {
     STIX_METRIC_COUNTER(hits, "plan_cache.hits");
     STIX_METRIC_COUNTER(misses, "plan_cache.misses");
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(shape);
     if (it == entries_.end()) {
       misses.Increment();
-      return nullptr;
+      return std::nullopt;
     }
     hits.Increment();
-    return &it->second;
+    return it->second;
   }
 
   void Store(const std::string& shape, std::string index_name,
              uint64_t works) {
     STIX_METRIC_COUNTER(stores, "plan_cache.stores");
     stores.Increment();
+    std::lock_guard<std::mutex> lock(mu_);
     entries_[shape] = PlanCacheEntry{std::move(index_name), works};
   }
 
   void Evict(const std::string& shape) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (entries_.erase(shape) > 0) {
       STIX_METRIC_COUNTER(evictions, "plan_cache.evictions");
       evictions.Increment();
     }
   }
 
-  void Clear() { entries_.clear(); }
-  size_t size() const { return entries_.size(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, PlanCacheEntry> entries_;
 };
 

@@ -131,6 +131,27 @@ PlanStage::State IndexScanStage::Work(storage::RecordId* rid_out,
   return State::kAdvanced;
 }
 
+void IndexScanStage::SaveState() {
+  saved_ = false;
+  if (!initialized_ || done_) return;  // nothing borrowed from the tree yet
+  saved_at_end_ = !cursor_.Valid();
+  if (!saved_at_end_) {
+    saved_key_ = cursor_.key();
+    saved_rid_ = cursor_.rid();
+  }
+  cursor_ = storage::BTree::Cursor();  // drop the leaf pointer
+  saved_ = true;
+}
+
+void IndexScanStage::RestoreState() {
+  if (!saved_) return;
+  saved_ = false;
+  if (saved_at_end_) return;  // an invalid cursor stays EOF
+  // First entry at or after the saved (key, rid): removed entries are
+  // stepped over, entries inserted behind the scan point stay behind it.
+  cursor_ = index_.btree().SeekGE(saved_key_, saved_rid_);
+}
+
 void IndexScanStage::AccumulateStats(ExecStats* stats) const {
   stats->keys_examined += keys_examined_;
 }

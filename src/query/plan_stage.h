@@ -70,6 +70,22 @@ class PlanStage {
   /// what each verbosity serializes — the node always carries everything).
   virtual ExplainNode Explain() const = 0;
 
+  /// Detaches the stage (and its subtree) from btree/record-store memory so
+  /// the collection may mutate while the stage is dormant: cursors record
+  /// their position as a (KeyString, RecordId) pair and are invalidated.
+  /// The executor calls this at batch boundaries (a MongoDB yield).
+  virtual void SaveState() {
+    if (PlanStage* child = child_stage()) child->SaveState();
+  }
+
+  /// Reattaches after SaveState: cursors reposition from their saved
+  /// KeyString (first entry >= the saved position), so entries inserted
+  /// behind the scan point are skipped and removed entries are stepped over
+  /// — MongoDB's restore contract for yielded index scans.
+  virtual void RestoreState() {
+    if (PlanStage* child = child_stage()) child->RestoreState();
+  }
+
   /// Demand-driven pull: spins Work() until the stage produces a document
   /// or reaches end of stream, charging every unit spent to *works. When
   /// works_budget is non-zero the pull also stops (kBudget) once *works
@@ -108,6 +124,8 @@ class IndexScanStage : public PlanStage {
 
   State Work(storage::RecordId* rid_out,
              const bson::Document** doc_out) override;
+  void SaveState() override;
+  void RestoreState() override;
   void AccumulateStats(ExecStats* stats) const override;
   std::string Summary() const override;
   ExplainNode Explain() const override;
@@ -122,6 +140,12 @@ class IndexScanStage : public PlanStage {
   storage::BTree::Cursor cursor_;
   bool initialized_ = false;
   bool done_ = false;
+  // Saved scan position across a yield: the (key, rid) of the next entry to
+  // examine, or "at end" when the cursor had run off the tree.
+  bool saved_ = false;
+  bool saved_at_end_ = false;
+  std::string saved_key_;
+  storage::RecordId saved_rid_ = storage::kInvalidRecordId;
   uint64_t keys_examined_ = 0;
   std::vector<bson::Value> decoded_;  // scratch
   /// Multikey indexes can emit a RecordId once per matching key; the scan

@@ -35,17 +35,21 @@ Status StStore::Setup() {
 }
 
 Status StStore::Insert(bson::Document doc) {
-  if (!doc.Has("_id")) {
-    const uint32_t load_seconds = static_cast<uint32_t>(
-        options_.load_clock_begin_ms / 1000 +
-        static_cast<int64_t>(inserted_ /
-                             static_cast<uint64_t>(
-                                 options_.docs_per_id_second)));
-    doc.Append("_id", bson::Value::Id(id_generator_.Generate(load_seconds)));
+  {
+    const std::lock_guard<std::mutex> lock(insert_mu_);
+    if (!doc.Has("_id")) {
+      const uint32_t load_seconds = static_cast<uint32_t>(
+          options_.load_clock_begin_ms / 1000 +
+          static_cast<int64_t>(inserted_ /
+                               static_cast<uint64_t>(
+                                   options_.docs_per_id_second)));
+      doc.Append("_id",
+                 bson::Value::Id(id_generator_.Generate(load_seconds)));
+    }
+    ++inserted_;
   }
   const Status s = approach_.EnrichDocument(&doc);
   if (!s.ok()) return s;
-  ++inserted_;
   return cluster_.Insert(std::move(doc));
 }
 

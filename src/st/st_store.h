@@ -2,6 +2,7 @@
 #define STIX_ST_ST_STORE_H_
 
 #include <memory>
+#include <mutex>
 
 #include "bson/object_id.h"
 #include "cluster/cluster.h"
@@ -161,6 +162,10 @@ class StStore {
   StStoreOptions options_;
   Approach approach_;
   cluster::Cluster cluster_;
+  // Guards the driver-side _id clock (id_generator_ + inserted_) so
+  // concurrent writers draw unique ObjectIds; the cluster handles its own
+  // locking downstream.
+  std::mutex insert_mu_;
   bson::ObjectIdGenerator id_generator_;
   uint64_t inserted_ = 0;
 };

@@ -277,6 +277,14 @@ BTree::Cursor BTree::SeekGE(std::string_view key) const {
   return c;
 }
 
+BTree::Cursor BTree::SeekGE(std::string_view key, RecordId rid) const {
+  Cursor c = SeekGE(key);
+  // Entries are ordered by (key, rid); SeekGE(key) lands on the first entry
+  // with the key, so only same-key entries with smaller rids remain to skip.
+  while (c.Valid() && c.key() == key && c.rid() < rid) c.Next();
+  return c;
+}
+
 namespace {
 
 // Fixed overheads for size accounting: per entry (RecordId + slot) and per

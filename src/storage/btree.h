@@ -64,6 +64,12 @@ class BTree {
   /// Cursor at the first entry with entry.key >= key.
   Cursor SeekGE(std::string_view key) const;
 
+  /// Cursor at the first entry with (entry.key, entry.rid) >= (key, rid) in
+  /// the tree's (key, rid) order — the reposition primitive executor
+  /// save/restore uses to resume a scan from its last KeyString after the
+  /// tree mutated underneath it.
+  Cursor SeekGE(std::string_view key, RecordId rid) const;
+
   uint64_t num_entries() const { return num_entries_; }
 
   /// Bytes this index would occupy with WiredTiger-style prefix compression:

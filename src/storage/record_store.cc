@@ -5,7 +5,7 @@ namespace stix::storage {
 RecordId RecordStore::Insert(bson::Document doc) {
   logical_size_bytes_ += doc.ApproxBsonSize();
   ++num_records_;
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_release);
   records_.emplace_back(std::move(doc));
   return static_cast<RecordId>(records_.size());  // ids are 1-based
 }
@@ -22,7 +22,7 @@ bool RecordStore::Remove(RecordId id) {
   if (!slot.has_value()) return false;
   logical_size_bytes_ -= slot->ApproxBsonSize();
   --num_records_;
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_release);
   slot.reset();
   return true;
 }

@@ -1,6 +1,7 @@
 #ifndef STIX_STORAGE_RECORD_STORE_H_
 #define STIX_STORAGE_RECORD_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -23,8 +24,22 @@ class RecordStore {
 
   RecordStore(const RecordStore&) = delete;
   RecordStore& operator=(const RecordStore&) = delete;
-  RecordStore(RecordStore&&) = default;
-  RecordStore& operator=(RecordStore&&) = default;
+  // Moves are hand-written because the generation counter is atomic (moving
+  // a store is a single-threaded setup-time operation; borrows never span
+  // it).
+  RecordStore(RecordStore&& other) noexcept
+      : records_(std::move(other.records_)),
+        num_records_(other.num_records_),
+        logical_size_bytes_(other.logical_size_bytes_),
+        generation_(other.generation_.load(std::memory_order_relaxed)) {}
+  RecordStore& operator=(RecordStore&& other) noexcept {
+    records_ = std::move(other.records_);
+    num_records_ = other.num_records_;
+    logical_size_bytes_ = other.logical_size_bytes_;
+    generation_.store(other.generation_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Stores a document, returning its id.
   RecordId Insert(bson::Document doc);
@@ -50,8 +65,12 @@ class RecordStore {
   /// valid while the generation is unchanged (Insert may reallocate the slot
   /// vector; Remove kills the removed slot). Debug-mode borrow checks in
   /// `query::ExecutionResult` and the shard/cluster cursors compare a
-  /// snapshot of this counter before dereferencing.
-  uint64_t generation() const { return generation_; }
+  /// snapshot of this counter before dereferencing. Atomic so a guard check
+  /// racing a writer (which holds the shard's exclusive lock the checker
+  /// does not) is still a defined read.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// Highest RecordId ever issued (ids are dense from 1; removed slots stay
   /// addressable and return nullptr).
@@ -66,7 +85,7 @@ class RecordStore {
   std::vector<std::optional<bson::Document>> records_;
   uint64_t num_records_ = 0;
   uint64_t logical_size_bytes_ = 0;
-  uint64_t generation_ = 0;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace stix::storage

@@ -176,6 +176,52 @@ TEST(BalancerTest, ZoneViolationsComeFirst) {
   EXPECT_EQ(m->to_shard, 1);
 }
 
+TEST(BalancerTest, StraddlingChunkIsPinnedByOverlapNotMinKey) {
+  // Chunks [Min,10) [10,30) [30,Max); zone [20,Max) -> shard 1. The middle
+  // chunk straddles the zone boundary: its min key lies outside the zone
+  // (min-key classification saw no violation and left it stranded) but its
+  // range overlaps the zone, so it is pinned to shard 1.
+  ChunkManager cm(0);
+  cm.Split(0, keystring::Encode(Value::Int64(10)));
+  cm.Split(1, keystring::Encode(Value::Int64(30)));
+  cm.chunk(2).shard_id = 1;  // [30,Max) already compliant
+  std::vector<ZoneRange> zones;
+  zones.push_back(
+      {keystring::Encode(Value::Int64(20)), keystring::MaxKey(), 1});
+  EXPECT_EQ(ZoneForKey(zones, cm.chunk(1).min), -1);
+  EXPECT_EQ(ZoneForChunk(zones, cm.chunk(1)), 1);
+  Rng rng(1);
+  const auto m = PickNextMigration(cm, 2, zones, BalancerOptions{}, &rng);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->chunk_index, 1u);
+  EXPECT_EQ(m->to_shard, 1);
+}
+
+TEST(BalancerTest, PinnedChunksDoNotMaskMovableImbalance) {
+  // Shard 2 carries four pinned (zone-compliant) chunks; shard 1 carries
+  // three movable chunks; shard 0 is empty. Counting all chunks elected the
+  // pinned-heavy shard 2 as donor, found nothing movable on it and stalled,
+  // hiding the real 3-vs-0 movable imbalance between shards 1 and 0. Counts
+  // over movable chunks only must find that move.
+  ChunkManager cm(2);
+  for (int v : {10, 20, 30, 40, 50, 60}) {
+    cm.Split(cm.FindChunkIndex(keystring::Encode(Value::Int64(v))),
+             keystring::Encode(Value::Int64(v)));
+  }
+  // Chunks: [Min,10) [10,20) [20,30) [30,40) on shard 2 (pinned);
+  //         [40,50) [50,60) [60,Max) on shard 1 (movable).
+  for (size_t i = 4; i < 7; ++i) cm.chunk(i).shard_id = 1;
+  std::vector<ZoneRange> zones;
+  zones.push_back(
+      {keystring::MinKey(), keystring::Encode(Value::Int64(40)), 2});
+  Rng rng(1);
+  const auto m = PickNextMigration(cm, 3, zones, BalancerOptions{}, &rng);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GE(m->chunk_index, 4u);
+  EXPECT_EQ(cm.chunk(m->chunk_index).shard_id, 1);
+  EXPECT_EQ(m->to_shard, 0);
+}
+
 // ---------- Cluster end-to-end ----------
 
 class ClusterTest : public ::testing::Test {

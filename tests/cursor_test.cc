@@ -14,6 +14,7 @@
 
 #include "cluster/cluster.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "index/index_catalog.h"
 #include "query/executor.h"
@@ -333,7 +334,11 @@ TEST_F(ShardCursorTest, BatchBorrowGuardFlipsAfterMutation) {
   const ExprPtr q =
       query::MakeRange("date", Value::DateTime(0),
                        Value::DateTime(60000LL * 50));
-  auto cursor = shard_.OpenCursor(q, {});
+  // Borrowed (zero-copy) batches exist only under the legacy abort-on-
+  // mutation policy; the default yield policy materializes owned batches.
+  query::ExecutorOptions options;
+  options.yield_policy = query::YieldPolicy::kAbortOnMutation;
+  auto cursor = shard_.OpenCursor(q, options);
   const ShardCursor::Batch batch = cursor->GetMore(/*batch_size=*/5);
   ASSERT_GT(batch.docs.size(), 0u);
   EXPECT_TRUE(batch.BorrowsValid());
@@ -639,6 +644,40 @@ TEST_F(ClusterCursorTest, ShardDyingMidStreamSurfacesErrorAndStopsStream) {
   EXPECT_EQ(recovered.docs.size(), 901u);
 }
 
+TEST_F(ClusterCursorTest, KillAndAbandonmentCloseEveryShardCursor) {
+  Cluster cluster(Options(/*parallel_fanout=*/false));
+  BuildAndLoad(&cluster);
+  Gauge& open = MetricsRegistry::Instance().GetGauge("cluster.open_cursors");
+  const int64_t baseline = open.value();
+
+  // Kill mid-stream: every outstanding shard cursor must close immediately,
+  // while the ClusterCursor object is still alive.
+  auto cursor = cluster.OpenCursor(WideQuery(), CursorOptions{/*batch_size=*/50,
+                                                              /*limit=*/0});
+  ASSERT_FALSE(cursor->NextBatch().empty());
+  EXPECT_GT(open.value(), baseline);
+  cursor->Kill();
+  EXPECT_EQ(open.value(), baseline);
+  EXPECT_FALSE(cursor->status().ok());
+  EXPECT_TRUE(cursor->exhausted());
+  EXPECT_TRUE(cursor->NextBatch().empty());
+  // Idempotent: killing again or destroying must not double-decrement.
+  cursor->Kill();
+  EXPECT_EQ(open.value(), baseline);
+  cursor.reset();
+  EXPECT_EQ(open.value(), baseline);
+
+  // A cursor abandoned mid-stream closes its shard cursors in the
+  // destructor.
+  {
+    auto abandoned = cluster.OpenCursor(
+        WideQuery(), CursorOptions{/*batch_size=*/50, /*limit=*/0});
+    ASSERT_FALSE(abandoned->NextBatch().empty());
+    EXPECT_GT(open.value(), baseline);
+  }
+  EXPECT_EQ(open.value(), baseline);
+}
+
 }  // namespace
 }  // namespace stix::cluster
 
@@ -819,6 +858,89 @@ TEST_P(StCursorParityTest, KnnCandidateBudgetBoundsProbeWork) {
   for (size_t i = 1; i < r.neighbors.size(); ++i) {
     EXPECT_GE(r.neighbors[i].distance_m, r.neighbors[i - 1].distance_m);
   }
+}
+
+TEST_P(StCursorParityTest, YieldingCursorSurvivesInterleavedInsertsAndSplits) {
+  StStore store(Options());
+  ASSERT_TRUE(store.Setup().ok());
+  Load(&store);
+
+  const geo::Rect rect{{23.3, 37.3}, {24.7, 38.7}};
+  const int64_t t0 = kSpanBegin + 50 * kStepMs;
+  const int64_t t1 = kSpanBegin + 1300 * kStepMs;
+  const StQueryResult reference = store.Query(rect, t0, t1);
+  ASSERT_GT(reference.cluster.docs.size(), 100u);
+
+  // Stream in small batches and, between getMore rounds, bulk-insert
+  // documents dated beyond the query window: they split btree leaves under
+  // the cursor's saved position (and periodically trigger the inline
+  // balancer, whose commit must yield to this open cursor) without changing
+  // the expected result. The default yield policy saves executor state
+  // before each round's shard lock drops and reseeks afterwards, so the
+  // drain must still equal the quiesced reference exactly.
+  StCursorOptions copts;
+  copts.batch_size = 25;
+  StCursor cursor = store.OpenQuery(rect, t0, t1, copts);
+  std::set<int> streamed;
+  Rng rng(91);
+  int next_seq = kDocs;
+  while (!cursor.exhausted()) {
+    for (const bson::Document& d : cursor.NextBatch()) {
+      streamed.insert(d.Get("seq")->AsInt32());
+    }
+    for (int i = 0; i < 40; ++i) {
+      bson::Document doc;
+      doc.Append("seq", Value::Int32(next_seq));
+      doc.Append(kLocationField,
+                 Value::MakeDocument(bson::GeoJsonPoint(
+                     rng.NextDouble(23.0, 25.0), rng.NextDouble(37.0, 39.0))));
+      doc.Append(kDateField,
+                 Value::DateTime(kSpanBegin + (5000 + next_seq) * kStepMs));
+      ASSERT_TRUE(store.Insert(std::move(doc)).ok());
+      ++next_seq;
+    }
+  }
+  EXPECT_EQ(streamed, Ids(reference.cluster.docs));
+  // The quiesced store agrees: the interleaved inserts were out of window.
+  EXPECT_EQ(Ids(store.Query(rect, t0, t1).cluster.docs),
+            Ids(reference.cluster.docs));
+}
+
+TEST_P(StCursorParityTest, FaultedStreamReturnsOpenCursorGaugeToBaseline) {
+  StStore store(Options());
+  ASSERT_TRUE(store.Setup().ok());
+  Load(&store);
+  Gauge& open =
+      MetricsRegistry::Instance().GetGauge("cluster.open_cursors");
+  const int64_t baseline = open.value();
+
+  // Kill the second getMore round: the stream dies with a non-OK status and
+  // every outstanding shard cursor must be released at that moment — the
+  // gauge returns to baseline while the StCursor is still alive.
+  const geo::Rect rect{{23.0, 37.0}, {25.0, 39.0}};
+  const int64_t t0 = kSpanBegin;
+  const int64_t t1 = kSpanBegin + 1400 * kStepMs;
+  FailPoint* fp = FailPointRegistry::Instance().Find("shardGetMore");
+  ASSERT_NE(fp, nullptr);
+  FailPoint::Config config;
+  config.mode = FailPoint::Mode::kSkip;
+  config.count = 1;  // first shard answers, then the fault fires
+  config.error_code = StatusCode::kInternal;
+  config.error_message = "injected shard death";
+  fp->Enable(config);
+
+  StCursorOptions copts;
+  copts.batch_size = 20;
+  StCursor cursor = store.OpenQuery(rect, t0, t1, copts);
+  while (!cursor.exhausted()) (void)cursor.NextBatch();
+  fp->Disable();
+  EXPECT_FALSE(cursor.Summary().cluster.status.ok());
+  EXPECT_EQ(open.value(), baseline)
+      << "a shard cursor leaked on the error path";
+
+  // And the store recovers cleanly once the fault is cleared.
+  EXPECT_TRUE(store.Query(rect, t0, t1).cluster.status.ok());
+  EXPECT_EQ(open.value(), baseline);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -200,15 +200,15 @@ TEST(QueryShapeTest, GteVsLteDiffer) {
 
 TEST(PlanCacheTest, StoreLookupEvict) {
   PlanCache cache;
-  EXPECT_EQ(cache.Lookup("shape"), nullptr);
+  EXPECT_FALSE(cache.Lookup("shape").has_value());
   cache.Store("shape", "date_1", 42);
-  ASSERT_NE(cache.Lookup("shape"), nullptr);
+  ASSERT_TRUE(cache.Lookup("shape").has_value());
   EXPECT_EQ(cache.Lookup("shape")->index_name, "date_1");
   EXPECT_EQ(cache.Lookup("shape")->works, 42u);
   cache.Store("shape", "other", 7);
   EXPECT_EQ(cache.Lookup("shape")->index_name, "other");
   cache.Evict("shape");
-  EXPECT_EQ(cache.Lookup("shape"), nullptr);
+  EXPECT_FALSE(cache.Lookup("shape").has_value());
   cache.Store("a", "x", 1);
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);

@@ -18,10 +18,19 @@
 // (delay / forced replan: identical results) or surfaced (error: non-OK
 // status), and that the system recovers once the fault is cleared.
 //
+// With --threads=N a concurrent phase follows: N writer threads insert
+// extra documents into every store while the online balancer migrates
+// chunks and the main thread streams queries. During the storm results are
+// bounds-checked (duplicate-free, superset of the pre-storm oracle, subset
+// of the final oracle); after the writers join and the balancer stops,
+// exact oracle equality must hold again. Run it under TSAN and the phase
+// doubles as a data-race hunt.
+//
 // Any divergence prints a one-line REPRO command carrying the failing seed.
 // Exit status: 0 = all seeds clean, 1 = at least one divergence.
 
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cmath>
 #include <cstdint>
@@ -30,6 +39,7 @@
 #include <cstring>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -63,6 +73,8 @@ struct FuzzConfig {
   /// After all seeds, fail if any core counter never moved — catches
   /// instrumentation that silently went dead (the nightly CI guard).
   bool check_counters = false;
+  /// Writer threads for the concurrent phase; 0 disables it.
+  int threads = 0;
 };
 
 // Ground-truth record of one generated document.
@@ -123,9 +135,15 @@ struct SeedContext {
                  seed, approach, check, q.rect.lo.lon, q.rect.lo.lat,
                  q.rect.hi.lon, q.rect.hi.lat, q.t_begin_ms, q.t_end_ms,
                  expected, got);
-    std::fprintf(stderr,
-                 "REPRO: stix_fuzz --seed=%" PRIu64 " --docs=%d --queries=%d\n",
-                 seed, config->docs, config->queries);
+    char threads_arg[32] = "";
+    if (config->threads > 0) {
+      std::snprintf(threads_arg, sizeof(threads_arg), " --threads=%d",
+                    config->threads);
+    }
+    std::fprintf(
+        stderr,
+        "REPRO: stix_fuzz --seed=%" PRIu64 " --docs=%d --queries=%d%s\n",
+        seed, config->docs, config->queries, threads_arg);
   }
 };
 
@@ -426,6 +444,129 @@ bool CheckFailPoints(const std::vector<std::unique_ptr<StStore>>& stores,
   return true;
 }
 
+// Concurrent phase (--threads=N): N writer threads insert fresh documents
+// into every store while each cluster's online balancer migrates chunks and
+// the main thread streams queries through yielding cursors. Mid-storm
+// results cannot be compared for equality (writers race the scans), but
+// three bounds always hold because documents are only ever added:
+//
+//   - no duplicate fids in any result;
+//   - every pre-storm match appears (the result is a superset of the oracle
+//     over the base documents);
+//   - every returned fid is a possible match (subset of the oracle over
+//     base + all extra documents).
+//
+// After the writers join and the balancers stop, the full CheckQuery
+// battery must pass against the combined document set — the storm must
+// leave no lasting damage.
+bool CheckConcurrent(const std::vector<std::unique_ptr<StStore>>& stores,
+                     const std::vector<FuzzDoc>& base, const geo::Rect& mbr,
+                     int64_t t0, int64_t span, const FuzzConfig& config,
+                     Rng* rng, SeedContext* ctx) {
+  const int num_writers = config.threads;
+  const int extra_per_writer =
+      std::max(1, config.docs / (4 * std::max(1, num_writers)));
+
+  // Pre-generate the writers' documents deterministically on the main
+  // thread; fids continue past the base range so every fid stays unique.
+  std::vector<std::vector<FuzzDoc>> extra(static_cast<size_t>(num_writers));
+  std::vector<FuzzDoc> all = base;
+  int32_t next_fid = static_cast<int32_t>(base.size());
+  for (std::vector<FuzzDoc>& bucket : extra) {
+    bucket.reserve(static_cast<size_t>(extra_per_writer));
+    for (int i = 0; i < extra_per_writer; ++i) {
+      FuzzDoc d;
+      d.lon = rng->NextDouble(mbr.lo.lon, mbr.hi.lon);
+      d.lat = rng->NextDouble(mbr.lo.lat, mbr.hi.lat);
+      d.t_ms = t0 + static_cast<int64_t>(
+                        rng->NextBounded(static_cast<uint64_t>(span) + 1));
+      d.fid = next_fid++;
+      bucket.push_back(d);
+      all.push_back(d);
+    }
+  }
+  std::vector<FuzzQuery> queries;
+  const int num_queries = std::max(4, config.queries);
+  queries.reserve(static_cast<size_t>(num_queries));
+  for (int i = 0; i < num_queries; ++i) {
+    queries.push_back(GenerateQuery(rng, mbr, t0, span));
+  }
+
+  for (const auto& store : stores) store->cluster().StartBalancer();
+
+  std::atomic<bool> write_failed{false};
+  std::vector<std::thread> writers;
+  writers.reserve(static_cast<size_t>(num_writers));
+  for (int t = 0; t < num_writers; ++t) {
+    writers.emplace_back([&stores, &extra, t, &write_failed] {
+      for (const FuzzDoc& d : extra[static_cast<size_t>(t)]) {
+        for (const auto& store : stores) {
+          if (!store->Insert(MakeDoc(d)).ok()) {
+            write_failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  bool ok = true;
+  for (const FuzzQuery& q : queries) {
+    const std::vector<int32_t> lower = OracleFids(base, q);
+    const std::vector<int32_t> upper = OracleFids(all, q);
+    const std::set<int32_t> upper_set(upper.begin(), upper.end());
+    for (const auto& store : stores) {
+      const char* name = store->approach().name();
+      st::StCursorOptions copts;
+      copts.batch_size = 17;  // several getMore rounds → several yields
+      Status status;
+      const std::vector<int32_t> got = DrainFids(
+          store->OpenQuery(q.rect, q.t_begin_ms, q.t_end_ms, copts), &status);
+      if (!status.ok()) {
+        ctx->Report(name, "concurrent-status", q, 0, 1);
+        ok = false;
+        break;
+      }
+      if (HasDuplicates(got)) {
+        ctx->Report(name, "concurrent-duplicates", q, lower.size(),
+                    got.size());
+        ok = false;
+        break;
+      }
+      bool bounds_ok =
+          std::includes(got.begin(), got.end(), lower.begin(), lower.end());
+      for (const int32_t fid : got) {
+        if (upper_set.count(fid) == 0) bounds_ok = false;
+      }
+      if (!bounds_ok) {
+        ctx->Report(name, "concurrent-bounds", q, lower.size(), got.size());
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) break;
+  }
+
+  for (std::thread& w : writers) w.join();
+  for (const auto& store : stores) store->cluster().StopBalancer();
+  if (write_failed.load()) {
+    std::fprintf(stderr, "FATAL: concurrent insert failed (seed=%" PRIu64
+                         ")\n",
+                 ctx->seed);
+    ++ctx->divergences;
+    return false;
+  }
+  if (!ok) return false;
+
+  // Quiesced: exact differential equality must hold again, over the
+  // combined base + extra document set.
+  for (int i = 0; i < 2; ++i) {
+    const FuzzQuery q = GenerateQuery(rng, mbr, t0, span);
+    if (!CheckQuery(stores, all, q, rng, ctx)) return false;
+  }
+  return true;
+}
+
 bool RunSeed(uint64_t seed, const FuzzConfig& config,
              std::string* server_status_out) {
   SeedContext ctx{seed, &config};
@@ -509,6 +650,14 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config,
     return false;
   }
 
+  if (config.threads > 0) {
+    Rng concurrent_rng = rng.Fork();
+    if (!CheckConcurrent(stores, docs, mbr, t0, span, config, &concurrent_rng,
+                         &ctx)) {
+      return false;
+    }
+  }
+
   if (server_status_out != nullptr && !stores.empty()) {
     *server_status_out = stores.back()->cluster().ServerStatus();
   }
@@ -553,6 +702,8 @@ int FuzzMain(int argc, char** argv) {
       config.server_status = true;
     } else if (arg == "--check-counters") {
       config.check_counters = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      config.threads = std::atoi(value("--threads="));
     } else if (arg == "--list-failpoints") {
       for (const std::string& name : FailPointRegistry::Instance().Names()) {
         std::printf("%s\n", name.c_str());
@@ -561,9 +712,9 @@ int FuzzMain(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: stix_fuzz [--seed=N | --seeds=N --seed-base=N] "
-                   "[--docs=N] [--queries=N] [--no-failpoints] [--verbose] "
-                   "[--profile] [--server-status] [--check-counters] "
-                   "[--list-failpoints]\n");
+                   "[--docs=N] [--queries=N] [--threads=N] [--no-failpoints] "
+                   "[--verbose] [--profile] [--server-status] "
+                   "[--check-counters] [--list-failpoints]\n");
       return 2;
     }
   }
@@ -603,10 +754,10 @@ int FuzzMain(int argc, char** argv) {
   }
 
   std::printf("stix_fuzz: %d seed%s, %d divergence%s (docs=%d queries=%d "
-              "failpoints=%s)\n",
+              "failpoints=%s threads=%d)\n",
               config.num_seeds, config.num_seeds == 1 ? "" : "s", failures,
               failures == 1 ? "" : "s", config.docs, config.queries,
-              config.failpoints ? "on" : "off");
+              config.failpoints ? "on" : "off", config.threads);
   return failures == 0 ? 0 : 1;
 }
 
