@@ -1,12 +1,17 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "bson/codec.h"
+#include "common/lz.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "query/bucket_unpack.h"
+#include "query/expression.h"
 
 namespace stix::bench {
 
@@ -38,6 +43,8 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       config.batch_size = strtoull(v, nullptr, 10);
     } else if (arg == "--serial") {
       config.parallel_fanout = false;
+    } else if (arg == "--bucket") {
+      config.bucket = true;
     } else if (arg == "--verbose") {
       config.verbose = true;
     } else if (arg == "--server-status") {
@@ -46,7 +53,7 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       fprintf(stderr,
               "unknown flag %s\nusage: %s [--r_docs=N] [--s_docs=N] "
               "[--shards=N] [--warm=N] [--timed=N] [--seed=N] "
-              "[--batch=N] [--json=PATH] [--serial] [--verbose] "
+              "[--batch=N] [--json=PATH] [--serial] [--bucket] [--verbose] "
               "[--server-status]\n",
               arg.c_str(), argv[0]);
       exit(2);
@@ -80,6 +87,30 @@ std::unique_ptr<st::StStore> BuildLoadedStore(st::ApproachKind kind,
   options.cluster.seed = config.seed;
   options.cluster.parallel_fanout = config.parallel_fanout;
   options.load_clock_begin_ms = info.t_begin_ms;
+  if (config.bucket) {
+    // The default 6 h window matches the paper's per-vehicle sampling
+    // density; the bench data is scaled down ~60x, so the window scales up
+    // with it: aim for ~64 points per (stream, window) bucket, clamped to
+    // [1 h, full span]. The uniform S set has no vehicleId (one stream).
+    storage::BucketLayout layout;
+    const int64_t span_ms = info.t_end_ms - info.t_begin_ms;
+    const uint64_t docs =
+        dataset == Dataset::kR ? config.r_docs : config.s_docs;
+    const uint64_t streams =
+        dataset == Dataset::kR
+            ? static_cast<uint64_t>(workload::TrajectoryOptions{}.num_vehicles)
+            : 1;
+    const int64_t target = static_cast<int64_t>(
+        static_cast<double>(span_ms) * 64.0 * static_cast<double>(streams) /
+        static_cast<double>(docs > 0 ? docs : 1));
+    layout.window_ms = std::clamp<int64_t>(target, 3600000LL, span_ms);
+    // The default shift (4k-index cells over a 26-bit curve) is sized for
+    // paper-scale density; here it would shatter every hil bucket into
+    // single-point cells. 64 coarse cells keep buckets full and the widened
+    // range scan selective enough.
+    layout.hilbert_shift = 20;
+    options.bucket = layout;
+  }
 
   auto store = std::make_unique<st::StStore>(options);
   Status s = store->Setup();
@@ -267,6 +298,203 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
             e.m.cover_singletons, e.m.cover_cache_hits,
             e.m.bytes_materialized, e.m.first_result_millis,
             i + 1 == entries.size() ? "" : ",");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  return true;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = lo + 1 < values.size() ? lo + 1 : lo;
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+void MeasureColdScan(const st::StStore& store, const DatasetInfo& info,
+                     PerfSummary* row) {
+  // The scan query: a city-scale rectangle over a quarter of the time span.
+  // Fractions of the dataset MBR, placed so the R set's box lands on the
+  // Athens metro hotspot (the paper's rect queries) — selective enough that
+  // bucket-level pruning has something to prune, identical for both
+  // layouts. A full scan cannot skip a row document without parsing it; a
+  // bucket document carries its extent outside the compressed columns.
+  const double lon_span = info.mbr.hi.lon - info.mbr.lo.lon;
+  const double lat_span = info.mbr.hi.lat - info.mbr.lo.lat;
+  const geo::Rect rect{{info.mbr.lo.lon + 0.42 * lon_span,
+                        info.mbr.lo.lat + 0.40 * lat_span},
+                       {info.mbr.lo.lon + 0.55 * lon_span,
+                        info.mbr.lo.lat + 0.50 * lat_span}};
+  const int64_t span_ms = info.t_end_ms - info.t_begin_ms;
+  const int64_t t0 = info.t_begin_ms + span_ms / 2;
+  const int64_t t1 = info.t_begin_ms + span_ms * 3 / 4;
+
+  // Untimed: lay the collection out as its on-disk image — the exact 32 KB
+  // LZ blocks CollectionStats::compressed_bytes accounts (Collection's
+  // kBlockSize), in record order, across all shards.
+  constexpr size_t kBlockSize = 32 * 1024;
+  std::vector<std::string> blocks;
+  std::string block;
+  block.reserve(kBlockSize * 2);
+  for (const auto& shard : store.cluster().shards()) {
+    shard->collection().records().ForEach(
+        [&](storage::RecordId, const bson::Document& doc) {
+          block += bson::EncodeBson(doc);
+          if (block.size() >= kBlockSize) {
+            blocks.push_back(LzCompress(block));
+            block.clear();
+          }
+        });
+    if (!block.empty()) {
+      blocks.push_back(LzCompress(block));
+      block.clear();
+    }
+  }
+
+  std::vector<query::ExprPtr> conjuncts;
+  conjuncts.push_back(query::MakeCmp("date", query::CmpOp::kGte,
+                                     bson::Value::DateTime(t0)));
+  conjuncts.push_back(query::MakeCmp("date", query::CmpOp::kLte,
+                                     bson::Value::DateTime(t1)));
+  conjuncts.push_back(query::MakeGeoWithinBox("location", rect));
+  const query::ExprPtr expr = query::MakeAnd(std::move(conjuncts));
+
+  const bool bucketed = store.bucketed();
+  storage::BucketLayout layout;
+  query::BucketPruneSpec spec;
+  if (bucketed) {
+    layout = store.bucket_catalog()->layout();
+    spec = query::ExtractBucketPredicates(expr, layout);
+  }
+
+  // Timed: decompress every block, parse every stored document, answer the
+  // query. The bucket path checks the pruning metadata before touching the
+  // columns, counts covered buckets straight off the metadata, and answers
+  // the survivors columnar-first (ts/lon/lat only — ids and payload
+  // residuals stay encoded), falling back to a full decode + filter only
+  // for buckets without a location column. The row path has no such
+  // shortcut: a BSON document must be parsed before it can be matched.
+  // Min of three repetitions: each repetition redoes every decompress,
+  // parse and filter (the store state stays cold — nothing is cached
+  // between passes), so the minimum strips allocator and branch-predictor
+  // warm-up without warming the thing being measured.
+  const auto die = [](const char* what, const Status& s) {
+    fprintf(stderr, "cold scan: %s: %s\n", what, s.ToString().c_str());
+    exit(1);
+  };
+  uint64_t scanned_points = 0;
+  uint64_t matches = 0;
+  const auto scan_image = [&] {
+    scanned_points = 0;
+    matches = 0;
+    for (const std::string& compressed : blocks) {
+      const Result<std::string> raw = LzDecompress(compressed);
+      if (!raw.ok()) die("block decompress", raw.status());
+      const std::string_view bytes = *raw;
+      size_t off = 0;
+      while (off + 4 <= bytes.size()) {
+        // BSON's length prefix counts itself; each document is one slice.
+        const unsigned char* p =
+            reinterpret_cast<const unsigned char*>(bytes.data() + off);
+        const size_t len = static_cast<size_t>(p[0]) | (size_t{p[1]} << 8) |
+                           (size_t{p[2]} << 16) | (size_t{p[3]} << 24);
+        if (len < 5 || off + len > bytes.size()) {
+          die("block framing", Status::Corruption("bad BSON length"));
+        }
+        const Result<bson::Document> doc =
+            bson::DecodeBson(bytes.substr(off, len));
+        if (!doc.ok()) die("document parse", doc.status());
+        off += len;
+        if (!bucketed) {
+          ++scanned_points;
+          if (expr->Matches(*doc)) ++matches;
+          continue;
+        }
+        const Result<storage::BucketMeta> meta =
+            storage::ParseBucketMeta(*doc);
+        if (!meta.ok()) die("bucket meta", meta.status());
+        scanned_points += meta->num_points;
+        if (!spec.MayContain(*meta)) continue;
+        if (spec.Covers(*meta)) {
+          // Every point in a covered bucket matches; the count comes off
+          // the metadata with no column access at all.
+          matches += meta->num_points;
+          continue;
+        }
+        // Columnar-first: the predicate is date range + rect, which the
+        // ts/lon/lat columns answer exactly (they are bit-exact with the
+        // reconstructed points) — the _id column and payload residuals
+        // never get decoded. Buckets without a location column (some
+        // point had a non-canonical location) fall back to full decode.
+        const Result<storage::BucketTimeLoc> cols =
+            storage::DecodeBucketTimeLoc(*doc);
+        if (!cols.ok()) die("bucket columns", cols.status());
+        if (cols->lon.size() == cols->ts.size()) {
+          for (size_t i = 0; i < cols->ts.size(); ++i) {
+            if (cols->ts[i] >= t0 && cols->ts[i] <= t1 &&
+                rect.Contains(geo::Point{cols->lon[i], cols->lat[i]})) {
+              ++matches;
+            }
+          }
+          continue;
+        }
+        const Result<std::vector<bson::Document>> points =
+            storage::DecodeBucket(*doc, layout);
+        if (!points.ok()) die("bucket decode", points.status());
+        for (const bson::Document& point : *points) {
+          if (expr->Matches(point)) ++matches;
+        }
+      }
+    }
+  };
+  double best_millis = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch cold;
+    scan_image();
+    const double rep_millis = cold.ElapsedMillis();
+    if (rep == 0 || rep_millis < best_millis) best_millis = rep_millis;
+  }
+  row->cold_scan_millis = best_millis;
+  row->cold_scan_matches = matches;
+  const double secs = row->cold_scan_millis / 1000.0;
+  row->docs_per_sec_scanned =
+      secs > 0.0 ? static_cast<double>(scanned_points) / secs : 0.0;
+}
+
+bool WritePerfJson(const std::string& path, const std::string& bench_name,
+                   const BenchConfig& config,
+                   const std::vector<PerfSummary>& rows) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  fprintf(f, "{\n  \"bench\": \"%s\",\n", JsonEscape(bench_name).c_str());
+  fprintf(f,
+          "  \"config\": {\"r_docs\": %" PRIu64 ", \"s_docs\": %" PRIu64
+          ", \"shards\": %d, \"warm_runs\": %d, \"timed_runs\": %d, "
+          "\"seed\": %" PRIu64 ", \"bucket\": %s},\n",
+          config.r_docs, config.s_docs, config.num_shards, config.warm_runs,
+          config.timed_runs, config.seed, config.bucket ? "true" : "false");
+  fprintf(f, "  \"summaries\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PerfSummary& s = rows[i];
+    fprintf(f,
+            "    {\"label\": \"%s\", \"dataset_docs\": %" PRIu64 ", "
+            "\"docs_per_sec_scanned\": %.1f, "
+            "\"record_store_bytes\": %" PRIu64 ", "
+            "\"index_bytes\": %" PRIu64 ", "
+            "\"compression_ratio\": %.3f, "
+            "\"cold_scan_millis\": %.3f, "
+            "\"cold_scan_matches\": %" PRIu64 ", "
+            "\"p50_millis\": %.6f, \"p95_millis\": %.6f}%s\n",
+            JsonEscape(s.label).c_str(), s.dataset_docs,
+            s.docs_per_sec_scanned, s.record_store_bytes, s.index_bytes,
+            s.compression_ratio, s.cold_scan_millis, s.cold_scan_matches,
+            s.p50_millis, s.p95_millis, i + 1 == rows.size() ? "" : ",");
   }
   fprintf(f, "  ]\n}\n");
   fclose(f);

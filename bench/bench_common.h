@@ -46,10 +46,15 @@ struct BenchConfig {
   /// Dump Cluster::ServerStatus() (metrics registry + profiler) to stdout
   /// after the bench finishes — the observability counterpart of --json.
   bool server_status = false;
+  /// Build every store with the bucketed collection layout (--bucket): one
+  /// compressed bucket document per (vehicle, window) instead of one
+  /// document per point. Queries answer identically; sizes and scan costs
+  /// move — which is what bench_bucket measures.
+  bool bucket = false;
 
   /// Parses --r_docs=, --s_docs=, --shards=, --warm=, --timed=, --seed=,
-  /// --batch=, --json=, --serial, --verbose, --server-status from argv;
-  /// unknown flags abort with a usage message.
+  /// --batch=, --json=, --serial, --bucket, --verbose, --server-status from
+  /// argv; unknown flags abort with a usage message.
   static BenchConfig FromArgs(int argc, char** argv);
 };
 
@@ -107,6 +112,47 @@ struct BenchJsonEntry {
 bool WriteBenchJson(const std::string& path, const std::string& bench_name,
                     const BenchConfig& config,
                     const std::vector<BenchJsonEntry>& entries);
+
+/// One row of the perf-trajectory log (BENCH_*.json "summaries"): dataset
+/// scale, cold-scan throughput, resident footprint split into record store
+/// vs indexes, compression ratio, and latency quantiles over the measured
+/// query set. Successive PRs diff these files to track the perf trajectory.
+struct PerfSummary {
+  std::string label;                  ///< e.g. "hil/R/bucket".
+  uint64_t dataset_docs = 0;          ///< Points loaded (not stored docs).
+  double docs_per_sec_scanned = 0.0;  ///< Cold full scan: points/second.
+  uint64_t record_store_bytes = 0;    ///< Resident (block-compressed) data.
+  uint64_t index_bytes = 0;           ///< Resident index bytes, all indexes.
+  double compression_ratio = 0.0;     ///< Row logical bytes / resident data.
+  double cold_scan_millis = 0.0;      ///< Wall time of the cold full scan.
+  uint64_t cold_scan_matches = 0;     ///< Points the scan query selected.
+  double p50_millis = 0.0;            ///< Median modeled query latency.
+  double p95_millis = 0.0;
+};
+
+/// Writes rows as {bench, config, summaries: [...]} to `path`.
+bool WritePerfJson(const std::string& path, const std::string& bench_name,
+                   const BenchConfig& config,
+                   const std::vector<PerfSummary>& rows);
+
+/// p-th percentile (0..100) by linear interpolation; 0 for empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Measures a genuinely cold full scan: the store's on-disk image (the same
+/// 32 KB LZ-compressed BSON blocks CollectionStats accounts, built untimed)
+/// is scanned end to end to answer one rect + time-window query — every
+/// block decompressed, every stored document parsed, the filter applied.
+/// That is the work a document store does when nothing is in cache and no
+/// index is usable, and it is where the layouts diverge: the row image
+/// parses one BSON document per point, the bucket image parses one per
+/// bucket, prunes on bucket metadata, counts covered buckets off the
+/// metadata alone and answers the surviving buckets from their ts/lon/lat
+/// columns (DecodeBucketTimeLoc — the _id column and payload residuals
+/// stay compressed). Fills the scan columns of `row`: wall millis, points/second
+/// scanned (total points represented, not documents parsed) and the match
+/// count (which must agree across layouts — bench_bucket checks).
+void MeasureColdScan(const st::StStore& store, const DatasetInfo& info,
+                     PerfSummary* row);
 
 /// Runs a query warm_runs times untimed, then timed_runs times, averaging
 /// the modeled execution time (the paper's warm-state methodology).

@@ -42,6 +42,7 @@ int Main(int argc, char** argv) {
     QueryMeasurement per_approach[3];
   };
   std::vector<ScaleRow> rows(4);
+  std::vector<PerfSummary> summaries;
 
   for (int scale = 1; scale <= 4; ++scale) {
     ScaleRow& row = rows[scale - 1];
@@ -49,10 +50,32 @@ int Main(int argc, char** argv) {
       BenchConfig scaled = config;
       scaled.r_docs = base_docs * static_cast<uint64_t>(scale);
       const auto store = BuildLoadedStore(kApproaches[a], Dataset::kR, scaled);
+
+      // Perf-trajectory row (the cold scan runs first: nothing has touched
+      // the fresh store's plan or cover caches yet).
+      const storage::CollectionStats stats =
+          store->cluster().ComputeDataStats();
+      PerfSummary perf;
+      perf.label = std::string(st::ApproachName(kApproaches[a])) + "/R" +
+                   std::to_string(scale) + (config.bucket ? "/bucket" : "/row");
+      perf.dataset_docs = scaled.r_docs;
+      perf.record_store_bytes = stats.compressed_bytes;
+      for (const auto& [name, bytes] : store->cluster().ComputeIndexSizes()) {
+        perf.index_bytes += bytes;
+      }
+      perf.compression_ratio =
+          stats.compressed_bytes == 0
+              ? 0.0
+              : static_cast<double>(stats.logical_bytes) /
+                    static_cast<double>(stats.compressed_bytes);
+      MeasureColdScan(*store, info, &perf);
+
       row.per_approach[a] = MeasureQuery(*store, q2b, scaled);
+      perf.p50_millis = row.per_approach[a].avg_millis;
+      perf.p95_millis = row.per_approach[a].avg_millis;
+      summaries.push_back(std::move(perf));
+
       if (a == 0) {
-        const storage::CollectionStats stats =
-            store->cluster().ComputeDataStats();
         row.docs = stats.num_documents;
         row.logical_bytes = stats.logical_bytes;
         row.compressed_bytes = stats.compressed_bytes;
@@ -114,6 +137,11 @@ int Main(int argc, char** argv) {
     }
     PrintPanel("Figure 13 (Q2^b on R1-R4, default sharding)",
                metric_names[metric], approach_names, values, scales);
+  }
+  if (!config.json_path.empty() &&
+      !WritePerfJson(config.json_path, "bench_scalability", config,
+                     summaries)) {
+    return 1;
   }
   return 0;
 }

@@ -9,8 +9,10 @@
 #include <cinttypes>
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "common/strings.h"
 
 namespace stix::bench {
 namespace {
@@ -50,6 +52,7 @@ int Main(int argc, char** argv) {
   printf("scale: R=%" PRIu64 " docs, S=%" PRIu64 " docs, %d shards\n",
          config.r_docs, config.s_docs, config.num_shards);
 
+  std::vector<PerfSummary> summaries;
   for (const Dataset dataset : {Dataset::kR, Dataset::kS}) {
     std::map<st::ApproachKind, ApproachSizes> sizes;
     for (const st::ApproachKind kind : kApproaches) {
@@ -60,6 +63,35 @@ int Main(int argc, char** argv) {
       s.data_logical = stats.logical_bytes;
       s.data_compressed = stats.compressed_bytes;
       s.index_default = store->cluster().ComputeIndexSizes();
+
+      // Perf-trajectory row: footprint split + cold scan + p50/p95 over the
+      // small query set, all measured before zones shuffle the placement.
+      const DatasetInfo info = InfoFor(dataset, config);
+      PerfSummary perf;
+      perf.label = std::string(st::ApproachName(kind)) + "/" +
+                   DatasetName(dataset) +
+                   (config.bucket ? "/bucket" : "/row");
+      perf.dataset_docs =
+          dataset == Dataset::kR ? config.r_docs : config.s_docs;
+      perf.record_store_bytes = stats.compressed_bytes;
+      for (const auto& [name, bytes] : s.index_default) {
+        perf.index_bytes += bytes;
+      }
+      perf.compression_ratio =
+          stats.compressed_bytes == 0
+              ? 0.0
+              : static_cast<double>(stats.logical_bytes) /
+                    static_cast<double>(stats.compressed_bytes);
+      MeasureColdScan(*store, info, &perf);
+      std::vector<double> latencies;
+      for (const workload::StQuerySpec& spec :
+           workload::MakeQuerySet(false, info.t_begin_ms, info.t_end_ms)) {
+        latencies.push_back(MeasureQuery(*store, spec, config).avg_millis);
+      }
+      perf.p50_millis = Percentile(latencies, 50.0);
+      perf.p95_millis = Percentile(latencies, 95.0);
+      summaries.push_back(std::move(perf));
+
       const Status zs = store->ConfigureZones();
       if (!zs.ok()) {
         fprintf(stderr, "zones failed: %s\n", zs.ToString().c_str());
@@ -85,8 +117,23 @@ int Main(int argc, char** argv) {
     printf("  %-8s %16s %16s\n", "hil*",
            HumanBytes(hil_star.data_logical).c_str(),
            HumanBytes(hil_star.data_compressed).c_str());
-    if (hil.data_logical <= bsl.data_logical) {
+    if (!config.bucket && hil.data_logical <= bsl.data_logical) {
       printf("  !! expected hil > bsl (hilbertIndex field overhead)\n");
+    }
+
+    // Resident footprint, record store vs indexes — the two live in
+    // different structures (record-store blocks vs B-trees) and the bucket
+    // layout moves only the first, so they are reported separately.
+    printf("\n  resident bytes (%s set, default distribution)\n",
+           DatasetName(dataset));
+    printf("  %-8s %16s %16s\n", "approach", "record store", "indexes");
+    for (const st::ApproachKind kind : kApproaches) {
+      const ApproachSizes& s = sizes.at(kind);
+      uint64_t index_total = 0;
+      for (const auto& [name, bytes] : s.index_default) index_total += bytes;
+      printf("  %-8s %16s %16s\n", st::ApproachName(kind),
+             HumanBytes(s.data_compressed).c_str(),
+             HumanBytes(index_total).c_str());
     }
 
     const char* default_panel = dataset == Dataset::kR ? "a" : "c";
@@ -107,6 +154,10 @@ int Main(int argc, char** argv) {
                       static_cast<double>(id_default)) /
                  static_cast<double>(id_default));
     }
+  }
+  if (!config.json_path.empty() &&
+      !WritePerfJson(config.json_path, "bench_storage", config, summaries)) {
+    return 1;
   }
   return 0;
 }

@@ -23,6 +23,10 @@ class Document {
     fields_.emplace_back(std::move(name), std::move(value));
   }
 
+  /// Pre-sizes the field vector for builders that know the field count
+  /// (e.g. bucket decoding, which materializes millions of documents).
+  void Reserve(size_t num_fields) { fields_.reserve(num_fields); }
+
   /// Returns the value of a top-level field, or nullptr if absent.
   const Value* Get(std::string_view name) const;
 

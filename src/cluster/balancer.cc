@@ -58,6 +58,20 @@ std::optional<Migration> PickNextMigration(const ChunkManager& chunks,
     movable.push_back(i);
   }
   if (movable.empty()) return std::nullopt;
+  if (options.weigh_by_points) {
+    // Heaviest movable chunk first; rng breaks ties among equals so the
+    // degenerate all-equal case matches the unweighted pick distribution.
+    uint64_t best = 0;
+    for (const size_t i : movable) {
+      best = std::max(best, chunks.chunk(i).points);
+    }
+    std::vector<size_t> heaviest;
+    for (const size_t i : movable) {
+      if (chunks.chunk(i).points == best) heaviest.push_back(i);
+    }
+    const size_t pick = heaviest[rng->NextBounded(heaviest.size())];
+    return Migration{pick, recipient};
+  }
   const size_t pick = movable[rng->NextBounded(movable.size())];
   return Migration{pick, recipient};
 }

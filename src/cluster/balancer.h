@@ -24,6 +24,14 @@ struct BalancerOptions {
   /// (Cluster::StartBalancer). Small by default: bench-scale migrations are
   /// sub-millisecond, so the thread mostly idles on its condition variable.
   int background_interval_ms = 5;
+  /// Bucketed collections: chunks with equal document counts can differ by
+  /// orders of magnitude in logical points (buckets seal at different
+  /// fills). When set, the imbalance pick moves the donor's *heaviest*
+  /// movable chunk (by Chunk::points) instead of a random one, so data —
+  /// not bucket documents — evens out. The trigger (chunk-count
+  /// threshold) is unchanged. Off by default: row layouts keep the seeded
+  /// random pick bit-for-bit.
+  bool weigh_by_points = false;
 };
 
 /// The zone pinning a chunk, or -1 when no zone touches it. A chunk is

@@ -95,9 +95,11 @@ Status ChunkManager::Split(size_t i, const std::string& split_key) {
   right.shard_id = left.shard_id;
   right.bytes = left.bytes / 2;
   right.docs = left.docs / 2;
+  right.points = left.points / 2;
   left.max = split_key;
   left.bytes -= right.bytes;
   left.docs -= right.docs;
+  left.points -= right.points;
   chunks_.insert(chunks_.begin() + i + 1, std::move(right));
   return Status::OK();
 }

@@ -51,6 +51,10 @@ struct Chunk {
   int shard_id = 0;
   uint64_t bytes = 0;
   uint64_t docs = 0;
+  /// Logical data points in the chunk. Equal to `docs` for row-layout
+  /// collections; for bucketed collections each stored document is a
+  /// bucket of many points, and the balancer weighs chunks by this.
+  uint64_t points = 0;
   bool jumbo = false;
 };
 

@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "keystring/keystring.h"
 #include "query/planner.h"
+#include "storage/bucket.h"
 
 namespace stix::cluster {
 
@@ -98,6 +99,16 @@ Status Cluster::Insert(bson::Document doc) {
     const size_t chunk_index = chunks_->FindChunkIndex(key);
     Chunk& chunk = chunks_->chunk(chunk_index);
     const uint64_t doc_bytes = doc.ApproxBsonSize();
+    // A bucket document carries many logical points; everything else is
+    // one. The balancer's point-weighted pick reads this.
+    uint64_t doc_points = 1;
+    if (storage::IsBucketDocument(doc)) {
+      if (const Result<storage::BucketMeta> meta =
+              storage::ParseBucketMeta(doc);
+          meta.ok()) {
+        doc_points = meta->num_points;
+      }
+    }
 
     Result<storage::RecordId> rid =
         shards_[static_cast<size_t>(chunk.shard_id)]->Insert(std::move(doc));
@@ -105,6 +116,7 @@ Status Cluster::Insert(bson::Document doc) {
 
     chunk.bytes += doc_bytes;
     chunk.docs += 1;
+    chunk.points += doc_points;
     if (chunk.bytes > options_.chunk_max_bytes && !chunk.jumbo) {
       MaybeSplitChunk(chunk_index);
     }
@@ -499,6 +511,9 @@ Result<uint64_t> Cluster::Delete(const query::ExprPtr& expr) {
   // and chunk accounting cannot race.
   const std::unique_lock<std::shared_mutex> topo(topology_mu_);
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
+  if (options_.exec.bucket_layout != nullptr && !options_.exec.raw_buckets) {
+    return DeleteBucketsLocked(router, expr);
+  }
   const std::vector<int> targets = router.TargetShards(expr);
   uint64_t deleted = 0;
   for (const int shard_id : targets) {
@@ -521,7 +536,91 @@ Result<uint64_t> Cluster::Delete(const query::ExprPtr& expr) {
       if (!s.ok()) return s;
       chunk.bytes -= std::min(chunk.bytes, doomed[i].second);
       if (chunk.docs > 0) --chunk.docs;
+      if (chunk.points > 0) --chunk.points;
       ++deleted;
+    }
+  }
+  return deleted;
+}
+
+// Deleting from a bucketed collection (topology held exclusive by Delete):
+// fetch the raw bucket documents the widened expression can reach, decode
+// each, and where any point matches, remove the whole bucket and re-insert
+// a re-encoded bucket of the survivors — MongoDB's time-series deletes do
+// the same unpack/rewrite dance. Returns the number of *points* deleted.
+Result<uint64_t> Cluster::DeleteBucketsLocked(const Router& router,
+                                              const query::ExprPtr& expr) {
+  const storage::BucketLayout& layout = *options_.exec.bucket_layout;
+  query::ExecutorOptions raw_exec = options_.exec;
+  raw_exec.raw_buckets = true;
+  const query::ExprPtr bucket_expr = Router::RoutingExpr(expr, options_.exec);
+  const std::vector<int> targets = router.TargetShards(bucket_expr);
+
+  uint64_t deleted = 0;
+  for (const int shard_id : targets) {
+    Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+    const query::ExecutionResult r = shard.RunQuery(bucket_expr, raw_exec);
+    r.CheckBorrows();
+
+    // Decode and partition every affected bucket before the first Remove
+    // invalidates the borrow window.
+    struct Doomed {
+      storage::RecordId rid;
+      std::string key;
+      uint64_t bytes;
+      uint64_t total_points;
+      uint64_t removed_points;
+      std::vector<bson::Document> survivors;
+    };
+    std::vector<Doomed> doomed;
+    for (size_t i = 0; i < r.docs.size(); ++i) {
+      const bson::Document& doc = *r.docs[i];
+      if (!storage::IsBucketDocument(doc)) {
+        // Row document in a bucketed store (mixed loads): plain delete.
+        if (expr != nullptr && !expr->Matches(doc)) continue;
+        doomed.push_back({r.rids[i], pattern_.KeyOf(doc),
+                          doc.ApproxBsonSize(), 1, 1, {}});
+        continue;
+      }
+      Result<std::vector<bson::Document>> points =
+          storage::DecodeBucket(doc, layout);
+      if (!points.ok()) return points.status();
+      const uint64_t total = points->size();
+      std::vector<bson::Document> survivors;
+      for (bson::Document& p : *points) {
+        if (expr == nullptr || expr->Matches(p)) continue;
+        survivors.push_back(std::move(p));
+      }
+      if (survivors.size() == total) continue;  // nothing to delete here
+      doomed.push_back({r.rids[i], pattern_.KeyOf(doc), doc.ApproxBsonSize(),
+                        total, total - survivors.size(),
+                        std::move(survivors)});
+    }
+
+    for (Doomed& d : doomed) {
+      Chunk& chunk = chunks_->chunk(chunks_->FindChunkIndex(d.key));
+      const Status s = shard.Remove(d.rid);
+      if (!s.ok()) return s;
+      chunk.bytes -= std::min(chunk.bytes, d.bytes);
+      if (chunk.docs > 0) --chunk.docs;
+      chunk.points -= std::min(chunk.points, d.total_points);
+      deleted += d.removed_points;
+
+      if (d.survivors.empty()) continue;
+      Result<bson::Document> rebucketed =
+          storage::EncodeBucket(d.survivors, layout);
+      if (!rebucketed.ok()) return rebucketed.status();
+      const std::string key = pattern_.KeyOf(*rebucketed);
+      Chunk& dst = chunks_->chunk(chunks_->FindChunkIndex(key));
+      const uint64_t new_bytes = rebucketed->ApproxBsonSize();
+      const uint64_t kept = d.survivors.size();
+      Result<storage::RecordId> rid =
+          shards_[static_cast<size_t>(dst.shard_id)]->Insert(
+              std::move(*rebucketed));
+      if (!rid.ok()) return rid.status();
+      dst.bytes += new_bytes;
+      dst.docs += 1;
+      dst.points += kept;
     }
   }
   return deleted;
@@ -531,7 +630,12 @@ std::string Cluster::Explain(const query::ExprPtr& expr) const {
   const std::shared_lock<std::shared_mutex> topo(topology_mu_);
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
   bool broadcast = false;
-  const std::vector<int> targets = router.TargetShards(expr, &broadcast);
+  const std::vector<int> targets = router.TargetShards(
+      Router::RoutingExpr(expr, options_.exec), &broadcast);
+  query::PlanningContext plan_ctx;
+  if (!options_.exec.raw_buckets) {
+    plan_ctx.bucket_layout = options_.exec.bucket_layout;
+  }
 
   std::string out = "query: " + expr->DebugString() + "\n";
   out += "shard key: " + pattern_.DebugString() + "\n";
@@ -544,7 +648,7 @@ std::string Cluster::Explain(const query::ExprPtr& expr) const {
            std::to_string(shard.num_documents()) + " docs):\n";
     const std::vector<query::CandidatePlan> candidates =
         query::Planner::Plan(shard.collection().records(), shard.catalog(),
-                             expr);
+                             expr, plan_ctx);
     for (const query::CandidatePlan& plan : candidates) {
       out += "    candidate: " + plan.summary + "\n";
     }
@@ -592,7 +696,7 @@ std::string Cluster::ServerStatus() const {
 std::vector<int> Cluster::TargetShards(const query::ExprPtr& expr) const {
   const std::shared_lock<std::shared_mutex> topo(topology_mu_);
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
-  return router.TargetShards(expr);
+  return router.TargetShards(Router::RoutingExpr(expr, options_.exec));
 }
 
 uint64_t Cluster::total_documents() const {

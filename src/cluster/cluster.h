@@ -225,6 +225,10 @@ class Cluster {
  private:
   Status MoveChunk(size_t chunk_index, int to_shard);
   void MaybeSplitChunk(size_t chunk_index);
+  /// Bucketed-collection delete (see Delete): unpack, filter, re-encode
+  /// survivors. Caller holds topology_mu_ exclusive.
+  Result<uint64_t> DeleteBucketsLocked(const Router& router,
+                                       const query::ExprPtr& expr);
   /// One background-balancer cadence: pick under the topology lock, then
   /// two-phase move. Aborted commits are benign (retried next round).
   void RunBalancerRound();

@@ -11,6 +11,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "keystring/keystring.h"
+#include "query/bucket_unpack.h"
 #include "query/query_analysis.h"
 
 namespace stix::cluster {
@@ -98,16 +99,28 @@ std::vector<int> Router::TargetShards(const query::ExprPtr& expr,
   return std::vector<int>(ids.begin(), ids.end());
 }
 
+query::ExprPtr Router::RoutingExpr(const query::ExprPtr& expr,
+                                   const query::ExecutorOptions& exec) {
+  if (exec.bucket_layout == nullptr || exec.raw_buckets) return expr;
+  if (query::ExprPtr widened =
+          query::WidenForBuckets(expr, *exec.bucket_layout)) {
+    return widened;
+  }
+  return query::MakeAnd({});  // match-all: target every chunk
+}
+
 std::unique_ptr<ClusterCursor> Router::OpenCursor(
     const query::ExprPtr& expr, const query::ExecutorOptions& exec_options,
     const CursorOptions& cursor_options,
     std::shared_lock<std::shared_mutex> migration_latch) const {
+  query::ExecutorOptions exec = exec_options;
+  if (cursor_options.raw_buckets) exec.raw_buckets = true;
   bool broadcast = false;
-  std::vector<int> targets = TargetShards(expr, &broadcast);
+  std::vector<int> targets = TargetShards(RoutingExpr(expr, exec), &broadcast);
   return std::unique_ptr<ClusterCursor>(
-      new ClusterCursor(shards_, std::move(targets), broadcast, expr,
-                        exec_options, options_, parallel_fanout_, pool_,
-                        cursor_options, profiler_, std::move(migration_latch)));
+      new ClusterCursor(shards_, std::move(targets), broadcast, expr, exec,
+                        options_, parallel_fanout_, pool_, cursor_options,
+                        profiler_, std::move(migration_latch)));
 }
 
 ClusterQueryResult Router::Execute(
@@ -219,6 +232,7 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
   size_t round_docs = 0;
   for (size_t i : active) round_docs += batches[i].docs.size();
   out.reserve(round_docs);
+  uint64_t round_bytes = 0;
   for (size_t i : active) {
     ShardCursor::Batch& batch = batches[i];
     batch.CheckBorrows();
@@ -232,14 +246,16 @@ std::vector<bson::Document> ClusterCursor::NextBatch() {
       } else {
         out.push_back(*batch.docs[j]);
       }
-      bytes_materialized_ += out.back().ApproxBsonSize();
+      // One size walk per document, shared by both accountings: ApproxBson-
+      // Size recurses through sub-documents and is measurable at scan scale.
+      const uint64_t doc_bytes = out.back().ApproxBsonSize();
+      bytes_materialized_ += doc_bytes;
+      round_bytes += doc_bytes;
       ++returned_;
     }
   }
   merge_millis_ += merge_timer.ElapsedMillis();
   STIX_METRIC_COUNTER(cluster_bytes, "cluster.bytes_materialized");
-  uint64_t round_bytes = 0;
-  for (const bson::Document& d : out) round_bytes += d.ApproxBsonSize();
   cluster_bytes.Increment(round_bytes);
   if (!out.empty() && first_result_millis_ < 0.0) {
     first_result_millis_ = open_timer_.ElapsedMillis();

@@ -34,6 +34,10 @@ struct CursorOptions {
   /// every shard executor (trial target and stream length), so limit-k
   /// queries examine strictly fewer keys/docs than a full drain.
   uint64_t limit = 0;
+  /// Bucketed clusters only: stream the raw *bucket documents* instead of
+  /// decoded points. The expression must then be bucket-level (already
+  /// widened) — used for metadata scans (kNN seeding) and deletes.
+  bool raw_buckets = false;
 };
 
 /// Per-shard slice of a scatter/gather execution.
@@ -240,6 +244,15 @@ class Router {
   /// Shard ids this query must contact (sorted, unique).
   std::vector<int> TargetShards(const query::ExprPtr& expr,
                                 bool* broadcast_out = nullptr) const;
+
+  /// The expression shard targeting must use: for a bucketed collection
+  /// (exec options carry a bucket layout and raw_buckets is off) the
+  /// point-level expression is widened to bucket level first — stored
+  /// documents carry window starts and cell bases, not point values.
+  /// Falls back to a match-all (broadcast) when nothing routable survives
+  /// the widening. Row layouts return `expr` unchanged.
+  static query::ExprPtr RoutingExpr(const query::ExprPtr& expr,
+                                    const query::ExecutorOptions& exec);
 
   /// Opens a streaming cursor: targets the shards, opens one shard cursor
   /// per target (lazily — no shard work until the first NextBatch), and

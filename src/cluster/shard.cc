@@ -201,8 +201,18 @@ ShardCursor::Batch ShardCursor::GetMore(size_t batch_size) {
     // positions and the batch takes ownership of its documents, so writers
     // and migrations may run freely until the next GetMore.
     exec_.SaveState();
+    const bool transient = exec_.winner_transient();
     batch.owned.reserve(batch.docs.size());
-    for (const bson::Document* d : batch.docs) batch.owned.push_back(*d);
+    for (const bson::Document* d : batch.docs) {
+      if (transient) {
+        // Unpacked points are arena-owned and emitted exactly once; moving
+        // them out skips a deep copy per point (record-store borrows below
+        // must still be copied — their memory is not ours to gut).
+        batch.owned.push_back(std::move(*const_cast<bson::Document*>(d)));
+      } else {
+        batch.owned.push_back(*d);
+      }
+    }
     for (size_t i = 0; i < batch.docs.size(); ++i) {
       batch.docs[i] = &batch.owned[i];
     }

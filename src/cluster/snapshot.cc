@@ -63,6 +63,7 @@ bson::Document ChunkToDoc(const Chunk& c) {
       .Field("shard", static_cast<int32_t>(c.shard_id))
       .Field("bytes", static_cast<int64_t>(c.bytes))
       .Field("docs", static_cast<int64_t>(c.docs))
+      .Field("points", static_cast<int64_t>(c.points))
       .Field("jumbo", c.jumbo)
       .Build();
 }
@@ -83,6 +84,11 @@ Result<Chunk> ChunkFromDoc(const bson::Document& doc) {
   }
   if (const bson::Value* v = doc.Get("docs")) {
     c.docs = static_cast<uint64_t>(v->AsInt64());
+  }
+  if (const bson::Value* v = doc.Get("points")) {
+    c.points = static_cast<uint64_t>(v->AsInt64());
+  } else {
+    c.points = c.docs;  // pre-bucketing snapshots: one point per document
   }
   if (const bson::Value* v = doc.Get("jumbo")) c.jumbo = v->AsBool();
   return c;

@@ -92,14 +92,16 @@ void PlanExecutor::Prepare() {
     if (!options_.stage_timing) return;
     for (CandidatePlan& plan : candidates_) plan.root->EnableTiming();
   };
-  candidates_ = Planner::Plan(records_, catalog_, expr_);
+  PlanningContext ctx;
+  if (!options_.raw_buckets) ctx.bucket_layout = options_.bucket_layout;
+  candidates_ = Planner::Plan(records_, catalog_, expr_, ctx);
   apply_stage_timing();
   num_candidates_ = static_cast<int>(candidates_.size());
 
   // Fast path: a cached plan for this query shape, bounded by the
   // replanning budget.
   if (cache_ != nullptr && candidates_.size() > 1) {
-    shape_ = QueryShape(*expr_);
+    shape_ = MakeShape();
     if (const std::optional<PlanCacheEntry> entry = cache_->Lookup(shape_)) {
       CandidatePlan* cached_plan = nullptr;
       for (CandidatePlan& plan : candidates_) {
@@ -132,7 +134,7 @@ void PlanExecutor::Prepare() {
         replans.Increment();
         replanned_ = true;
         racers_.clear();
-        candidates_ = Planner::Plan(records_, catalog_, expr_);
+        candidates_ = Planner::Plan(records_, catalog_, expr_, ctx);
         apply_stage_timing();
       }
     }
@@ -187,10 +189,12 @@ bool PlanExecutor::Next(storage::RecordId* rid_out,
 
 void PlanExecutor::SaveState() {
   if (phase_ == Phase::kInit || phase_ == Phase::kDone || saved_) return;
-  if (phase_ == Phase::kBuffer) {
+  if (phase_ == Phase::kBuffer && !winner_transient()) {
     // Unreturned buffered results still point into the record store;
     // materialize them into executor-owned storage and repoint. The deque
     // never reallocates elements, so earlier repointed entries stay valid.
+    // (Transient plans need none of this: their documents live in the
+    // stage's own arena, which yields cannot invalidate.)
     for (size_t i = buffer_pos_; i < winner_->docs.size(); ++i) {
       owned_buffer_.push_back(*winner_->docs[i]);
       winner_->docs[i] = &owned_buffer_.back();
@@ -214,9 +218,19 @@ void PlanExecutor::Finish() {
   // (limit) stores nothing: a partial works count would poison those
   // budgets.
   if (raced_ && winner_ != nullptr && winner_->eof && cache_ != nullptr) {
-    if (shape_.empty()) shape_ = QueryShape(*expr_);
+    if (shape_.empty()) shape_ = MakeShape();
     cache_->Store(shape_, winner_->plan->index_name, winner_->works);
   }
+}
+
+// Bucket-unpacked and raw executions of the same expression have different
+// plan spaces; keep their cache entries apart.
+std::string PlanExecutor::MakeShape() const {
+  std::string shape = QueryShape(*expr_);
+  if (options_.bucket_layout != nullptr && !options_.raw_buckets) {
+    shape.insert(0, "bucket|");
+  }
+  return shape;
 }
 
 ExecStats PlanExecutor::CurrentStats() const {
@@ -271,8 +285,24 @@ ExecutionResult ExecuteQuery(const storage::RecordStore& records,
   result.num_candidates = exec.num_candidates();
   result.from_plan_cache = exec.from_plan_cache();
   result.replanned = exec.replanned();
-  result.borrow_source = &records;
-  result.borrow_generation = records.generation();
+  if (exec.winner_transient()) {
+    // The documents live in the winning plan's unpack arena, which dies
+    // with `exec` at return: materialize into the result itself. Transient
+    // documents are always arena-owned (BucketUnpackStage copies even
+    // pass-through rows into its arena) and each arena slot is emitted
+    // exactly once, so moving them out is safe and skips a deep copy of
+    // every unpacked point.
+    result.owned.reserve(result.docs.size());
+    for (const bson::Document* d : result.docs) {
+      result.owned.push_back(std::move(*const_cast<bson::Document*>(d)));
+    }
+    for (size_t i = 0; i < result.docs.size(); ++i) {
+      result.docs[i] = &result.owned[i];
+    }
+  } else {
+    result.borrow_source = &records;
+    result.borrow_generation = records.generation();
+  }
   result.exec_millis = timer.ElapsedMillis();
   return result;
 }

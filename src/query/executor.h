@@ -44,6 +44,15 @@ struct ExecutorOptions {
   /// See YieldPolicy. kYieldAndRestore lets shard cursors survive
   /// concurrent writers and the online balancer between getMore calls.
   YieldPolicy yield_policy = YieldPolicy::kYieldAndRestore;
+  /// Non-null when the collection stores bucket documents (see
+  /// storage/bucket.h): queries plan as BUCKET_UNPACK over widened bounds
+  /// and return decoded *points*. The layout must match what the writing
+  /// BucketCatalog used.
+  std::shared_ptr<const storage::BucketLayout> bucket_layout;
+  /// With bucket_layout set, true bypasses the unpack and runs the query
+  /// against the raw bucket documents (routing metadata scans, deletes).
+  /// The expression must then be bucket-level (already widened).
+  bool raw_buckets = false;
 };
 
 /// Result of running one query on one shard-local collection.
@@ -55,7 +64,15 @@ struct ExecutorOptions {
 struct ExecutionResult {
   std::vector<const bson::Document*> docs;
   /// RecordIds parallel to `docs` (consumed by deletes and diagnostics).
+  /// Bucket-unpacked points share their bucket's record id, so ids can
+  /// repeat.
   std::vector<storage::RecordId> rids;
+
+  /// Bucket-unpacked executions only: the decoded points, owned by the
+  /// result itself (`docs` points into this vector; moving the result
+  /// moves the buffer, so the pointers survive). Empty for row-layout
+  /// executions, whose docs borrow from the record store instead.
+  std::vector<bson::Document> owned;
 
   /// Borrow guard: the store the pointers borrow from and its generation at
   /// production time (see RecordStore::generation()). Reading `docs` after
@@ -145,6 +162,12 @@ class PlanExecutor {
 
   uint64_t n_returned() const { return returned_; }
   const std::string& winning_index() const;
+  /// True when the winning plan's documents are owned by the plan itself
+  /// (BUCKET_UNPACK arena) — they die with this executor, not with the
+  /// next collection mutation. False before the first Next().
+  bool winner_transient() const {
+    return winner_ != nullptr && winner_->plan->transient_docs;
+  }
   int num_candidates() const { return num_candidates_; }
   bool from_plan_cache() const { return from_plan_cache_; }
   bool replanned() const { return replanned_; }
@@ -177,6 +200,7 @@ class PlanExecutor {
   };
 
   void Prepare();
+  std::string MakeShape() const;
   bool DrainCachedWithCap(Racer* racer, uint64_t cap);
   Racer* RunTrial();
   void Finish();

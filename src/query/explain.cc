@@ -81,6 +81,10 @@ std::string ExplainNode::ToJson(ExplainVerbosity v) const {
     out << ", \"works\": " << works << ", \"advanced\": " << advanced
         << ", \"keysExamined\": " << keys_examined
         << ", \"docsExamined\": " << docs_examined;
+    if (stage == "BUCKET_UNPACK") {
+      out << ", \"bucketsPruned\": " << buckets_pruned
+          << ", \"pointsUnpacked\": " << points_unpacked;
+    }
     if (time_millis >= 0.0) {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.3f", time_millis);

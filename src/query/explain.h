@@ -29,7 +29,7 @@ const char* ExplainVerbosityName(ExplainVerbosity v);
 /// over the tree reproduces the executor's ExecStats for that plan —
 /// the invariant the fuzz harness checks on every seed.
 struct ExplainNode {
-  std::string stage;       ///< "IXSCAN", "FETCH", "COLLSCAN".
+  std::string stage;       ///< "IXSCAN", "FETCH", "COLLSCAN", "BUCKET_UNPACK".
   std::string index_name;  ///< IXSCAN: index the scan runs over.
   std::string key_pattern; ///< IXSCAN: "{hilbertIndex: 1, date: 1}".
   std::string bounds;      ///< IXSCAN: IndexBounds::DebugString().
@@ -38,6 +38,8 @@ struct ExplainNode {
   uint64_t advanced = 0;   ///< Units that produced a document.
   uint64_t keys_examined = 0;  ///< IXSCAN only.
   uint64_t docs_examined = 0;  ///< FETCH/COLLSCAN only.
+  uint64_t buckets_pruned = 0;    ///< BUCKET_UNPACK: skipped via metadata.
+  uint64_t points_unpacked = 0;   ///< BUCKET_UNPACK: decompressed points.
   /// Wall time spent inside this stage's Work() calls, children included
   /// (MongoDB's executionTimeMillisEstimate is likewise inclusive).
   /// Negative when stage timing was not enabled for the execution.

@@ -1,6 +1,7 @@
 #include "query/planner.h"
 
 #include "geo/covering.h"
+#include "query/bucket_unpack.h"
 #include "query/query_analysis.h"
 
 namespace stix::query {
@@ -25,8 +26,18 @@ index::FieldBounds GeoBounds(const geo::GeoHash& geohash,
 
 std::vector<CandidatePlan> Planner::Plan(const storage::RecordStore& records,
                                          const index::IndexCatalog& catalog,
-                                         const ExprPtr& expr) {
-  const std::map<std::string, PathInfo> paths = AnalyzeQuery(expr);
+                                         const ExprPtr& expr,
+                                         const PlanningContext& ctx) {
+  // Bucketed collections: index bounds come from the *widened* rewrite of
+  // the point expression (safe over bucket documents); the exact point
+  // filter moves into the BUCKET_UNPACK stage wrapped around every plan.
+  // A null widened expression simply constrains no path, so the planner
+  // falls through to BUCKET_UNPACK -> COLLSCAN.
+  const bool bucketed = ctx.bucket_layout != nullptr;
+  ExprPtr bounds_expr = expr;
+  if (bucketed) bounds_expr = WidenForBuckets(expr, *ctx.bucket_layout);
+
+  const std::map<std::string, PathInfo> paths = AnalyzeQuery(bounds_expr);
   std::vector<CandidatePlan> candidates;
 
   for (const auto& idx : catalog.indexes()) {
@@ -75,15 +86,32 @@ std::vector<CandidatePlan> Planner::Plan(const storage::RecordStore& records,
     CandidatePlan plan;
     plan.index_name = desc.name();
     auto scan = std::make_unique<IndexScanStage>(*idx, std::move(bounds));
-    plan.summary = "FETCH -> " + scan->Summary();
-    plan.root = std::make_unique<FetchStage>(records, std::move(scan), expr);
+    if (bucketed) {
+      // FETCH loads the bucket with no filter (pruning happens on bucket
+      // metadata inside the unpack, the exact filter on decoded points).
+      auto fetch =
+          std::make_unique<FetchStage>(records, std::move(scan), nullptr);
+      plan.root = std::make_unique<BucketUnpackStage>(std::move(fetch), expr,
+                                                      ctx.bucket_layout);
+      plan.transient_docs = true;
+    } else {
+      plan.root = std::make_unique<FetchStage>(records, std::move(scan), expr);
+    }
+    plan.summary = plan.root->Summary();
     candidates.push_back(std::move(plan));
   }
 
   if (candidates.empty()) {
     CandidatePlan plan;
-    plan.summary = "COLLSCAN";
-    plan.root = std::make_unique<CollScanStage>(records, expr);
+    if (bucketed) {
+      auto scan = std::make_unique<CollScanStage>(records, nullptr);
+      plan.root = std::make_unique<BucketUnpackStage>(std::move(scan), expr,
+                                                      ctx.bucket_layout);
+      plan.transient_docs = true;
+    } else {
+      plan.root = std::make_unique<CollScanStage>(records, expr);
+    }
+    plan.summary = plan.root->Summary();
     candidates.push_back(std::move(plan));
   }
   return candidates;

@@ -7,6 +7,7 @@
 
 #include "index/index_catalog.h"
 #include "query/plan_stage.h"
+#include "storage/bucket.h"
 
 namespace stix::query {
 
@@ -15,6 +16,20 @@ struct CandidatePlan {
   std::unique_ptr<PlanStage> root;
   std::string summary;
   std::string index_name;  ///< Empty for COLLSCAN.
+  /// True when the plan emits documents owned by its own stages (a
+  /// BUCKET_UNPACK arena) rather than by the record store: results must be
+  /// materialized before the executor dies (see ExecutionResult::owned).
+  bool transient_docs = false;
+};
+
+/// What the planner needs to know beyond the collection itself.
+struct PlanningContext {
+  /// Non-null when the collection stores bucket documents and the query is
+  /// a *point-level* expression: plans become
+  /// BUCKET_UNPACK -> FETCH -> IXSCAN over the widened bounds (or
+  /// BUCKET_UNPACK -> COLLSCAN). Null plans row-layout, which is also how
+  /// raw bucket scans (routing metadata, deletes) are planned.
+  std::shared_ptr<const storage::BucketLayout> bucket_layout;
 };
 
 /// Generates candidate plans for a match expression against a collection's
@@ -29,7 +44,8 @@ class Planner {
  public:
   static std::vector<CandidatePlan> Plan(const storage::RecordStore& records,
                                          const index::IndexCatalog& catalog,
-                                         const ExprPtr& expr);
+                                         const ExprPtr& expr,
+                                         const PlanningContext& ctx = {});
 };
 
 }  // namespace stix::query

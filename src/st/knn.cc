@@ -25,6 +25,11 @@ KnnResult KnnQuery(const StStore& store, geo::Point center,
                    const KnnOptions& options) {
   KnnResult result;
   double radius_m = options.initial_radius_m;
+  if (options.seed_from_buckets && store.bucketed()) {
+    const std::optional<double> seed =
+        store.MinBucketDistanceM(center, t_begin_ms, t_end_ms);
+    if (seed.has_value()) radius_m = std::max(radius_m, *seed);
+  }
 
   for (int round = 0; round <= options.max_expansions; ++round) {
     const geo::Rect ring = geo::RectAroundPoint(center, radius_m);

@@ -16,6 +16,12 @@ struct KnnOptions {
   int max_expansions = 16;
   /// Documents pulled per shard per getMore while streaming a ring probe.
   size_t batch_size = 256;
+  /// Bucketed stores only: seed the first ring radius from the distance to
+  /// the nearest bucket MBR overlapping the time window (a metadata-only
+  /// scan, no column decompression). Enlarging the first ring never skips a
+  /// neighbour — no point can lie closer than its bucket's MBR — it only
+  /// skips ring probes that provably return nothing. No-op on row stores.
+  bool seed_from_buckets = true;
   /// Candidate budget per ring probe, pushed down the cursor stack as a
   /// limit: the probe's shard executors stop as soon as this many
   /// candidates have been produced. 0 (default) keeps the search exact; a

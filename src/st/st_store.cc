@@ -1,9 +1,32 @@
 #include "st/st_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <utility>
 
 namespace stix::st {
+namespace {
+
+/// Resolves the bucket layout against the approach before anything is
+/// constructed from it: the catalog's encoding and the executor's widening
+/// must agree on whether points carry a hilbertIndex.
+StStoreOptions ResolveOptions(StStoreOptions options) {
+  if (options.bucket.has_value()) {
+    const ApproachKind kind = options.approach.kind;
+    options.bucket->use_hilbert = (kind == ApproachKind::kHil ||
+                                   kind == ApproachKind::kHilStar);
+    // The executor unpacks buckets behind every query; the balancer weighs
+    // chunks by decoded point count instead of (uniformly small) bucket
+    // document counts.
+    options.cluster.exec.bucket_layout =
+        std::make_shared<const storage::BucketLayout>(*options.bucket);
+    options.cluster.balancer.weigh_by_points = true;
+  }
+  return options;
+}
+
+}  // namespace
 
 std::string StExplain::ToJson() const {
   char millis[32];
@@ -19,14 +42,27 @@ std::string StExplain::ToJson() const {
 }
 
 StStore::StStore(const StStoreOptions& options)
-    : options_(options),
-      approach_(options.approach),
-      cluster_(options.cluster),
-      id_generator_(options.cluster.seed ^ 0x1d5ULL) {}
+    : options_(ResolveOptions(options)),
+      approach_(options_.approach),
+      cluster_(options_.cluster),
+      id_generator_(options_.cluster.seed ^ 0x1d5ULL) {
+  if (options_.bucket.has_value()) {
+    catalog_ = std::make_unique<storage::BucketCatalog>(
+        *options_.bucket, storage::BucketCatalogOptions{},
+        [this](bson::Document bucket) {
+          return cluster_.Insert(std::move(bucket));
+        });
+  }
+}
 
 Status StStore::Setup() {
   Status s = cluster_.ShardCollection(approach_.shard_key());
   if (!s.ok()) return s;
+  // Bucketed stores skip the per-point secondary indexes: stored documents
+  // are buckets keyed by window start (and cell base), which the shard-key
+  // index already serves; a 2dsphere index over compressed columns would
+  // index nothing useful.
+  if (bucketed()) return Status::OK();
   for (const index::IndexDescriptor& desc : approach_.secondary_indexes()) {
     s = cluster_.CreateIndex(desc);
     if (!s.ok()) return s;
@@ -50,12 +86,20 @@ Status StStore::Insert(bson::Document doc) {
   }
   const Status s = approach_.EnrichDocument(&doc);
   if (!s.ok()) return s;
+  if (catalog_ != nullptr) return catalog_->Add(std::move(doc));
   return cluster_.Insert(std::move(doc));
 }
 
 Status StStore::FinishLoad() {
+  const Status s = FlushBuckets();
+  if (!s.ok()) return s;
   cluster_.Balance();
   return Status::OK();
+}
+
+Status StStore::FlushBuckets() const {
+  if (catalog_ == nullptr) return Status::OK();
+  return catalog_->FlushAll();
 }
 
 Status StStore::ConfigureZones() {
@@ -102,6 +146,9 @@ StQueryResult StStore::Query(const geo::Rect& rect, int64_t t_begin_ms,
 StCursor StStore::OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
                             int64_t t_end_ms,
                             const StCursorOptions& cursor_options) const {
+  // Best effort: a failed flush (injected fault) leaves its points
+  // buffered for a later retry; the query still sees everything flushed.
+  (void)FlushBuckets();
   TranslatedQuery translated =
       approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
   std::unique_ptr<cluster::ClusterCursor> cursor = cluster_.OpenCursor(
@@ -112,6 +159,7 @@ StCursor StStore::OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
 StExplain StStore::Explain(const geo::Rect& rect, int64_t t_begin_ms,
                            int64_t t_end_ms,
                            query::ExplainVerbosity verbosity) const {
+  (void)FlushBuckets();
   const TranslatedQuery translated =
       approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
   StExplain explain;
@@ -126,6 +174,8 @@ StExplain StStore::Explain(const geo::Rect& rect, int64_t t_begin_ms,
 
 Result<uint64_t> StStore::Delete(const geo::Rect& rect, int64_t t_begin_ms,
                                  int64_t t_end_ms) {
+  const Status s = FlushBuckets();
+  if (!s.ok()) return s;
   const TranslatedQuery translated =
       approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
   return cluster_.Delete(translated.expr);
@@ -143,11 +193,52 @@ StQueryResult StStore::QueryPolygon(const geo::Polygon& polygon,
 StCursor StStore::OpenPolygonQuery(const geo::Polygon& polygon,
                                    int64_t t_begin_ms, int64_t t_end_ms,
                                    const StCursorOptions& cursor_options) const {
+  (void)FlushBuckets();
   TranslatedQuery translated =
       approach_.TranslatePolygonQuery(polygon, t_begin_ms, t_end_ms);
   std::unique_ptr<cluster::ClusterCursor> cursor = cluster_.OpenCursor(
       translated.expr, ToClusterCursorOptions(cursor_options));
   return StCursor(std::move(translated), std::move(cursor));
+}
+
+std::optional<double> StStore::MinBucketDistanceM(geo::Point center,
+                                                  int64_t t_begin_ms,
+                                                  int64_t t_end_ms) const {
+  if (catalog_ == nullptr) return std::nullopt;
+  (void)FlushBuckets();
+  const storage::BucketLayout& layout = *options_.bucket;
+
+  // Bucket-level time window: stored documents carry window starts, so the
+  // lower bound widens by window_ms - 1 (Router::RoutingExpr's rewrite,
+  // phrased directly since this cursor streams raw buckets).
+  query::ExprPtr expr = query::MakeAnd(
+      {query::MakeCmp(layout.time_field, query::CmpOp::kGte,
+                      bson::Value::DateTime(t_begin_ms - layout.window_ms + 1)),
+       query::MakeCmp(layout.time_field, query::CmpOp::kLte,
+                      bson::Value::DateTime(t_end_ms))});
+
+  cluster::CursorOptions cursor_options;
+  cursor_options.batch_size = 0;
+  cursor_options.raw_buckets = true;
+  std::unique_ptr<cluster::ClusterCursor> cursor =
+      cluster_.OpenCursor(expr, cursor_options);
+
+  std::optional<double> best;
+  while (!cursor->exhausted()) {
+    for (const bson::Document& doc : cursor->NextBatch()) {
+      Result<storage::BucketMeta> meta = storage::ParseBucketMeta(doc);
+      if (!meta.ok()) continue;  // non-bucket stragglers contribute nothing
+      if (meta->max_ts < t_begin_ms || meta->min_ts > t_end_ms) continue;
+      if (!meta->has_mbr) return 0.0;  // unknown extent: no useful bound
+      const geo::Point closest{
+          std::clamp(center.lon, meta->mbr.lo.lon, meta->mbr.hi.lon),
+          std::clamp(center.lat, meta->mbr.lo.lat, meta->mbr.hi.lat)};
+      const double d = geo::HaversineMeters(center, closest);
+      if (!best.has_value() || d < *best) best = d;
+      if (*best == 0.0) return best;  // cannot improve on zero
+    }
+  }
+  return best;
 }
 
 }  // namespace stix::st

@@ -3,10 +3,12 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "bson/object_id.h"
 #include "cluster/cluster.h"
 #include "st/approach.h"
+#include "storage/bucket_catalog.h"
 
 namespace stix::st {
 
@@ -14,6 +16,13 @@ namespace stix::st {
 struct StStoreOptions {
   ApproachConfig approach;
   cluster::ClusterOptions cluster;
+  /// Bucketed time-series collection layout: when set, inserts buffer into
+  /// a BucketCatalog and the cluster stores one compressed bucket document
+  /// per (vehicle, time window) instead of one document per point. Queries
+  /// answer identically to the row layout (the executor unpacks buckets
+  /// behind a BUCKET_UNPACK stage); `use_hilbert` is derived from the
+  /// approach, so leave it defaulted.
+  std::optional<storage::BucketLayout> bucket;
   /// _id generation: the load clock starts here and advances one second per
   /// `docs_per_id_second` inserts — the driver-side ObjectId timestamps the
   /// paper's A.3 prefix-compression analysis depends on.
@@ -158,10 +167,34 @@ class StStore {
   Result<uint64_t> Delete(const geo::Rect& rect, int64_t t_begin_ms,
                           int64_t t_end_ms);
 
+  /// True when the store uses the bucketed collection layout.
+  bool bucketed() const { return catalog_ != nullptr; }
+
+  /// The write-path bucket catalog (nullptr for row stores). Exposed for
+  /// tests and the fuzz harness, which flush explicitly around fail points.
+  storage::BucketCatalog* bucket_catalog() const { return catalog_.get(); }
+
+  /// Seals and flushes every buffered bucket so readers see all points.
+  /// No-op (OK) for row stores. Query paths call this implicitly.
+  Status FlushBuckets() const;
+
+  /// Bucketed stores only: the smallest great-circle distance from `center`
+  /// to any bucket MBR whose time extent overlaps the closed interval — a
+  /// lower bound on the distance to any stored point there. Scans bucket
+  /// metadata only (no column decompression). nullopt for row stores or
+  /// when no bucket overlaps the window. kNN seeds its first ring from it.
+  std::optional<double> MinBucketDistanceM(geo::Point center,
+                                           int64_t t_begin_ms,
+                                           int64_t t_end_ms) const;
+
  private:
   StStoreOptions options_;
   Approach approach_;
   cluster::Cluster cluster_;
+  /// Buffers live inserts into open buckets; flush hands encoded bucket
+  /// documents to cluster_.Insert. Declared after cluster_ (the flush
+  /// callback captures it) and null for row stores.
+  std::unique_ptr<storage::BucketCatalog> catalog_;
   // Guards the driver-side _id clock (id_generator_ + inserted_) so
   // concurrent writers draw unique ObjectIds; the cluster handles its own
   // locking downstream.

@@ -1,0 +1,126 @@
+#ifndef STIX_STORAGE_BUCKET_H_
+#define STIX_STORAGE_BUCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bson/document.h"
+#include "common/status.h"
+#include "geo/geo.h"
+
+namespace stix::storage {
+
+/// Shape of the bucketed time-series collection layout (MongoDB's
+/// time-series buckets, specialised to the paper's trajectory workload):
+/// one stored document per (vehicle, time window[, Hilbert cell]) holding
+/// Simple8b-compressed delta-of-delta columns plus bucket-level pruning
+/// metadata. Immutable once a store is set up — the widening rewrite, the
+/// catalog keys and the codec must all agree on it.
+struct BucketLayout {
+  /// Time-window width per bucket. Every point in a bucket satisfies
+  /// ts in [bucket date, bucket date + window_ms), where the bucket's
+  /// time field carries the window's start — the invariant the query
+  /// rewrite widens time bounds by.
+  int64_t window_ms = 6 * 3600 * 1000;
+
+  /// Seal threshold: an open bucket flushes once it holds this many points.
+  uint32_t max_points = 1000;
+
+  /// Points in one bucket share hilbert >> hilbert_shift when use_hilbert
+  /// is set, and the bucket's hilbert field carries the cell base — the
+  /// invariant the hilbertIndex range widening relies on.
+  int hilbert_shift = 12;
+  bool use_hilbert = false;
+
+  std::string time_field = "date";
+  std::string location_field = "location";
+  std::string hilbert_field = "hilbertIndex";
+  std::string vehicle_field = "vehicleId";
+
+  /// Start of the window containing `ts` (floor to window_ms, correct for
+  /// negative timestamps).
+  int64_t WindowBase(int64_t ts) const {
+    int64_t q = ts / window_ms;
+    if (ts % window_ms < 0) --q;
+    return q * window_ms;
+  }
+};
+
+/// Bucket identity inside the BucketCatalog: which open bucket a point
+/// belongs to.
+struct BucketKey {
+  int64_t vehicle = 0;
+  int64_t window = 0;  ///< Window start, ms.
+  int64_t cell = 0;    ///< hilbert >> shift, or 0 when not applicable.
+
+  friend bool operator<(const BucketKey& a, const BucketKey& b) {
+    if (a.vehicle != b.vehicle) return a.vehicle < b.vehicle;
+    if (a.window != b.window) return a.window < b.window;
+    return a.cell < b.cell;
+  }
+  friend bool operator==(const BucketKey& a, const BucketKey& b) {
+    return a.vehicle == b.vehicle && a.window == b.window && a.cell == b.cell;
+  }
+};
+
+/// Pruning metadata of one sealed bucket, decoded without touching the
+/// columns: exact time extent, point count, tight MBR and the covering set
+/// of hilbertIndex ranges of the points inside.
+struct BucketMeta {
+  int64_t min_ts = 0;
+  int64_t max_ts = 0;
+  uint32_t num_points = 0;
+  bool has_mbr = false;
+  geo::Rect mbr = {{0, 0}, {0, 0}};
+  /// Sorted, disjoint closed [lo, hi] ranges of point hilbertIndex values;
+  /// empty when the points carried no hilbert field.
+  std::vector<std::pair<int64_t, int64_t>> hil_ranges;
+};
+
+/// Bucket-document field names (stable across PRs: the golden test pins the
+/// full encoding).
+inline constexpr char kBucketMetaField[] = "meta";
+inline constexpr char kBucketDataField[] = "data";
+
+/// True iff this stored document is a bucket (carries the meta + data
+/// sub-documents with the codec's version stamp).
+bool IsBucketDocument(const bson::Document& doc);
+
+/// Computes the catalog key of one point. Fails when the time field is
+/// missing or not a DateTime (bucketed stores require it). A missing
+/// vehicle/hilbert field keys as 0.
+Result<BucketKey> ComputeBucketKey(const bson::Document& point,
+                                   const BucketLayout& layout);
+
+/// Encodes points (all of one BucketKey — same window, same cell) into one
+/// bucket document. Reconstruction via DecodeBucket is byte-identical: the
+/// original field order and value types of every point are preserved.
+Result<bson::Document> EncodeBucket(const std::vector<bson::Document>& points,
+                                    const BucketLayout& layout);
+
+/// Reverses EncodeBucket, reproducing the original point documents in
+/// insertion order.
+Result<std::vector<bson::Document>> DecodeBucket(const bson::Document& bucket,
+                                                 const BucketLayout& layout);
+
+/// Decodes only the pruning metadata (no column access).
+Result<BucketMeta> ParseBucketMeta(const bson::Document& bucket);
+
+/// The predicate columns of one bucket: exact per-point timestamps and
+/// coordinates, decoded without touching the _id column, the position
+/// column or the payload residuals. A rect+time predicate evaluated on
+/// these is equal to evaluating it on the reconstructed points (the
+/// columns are bit-exact), so scans can filter columnar-first and
+/// materialize full documents only for matches.
+struct BucketTimeLoc {
+  std::vector<int64_t> ts;
+  /// Empty (not zero-filled) when the bucket has no location column —
+  /// callers must fall back to full DecodeBucket for spatial predicates.
+  std::vector<double> lon, lat;
+};
+Result<BucketTimeLoc> DecodeBucketTimeLoc(const bson::Document& bucket);
+
+}  // namespace stix::storage
+
+#endif  // STIX_STORAGE_BUCKET_H_

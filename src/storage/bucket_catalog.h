@@ -1,0 +1,77 @@
+#ifndef STIX_STORAGE_BUCKET_CATALOG_H_
+#define STIX_STORAGE_BUCKET_CATALOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "storage/bucket.h"
+
+namespace stix::storage {
+
+struct BucketCatalogOptions {
+  /// Open-bucket cap; past it the least-recently-touched bucket seals even
+  /// if short (bounds writer memory under many concurrent vehicles).
+  size_t max_open_buckets = 1024;
+};
+
+/// The write path of the bucketed layout (MongoDB's BucketCatalog, scaled
+/// down): live inserts buffer into open buckets keyed by
+/// (vehicle, window[, hilbert cell]); a bucket seals — encodes and hands the
+/// bucket document to the flush callback — when it reaches
+/// BucketLayout::max_points, when the open-bucket cap evicts it, or on
+/// FlushAll() (which query paths call first, so buffered points are always
+/// visible to readers).
+///
+/// A failed flush (the bucketCatalogFlush fail point, or a downstream
+/// insert error) leaves the bucket buffered and surfaces the error to the
+/// caller; a later flush retries, so no points are ever lost.
+///
+/// Thread-safe. The flush callback runs under the catalog mutex; it may
+/// take cluster/shard locks (nothing in the cluster calls back into the
+/// catalog).
+class BucketCatalog {
+ public:
+  using FlushFn = std::function<Status(bson::Document bucket)>;
+
+  BucketCatalog(BucketLayout layout, BucketCatalogOptions options,
+                FlushFn flush);
+
+  const BucketLayout& layout() const { return layout_; }
+
+  /// Buffers one point; may seal and flush this (or an evicted) bucket.
+  Status Add(bson::Document point);
+
+  /// Seals and flushes every open bucket. Stops at the first error (the
+  /// failed bucket and all later ones stay buffered).
+  Status FlushAll();
+
+  size_t open_buckets() const;
+  uint64_t points_buffered() const;
+  uint64_t buckets_flushed() const;
+
+ private:
+  struct OpenBucket {
+    std::vector<bson::Document> points;
+    uint64_t raw_bytes = 0;  ///< Sum of the points' ApproxBsonSize.
+    uint64_t last_touch = 0;
+  };
+
+  Status FlushOneLocked(const BucketKey& key);
+
+  const BucketLayout layout_;
+  const BucketCatalogOptions options_;
+  const FlushFn flush_;
+
+  mutable std::mutex mu_;
+  std::map<BucketKey, OpenBucket> open_;
+  uint64_t points_open_ = 0;
+  uint64_t tick_ = 0;
+  uint64_t flushed_ = 0;
+};
+
+}  // namespace stix::storage
+
+#endif  // STIX_STORAGE_BUCKET_CATALOG_H_

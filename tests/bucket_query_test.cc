@@ -1,0 +1,261 @@
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bson/codec.h"
+#include "query/bucket_unpack.h"
+#include "query/expression.h"
+#include "st/knn.h"
+#include "st/st_store.h"
+#include "workload/trajectory_generator.h"
+
+namespace stix::st {
+namespace {
+
+constexpr int64_t kHourMs = 3600 * 1000;
+
+StStoreOptions BaseOptions(ApproachKind kind, bool bucket) {
+  StStoreOptions options;
+  options.approach.kind = kind;
+  options.approach.dataset_mbr = workload::TrajectoryGenerator::GreeceMbr();
+  options.cluster.num_shards = 3;
+  options.cluster.seed = 11;
+  if (bucket) {
+    storage::BucketLayout layout;
+    layout.window_ms = 6 * kHourMs;
+    options.bucket = layout;
+  }
+  return options;
+}
+
+std::unique_ptr<StStore> LoadedStore(ApproachKind kind, bool bucket,
+                                     uint64_t docs) {
+  auto store = std::make_unique<StStore>(BaseOptions(kind, bucket));
+  EXPECT_TRUE(store->Setup().ok());
+  workload::TrajectoryOptions traj;
+  traj.num_records = docs;
+  traj.num_vehicles = 20;
+  traj.seed = 1234;
+  workload::TrajectoryGenerator gen(traj);
+  bson::Document doc;
+  while (gen.Next(&doc)) {
+    EXPECT_TRUE(store->Insert(std::move(doc)).ok());
+  }
+  return store;
+}
+
+// Canonical sorted rendering of a result set, for order-insensitive
+// equality between layouts.
+std::multiset<std::string> Canon(const std::vector<bson::Document>& docs) {
+  std::multiset<std::string> out;
+  for (const bson::Document& d : docs) out.insert(bson::EncodeBson(d));
+  return out;
+}
+
+TEST(BucketQueryTest, RowAndBucketAnswerIdentically) {
+  const workload::TrajectoryOptions traj;
+  const int64_t t0 = traj.t_begin_ms;
+  const int64_t span = traj.t_end_ms - traj.t_begin_ms;
+  for (const ApproachKind kind : {ApproachKind::kBslTS, ApproachKind::kHil}) {
+    const auto row = LoadedStore(kind, false, 2000);
+    const auto bucket = LoadedStore(kind, true, 2000);
+    const geo::Rect rects[] = {
+        {{23.0, 37.5}, {24.4, 38.5}},    // Athens-ish
+        {{19.0, 34.0}, {29.0, 42.0}},    // everything
+        {{26.9, 40.9}, {27.0, 41.0}},    // almost nothing
+    };
+    const std::pair<int64_t, int64_t> windows[] = {
+        {t0, t0 + span},                  // full span
+        {t0 + span / 3, t0 + span / 2},   // inner window
+        {t0 - 10 * span, t0 - span},      // empty window
+    };
+    for (const geo::Rect& rect : rects) {
+      for (const auto& [a, b] : windows) {
+        const StQueryResult rr = row->Query(rect, a, b);
+        const StQueryResult br = bucket->Query(rect, a, b);
+        ASSERT_TRUE(rr.cluster.status.ok());
+        ASSERT_TRUE(br.cluster.status.ok());
+        EXPECT_EQ(Canon(rr.cluster.docs), Canon(br.cluster.docs))
+            << ApproachName(kind) << " rect [" << rect.lo.lon << ","
+            << rect.hi.lon << "] window " << a << ".." << b;
+      }
+    }
+  }
+}
+
+TEST(BucketQueryTest, PolygonAndKnnAnswerIdentically) {
+  const workload::TrajectoryOptions traj;
+  const auto row = LoadedStore(ApproachKind::kHil, false, 1500);
+  const auto bucket = LoadedStore(ApproachKind::kHil, true, 1500);
+
+  const geo::Polygon triangle{{
+      {22.0, 36.5}, {25.5, 37.0}, {23.8, 40.0}}};
+  const StQueryResult rp = row->QueryPolygon(triangle, traj.t_begin_ms,
+                                             traj.t_end_ms);
+  const StQueryResult bp = bucket->QueryPolygon(triangle, traj.t_begin_ms,
+                                                traj.t_end_ms);
+  ASSERT_TRUE(rp.cluster.status.ok());
+  ASSERT_TRUE(bp.cluster.status.ok());
+  EXPECT_FALSE(rp.cluster.docs.empty());
+  EXPECT_EQ(Canon(rp.cluster.docs), Canon(bp.cluster.docs));
+
+  const geo::Point center{23.7275, 37.9838};
+  KnnOptions knn;
+  knn.k = 10;
+  const KnnResult rk =
+      KnnQuery(*row, center, traj.t_begin_ms, traj.t_end_ms, knn);
+  const KnnResult bk =
+      KnnQuery(*bucket, center, traj.t_begin_ms, traj.t_end_ms, knn);
+  ASSERT_EQ(rk.neighbors.size(), bk.neighbors.size());
+  for (size_t i = 0; i < rk.neighbors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rk.neighbors[i].distance_m, bk.neighbors[i].distance_m)
+        << "neighbor " << i;
+  }
+}
+
+// ---------- explain: BUCKET_UNPACK stage-tree invariants ----------
+
+const query::ExplainNode* FindStage(const query::ExplainNode& node,
+                                    const std::string& stage) {
+  if (node.stage == stage) return &node;
+  for (const query::ExplainNode& child : node.children) {
+    if (const query::ExplainNode* hit = FindStage(child, stage)) return hit;
+  }
+  return nullptr;
+}
+
+TEST(BucketQueryTest, ExplainShowsBucketUnpackWithConsistentCounters) {
+  const workload::TrajectoryOptions traj;
+  const auto bucket = LoadedStore(ApproachKind::kBslTS, true, 2000);
+  const geo::Rect athens{{23.0, 37.5}, {24.4, 38.5}};
+  const int64_t mid = traj.t_begin_ms + (traj.t_end_ms - traj.t_begin_ms) / 2;
+  const StExplain explain = bucket->Explain(athens, traj.t_begin_ms, mid);
+
+  uint64_t total_unpacked = 0;
+  uint64_t total_returned = 0;
+  for (const cluster::ShardExplain& shard : explain.cluster.shards) {
+    const query::ExplainNode* unpack =
+        FindStage(shard.winning_plan, "BUCKET_UNPACK");
+    ASSERT_NE(unpack, nullptr) << "shard " << shard.shard_id;
+    // The unpack stage consumes bucket documents its child already
+    // counted; its own counters are points_unpacked / buckets_pruned.
+    EXPECT_EQ(unpack->docs_examined, 0u);
+    ASSERT_EQ(unpack->children.size(), 1u);
+    const query::ExplainNode& child = unpack->children[0];
+    EXPECT_TRUE(child.stage == "FETCH" || child.stage == "COLLSCAN")
+        << child.stage;
+    // Buckets the child surfaced either got pruned or unpacked; a pruned
+    // bucket contributes no unpacked points, so unpacked points >= docs
+    // the stage advanced (every output point came from a decoded bucket).
+    EXPECT_LE(unpack->advanced, unpack->points_unpacked);
+    EXPECT_LE(unpack->buckets_pruned, child.advanced);
+    total_unpacked += unpack->points_unpacked;
+    total_returned += shard.stats.n_returned;
+  }
+  EXPECT_EQ(total_returned, explain.cluster.result.n_returned);
+  EXPECT_GE(total_unpacked, total_returned);
+
+  // Stage-tree sum invariant holds with BUCKET_UNPACK in the tree.
+  EXPECT_EQ(explain.cluster.SumStageDocsExamined(),
+            explain.cluster.result.total_docs_examined);
+  EXPECT_EQ(explain.cluster.SumStageKeysExamined(),
+            explain.cluster.result.total_keys_examined);
+}
+
+// ---------- pruning spec: widening and coverage ----------
+
+TEST(BucketPruneSpecTest, CoversOnlyWhenExactAndContained) {
+  storage::BucketLayout layout;
+  layout.window_ms = 6 * kHourMs;
+  const int64_t t0 = 1530403200000;
+  std::vector<query::ExprPtr> conjuncts;
+  conjuncts.push_back(query::MakeCmp(
+      layout.time_field, query::CmpOp::kGte, bson::Value::DateTime(t0)));
+  conjuncts.push_back(query::MakeCmp(layout.time_field, query::CmpOp::kLte,
+                                     bson::Value::DateTime(t0 + kHourMs)));
+  conjuncts.push_back(query::MakeGeoWithinBox(
+      layout.location_field, geo::Rect{{23.0, 37.0}, {24.0, 38.0}}));
+  const query::ExprPtr expr = query::MakeAnd(std::move(conjuncts));
+  const query::BucketPruneSpec spec =
+      query::ExtractBucketPredicates(expr, layout);
+  EXPECT_TRUE(spec.exact);
+
+  storage::BucketMeta inside;
+  inside.min_ts = t0 + 1000;
+  inside.max_ts = t0 + kHourMs - 1000;
+  inside.has_mbr = true;
+  inside.mbr = {{23.2, 37.2}, {23.8, 37.8}};
+  EXPECT_TRUE(spec.MayContain(inside));
+  EXPECT_TRUE(spec.Covers(inside));
+
+  // Time extent pokes out of the bounds: may contain, but not covered.
+  storage::BucketMeta straddling = inside;
+  straddling.max_ts = t0 + 2 * kHourMs;
+  EXPECT_TRUE(spec.MayContain(straddling));
+  EXPECT_FALSE(spec.Covers(straddling));
+
+  // MBR partially outside the rect: same.
+  storage::BucketMeta overhang = inside;
+  overhang.mbr = {{23.5, 37.5}, {24.5, 38.5}};
+  EXPECT_TRUE(spec.MayContain(overhang));
+  EXPECT_FALSE(spec.Covers(overhang));
+
+  // Disjoint in space: prunable.
+  storage::BucketMeta far = inside;
+  far.mbr = {{27.0, 40.0}, {28.0, 41.0}};
+  EXPECT_FALSE(spec.MayContain(far));
+
+  // No MBR recorded (some point had a non-canonical location): the rect
+  // can neither prune nor cover.
+  storage::BucketMeta opaque = inside;
+  opaque.has_mbr = false;
+  EXPECT_TRUE(spec.MayContain(opaque));
+  EXPECT_FALSE(spec.Covers(opaque));
+
+  // A polygon captures only its bounding box — never exact, never covers.
+  const query::ExprPtr poly_expr = query::MakeGeoWithinPolygon(
+      layout.location_field,
+      geo::Polygon{{{23.0, 37.0}, {24.0, 37.0}, {23.5, 38.0}}});
+  const query::BucketPruneSpec poly_spec =
+      query::ExtractBucketPredicates(poly_expr, layout);
+  EXPECT_FALSE(poly_spec.exact);
+  EXPECT_FALSE(poly_spec.Covers(inside));
+}
+
+TEST(BucketQueryTest, DeleteRemovesPointsUnderBucketLayout) {
+  const workload::TrajectoryOptions traj;
+  const auto store = LoadedStore(ApproachKind::kBslTS, true, 1000);
+  const geo::Rect everything{{19.0, 34.0}, {29.0, 42.0}};
+  const StQueryResult before =
+      store->Query(everything, traj.t_begin_ms, traj.t_end_ms);
+  ASSERT_EQ(before.cluster.docs.size(), 1000u);
+
+  // Delete the first half of the time span (bucketed deletes unpack,
+  // filter and re-encode partially-hit buckets), then verify survivors.
+  const int64_t span = traj.t_end_ms - traj.t_begin_ms;
+  const int64_t cut = traj.t_begin_ms + span / 2;
+  uint64_t expected_survivors = 0;
+  for (const bson::Document& d : before.cluster.docs) {
+    if (d.Get("date")->AsDateTime() > cut) ++expected_survivors;
+  }
+  std::vector<query::ExprPtr> conjuncts;
+  conjuncts.push_back(query::MakeCmp("date", query::CmpOp::kGte,
+                                     bson::Value::DateTime(traj.t_begin_ms)));
+  conjuncts.push_back(query::MakeCmp("date", query::CmpOp::kLte,
+                                     bson::Value::DateTime(cut)));
+  ASSERT_TRUE(store->FlushBuckets().ok());
+  const Result<uint64_t> removed =
+      store->cluster().Delete(query::MakeAnd(std::move(conjuncts)));
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(*removed, 1000u - expected_survivors);
+  const StQueryResult after =
+      store->Query(everything, traj.t_begin_ms, traj.t_end_ms);
+  EXPECT_EQ(after.cluster.docs.size(), expected_survivors);
+}
+
+}  // namespace
+}  // namespace stix::st

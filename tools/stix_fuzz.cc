@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "bson/codec.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -75,6 +76,10 @@ struct FuzzConfig {
   bool check_counters = false;
   /// Writer threads for the concurrent phase; 0 disables it.
   int threads = 0;
+  /// Collection layout(s) under test: "row" (one document per point),
+  /// "bucket" (compressed bucket documents), or "both" — which runs every
+  /// check against both layouts *and* cross-checks them byte-for-byte.
+  std::string layout = "row";
 };
 
 // Ground-truth record of one generated document.
@@ -140,10 +145,11 @@ struct SeedContext {
       std::snprintf(threads_arg, sizeof(threads_arg), " --threads=%d",
                     config->threads);
     }
-    std::fprintf(
-        stderr,
-        "REPRO: stix_fuzz --seed=%" PRIu64 " --docs=%d --queries=%d%s\n",
-        seed, config->docs, config->queries, threads_arg);
+    std::fprintf(stderr,
+                 "REPRO: stix_fuzz --seed=%" PRIu64
+                 " --docs=%d --queries=%d --layout=%s%s\n",
+                 seed, config->docs, config->queries, config->layout.c_str(),
+                 threads_arg);
   }
 };
 
@@ -265,7 +271,7 @@ std::vector<int32_t> DrainFids(st::StCursor cursor, Status* status_out) {
 
 // Runs the differential + metamorphic checks for one query against every
 // store. Returns false (after reporting) on the first divergence.
-bool CheckQuery(const std::vector<std::unique_ptr<StStore>>& stores,
+bool CheckQuery(const std::vector<StStore*>& stores,
                 const std::vector<FuzzDoc>& docs, const FuzzQuery& q,
                 Rng* rng, SeedContext* ctx) {
   const std::vector<int32_t> oracle = OracleFids(docs, q);
@@ -285,8 +291,10 @@ bool CheckQuery(const std::vector<std::unique_ptr<StStore>>& stores,
   left.rect.hi.lon = split_x;
   right.rect.lo.lon = std::nextafter(split_x, 1e9);
 
-  for (const auto& store : stores) {
-    const char* name = store->approach().name();
+  for (StStore* const store : stores) {
+    const std::string label = std::string(store->approach().name()) +
+                              (store->bucketed() ? "/bucket" : "");
+    const char* name = label.c_str();
 
     // 1. Oracle equality via Query().
     const st::StQueryResult full = store->Query(q.rect, q.t_begin_ms,
@@ -375,10 +383,160 @@ bool CheckQuery(const std::vector<std::unique_ptr<StStore>>& stores,
   return true;
 }
 
+// Layout parity (--layout=both): for each approach, the row store and the
+// bucket store must return *byte-identical* document sets — the bucket
+// codec's round trip preserves field order and value types, so after
+// sorting by fid the BSON encodings must match exactly, not just the fids.
+bool CheckLayoutParity(const std::vector<StStore*>& row_stores,
+                       const std::vector<StStore*>& bucket_stores,
+                       const FuzzQuery& q, SeedContext* ctx) {
+  const auto sorted_by_fid = [](std::vector<bson::Document> docs) {
+    std::sort(docs.begin(), docs.end(),
+              [](const bson::Document& a, const bson::Document& b) {
+                const bson::Value* va = a.Get("fid");
+                const bson::Value* vb = b.Get("fid");
+                return (va == nullptr ? -1 : va->AsInt32()) <
+                       (vb == nullptr ? -1 : vb->AsInt32());
+              });
+    return docs;
+  };
+  for (size_t i = 0; i < row_stores.size(); ++i) {
+    const std::string label =
+        std::string(row_stores[i]->approach().name()) + "/parity";
+    const std::vector<bson::Document> row = sorted_by_fid(
+        row_stores[i]->Query(q.rect, q.t_begin_ms, q.t_end_ms).cluster.docs);
+    const std::vector<bson::Document> bucket = sorted_by_fid(
+        bucket_stores[i]->Query(q.rect, q.t_begin_ms, q.t_end_ms).cluster.docs);
+    if (row.size() != bucket.size()) {
+      ctx->Report(label.c_str(), "layout-parity-count", q, row.size(),
+                  bucket.size());
+      return false;
+    }
+    for (size_t d = 0; d < row.size(); ++d) {
+      if (bson::EncodeBson(row[d]) != bson::EncodeBson(bucket[d])) {
+        ctx->Report(label.c_str(), "layout-parity-bytes", q, row.size(), d);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// The bucketCatalogFlush fail point, exercised on a small throwaway store
+// (so the shared stores' document sets stay untouched): a failing flush must
+// leave the points buffered (queries succeed over what *is* flushed, with no
+// duplicates), a retry after the fault clears must make every point visible,
+// and FlushBuckets must surface the injected error when buffered points
+// exist.
+bool CheckBucketFlushFailPoint(const geo::Rect& mbr, int64_t t0, int64_t span,
+                               const storage::BucketLayout& bucket_layout,
+                               Rng* rng, SeedContext* ctx) {
+  FailPoint* fp = FailPointRegistry::Instance().Find("bucketCatalogFlush");
+  if (fp == nullptr) {
+    std::fprintf(stderr, "FATAL: fail point bucketCatalogFlush not registered\n");
+    ctx->divergences++;
+    return false;
+  }
+
+  StStoreOptions options;
+  options.approach.kind = kApproaches[rng->NextBounded(4)];
+  options.approach.dataset_mbr = mbr;
+  options.cluster.num_shards = 2;
+  options.cluster.seed = ctx->seed ^ 0xb0c4e7;
+  options.bucket = bucket_layout;
+  StStore store(options);
+  if (!store.Setup().ok()) {
+    std::fprintf(stderr, "FATAL: flush-failpoint store setup failed\n");
+    ctx->divergences++;
+    return false;
+  }
+
+  std::vector<FuzzDoc> docs;
+  for (int i = 0; i < 24; ++i) {
+    FuzzDoc d;
+    d.lon = rng->NextDouble(mbr.lo.lon, mbr.hi.lon);
+    d.lat = rng->NextDouble(mbr.lo.lat, mbr.hi.lat);
+    d.t_ms = t0 + static_cast<int64_t>(
+                      rng->NextBounded(static_cast<uint64_t>(span) + 1));
+    d.fid = i;
+    docs.push_back(d);
+    if (!store.Insert(MakeDoc(d)).ok()) {
+      std::fprintf(stderr, "FATAL: flush-failpoint insert failed\n");
+      ctx->divergences++;
+      return false;
+    }
+  }
+  FuzzQuery q{mbr, t0, t0 + span};
+  const std::vector<int32_t> oracle = OracleFids(docs, q);
+
+  // Phase 1: a failing flush is tolerated by the read path — the query
+  // still runs (over every bucket that did flush) and loses nothing twice.
+  FailPoint::Config config;
+  config.mode = FailPoint::Mode::kTimes;
+  config.count = 1;
+  config.error_code = StatusCode::kInternal;
+  config.error_message = "injected fault at bucketCatalogFlush";
+  fp->Enable(config);
+  const st::StQueryResult faulted =
+      store.Query(q.rect, q.t_begin_ms, q.t_end_ms);
+  fp->Disable();
+  const std::vector<int32_t> faulted_fids = SortedFids(faulted.cluster.docs);
+  const std::set<int32_t> oracle_set(oracle.begin(), oracle.end());
+  bool subset_ok =
+      faulted.cluster.status.ok() && !HasDuplicates(faulted_fids);
+  for (const int32_t fid : faulted_fids) {
+    if (oracle_set.count(fid) == 0) subset_ok = false;
+  }
+  if (!subset_ok) {
+    ctx->Report("bucket", "failpoint-flush-subset", q, oracle.size(),
+                faulted_fids.size());
+    return false;
+  }
+
+  // Phase 2: with the fault cleared, the next query retries the flush and
+  // every buffered point becomes visible — nothing was lost.
+  const std::vector<int32_t> recovered =
+      SortedFids(store.Query(q.rect, q.t_begin_ms, q.t_end_ms).cluster.docs);
+  if (recovered != oracle) {
+    ctx->Report("bucket", "failpoint-flush-recovery", q, oracle.size(),
+                recovered.size());
+    return false;
+  }
+
+  // Phase 3: an explicit flush of buffered points surfaces the injected
+  // error instead of swallowing it.
+  FuzzDoc extra;
+  extra.lon = rng->NextDouble(mbr.lo.lon, mbr.hi.lon);
+  extra.lat = rng->NextDouble(mbr.lo.lat, mbr.hi.lat);
+  extra.t_ms = t0;
+  extra.fid = static_cast<int32_t>(docs.size());
+  docs.push_back(extra);
+  if (!store.Insert(MakeDoc(extra)).ok()) {
+    std::fprintf(stderr, "FATAL: flush-failpoint insert failed\n");
+    ctx->divergences++;
+    return false;
+  }
+  fp->Enable(config);
+  const Status flush_status = store.FlushBuckets();
+  fp->Disable();
+  if (flush_status.ok() && store.bucket_catalog()->points_buffered() > 0) {
+    ctx->Report("bucket", "failpoint-flush-surfaced", q, 1, 0);
+    return false;
+  }
+  const std::vector<int32_t> final_fids =
+      SortedFids(store.Query(q.rect, q.t_begin_ms, q.t_end_ms).cluster.docs);
+  if (final_fids != OracleFids(docs, q)) {
+    ctx->Report("bucket", "failpoint-flush-final", q, docs.size(),
+                final_fids.size());
+    return false;
+  }
+  return true;
+}
+
 // Fault phases: delays and forced replans must leave results identical;
 // injected errors must surface as a non-OK status; clearing the fault must
 // restore correct results.
-bool CheckFailPoints(const std::vector<std::unique_ptr<StStore>>& stores,
+bool CheckFailPoints(const std::vector<StStore*>& stores,
                      const std::vector<FuzzDoc>& docs, const FuzzQuery& q,
                      Rng* rng, SeedContext* ctx) {
   FailPointRegistry& registry = FailPointRegistry::Instance();
@@ -459,7 +617,7 @@ bool CheckFailPoints(const std::vector<std::unique_ptr<StStore>>& stores,
 // After the writers join and the balancers stop, the full CheckQuery
 // battery must pass against the combined document set — the storm must
 // leave no lasting damage.
-bool CheckConcurrent(const std::vector<std::unique_ptr<StStore>>& stores,
+bool CheckConcurrent(const std::vector<StStore*>& stores,
                      const std::vector<FuzzDoc>& base, const geo::Rect& mbr,
                      int64_t t0, int64_t span, const FuzzConfig& config,
                      Rng* rng, SeedContext* ctx) {
@@ -590,26 +748,49 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config,
   const bool use_zones = knob_rng.NextBool(0.5);
   const bool mid_run_zones = use_zones && knob_rng.NextBool(0.5);
 
-  std::vector<std::unique_ptr<StStore>> stores;
-  for (const ApproachKind kind : kApproaches) {
-    StStoreOptions options;
-    options.approach.kind = kind;
-    options.approach.hilbert_order = hilbert_order;
-    options.approach.dataset_mbr = mbr;
-    options.cluster.num_shards = num_shards;
-    options.cluster.chunk_max_bytes = chunk_max_bytes;
-    options.cluster.balance_every_inserts = balance_every;
-    options.cluster.seed = seed;
-    if (config.profile) {
-      options.cluster.profiler.enabled = true;
-      options.cluster.profiler.slow_millis = 0.0;  // record every op
-      options.cluster.profiler.capacity = 64;
-    }
-    stores.push_back(std::make_unique<StStore>(options));
-    if (!stores.back()->Setup().ok()) {
-      std::fprintf(stderr, "FATAL: store setup failed (seed=%" PRIu64 ")\n",
-                   seed);
-      return false;
+  // Bucket-layout knobs are drawn unconditionally so a --layout=bucket
+  // repro of a --layout=both failure replays the identical workload. Small
+  // windows / seal thresholds force many buckets per store.
+  storage::BucketLayout bucket_layout;
+  const int64_t windows_ms[] = {15 * 60000LL, 3600000LL, 6 * 3600000LL,
+                                24 * 3600000LL};
+  bucket_layout.window_ms = windows_ms[knob_rng.NextBounded(4)];
+  bucket_layout.max_points =
+      8 + static_cast<uint32_t>(knob_rng.NextBounded(120));
+  bucket_layout.hilbert_shift = 4 + static_cast<int>(knob_rng.NextBounded(10));
+
+  const bool want_row = config.layout != "bucket";
+  const bool want_bucket = config.layout != "row";
+
+  std::vector<std::unique_ptr<StStore>> owned_stores;
+  std::vector<StStore*> stores;  // row stores first, then bucket stores
+  std::vector<StStore*> row_stores;
+  std::vector<StStore*> bucket_stores;
+  for (const bool bucketed : {false, true}) {
+    if (bucketed ? !want_bucket : !want_row) continue;
+    for (const ApproachKind kind : kApproaches) {
+      StStoreOptions options;
+      options.approach.kind = kind;
+      options.approach.hilbert_order = hilbert_order;
+      options.approach.dataset_mbr = mbr;
+      options.cluster.num_shards = num_shards;
+      options.cluster.chunk_max_bytes = chunk_max_bytes;
+      options.cluster.balance_every_inserts = balance_every;
+      options.cluster.seed = seed;
+      if (bucketed) options.bucket = bucket_layout;
+      if (config.profile) {
+        options.cluster.profiler.enabled = true;
+        options.cluster.profiler.slow_millis = 0.0;  // record every op
+        options.cluster.profiler.capacity = 64;
+      }
+      owned_stores.push_back(std::make_unique<StStore>(options));
+      stores.push_back(owned_stores.back().get());
+      (bucketed ? bucket_stores : row_stores).push_back(stores.back());
+      if (!stores.back()->Setup().ok()) {
+        std::fprintf(stderr, "FATAL: store setup failed (seed=%" PRIu64 ")\n",
+                     seed);
+        return false;
+      }
     }
   }
   for (const FuzzDoc& d : docs) {
@@ -643,10 +824,19 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config,
     const FuzzQuery q = GenerateQuery(&query_rng, mbr, t0, span);
     last_query = q;
     if (!CheckQuery(stores, docs, q, &query_rng, &ctx)) return false;
+    if (!row_stores.empty() && !bucket_stores.empty() &&
+        !CheckLayoutParity(row_stores, bucket_stores, q, &ctx)) {
+      return false;
+    }
   }
 
   if (config.failpoints &&
       !CheckFailPoints(stores, docs, last_query, &query_rng, &ctx)) {
+    return false;
+  }
+  if (config.failpoints && want_bucket &&
+      !CheckBucketFlushFailPoint(mbr, t0, span, bucket_layout, &query_rng,
+                                 &ctx)) {
     return false;
   }
 
@@ -664,8 +854,9 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config,
 
   if (config.verbose) {
     std::printf("seed %" PRIu64 ": ok (%d docs, %d queries, %d shards, "
-                "order %d%s)\n",
+                "order %d, layout %s%s)\n",
                 seed, config.docs, config.queries, num_shards, hilbert_order,
+                config.layout.c_str(),
                 use_zones ? (mid_run_zones ? ", mid-run zones" : ", zones")
                           : "");
   }
@@ -704,6 +895,13 @@ int FuzzMain(int argc, char** argv) {
       config.check_counters = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       config.threads = std::atoi(value("--threads="));
+    } else if (arg.rfind("--layout=", 0) == 0) {
+      config.layout = value("--layout=");
+      if (config.layout != "row" && config.layout != "bucket" &&
+          config.layout != "both") {
+        std::fprintf(stderr, "--layout must be row, bucket or both\n");
+        return 2;
+      }
     } else if (arg == "--list-failpoints") {
       for (const std::string& name : FailPointRegistry::Instance().Names()) {
         std::printf("%s\n", name.c_str());
@@ -712,7 +910,8 @@ int FuzzMain(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: stix_fuzz [--seed=N | --seeds=N --seed-base=N] "
-                   "[--docs=N] [--queries=N] [--threads=N] [--no-failpoints] "
+                   "[--docs=N] [--queries=N] [--threads=N] "
+                   "[--layout=row|bucket|both] [--no-failpoints] "
                    "[--verbose] [--profile] [--server-status] "
                    "[--check-counters] [--list-failpoints]\n");
       return 2;
@@ -741,6 +940,10 @@ int FuzzMain(int argc, char** argv) {
         "plan_cache.misses", "cover_cache.hits",   "cover_cache.misses",
         "cluster.batches",   "cluster.bytes_materialized"};
     if (config.failpoints) required.push_back("executor.replans");
+    if (config.layout != "row") {
+      required.push_back("bucket.buckets_flushed");
+      required.push_back("bucket.points_unpacked");
+    }
     for (const char* name : required) {
       if (MetricsRegistry::Instance().GetCounter(name).value() == 0) {
         std::fprintf(stderr, "DEAD COUNTER: %s never incremented\n", name);
