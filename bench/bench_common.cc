@@ -41,6 +41,12 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       config.json_path = v;
     } else if (const char* v = value_of("--batch=")) {
       config.batch_size = strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--planner=")) {
+      config.planner = v;
+      if (config.planner != "race" && config.planner != "cost") {
+        fprintf(stderr, "--planner must be race or cost, got %s\n", v);
+        exit(2);
+      }
     } else if (arg == "--serial") {
       config.parallel_fanout = false;
     } else if (arg == "--bucket") {
@@ -53,8 +59,8 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       fprintf(stderr,
               "unknown flag %s\nusage: %s [--r_docs=N] [--s_docs=N] "
               "[--shards=N] [--warm=N] [--timed=N] [--seed=N] "
-              "[--batch=N] [--json=PATH] [--serial] [--bucket] [--verbose] "
-              "[--server-status]\n",
+              "[--batch=N] [--json=PATH] [--planner=race|cost] [--serial] "
+              "[--bucket] [--verbose] [--server-status]\n",
               arg.c_str(), argv[0]);
       exit(2);
     }
@@ -86,6 +92,9 @@ std::unique_ptr<st::StStore> BuildLoadedStore(st::ApproachKind kind,
   options.cluster.chunk_max_bytes = config.chunk_max_bytes;
   options.cluster.seed = config.seed;
   options.cluster.parallel_fanout = config.parallel_fanout;
+  options.cluster.exec.plan_selection = config.planner == "race"
+                                            ? query::PlanSelectionMode::kRace
+                                            : query::PlanSelectionMode::kCost;
   options.load_clock_begin_ms = info.t_begin_ms;
   if (config.bucket) {
     // The default 6 h window matches the paper's per-vehicle sampling

@@ -51,10 +51,15 @@ struct BenchConfig {
   /// document per point. Queries answer identically; sizes and scan costs
   /// move — which is what bench_bucket measures.
   bool bucket = false;
+  /// Plan-selection mode for every store (--planner=race|cost): "race"
+  /// always trial-races candidates, "cost" (the library default) picks from
+  /// histogram estimates when decisive. bench_planner builds one store per
+  /// mode and diffs them.
+  std::string planner = "cost";
 
   /// Parses --r_docs=, --s_docs=, --shards=, --warm=, --timed=, --seed=,
-  /// --batch=, --json=, --serial, --bucket, --verbose, --server-status from
-  /// argv; unknown flags abort with a usage message.
+  /// --batch=, --json=, --planner=, --serial, --bucket, --verbose,
+  /// --server-status from argv; unknown flags abort with a usage message.
   static BenchConfig FromArgs(int argc, char** argv);
 };
 

@@ -1,0 +1,272 @@
+// Planner study: histogram cost selection vs the trial race on the
+// default-sharding query workload (the Tables 2-3 suites on both data
+// sets, all four approaches). One store per plan-selection mode, identical
+// data and queries; the bench reports
+//   - warm latency quantiles per mode (cost must not regress past the race
+//     by more than the CI gate's 5%),
+//   - the fraction of plan events settled without a trial race (cache hits
+//     and single-candidate plans count: no losing candidate did work),
+//   - the mean absolute relative estimation error of the cost model's
+//     keys+docs predictions against the executed counters (MARE),
+//   - per-query result counts, which must agree between modes byte for
+//     byte (the fuzzer's planner-parity oracle, repeated here at scale).
+// --check turns the report into a gate: exit 1 when cost p95 regresses
+// more than 5% over race (and by more than 1 ms absolute — at CI's small
+// scale both p95s are ~2 ms and the ratio swings ±15% run to run on
+// scheduler noise; the absolute floor keeps the gate meaningful while
+// the full-scale committed numbers carry the real comparison), fewer
+// than 70% of plan events avoid the race, MARE exceeds 0.5, or any
+// query disagrees between modes.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/metrics.h"
+
+namespace stix::bench {
+namespace {
+
+constexpr st::ApproachKind kApproaches[] = {
+    st::ApproachKind::kBslST, st::ApproachKind::kBslTS,
+    st::ApproachKind::kHil, st::ApproachKind::kHilStar};
+
+struct PlannerCounters {
+  uint64_t plans_total = 0;
+  uint64_t plans_estimated = 0;
+  uint64_t plans_raced = 0;
+  uint64_t estimate_fallbacks = 0;
+  uint64_t estimate_misses = 0;
+  uint64_t err_count = 0;
+  uint64_t err_sum_pct = 0;
+
+  static PlannerCounters Snap() {
+    MetricsRegistry& reg = MetricsRegistry::Instance();
+    PlannerCounters c;
+    c.plans_total = reg.GetCounter("planner.plans_total").value();
+    c.plans_estimated = reg.GetCounter("planner.plans_estimated").value();
+    c.plans_raced = reg.GetCounter("planner.plans_raced").value();
+    c.estimate_fallbacks =
+        reg.GetCounter("planner.estimate_fallbacks").value();
+    c.estimate_misses = reg.GetCounter("planner.estimate_misses").value();
+    const Histogram::Snapshot err =
+        reg.GetHistogram("planner.estimate_error_pct").Snap();
+    c.err_count = err.count;
+    c.err_sum_pct = err.sum;
+    return c;
+  }
+
+  PlannerCounters Delta(const PlannerCounters& before) const {
+    PlannerCounters d;
+    d.plans_total = plans_total - before.plans_total;
+    d.plans_estimated = plans_estimated - before.plans_estimated;
+    d.plans_raced = plans_raced - before.plans_raced;
+    d.estimate_fallbacks = estimate_fallbacks - before.estimate_fallbacks;
+    d.estimate_misses = estimate_misses - before.estimate_misses;
+    d.err_count = err_count - before.err_count;
+    d.err_sum_pct = err_sum_pct - before.err_sum_pct;
+    return d;
+  }
+
+  /// Plan events settled without a trial race: cost picks, cache hits and
+  /// single-candidate plans. 1.0 when nothing was planned.
+  double NoRaceFraction() const {
+    if (plans_total == 0) return 1.0;
+    return static_cast<double>(plans_total - plans_raced) /
+           static_cast<double>(plans_total);
+  }
+
+  /// Mean absolute relative estimation error of executed cost-planned
+  /// queries (the histogram observes percentages).
+  double Mare() const {
+    if (err_count == 0) return 0.0;
+    return static_cast<double>(err_sum_pct) /
+           static_cast<double>(err_count) / 100.0;
+  }
+};
+
+struct ModeRun {
+  std::vector<BenchJsonEntry> entries;
+  std::vector<double> millis;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  PlannerCounters counters;  // deltas attributable to this mode's runs
+};
+
+ModeRun RunMode(const std::string& mode, const BenchConfig& base) {
+  BenchConfig config = base;
+  config.planner = mode;
+  const PlannerCounters before = PlannerCounters::Snap();
+  ModeRun run;
+  for (const Dataset dataset : {Dataset::kR, Dataset::kS}) {
+    const DatasetInfo info = InfoFor(dataset, config);
+    for (const st::ApproachKind kind : kApproaches) {
+      const auto store = BuildLoadedStore(kind, dataset, config);
+      for (const bool big : {false, true}) {
+        for (const auto& spec :
+             workload::MakeQuerySet(big, info.t_begin_ms, info.t_end_ms)) {
+          QueryMeasurement m = MeasureQuery(*store, spec, config);
+          run.millis.push_back(m.avg_millis);
+          run.entries.push_back(BenchJsonEntry{st::ApproachName(kind),
+                                               DatasetName(dataset),
+                                               big ? "big" : "small",
+                                               std::move(m)});
+        }
+      }
+    }
+  }
+  run.p50 = Percentile(run.millis, 50.0);
+  run.p95 = Percentile(run.millis, 95.0);
+  run.counters = PlannerCounters::Snap().Delta(before);
+  return run;
+}
+
+bool WritePlannerJson(const std::string& path, const BenchConfig& config,
+                      const ModeRun& race, const ModeRun& cost,
+                      double p95_ratio, int disagreements) {
+  std::ofstream out(path);
+  if (!out) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  auto emit_mode = [&](const char* name, const ModeRun& run) {
+    out << "    \"" << name << "\": {\"p50_millis\": " << run.p50
+        << ", \"p95_millis\": " << run.p95
+        << ", \"plans_total\": " << run.counters.plans_total
+        << ", \"plans_estimated\": " << run.counters.plans_estimated
+        << ", \"plans_raced\": " << run.counters.plans_raced
+        << ", \"estimate_fallbacks\": " << run.counters.estimate_fallbacks
+        << ", \"estimate_misses\": " << run.counters.estimate_misses
+        << ", \"no_race_fraction\": " << run.counters.NoRaceFraction()
+        << ", \"mare\": " << run.counters.Mare() << ", \"queries\": [";
+    for (size_t i = 0; i < run.entries.size(); ++i) {
+      const BenchJsonEntry& e = run.entries[i];
+      if (i > 0) out << ", ";
+      out << "\n      {\"approach\": \"" << e.approach << "\", \"dataset\": \""
+          << e.dataset << "\", \"suite\": \"" << e.suite << "\", \"query\": \""
+          << e.m.query_name << "\", \"n_results\": " << e.m.n_results
+          << ", \"avg_millis\": " << e.m.avg_millis
+          << ", \"max_keys\": " << e.m.max_keys
+          << ", \"max_docs\": " << e.m.max_docs << "}";
+    }
+    out << "]}";
+  };
+  out << "{\n  \"bench\": \"bench_planner\",\n  \"config\": {\"r_docs\": "
+      << config.r_docs << ", \"s_docs\": " << config.s_docs
+      << ", \"shards\": " << config.num_shards
+      << ", \"warm_runs\": " << config.warm_runs
+      << ", \"timed_runs\": " << config.timed_runs
+      << ", \"seed\": " << config.seed << "},\n  \"modes\": {\n";
+  emit_mode("race", race);
+  out << ",\n";
+  emit_mode("cost", cost);
+  out << "\n  },\n  \"gates\": {\"p95_ratio_cost_over_race\": " << p95_ratio
+      << ", \"p95_regression_limit\": 1.05"
+      << ", \"p95_noise_floor_millis\": 1.0"
+      << ", \"no_race_fraction_floor\": 0.70"
+      << ", \"mare_ceiling\": 0.5"
+      << ", \"result_disagreements\": " << disagreements << "}\n}\n";
+  return out.good();
+}
+
+int Main(int argc, char** argv) {
+  bool check = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  BenchConfig config =
+      BenchConfig::FromArgs(static_cast<int>(rest.size()), rest.data());
+
+  printf("== bench_planner ==\n");
+  printf("plan selection: trial race vs histogram cost model "
+         "(default-sharding workload, all approaches, R and S sets)\n");
+  printf("scale: R=%" PRIu64 " docs, S=%" PRIu64 " docs, %d shards\n",
+         config.r_docs, config.s_docs, config.num_shards);
+
+  const ModeRun race = RunMode("race", config);
+  const ModeRun cost = RunMode("cost", config);
+
+  // Byte-parity oracle: both modes must retrieve the same documents.
+  int disagreements = 0;
+  for (size_t i = 0; i < race.entries.size() && i < cost.entries.size();
+       ++i) {
+    if (race.entries[i].m.n_results != cost.entries[i].m.n_results) {
+      ++disagreements;
+      printf("!! %s/%s %s: race retrieved %" PRIu64 ", cost %" PRIu64 "\n",
+             race.entries[i].approach.c_str(),
+             race.entries[i].dataset.c_str(),
+             race.entries[i].m.query_name.c_str(),
+             race.entries[i].m.n_results, cost.entries[i].m.n_results);
+    }
+  }
+
+  const double p95_ratio = race.p95 > 0.0 ? cost.p95 / race.p95 : 1.0;
+  printf("\nwarm latency   race: p50 %s ms  p95 %s ms\n",
+         Fmt(race.p50).c_str(), Fmt(race.p95).c_str());
+  printf("               cost: p50 %s ms  p95 %s ms  (p95 ratio %s)\n",
+         Fmt(cost.p50).c_str(), Fmt(cost.p95).c_str(),
+         Fmt(p95_ratio, 3).c_str());
+  printf("cost planning  %" PRIu64 " plan events: %" PRIu64 " estimated, %"
+         PRIu64 " raced, %" PRIu64 " fallbacks, %" PRIu64 " misses\n",
+         cost.counters.plans_total, cost.counters.plans_estimated,
+         cost.counters.plans_raced, cost.counters.estimate_fallbacks,
+         cost.counters.estimate_misses);
+  printf("               planned without race: %s  (floor 0.70)\n",
+         Fmt(cost.counters.NoRaceFraction(), 3).c_str());
+  printf("               estimation MARE: %s over %" PRIu64
+         " executions  (ceiling 0.50)\n",
+         Fmt(cost.counters.Mare(), 3).c_str(), cost.counters.err_count);
+  printf("parity         %d result disagreements between modes\n",
+         disagreements);
+
+  if (!config.json_path.empty() &&
+      !WritePlannerJson(config.json_path, config, race, cost, p95_ratio,
+                        disagreements)) {
+    return 1;
+  }
+
+  if (check) {
+    int failures = 0;
+    if (p95_ratio > 1.05 && cost.p95 - race.p95 > 1.0) {
+      printf("GATE FAIL: cost p95 regressed %.1f%% over race (limit 5%%, "
+             "noise floor 1 ms)\n",
+             (p95_ratio - 1.0) * 100.0);
+      ++failures;
+    }
+    if (cost.counters.NoRaceFraction() < 0.70) {
+      printf("GATE FAIL: only %.1f%% of plan events avoided the race "
+             "(floor 70%%)\n",
+             cost.counters.NoRaceFraction() * 100.0);
+      ++failures;
+    }
+    if (cost.counters.Mare() > 0.5) {
+      printf("GATE FAIL: estimation MARE %.3f exceeds 0.5\n",
+             cost.counters.Mare());
+      ++failures;
+    }
+    if (disagreements > 0) {
+      printf("GATE FAIL: %d queries disagree between race and cost\n",
+             disagreements);
+      ++failures;
+    }
+    if (failures > 0) return 1;
+    printf("all planner gates pass\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stix::bench
+
+int main(int argc, char** argv) { return stix::bench::Main(argc, argv); }

@@ -282,6 +282,10 @@ Status Cluster::MoveChunk(size_t chunk_index, int to_shard) {
     if (!inserted.ok()) return inserted.status();
   }
   chunk.shard_id = to_shard;
+  // Both shards' data distributions just changed: stale-mark their
+  // statistics (next query rebuilds) and drop their cached plan choices.
+  source.OnDataDistributionChanged();
+  dest.OnDataDistributionChanged();
   committed.Increment();
   return Status::OK();
 }
@@ -688,8 +692,38 @@ std::string Cluster::ServerStatus() const {
   std::ostringstream out;
   out << "{\"shards\": " << shards_.size() << ", \"documents\": " << documents
       << ", \"chunks\": " << num_chunks
+      << ", \"planner\": " << PlannerStatusJson()
       << ", \"metrics\": " << MetricsRegistry::Instance().ToJson()
       << ", \"profiler\": " << profiler_.ToJson() << "}";
+  return out.str();
+}
+
+std::string PlannerStatusJson() {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  const uint64_t total = reg.GetCounter("planner.plans_total").value();
+  const uint64_t estimated =
+      reg.GetCounter("planner.plans_estimated").value();
+  const uint64_t raced = reg.GetCounter("planner.plans_raced").value();
+  const uint64_t fallbacks =
+      reg.GetCounter("planner.estimate_fallbacks").value();
+  const uint64_t misses = reg.GetCounter("planner.estimate_misses").value();
+  const uint64_t invalidations =
+      reg.GetCounter("planner.cache_invalidations").value();
+  const Histogram::Snapshot err =
+      reg.GetHistogram("planner.estimate_error_pct").Snap();
+  // The error histogram observes per-execution |est - actual| / actual as a
+  // percentage; its exact mean / 100 is the mean absolute relative
+  // estimation error the acceptance gate measures.
+  char mare[32];
+  std::snprintf(mare, sizeof(mare), "%.4f", err.Mean() / 100.0);
+  std::ostringstream out;
+  out << "{\"plans_total\": " << total << ", \"plans_estimated\": " << estimated
+      << ", \"plans_raced\": " << raced
+      << ", \"estimate_fallbacks\": " << fallbacks
+      << ", \"estimate_misses\": " << misses
+      << ", \"cache_invalidations\": " << invalidations
+      << ", \"estimates_measured\": " << err.count
+      << ", \"mean_abs_estimation_error\": " << mare << "}";
   return out.str();
 }
 
@@ -697,6 +731,30 @@ std::vector<int> Cluster::TargetShards(const query::ExprPtr& expr) const {
   const std::shared_lock<std::shared_mutex> topo(topology_mu_);
   const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
   return router.TargetShards(Router::RoutingExpr(expr, options_.exec));
+}
+
+double Cluster::EstimateFraction(const std::string& path, int64_t lo,
+                                 int64_t hi) const {
+  const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+  double in_range = 0.0;
+  double total = 0.0;
+  bool any = false;
+  for (const auto& shard : shards_) {
+    const query::stats::ShardStatistics& stats = shard->statistics();
+    const uint64_t docs = stats.total_docs();
+    if (docs == 0) continue;
+    // Unbuilt or drifted histograms still answer (Observe keeps feeding
+    // them), but their answers shouldn't steer anything: skip until the
+    // shard's next rebuild.
+    if (!stats.ReliableForEstimation()) continue;
+    const double est = stats.EstimateRange(path, lo, hi);
+    if (est < 0.0) continue;  // shard has no histogram for the path
+    any = true;
+    in_range += est;
+    total += static_cast<double>(docs);
+  }
+  if (!any || total <= 0.0) return -1.0;
+  return std::min(1.0, in_range / total);
 }
 
 uint64_t Cluster::total_documents() const {

@@ -222,6 +222,15 @@ class Cluster {
   /// cluster, created at construction — never per query).
   ThreadPool& exec_pool() const { return *exec_pool_; }
 
+  /// Estimated fraction of the cluster's stored documents whose `path`
+  /// value lies in the closed range [lo, hi], aggregated over every shard's
+  /// histograms. Negative when no shard can estimate the path (never built,
+  /// or the path has no histogram) — callers must treat that as unknown.
+  /// Stale histograms still answer: a cover-budget decision (st::Approach)
+  /// prefers a slightly-drifted answer over none.
+  double EstimateFraction(const std::string& path, int64_t lo,
+                          int64_t hi) const;
+
  private:
   Status MoveChunk(size_t chunk_index, int to_shard);
   void MaybeSplitChunk(size_t chunk_index);
@@ -263,6 +272,13 @@ class Cluster {
   bool balancer_running_ = false;
   bool balancer_stop_ = false;
 };
+
+/// The "planner" section of ServerStatus() — plan-selection counters
+/// (plans_total/estimated/raced, estimate_fallbacks/misses,
+/// cache_invalidations) and the mean absolute estimation error — rendered
+/// from the global metrics registry as one JSON object. Standalone so the
+/// fuzz harness and benches can read it without a cluster handle.
+std::string PlannerStatusJson();
 
 }  // namespace stix::cluster
 

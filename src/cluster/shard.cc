@@ -48,14 +48,24 @@ std::string ShardExplain::ToJson(query::ExplainVerbosity v) const {
       << num_candidates << ", \"fromPlanCache\": "
       << (from_plan_cache ? "true" : "false")
       << ", \"replanned\": " << (replanned ? "true" : "false");
+  if (!planned_by.empty()) {
+    out << ", \"plannedBy\": \"" << query::JsonEscape(planned_by) << "\"";
+  }
   if (v != query::ExplainVerbosity::kQueryPlanner) {
     char millis[32];
     std::snprintf(millis, sizeof(millis), "%.3f", exec_millis);
     out << ", \"nReturned\": " << stats.n_returned
         << ", \"keysExamined\": " << stats.keys_examined
         << ", \"docsExamined\": " << stats.docs_examined
-        << ", \"works\": " << stats.works
-        << ", \"executionTimeMillis\": " << millis;
+        << ", \"works\": " << stats.works;
+    if (estimated_keys >= 0.0) {
+      char est[32];
+      std::snprintf(est, sizeof(est), "%.1f", estimated_keys);
+      out << ", \"estimatedKeysExamined\": " << est;
+      std::snprintf(est, sizeof(est), "%.1f", estimated_docs);
+      out << ", \"estimatedDocsExamined\": " << est;
+    }
+    out << ", \"executionTimeMillis\": " << millis;
   }
   out << ", \"winningPlan\": " << winning_plan.ToJson(v);
   if (v == query::ExplainVerbosity::kAllPlansExecution) {
@@ -88,6 +98,8 @@ Result<storage::RecordId> Shard::InsertLocked(bson::Document doc) {
     collection_.records().Remove(rid);
     return s;
   }
+  stats_.Observe(query::stats::ExtractStatsValues(*stored, StatsGeoHash()),
+                 +1);
   return rid;
 }
 
@@ -103,22 +115,67 @@ Status Shard::RemoveLocked(storage::RecordId rid) {
   }
   const Status s = catalog_.OnRemove(*doc, rid);
   if (!s.ok()) return s;
+  stats_.Observe(query::stats::ExtractStatsValues(*doc, StatsGeoHash()), -1);
   collection_.records().Remove(rid);
   return Status::OK();
+}
+
+const geo::GeoHash* Shard::StatsGeoHash() const {
+  for (const auto& idx : catalog_.indexes()) {
+    if (idx->descriptor().FirstGeoField() >= 0) {
+      return &idx->keygen().geohash();
+    }
+  }
+  return nullptr;
+}
+
+void Shard::MaybeRebuildStats() const {
+  if (!stats_.NeedsRebuild()) return;
+  const uint64_t generation = stats_.rebuild_generation();
+  const geo::GeoHash* geohash = StatsGeoHash();
+  query::stats::RebuildSample sample;
+  const uint64_t n = collection_.records().num_records();
+  sample.dates.reserve(n);
+  sample.hilberts.reserve(n);
+  collection_.records().ForEach(
+      [&](storage::RecordId, const bson::Document& doc) {
+        const query::stats::ObservedValues v =
+            query::stats::ExtractStatsValues(doc, geohash);
+        ++sample.num_docs;
+        sample.num_points += v.points;
+        if (v.is_bucket) ++sample.num_buckets;
+        if (v.date) sample.dates.push_back(*v.date);
+        if (v.hilbert) sample.hilberts.push_back(*v.hilbert);
+        if (v.geocell) sample.geocells.push_back(*v.geocell);
+      });
+  stats_.Rebuild(std::move(sample), generation);
+  // Cached plan decisions (and the works figures their replanning budgets
+  // derive from) were measured against the old distribution.
+  plan_cache_.InvalidateAll();
+}
+
+void Shard::OnDataDistributionChanged() const {
+  stats_.MarkStale();
+  plan_cache_.InvalidateAll();
 }
 
 query::ExecutionResult Shard::RunQuery(
     const query::ExprPtr& expr, const query::ExecutorOptions& options) const {
   const std::shared_lock<std::shared_mutex> lock = LockShared(data_mu_);
-  return query::ExecuteQuery(collection_.records(), catalog_, expr, options,
+  MaybeRebuildStats();
+  query::ExecutorOptions opts = options;
+  opts.shard_stats = &stats_;
+  return query::ExecuteQuery(collection_.records(), catalog_, expr, opts,
                              &plan_cache_);
 }
 
 std::unique_ptr<ShardCursor> Shard::OpenCursor(
     query::ExprPtr expr, const query::ExecutorOptions& options,
     uint64_t limit) const {
+  query::ExecutorOptions opts = options;
+  opts.shard_stats = &stats_;
   return std::unique_ptr<ShardCursor>(
-      new ShardCursor(*this, std::move(expr), options, limit));
+      new ShardCursor(*this, std::move(expr), opts, limit));
 }
 
 ShardCursor::ShardCursor(const Shard& shard, query::ExprPtr expr,
@@ -148,6 +205,11 @@ ShardExplain ShardCursor::Explain() const {
   explain.num_candidates = exec_.num_candidates();
   explain.from_plan_cache = exec_.from_plan_cache();
   explain.replanned = exec_.replanned();
+  explain.planned_by = query::PlannedByName(exec_.planned_by());
+  if (const query::PlanEstimate* est = exec_.winner_estimate()) {
+    explain.estimated_keys = est->keys;
+    explain.estimated_docs = est->docs;
+  }
   explain.stats = exec_.CurrentStats();
   explain.exec_millis = exec_millis_;
   explain.winning_plan = exec_.ExplainWinner();
@@ -181,6 +243,7 @@ ShardCursor::Batch ShardCursor::GetMore(size_t batch_size) {
       options_.yield_policy == query::YieldPolicy::kYieldAndRestore;
   const std::shared_lock<std::shared_mutex> lock =
       LockShared(shard_.data_mutex());
+  shard_.MaybeRebuildStats();
   const storage::RecordStore& records = shard_.collection().records();
   if (yield) exec_.RestoreState();
   Stopwatch timer;

@@ -10,6 +10,7 @@
 #include "query/executor.h"
 #include "query/explain.h"
 #include "query/plan_cache.h"
+#include "query/stats/shard_stats.h"
 #include "storage/collection.h"
 
 namespace stix::cluster {
@@ -27,6 +28,14 @@ struct ShardExplain {
   int num_candidates = 0;
   bool from_plan_cache = false;
   bool replanned = false;
+  /// How the winner was selected: "single", "cache", "cost" or "race"
+  /// (PlannedByName).
+  std::string planned_by;
+  /// The cost model's whole-plan prediction for the winner, when one was
+  /// computed (negative otherwise) — the executionStats counterpart of the
+  /// per-stage estimatedKeysExamined/estimatedDocsExamined annotations.
+  double estimated_keys = -1.0;
+  double estimated_docs = -1.0;
   query::ExecStats stats;
   double exec_millis = 0.0;
   query::ExplainNode winning_plan;
@@ -184,6 +193,24 @@ class Shard {
 
   const query::PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// This shard's online statistics (histograms over date / hilbertIndex /
+  /// geo cells plus layout counts), maintained by Insert/Remove and read by
+  /// the executor's cost model.
+  const query::stats::ShardStatistics& statistics() const { return stats_; }
+
+  /// Lazy statistics rebuild: when the histogram boundaries have drifted
+  /// past their threshold (or a migration marked them stale), collects a
+  /// fresh sample from the record store and swaps it in, then invalidates
+  /// the plan cache (cached works figures were measured against the old
+  /// distribution). Called at query entry under the shared data lock —
+  /// the statistics and plan cache lock themselves.
+  void MaybeRebuildStats() const;
+
+  /// Migration hook: a chunk moved onto or off this shard. Marks the
+  /// statistics stale (the next query triggers a rebuild) and invalidates
+  /// cached plan choices immediately.
+  void OnDataDistributionChanged() const;
+
   /// The shard's reader–writer data lock. Exposed for multi-record critical
   /// sections that must hold it across calls (the migration commit batches
   /// its removes/inserts under one exclusive acquisition via the *Locked
@@ -200,6 +227,10 @@ class Shard {
   // mongod's.
   friend class ShardCursor;
 
+  /// The GeoHash of the first 2dsphere index, or null — the value space the
+  /// location histogram observes (it must match what the index keys store).
+  const geo::GeoHash* StatsGeoHash() const;
+
   int id_;
   storage::Collection collection_;
   index::IndexCatalog catalog_;
@@ -209,6 +240,9 @@ class Shard {
   // Logically execution-state, not collection-state; mongod's cache is
   // likewise invisible to readers.
   mutable query::PlanCache plan_cache_;
+  // Execution-state like the plan cache: internally locked, maintained by
+  // writers, rebuilt lazily by readers.
+  mutable query::stats::ShardStatistics stats_;
 };
 
 }  // namespace stix::cluster

@@ -1,0 +1,145 @@
+#include "query/cost.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace stix::query {
+namespace {
+
+// Smoothing constant for the decisiveness test: second + s >= margin *
+// (best + s). Keeps a 2-key vs 5-key difference from looking decisive
+// while a 100-key vs 1000-key one still is.
+constexpr double kCostSmoothing = 10.0;
+
+std::optional<int64_t> BoundValue(const bson::Value& v) {
+  switch (v.type()) {
+    case bson::Type::kDateTime:
+      return v.AsDateTime();
+    case bson::Type::kInt64:
+      return v.AsInt64();
+    case bson::Type::kInt32:
+      return static_cast<int64_t>(v.AsInt32());
+    default:
+      return std::nullopt;
+  }
+}
+
+// The histogram path a constrained index field reads from: geo fields
+// estimate over the GeoHash-cell histogram (the value space their keys
+// store), everything else over the histogram of the field's own path.
+const char* HistogramPath(const std::string& field_path, bool is_geo) {
+  if (is_geo) return stats::ShardStatistics::kLocationPath;
+  return field_path.c_str();
+}
+
+// Interval set of one field as int64 pairs; nullopt when any bound is not
+// int64-comparable (the cost model only understands the schema's date /
+// hilbertIndex / geo-cell keys).
+std::optional<std::vector<std::pair<int64_t, int64_t>>> IntervalRanges(
+    const index::FieldBounds& fb) {
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ranges.reserve(fb.intervals.size());
+  for (const index::ValueInterval& iv : fb.intervals) {
+    const auto lo = BoundValue(iv.lo);
+    const auto hi = BoundValue(iv.hi);
+    if (!lo || !hi) return std::nullopt;
+    ranges.emplace_back(*lo, *hi);
+  }
+  return ranges;
+}
+
+}  // namespace
+
+PlanEstimate EstimatePlan(const CandidatePlan& plan,
+                          const stats::ShardStatistics& stats) {
+  PlanEstimate est;
+  const double n = static_cast<double>(stats.total_docs());
+  const PlanAccess& access = plan.access;
+
+  if (access.collscan) {
+    est.valid = true;
+    est.docs = n;
+    est.cost = n;
+    if (access.bucketed) est.cost += n * stats.avg_points_per_doc();
+    return est;
+  }
+
+  // IXSCAN: fold per-field selectivities over the bounds, field order as
+  // in the index. `keys_frac` narrows only while every preceding field's
+  // intervals are all points (direct-seek prefixes); `docs_frac` narrows
+  // on every constrained field (per-key checks run before FETCH).
+  double keys_frac = 1.0;
+  double docs_frac = 1.0;
+  double seeks = 0.0;
+  bool prefix_all_points = true;
+  for (size_t i = 0; i < access.bounds.fields.size(); ++i) {
+    const index::FieldBounds& fb = access.bounds.fields[i];
+    if (fb.full_range) {
+      prefix_all_points = false;
+      continue;
+    }
+    const auto ranges = IntervalRanges(fb);
+    if (!ranges) return est;  // non-numeric bounds: cannot estimate
+    const bool is_geo =
+        i < access.field_is_geo.size() && access.field_is_geo[i];
+    const std::string& path =
+        i < access.field_paths.size() ? access.field_paths[i] : std::string();
+    const double in_range =
+        stats.EstimateIntervalSum(HistogramPath(path, is_geo), *ranges);
+    if (in_range < 0.0) return est;  // no histogram for a constrained path
+    const double sel = n > 0.0 ? std::min(1.0, in_range / n) : 0.0;
+    docs_frac *= sel;
+    if (i == 0 || prefix_all_points) {
+      keys_frac *= sel;
+      if (i == 0) seeks = static_cast<double>(ranges->size());
+    }
+    for (const index::ValueInterval& iv : fb.intervals) {
+      if (!iv.IsPoint()) {
+        prefix_all_points = false;
+        break;
+      }
+    }
+  }
+
+  est.valid = true;
+  est.keys = n * keys_frac + seeks;
+  est.docs = n * docs_frac;
+  est.cost = est.keys + est.docs;
+  if (access.bucketed) est.cost += est.docs * stats.avg_points_per_doc();
+  return est;
+}
+
+PlanChoice ChoosePlan(const std::vector<CandidatePlan>& candidates,
+                      const stats::ShardStatistics& stats,
+                      double confidence_margin) {
+  PlanChoice choice;
+  choice.estimates.reserve(candidates.size());
+  bool all_valid = true;
+  for (const CandidatePlan& plan : candidates) {
+    choice.estimates.push_back(EstimatePlan(plan, stats));
+    all_valid = all_valid && choice.estimates.back().valid;
+  }
+  if (!all_valid || candidates.empty()) return choice;
+  if (candidates.size() == 1) {
+    choice.winner = 0;
+    return choice;
+  }
+  int best = 0;
+  int second = -1;
+  for (int i = 1; i < static_cast<int>(choice.estimates.size()); ++i) {
+    if (choice.estimates[i].cost < choice.estimates[best].cost) {
+      second = best;
+      best = i;
+    } else if (second < 0 || choice.estimates[i].cost <
+                                 choice.estimates[second].cost) {
+      second = i;
+    }
+  }
+  const double b = choice.estimates[best].cost + kCostSmoothing;
+  const double s = choice.estimates[second].cost + kCostSmoothing;
+  if (s >= confidence_margin * b) choice.winner = best;
+  return choice;
+}
+
+}  // namespace stix::query

@@ -1,0 +1,59 @@
+#ifndef STIX_QUERY_COST_H_
+#define STIX_QUERY_COST_H_
+
+#include <vector>
+
+#include "query/planner.h"
+#include "query/stats/shard_stats.h"
+
+namespace stix::query {
+
+/// Histogram-backed cardinality estimate of one candidate plan.
+///
+/// `keys`/`docs` predict ExecStats::keys_examined / docs_examined for a
+/// full drain. `cost` is the works-equivalent the executor compares plans
+/// by: keys + docs, plus the decoded-point volume for BUCKET_UNPACK plans
+/// (unpacking a fetched bucket touches every point it stores, the same
+/// unit the works counter bills).
+struct PlanEstimate {
+  bool valid = false;  ///< False when a constrained path has no histogram.
+  double keys = 0.0;
+  double docs = 0.0;
+  double cost = 0.0;
+};
+
+/// Estimates one candidate from its PlanAccess description:
+///  - COLLSCAN: docs = N (every stored document is examined);
+///  - IXSCAN: keys follow the IndexScanStage seek semantics — the leading
+///    field's interval set bounds the scanned key range, and trailing
+///    fields narrow `keys` only while every preceding field's intervals
+///    are points (direct seeks); otherwise trailing bounds degrade to
+///    per-key checks, which narrow `docs` but not `keys`. Each leading
+///    interval additionally bills one seek.
+///  - BUCKET_UNPACK wrappers add docs * avg_points_per_doc to `cost`.
+/// Invalid (fall back to the trial race) when any constrained field's
+/// path has no histogram or the bounds are not int64-comparable.
+PlanEstimate EstimatePlan(const CandidatePlan& plan,
+                          const stats::ShardStatistics& stats);
+
+/// Outcome of cost-based selection over a candidate set.
+struct PlanChoice {
+  /// Index of the outright winner in `candidates`, or -1 when the
+  /// estimates are not decisive (invalid, or the margin test failed) and
+  /// the caller should race.
+  int winner = -1;
+  /// Parallel to `candidates`.
+  std::vector<PlanEstimate> estimates;
+};
+
+/// Picks a plan outright iff every candidate estimates valid and the best
+/// cost beats the runner-up by `confidence_margin` (smoothed, so
+/// near-zero costs never look decisively different). A single candidate
+/// always wins outright.
+PlanChoice ChoosePlan(const std::vector<CandidatePlan>& candidates,
+                      const stats::ShardStatistics& stats,
+                      double confidence_margin);
+
+}  // namespace stix::query
+
+#endif  // STIX_QUERY_COST_H_

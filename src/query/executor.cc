@@ -1,16 +1,54 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
 
 namespace stix::query {
+namespace {
+
+// Places a plan-level estimate onto the stages it predicts: est_keys on the
+// first IXSCAN in the tree, est_docs on the first FETCH or COLLSCAN (the
+// stage whose docs_examined counter the estimate targets).
+void AnnotateEstimates(ExplainNode* node, const PlanEstimate& est,
+                       bool* keys_done, bool* docs_done) {
+  if (node->stage == "IXSCAN" && !*keys_done) {
+    node->est_keys = est.keys;
+    *keys_done = true;
+  }
+  if ((node->stage == "FETCH" || node->stage == "COLLSCAN") && !*docs_done) {
+    node->est_docs = est.docs;
+    *docs_done = true;
+  }
+  for (ExplainNode& child : node->children) {
+    AnnotateEstimates(&child, est, keys_done, docs_done);
+  }
+}
+
+}  // namespace
 
 // Fires when Prepare finds a usable cached plan: the plan is abandoned as
 // if its works budget blew on the first pull, forcing the mid-stream replan
 // path (eviction + fresh multi-planner race). Results must be unaffected.
 STIX_FAIL_POINT_DEFINE(planExecutorReplan);
+
+const char* PlannedByName(PlannedBy p) {
+  switch (p) {
+    case PlannedBy::kNone:
+      return "none";
+    case PlannedBy::kSingle:
+      return "single";
+    case PlannedBy::kCache:
+      return "cache";
+    case PlannedBy::kCost:
+      return "cost";
+    case PlannedBy::kRace:
+      return "race";
+  }
+  return "none";
+}
 
 PlanExecutor::PlanExecutor(const storage::RecordStore& records,
                            const index::IndexCatalog& catalog, ExprPtr expr,
@@ -97,6 +135,8 @@ void PlanExecutor::Prepare() {
   candidates_ = Planner::Plan(records_, catalog_, expr_, ctx);
   apply_stage_timing();
   num_candidates_ = static_cast<int>(candidates_.size());
+  STIX_METRIC_COUNTER(plans_total, "planner.plans_total");
+  plans_total.Increment();
 
   // Fast path: a cached plan for this query shape, bounded by the
   // replanning budget.
@@ -122,6 +162,7 @@ void PlanExecutor::Prepare() {
           if (DrainCachedWithCap(&racers_.back(), cap)) {
             winner_ = &racers_.back();
             from_plan_cache_ = true;
+            planned_by_ = PlannedBy::kCache;
             phase_ = Phase::kBuffer;
             return;
           }
@@ -140,13 +181,72 @@ void PlanExecutor::Prepare() {
     }
   }
 
+  // Cost-based selection: estimate every candidate from the shard's
+  // histograms and pick outright when decisive, skipping the trial race.
+  // Skipped after a cache replan — a shape whose cached plan just blew its
+  // budget is exactly where the estimates have been misleading; let the
+  // race re-measure reality. A cost-picked plan still runs under a works
+  // cap derived from its own estimate, so a bad estimate costs at most
+  // replan_factor x the predicted work before the race takes over.
+  if (candidates_.size() > 1 && !replanned_ &&
+      options_.plan_selection == PlanSelectionMode::kCost &&
+      options_.shard_stats != nullptr) {
+    if (!options_.shard_stats->ReliableForEstimation()) {
+      STIX_METRIC_COUNTER(stale_stats, "planner.stale_stats");
+      stale_stats.Increment();
+      STIX_METRIC_COUNTER(fallbacks, "planner.estimate_fallbacks");
+      fallbacks.Increment();
+    } else {
+      PlanChoice choice = ChoosePlan(candidates_, *options_.shard_stats,
+                                     options_.cost_confidence_margin);
+      estimates_ = std::move(choice.estimates);
+      if (choice.winner >= 0) {
+        CandidatePlan* pick = &candidates_[static_cast<size_t>(choice.winner)];
+        const double est_cost = estimates_[choice.winner].cost;
+        const uint64_t cap = std::max<uint64_t>(
+            options_.replan_min_works,
+            static_cast<uint64_t>(options_.replan_factor * est_cost));
+        racers_.push_back(Racer{pick, {}, {}, 0, false});
+        if (DrainCachedWithCap(&racers_.back(), cap)) {
+          winner_ = &racers_.back();
+          planned_by_ = PlannedBy::kCost;
+          STIX_METRIC_COUNTER(estimated, "planner.plans_estimated");
+          estimated.Increment();
+          phase_ = Phase::kBuffer;
+          return;
+        }
+        // The pick blew its cap: the estimate missed badly. Record the
+        // miss and fall back to a fresh race (the partially-run stages
+        // cannot be reused — rebuild the candidates).
+        STIX_METRIC_COUNTER(misses, "planner.estimate_misses");
+        misses.Increment();
+        STIX_METRIC_COUNTER(fallbacks, "planner.estimate_fallbacks");
+        fallbacks.Increment();
+        estimates_.clear();
+        racers_.clear();
+        candidates_ = Planner::Plan(records_, catalog_, expr_, ctx);
+        apply_stage_timing();
+      } else {
+        STIX_METRIC_COUNTER(fallbacks, "planner.estimate_fallbacks");
+        fallbacks.Increment();
+      }
+    }
+  }
+
   racers_.reserve(candidates_.size());
   for (CandidatePlan& plan : candidates_) {
     racers_.push_back(Racer{&plan, {}, {}, 0, false});
   }
   winner_ = &racers_[0];
   raced_ = racers_.size() > 1;
-  if (raced_) winner_ = RunTrial();
+  if (raced_) {
+    winner_ = RunTrial();
+    planned_by_ = PlannedBy::kRace;
+    STIX_METRIC_COUNTER(raced, "planner.plans_raced");
+    raced.Increment();
+  } else {
+    planned_by_ = PlannedBy::kSingle;
+  }
   phase_ = Phase::kBuffer;
 }
 
@@ -212,15 +312,46 @@ void PlanExecutor::RestoreState() {
 
 void PlanExecutor::Finish() {
   phase_ = Phase::kDone;
-  // A raced winner that ran to EOF is remembered with its full works figure
-  // — the number later replanning budgets derive from, and exactly what the
-  // batch executor stored after its full drain. A stream abandoned early
-  // (limit) stores nothing: a partial works count would poison those
-  // budgets.
-  if (raced_ && winner_ != nullptr && winner_->eof && cache_ != nullptr) {
+  // A raced or cost-picked winner that ran to EOF is remembered with its
+  // full works figure — the number later replanning budgets derive from,
+  // and exactly what the batch executor stored after its full drain. A
+  // stream abandoned early (limit) stores nothing: a partial works count
+  // would poison those budgets.
+  const bool selected = raced_ || planned_by_ == PlannedBy::kCost;
+  if (selected && winner_ != nullptr && winner_->eof && cache_ != nullptr) {
     if (shape_.empty()) shape_ = MakeShape();
     cache_->Store(shape_, winner_->plan->index_name, winner_->works);
   }
+  // Measure estimation accuracy against the drain that actually happened.
+  // Only full drains count: a limit-k execution stops early, so its actual
+  // counters are not comparable to the full-drain estimate.
+  const PlanEstimate* est = winner_estimate();
+  if (est != nullptr && winner_ != nullptr && winner_->eof && limit_ == 0) {
+    ExecStats stats;
+    winner_->plan->root->AccumulateStats(&stats);
+    const double actual =
+        static_cast<double>(stats.keys_examined + stats.docs_examined);
+    const double predicted = est->keys + est->docs;
+    const double rel_err =
+        std::abs(predicted - actual) / std::max(1.0, actual);
+    STIX_METRIC_HISTOGRAM(err_pct, "planner.estimate_error_pct");
+    err_pct.Observe(static_cast<uint64_t>(rel_err * 100.0));
+  }
+}
+
+const PlanEstimate* PlanExecutor::EstimateForPlan(
+    const CandidatePlan* plan) const {
+  if (estimates_.empty() || plan == nullptr) return nullptr;
+  const CandidatePlan* base = candidates_.data();
+  if (plan < base || plan >= base + candidates_.size()) return nullptr;
+  const size_t i = static_cast<size_t>(plan - base);
+  if (i >= estimates_.size() || !estimates_[i].valid) return nullptr;
+  return &estimates_[i];
+}
+
+const PlanEstimate* PlanExecutor::winner_estimate() const {
+  if (winner_ == nullptr) return nullptr;
+  return EstimateForPlan(winner_->plan);
 }
 
 // Bucket-unpacked and raw executions of the same expression have different
@@ -249,7 +380,12 @@ ExplainNode PlanExecutor::ExplainWinner() const {
     none.stage = "NONE";
     return none;
   }
-  return winner_->plan->root->Explain();
+  ExplainNode node = winner_->plan->root->Explain();
+  if (const PlanEstimate* est = EstimateForPlan(winner_->plan)) {
+    bool keys_done = false, docs_done = false;
+    AnnotateEstimates(&node, *est, &keys_done, &docs_done);
+  }
+  return node;
 }
 
 std::vector<ExplainNode> PlanExecutor::ExplainRejected() const {
@@ -257,6 +393,10 @@ std::vector<ExplainNode> PlanExecutor::ExplainRejected() const {
   for (const Racer& racer : racers_) {
     if (&racer == winner_) continue;
     rejected.push_back(racer.plan->root->Explain());
+    if (const PlanEstimate* est = EstimateForPlan(racer.plan)) {
+      bool keys_done = false, docs_done = false;
+      AnnotateEstimates(&rejected.back(), *est, &keys_done, &docs_done);
+    }
   }
   return rejected;
 }
@@ -285,6 +425,11 @@ ExecutionResult ExecuteQuery(const storage::RecordStore& records,
   result.num_candidates = exec.num_candidates();
   result.from_plan_cache = exec.from_plan_cache();
   result.replanned = exec.replanned();
+  result.planned_by = exec.planned_by();
+  if (const PlanEstimate* est = exec.winner_estimate()) {
+    result.estimated_keys = est->keys;
+    result.estimated_docs = est->docs;
+  }
   if (exec.winner_transient()) {
     // The documents live in the winning plan's unpack arena, which dies
     // with `exec` at return: materialize into the result itself. Transient

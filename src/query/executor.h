@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "query/cost.h"
 #include "query/plan_cache.h"
 #include "query/planner.h"
 
@@ -24,6 +25,29 @@ enum class YieldPolicy {
   /// Only safe when the collection is quiesced for the cursor's lifetime.
   kAbortOnMutation,
 };
+
+/// How plan selection settles on a winner when several candidates exist.
+enum class PlanSelectionMode {
+  /// Always run the multi-planner trial race (the pre-stats behaviour).
+  kRace,
+  /// Estimate each candidate from the shard's histograms first and pick
+  /// outright when the margin test is decisive; race only under
+  /// uncertainty (stale stats, missing histograms, close estimates) or
+  /// when a cost-picked plan blows its derived works cap. The default.
+  kCost,
+};
+
+/// How one execution settled on its winning plan (explain/profiler and
+/// the fuzz oracle's counters).
+enum class PlannedBy {
+  kNone,    ///< Not prepared yet.
+  kSingle,  ///< One candidate — nothing to select.
+  kCache,   ///< Replayed a cached plan for the shape.
+  kCost,    ///< Cost model picked outright from histogram estimates.
+  kRace,    ///< Multi-planner trial race.
+};
+
+const char* PlannedByName(PlannedBy p);
 
 /// Knobs of the trial-based plan selection (MongoDB's multi-planner).
 struct ExecutorOptions {
@@ -53,6 +77,15 @@ struct ExecutorOptions {
   /// against the raw bucket documents (routing metadata scans, deletes).
   /// The expression must then be bucket-level (already widened).
   bool raw_buckets = false;
+  /// See PlanSelectionMode. kCost additionally needs `shard_stats`; with
+  /// no statistics attached the executor behaves exactly like kRace.
+  PlanSelectionMode plan_selection = PlanSelectionMode::kCost;
+  /// A cost-based pick is decisive only when the runner-up's (smoothed)
+  /// estimated cost is at least this factor above the best candidate's.
+  double cost_confidence_margin = 1.5;
+  /// The owning shard's statistics, or null (estimation disabled). The
+  /// executor only reads; the shard maintains and rebuilds.
+  const stats::ShardStatistics* shard_stats = nullptr;
 };
 
 /// Result of running one query on one shard-local collection.
@@ -105,6 +138,12 @@ struct ExecutionResult {
   /// True when a cached plan blew its works budget and the shape was
   /// re-raced during this execution.
   bool replanned = false;
+  /// How the winner was selected (see PlannedBy).
+  PlannedBy planned_by = PlannedBy::kNone;
+  /// Winning plan's histogram estimate when one was computed (negative
+  /// when estimation did not run or was invalid for the winner).
+  double estimated_keys = -1.0;
+  double estimated_docs = -1.0;
 };
 
 /// Resumable, demand-driven query executor — the shard half of the
@@ -171,6 +210,10 @@ class PlanExecutor {
   int num_candidates() const { return num_candidates_; }
   bool from_plan_cache() const { return from_plan_cache_; }
   bool replanned() const { return replanned_; }
+  PlannedBy planned_by() const { return planned_by_; }
+  /// The winner's histogram estimate, or null when estimation did not run
+  /// or produced nothing valid for the winning candidate.
+  const PlanEstimate* winner_estimate() const;
 
   /// Explain tree of the winning plan. The counters are whatever the
   /// execution has accumulated so far, so after a drain the tree's
@@ -204,6 +247,8 @@ class PlanExecutor {
   bool DrainCachedWithCap(Racer* racer, uint64_t cap);
   Racer* RunTrial();
   void Finish();
+  /// Estimate recorded for `plan` by the last ChoosePlan call, if any.
+  const PlanEstimate* EstimateForPlan(const CandidatePlan* plan) const;
 
   const storage::RecordStore& records_;
   const index::IndexCatalog& catalog_;
@@ -228,6 +273,10 @@ class PlanExecutor {
   int num_candidates_ = 0;
   bool from_plan_cache_ = false;
   bool replanned_ = false;
+  PlannedBy planned_by_ = PlannedBy::kNone;
+  /// Parallel to candidates_ when cost selection ran (cleared on replan —
+  /// indexes would go stale against a rebuilt candidate vector).
+  std::vector<PlanEstimate> estimates_;
 };
 
 /// Plans and runs a query to completion (open + drain over PlanExecutor).

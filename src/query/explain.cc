@@ -85,6 +85,16 @@ std::string ExplainNode::ToJson(ExplainVerbosity v) const {
       out << ", \"bucketsPruned\": " << buckets_pruned
           << ", \"pointsUnpacked\": " << points_unpacked;
     }
+    if (est_keys >= 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", est_keys);
+      out << ", \"estimatedKeysExamined\": " << buf;
+    }
+    if (est_docs >= 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", est_docs);
+      out << ", \"estimatedDocsExamined\": " << buf;
+    }
     if (time_millis >= 0.0) {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.3f", time_millis);

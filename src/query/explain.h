@@ -44,6 +44,12 @@ struct ExplainNode {
   /// (MongoDB's executionTimeMillisEstimate is likewise inclusive).
   /// Negative when stage timing was not enabled for the execution.
   double time_millis = -1.0;
+  /// Histogram-based predictions the cost model made for this stage before
+  /// execution (est_keys on the IXSCAN, est_docs on the FETCH/COLLSCAN),
+  /// printed next to the actual counters so estimation error is measurable
+  /// per stage. Negative when no estimate was computed.
+  double est_keys = -1.0;
+  double est_docs = -1.0;
   std::vector<ExplainNode> children;
 
   /// Sum of keys_examined / docs_examined over this subtree.

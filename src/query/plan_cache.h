@@ -74,6 +74,18 @@ class PlanCache {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
   }
+
+  /// Drops every cached decision because the underlying data distribution
+  /// changed (chunk migration, statistics rebuild): the works figures and
+  /// index choices were measured against data that is no longer there.
+  /// Counts "planner.cache_invalidations" only when entries were dropped.
+  void InvalidateAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.empty()) return;
+    STIX_METRIC_COUNTER(invalidations, "planner.cache_invalidations");
+    invalidations.Increment();
+    entries_.clear();
+  }
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();

@@ -85,6 +85,15 @@ std::vector<CandidatePlan> Planner::Plan(const storage::RecordStore& records,
 
     CandidatePlan plan;
     plan.index_name = desc.name();
+    plan.access.bucketed = bucketed;
+    plan.access.bounds = bounds;  // cost-model copy; the stage owns the move
+    plan.access.field_paths.reserve(desc.num_fields());
+    plan.access.field_is_geo.reserve(desc.num_fields());
+    for (const index::IndexField& field : desc.fields()) {
+      plan.access.field_paths.push_back(field.path);
+      plan.access.field_is_geo.push_back(field.kind ==
+                                         index::IndexFieldKind::k2dsphere);
+    }
     auto scan = std::make_unique<IndexScanStage>(*idx, std::move(bounds));
     if (bucketed) {
       // FETCH loads the bucket with no filter (pruning happens on bucket
@@ -103,6 +112,8 @@ std::vector<CandidatePlan> Planner::Plan(const storage::RecordStore& records,
 
   if (candidates.empty()) {
     CandidatePlan plan;
+    plan.access.collscan = true;
+    plan.access.bucketed = bucketed;
     if (bucketed) {
       auto scan = std::make_unique<CollScanStage>(records, nullptr);
       plan.root = std::make_unique<BucketUnpackStage>(std::move(scan), expr,

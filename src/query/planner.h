@@ -11,6 +11,20 @@
 
 namespace stix::query {
 
+/// Cost-model description of how a candidate accesses data, recorded by
+/// the planner so the cost model (query/cost.h) never has to walk the
+/// stage tree: the access shape plus — for IXSCAN plans — a copy of the
+/// scan bounds and the index's field paths.
+struct PlanAccess {
+  bool collscan = false;  ///< Root access is a collection scan.
+  bool bucketed = false;  ///< A BUCKET_UNPACK stage wraps the access path.
+  /// IXSCAN only: the bounds handed to IndexScanStage, in index field
+  /// order, with the matching dotted paths and 2dsphere flags.
+  index::IndexBounds bounds;
+  std::vector<std::string> field_paths;
+  std::vector<bool> field_is_geo;
+};
+
 /// One runnable candidate plan.
 struct CandidatePlan {
   std::unique_ptr<PlanStage> root;
@@ -20,6 +34,7 @@ struct CandidatePlan {
   /// BUCKET_UNPACK arena) rather than by the record store: results must be
   /// materialized before the executor dies (see ExecutionResult::owned).
   bool transient_docs = false;
+  PlanAccess access;
 };
 
 /// What the planner needs to know beyond the collection itself.

@@ -1,0 +1,142 @@
+#include "query/stats/histogram.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace stix::query::stats {
+
+void EquiDepthHistogram::Build(std::vector<int64_t> values,
+                               size_t max_buckets) {
+  buckets_.clear();
+  built_ = true;
+  mutations_ = 0;
+  total_ = values.size();
+  built_total_ = values.size();
+  if (values.empty()) {
+    min_ = 0;
+    return;
+  }
+  std::sort(values.begin(), values.end());
+  min_ = values.front();
+  if (max_buckets == 0) max_buckets = 1;
+
+  const size_t n = values.size();
+  const double depth =
+      static_cast<double>(n) / static_cast<double>(max_buckets);
+  // Max-diff refinement window around each equi-depth cut: within +/- a
+  // quarter of a bucket of the ideal quantile position, cut at the largest
+  // adjacent-value gap. Heavy duplicate runs are never split (a boundary
+  // value belongs to exactly one bucket), so a bucket absorbing one hot
+  // value can exceed the ideal depth — the equi-depth invariant is "no
+  // bucket exceeds depth + its largest duplicate run", which the property
+  // tests pin.
+  const size_t window = std::max<size_t>(1, static_cast<size_t>(depth / 4));
+  size_t begin = 0;  // first value index of the open bucket
+  for (size_t b = 0; b < max_buckets && begin < n; ++b) {
+    size_t cut;  // index of the last value in this bucket
+    if (b + 1 == max_buckets) {
+      cut = n - 1;
+    } else {
+      const size_t pos =
+          static_cast<size_t>(depth * static_cast<double>(b + 1));
+      size_t ideal = std::min(n - 1, pos == 0 ? 0 : pos - 1);
+      if (ideal < begin) ideal = begin;
+      size_t lo = ideal > begin + window ? ideal - window : begin;
+      size_t hi = std::min(n - 2, ideal + window);
+      if (lo > hi) lo = hi;
+      // Largest gap between values[j] and values[j + 1] in the window; ties
+      // break toward the ideal equi-depth position.
+      cut = std::min(ideal, n - 2);
+      uint64_t best_gap = 0;
+      for (size_t j = lo; j <= hi && j + 1 < n; ++j) {
+        const uint64_t gap = static_cast<uint64_t>(values[j + 1]) -
+                             static_cast<uint64_t>(values[j]);
+        if (gap > best_gap) {
+          best_gap = gap;
+          cut = j;
+        }
+      }
+      // Never split a duplicate run: extend the cut through equal values.
+      while (cut + 1 < n && values[cut + 1] == values[cut]) ++cut;
+      if (cut + 1 >= n) cut = n - 1;
+    }
+    if (cut < begin) cut = begin;
+    buckets_.push_back(
+        Bucket{values[cut], static_cast<uint64_t>(cut - begin + 1)});
+    begin = cut + 1;
+  }
+  // Rounding in the cut positions can leave a tail; fold it into the last
+  // bucket so counts always sum to n.
+  if (begin < n) {
+    buckets_.back().upper = values[n - 1];
+    buckets_.back().count += static_cast<uint64_t>(n - begin);
+  }
+}
+
+size_t EquiDepthHistogram::BucketFor(int64_t v) const {
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), v,
+      [](const Bucket& b, int64_t value) { return b.upper < value; });
+  if (it == buckets_.end()) return buckets_.size() - 1;
+  return static_cast<size_t>(it - buckets_.begin());
+}
+
+void EquiDepthHistogram::Add(int64_t v) {
+  ++mutations_;
+  ++total_;
+  if (buckets_.empty()) {
+    min_ = v;
+    buckets_.push_back(Bucket{v, 1});
+    return;
+  }
+  if (v < min_) min_ = v;
+  if (v > buckets_.back().upper) {
+    buckets_.back().upper = v;  // stretch the top bucket
+    ++buckets_.back().count;
+    return;
+  }
+  ++buckets_[BucketFor(v)].count;
+}
+
+void EquiDepthHistogram::Remove(int64_t v) {
+  if (buckets_.empty()) return;
+  ++mutations_;
+  if (total_ > 0) --total_;
+  Bucket& b = buckets_[BucketFor(v)];
+  if (b.count > 0) --b.count;
+}
+
+double EquiDepthHistogram::EstimateRange(int64_t lo, int64_t hi) const {
+  if (buckets_.empty() || total_ == 0 || hi < lo) return 0.0;
+  double est = 0.0;
+  int64_t span_lo = min_;
+  for (const Bucket& b : buckets_) {
+    const int64_t span_hi = b.upper;
+    if (span_hi >= lo && span_lo <= hi) {
+      const int64_t olo = std::max(span_lo, lo);
+      const int64_t ohi = std::min(span_hi, hi);
+      // Continuous-values assumption inside a bucket. Width arithmetic in
+      // unsigned space: spans can exceed int64 range (hilbert domains).
+      const uint64_t width =
+          static_cast<uint64_t>(span_hi) - static_cast<uint64_t>(span_lo) + 1;
+      const uint64_t overlap =
+          static_cast<uint64_t>(ohi) - static_cast<uint64_t>(olo) + 1;
+      est += static_cast<double>(b.count) *
+             (static_cast<double>(overlap) / static_cast<double>(width));
+    }
+    if (span_lo > hi) break;
+    span_lo = span_hi + 1;
+    if (span_hi == std::numeric_limits<int64_t>::max()) break;
+  }
+  return std::min(est, static_cast<double>(total_));
+}
+
+double EquiDepthHistogram::Drift() const {
+  if (!built_) {
+    return total_ > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  const uint64_t base = std::max<uint64_t>(1, built_total_);
+  return static_cast<double>(mutations_) / static_cast<double>(base);
+}
+
+}  // namespace stix::query::stats

@@ -1,0 +1,83 @@
+#ifndef STIX_QUERY_STATS_HISTOGRAM_H_
+#define STIX_QUERY_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stix::query::stats {
+
+/// Online equi-depth histogram over one int64-valued document path (date
+/// millis, hilbertIndex cells, GeoHash cells). Built from a sorted sample of
+/// the live values with max-diff boundary placement (MongoDB CE's
+/// buildHistogram idiom: cut points prefer the largest value gaps near each
+/// equi-depth quantile, so skewed clusters land inside buckets instead of
+/// straddling them), then maintained incrementally: Add/Remove binary-search
+/// the covering bucket and adjust its count. The boundary set is frozen
+/// between builds — a drift counter tracks how many mutations the frozen
+/// boundaries have absorbed, and the owner rebuilds lazily once drift
+/// crosses its threshold (see ShardStatistics).
+///
+/// Estimates use the continuous-value assumption inside a bucket: a query
+/// range takes a bucket's count in proportion to the overlapped fraction of
+/// its key span. Not thread-safe; the owning ShardStatistics locks.
+class EquiDepthHistogram {
+ public:
+  /// One bucket: counts values in (prev bucket's upper, upper] — the first
+  /// bucket spans [min, upper].
+  struct Bucket {
+    int64_t upper = 0;
+    uint64_t count = 0;
+  };
+
+  /// Replaces boundaries and counts from a full sample of the live values
+  /// (unsorted is fine; Build sorts). Resets the drift counter.
+  void Build(std::vector<int64_t> values, size_t max_buckets = 64);
+
+  /// Incremental maintenance against the frozen boundaries. Values outside
+  /// [min, max] stretch the edge buckets. Each call counts as one unit of
+  /// drift.
+  void Add(int64_t v);
+  void Remove(int64_t v);
+
+  /// Expected number of live values in the closed range [lo, hi].
+  /// 0 for an empty histogram.
+  double EstimateRange(int64_t lo, int64_t hi) const;
+
+  /// Live value count (exact: build count + adds - removes).
+  uint64_t total() const { return total_; }
+
+  bool built() const { return built_; }
+  bool empty() const { return total_ == 0; }
+  size_t num_buckets() const { return buckets_.size(); }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  int64_t min_value() const { return min_; }
+  int64_t max_value() const {
+    return buckets_.empty() ? min_ : buckets_.back().upper;
+  }
+
+  /// Mutations absorbed since the last Build.
+  uint64_t mutations_since_build() const { return mutations_; }
+
+  /// Drift of the frozen boundaries: mutations since build relative to the
+  /// population the boundaries were built from. 0 right after a build;
+  /// grows with every Add/Remove. An unbuilt histogram with data pending
+  /// reports infinite drift (forces the first build).
+  double Drift() const;
+
+ private:
+  /// Index of the bucket whose span covers v (first bucket with upper >= v),
+  /// clamped to the last bucket.
+  size_t BucketFor(int64_t v) const;
+
+  std::vector<Bucket> buckets_;
+  int64_t min_ = 0;
+  bool built_ = false;
+  uint64_t total_ = 0;
+  uint64_t built_total_ = 0;
+  uint64_t mutations_ = 0;
+};
+
+}  // namespace stix::query::stats
+
+#endif  // STIX_QUERY_STATS_HISTOGRAM_H_

@@ -22,6 +22,7 @@ size_t Approach::CacheKeyHash::operator()(const CacheKey& k) const {
   mix(&k.hi_lat, sizeof k.hi_lat);
   mix(&k.t_begin_ms, sizeof k.t_begin_ms);
   mix(&k.t_end_ms, sizeof k.t_end_ms);
+  mix(&k.max_ranges, sizeof k.max_ranges);
   return static_cast<size_t>(h);
 }
 
@@ -101,12 +102,17 @@ Status Approach::EnrichDocument(bson::Document* doc) const {
 }
 
 TranslatedQuery Approach::TranslateQuery(const geo::Rect& rect,
-                                         int64_t t_begin_ms,
-                                         int64_t t_end_ms) const {
+                                         int64_t t_begin_ms, int64_t t_end_ms,
+                                         size_t max_ranges) const {
+  // Baselines have no covering, so the budget would only fragment their
+  // cache entries.
+  if (!uses_hilbert()) max_ranges = 0;
   // Normalize -0.0 so bitwise hashing agrees with value equality.
   const auto norm = [](double d) { return d == 0.0 ? 0.0 : d; };
-  const CacheKey key{norm(rect.lo.lon), norm(rect.lo.lat), norm(rect.hi.lon),
-                     norm(rect.hi.lat), t_begin_ms, t_end_ms};
+  const CacheKey key{norm(rect.lo.lon),  norm(rect.lo.lat),
+                     norm(rect.hi.lon),  norm(rect.hi.lat),
+                     t_begin_ms,         t_end_ms,
+                     static_cast<uint64_t>(max_ranges)};
   STIX_METRIC_COUNTER(cover_hits, "cover_cache.hits");
   STIX_METRIC_COUNTER(cover_misses, "cover_cache.misses");
   STIX_METRIC_COUNTER(cover_evictions, "cover_cache.evictions");
@@ -132,9 +138,9 @@ TranslatedQuery Approach::TranslateQuery(const geo::Rect& rect,
   // Compute outside the lock: coverings can be expensive and concurrent
   // queries must not serialize on them. A racing duplicate insert is
   // harmless (same value, last writer wins).
-  TranslatedQuery fresh =
-      TranslateRegionQuery(query::MakeGeoWithinBox(kLocationField, rect),
-                           geo::RectRegion(rect), t_begin_ms, t_end_ms);
+  TranslatedQuery fresh = TranslateRegionQuery(
+      query::MakeGeoWithinBox(kLocationField, rect), geo::RectRegion(rect),
+      t_begin_ms, t_end_ms, max_ranges);
   if (config_.cover_cache_capacity == 0) return fresh;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -181,7 +187,8 @@ TranslatedQuery Approach::TranslatePolygonQuery(const geo::Polygon& polygon,
 TranslatedQuery Approach::TranslateRegionQuery(query::ExprPtr geo_predicate,
                                                const geo::Region& region,
                                                int64_t t_begin_ms,
-                                               int64_t t_end_ms) const {
+                                               int64_t t_end_ms,
+                                               size_t max_ranges) const {
   TranslatedQuery out;
   std::vector<query::ExprPtr> conjuncts;
   conjuncts.push_back(std::move(geo_predicate));
@@ -190,8 +197,16 @@ TranslatedQuery Approach::TranslateRegionQuery(query::ExprPtr geo_predicate,
                                        bson::Value::DateTime(t_end_ms)));
 
   if (uses_hilbert()) {
+    // A capped covering is a superset of the exact one (frontier blocks are
+    // emitted whole), so results stay exact: the $geoWithin conjunct
+    // re-checks every fetched point. num_ranges/num_singletons report what
+    // was actually generated.
+    geo::CoveringOptions cover_options;
+    cover_options.max_ranges = max_ranges;
+    out.cover_budget = max_ranges;
     Stopwatch cover_timer;
-    const geo::Covering covering = geo::CoverRegion(*hilbert_, region);
+    const geo::Covering covering =
+        geo::CoverRegion(*hilbert_, region, cover_options);
     out.cover_millis = cover_timer.ElapsedMillis();
 
     // Consecutive cells become ranges; isolated cells are width-one entries
@@ -218,6 +233,19 @@ TranslatedQuery Approach::TranslateRegionQuery(query::ExprPtr geo_predicate,
 
   out.expr = query::MakeAnd(std::move(conjuncts));
   return out;
+}
+
+size_t Approach::PickCoverBudget(double est_fraction) const {
+  if (!uses_hilbert() || !config_.adaptive_cover_budget) return 0;
+  if (est_fraction < 0.0) return 0;  // unknown selectivity: stay exact
+  if (est_fraction <= config_.coarse_cover_fraction) {
+    STIX_METRIC_COUNTER(fine, "planner.cover_fine");
+    fine.Increment();
+    return 0;
+  }
+  STIX_METRIC_COUNTER(coarse, "planner.cover_coarse");
+  coarse.Increment();
+  return config_.coarse_cover_max_ranges;
 }
 
 std::string Approach::zone_path() const {

@@ -48,6 +48,18 @@ struct ApproachConfig {
   /// it); 0 disables memoization entirely. Bounds the cache under workloads
   /// with unboundedly many distinct query rects.
   size_t cover_cache_capacity = 4096;
+  /// Adaptive curve-covering budget (Hilbert approaches only): when the
+  /// store can estimate a query's selectivity from the shard histograms,
+  /// low-selectivity rects — ones expected to touch more than
+  /// `coarse_cover_fraction` of the data — are covered with at most
+  /// `coarse_cover_max_ranges` ranges (a coarser superset: fewer seeks and
+  /// far less covering work, and still exact because the residual
+  /// $geoWithin + date predicates refine at FETCH), while hot small rects
+  /// keep the exact covering. Off, or an unknown selectivity, always uses
+  /// the exact covering.
+  bool adaptive_cover_budget = true;
+  size_t coarse_cover_max_ranges = 64;
+  double coarse_cover_fraction = 0.02;
 };
 
 /// A spatio-temporal range query translated into the store's match language,
@@ -62,6 +74,9 @@ struct TranslatedQuery {
   /// translation cache instead of being recomputed (cover_millis is then
   /// the hash-lookup time, effectively zero).
   bool cache_hit = false;
+  /// Covering budget the translation used: 0 = exact covering, otherwise
+  /// the max_ranges cap a coarse (adaptive) covering was computed under.
+  size_t cover_budget = 0;
 };
 
 /// Hit/miss/eviction counters of the covering & translation cache.
@@ -111,8 +126,18 @@ class Approach {
   /// covering entirely and reuse the immutable translated expression. The
   /// paper's Table 8 treats covering as a per-query cost; with the cache it
   /// is paid once per distinct query. Thread-safe.
+  /// `max_ranges` caps the covering's range count (0 = exact covering);
+  /// StStore derives it per query via PickCoverBudget. Distinct budgets
+  /// memoize separately (the budget is part of the cache key).
   TranslatedQuery TranslateQuery(const geo::Rect& rect, int64_t t_begin_ms,
-                                 int64_t t_end_ms) const;
+                                 int64_t t_end_ms,
+                                 size_t max_ranges = 0) const;
+
+  /// The covering budget for a query expected to select `est_fraction`
+  /// (0..1) of the stored documents: coarse_cover_max_ranges when the
+  /// adaptive budget is on and the fraction crosses coarse_cover_fraction,
+  /// else 0 (exact). A negative fraction means unknown — exact covering.
+  size_t PickCoverBudget(double est_fraction) const;
 
   /// Polygon variant (the paper's complex-geometry future-work item): same
   /// covering machinery, exact point-in-polygon refinement.
@@ -146,6 +171,7 @@ class Approach {
   struct CacheKey {
     double lo_lon, lo_lat, hi_lon, hi_lat;
     int64_t t_begin_ms, t_end_ms;
+    uint64_t max_ranges;  ///< Covering budget (0 = exact).
 
     bool operator==(const CacheKey&) const = default;
   };
@@ -155,8 +181,8 @@ class Approach {
 
   TranslatedQuery TranslateRegionQuery(query::ExprPtr geo_predicate,
                                        const geo::Region& region,
-                                       int64_t t_begin_ms,
-                                       int64_t t_end_ms) const;
+                                       int64_t t_begin_ms, int64_t t_end_ms,
+                                       size_t max_ranges = 0) const;
 
   ApproachConfig config_;
   std::unique_ptr<geo::HilbertCurve> hilbert_;

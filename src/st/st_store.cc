@@ -35,7 +35,8 @@ std::string StExplain::ToJson() const {
   out << "{\"approach\": \"" << query::JsonEscape(approach)
       << "\", \"covering\": {\"coverMillis\": " << millis
       << ", \"numRanges\": " << num_ranges
-      << ", \"numSingletons\": " << num_singletons << ", \"cacheHit\": "
+      << ", \"numSingletons\": " << num_singletons
+      << ", \"coverBudget\": " << cover_budget << ", \"cacheHit\": "
       << (cover_cache_hit ? "true" : "false")
       << "}, \"cluster\": " << cluster.ToJson() << "}";
   return out.str();
@@ -143,6 +144,24 @@ StQueryResult StStore::Query(const geo::Rect& rect, int64_t t_begin_ms,
   return OpenQuery(rect, t_begin_ms, t_end_ms, full_drain).Drain();
 }
 
+size_t StStore::CoverBudgetFor(const geo::Rect& rect, int64_t t_begin_ms,
+                               int64_t t_end_ms) const {
+  if (!approach_.uses_hilbert()) return 0;
+  const double time_fraction =
+      cluster_.EstimateFraction(kDateField, t_begin_ms, t_end_ms);
+  if (time_fraction < 0.0) return approach_.PickCoverBudget(-1.0);
+  const geo::Rect& domain = approach_.hilbert()->grid().domain();
+  geo::Rect clipped;
+  clipped.lo.lon = std::max(rect.lo.lon, domain.lo.lon);
+  clipped.lo.lat = std::max(rect.lo.lat, domain.lo.lat);
+  clipped.hi.lon = std::min(rect.hi.lon, domain.hi.lon);
+  clipped.hi.lat = std::min(rect.hi.lat, domain.hi.lat);
+  const double domain_area = domain.AreaDeg2();
+  const double spatial_fraction =
+      domain_area > 0.0 ? clipped.AreaDeg2() / domain_area : 1.0;
+  return approach_.PickCoverBudget(time_fraction * spatial_fraction);
+}
+
 StCursor StStore::OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
                             int64_t t_end_ms,
                             const StCursorOptions& cursor_options) const {
@@ -150,7 +169,8 @@ StCursor StStore::OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
   // buffered for a later retry; the query still sees everything flushed.
   (void)FlushBuckets();
   TranslatedQuery translated =
-      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
+      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms,
+                               CoverBudgetFor(rect, t_begin_ms, t_end_ms));
   std::unique_ptr<cluster::ClusterCursor> cursor = cluster_.OpenCursor(
       translated.expr, ToClusterCursorOptions(cursor_options));
   return StCursor(std::move(translated), std::move(cursor));
@@ -161,13 +181,15 @@ StExplain StStore::Explain(const geo::Rect& rect, int64_t t_begin_ms,
                            query::ExplainVerbosity verbosity) const {
   (void)FlushBuckets();
   const TranslatedQuery translated =
-      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
+      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms,
+                               CoverBudgetFor(rect, t_begin_ms, t_end_ms));
   StExplain explain;
   explain.approach = approach_.name();
   explain.cover_millis = translated.cover_millis;
   explain.num_ranges = translated.num_ranges;
   explain.num_singletons = translated.num_singletons;
   explain.cover_cache_hit = translated.cache_hit;
+  explain.cover_budget = translated.cover_budget;
   explain.cluster = cluster_.Explain(translated.expr, verbosity);
   return explain;
 }
@@ -177,7 +199,8 @@ Result<uint64_t> StStore::Delete(const geo::Rect& rect, int64_t t_begin_ms,
   const Status s = FlushBuckets();
   if (!s.ok()) return s;
   const TranslatedQuery translated =
-      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms);
+      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms,
+                               CoverBudgetFor(rect, t_begin_ms, t_end_ms));
   return cluster_.Delete(translated.expr);
 }
 

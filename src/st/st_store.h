@@ -47,6 +47,8 @@ struct StExplain {
   size_t num_ranges = 0;
   size_t num_singletons = 0;
   bool cover_cache_hit = false;
+  /// Covering budget the translation ran under (0 = exact covering).
+  size_t cover_budget = 0;
   cluster::ClusterExplain cluster;
 
   /// {"approach": .., "covering": {..}, "cluster": <ClusterExplain>}.
@@ -188,6 +190,14 @@ class StStore {
                                            int64_t t_end_ms) const;
 
  private:
+  /// Covering budget for one rect/time query (0 = exact covering): combines
+  /// the cluster's histogram estimate of the time window's selectivity with
+  /// the rect's area share of the curve domain (uniformity assumption —
+  /// only steers coarse-vs-exact covering, never correctness) and lets the
+  /// approach pick. Unknown selectivity (no histograms yet) stays exact.
+  size_t CoverBudgetFor(const geo::Rect& rect, int64_t t_begin_ms,
+                        int64_t t_end_ms) const;
+
   StStoreOptions options_;
   Approach approach_;
   cluster::Cluster cluster_;

@@ -3,7 +3,9 @@
 // From a single 64-bit seed, generates a randomized workload (skewed + uniform
 // documents, rect+time queries, limits, batch sizes, mid-run chunk
 // splits/migrations) and checks all four approaches (bslST, bslTS, hil, hil*)
-// against a brute-force oracle, plus metamorphic invariants:
+// — under either plan-selection mode (--planner=race|cost|both; "both" also
+// cross-checks race vs cost results byte-for-byte) — against a brute-force
+// oracle, plus metamorphic invariants:
 //
 //   * batch-size invariance     — any getMore batch size yields the same set
 //   * cursor-drain parity       — OpenQuery+drain == Query()
@@ -80,6 +82,12 @@ struct FuzzConfig {
   /// "bucket" (compressed bucket documents), or "both" — which runs every
   /// check against both layouts *and* cross-checks them byte-for-byte.
   std::string layout = "row";
+  /// Plan-selection mode(s) under test: "race" (always trial-race), "cost"
+  /// (estimate from histograms, race only on fallback), or "both" — which
+  /// runs every check under both modes *and* cross-checks their result
+  /// sets byte-for-byte (cost-based selection must never change results,
+  /// only how the winning plan is chosen).
+  std::string planner = "cost";
 };
 
 // Ground-truth record of one generated document.
@@ -147,9 +155,9 @@ struct SeedContext {
     }
     std::fprintf(stderr,
                  "REPRO: stix_fuzz --seed=%" PRIu64
-                 " --docs=%d --queries=%d --layout=%s%s\n",
+                 " --docs=%d --queries=%d --layout=%s --planner=%s%s\n",
                  seed, config->docs, config->queries, config->layout.c_str(),
-                 threads_arg);
+                 config->planner.c_str(), threads_arg);
   }
 };
 
@@ -383,13 +391,15 @@ bool CheckQuery(const std::vector<StStore*>& stores,
   return true;
 }
 
-// Layout parity (--layout=both): for each approach, the row store and the
-// bucket store must return *byte-identical* document sets — the bucket
-// codec's round trip preserves field order and value types, so after
-// sorting by fid the BSON encodings must match exactly, not just the fids.
-bool CheckLayoutParity(const std::vector<StStore*>& row_stores,
-                       const std::vector<StStore*>& bucket_stores,
-                       const FuzzQuery& q, SeedContext* ctx) {
+// Pairwise parity (--layout=both / --planner=both): the paired stores
+// (row vs bucket of the same approach, or race vs cost of the same
+// approach+layout) must return *byte-identical* document sets — the bucket
+// codec's round trip preserves field order and value types, and plan
+// selection never affects what a query matches, so after sorting by fid
+// the BSON encodings must match exactly, not just the fids.
+bool CheckPairParity(const std::vector<StStore*>& lhs,
+                     const std::vector<StStore*>& rhs, const char* dimension,
+                     const FuzzQuery& q, SeedContext* ctx) {
   const auto sorted_by_fid = [](std::vector<bson::Document> docs) {
     std::sort(docs.begin(), docs.end(),
               [](const bson::Document& a, const bson::Document& b) {
@@ -400,21 +410,22 @@ bool CheckLayoutParity(const std::vector<StStore*>& row_stores,
               });
     return docs;
   };
-  for (size_t i = 0; i < row_stores.size(); ++i) {
+  const std::string count_check = std::string(dimension) + "-parity-count";
+  const std::string bytes_check = std::string(dimension) + "-parity-bytes";
+  for (size_t i = 0; i < lhs.size(); ++i) {
     const std::string label =
-        std::string(row_stores[i]->approach().name()) + "/parity";
-    const std::vector<bson::Document> row = sorted_by_fid(
-        row_stores[i]->Query(q.rect, q.t_begin_ms, q.t_end_ms).cluster.docs);
-    const std::vector<bson::Document> bucket = sorted_by_fid(
-        bucket_stores[i]->Query(q.rect, q.t_begin_ms, q.t_end_ms).cluster.docs);
-    if (row.size() != bucket.size()) {
-      ctx->Report(label.c_str(), "layout-parity-count", q, row.size(),
-                  bucket.size());
+        std::string(lhs[i]->approach().name()) + "/parity";
+    const std::vector<bson::Document> a = sorted_by_fid(
+        lhs[i]->Query(q.rect, q.t_begin_ms, q.t_end_ms).cluster.docs);
+    const std::vector<bson::Document> b = sorted_by_fid(
+        rhs[i]->Query(q.rect, q.t_begin_ms, q.t_end_ms).cluster.docs);
+    if (a.size() != b.size()) {
+      ctx->Report(label.c_str(), count_check.c_str(), q, a.size(), b.size());
       return false;
     }
-    for (size_t d = 0; d < row.size(); ++d) {
-      if (bson::EncodeBson(row[d]) != bson::EncodeBson(bucket[d])) {
-        ctx->Report(label.c_str(), "layout-parity-bytes", q, row.size(), d);
+    for (size_t d = 0; d < a.size(); ++d) {
+      if (bson::EncodeBson(a[d]) != bson::EncodeBson(b[d])) {
+        ctx->Report(label.c_str(), bytes_check.c_str(), q, a.size(), d);
         return false;
       }
     }
@@ -761,35 +772,46 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config,
 
   const bool want_row = config.layout != "bucket";
   const bool want_bucket = config.layout != "row";
+  std::vector<query::PlanSelectionMode> modes;
+  if (config.planner != "cost") modes.push_back(query::PlanSelectionMode::kRace);
+  if (config.planner != "race") modes.push_back(query::PlanSelectionMode::kCost);
 
   std::vector<std::unique_ptr<StStore>> owned_stores;
   std::vector<StStore*> stores;  // row stores first, then bucket stores
   std::vector<StStore*> row_stores;
   std::vector<StStore*> bucket_stores;
+  std::vector<StStore*> race_stores;
+  std::vector<StStore*> cost_stores;
   for (const bool bucketed : {false, true}) {
     if (bucketed ? !want_bucket : !want_row) continue;
-    for (const ApproachKind kind : kApproaches) {
-      StStoreOptions options;
-      options.approach.kind = kind;
-      options.approach.hilbert_order = hilbert_order;
-      options.approach.dataset_mbr = mbr;
-      options.cluster.num_shards = num_shards;
-      options.cluster.chunk_max_bytes = chunk_max_bytes;
-      options.cluster.balance_every_inserts = balance_every;
-      options.cluster.seed = seed;
-      if (bucketed) options.bucket = bucket_layout;
-      if (config.profile) {
-        options.cluster.profiler.enabled = true;
-        options.cluster.profiler.slow_millis = 0.0;  // record every op
-        options.cluster.profiler.capacity = 64;
-      }
-      owned_stores.push_back(std::make_unique<StStore>(options));
-      stores.push_back(owned_stores.back().get());
-      (bucketed ? bucket_stores : row_stores).push_back(stores.back());
-      if (!stores.back()->Setup().ok()) {
-        std::fprintf(stderr, "FATAL: store setup failed (seed=%" PRIu64 ")\n",
-                     seed);
-        return false;
+    for (const query::PlanSelectionMode mode : modes) {
+      for (const ApproachKind kind : kApproaches) {
+        StStoreOptions options;
+        options.approach.kind = kind;
+        options.approach.hilbert_order = hilbert_order;
+        options.approach.dataset_mbr = mbr;
+        options.cluster.num_shards = num_shards;
+        options.cluster.chunk_max_bytes = chunk_max_bytes;
+        options.cluster.balance_every_inserts = balance_every;
+        options.cluster.seed = seed;
+        options.cluster.exec.plan_selection = mode;
+        if (bucketed) options.bucket = bucket_layout;
+        if (config.profile) {
+          options.cluster.profiler.enabled = true;
+          options.cluster.profiler.slow_millis = 0.0;  // record every op
+          options.cluster.profiler.capacity = 64;
+        }
+        owned_stores.push_back(std::make_unique<StStore>(options));
+        stores.push_back(owned_stores.back().get());
+        (bucketed ? bucket_stores : row_stores).push_back(stores.back());
+        (mode == query::PlanSelectionMode::kRace ? race_stores : cost_stores)
+            .push_back(stores.back());
+        if (!stores.back()->Setup().ok()) {
+          std::fprintf(stderr, "FATAL: store setup failed (seed=%" PRIu64
+                               ")\n",
+                       seed);
+          return false;
+        }
       }
     }
   }
@@ -825,7 +847,11 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config,
     last_query = q;
     if (!CheckQuery(stores, docs, q, &query_rng, &ctx)) return false;
     if (!row_stores.empty() && !bucket_stores.empty() &&
-        !CheckLayoutParity(row_stores, bucket_stores, q, &ctx)) {
+        !CheckPairParity(row_stores, bucket_stores, "layout", q, &ctx)) {
+      return false;
+    }
+    if (!race_stores.empty() && !cost_stores.empty() &&
+        !CheckPairParity(race_stores, cost_stores, "planner", q, &ctx)) {
       return false;
     }
   }
@@ -854,9 +880,9 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config,
 
   if (config.verbose) {
     std::printf("seed %" PRIu64 ": ok (%d docs, %d queries, %d shards, "
-                "order %d, layout %s%s)\n",
+                "order %d, layout %s, planner %s%s)\n",
                 seed, config.docs, config.queries, num_shards, hilbert_order,
-                config.layout.c_str(),
+                config.layout.c_str(), config.planner.c_str(),
                 use_zones ? (mid_run_zones ? ", mid-run zones" : ", zones")
                           : "");
   }
@@ -902,6 +928,13 @@ int FuzzMain(int argc, char** argv) {
         std::fprintf(stderr, "--layout must be row, bucket or both\n");
         return 2;
       }
+    } else if (arg.rfind("--planner=", 0) == 0) {
+      config.planner = value("--planner=");
+      if (config.planner != "race" && config.planner != "cost" &&
+          config.planner != "both") {
+        std::fprintf(stderr, "--planner must be race, cost or both\n");
+        return 2;
+      }
     } else if (arg == "--list-failpoints") {
       for (const std::string& name : FailPointRegistry::Instance().Names()) {
         std::printf("%s\n", name.c_str());
@@ -911,9 +944,10 @@ int FuzzMain(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: stix_fuzz [--seed=N | --seeds=N --seed-base=N] "
                    "[--docs=N] [--queries=N] [--threads=N] "
-                   "[--layout=row|bucket|both] [--no-failpoints] "
-                   "[--verbose] [--profile] [--server-status] "
-                   "[--check-counters] [--list-failpoints]\n");
+                   "[--layout=row|bucket|both] [--planner=race|cost|both] "
+                   "[--no-failpoints] [--verbose] [--profile] "
+                   "[--server-status] [--check-counters] "
+                   "[--list-failpoints]\n");
       return 2;
     }
   }
@@ -944,6 +978,13 @@ int FuzzMain(int argc, char** argv) {
       required.push_back("bucket.buckets_flushed");
       required.push_back("bucket.points_unpacked");
     }
+    required.push_back("planner.plans_total");
+    if (config.planner != "race") {
+      // Cost mode must have both estimated outright and fallen back to a
+      // race at least once across a non-trivial run.
+      required.push_back("planner.plans_estimated");
+    }
+    if (config.planner != "cost") required.push_back("planner.plans_raced");
     for (const char* name : required) {
       if (MetricsRegistry::Instance().GetCounter(name).value() == 0) {
         std::fprintf(stderr, "DEAD COUNTER: %s never incremented\n", name);
@@ -957,9 +998,10 @@ int FuzzMain(int argc, char** argv) {
   }
 
   std::printf("stix_fuzz: %d seed%s, %d divergence%s (docs=%d queries=%d "
-              "failpoints=%s threads=%d)\n",
+              "layout=%s planner=%s failpoints=%s threads=%d)\n",
               config.num_seeds, config.num_seeds == 1 ? "" : "s", failures,
               failures == 1 ? "" : "s", config.docs, config.queries,
+              config.layout.c_str(), config.planner.c_str(),
               config.failpoints ? "on" : "off", config.threads);
   return failures == 0 ? 0 : 1;
 }
