@@ -491,6 +491,15 @@ bool WritePerfJson(const std::string& path, const std::string& bench_name,
   fprintf(f, "  \"summaries\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const PerfSummary& s = rows[i];
+    char durability[160] = "";
+    if (s.insert_docs_per_sec > 0.0 || s.recovery_millis > 0.0) {
+      snprintf(durability, sizeof(durability),
+               ", \"insert_docs_per_sec\": %.1f, "
+               "\"recovery_millis\": %.3f, "
+               "\"recovery_sec_per_gb\": %.3f",
+               s.insert_docs_per_sec, s.recovery_millis,
+               s.recovery_sec_per_gb);
+    }
     fprintf(f,
             "    {\"label\": \"%s\", \"dataset_docs\": %" PRIu64 ", "
             "\"docs_per_sec_scanned\": %.1f, "
@@ -499,11 +508,12 @@ bool WritePerfJson(const std::string& path, const std::string& bench_name,
             "\"compression_ratio\": %.3f, "
             "\"cold_scan_millis\": %.3f, "
             "\"cold_scan_matches\": %" PRIu64 ", "
-            "\"p50_millis\": %.6f, \"p95_millis\": %.6f}%s\n",
+            "\"p50_millis\": %.6f, \"p95_millis\": %.6f%s}%s\n",
             JsonEscape(s.label).c_str(), s.dataset_docs,
             s.docs_per_sec_scanned, s.record_store_bytes, s.index_bytes,
             s.compression_ratio, s.cold_scan_millis, s.cold_scan_matches,
-            s.p50_millis, s.p95_millis, i + 1 == rows.size() ? "" : ",");
+            s.p50_millis, s.p95_millis, durability,
+            i + 1 == rows.size() ? "" : ",");
   }
   fprintf(f, "  ]\n}\n");
   fclose(f);

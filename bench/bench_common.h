@@ -133,6 +133,13 @@ struct PerfSummary {
   uint64_t cold_scan_matches = 0;     ///< Points the scan query selected.
   double p50_millis = 0.0;            ///< Median modeled query latency.
   double p95_millis = 0.0;
+  /// Durability rows (bench_storage) only — 0 elsewhere and then omitted
+  /// from the JSON, so benches without a durability section keep their
+  /// schema. Wall-clock, not modeled time: the WAL tax and recovery speed
+  /// are real I/O costs.
+  double insert_docs_per_sec = 0.0;  ///< Acked inserts/second during load.
+  double recovery_millis = 0.0;      ///< StStore::Recover wall time.
+  double recovery_sec_per_gb = 0.0;  ///< Recovery time per GB of disk state.
 };
 
 /// Writes rows as {bench, config, summaries: [...]} to `path`.

@@ -6,12 +6,15 @@
 //              after zone migration shuffles insertion order (prefix
 //              compression, paper Appendix A.3).
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <map>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/fs.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 
 namespace stix::bench {
@@ -42,6 +45,113 @@ void PrintIndexFigure(const char* panel, Dataset dataset, bool zones,
       total += bytes;
     }
     printf("  | total=%s\n", HumanBytes(total).c_str());
+  }
+}
+
+// The write-side cost of durability and the read-side cost of recovery.
+// Three stores load the same R-set workload: WAL off (the in-memory
+// baseline), WAL with sync_every=1 (every acked insert on disk before it
+// returns) and WAL with a 64-commit group window. Insert throughput
+// quantifies the WAL tax; the durable variants are then dropped *without* a
+// clean shutdown and timed through StStore::Recover — full WAL replay, the
+// worst case — normalized per GB of on-disk state so the number stays
+// comparable as the scale knobs move.
+void RunDurabilityBench(const BenchConfig& config,
+                        std::vector<PerfSummary>* summaries) {
+  struct Variant {
+    const char* label;
+    bool durable;
+    int sync_every;
+  };
+  constexpr Variant kVariants[] = {{"wal-off", false, 0},
+                                   {"wal-sync-1", true, 1},
+                                   {"wal-group-64", true, 64}};
+  const uint64_t docs = std::min<uint64_t>(config.r_docs, 50000);
+  const DatasetInfo info = InfoFor(Dataset::kR, config);
+  printf("\ndurability: insert throughput and crash recovery (%" PRIu64
+         " docs, %d shards)\n",
+         docs, config.num_shards);
+  for (const Variant& v : kVariants) {
+    std::string data_dir;
+    if (v.durable) {
+      const Result<std::string> made = MakeTempDir("stix_bench_wal");
+      if (!made.ok()) {
+        fprintf(stderr, "temp dir failed: %s\n",
+                made.status().ToString().c_str());
+        return;
+      }
+      data_dir = *made;
+    }
+    st::StStoreOptions options;
+    options.approach.kind = st::ApproachKind::kHil;
+    options.approach.dataset_mbr = info.mbr;
+    options.cluster.num_shards = config.num_shards;
+    options.cluster.chunk_max_bytes = config.chunk_max_bytes;
+    options.cluster.seed = config.seed;
+    options.load_clock_begin_ms = info.t_begin_ms;
+    options.cluster.durability.data_dir = data_dir;
+    options.cluster.durability.wal.sync_every_commits =
+        v.durable ? v.sync_every : 1;
+
+    PerfSummary row;
+    row.label = std::string("durability/") + v.label;
+    row.dataset_docs = docs;
+    {
+      st::StStore store(options);
+      if (!store.Setup().ok()) {
+        fprintf(stderr, "durability store setup failed\n");
+        return;
+      }
+      workload::TrajectoryOptions traj;
+      traj.num_records = docs;
+      traj.seed = config.seed ^ 0x9e37ULL;
+      workload::TrajectoryGenerator gen(traj);
+      bson::Document doc;
+      Stopwatch timer;
+      while (gen.Next(&doc)) {
+        if (!store.Insert(std::move(doc)).ok()) {
+          fprintf(stderr, "durability insert failed\n");
+          return;
+        }
+      }
+      row.insert_docs_per_sec = static_cast<double>(docs) /
+                                (timer.ElapsedMillis() / 1000.0);
+      // Dirty shutdown on purpose: no FinishLoad, no Checkpoint — recovery
+      // below replays every shard's full WAL.
+    }
+    printf("  %-14s %12.0f inserts/s", v.label, row.insert_docs_per_sec);
+    if (v.durable) {
+      uint64_t disk_bytes = 0;
+      std::vector<std::string> files = ListDir(data_dir);
+      for (int s = 0; s < config.num_shards; ++s) {
+        const std::vector<std::string> shard_files =
+            ListDir(data_dir + "/shard-" + std::to_string(s));
+        files.insert(files.end(), shard_files.begin(), shard_files.end());
+      }
+      for (const std::string& file : files) {
+        const Result<uint64_t> size = FileSize(file);
+        if (size.ok()) disk_bytes += *size;
+      }
+      Stopwatch timer;
+      const Result<std::unique_ptr<st::StStore>> recovered =
+          st::StStore::Recover(options);
+      row.recovery_millis = timer.ElapsedMillis();
+      if (!recovered.ok()) {
+        fprintf(stderr, "recovery failed: %s\n",
+                recovered.status().ToString().c_str());
+        return;
+      }
+      row.recovery_sec_per_gb =
+          disk_bytes == 0 ? 0.0
+                          : (row.recovery_millis / 1000.0) /
+                                (static_cast<double>(disk_bytes) / 1e9);
+      printf("   recover %8.1f ms  (%s on disk, %.2f s/GB)",
+             row.recovery_millis, HumanBytes(disk_bytes).c_str(),
+             row.recovery_sec_per_gb);
+      (void)RemoveAll(data_dir);
+    }
+    printf("\n");
+    summaries->push_back(std::move(row));
   }
 }
 
@@ -155,6 +265,7 @@ int Main(int argc, char** argv) {
                  static_cast<double>(id_default));
     }
   }
+  RunDurabilityBench(config, &summaries);
   if (!config.json_path.empty() &&
       !WritePerfJson(config.json_path, "bench_storage", config, summaries)) {
     return 1;

@@ -6,7 +6,10 @@
 #include <sstream>
 #include <variant>
 
+#include "bson/codec.h"
+#include "cluster/snapshot.h"
 #include "common/failpoint.h"
+#include "common/fs.h"
 #include "common/metrics.h"
 #include "keystring/keystring.h"
 #include "query/planner.h"
@@ -44,6 +47,42 @@ std::string Cluster::IndexNameForPattern(const ShardKeyPattern& pattern) {
   return name;
 }
 
+Status Cluster::AttachDurability() {
+  const DurabilityOptions& d = options_.durability;
+  if (d.data_dir.empty() || durability_attached_) return Status::OK();
+  if (Status s = CreateDirs(d.data_dir); !s.ok()) return s;
+  for (auto& shard : shards_) {
+    const Status s = shard->AttachWal(
+        d.data_dir + "/shard-" + std::to_string(shard->id()), d.wal,
+        d.checkpoint_wal_bytes, /*fresh=*/true);
+    if (!s.ok()) return s;
+  }
+  // Topology changes are rare and must never sit in a group-commit window:
+  // the config journal syncs every commit regardless of the data knob.
+  storage::WalOptions config_opts;
+  config_opts.sync_every_commits = 1;
+  Result<std::unique_ptr<storage::WriteAheadLog>> wal =
+      storage::WriteAheadLog::Open(d.data_dir + "/config.wal", config_opts,
+                                   /*fresh=*/true);
+  if (!wal.ok()) return wal.status();
+  config_wal_ = std::move(*wal);
+  durability_attached_ = true;
+  return Status::OK();
+}
+
+Status Cluster::LogTopology() {
+  if (config_wal_ == nullptr) return Status::OK();
+  const std::lock_guard<std::mutex> lock(config_mu_);
+  const std::string meta = bson::EncodeBson(ClusterMetadataDoc(*this));
+  if (Result<uint64_t> a = config_wal_->Append(
+          storage::WalRecordType::kConfigMeta, 0, meta);
+      !a.ok()) {
+    return a.status();
+  }
+  const Result<uint64_t> lsn = config_wal_->Commit();
+  return lsn.ok() ? Status::OK() : lsn.status();
+}
+
 Status Cluster::ShardCollection(ShardKeyPattern pattern) {
   if (sharded_) {
     return Status::AlreadyExists("collection is already sharded");
@@ -51,6 +90,7 @@ Status Cluster::ShardCollection(ShardKeyPattern pattern) {
   if (pattern.empty()) {
     return Status::InvalidArgument("shard key must have at least one field");
   }
+  if (Status s = AttachDurability(); !s.ok()) return s;
   pattern_ = std::move(pattern);
   chunks_ = std::make_unique<ChunkManager>(0);
   shard_key_index_name_ = IndexNameForPattern(pattern_);
@@ -70,7 +110,7 @@ Status Cluster::ShardCollection(ShardKeyPattern pattern) {
     if (!s.ok()) return s;
   }
   sharded_ = true;
-  return Status::OK();
+  return LogTopology();
 }
 
 Status Cluster::CreateIndex(const index::IndexDescriptor& descriptor) {
@@ -83,7 +123,7 @@ Status Cluster::CreateIndex(const index::IndexDescriptor& descriptor) {
     const Status s = shard->catalog().CreateIndex(std::move(copy));
     if (!s.ok()) return s;
   }
-  return Status::OK();
+  return LogTopology();
 }
 
 Status Cluster::Insert(bson::Document doc) {
@@ -180,6 +220,10 @@ void Cluster::MaybeSplitChunk(size_t chunk_index) {
     split_key = *it;
   }
   chunks_->Split(chunk_index, split_key);
+  // A split moves no data: if journaling it fails, recovery simply sees the
+  // pre-split chunk over the same documents. The triggering insert is
+  // already durable and must not fail retroactively.
+  (void)LogTopology();
 }
 
 // Two-phase chunk migration (MongoDB's moveChunk, with its critical
@@ -265,6 +309,17 @@ Status Cluster::MoveChunk(size_t chunk_index, int to_shard) {
        c.Valid() && c.key() < max; c.Next()) {
     rids.push_back(c.rid());
   }
+  // Apply order is chosen for crash atomicity (a no-op reordering for the
+  // in-memory store): the copies become durable on the recipient first,
+  // then the ownership flip is journaled, and only then do the donor's
+  // copies die. A crash anywhere leaves either the old or the new owner
+  // journaled, and recovery's orphan sweep removes whichever side the
+  // journaled owner does not claim — an acknowledged migration survives
+  // whole, an unacknowledged one vanishes whole.
+  std::vector<storage::RecordId> dest_rids;
+  dest_rids.reserve(rids.size());
+  std::vector<storage::RecordId> moved;
+  moved.reserve(rids.size());
   for (const storage::RecordId rid : rids) {
     bson::Document copy;
     if (const auto it = clones.find(rid); it != clones.end()) {
@@ -276,12 +331,33 @@ Status Cluster::MoveChunk(size_t chunk_index, int to_shard) {
       if (doc == nullptr) continue;
       copy = *doc;
     }
-    Status s = source.RemoveLocked(rid);
-    if (!s.ok()) return s;
     Result<storage::RecordId> inserted = dest.InsertLocked(std::move(copy));
-    if (!inserted.ok()) return inserted.status();
+    if (!inserted.ok()) {
+      // Roll the partial copy back out (best effort — after a simulated
+      // crash the recipient's WAL is dead and recovery's orphan sweep
+      // finishes the job).
+      for (const storage::RecordId r : dest_rids) {
+        (void)dest.RemoveLocked(r);
+      }
+      aborted.Increment();
+      return inserted.status();
+    }
+    dest_rids.push_back(*inserted);
+    moved.push_back(rid);
   }
   chunk.shard_id = to_shard;
+  if (Status s = LogTopology(); !s.ok()) {
+    chunk.shard_id = from_shard;
+    for (const storage::RecordId r : dest_rids) {
+      (void)dest.RemoveLocked(r);
+    }
+    aborted.Increment();
+    return s;
+  }
+  for (const storage::RecordId rid : moved) {
+    Status s = source.RemoveLocked(rid);
+    if (!s.ok()) return s;
+  }
   // Both shards' data distributions just changed: stale-mark their
   // statistics (next query rebuilds) and drop their cached plan choices.
   source.OnDataDistributionChanged();
@@ -319,6 +395,7 @@ Status Cluster::SetZones(std::vector<ZoneRange> zones) {
       }
     }
     zones_ = std::move(zones);
+    if (Status s = LogTopology(); !s.ok()) return s;
   }
   Balance();  // first priority of the balancer: fix zone violations
   return Status::OK();
@@ -366,7 +443,9 @@ Status Cluster::RestoreShardingState(
     const Status cs = CreateIndex(desc);
     if (!cs.ok()) return cs;
   }
-  return Status::OK();
+  // ShardCollection/CreateIndex journaled intermediate states (default
+  // chunk table); close with the fully restored topology.
+  return LogTopology();
 }
 
 Status Cluster::RestoreDocumentToShard(int shard_id, bson::Document doc) {
@@ -453,6 +532,57 @@ void Cluster::StopBalancer() {
 bool Cluster::balancer_running() const {
   const std::lock_guard<std::mutex> lock(balancer_thread_mu_);
   return balancer_running_;
+}
+
+Status Cluster::Checkpoint() {
+  if (config_wal_ == nullptr) return Status::OK();
+  // Topology held exclusive: chunk accounting, shard contents and the
+  // journaled metadata all checkpoint from one consistent cut.
+  const std::unique_lock<std::shared_mutex> topo(topology_mu_);
+  for (auto& shard : shards_) {
+    if (Status s = shard->Checkpoint(); !s.ok()) return s;
+  }
+  return CompactConfigWalLocked();
+}
+
+Status Cluster::CompactConfigWalLocked() {
+  const std::lock_guard<std::mutex> lock(config_mu_);
+  if (config_wal_->dead()) {
+    return Status::Internal("config journal is dead");
+  }
+  const std::string path = config_wal_->path();
+  const std::string tmp = path + ".tmp";
+  storage::WalOptions config_opts;
+  config_opts.sync_every_commits = 1;
+  {
+    Result<std::unique_ptr<storage::WriteAheadLog>> fresh =
+        storage::WriteAheadLog::Open(tmp, config_opts, /*fresh=*/true);
+    if (!fresh.ok()) return fresh.status();
+    const std::string meta = bson::EncodeBson(ClusterMetadataDoc(*this));
+    if (Result<uint64_t> a = (*fresh)->Append(
+            storage::WalRecordType::kConfigMeta, 0, meta);
+        !a.ok()) {
+      return a.status();
+    }
+    const Result<uint64_t> lsn = (*fresh)->Commit();
+    if (!lsn.ok()) return lsn.status();
+  }
+  // The journal only shrinks via an atomic swap: a crash before the rename
+  // keeps the old journal, after it the compacted one — never neither.
+  config_wal_.reset();
+  if (Status s = RenameFile(tmp, path); !s.ok()) return s;
+  Result<std::unique_ptr<storage::WriteAheadLog>> reopened =
+      storage::WriteAheadLog::Open(path, config_opts, /*fresh=*/false);
+  if (!reopened.ok()) return reopened.status();
+  config_wal_ = std::move(*reopened);
+  return Status::OK();
+}
+
+Status Cluster::SyncWals() {
+  for (auto& shard : shards_) {
+    if (Status s = shard->SyncWal(); !s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 ClusterQueryResult Cluster::Query(const query::ExprPtr& expr) const {

@@ -17,8 +17,26 @@
 #include "cluster/zones.h"
 #include "common/rng.h"
 #include "query/aggregate.h"
+#include "storage/wal.h"
 
 namespace stix::cluster {
+
+/// Durable-storage knobs. With an empty `data_dir` the cluster is the
+/// original in-memory store; with one, every shard write is logged to a
+/// per-shard WAL before it is acknowledged, topology changes are journaled
+/// to a config WAL, and RecoverCluster() rebuilds the whole cluster from
+/// the directory after a crash. Layout:
+///
+///   <data_dir>/config.wal            — full-metadata topology journal
+///   <data_dir>/shard-<i>/wal.log     — per-shard write-ahead log
+///   <data_dir>/shard-<i>/checkpoint-<lsn>.ckpt
+struct DurabilityOptions {
+  std::string data_dir;
+  storage::WalOptions wal;
+  /// Auto-checkpoint a shard when its WAL outgrows this many bytes
+  /// (0 = checkpoint only on explicit Checkpoint() calls).
+  uint64_t checkpoint_wal_bytes = 0;
+};
 
 /// Deployment-level knobs of the simulated cluster.
 struct ClusterOptions {
@@ -53,6 +71,7 @@ struct ClusterOptions {
   RouterOptions router;
   query::ExecutorOptions exec;
   BalancerOptions balancer;
+  DurabilityOptions durability;
   /// Slow-op profiler (off by default; see OpProfiler). When enabled, every
   /// query/cursor whose modeled time crosses the threshold is recorded with
   /// its full explain tree, queryable via profiler() / ServerStatus().
@@ -131,6 +150,17 @@ class Cluster {
 
   /// True between StartBalancer() and StopBalancer().
   bool balancer_running() const;
+
+  /// Checkpoints every shard (collection + indexes persisted, shard WAL
+  /// truncated) and compacts the config journal down to one current
+  /// metadata record. No-op for an in-memory cluster.
+  Status Checkpoint();
+
+  /// Flushes every shard's buffered group-commit window to its log file.
+  Status SyncWals();
+
+  /// True when the cluster writes through WALs (durability.data_dir set).
+  bool durable() const { return config_wal_ != nullptr; }
 
   /// Snapshot-restore path: installs a previously saved sharding state
   /// (pattern, chunk table, zones) and creates the mandatory and given
@@ -232,8 +262,23 @@ class Cluster {
                           int64_t hi) const;
 
  private:
+  friend Result<std::unique_ptr<Cluster>> RecoverCluster(
+      const ClusterOptions& options);
+
   Status MoveChunk(size_t chunk_index, int to_shard);
   void MaybeSplitChunk(size_t chunk_index);
+  /// First-time durable setup: creates the data directory, attaches a fresh
+  /// WAL to every shard and opens the config journal. No-op when
+  /// durability is off or already attached (the recovery path attaches its
+  /// own WALs with history intact).
+  Status AttachDurability();
+  /// Journals the full current metadata document to the config WAL (no-op
+  /// when not durable). Callers hold topology_mu_ exclusive or are in
+  /// single-threaded setup.
+  Status LogTopology();
+  /// Rewrites the config journal as one current metadata record (tmp +
+  /// rename — a crash mid-compaction keeps the old journal).
+  Status CompactConfigWalLocked();
   /// Bucketed-collection delete (see Delete): unpack, filter, re-encode
   /// survivors. Caller holds topology_mu_ exclusive.
   Result<uint64_t> DeleteBucketsLocked(const Router& router,
@@ -257,6 +302,11 @@ class Cluster {
   Rng rng_;
   int inserts_since_balance_ = 0;
   bool sharded_ = false;
+  // Durability (null when in-memory). config_mu_ serializes config-journal
+  // writers; it nests inside topology_mu_ and is held across no other lock.
+  std::unique_ptr<storage::WriteAheadLog> config_wal_;
+  mutable std::mutex config_mu_;
+  bool durability_attached_ = false;
 
   // --- concurrency control (lock order: latch < topology < shard data) ---
   // Shared by cursors for their lifetime, exclusive for a migration commit.
@@ -272,6 +322,13 @@ class Cluster {
   bool balancer_running_ = false;
   bool balancer_stop_ = false;
 };
+
+/// Rebuilds a durable cluster from options.durability.data_dir: parses the
+/// last journaled metadata record, restores the sharding state, recovers
+/// every shard (checkpoint + WAL replay), sweeps orphans left by a crashed
+/// migration (documents whose owning chunk maps to another shard), and
+/// reopens every WAL for new writes. Defined in durability.cc.
+Result<std::unique_ptr<Cluster>> RecoverCluster(const ClusterOptions& options);
 
 /// The "planner" section of ServerStatus() — plan-selection counters
 /// (plans_total/estimated/raced, estimate_fallbacks/misses,

@@ -1,0 +1,99 @@
+#include "bson/codec.h"
+#include "cluster/cluster.h"
+#include "cluster/snapshot.h"
+#include "common/metrics.h"
+#include "storage/wal.h"
+
+namespace stix::cluster {
+
+// Whole-cluster crash recovery. The config journal is the root of trust:
+// its last committed kConfigMeta record names the shard count, shard key,
+// chunk table, zones and index set. Shards then recover independently
+// (checkpoint + WAL replay), and a final orphan sweep reconciles the two:
+// any document sitting on a shard that the journaled chunk table does not
+// assign it to belongs to a migration that crashed before its topology
+// flip was journaled (dest copies) or after it (source leftovers) — either
+// way the journaled owner decides, making migrations atomic under crashes.
+Result<std::unique_ptr<Cluster>> RecoverCluster(const ClusterOptions& options) {
+  const DurabilityOptions& d = options.durability;
+  if (d.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "RecoverCluster needs durability.data_dir");
+  }
+  const std::string config_path = d.data_dir + "/config.wal";
+
+  const Result<storage::WalScan> scan = storage::ReadWal(config_path);
+  if (!scan.ok()) return scan.status();
+  const storage::WalRecord* last_meta = nullptr;
+  for (const storage::WalRecord& record : scan->committed) {
+    if (record.type == storage::WalRecordType::kConfigMeta) {
+      last_meta = &record;
+    }
+  }
+  if (last_meta == nullptr) {
+    return Status::Corruption("no topology record in config journal: " +
+                              config_path);
+  }
+  const Result<bson::Document> meta_doc = bson::DecodeBson(last_meta->payload);
+  if (!meta_doc.ok()) return meta_doc.status();
+  Result<ClusterMeta> meta = ParseClusterMetadata(*meta_doc);
+  if (!meta.ok()) return meta.status();
+
+  ClusterOptions opts = options;
+  opts.num_shards = meta->num_shards;
+  auto cluster = std::make_unique<Cluster>(opts);
+  // Suppresses the fresh-WAL init inside ShardCollection — recovery
+  // attaches WALs itself, with their history intact.
+  cluster->durability_attached_ = true;
+
+  Status s = cluster->RestoreShardingState(meta->pattern,
+                                           std::move(meta->chunks),
+                                           std::move(meta->zones),
+                                           meta->secondary_indexes);
+  if (!s.ok()) return s;
+
+  for (auto& shard : cluster->shards_) {
+    const Status rs =
+        shard->Recover(d.data_dir + "/shard-" + std::to_string(shard->id()),
+                       d.wal, d.checkpoint_wal_bytes);
+    if (!rs.ok()) return rs;
+  }
+
+  // Orphan sweep (see above). The removes go through the normal durable
+  // path, so the sweep itself survives a crash-during-recovery.
+  {
+    const std::unique_lock<std::shared_mutex> topo(cluster->topology_mu_);
+    STIX_METRIC_COUNTER(orphans, "recovery.orphans_swept");
+    for (auto& shard : cluster->shards_) {
+      std::vector<storage::RecordId> doomed;
+      shard->collection().records().ForEach(
+          [&](storage::RecordId rid, const bson::Document& doc) {
+            const std::string key = cluster->pattern_.KeyOf(doc);
+            const Chunk& chunk =
+                cluster->chunks_->chunk(cluster->chunks_->FindChunkIndex(key));
+            if (chunk.shard_id != shard->id()) doomed.push_back(rid);
+          });
+      for (const storage::RecordId rid : doomed) {
+        if (Status rs = shard->Remove(rid); !rs.ok()) return rs;
+      }
+      if (!doomed.empty()) {
+        orphans.Increment(doomed.size());
+        shard->OnDataDistributionChanged();
+      }
+    }
+  }
+
+  // Reopen the config journal for new topology writes (truncating any torn
+  // tail past the record we just recovered from).
+  storage::WalOptions config_opts;
+  config_opts.sync_every_commits = 1;
+  Result<std::unique_ptr<storage::WriteAheadLog>> wal =
+      storage::WriteAheadLog::Open(config_path, config_opts, /*fresh=*/false);
+  if (!wal.ok()) return wal.status();
+  cluster->config_wal_ = std::move(*wal);
+  STIX_METRIC_COUNTER(recoveries, "recovery.cluster_recoveries");
+  recoveries.Increment();
+  return cluster;
+}
+
+}  // namespace stix::cluster

@@ -4,7 +4,9 @@
 #include <mutex>
 #include <sstream>
 
+#include "bson/codec.h"
 #include "common/failpoint.h"
+#include "common/fs.h"
 #include "common/metrics.h"
 
 namespace stix::cluster {
@@ -90,6 +92,15 @@ Result<storage::RecordId> Shard::Insert(bson::Document doc) {
   return InsertLocked(std::move(doc));
 }
 
+Status Shard::LogLocked(storage::WalRecordType type, storage::RecordId rid,
+                        std::string_view payload) {
+  if (Result<uint64_t> a = wal_->Append(type, rid, payload); !a.ok()) {
+    return a.status();
+  }
+  const Result<uint64_t> lsn = wal_->Commit();
+  return lsn.ok() ? Status::OK() : lsn.status();
+}
+
 Result<storage::RecordId> Shard::InsertLocked(bson::Document doc) {
   const storage::RecordId rid = collection_.records().Insert(std::move(doc));
   const bson::Document* stored = collection_.records().Get(rid);
@@ -98,8 +109,20 @@ Result<storage::RecordId> Shard::InsertLocked(bson::Document doc) {
     collection_.records().Remove(rid);
     return s;
   }
+  if (wal_ != nullptr) {
+    const Status ws = LogLocked(storage::WalRecordType::kInsert, rid,
+                                bson::EncodeBson(*stored));
+    if (!ws.ok()) {
+      // Never durable: undo the in-memory apply so the caller's error means
+      // "nothing happened" — the unacked-atomic half of the crash oracle.
+      (void)catalog_.OnRemove(*stored, rid);
+      collection_.records().Remove(rid);
+      return ws;
+    }
+  }
   stats_.Observe(query::stats::ExtractStatsValues(*stored, StatsGeoHash()),
                  +1);
+  if (wal_ != nullptr) MaybeCheckpointLocked();
   return rid;
 }
 
@@ -113,11 +136,162 @@ Status Shard::RemoveLocked(storage::RecordId rid) {
   if (doc == nullptr) {
     return Status::NotFound("record " + std::to_string(rid));
   }
+  bson::Document undo_copy;
+  if (wal_ != nullptr) undo_copy = *doc;
   const Status s = catalog_.OnRemove(*doc, rid);
   if (!s.ok()) return s;
   stats_.Observe(query::stats::ExtractStatsValues(*doc, StatsGeoHash()), -1);
   collection_.records().Remove(rid);
+  if (wal_ != nullptr) {
+    const Status ws = LogLocked(storage::WalRecordType::kRemove, rid, {});
+    if (!ws.ok()) {
+      // Undo so an error means "the record is still there".
+      (void)collection_.records().RestoreAt(rid, std::move(undo_copy));
+      const bson::Document* restored = collection_.records().Get(rid);
+      (void)catalog_.OnInsert(*restored, rid);
+      stats_.Observe(
+          query::stats::ExtractStatsValues(*restored, StatsGeoHash()), +1);
+      return ws;
+    }
+    MaybeCheckpointLocked();
+  }
   return Status::OK();
+}
+
+Status Shard::AttachWal(const std::string& dir, storage::WalOptions options,
+                        uint64_t checkpoint_wal_bytes, bool fresh) {
+  if (Status s = CreateDirs(dir); !s.ok()) return s;
+  Result<std::unique_ptr<storage::WriteAheadLog>> wal =
+      storage::WriteAheadLog::Open(dir + "/wal.log", options, fresh);
+  if (!wal.ok()) return wal.status();
+  const std::unique_lock<std::shared_mutex> lock = LockExclusive(data_mu_);
+  wal_ = std::move(*wal);
+  dir_ = dir;
+  checkpoint_wal_bytes_ = checkpoint_wal_bytes;
+  return Status::OK();
+}
+
+Status Shard::Checkpoint() {
+  const std::unique_lock<std::shared_mutex> lock = LockExclusive(data_mu_);
+  return CheckpointLocked();
+}
+
+Status Shard::CheckpointLocked() {
+  if (wal_ == nullptr) return Status::OK();
+  if (Status s = wal_->Sync(); !s.ok()) return s;
+  const uint64_t lsn = wal_->last_commit_lsn();
+  std::vector<storage::IndexDump> dumps;
+  dumps.reserve(catalog_.indexes().size());
+  for (const auto& idx : catalog_.indexes()) {
+    dumps.push_back(storage::IndexDump{idx->descriptor().name(),
+                                       idx->is_multikey(), &idx->btree()});
+  }
+  if (Status s = storage::WriteCheckpoint(collection_, dumps, lsn, dir_);
+      !s.ok()) {
+    // A failed checkpoint (crash point or IO error) leaves at worst a
+    // `.tmp`; acked writes stay covered by the prior checkpoint + the
+    // untruncated WAL. Kill the log so this process takes no more writes.
+    wal_->Kill();
+    return s;
+  }
+  ckpt_lsn_ = lsn;
+  // The WAL only shrinks after the checkpoint is durably renamed in —
+  // crash between the two just replays records the checkpoint already
+  // holds, which the ckpt_lsn filter in Recover skips.
+  if (Status s = wal_->Truncate(); !s.ok()) return s;
+  storage::RemoveStaleCheckpoints(dir_, lsn);
+  return Status::OK();
+}
+
+void Shard::MaybeCheckpointLocked() {
+  if (checkpoint_wal_bytes_ == 0 || wal_ == nullptr || wal_->dead()) return;
+  if (wal_->log_bytes() < checkpoint_wal_bytes_) return;
+  // The triggering write is already durable and acknowledged; a checkpoint
+  // failure must not retroactively fail it.
+  (void)CheckpointLocked();
+}
+
+Status Shard::Recover(const std::string& dir, storage::WalOptions options,
+                      uint64_t checkpoint_wal_bytes) {
+  const std::unique_lock<std::shared_mutex> lock = LockExclusive(data_mu_);
+  dir_ = dir;
+  checkpoint_wal_bytes_ = checkpoint_wal_bytes;
+
+  // Newest intact checkpoint wins; a damaged one falls back to the next
+  // older (its WAL coverage is still complete — the log is only truncated
+  // after a successful rename).
+  uint64_t ckpt_lsn = 0;
+  for (const storage::CheckpointRef& ref : storage::ListCheckpoints(dir)) {
+    Result<storage::CheckpointImage> image = storage::LoadCheckpoint(ref.path);
+    if (!image.ok()) continue;
+    collection_ = std::move(image->collection);
+    for (storage::CheckpointIndexImage& idx : image->indexes) {
+      index::Index* index = catalog_.Get(idx.name);
+      if (index == nullptr) {
+        return Status::Corruption("checkpoint names unknown index: " +
+                                  idx.name);
+      }
+      for (auto& [key, rid] : idx.entries) index->btree().Insert(key, rid);
+      index->set_multikey(idx.multikey);
+    }
+    ckpt_lsn = image->lsn;
+    break;
+  }
+  ckpt_lsn_ = ckpt_lsn;
+
+  const Result<storage::WalScan> scan = storage::ReadWal(dir + "/wal.log");
+  if (!scan.ok()) return scan.status();
+  for (const storage::WalRecord& record : scan->committed) {
+    if (record.lsn <= ckpt_lsn) continue;  // already inside the checkpoint
+    switch (record.type) {
+      case storage::WalRecordType::kInsert: {
+        Result<bson::Document> doc = bson::DecodeBson(record.payload);
+        if (!doc.ok()) return doc.status();
+        if (Status s =
+                collection_.records().RestoreAt(record.rid, std::move(*doc));
+            !s.ok()) {
+          return s;
+        }
+        const bson::Document* stored = collection_.records().Get(record.rid);
+        if (Status s = catalog_.OnInsert(*stored, record.rid); !s.ok()) {
+          return s;
+        }
+        break;
+      }
+      case storage::WalRecordType::kRemove: {
+        const bson::Document* doc = collection_.records().Get(record.rid);
+        if (doc == nullptr) break;  // removing an already-gone record is ok
+        if (Status s = catalog_.OnRemove(*doc, record.rid); !s.ok()) return s;
+        collection_.records().Remove(record.rid);
+        break;
+      }
+      default:
+        return Status::Corruption("unexpected record type in shard wal");
+    }
+  }
+
+  // Histograms resample from the recovered data on first query.
+  stats_.MarkStale();
+  plan_cache_.InvalidateAll();
+
+  Result<std::unique_ptr<storage::WriteAheadLog>> wal =
+      storage::WriteAheadLog::Open(dir + "/wal.log", options,
+                                   /*fresh=*/false);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(*wal);
+  // The log was truncated at the checkpoint, so Open resumed its LSNs from
+  // whatever tail remained — possibly nothing. Lift the counter past the
+  // checkpoint horizon, or new writes would reuse LSNs the next recovery's
+  // `lsn <= ckpt_lsn` filter skips.
+  wal_->EnsureLsnPast(ckpt_lsn);
+  STIX_METRIC_COUNTER(recoveries, "shard.recoveries");
+  recoveries.Increment();
+  return Status::OK();
+}
+
+Status Shard::SyncWal() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
 }
 
 const geo::GeoHash* Shard::StatsGeoHash() const {

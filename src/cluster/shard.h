@@ -11,7 +11,9 @@
 #include "query/explain.h"
 #include "query/plan_cache.h"
 #include "query/stats/shard_stats.h"
+#include "storage/checkpoint.h"
 #include "storage/collection.h"
+#include "storage/wal.h"
 
 namespace stix::cluster {
 
@@ -222,6 +224,41 @@ class Shard {
   Result<storage::RecordId> InsertLocked(bson::Document doc);
   Status RemoveLocked(storage::RecordId rid);
 
+  // ---- Durability ----
+  //
+  // With a WAL attached every Insert/Remove is logged and committed before
+  // it is acknowledged; without one the shard is the original in-memory
+  // store. Recovery = last intact checkpoint + WAL replay to the commit
+  // horizon (see DESIGN.md §5i).
+
+  /// Attaches a write-ahead log living at `dir`/wal.log. `fresh` starts an
+  /// empty log (brand-new store); otherwise the existing log is opened and
+  /// its torn tail truncated (use after Recover). A non-zero
+  /// `checkpoint_wal_bytes` auto-checkpoints whenever the log grows past it.
+  Status AttachWal(const std::string& dir, storage::WalOptions options,
+                   uint64_t checkpoint_wal_bytes, bool fresh);
+
+  /// Persists the collection + all indexes as a checkpoint at the WAL's
+  /// current commit horizon, then truncates the WAL and deletes older
+  /// checkpoints. No-op without a WAL.
+  Status Checkpoint();
+  /// Checkpoint body for callers already holding data_mutex() exclusively.
+  Status CheckpointLocked();
+
+  /// Rebuilds this shard's state from `dir`: loads the newest intact
+  /// checkpoint (falling back to older ones on damage), replays committed
+  /// WAL records past the checkpoint's LSN, discards the torn tail, and
+  /// reattaches the WAL for new writes. Must run after the shard's indexes
+  /// are declared (empty) and before any insert.
+  Status Recover(const std::string& dir, storage::WalOptions options,
+                 uint64_t checkpoint_wal_bytes);
+
+  /// Flushes any buffered group-commit window to the log file.
+  Status SyncWal();
+
+  storage::WriteAheadLog* wal() { return wal_.get(); }
+  bool durable() const { return wal_ != nullptr; }
+
  private:
   // Cursors share the shard's plan cache, like getMore continuations share
   // mongod's.
@@ -231,9 +268,22 @@ class Shard {
   /// location histogram observes (it must match what the index keys store).
   const geo::GeoHash* StatsGeoHash() const;
 
+  /// Stages + commits one record; the insert/remove undo paths hang off the
+  /// returned status.
+  Status LogLocked(storage::WalRecordType type, storage::RecordId rid,
+                   std::string_view payload);
+  /// Auto-checkpoint trigger; failures don't fail the triggering write (it
+  /// is already durable) — a failed checkpoint kills the WAL instead.
+  void MaybeCheckpointLocked();
+
   int id_;
   storage::Collection collection_;
   index::IndexCatalog catalog_;
+  // Durability (null/empty when the shard runs in-memory only).
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  std::string dir_;
+  uint64_t checkpoint_wal_bytes_ = 0;
+  uint64_t ckpt_lsn_ = 0;
   // Guards collection_ + catalog_ (see class comment). The plan cache and
   // metrics lock themselves.
   mutable std::shared_mutex data_mu_;

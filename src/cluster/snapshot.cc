@@ -94,7 +94,9 @@ Result<Chunk> ChunkFromDoc(const bson::Document& doc) {
   return c;
 }
 
-bson::Document MetadataDoc(const Cluster& cluster) {
+}  // namespace
+
+bson::Document ClusterMetadataDoc(const Cluster& cluster) {
   bson::Document meta;
   meta.Append("numShards", bson::Value::Int32(cluster.num_shards()));
 
@@ -152,6 +154,59 @@ bson::Document MetadataDoc(const Cluster& cluster) {
   return meta;
 }
 
+Result<ClusterMeta> ParseClusterMetadata(const bson::Document& meta) {
+  const bson::Value* num_shards = meta.Get("numShards");
+  const bson::Value* key_paths = meta.Get("shardKeyPaths");
+  const bson::Value* hashed = meta.Get("hashed");
+  const bson::Value* chunks_v = meta.Get("chunks");
+  const bson::Value* zones_v = meta.Get("zones");
+  const bson::Value* indexes_v = meta.Get("indexes");
+  if (num_shards == nullptr || key_paths == nullptr || hashed == nullptr ||
+      chunks_v == nullptr || zones_v == nullptr || indexes_v == nullptr) {
+    return Status::Corruption("cluster metadata incomplete");
+  }
+
+  ClusterMeta out;
+  out.num_shards = num_shards->AsInt32();
+
+  std::vector<std::string> paths;
+  for (const bson::Value& p : key_paths->AsArray()) {
+    paths.push_back(p.AsString());
+  }
+  out.pattern = ShardKeyPattern(std::move(paths),
+                                hashed->AsBool() ? ShardingStrategy::kHashed
+                                                 : ShardingStrategy::kRange);
+
+  for (const bson::Value& c : chunks_v->AsArray()) {
+    Result<Chunk> chunk = ChunkFromDoc(c.AsDocument());
+    if (!chunk.ok()) return chunk.status();
+    out.chunks.push_back(std::move(*chunk));
+  }
+  for (const bson::Value& z : zones_v->AsArray()) {
+    const bson::Document& zd = z.AsDocument();
+    out.zones.push_back(ZoneRange{zd.Get("min")->AsString(),
+                                  zd.Get("max")->AsString(),
+                                  zd.Get("shard")->AsInt32()});
+  }
+  for (const bson::Value& i : indexes_v->AsArray()) {
+    const bson::Document& id = i.AsDocument();
+    std::vector<index::IndexField> fields;
+    for (const bson::Value& f : id.Get("fields")->AsArray()) {
+      const bson::Document& fd = f.AsDocument();
+      fields.push_back(index::IndexField{
+          fd.Get("path")->AsString(),
+          fd.Get("geo")->AsBool() ? index::IndexFieldKind::k2dsphere
+                                  : index::IndexFieldKind::kAscending});
+    }
+    out.secondary_indexes.emplace_back(id.Get("name")->AsString(),
+                                       std::move(fields),
+                                       id.Get("geohashBits")->AsInt32());
+  }
+  return out;
+}
+
+namespace {
+
 void WriteBlock(const std::string& raw, std::ostream* out) {
   const std::string compressed = LzCompress(raw);
   PutU32(static_cast<uint32_t>(raw.size()), out);
@@ -171,7 +226,7 @@ Status SaveSnapshot(const Cluster& cluster, const std::string& path) {
   out.write(kMagic, sizeof(kMagic));
   PutU32(kVersion, &out);
 
-  const std::string meta = bson::EncodeBson(MetadataDoc(cluster));
+  const std::string meta = bson::EncodeBson(ClusterMetadataDoc(cluster));
   PutU32(static_cast<uint32_t>(meta.size()), &out);
   PutU64(Fnv1a(meta), &out);
   out.write(meta.data(), static_cast<std::streamsize>(meta.size()));
@@ -226,63 +281,19 @@ Result<std::unique_ptr<Cluster>> LoadSnapshot(const std::string& path,
   if (Fnv1a(meta_bytes) != meta_checksum) {
     return Status::Corruption("snapshot metadata checksum mismatch");
   }
-  const Result<bson::Document> meta = bson::DecodeBson(meta_bytes);
+  const Result<bson::Document> meta_doc = bson::DecodeBson(meta_bytes);
+  if (!meta_doc.ok()) return meta_doc.status();
+  Result<ClusterMeta> meta = ParseClusterMetadata(*meta_doc);
   if (!meta.ok()) return meta.status();
 
-  const bson::Value* num_shards = meta->Get("numShards");
-  const bson::Value* key_paths = meta->Get("shardKeyPaths");
-  const bson::Value* hashed = meta->Get("hashed");
-  const bson::Value* chunks_v = meta->Get("chunks");
-  const bson::Value* zones_v = meta->Get("zones");
-  const bson::Value* indexes_v = meta->Get("indexes");
-  if (num_shards == nullptr || key_paths == nullptr || hashed == nullptr ||
-      chunks_v == nullptr || zones_v == nullptr || indexes_v == nullptr) {
-    return Status::Corruption("snapshot metadata incomplete");
-  }
-
   ClusterOptions restored_options = options;
-  restored_options.num_shards = num_shards->AsInt32();
-
-  std::vector<std::string> paths;
-  for (const bson::Value& p : key_paths->AsArray()) {
-    paths.push_back(p.AsString());
-  }
-  const ShardKeyPattern pattern(std::move(paths),
-                                hashed->AsBool()
-                                    ? ShardingStrategy::kHashed
-                                    : ShardingStrategy::kRange);
-
-  std::vector<Chunk> chunk_table;
-  for (const bson::Value& c : chunks_v->AsArray()) {
-    Result<Chunk> chunk = ChunkFromDoc(c.AsDocument());
-    if (!chunk.ok()) return chunk.status();
-    chunk_table.push_back(std::move(*chunk));
-  }
-  std::vector<ZoneRange> zones;
-  for (const bson::Value& z : zones_v->AsArray()) {
-    const bson::Document& zd = z.AsDocument();
-    zones.push_back(ZoneRange{zd.Get("min")->AsString(),
-                              zd.Get("max")->AsString(),
-                              zd.Get("shard")->AsInt32()});
-  }
-  std::vector<index::IndexDescriptor> secondary;
-  for (const bson::Value& i : indexes_v->AsArray()) {
-    const bson::Document& id = i.AsDocument();
-    std::vector<index::IndexField> fields;
-    for (const bson::Value& f : id.Get("fields")->AsArray()) {
-      const bson::Document& fd = f.AsDocument();
-      fields.push_back(index::IndexField{
-          fd.Get("path")->AsString(),
-          fd.Get("geo")->AsBool() ? index::IndexFieldKind::k2dsphere
-                                  : index::IndexFieldKind::kAscending});
-    }
-    secondary.emplace_back(id.Get("name")->AsString(), std::move(fields),
-                           id.Get("geohashBits")->AsInt32());
-  }
+  restored_options.num_shards = meta->num_shards;
 
   auto cluster = std::make_unique<Cluster>(restored_options);
-  Status s = cluster->RestoreShardingState(pattern, std::move(chunk_table),
-                                           std::move(zones), secondary);
+  Status s = cluster->RestoreShardingState(meta->pattern,
+                                           std::move(meta->chunks),
+                                           std::move(meta->zones),
+                                           meta->secondary_indexes);
   if (!s.ok()) return s;
 
   // Per-shard document streams.

@@ -8,6 +8,24 @@
 
 namespace stix::cluster {
 
+/// A cluster's sharding metadata, decoded from its BSON form: everything
+/// needed to rebuild topology before any document arrives. Shared by the
+/// snapshot format and the durable config journal (kConfigMeta records).
+struct ClusterMeta {
+  int num_shards = 0;
+  ShardKeyPattern pattern;
+  std::vector<Chunk> chunks;
+  std::vector<ZoneRange> zones;
+  std::vector<index::IndexDescriptor> secondary_indexes;
+};
+
+/// Encodes a cluster's sharding metadata (shard count, key pattern, chunk
+/// table, zones, secondary index declarations) as one BSON document.
+bson::Document ClusterMetadataDoc(const Cluster& cluster);
+
+/// Inverse of ClusterMetadataDoc; Corruption on missing fields.
+Result<ClusterMeta> ParseClusterMetadata(const bson::Document& meta);
+
 /// Binary snapshot of a whole cluster: shard-key pattern, chunk table,
 /// zones, index declarations and every shard's documents, written as
 /// LZ-compressed, checksummed blocks of BSON. Restoring reproduces the

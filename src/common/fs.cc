@@ -1,0 +1,98 @@
+#include "common/fs.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <random>
+
+namespace stix {
+namespace fs = std::filesystem;
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec && !fs::is_directory(path)) {
+    return Status::Internal("create_directories(" + path +
+                            "): " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) {
+    return Status::Internal("remove_all(" + path + "): " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) {
+    return Status::Internal("remove(" + path + "): " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::Internal("rename(" + from + " -> " + to +
+                            "): " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status ResizeFile(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  if (ec) {
+    return Status::Internal("resize_file(" + path + "): " + ec.message());
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) return Status::NotFound("file_size(" + path + "): " + ec.message());
+  return size;
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return out;
+  for (const fs::directory_entry& entry : it) {
+    std::error_code type_ec;
+    if (entry.is_regular_file(type_ec)) out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::string> MakeTempDir(const std::string& prefix) {
+  std::random_device rd;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint64_t nonce =
+        (static_cast<uint64_t>(rd()) << 32) ^ static_cast<uint64_t>(rd());
+    const fs::path candidate = fs::temp_directory_path() /
+                               (prefix + "_" + std::to_string(nonce));
+    std::error_code ec;
+    if (fs::create_directory(candidate, ec) && !ec) {
+      return candidate.string();
+    }
+  }
+  return Status::Internal("could not create a unique temp dir for prefix " +
+                          prefix);
+}
+
+}  // namespace stix

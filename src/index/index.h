@@ -28,6 +28,11 @@ class Index {
   /// MongoDB's multikey indexes do.
   bool is_multikey() const { return multikey_; }
 
+  /// Restores the persisted multikey flag when the tree is rebuilt from a
+  /// checkpoint image (entries alone cannot reveal it: a multikey doc's
+  /// keys look like any other duplicates).
+  void set_multikey(bool multikey) { multikey_ = multikey; }
+
   Status InsertDocument(const bson::Document& doc, storage::RecordId rid) {
     Result<std::vector<std::string>> keys = keygen_.MakeKeys(doc);
     if (!keys.ok()) return keys.status();

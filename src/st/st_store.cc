@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
+
+#include "bson/codec.h"
+#include "common/metrics.h"
 
 namespace stix::st {
 namespace {
@@ -43,29 +47,46 @@ std::string StExplain::ToJson() const {
 }
 
 StStore::StStore(const StStoreOptions& options)
-    : options_(ResolveOptions(options)),
+    : StStore(ResolveOptions(options), nullptr) {}
+
+StStore::StStore(StStoreOptions resolved,
+                 std::unique_ptr<cluster::Cluster> cluster)
+    : options_(std::move(resolved)),
       approach_(options_.approach),
-      cluster_(options_.cluster),
+      cluster_(cluster != nullptr
+                   ? std::move(cluster)
+                   : std::make_unique<cluster::Cluster>(options_.cluster)),
       id_generator_(options_.cluster.seed ^ 0x1d5ULL) {
   if (options_.bucket.has_value()) {
     catalog_ = std::make_unique<storage::BucketCatalog>(
         *options_.bucket, storage::BucketCatalogOptions{},
         [this](bson::Document bucket) {
-          return cluster_.Insert(std::move(bucket));
+          return cluster_->Insert(std::move(bucket));
         });
   }
 }
 
+Status StStore::OpenCatalogJournal(bool fresh) {
+  const std::string& dir = options_.cluster.durability.data_dir;
+  if (dir.empty() || catalog_ == nullptr) return Status::OK();
+  Result<std::unique_ptr<storage::WriteAheadLog>> wal =
+      storage::WriteAheadLog::Open(dir + "/catalog.wal",
+                                   options_.cluster.durability.wal, fresh);
+  if (!wal.ok()) return wal.status();
+  journal_ = std::move(*wal);
+  return Status::OK();
+}
+
 Status StStore::Setup() {
-  Status s = cluster_.ShardCollection(approach_.shard_key());
+  Status s = cluster_->ShardCollection(approach_.shard_key());
   if (!s.ok()) return s;
   // Bucketed stores skip the per-point secondary indexes: stored documents
   // are buckets keyed by window start (and cell base), which the shard-key
   // index already serves; a 2dsphere index over compressed columns would
   // index nothing useful.
-  if (bucketed()) return Status::OK();
+  if (bucketed()) return OpenCatalogJournal(/*fresh=*/true);
   for (const index::IndexDescriptor& desc : approach_.secondary_indexes()) {
-    s = cluster_.CreateIndex(desc);
+    s = cluster_->CreateIndex(desc);
     if (!s.ok()) return s;
   }
   return Status::OK();
@@ -87,24 +108,129 @@ Status StStore::Insert(bson::Document doc) {
   }
   const Status s = approach_.EnrichDocument(&doc);
   if (!s.ok()) return s;
-  if (catalog_ != nullptr) return catalog_->Add(std::move(doc));
-  return cluster_.Insert(std::move(doc));
+  if (catalog_ != nullptr) {
+    if (journal_ == nullptr) return catalog_->Add(std::move(doc));
+    // Durable bucketed path: the point must be on disk (catalog journal)
+    // before it is acknowledged — it may sit in an open in-memory bucket
+    // long past this call. journal_mu_ spans journal write AND catalog add
+    // so a concurrent FlushBuckets cannot truncate the journal in between.
+    const std::lock_guard<std::mutex> lock(journal_mu_);
+    const Result<uint64_t> lsn = journal_->Append(
+        storage::WalRecordType::kCatalogAdd, 0, bson::EncodeBson(doc));
+    if (!lsn.ok()) return lsn.status();
+    if (Result<uint64_t> c = journal_->Commit(); !c.ok()) return c.status();
+    return catalog_->Add(std::move(doc), *lsn);
+  }
+  return cluster_->Insert(std::move(doc));
 }
 
 Status StStore::FinishLoad() {
   const Status s = FlushBuckets();
   if (!s.ok()) return s;
-  cluster_.Balance();
+  cluster_->Balance();
   return Status::OK();
 }
 
 Status StStore::FlushBuckets() const {
   if (catalog_ == nullptr) return Status::OK();
-  return catalog_->FlushAll();
+  if (journal_ == nullptr) return catalog_->FlushAll();
+  const std::lock_guard<std::mutex> lock(journal_mu_);
+  if (Status s = catalog_->FlushAll(); !s.ok()) return s;
+  // Every journaled point now lives in a flushed bucket, durable in some
+  // shard's own WAL — once those are synced the catalog journal is
+  // redundant and can be dropped. A dead journal (simulated crash) is left
+  // alone so query paths keep working on the in-memory state.
+  if (catalog_->points_buffered() != 0 || journal_->dead()) {
+    return Status::OK();
+  }
+  if (Status s = cluster_->SyncWals(); !s.ok()) return s;
+  return journal_->Truncate();
+}
+
+Status StStore::Checkpoint() {
+  if (Status s = FlushBuckets(); !s.ok()) return s;
+  return cluster_->Checkpoint();
 }
 
 Status StStore::ConfigureZones() {
-  return cluster_.SetZonesByBucketAuto(approach_.zone_path());
+  return cluster_->SetZonesByBucketAuto(approach_.zone_path());
+}
+
+Result<std::unique_ptr<StStore>> StStore::Recover(
+    const StStoreOptions& options) {
+  StStoreOptions resolved = ResolveOptions(options);
+  Result<std::unique_ptr<cluster::Cluster>> recovered =
+      cluster::RecoverCluster(resolved.cluster);
+  if (!recovered.ok()) return recovered.status();
+  std::unique_ptr<StStore> store(
+      new StStore(std::move(resolved), std::move(*recovered)));
+
+  // Resume the _id load clock past everything that survived, and — on
+  // bucketed layouts — collect the journal LSNs already covered by flushed
+  // buckets sitting in the shards.
+  uint64_t recovered_points = 0;
+  std::unordered_set<uint64_t> covered;
+  uint64_t max_covered_lsn = 0;
+  for (const auto& shard : store->cluster_->shards()) {
+    shard->collection().records().ForEach(
+        [&](storage::RecordId, const bson::Document& doc) {
+          if (!storage::IsBucketDocument(doc)) {
+            ++recovered_points;
+            return;
+          }
+          const Result<storage::BucketMeta> meta =
+              storage::ParseBucketMeta(doc);
+          if (meta.ok()) recovered_points += meta->num_points;
+          const bson::Value* lsns = doc.Get(storage::kBucketWalLsnsField);
+          if (lsns == nullptr || lsns->type() != bson::Type::kArray) return;
+          for (const bson::Value& v : lsns->AsArray()) {
+            if (v.type() == bson::Type::kInt64) {
+              const uint64_t lsn = static_cast<uint64_t>(v.AsInt64());
+              covered.insert(lsn);
+              max_covered_lsn = std::max(max_covered_lsn, lsn);
+            }
+          }
+        });
+  }
+
+  if (store->catalog_ != nullptr) {
+    // Replay the catalog journal: acknowledged points that never reached a
+    // flushed bucket re-enter the catalog under their original LSNs (the
+    // journal still holds them — it only truncates once fully covered).
+    const std::string journal_path =
+        store->options_.cluster.durability.data_dir + "/catalog.wal";
+    const Result<storage::WalScan> scan = storage::ReadWal(journal_path);
+    if (!scan.ok()) return scan.status();
+    uint64_t replayed = 0;
+    for (const storage::WalRecord& record : scan->committed) {
+      if (record.type != storage::WalRecordType::kCatalogAdd) {
+        return Status::Corruption("unexpected record type in catalog journal");
+      }
+      if (covered.count(record.lsn) != 0) continue;
+      Result<bson::Document> doc = bson::DecodeBson(record.payload);
+      if (!doc.ok()) return doc.status();
+      if (Status s = store->catalog_->Add(std::move(*doc), record.lsn);
+          !s.ok()) {
+        return s;
+      }
+      ++replayed;
+    }
+    recovered_points += replayed;
+    STIX_METRIC_COUNTER(points, "recovery.catalog_points_replayed");
+    points.Increment(replayed);
+    if (Status s = store->OpenCatalogJournal(/*fresh=*/false); !s.ok()) {
+      return s;
+    }
+    // The journal may have been truncated (every point covered) right
+    // before the crash, which restarts its LSN numbering — but the flushed
+    // bucket documents still reference the old LSNs in their wlsns arrays.
+    // Lift the counter past everything they cover, or new journal records
+    // would reuse covered LSNs and be skipped by the next recovery.
+    store->journal_->EnsureLsnPast(max_covered_lsn);
+  }
+
+  store->inserted_ = recovered_points;
+  return store;
 }
 
 StCursor::StCursor(TranslatedQuery translated,
@@ -148,7 +274,7 @@ size_t StStore::CoverBudgetFor(const geo::Rect& rect, int64_t t_begin_ms,
                                int64_t t_end_ms) const {
   if (!approach_.uses_hilbert()) return 0;
   const double time_fraction =
-      cluster_.EstimateFraction(kDateField, t_begin_ms, t_end_ms);
+      cluster_->EstimateFraction(kDateField, t_begin_ms, t_end_ms);
   if (time_fraction < 0.0) return approach_.PickCoverBudget(-1.0);
   const geo::Rect& domain = approach_.hilbert()->grid().domain();
   geo::Rect clipped;
@@ -171,7 +297,7 @@ StCursor StStore::OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
   TranslatedQuery translated =
       approach_.TranslateQuery(rect, t_begin_ms, t_end_ms,
                                CoverBudgetFor(rect, t_begin_ms, t_end_ms));
-  std::unique_ptr<cluster::ClusterCursor> cursor = cluster_.OpenCursor(
+  std::unique_ptr<cluster::ClusterCursor> cursor = cluster_->OpenCursor(
       translated.expr, ToClusterCursorOptions(cursor_options));
   return StCursor(std::move(translated), std::move(cursor));
 }
@@ -190,7 +316,7 @@ StExplain StStore::Explain(const geo::Rect& rect, int64_t t_begin_ms,
   explain.num_singletons = translated.num_singletons;
   explain.cover_cache_hit = translated.cache_hit;
   explain.cover_budget = translated.cover_budget;
-  explain.cluster = cluster_.Explain(translated.expr, verbosity);
+  explain.cluster = cluster_->Explain(translated.expr, verbosity);
   return explain;
 }
 
@@ -201,7 +327,7 @@ Result<uint64_t> StStore::Delete(const geo::Rect& rect, int64_t t_begin_ms,
   const TranslatedQuery translated =
       approach_.TranslateQuery(rect, t_begin_ms, t_end_ms,
                                CoverBudgetFor(rect, t_begin_ms, t_end_ms));
-  return cluster_.Delete(translated.expr);
+  return cluster_->Delete(translated.expr);
 }
 
 StQueryResult StStore::QueryPolygon(const geo::Polygon& polygon,
@@ -219,7 +345,7 @@ StCursor StStore::OpenPolygonQuery(const geo::Polygon& polygon,
   (void)FlushBuckets();
   TranslatedQuery translated =
       approach_.TranslatePolygonQuery(polygon, t_begin_ms, t_end_ms);
-  std::unique_ptr<cluster::ClusterCursor> cursor = cluster_.OpenCursor(
+  std::unique_ptr<cluster::ClusterCursor> cursor = cluster_->OpenCursor(
       translated.expr, ToClusterCursorOptions(cursor_options));
   return StCursor(std::move(translated), std::move(cursor));
 }
@@ -244,7 +370,7 @@ std::optional<double> StStore::MinBucketDistanceM(geo::Point center,
   cursor_options.batch_size = 0;
   cursor_options.raw_buckets = true;
   std::unique_ptr<cluster::ClusterCursor> cursor =
-      cluster_.OpenCursor(expr, cursor_options);
+      cluster_->OpenCursor(expr, cursor_options);
 
   std::optional<double> best;
   while (!cursor->exhausted()) {

@@ -9,6 +9,7 @@
 #include "cluster/cluster.h"
 #include "st/approach.h"
 #include "storage/bucket_catalog.h"
+#include "storage/wal.h"
 
 namespace stix::st {
 
@@ -110,15 +111,35 @@ class StStore {
   explicit StStore(const StStoreOptions& options);
 
   const Approach& approach() const { return approach_; }
-  cluster::Cluster& cluster() { return cluster_; }
-  const cluster::Cluster& cluster() const { return cluster_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+  const cluster::Cluster& cluster() const { return *cluster_; }
 
   /// The cluster's long-lived executor pool; every query fan-out reuses its
   /// warm threads (no per-query thread creation anywhere in the store).
-  ThreadPool& exec_pool() const { return cluster_.exec_pool(); }
+  ThreadPool& exec_pool() const { return cluster_->exec_pool(); }
 
-  /// Shards the collection and creates the approach's indexes.
+  /// Shards the collection and creates the approach's indexes. On a durable
+  /// store (cluster.durability.data_dir set) this also attaches the
+  /// per-shard WALs, the config journal and — for bucketed layouts — the
+  /// catalog journal at `<data_dir>/catalog.wal`, all starting fresh.
   Status Setup();
+
+  /// Reopens a durable store from its data directory after a crash or a
+  /// clean shutdown: recovers the cluster (config journal, per-shard
+  /// checkpoints + WAL replay, orphan sweep), then — for bucketed layouts —
+  /// replays the catalog journal, re-buffering every acknowledged point
+  /// that never reached a flushed bucket. `options` must match the ones the
+  /// store was Setup() with (approach, layout, data_dir).
+  static Result<std::unique_ptr<StStore>> Recover(
+      const StStoreOptions& options);
+
+  /// Durable stores: flushes buffered buckets, persists every shard's data
+  /// as a checkpoint (truncating its WAL) and compacts the config journal.
+  /// No-op (OK) otherwise.
+  Status Checkpoint();
+
+  /// True when writes are journaled (Setup saw a durability.data_dir).
+  bool durable() const { return cluster_->durable(); }
 
   /// Adds _id (driver-style) and hilbertIndex (if applicable), then routes
   /// the insert.
@@ -190,6 +211,14 @@ class StStore {
                                            int64_t t_end_ms) const;
 
  private:
+  /// Recovery path: `cluster` was rebuilt by cluster::RecoverCluster;
+  /// `resolved` already went through ResolveOptions.
+  StStore(StStoreOptions resolved, std::unique_ptr<cluster::Cluster> cluster);
+
+  /// Opens (or reopens) the catalog journal for a durable bucketed store;
+  /// no-op for row layouts or non-durable stores.
+  Status OpenCatalogJournal(bool fresh);
+
   /// Covering budget for one rect/time query (0 = exact covering): combines
   /// the cluster's histogram estimate of the time window's selectivity with
   /// the rect's area share of the curve domain (uniformity assumption —
@@ -200,11 +229,23 @@ class StStore {
 
   StStoreOptions options_;
   Approach approach_;
-  cluster::Cluster cluster_;
+  /// Owned pointer (not a value) so Recover can hand over a cluster rebuilt
+  /// by cluster::RecoverCluster — Cluster itself is not movable.
+  std::unique_ptr<cluster::Cluster> cluster_;
   /// Buffers live inserts into open buckets; flush hands encoded bucket
-  /// documents to cluster_.Insert. Declared after cluster_ (the flush
+  /// documents to cluster_->Insert. Declared after cluster_ (the flush
   /// callback captures it) and null for row stores.
   std::unique_ptr<storage::BucketCatalog> catalog_;
+  /// Durable bucketed stores: every point is journaled here (kCatalogAdd)
+  /// before it is acknowledged, closing the durability gap while the point
+  /// sits in an open in-memory bucket. Truncated once every buffered point
+  /// has reached a flushed bucket inside some shard's own WAL/checkpoint.
+  std::unique_ptr<storage::WriteAheadLog> journal_;
+  /// Orders (journal append+commit, catalog add) pairs against the
+  /// flush-then-truncate sequence in FlushBuckets — without it a point
+  /// could be journaled, buffered, and lost to a concurrent truncate.
+  /// Nests outside the catalog mutex (and therefore outside shard locks).
+  mutable std::mutex journal_mu_;
   // Guards the driver-side _id clock (id_generator_ + inserted_) so
   // concurrent writers draw unique ObjectIds; the cluster handles its own
   // locking downstream.

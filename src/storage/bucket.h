@@ -82,6 +82,11 @@ struct BucketMeta {
 /// full encoding).
 inline constexpr char kBucketMetaField[] = "meta";
 inline constexpr char kBucketDataField[] = "data";
+/// Durable stores only: Int64 array of the catalog-journal LSNs of the
+/// points packed into this bucket. Recovery intersects it with the catalog
+/// journal to find points that were acknowledged but never reached a
+/// flushed bucket. Absent on non-durable stores; ignored by the codec.
+inline constexpr char kBucketWalLsnsField[] = "wlsns";
 
 /// True iff this stored document is a bucket (carries the meta + data
 /// sub-documents with the codec's version stamp).

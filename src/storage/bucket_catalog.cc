@@ -30,7 +30,7 @@ BucketCatalog::BucketCatalog(BucketLayout layout, BucketCatalogOptions options,
   registry.GetGauge("bucket.open_buckets");
 }
 
-Status BucketCatalog::Add(bson::Document point) {
+Status BucketCatalog::Add(bson::Document point, uint64_t wal_lsn) {
   Result<BucketKey> key = ComputeBucketKey(point, layout_);
   if (!key.ok()) return key.status();
 
@@ -39,6 +39,7 @@ Status BucketCatalog::Add(bson::Document point) {
   bucket.raw_bytes += point.ApproxBsonSize();
   bucket.last_touch = ++tick_;
   bucket.points.push_back(std::move(point));
+  bucket.lsns.push_back(wal_lsn);
   ++points_open_;
   STIX_METRIC_GAUGE(open_gauge, "bucket.open_buckets");
   open_gauge.Set(static_cast<int64_t>(open_.size()));
@@ -79,6 +80,18 @@ Status BucketCatalog::FlushOneLocked(const BucketKey& key) {
 
   Result<bson::Document> bucket = EncodeBucket(it->second.points, layout_);
   if (!bucket.ok()) return bucket.status();
+  // Durable stores stamp the bucket with its points' journal LSNs so
+  // recovery knows these points survived in flushed form.
+  bool any_lsn = false;
+  for (const uint64_t lsn : it->second.lsns) any_lsn |= (lsn != 0);
+  if (any_lsn) {
+    bson::Array lsns;
+    lsns.reserve(it->second.lsns.size());
+    for (const uint64_t lsn : it->second.lsns) {
+      lsns.push_back(bson::Value::Int64(static_cast<int64_t>(lsn)));
+    }
+    bucket->Append(kBucketWalLsnsField, bson::Value::MakeArray(std::move(lsns)));
+  }
   const uint64_t encoded_bytes = bucket->ApproxBsonSize();
   const uint64_t raw_bytes = it->second.raw_bytes;
   const size_t num_points = it->second.points.size();

@@ -42,7 +42,11 @@ class BucketCatalog {
   const BucketLayout& layout() const { return layout_; }
 
   /// Buffers one point; may seal and flush this (or an evicted) bucket.
-  Status Add(bson::Document point);
+  /// `wal_lsn` (nonzero on durable stores) is the catalog-journal LSN that
+  /// acknowledged the point; the sealed bucket document carries the LSNs of
+  /// its points in a kBucketWalLsnsField array so recovery can tell which
+  /// journaled points already reached a flushed bucket.
+  Status Add(bson::Document point, uint64_t wal_lsn = 0);
 
   /// Seals and flushes every open bucket. Stops at the first error (the
   /// failed bucket and all later ones stay buffered).
@@ -55,6 +59,9 @@ class BucketCatalog {
  private:
   struct OpenBucket {
     std::vector<bson::Document> points;
+    /// Catalog-journal LSN per point; all-zero (and omitted from the
+    /// bucket document) on non-durable stores.
+    std::vector<uint64_t> lsns;
     uint64_t raw_bytes = 0;  ///< Sum of the points' ApproxBsonSize.
     uint64_t last_touch = 0;
   };

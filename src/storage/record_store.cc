@@ -27,6 +27,29 @@ bool RecordStore::Remove(RecordId id) {
   return true;
 }
 
+Status RecordStore::RestoreAt(RecordId id, bson::Document doc) {
+  if (id == kInvalidRecordId) {
+    return Status::InvalidArgument("cannot restore record id 0");
+  }
+  if (id > records_.size()) records_.resize(id);
+  auto& slot = records_[id - 1];
+  if (slot.has_value()) {
+    return Status::AlreadyExists("record id already live during restore");
+  }
+  logical_size_bytes_ += doc.ApproxBsonSize();
+  ++num_records_;
+  generation_.fetch_add(1, std::memory_order_release);
+  slot.emplace(std::move(doc));
+  return Status::OK();
+}
+
+void RecordStore::PadToRecordId(RecordId id) {
+  if (id > records_.size()) {
+    records_.resize(id);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+}
+
 void RecordStore::ForEach(
     const std::function<void(RecordId, const bson::Document&)>& fn) const {
   for (size_t i = 0; i < records_.size(); ++i) {

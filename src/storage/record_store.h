@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bson/document.h"
+#include "common/status.h"
 
 namespace stix::storage {
 
@@ -53,6 +54,17 @@ class RecordStore {
 
   /// Removes a record (used by chunk migration); false if already gone.
   bool Remove(RecordId id);
+
+  /// Re-creates a record at a specific id — checkpoint load and WAL replay
+  /// must reproduce the exact RecordIds the indexes point at. Grows the
+  /// store with tombstoned slots as needed; InvalidArgument for id 0,
+  /// AlreadyExists if the slot is live (a replay bug, not a data race).
+  Status RestoreAt(RecordId id, bson::Document doc);
+
+  /// Extends the store with tombstoned slots so max_record_id() reaches at
+  /// least `id` — recovery uses it to reproduce trailing removed slots, so
+  /// post-recovery inserts never reuse a RecordId the WAL already named.
+  void PadToRecordId(RecordId id);
 
   /// Visits live records in RecordId order (collection scan order).
   void ForEach(

@@ -1,10 +1,10 @@
-#include <cstdio>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
 #include "cluster/snapshot.h"
 #include "common/rng.h"
+#include "temp_dir.h"
 
 namespace stix::cluster {
 namespace {
@@ -14,11 +14,10 @@ using bson::Value;
 class SnapshotTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // Unique per test case: ctest -j runs cases as concurrent processes,
-    // and a shared file races the corruption tests against the load tests.
-    path_ = testing::TempDir() + "/stix_snapshot_" +
-            testing::UnitTest::GetInstance()->current_test_info()->name() +
-            ".snap";
+    // dir_ is unique per test case: ctest -j runs cases as concurrent
+    // processes, and a shared file races the corruption tests against the
+    // load tests.
+    path_ = dir_ / "cluster.snap";
     ClusterOptions options;
     options.num_shards = 3;
     options.chunk_max_bytes = 8 * 1024;
@@ -50,8 +49,7 @@ class SnapshotTest : public ::testing::Test {
     ASSERT_TRUE(source_->SetZonesByBucketAuto("hilbertIndex").ok());
   }
 
-  void TearDown() override { remove(path_.c_str()); }
-
+  stix::testing::TempDir dir_;
   std::string path_;
   std::unique_ptr<Cluster> source_;
 };
@@ -145,7 +143,8 @@ TEST_F(SnapshotTest, RejectsWrongMagicAndMissingFile) {
 }
 
 TEST(SnapshotHashedTest, PreservesHashedStrategy) {
-  const std::string path = testing::TempDir() + "/stix_snapshot_hashed.snap";
+  const stix::testing::TempDir dir;
+  const std::string path = dir / "hashed.snap";
   ClusterOptions options;
   options.num_shards = 2;
   Cluster source(options);
@@ -170,7 +169,6 @@ TEST(SnapshotHashedTest, PreservesHashedStrategy) {
   const query::ExprPtr eq =
       query::MakeCmp("date", query::CmpOp::kEq, Value::DateTime(5000));
   EXPECT_EQ((*restored)->TargetShards(eq).size(), 1u);
-  remove(path.c_str());
 }
 
 TEST_F(SnapshotTest, RejectsTruncatedFile) {

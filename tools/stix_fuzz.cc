@@ -46,6 +46,7 @@
 
 #include "bson/codec.h"
 #include "common/failpoint.h"
+#include "common/fs.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "st/st_store.h"
@@ -78,6 +79,12 @@ struct FuzzConfig {
   bool check_counters = false;
   /// Writer threads for the concurrent phase; 0 disables it.
   int threads = 0;
+  /// Crash-recovery mode: each seed runs a durable store in a scratch
+  /// directory, kills it at a sampled crash point mid-workload, recovers
+  /// from disk (twice — replay must be idempotent), and asserts the
+  /// acked-durable / unacked-atomic oracle over the recovered state. The
+  /// scratch directory is kept as a repro artifact when a seed diverges.
+  bool crash = false;
   /// Collection layout(s) under test: "row" (one document per point),
   /// "bucket" (compressed bucket documents), or "both" — which runs every
   /// check against both layouts *and* cross-checks them byte-for-byte.
@@ -155,9 +162,10 @@ struct SeedContext {
     }
     std::fprintf(stderr,
                  "REPRO: stix_fuzz --seed=%" PRIu64
-                 " --docs=%d --queries=%d --layout=%s --planner=%s%s\n",
+                 " --docs=%d --queries=%d --layout=%s --planner=%s%s%s\n",
                  seed, config->docs, config->queries, config->layout.c_str(),
-                 config->planner.c_str(), threads_arg);
+                 config->planner.c_str(), threads_arg,
+                 config->crash ? " --crash" : "");
   }
 };
 
@@ -736,8 +744,267 @@ bool CheckConcurrent(const std::vector<StStore*>& stores,
   return true;
 }
 
+// Crash-recovery phase (--crash): one durable store per seed, killed at a
+// sampled crash point mid-load, then recovered from disk. The oracle is the
+// durability contract rather than a query result:
+//
+//   acked ⊆ recovered ⊆ acked ∪ uncertain
+//
+// where `acked` is every insert that returned OK and `uncertain` is the
+// insert in flight when the store died — its journal record may or may not
+// have reached disk before the fault, so either outcome is legal; silently
+// losing an *acked* write or resurrecting a never-written fid is not.
+// Recovery must additionally be idempotent (a second recovery yields the
+// identical set), produce no duplicate fids, answer sub-rectangle queries
+// that agree with a brute-force oracle over the recovered set, and accept
+// new writes afterwards (including a balancer pass). The scratch directory
+// is deleted on success and kept as a repro artifact when the seed diverges.
+bool RunCrashSeed(uint64_t seed, const FuzzConfig& config) {
+  SeedContext ctx{seed, &config};
+  Rng rng(seed);
+  Rng data_rng = rng.Fork();
+  Rng knob_rng = rng.Fork();
+  Rng query_rng = rng.Fork();
+
+  geo::Rect mbr;
+  int64_t t0 = 0, span = 0;
+  const std::vector<FuzzDoc> docs =
+      GenerateDocs(&data_rng, config.docs, &mbr, &t0, &span);
+
+  const Result<std::string> dir = MakeTempDir("stix_fuzz_crash");
+  if (!dir.ok()) {
+    std::fprintf(stderr, "FATAL: temp dir: %s (seed=%" PRIu64 ")\n",
+                 dir.status().ToString().c_str(), seed);
+    ++ctx.divergences;
+    return false;
+  }
+
+  // Sampled deployment + crash site. Group commit (sync_every > 1) is fair
+  // game: the simulated crash flushes the acknowledged tail first, exactly
+  // like a process kill that lands after a successful fdatasync window.
+  const char* const kCrashPoints[] = {"walBeforeCommit", "walTornTail",
+                                      "walAfterCommitBeforeAck",
+                                      "checkpointMidWrite"};
+  const char* const crash_point = kCrashPoints[knob_rng.NextBounded(4)];
+  const bool bucketed = config.layout == "bucket" ||
+                        (config.layout == "both" && knob_rng.NextBool(0.5));
+
+  StStoreOptions options;
+  options.approach.kind = kApproaches[knob_rng.NextBounded(4)];
+  options.approach.hilbert_order =
+      4 + static_cast<int>(knob_rng.NextBounded(8));
+  options.approach.dataset_mbr = mbr;
+  options.cluster.num_shards = 2 + static_cast<int>(knob_rng.NextBounded(2));
+  options.cluster.chunk_max_bytes = 8192 + knob_rng.NextBounded(24 * 1024);
+  options.cluster.balance_every_inserts =
+      64 + static_cast<int>(knob_rng.NextBounded(256));
+  options.cluster.seed = seed;
+  options.cluster.durability.data_dir = *dir;
+  options.cluster.durability.wal.sync_every_commits =
+      knob_rng.NextBool(0.3) ? 4 : 1;
+  options.cluster.durability.checkpoint_wal_bytes =
+      16 * 1024 + knob_rng.NextBounded(64 * 1024);
+  if (bucketed) {
+    storage::BucketLayout layout;
+    const int64_t windows_ms[] = {15 * 60000LL, 3600000LL, 24 * 3600000LL};
+    layout.window_ms = windows_ms[knob_rng.NextBounded(3)];
+    layout.max_points = 8 + static_cast<uint32_t>(knob_rng.NextBounded(56));
+    options.bucket = layout;
+  }
+
+  // Crash somewhere in the last three quarters of the load, with one clean
+  // checkpoint at a random point before it (so recovery exercises both the
+  // checkpoint image and the WAL tail behind it).
+  const size_t quarter = docs.size() / 4;
+  const size_t crash_at =
+      quarter +
+      knob_rng.NextBounded(std::max<size_t>(1, docs.size() - quarter));
+  const size_t checkpoint_at =
+      knob_rng.NextBounded(std::max<size_t>(1, crash_at));
+
+  const FuzzQuery full{mbr, t0, t0 + span};
+  const bool ok = [&]() -> bool {
+    std::set<int32_t> acked;
+    std::set<int32_t> uncertain;
+    {
+      StStore store(options);
+      if (!store.Setup().ok()) {
+        std::fprintf(stderr,
+                     "FATAL: crash store setup failed (seed=%" PRIu64 ")\n",
+                     seed);
+        ++ctx.divergences;
+        return false;
+      }
+      FailPoint* fp = FailPointRegistry::Instance().Find(crash_point);
+      if (fp == nullptr) {
+        std::fprintf(stderr, "FATAL: fail point %s not registered\n",
+                     crash_point);
+        ++ctx.divergences;
+        return false;
+      }
+      bool died = false;
+      for (size_t i = 0; i < docs.size() && !died; ++i) {
+        if (i == checkpoint_at && !store.Checkpoint().ok()) {
+          std::fprintf(stderr,
+                       "FATAL: clean checkpoint failed (seed=%" PRIu64 ")\n",
+                       seed);
+          ++ctx.divergences;
+          return false;
+        }
+        if (i == crash_at) {
+          FailPoint::Config fpc;
+          fpc.error_code = StatusCode::kInternal;
+          fpc.error_message = std::string("injected crash at ") + crash_point;
+          fp->Enable(fpc);
+          if (std::strcmp(crash_point, "checkpointMidWrite") == 0) {
+            // The checkpoint writer dies mid-image; every insert so far was
+            // acknowledged and must survive via the previous checkpoint
+            // plus the WAL tail, never via the torn image.
+            if (store.Checkpoint().ok()) {
+              ctx.Report("crash", "checkpoint-survived-fault", full, 0, 1);
+              return false;
+            }
+            died = true;
+            break;
+          }
+        }
+        const Status s = store.Insert(MakeDoc(docs[i]));
+        if (s.ok()) {
+          acked.insert(docs[i].fid);
+        } else if (i < crash_at) {
+          std::fprintf(stderr,
+                       "FATAL: insert failed before the armed crash point: "
+                       "%s (seed=%" PRIu64 ")\n",
+                       s.ToString().c_str(), seed);
+          ++ctx.divergences;
+          return false;
+        } else {
+          // Lost (no commit marker) or durable-but-unacknowledged (marker
+          // on disk, ack suppressed) — both are legal crash outcomes.
+          uncertain.insert(docs[i].fid);
+          died = true;
+        }
+      }
+      FailPointRegistry::Instance().DisableAll();
+      if (!died) {
+        ctx.Report("crash", "crash-point-never-fired", full, 1, 0);
+        return false;
+      }
+    }  // dirty shutdown: destroyed with the fault's state on disk
+
+    // First recovery: the durability contract over the full window.
+    std::vector<int32_t> recovered;
+    {
+      const Result<std::unique_ptr<StStore>> r = StStore::Recover(options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "recover failed: %s\n",
+                     r.status().ToString().c_str());
+        ctx.Report("crash", "recover-status", full, 0, 1);
+        return false;
+      }
+      recovered = SortedFids(
+          (*r)->Query(full.rect, full.t_begin_ms, full.t_end_ms)
+              .cluster.docs);
+    }
+    if (HasDuplicates(recovered)) {
+      ctx.Report("crash", "recovered-duplicates", full, acked.size(),
+                 recovered.size());
+      return false;
+    }
+    bool contract_ok = std::includes(recovered.begin(), recovered.end(),
+                                     acked.begin(), acked.end());
+    for (const int32_t fid : recovered) {
+      if (acked.count(fid) == 0 && uncertain.count(fid) == 0) {
+        contract_ok = false;  // phantom: a fid that was never written
+      }
+    }
+    if (!contract_ok) {
+      ctx.Report("crash", "durability-contract", full, acked.size(),
+                 recovered.size());
+      return false;
+    }
+
+    // Second recovery: replay must be idempotent — bit-for-bit the same
+    // logical contents, then the store must keep working (new writes, a
+    // balancer pass, zone migrations) with exact oracle agreement.
+    const Result<std::unique_ptr<StStore>> r = StStore::Recover(options);
+    if (!r.ok()) {
+      ctx.Report("crash", "recover-twice-status", full, 0, 1);
+      return false;
+    }
+    StStore& store = **r;
+    const std::vector<int32_t> again = SortedFids(
+        store.Query(full.rect, full.t_begin_ms, full.t_end_ms).cluster.docs);
+    if (again != recovered) {
+      ctx.Report("crash", "recover-idempotence", full, recovered.size(),
+                 again.size());
+      return false;
+    }
+
+    std::vector<FuzzDoc> truth;
+    truth.reserve(recovered.size() + 16);
+    for (const int32_t fid : recovered) {
+      truth.push_back(docs[static_cast<size_t>(fid)]);
+    }
+    for (int i = 0; i < 16; ++i) {
+      FuzzDoc d;
+      d.lon = query_rng.NextDouble(mbr.lo.lon, mbr.hi.lon);
+      d.lat = query_rng.NextDouble(mbr.lo.lat, mbr.hi.lat);
+      d.t_ms = t0 + static_cast<int64_t>(
+                        query_rng.NextBounded(static_cast<uint64_t>(span) + 1));
+      d.fid = static_cast<int32_t>(docs.size()) + i;
+      truth.push_back(d);
+      if (!store.Insert(MakeDoc(d)).ok()) {
+        ctx.Report("crash", "post-recovery-insert", full, 1, 0);
+        return false;
+      }
+    }
+    if (!store.FinishLoad().ok() ||
+        (knob_rng.NextBool(0.5) && !store.ConfigureZones().ok())) {
+      ctx.Report("crash", "post-recovery-balance", full, 1, 0);
+      return false;
+    }
+    const int num_queries = std::max(3, config.queries);
+    for (int i = 0; i <= num_queries; ++i) {
+      // First round re-checks the full window (now including the extras);
+      // the rest are random sub-rectangles against the brute-force oracle
+      // restricted to what actually survived.
+      const FuzzQuery q =
+          i == 0 ? full : GenerateQuery(&query_rng, mbr, t0, span);
+      const std::vector<int32_t> expect = OracleFids(truth, q);
+      const std::vector<int32_t> got = SortedFids(
+          store.Query(q.rect, q.t_begin_ms, q.t_end_ms).cluster.docs);
+      if (got != expect) {
+        ctx.Report("crash", "post-recovery-oracle", q, expect.size(),
+                   got.size());
+        return false;
+      }
+    }
+    return true;
+  }();
+  FailPointRegistry::Instance().DisableAll();
+
+  if (ok && ctx.divergences == 0) {
+    (void)RemoveAll(*dir);
+    if (config.verbose) {
+      std::printf("seed %" PRIu64 ": crash ok (%d docs, point %s, layout %s, "
+                  "%d shards, sync_every %d)\n",
+                  seed, config.docs, crash_point, bucketed ? "bucket" : "row",
+                  options.cluster.num_shards,
+                  options.cluster.durability.wal.sync_every_commits);
+    }
+    return true;
+  }
+  std::fprintf(stderr,
+               "ARTIFACT: crash-seed data dir kept at %s (seed=%" PRIu64
+               " point=%s layout=%s)\n",
+               dir->c_str(), seed, crash_point, bucketed ? "bucket" : "row");
+  return false;
+}
+
 bool RunSeed(uint64_t seed, const FuzzConfig& config,
              std::string* server_status_out) {
+  if (config.crash) return RunCrashSeed(seed, config);
   SeedContext ctx{seed, &config};
   Rng rng(seed);
   Rng data_rng = rng.Fork();
@@ -921,6 +1188,8 @@ int FuzzMain(int argc, char** argv) {
       config.check_counters = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       config.threads = std::atoi(value("--threads="));
+    } else if (arg == "--crash") {
+      config.crash = true;
     } else if (arg.rfind("--layout=", 0) == 0) {
       config.layout = value("--layout=");
       if (config.layout != "row" && config.layout != "bucket" &&
@@ -943,7 +1212,7 @@ int FuzzMain(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: stix_fuzz [--seed=N | --seeds=N --seed-base=N] "
-                   "[--docs=N] [--queries=N] [--threads=N] "
+                   "[--docs=N] [--queries=N] [--threads=N] [--crash] "
                    "[--layout=row|bucket|both] [--planner=race|cost|both] "
                    "[--no-failpoints] [--verbose] [--profile] "
                    "[--server-status] [--check-counters] "
@@ -966,7 +1235,9 @@ int FuzzMain(int argc, char** argv) {
     }
   }
 
-  if (config.check_counters) {
+  // Crash mode runs a single durable store per seed, so the dead-counter
+  // guard's query-stack expectations do not apply.
+  if (config.check_counters && !config.crash) {
     // Counters that any non-trivial fuzz run must have moved; a zero means
     // the instrumentation point silently died.
     std::vector<const char*> required = {
