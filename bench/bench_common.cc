@@ -8,6 +8,7 @@
 
 #include "bson/codec.h"
 #include "common/lz.h"
+#include "common/percentile.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "query/bucket_unpack.h"
@@ -314,13 +315,7 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
 }
 
 double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = lo + 1 < values.size() ? lo + 1 : lo;
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] + (values[hi] - values[lo]) * frac;
+  return PercentileOf(std::move(values), p);
 }
 
 void MeasureColdScan(const st::StStore& store, const DatasetInfo& info,

@@ -147,7 +147,10 @@ bool WritePerfJson(const std::string& path, const std::string& bench_name,
                    const BenchConfig& config,
                    const std::vector<PerfSummary>& rows);
 
-/// p-th percentile (0..100) by linear interpolation; 0 for empty input.
+/// p-th percentile (0..100) by nearest rank (delegates to
+/// stix::PercentileOf): the smallest observed sample with at least p percent
+/// of samples at or below it, so latency gates always compare against a value
+/// a real request experienced. 0 for empty input.
 double Percentile(std::vector<double> values, double p);
 
 /// Measures a genuinely cold full scan: the store's on-disk image (the same

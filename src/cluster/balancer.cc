@@ -58,6 +58,22 @@ std::optional<Migration> PickNextMigration(const ChunkManager& chunks,
     movable.push_back(i);
   }
   if (movable.empty()) return std::nullopt;
+  if (options.weigh_by_writes) {
+    // Hottest movable chunk by the per-range write counter; ties (and the
+    // all-cold case) fall through to the points/random pick below.
+    uint64_t best = 0;
+    for (const size_t i : movable) {
+      best = std::max(best, chunks.chunk(i).writes);
+    }
+    if (best > 0) {
+      std::vector<size_t> hottest;
+      for (const size_t i : movable) {
+        if (chunks.chunk(i).writes == best) hottest.push_back(i);
+      }
+      const size_t pick = hottest[rng->NextBounded(hottest.size())];
+      return Migration{pick, recipient};
+    }
+  }
   if (options.weigh_by_points) {
     // Heaviest movable chunk first; rng breaks ties among equals so the
     // degenerate all-equal case matches the unweighted pick distribution.

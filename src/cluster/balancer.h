@@ -32,6 +32,15 @@ struct BalancerOptions {
   /// threshold) is unchanged. Off by default: row layouts keep the seeded
   /// random pick bit-for-bit.
   bool weigh_by_points = false;
+  /// Write-distribution awareness: when the imbalance pick fires, move the
+  /// donor's most *written* movable chunk (Chunk::writes, the per-range
+  /// write counter the router maintains) instead of a random one, so a
+  /// Zipf-hot insert range spreads across shards instead of pinning its
+  /// whole history to wherever it first split. Takes precedence over
+  /// weigh_by_points when both are set and any movable chunk has recorded
+  /// writes (with all-zero counters it falls through, keeping cold
+  /// workloads bit-for-bit reproducible).
+  bool weigh_by_writes = false;
 };
 
 /// The zone pinning a chunk, or -1 when no zone touches it. A chunk is

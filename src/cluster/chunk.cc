@@ -56,6 +56,27 @@ std::string ShardKeyPattern::DebugString() const {
   return out + "}";
 }
 
+std::vector<std::string> SplitVector(const std::vector<std::string>& keys,
+                                     size_t parts) {
+  std::vector<std::string> bounds;
+  if (parts < 2 || keys.size() < 2) return bounds;
+  if (parts > keys.size()) parts = keys.size();
+  for (size_t i = 1; i < parts; ++i) {
+    const size_t at = i * keys.size() / parts;
+    const std::string& prev = bounds.empty() ? keys.front() : bounds.back();
+    if (keys[at] > prev) {
+      bounds.push_back(keys[at]);
+      continue;
+    }
+    // The quantile landed inside a run of duplicates; a chunk boundary must
+    // strictly increase, so advance to the next distinct key.
+    const auto it = std::upper_bound(keys.begin() + at, keys.end(), prev);
+    if (it == keys.end()) break;
+    bounds.push_back(*it);
+  }
+  return bounds;
+}
+
 Result<std::unique_ptr<ChunkManager>> ChunkManager::FromChunks(
     std::vector<Chunk> chunk_table) {
   std::sort(chunk_table.begin(), chunk_table.end(),
@@ -96,11 +117,42 @@ Status ChunkManager::Split(size_t i, const std::string& split_key) {
   right.bytes = left.bytes / 2;
   right.docs = left.docs / 2;
   right.points = left.points / 2;
+  right.writes = left.writes / 2;
   left.max = split_key;
   left.bytes -= right.bytes;
   left.docs -= right.docs;
   left.points -= right.points;
+  left.writes -= right.writes;
   chunks_.insert(chunks_.begin() + i + 1, std::move(right));
+  return Status::OK();
+}
+
+Status ChunkManager::MultiSplit(size_t i,
+                                const std::vector<std::string>& bounds) {
+  if (bounds.empty()) return Status::OK();
+  const Chunk& whole = chunks_[i];
+  for (size_t k = 0; k < bounds.size(); ++k) {
+    if (bounds[k] <= whole.min || bounds[k] >= whole.max) {
+      return Status::InvalidArgument("split boundary outside chunk range");
+    }
+    if (k > 0 && bounds[k] <= bounds[k - 1]) {
+      return Status::InvalidArgument("split boundaries not ascending");
+    }
+  }
+  const size_t parts = bounds.size() + 1;
+  std::vector<Chunk> replacement(parts, whole);
+  for (size_t k = 0; k < parts; ++k) {
+    Chunk& part = replacement[k];
+    if (k > 0) part.min = bounds[k - 1];
+    if (k + 1 < parts) part.max = bounds[k];
+    // Even division, remainder on the first part, so the totals are exact.
+    part.bytes = whole.bytes / parts + (k == 0 ? whole.bytes % parts : 0);
+    part.docs = whole.docs / parts + (k == 0 ? whole.docs % parts : 0);
+    part.points = whole.points / parts + (k == 0 ? whole.points % parts : 0);
+    part.writes = whole.writes / parts + (k == 0 ? whole.writes % parts : 0);
+  }
+  chunks_.erase(chunks_.begin() + i);
+  chunks_.insert(chunks_.begin() + i, replacement.begin(), replacement.end());
   return Status::OK();
 }
 

@@ -55,8 +55,23 @@ struct Chunk {
   /// collections; for bucketed collections each stored document is a
   /// bucket of many points, and the balancer weighs chunks by this.
   uint64_t points = 0;
+  /// Write-distribution tracking: cumulative inserts + deletes routed into
+  /// this key range (MongoDB's analyzeShardKey read/write distribution).
+  /// Split distributes it across the parts; a migration keeps it with the
+  /// chunk, so the balancer can move heat instead of just bytes.
+  uint64_t writes = 0;
   bool jumbo = false;
 };
+
+/// Sampled split vector (MongoDB's autoSplitVector): given the ascending
+/// shard-key sequence of one chunk, returns up to `parts - 1` boundary keys
+/// cutting it into near-equal key-count parts. Boundaries are drawn from the
+/// observed keys, strictly increase, and skip over runs of duplicate keys
+/// (a run longer than a part simply yields fewer boundaries — the caller
+/// marks the chunk jumbo when none fit). Returns an empty vector when
+/// `parts < 2` or the keys admit no interior boundary.
+std::vector<std::string> SplitVector(const std::vector<std::string>& keys,
+                                     size_t parts);
 
 /// The config-server view: an ordered, gap-free partition of the shard-key
 /// space into chunks.
@@ -82,6 +97,13 @@ class ChunkManager {
   /// Splits chunk `i` at `split_key` (strictly inside its range); byte/doc
   /// accounting is halved between the parts. Fails on out-of-range keys.
   Status Split(size_t i, const std::string& split_key);
+
+  /// Splits chunk `i` at every boundary in `bounds` (ascending, strictly
+  /// inside its range), dividing the byte/doc/point/write accounting evenly
+  /// across the resulting `bounds.size() + 1` parts — the multi-way split a
+  /// sampled split vector produces. Fails (leaving the table untouched) on
+  /// unsorted or out-of-range boundaries.
+  Status MultiSplit(size_t i, const std::vector<std::string>& bounds);
 
   /// Chunk indexes whose range intersects [start, end] (end inclusive).
   std::vector<size_t> ChunksIntersecting(const std::string& start,

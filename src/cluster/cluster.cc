@@ -28,7 +28,8 @@ Cluster::Cluster(const ClusterOptions& options)
           options.fanout_threads > 0 ? options.fanout_threads
                                      : ThreadPool::DefaultThreads())),
       profiler_(options.profiler),
-      rng_(options.seed) {
+      rng_(options.seed),
+      reads_per_shard_(static_cast<size_t>(options.num_shards)) {
   shards_.reserve(options_.num_shards);
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(i));
@@ -135,9 +136,22 @@ Status Cluster::Insert(bson::Document doc) {
     // one atomic topology step; the shard's own exclusive lock nests inside
     // (topology < shard data).
     const std::unique_lock<std::shared_mutex> topo(topology_mu_);
-    const std::string key = pattern_.KeyOf(doc);
-    const size_t chunk_index = chunks_->FindChunkIndex(key);
-    Chunk& chunk = chunks_->chunk(chunk_index);
+    // Enrich before keying: a writer that raced the reshard's install may
+    // carry a document the target layout's sweep will never revisit, and
+    // its routing key below must be computed from the enriched shape.
+    if (reshard_enrich_ != nullptr) {
+      Result<bool> enriched = reshard_enrich_(&doc);
+      if (!enriched.ok()) return enriched.status();
+    }
+    // While a reshard is in flight, writes route by the *target* table —
+    // the document lands directly on its final owner (so the chunk copier
+    // never chases a moving tail) and reads broadcast until the swap.
+    const bool resharding = resharding_in_progress_;
+    const ShardKeyPattern& pattern = resharding ? reshard_pattern_ : pattern_;
+    ChunkManager& table = resharding ? *reshard_chunks_ : *chunks_;
+    const std::string key = pattern.KeyOf(doc);
+    const size_t chunk_index = table.FindChunkIndex(key);
+    Chunk& chunk = table.chunk(chunk_index);
     const uint64_t doc_bytes = doc.ApproxBsonSize();
     // A bucket document carries many logical points; everything else is
     // one. The balancer's point-weighted pick reads this.
@@ -157,7 +171,11 @@ Status Cluster::Insert(bson::Document doc) {
     chunk.bytes += doc_bytes;
     chunk.docs += 1;
     chunk.points += doc_points;
-    if (chunk.bytes > options_.chunk_max_bytes && !chunk.jumbo) {
+    chunk.writes += 1;
+    // The transitional table never splits; the sampled split vector already
+    // sized its chunks, and the copier iterates it by index.
+    if (!resharding && chunk.bytes > options_.chunk_max_bytes &&
+        !chunk.jumbo) {
       MaybeSplitChunk(chunk_index);
     }
   }
@@ -178,6 +196,9 @@ Status Cluster::Insert(bson::Document doc) {
     {
       const std::shared_lock<std::shared_mutex> topo(topology_mu_);
       const std::lock_guard<std::mutex> bl(balance_mu_);
+      // The old table is being drained chunk by chunk; balancing it would
+      // only race the reshard copier over the same documents.
+      if (resharding_in_progress_ || reshard_preparing_) return Status::OK();
       m = PickNextMigration(*chunks_, options_.num_shards, zones_,
                             options_.balancer, &rng_);
     }
@@ -195,7 +216,7 @@ void Cluster::MaybeSplitChunk(size_t chunk_index) {
   const index::Index* skidx = shard.catalog().Get(shard_key_index_name_);
   if (skidx == nullptr) return;
 
-  // Median shard-key value of the chunk, from the shard-key index.
+  // Shard-key values of the chunk, from the shard-key index.
   std::vector<std::string> keys;
   keys.reserve(chunk.docs);
   for (storage::BTree::Cursor c = skidx->btree().SeekGE(chunk.min);
@@ -206,20 +227,23 @@ void Cluster::MaybeSplitChunk(size_t chunk_index) {
     chunk.jumbo = true;
     return;
   }
-  std::string split_key = keys[keys.size() / 2];
-  if (split_key == chunk.min) {
-    // All of the lower half shares the min key; find the first greater key
-    // (for {hilbertIndex, date} this is the paper's "split on the temporal
-    // dimension" case).
-    const auto it =
-        std::upper_bound(keys.begin(), keys.end(), chunk.min);
-    if (it == keys.end()) {
-      chunk.jumbo = true;  // one key value fills the chunk; cannot split
-      return;
-    }
-    split_key = *it;
+  // Sampled split vector: cut into as many near-equal parts as the
+  // overgrowth calls for (MongoDB's autoSplitVector), not one median split
+  // per triggering insert — a bulk load that blew far past the limit (or a
+  // write-hotspot chunk the balancer wants to spread) settles in one pass.
+  // The target part size is half the limit, matching the old median split;
+  // duplicate-key runs shift boundaries right (for {hilbertIndex, date}
+  // this is the paper's "split on the temporal dimension" case).
+  const uint64_t target_part_bytes =
+      std::max<uint64_t>(options_.chunk_max_bytes / 2, 1);
+  const size_t parts = static_cast<size_t>(std::min<uint64_t>(
+      std::max<uint64_t>(chunk.bytes / target_part_bytes, 2), 16));
+  const std::vector<std::string> bounds = SplitVector(keys, parts);
+  if (bounds.empty()) {
+    chunk.jumbo = true;  // one key value fills the chunk; cannot split
+    return;
   }
-  chunks_->Split(chunk_index, split_key);
+  (void)chunks_->MultiSplit(chunk_index, bounds);
   // A split moves no data: if journaling it fails, recovery simply sees the
   // pre-split chunk over the same documents. The triggering insert is
   // already durable and must not fail retroactively.
@@ -473,6 +497,8 @@ void Cluster::Balance() {
     std::optional<Migration> m;
     {
       const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+      // Reshard owns chunk movement for its whole duration.
+      if (resharding_in_progress_ || reshard_preparing_) return;
       const std::lock_guard<std::mutex> bl(balance_mu_);
       m = PickNextMigration(*chunks_, options_.num_shards, zones_,
                             options_.balancer, &rng_);
@@ -487,6 +513,8 @@ void Cluster::RunBalancerRound() {
   {
     const std::shared_lock<std::shared_mutex> topo(topology_mu_);
     if (chunks_ == nullptr) return;  // balancer started before sharding
+    // Reshard owns chunk movement for its whole duration.
+    if (resharding_in_progress_ || reshard_preparing_) return;
     const std::lock_guard<std::mutex> bl(balance_mu_);
     m = PickNextMigration(*chunks_, options_.num_shards, zones_,
                           options_.balancer, &rng_);
@@ -596,14 +624,32 @@ ClusterQueryResult Cluster::Query(const query::ExprPtr& expr) const {
 
 std::unique_ptr<ClusterCursor> Cluster::OpenCursor(
     const query::ExprPtr& expr, const CursorOptions& cursor_options) const {
+  // Reshard-commit gate: while a reshard wants the latch exclusive, new
+  // cursors pause briefly so the shared holders drain and the commit gets
+  // in (a reader-preferring rwlock would otherwise starve it under open-
+  // loop traffic). Bounded wait, never a lock: a thread that already holds
+  // the latch shared through another open cursor times out and proceeds —
+  // slower commit, no deadlock.
+  if (reshard_commit_pending_.load(std::memory_order_acquire)) {
+    std::unique_lock<std::mutex> gate(reshard_gate_mu_);
+    reshard_gate_cv_.wait_for(gate, std::chrono::milliseconds(50), [this] {
+      return !reshard_commit_pending_.load(std::memory_order_acquire);
+    });
+  }
   // Lock order: migration latch (kept by the cursor until it closes),
   // then topology (released once targeting is done).
   std::shared_lock<std::shared_mutex> latch(migration_commit_latch_);
   const std::shared_lock<std::shared_mutex> topo(topology_mu_);
-  const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
-                      exec_pool_.get(), options_.parallel_fanout, &profiler_);
-  return router.OpenCursor(expr, options_.exec, cursor_options,
-                           std::move(latch));
+  const Router router(RoutingPatternLocked(), chunks_.get(), &shards_,
+                      options_.router, exec_pool_.get(),
+                      options_.parallel_fanout, &profiler_);
+  std::unique_ptr<ClusterCursor> cursor = router.OpenCursor(
+      expr, options_.exec, cursor_options, std::move(latch));
+  for (const int shard_id : cursor->targets()) {
+    reads_per_shard_[static_cast<size_t>(shard_id)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return cursor;
 }
 
 Result<std::vector<bson::Document>> Cluster::Aggregate(
@@ -644,10 +690,17 @@ Result<uint64_t> Cluster::Delete(const query::ExprPtr& expr) {
   // commits, so per-shard query-then-remove stays internally consistent
   // and chunk accounting cannot race.
   const std::unique_lock<std::shared_mutex> topo(topology_mu_);
-  const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
+  const Router router(RoutingPatternLocked(), chunks_.get(), &shards_,
+                      options_.router);
   if (options_.exec.bucket_layout != nullptr && !options_.exec.raw_buckets) {
     return DeleteBucketsLocked(router, expr);
   }
+  // During a reshard, account against the target table (documents may sit
+  // on either shard mid-copy; the per-chunk commit recomputes accounting
+  // exactly, so transient drift here is self-healing).
+  const bool resharding = resharding_in_progress_;
+  const ShardKeyPattern& pattern = resharding ? reshard_pattern_ : pattern_;
+  ChunkManager& table = resharding ? *reshard_chunks_ : *chunks_;
   const std::vector<int> targets = router.TargetShards(expr);
   uint64_t deleted = 0;
   for (const int shard_id : targets) {
@@ -661,16 +714,17 @@ Result<uint64_t> Cluster::Delete(const query::ExprPtr& expr) {
     std::vector<std::pair<std::string, uint64_t>> doomed;
     doomed.reserve(r.docs.size());
     for (const bson::Document* doc : r.docs) {
-      doomed.emplace_back(pattern_.KeyOf(*doc), doc->ApproxBsonSize());
+      doomed.emplace_back(pattern.KeyOf(*doc), doc->ApproxBsonSize());
     }
     for (size_t i = 0; i < r.rids.size(); ++i) {
       // Update the owning chunk's accounting before the document dies.
-      Chunk& chunk = chunks_->chunk(chunks_->FindChunkIndex(doomed[i].first));
+      Chunk& chunk = table.chunk(table.FindChunkIndex(doomed[i].first));
       const Status s = shard.Remove(r.rids[i]);
       if (!s.ok()) return s;
       chunk.bytes -= std::min(chunk.bytes, doomed[i].second);
       if (chunk.docs > 0) --chunk.docs;
       if (chunk.points > 0) --chunk.points;
+      chunk.writes += 1;
       ++deleted;
     }
   }
@@ -762,7 +816,8 @@ Result<uint64_t> Cluster::DeleteBucketsLocked(const Router& router,
 
 std::string Cluster::Explain(const query::ExprPtr& expr) const {
   const std::shared_lock<std::shared_mutex> topo(topology_mu_);
-  const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
+  const Router router(RoutingPatternLocked(), chunks_.get(), &shards_,
+                      options_.router);
   bool broadcast = false;
   const std::vector<int> targets = router.TargetShards(
       Router::RoutingExpr(expr, options_.exec), &broadcast);
@@ -800,9 +855,9 @@ ClusterExplain Cluster::Explain(const query::ExprPtr& expr,
   {
     std::shared_lock<std::shared_mutex> latch(migration_commit_latch_);
     const std::shared_lock<std::shared_mutex> topo(topology_mu_);
-    const Router router(&pattern_, chunks_.get(), &shards_, options_.router,
-                        exec_pool_.get(), options_.parallel_fanout,
-                        &profiler_);
+    const Router router(RoutingPatternLocked(), chunks_.get(), &shards_,
+                        options_.router, exec_pool_.get(),
+                        options_.parallel_fanout, &profiler_);
     cursor = router.OpenCursor(expr, exec, full_drain, std::move(latch));
   }
   while (!cursor->exhausted()) (void)cursor->NextBatch();
@@ -823,6 +878,7 @@ std::string Cluster::ServerStatus() const {
   out << "{\"shards\": " << shards_.size() << ", \"documents\": " << documents
       << ", \"chunks\": " << num_chunks
       << ", \"planner\": " << PlannerStatusJson()
+      << ", \"distribution\": " << DistributionJson()
       << ", \"metrics\": " << MetricsRegistry::Instance().ToJson()
       << ", \"profiler\": " << profiler_.ToJson() << "}";
   return out.str();
@@ -859,8 +915,58 @@ std::string PlannerStatusJson() {
 
 std::vector<int> Cluster::TargetShards(const query::ExprPtr& expr) const {
   const std::shared_lock<std::shared_mutex> topo(topology_mu_);
-  const Router router(&pattern_, chunks_.get(), &shards_, options_.router);
+  const Router router(RoutingPatternLocked(), chunks_.get(), &shards_,
+                      options_.router);
   return router.TargetShards(Router::RoutingExpr(expr, options_.exec));
+}
+
+const ShardKeyPattern* Cluster::RoutingPatternLocked() const {
+  // An empty pattern makes Router::TargetShards broadcast every query —
+  // exactly right mid-reshard, when a document may legitimately sit on
+  // either its old or its new owner.
+  static const ShardKeyPattern kBroadcastAll;
+  return resharding_in_progress_ ? &kBroadcastAll : &pattern_;
+}
+
+bool Cluster::resharding() const {
+  const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+  return resharding_in_progress_;
+}
+
+std::string Cluster::DistributionJson() const {
+  const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+  std::vector<uint64_t> writes(shards_.size(), 0);
+  uint64_t hottest_writes = 0;
+  uint64_t total_writes = 0;
+  if (chunks_ != nullptr) {
+    for (const Chunk& c : chunks_->chunks()) {
+      if (c.shard_id >= 0 && c.shard_id < static_cast<int>(writes.size())) {
+        writes[static_cast<size_t>(c.shard_id)] += c.writes;
+      }
+      hottest_writes = std::max(hottest_writes, c.writes);
+      total_writes += c.writes;
+    }
+  }
+  std::ostringstream out;
+  out << "{\"reads_per_shard\": [";
+  for (size_t i = 0; i < reads_per_shard_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << reads_per_shard_[i].load(std::memory_order_relaxed);
+  }
+  out << "], \"writes_per_shard\": [";
+  for (size_t i = 0; i < writes.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << writes[i];
+  }
+  char share[32];
+  std::snprintf(share, sizeof(share), "%.4f",
+                total_writes == 0
+                    ? 0.0
+                    : static_cast<double>(hottest_writes) /
+                          static_cast<double>(total_writes));
+  out << "], \"hottest_chunk_writes\": " << hottest_writes
+      << ", \"hottest_chunk_write_share\": " << share << "}";
+  return out.str();
 }
 
 double Cluster::EstimateFraction(const std::string& path, int64_t lo,

@@ -1,7 +1,9 @@
 #ifndef STIX_CLUSTER_CLUSTER_H_
 #define STIX_CLUSTER_CLUSTER_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,6 +38,17 @@ struct DurabilityOptions {
   /// Auto-checkpoint a shard when its WAL outgrows this many bytes
   /// (0 = checkpoint only on explicit Checkpoint() calls).
   uint64_t checkpoint_wal_bytes = 0;
+};
+
+/// Knobs for Cluster::Reshard (namespace scope so it can serve as a default
+/// argument — a nested struct's member initializers cannot).
+struct ReshardOptions {
+  /// Chunks in the target table; 0 derives one from the data volume and
+  /// chunk_max_bytes (at least one per shard).
+  size_t target_chunks = 0;
+  /// Sample every Nth shard-key value when building the target split
+  /// vector (MongoDB's resharding samples, it never sorts every key).
+  size_t sample_stride = 4;
 };
 
 /// Deployment-level knobs of the simulated cluster.
@@ -202,6 +215,42 @@ class Cluster {
   /// in MongoDB).
   Result<uint64_t> Delete(const query::ExprPtr& expr);
 
+  // --- online resharding (reshard.cc) ---
+
+  /// Document fix-up applied to every stored document before it is keyed by
+  /// the new pattern (e.g. computing `hilbertIndex` for a bslTS → hil
+  /// reshard). Returns true when the document was modified (its indexes are
+  /// then rewritten in place), false when it already fits the new layout.
+  /// May be null when no enrichment is needed.
+  using ReshardEnrichFn = std::function<Result<bool>(bson::Document*)>;
+
+  /// Live shard-key migration (MongoDB's reshardCollection, scaled to this
+  /// process): re-keys the populated collection onto `new_pattern` while
+  /// queries, cursors and writers keep running. Five phases — per-shard
+  /// document enrichment + index build, a sampled split vector for the
+  /// target chunk table, a dual-routing flip (new writes land by the new
+  /// table, reads broadcast), chunk-by-chunk two-phase copy under the
+  /// migration-commit latch (planner stats + plan caches invalidate per
+  /// migrated chunk), and the final metadata swap. Zones are cleared (they
+  /// were keyed in the old shard-key space). In-memory clusters only:
+  /// durable clusters return NotSupported. One reshard at a time;
+  /// concurrent calls return AlreadyExists.
+  Status Reshard(ShardKeyPattern new_pattern,
+                 const std::vector<index::IndexDescriptor>& new_secondary_indexes,
+                 const ReshardEnrichFn& enrich = nullptr,
+                 const ReshardOptions& reshard_options = ReshardOptions());
+
+  /// True while a Reshard() is between its routing flip and its final
+  /// metadata swap (reads broadcast, writes route by the target table).
+  bool resharding() const;
+
+  /// Read/write distribution snapshot as one JSON object: per-shard cursor
+  /// targeting counts (reads), per-shard write counts summed from the
+  /// per-chunk write counters, and the hottest chunk's share — the figures
+  /// MongoDB's analyzeShardKey reports, feeding the balancer's
+  /// weigh_by_writes pick and the traffic harness report.
+  std::string DistributionJson() const;
+
   /// Shards the router would contact (for node-count studies).
   std::vector<int> TargetShards(const query::ExprPtr& expr) const;
 
@@ -289,6 +338,30 @@ class Cluster {
   void BalancerMain(int interval_ms);
   static std::string IndexNameForPattern(const ShardKeyPattern& pattern);
 
+  // --- resharding internals (reshard.cc) ---
+  /// Routing state under topology_mu_: the live pattern, or an empty
+  /// pattern (forcing broadcast) while a reshard is in flight and documents
+  /// may sit on either side of the move.
+  const ShardKeyPattern* RoutingPatternLocked() const;
+  /// Phase 1: enrich every stored document for the new layout and build the
+  /// new shard-key + secondary indexes (with backfill) on every shard.
+  Status ReshardPrepareShards(
+      const ShardKeyPattern& new_pattern, const std::string& new_index_name,
+      const std::vector<index::IndexDescriptor>& new_secondary_indexes,
+      const ReshardEnrichFn& enrich);
+  /// Phase 2: sampled split vector over the new-pattern keys of every
+  /// shard → the target chunk table with exact accounting.
+  Result<std::unique_ptr<ChunkManager>> ReshardBuildChunkTable(
+      const ShardKeyPattern& new_pattern, const ReshardOptions& opts) const;
+  /// Phase 4, per target chunk: two-phase copy of every out-of-place
+  /// document onto the owning shard, commit under the latch + exclusive
+  /// topology, stats/plan-cache invalidation on every shard touched.
+  Status ReshardMoveChunk(size_t chunk_index);
+  /// Blocking exclusive acquisition of the migration-commit latch with the
+  /// open-cursor gate raised (new cursors hold off briefly so the reader
+  /// population drains; see OpenCursor).
+  std::unique_lock<std::shared_mutex> ReshardLatchExclusive();
+
   ClusterOptions options_;
   std::unique_ptr<ThreadPool> exec_pool_;
   // Execution-state, not collection-state (like the shard plan caches):
@@ -321,6 +394,41 @@ class Cluster {
   mutable std::condition_variable balancer_cv_;
   bool balancer_running_ = false;
   bool balancer_stop_ = false;
+
+  // --- resharding state ---
+  // Serializes whole Reshard() calls (never nested in another lock).
+  std::mutex reshard_mu_;
+  // The rest is guarded by topology_mu_: flag flipped exclusive, read
+  // shared by routing; the target table/pattern live here between the
+  // routing flip and the final swap.
+  bool resharding_in_progress_ = false;
+  // Set for the whole Reshard() call, before the routing flip: suspends
+  // chunk movement (splits keep running — they don't relocate documents)
+  // so a balancer migration cannot carry a not-yet-enriched document onto
+  // an already-prepared shard.
+  bool reshard_preparing_ = false;
+  // Installed (exclusive) before the enrichment sweep and applied by
+  // Insert inside its exclusive topology hold, so every write either
+  // completes before the sweep starts (the sweep enriches it) or enriches
+  // itself at write time — a racing writer can never slip an un-enriched
+  // document onto an already-swept shard, where it would key into the
+  // null-key chunk and vanish from post-swap queries. Deliberately kept
+  // installed after the swap (idempotent, one field probe per insert):
+  // a writer stalled since before the reshard began must still enrich.
+  ReshardEnrichFn reshard_enrich_;
+  ShardKeyPattern reshard_pattern_;
+  std::unique_ptr<ChunkManager> reshard_chunks_;
+  std::string reshard_index_name_;
+  // Commit gate: while a reshard commit wants the latch exclusive, new
+  // cursors wait (bounded) before taking it shared, so the shared holders
+  // drain and the commit cannot be starved by a reader-preferring rwlock.
+  std::atomic<bool> reshard_commit_pending_{false};
+  mutable std::mutex reshard_gate_mu_;
+  mutable std::condition_variable reshard_gate_cv_;
+
+  // Read-distribution tracking: cursor targetings per shard (atomics — the
+  // open path holds only shared locks).
+  mutable std::vector<std::atomic<uint64_t>> reads_per_shard_;
 };
 
 /// Rebuilds a durable cluster from options.durability.data_dir: parses the

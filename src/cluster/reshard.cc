@@ -1,0 +1,427 @@
+// Online resharding (MongoDB's reshardCollection, scaled to this process):
+// re-keys a populated, live cluster onto a new shard-key pattern while
+// queries, open cursors and writers keep running. The protocol, in phases:
+//
+//   0. validate — in-memory row clusters only, one reshard at a time, and
+//      the new pattern must name a different supporting index;
+//   1. prepare  — per shard (under its exclusive data lock): create the new
+//      shard-key + secondary indexes, enrich every stored document for the
+//      new layout (e.g. compute hilbertIndex) and backfill the new indexes;
+//   2. plan     — under the exclusive topology lock: a sampled split vector
+//      over every document's new-pattern key becomes the target chunk
+//      table, round-robin across shards, with exact byte/doc/point
+//      accounting;
+//   3. flip     — in the same exclusive hold: routing switches — writes
+//      land directly on their target-table owner (so the copier's source
+//      set only shrinks), reads broadcast (a document may sit on either
+//      side of the move), splits and the balancer suspend;
+//   4. copy     — chunk by chunk, the two-phase migration dance: clone
+//      out-of-place documents under shared source locks, then commit under
+//      the migration latch (exclusive) + exclusive topology + every
+//      shard's data lock, invalidating planner stats and plan caches on
+//      each shard touched;
+//   5. swap     — the target table/pattern/index become the live ones,
+//      zones (keyed in the old shard-key space) clear, routing resumes.
+//
+// Failure discipline: before the flip every error unwinds cleanly (the
+// enrichment and extra indexes are benign leftovers). After the flip the
+// cluster stays in the resharding state on error — reads broadcast and
+// writes route by the target table, so every operation remains correct,
+// just untargeted; nothing ever reverts to the old table once a document
+// has moved under the new one.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "keystring/keystring.h"
+#include "storage/bucket.h"
+
+namespace stix::cluster {
+
+// Fires at the start of every per-chunk reshard move, before any document
+// is cloned. A delay models a slow copy (stretching the window concurrent
+// traffic observes); an error aborts the reshard mid-flight, which leaves
+// the cluster permanently in its broadcast-routing state — correct, so
+// tests can assert liveness under injected faults.
+STIX_FAIL_POINT_DEFINE(reshardMoveChunk);
+
+Status Cluster::Reshard(ShardKeyPattern new_pattern,
+                        const std::vector<index::IndexDescriptor>&
+                            new_secondary_indexes,
+                        const ReshardEnrichFn& enrich,
+                        const ReshardOptions& reshard_options) {
+  STIX_METRIC_COUNTER(completed, "reshard.completed");
+
+  const std::unique_lock<std::mutex> one(reshard_mu_, std::try_to_lock);
+  if (!one.owns_lock()) {
+    return Status::AlreadyExists("a reshard is already in progress");
+  }
+  if (!sharded_) {
+    return Status::Internal("shard the collection before resharding");
+  }
+  if (new_pattern.empty()) {
+    return Status::InvalidArgument("shard key must have at least one field");
+  }
+  if (new_pattern.strategy() == ShardingStrategy::kHashed) {
+    return Status::NotSupported("resharding onto a hashed key");
+  }
+  if (durable()) {
+    return Status::NotSupported("resharding a durable cluster");
+  }
+  const std::string new_index_name = IndexNameForPattern(new_pattern);
+  if (new_index_name == shard_key_index_name_) {
+    return Status::InvalidArgument(
+        "new shard key is served by the current shard-key index");
+  }
+
+  // Suspend chunk movement for the whole operation: a balancer migration
+  // racing phase 1 could carry a not-yet-enriched document onto an
+  // already-prepared shard, and it would never be enriched.
+  {
+    const std::unique_lock<std::shared_mutex> topo(topology_mu_);
+    reshard_preparing_ = true;
+    // From here on every Insert enriches under its own exclusive topology
+    // hold; writes already past routing completed before this hold began,
+    // so the sweep below sees them. Stays installed after the swap.
+    reshard_enrich_ = enrich;
+  }
+  const auto unwind = [this](Status s) {
+    const std::unique_lock<std::shared_mutex> topo(topology_mu_);
+    reshard_preparing_ = false;
+    // Pre-flip failure: the old layout stays; stop decorating new writes
+    // with fields no live approach asked for.
+    reshard_enrich_ = nullptr;
+    return s;
+  };
+
+  // Phase 1: enrichment + index builds, shard by shard.
+  if (Status s = ReshardPrepareShards(new_pattern, new_index_name,
+                                      new_secondary_indexes, enrich);
+      !s.ok()) {
+    return unwind(s);
+  }
+
+  // Phases 2 + 3 under one exclusive topology hold, so the table's exact
+  // accounting cannot be invalidated by a write that the flipped routing
+  // would miss. This is the reshard's stop-the-world moment: one scan of
+  // the data, no document movement.
+  {
+    const std::unique_lock<std::shared_mutex> topo(topology_mu_);
+    Result<std::unique_ptr<ChunkManager>> table =
+        ReshardBuildChunkTable(new_pattern, reshard_options);
+    if (!table.ok()) {
+      reshard_preparing_ = false;
+      reshard_enrich_ = nullptr;  // pre-flip failure, as in unwind()
+      return table.status();
+    }
+    reshard_chunks_ = std::move(*table);
+    reshard_pattern_ = std::move(new_pattern);
+    reshard_index_name_ = new_index_name;
+    resharding_in_progress_ = true;
+    reshard_preparing_ = false;
+  }
+
+  // Phase 4: chunk-by-chunk copy. The transitional table never splits, so
+  // indices are stable across the loop.
+  size_t num_target_chunks = 0;
+  {
+    const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+    num_target_chunks = reshard_chunks_->num_chunks();
+  }
+  for (size_t i = 0; i < num_target_chunks; ++i) {
+    if (Status s = ReshardMoveChunk(i); !s.ok()) return s;
+  }
+
+  // Phase 5: the metadata swap.
+  {
+    const std::unique_lock<std::shared_mutex> topo(topology_mu_);
+    pattern_ = std::move(reshard_pattern_);
+    chunks_ = std::move(reshard_chunks_);
+    shard_key_index_name_ = std::move(reshard_index_name_);
+    zones_.clear();
+    resharding_in_progress_ = false;
+    if (Status s = LogTopology(); !s.ok()) return s;
+  }
+  completed.Increment();
+  return Status::OK();
+}
+
+Status Cluster::ReshardPrepareShards(
+    const ShardKeyPattern& new_pattern, const std::string& new_index_name,
+    const std::vector<index::IndexDescriptor>& new_secondary_indexes,
+    const ReshardEnrichFn& enrich) {
+  for (auto& shard : shards_) {
+    // One exclusive hold per shard: index creation, enrichment and backfill
+    // are atomic against that shard's readers and writers, so a concurrent
+    // query sees either no new index or a fully built one. Other shards
+    // stay fully available meanwhile.
+    const std::unique_lock<std::shared_mutex> data(shard->data_mutex());
+    index::IndexCatalog& catalog = shard->catalog();
+
+    std::vector<index::Index*> fresh;  // created here → need backfill
+    if (catalog.Get(new_index_name) == nullptr) {
+      std::vector<index::IndexField> fields;
+      for (const std::string& path : new_pattern.paths()) {
+        fields.push_back({path, index::IndexFieldKind::kAscending});
+      }
+      if (Status s = catalog.CreateIndex(
+              index::IndexDescriptor(new_index_name, std::move(fields)));
+          !s.ok()) {
+        return s;
+      }
+      fresh.push_back(catalog.Get(new_index_name));
+    }
+    for (const index::IndexDescriptor& desc : new_secondary_indexes) {
+      if (catalog.Get(desc.name()) != nullptr) continue;
+      if (Status s = catalog.CreateIndex(index::IndexDescriptor(
+              desc.name(), desc.fields(), desc.geohash_bits()));
+          !s.ok()) {
+        return s;
+      }
+      fresh.push_back(catalog.Get(desc.name()));
+    }
+
+    storage::RecordStore& records = shard->collection().records();
+    std::vector<storage::RecordId> rids;
+    rids.reserve(records.num_records());
+    records.ForEach([&rids](storage::RecordId rid, const bson::Document&) {
+      rids.push_back(rid);
+    });
+    for (const storage::RecordId rid : rids) {
+      const bson::Document* stored = records.Get(rid);
+      if (stored == nullptr) continue;
+      bool modified = false;
+      bson::Document copy = *stored;
+      if (enrich != nullptr) {
+        Result<bool> r = enrich(&copy);
+        if (!r.ok()) return r.status();
+        modified = *r;
+      }
+      if (!modified) {
+        for (index::Index* idx : fresh) {
+          if (Status s = idx->InsertDocument(*stored, rid); !s.ok()) return s;
+        }
+        continue;
+      }
+      // The document changed shape: rewrite it in place (same RecordId — a
+      // tombstone-then-RestoreAt round trip), pulling it out of the
+      // pre-existing indexes first and re-indexing everything after.
+      for (const auto& idx : catalog.indexes()) {
+        index::Index* mut = catalog.Get(idx->descriptor().name());
+        const bool is_fresh =
+            std::find(fresh.begin(), fresh.end(), mut) != fresh.end();
+        if (is_fresh) continue;
+        if (Status s = mut->RemoveDocument(*stored, rid); !s.ok()) return s;
+      }
+      records.Remove(rid);
+      if (Status s = records.RestoreAt(rid, std::move(copy)); !s.ok()) {
+        return s;
+      }
+      const bson::Document* rewritten = records.Get(rid);
+      if (Status s = catalog.OnInsert(*rewritten, rid); !s.ok()) return s;
+    }
+    // The shard's value distribution changed shape (new fields, new
+    // indexes): stale-mark its statistics and drop cached plan choices.
+    shard->OnDataDistributionChanged();
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ChunkManager>> Cluster::ReshardBuildChunkTable(
+    const ShardKeyPattern& new_pattern, const ReshardOptions& opts) const {
+  // Caller holds topology_mu_ exclusive: no writer can run, so one pass
+  // over every shard is a consistent snapshot.
+  struct Keyed {
+    std::string key;
+    uint64_t bytes;
+    uint64_t points;
+  };
+  std::vector<Keyed> all;
+  uint64_t total_bytes = 0;
+  for (const auto& shard : shards_) {
+    const std::shared_lock<std::shared_mutex> data(shard->data_mutex());
+    shard->collection().records().ForEach(
+        [&](storage::RecordId, const bson::Document& doc) {
+          uint64_t points = 1;
+          if (storage::IsBucketDocument(doc)) {
+            if (const Result<storage::BucketMeta> meta =
+                    storage::ParseBucketMeta(doc);
+                meta.ok()) {
+              points = meta->num_points;
+            }
+          }
+          const uint64_t bytes = doc.ApproxBsonSize();
+          all.push_back({new_pattern.KeyOf(doc), bytes, points});
+          total_bytes += bytes;
+        });
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+
+  size_t target_chunks = opts.target_chunks;
+  if (target_chunks == 0) {
+    // Same density the split threshold would converge to, but computed in
+    // one pass — and never fewer chunks than shards, or the round-robin
+    // assignment would leave shards empty.
+    target_chunks = static_cast<size_t>(
+        total_bytes / std::max<uint64_t>(options_.chunk_max_bytes, 1) + 1);
+    target_chunks =
+        std::max(target_chunks, static_cast<size_t>(options_.num_shards));
+  }
+
+  // MongoDB's resharding samples the key space rather than sorting every
+  // key into the split decision; the stride keeps that shape (accounting
+  // below stays exact — only the boundary choice is sampled).
+  const size_t stride = std::max<size_t>(opts.sample_stride, 1);
+  std::vector<std::string> sampled;
+  sampled.reserve(all.size() / stride + 1);
+  for (size_t i = 0; i < all.size(); i += stride) {
+    sampled.push_back(all[i].key);
+  }
+  const std::vector<std::string> bounds = SplitVector(sampled, target_chunks);
+
+  // Materialize the table: boundaries MinKey, bounds..., MaxKey, owners
+  // round-robin, accounting by walking the sorted keys once.
+  std::vector<Chunk> table;
+  table.reserve(bounds.size() + 1);
+  std::string prev = keystring::MinKey();
+  for (size_t i = 0; i <= bounds.size(); ++i) {
+    Chunk c;
+    c.min = prev;
+    c.max = i < bounds.size() ? bounds[i] : keystring::MaxKey();
+    c.shard_id = static_cast<int>(i % static_cast<size_t>(options_.num_shards));
+    prev = c.max;
+    table.push_back(std::move(c));
+  }
+  size_t ci = 0;
+  for (const Keyed& k : all) {
+    while (ci + 1 < table.size() && k.key >= table[ci].max) ++ci;
+    table[ci].bytes += k.bytes;
+    table[ci].docs += 1;
+    table[ci].points += k.points;
+  }
+  return ChunkManager::FromChunks(std::move(table));
+}
+
+std::unique_lock<std::shared_mutex> Cluster::ReshardLatchExclusive() {
+  // Raise the gate first: new cursors pause (bounded) in OpenCursor, the
+  // existing shared holders drain, and the blocking exclusive acquisition
+  // below cannot be starved by a reader-preferring rwlock. Blocking — not
+  // MoveChunk's try_lock — is safe here because Reshard() runs on its own
+  // thread that holds no cursor, and required because under open-loop
+  // traffic a try_lock would starve forever.
+  reshard_commit_pending_.store(true, std::memory_order_release);
+  std::unique_lock<std::shared_mutex> latch(migration_commit_latch_);
+  reshard_commit_pending_.store(false, std::memory_order_release);
+  {
+    // Empty critical section pairs with the gate's predicate check, so no
+    // waiter can check the flag and then sleep through the notify.
+    const std::lock_guard<std::mutex> gate(reshard_gate_mu_);
+  }
+  reshard_gate_cv_.notify_all();
+  return latch;
+}
+
+Status Cluster::ReshardMoveChunk(size_t chunk_index) {
+  STIX_METRIC_COUNTER(chunks_migrated, "reshard.chunks_migrated");
+  STIX_METRIC_COUNTER(docs_moved, "reshard.docs_moved");
+
+  std::string min, max;
+  int owner = -1;
+  {
+    const std::shared_lock<std::shared_mutex> topo(topology_mu_);
+    const Chunk& c = reshard_chunks_->chunk(chunk_index);
+    min = c.min;
+    max = c.max;
+    owner = c.shard_id;
+  }
+  if (Status s = CheckFailPoint(reshardMoveChunk); !s.ok()) return s;
+  Shard& dest = *shards_[static_cast<size_t>(owner)];
+
+  // Copy phase: clone every out-of-place document in the chunk's range
+  // under its shard's shared lock — readers stream on, writers to other
+  // key ranges proceed. Post-flip inserts land on the owner directly, so
+  // this source set only ever shrinks (deletes); there are no stragglers
+  // to chase.
+  std::vector<std::map<storage::RecordId, bson::Document>> clones(
+      shards_.size());
+  bool any = false;
+  for (const auto& shard : shards_) {
+    if (shard->id() == owner) continue;
+    const std::shared_lock<std::shared_mutex> data(shard->data_mutex());
+    const index::Index* idx = shard->catalog().Get(reshard_index_name_);
+    if (idx == nullptr) {
+      return Status::Internal("reshard index missing on shard");
+    }
+    auto& mine = clones[static_cast<size_t>(shard->id())];
+    for (storage::BTree::Cursor c = idx->btree().SeekGE(min);
+         c.Valid() && c.key() < max; c.Next()) {
+      const bson::Document* doc = shard->collection().records().Get(c.rid());
+      if (doc != nullptr) {
+        mine.emplace(c.rid(), *doc);
+        any = true;
+      }
+    }
+  }
+  if (!any) {
+    chunks_migrated.Increment();
+    return Status::OK();
+  }
+
+  // Commit phase: latch exclusive (via the gate), topology exclusive, every
+  // shard's data lock in id order — documents for this chunk may sit on any
+  // shard, unlike a balancer move's single donor.
+  const std::unique_lock<std::shared_mutex> commit = ReshardLatchExclusive();
+  const std::unique_lock<std::shared_mutex> topo(topology_mu_);
+  std::vector<std::unique_lock<std::shared_mutex>> data_locks;
+  data_locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    data_locks.emplace_back(shard->data_mutex());
+  }
+
+  uint64_t moved = 0;
+  for (const auto& shard : shards_) {
+    if (shard->id() == owner) continue;
+    const index::Index* idx = shard->catalog().Get(reshard_index_name_);
+    if (idx == nullptr) {
+      return Status::Internal("reshard index missing on shard");
+    }
+    // Re-scan inside the critical section: a clone whose document was
+    // deleted mid-copy silently drops out here.
+    std::vector<storage::RecordId> rids;
+    for (storage::BTree::Cursor c = idx->btree().SeekGE(min);
+         c.Valid() && c.key() < max; c.Next()) {
+      rids.push_back(c.rid());
+    }
+    auto& mine = clones[static_cast<size_t>(shard->id())];
+    for (const storage::RecordId rid : rids) {
+      bson::Document copy;
+      if (const auto it = mine.find(rid); it != mine.end()) {
+        copy = std::move(it->second);
+      } else {
+        const bson::Document* doc = shard->collection().records().Get(rid);
+        if (doc == nullptr) continue;
+        copy = *doc;
+      }
+      Result<storage::RecordId> inserted = dest.InsertLocked(std::move(copy));
+      if (!inserted.ok()) return inserted.status();
+      if (Status s = shard->RemoveLocked(rid); !s.ok()) return s;
+      ++moved;
+    }
+    if (!rids.empty()) shard->OnDataDistributionChanged();
+  }
+  if (moved > 0) {
+    // Planner stats and the plan cache invalidate per migrated chunk — the
+    // recipient's distribution moved under any cached choice.
+    dest.OnDataDistributionChanged();
+    docs_moved.Increment(moved);
+  }
+  chunks_migrated.Increment();
+  return Status::OK();
+}
+
+}  // namespace stix::cluster

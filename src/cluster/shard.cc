@@ -270,9 +270,13 @@ Status Shard::Recover(const std::string& dir, storage::WalOptions options,
     }
   }
 
-  // Histograms resample from the recovered data on first query.
-  stats_.MarkStale();
-  plan_cache_.InvalidateAll();
+  // Rebuild the statistics from the recovered record store outright.
+  // MarkStale() is NOT enough here: recovery bypasses stats_.Observe (only
+  // the live insert path feeds it), so the statistics' own document count is
+  // still zero and both NeedsRebuild() and ReliableForEstimation() take the
+  // empty-shard short-circuit — the cost model would estimate every scan on
+  // this populated shard at exactly 0 keys/docs and plan from it.
+  RebuildStatsFromStorage();
 
   Result<std::unique_ptr<storage::WriteAheadLog>> wal =
       storage::WriteAheadLog::Open(dir + "/wal.log", options,
@@ -305,6 +309,10 @@ const geo::GeoHash* Shard::StatsGeoHash() const {
 
 void Shard::MaybeRebuildStats() const {
   if (!stats_.NeedsRebuild()) return;
+  RebuildStatsFromStorage();
+}
+
+void Shard::RebuildStatsFromStorage() const {
   const uint64_t generation = stats_.rebuild_generation();
   const geo::GeoHash* geohash = StatsGeoHash();
   query::stats::RebuildSample sample;

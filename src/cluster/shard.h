@@ -208,6 +208,16 @@ class Shard {
   /// the statistics and plan cache lock themselves.
   void MaybeRebuildStats() const;
 
+  /// Unconditional statistics rebuild from the record store (the body of
+  /// MaybeRebuildStats without the drift check). Recovery must use this
+  /// rather than MarkStale(): a recovered shard's statistics never saw an
+  /// Observe() call, so their live document count is zero and the
+  /// "empty shard" short-circuit would report them reliable — the cost
+  /// model would then trust estimates of exactly 0 over a populated record
+  /// store. Safe under either lock mode; the statistics lock themselves and
+  /// the generation guard discards a rebuild that lost a race.
+  void RebuildStatsFromStorage() const;
+
   /// Migration hook: a chunk moved onto or off this shard. Marks the
   /// statistics stale (the next query triggers a rebuild) and invalidates
   /// cached plan choices immediately.

@@ -1,0 +1,38 @@
+#ifndef STIX_COMMON_PERCENTILE_H_
+#define STIX_COMMON_PERCENTILE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace stix {
+
+// Nearest-rank percentile (the convention used by every BENCH_*.json gate):
+// the p-th percentile of N sorted samples is the value at one-based rank
+// ceil(p/100 * N), i.e. the smallest sample such that at least p percent of
+// the samples are <= it. Unlike linear interpolation this always returns an
+// observed sample, so a gate like "p99 < 250 ms" can never be satisfied by a
+// synthetic value that no request actually experienced.
+//
+// `sorted` must be ascending. p is clamped to [0, 100]; an empty input
+// yields 0.0.
+inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+  const double n = static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(std::ceil(clamped / 100.0 * n));
+  if (rank == 0) rank = 1;  // p == 0 means "the minimum"
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+// Convenience overload that sorts a copy.
+inline double PercentileOf(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, p);
+}
+
+}  // namespace stix
+
+#endif  // STIX_COMMON_PERCENTILE_H_

@@ -52,7 +52,7 @@ StStore::StStore(const StStoreOptions& options)
 StStore::StStore(StStoreOptions resolved,
                  std::unique_ptr<cluster::Cluster> cluster)
     : options_(std::move(resolved)),
-      approach_(options_.approach),
+      approach_(std::make_shared<const Approach>(options_.approach)),
       cluster_(cluster != nullptr
                    ? std::move(cluster)
                    : std::make_unique<cluster::Cluster>(options_.cluster)),
@@ -78,14 +78,14 @@ Status StStore::OpenCatalogJournal(bool fresh) {
 }
 
 Status StStore::Setup() {
-  Status s = cluster_->ShardCollection(approach_.shard_key());
+  Status s = cluster_->ShardCollection(approach_->shard_key());
   if (!s.ok()) return s;
   // Bucketed stores skip the per-point secondary indexes: stored documents
   // are buckets keyed by window start (and cell base), which the shard-key
   // index already serves; a 2dsphere index over compressed columns would
   // index nothing useful.
   if (bucketed()) return OpenCatalogJournal(/*fresh=*/true);
-  for (const index::IndexDescriptor& desc : approach_.secondary_indexes()) {
+  for (const index::IndexDescriptor& desc : approach_->secondary_indexes()) {
     s = cluster_->CreateIndex(desc);
     if (!s.ok()) return s;
   }
@@ -106,7 +106,17 @@ Status StStore::Insert(bson::Document doc) {
     }
     ++inserted_;
   }
-  const Status s = approach_.EnrichDocument(&doc);
+  // During a reshard the document must fit both layouts: the live approach
+  // keys today's routing, the target approach keys the table it will land
+  // in after the copy (EnrichDocument is a no-op for baselines).
+  std::shared_ptr<const Approach> live, target;
+  {
+    const std::lock_guard<std::mutex> lock(approach_mu_);
+    live = approach_;
+    target = reshard_target_;
+  }
+  Status s = live->EnrichDocument(&doc);
+  if (s.ok() && target != nullptr) s = target->EnrichDocument(&doc);
   if (!s.ok()) return s;
   if (catalog_ != nullptr) {
     if (journal_ == nullptr) return catalog_->Add(std::move(doc));
@@ -153,7 +163,7 @@ Status StStore::Checkpoint() {
 }
 
 Status StStore::ConfigureZones() {
-  return cluster_->SetZonesByBucketAuto(approach_.zone_path());
+  return cluster_->SetZonesByBucketAuto(approach().zone_path());
 }
 
 Result<std::unique_ptr<StStore>> StStore::Recover(
@@ -270,13 +280,13 @@ StQueryResult StStore::Query(const geo::Rect& rect, int64_t t_begin_ms,
   return OpenQuery(rect, t_begin_ms, t_end_ms, full_drain).Drain();
 }
 
-size_t StStore::CoverBudgetFor(const geo::Rect& rect, int64_t t_begin_ms,
-                               int64_t t_end_ms) const {
-  if (!approach_.uses_hilbert()) return 0;
+size_t StStore::CoverBudgetFor(const Approach& ap, const geo::Rect& rect,
+                               int64_t t_begin_ms, int64_t t_end_ms) const {
+  if (!ap.uses_hilbert()) return 0;
   const double time_fraction =
       cluster_->EstimateFraction(kDateField, t_begin_ms, t_end_ms);
-  if (time_fraction < 0.0) return approach_.PickCoverBudget(-1.0);
-  const geo::Rect& domain = approach_.hilbert()->grid().domain();
+  if (time_fraction < 0.0) return ap.PickCoverBudget(-1.0);
+  const geo::Rect& domain = ap.hilbert()->grid().domain();
   geo::Rect clipped;
   clipped.lo.lon = std::max(rect.lo.lon, domain.lo.lon);
   clipped.lo.lat = std::max(rect.lo.lat, domain.lo.lat);
@@ -285,7 +295,7 @@ size_t StStore::CoverBudgetFor(const geo::Rect& rect, int64_t t_begin_ms,
   const double domain_area = domain.AreaDeg2();
   const double spatial_fraction =
       domain_area > 0.0 ? clipped.AreaDeg2() / domain_area : 1.0;
-  return approach_.PickCoverBudget(time_fraction * spatial_fraction);
+  return ap.PickCoverBudget(time_fraction * spatial_fraction);
 }
 
 StCursor StStore::OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
@@ -294,9 +304,10 @@ StCursor StStore::OpenQuery(const geo::Rect& rect, int64_t t_begin_ms,
   // Best effort: a failed flush (injected fault) leaves its points
   // buffered for a later retry; the query still sees everything flushed.
   (void)FlushBuckets();
-  TranslatedQuery translated =
-      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms,
-                               CoverBudgetFor(rect, t_begin_ms, t_end_ms));
+  const std::shared_ptr<const Approach> ap = TranslationApproach();
+  TranslatedQuery translated = ap->TranslateQuery(
+      rect, t_begin_ms, t_end_ms,
+      CoverBudgetFor(*ap, rect, t_begin_ms, t_end_ms));
   std::unique_ptr<cluster::ClusterCursor> cursor = cluster_->OpenCursor(
       translated.expr, ToClusterCursorOptions(cursor_options));
   return StCursor(std::move(translated), std::move(cursor));
@@ -306,11 +317,12 @@ StExplain StStore::Explain(const geo::Rect& rect, int64_t t_begin_ms,
                            int64_t t_end_ms,
                            query::ExplainVerbosity verbosity) const {
   (void)FlushBuckets();
-  const TranslatedQuery translated =
-      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms,
-                               CoverBudgetFor(rect, t_begin_ms, t_end_ms));
+  const std::shared_ptr<const Approach> ap = TranslationApproach();
+  const TranslatedQuery translated = ap->TranslateQuery(
+      rect, t_begin_ms, t_end_ms,
+      CoverBudgetFor(*ap, rect, t_begin_ms, t_end_ms));
   StExplain explain;
-  explain.approach = approach_.name();
+  explain.approach = ap->name();
   explain.cover_millis = translated.cover_millis;
   explain.num_ranges = translated.num_ranges;
   explain.num_singletons = translated.num_singletons;
@@ -324,9 +336,10 @@ Result<uint64_t> StStore::Delete(const geo::Rect& rect, int64_t t_begin_ms,
                                  int64_t t_end_ms) {
   const Status s = FlushBuckets();
   if (!s.ok()) return s;
-  const TranslatedQuery translated =
-      approach_.TranslateQuery(rect, t_begin_ms, t_end_ms,
-                               CoverBudgetFor(rect, t_begin_ms, t_end_ms));
+  const std::shared_ptr<const Approach> ap = TranslationApproach();
+  const TranslatedQuery translated = ap->TranslateQuery(
+      rect, t_begin_ms, t_end_ms,
+      CoverBudgetFor(*ap, rect, t_begin_ms, t_end_ms));
   return cluster_->Delete(translated.expr);
 }
 
@@ -344,10 +357,82 @@ StCursor StStore::OpenPolygonQuery(const geo::Polygon& polygon,
                                    const StCursorOptions& cursor_options) const {
   (void)FlushBuckets();
   TranslatedQuery translated =
-      approach_.TranslatePolygonQuery(polygon, t_begin_ms, t_end_ms);
+      TranslationApproach()->TranslatePolygonQuery(polygon, t_begin_ms,
+                                                   t_end_ms);
   std::unique_ptr<cluster::ClusterCursor> cursor = cluster_->OpenCursor(
       translated.expr, ToClusterCursorOptions(cursor_options));
   return StCursor(std::move(translated), std::move(cursor));
+}
+
+Status StStore::Reshard(ApproachKind to_kind) {
+  if (bucketed()) {
+    return Status::NotSupported("resharding a bucketed store");
+  }
+  if (durable()) {
+    return Status::NotSupported("resharding a durable store");
+  }
+
+  // Build the target approach (and the transition translator) outside the
+  // lock — Approach construction builds a Hilbert curve for hil*.
+  ApproachConfig next_config = options_.approach;
+  next_config.kind = to_kind;
+  const auto next = std::make_shared<const Approach>(next_config);
+  ApproachConfig bridge_config = options_.approach;
+  bridge_config.kind = ApproachKind::kBslTS;
+  const auto bridge = std::make_shared<const Approach>(bridge_config);
+
+  {
+    const std::lock_guard<std::mutex> lock(approach_mu_);
+    if (reshard_target_ != nullptr) {
+      return Status::AlreadyExists("a reshard is already in progress");
+    }
+    if (approach_->kind() == to_kind) {
+      return Status::InvalidArgument("store already uses this approach");
+    }
+    if (approach_->shard_key().paths() == next->shard_key().paths()) {
+      return Status::InvalidArgument(
+          "new approach shares the current shard key");
+    }
+    // Install the transition state before the cluster starts migrating:
+    // from here every insert is enriched for both layouts and every query
+    // translates through the layout-agnostic bridge.
+    reshard_target_ = next;
+    reshard_translate_ = bridge;
+  }
+
+  // The cluster-side enrichment pass only needs to add what the target
+  // layout requires and live dual-enriched inserts already carry; baselines
+  // need nothing, and a document that already has its hilbertIndex must be
+  // reported unmodified so the copier skips the rewrite.
+  const cluster::Cluster::ReshardEnrichFn enrich =
+      [next](bson::Document* doc) -> Result<bool> {
+    if (!next->uses_hilbert()) return false;
+    if (doc->Get(kHilbertField) != nullptr) return false;
+    if (Status s = next->EnrichDocument(doc); !s.ok()) return s;
+    return true;
+  };
+
+  const Status s =
+      cluster_->Reshard(next->shard_key(), next->secondary_indexes(), enrich);
+
+  const std::lock_guard<std::mutex> lock(approach_mu_);
+  if (s.ok()) {
+    retired_approaches_.push_back(approach_);
+    approach_ = next;
+    options_.approach.kind = to_kind;
+    reshard_target_ = nullptr;
+    reshard_translate_ = nullptr;
+    return s;
+  }
+  // A failure after the routing flip leaves the cluster permanently
+  // broadcasting with documents under either layout — keep the dual
+  // enrichment and the bridge translator, which stay correct there. A
+  // pre-flip failure unwound cleanly, so drop the transition state.
+  if (!cluster_->resharding()) {
+    reshard_target_ = nullptr;
+    reshard_translate_ = nullptr;
+  }
+  return s;
 }
 
 std::optional<double> StStore::MinBucketDistanceM(geo::Point center,

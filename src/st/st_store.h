@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "bson/object_id.h"
 #include "cluster/cluster.h"
@@ -110,7 +111,13 @@ class StStore {
  public:
   explicit StStore(const StStoreOptions& options);
 
-  const Approach& approach() const { return approach_; }
+  /// The live approach. The returned reference stays valid across a
+  /// Reshard() (superseded approaches are retired, never destroyed), but
+  /// names the store's layout only as of the call.
+  const Approach& approach() const {
+    const std::lock_guard<std::mutex> lock(approach_mu_);
+    return *approach_;
+  }
   cluster::Cluster& cluster() { return *cluster_; }
   const cluster::Cluster& cluster() const { return *cluster_; }
 
@@ -190,6 +197,24 @@ class StStore {
   Result<uint64_t> Delete(const geo::Rect& rect, int64_t t_begin_ms,
                           int64_t t_end_ms);
 
+  /// Live approach migration: reshards the populated cluster onto
+  /// `to_kind`'s shard key (Cluster::Reshard — enrichment, new indexes,
+  /// chunk-by-chunk copy) while queries and writers keep running, then
+  /// swaps the store's approach. During the transition, inserts are
+  /// enriched for both layouts and queries translate baseline-style
+  /// (spatial + time predicates only — correct on either layout, at
+  /// broadcast cost). The target must use a different shard key than the
+  /// current approach (bsl* <-> hil*); same-key migrations return
+  /// InvalidArgument, bucketed/durable stores NotSupported, and a second
+  /// concurrent call AlreadyExists.
+  Status Reshard(ApproachKind to_kind);
+
+  /// True while a Reshard() is migrating data (queries broadcast).
+  bool resharding() const {
+    const std::lock_guard<std::mutex> lock(approach_mu_);
+    return reshard_target_ != nullptr;
+  }
+
   /// True when the store uses the bucketed collection layout.
   bool bucketed() const { return catalog_ != nullptr; }
 
@@ -224,11 +249,30 @@ class StStore {
   /// the rect's area share of the curve domain (uniformity assumption —
   /// only steers coarse-vs-exact covering, never correctness) and lets the
   /// approach pick. Unknown selectivity (no histograms yet) stays exact.
-  size_t CoverBudgetFor(const geo::Rect& rect, int64_t t_begin_ms,
-                        int64_t t_end_ms) const;
+  /// `ap` is the approach about to translate the query.
+  size_t CoverBudgetFor(const Approach& ap, const geo::Rect& rect,
+                        int64_t t_begin_ms, int64_t t_end_ms) const;
+
+  /// The approach that should translate queries right now: the transition
+  /// translator while a reshard is in flight, the live approach otherwise.
+  std::shared_ptr<const Approach> TranslationApproach() const {
+    const std::lock_guard<std::mutex> lock(approach_mu_);
+    return reshard_translate_ != nullptr ? reshard_translate_ : approach_;
+  }
 
   StStoreOptions options_;
-  Approach approach_;
+  /// The live approach plus the reshard transition state, all under
+  /// approach_mu_. Superseded approaches move to retired_approaches_ so
+  /// references handed out by approach() never dangle.
+  mutable std::mutex approach_mu_;
+  std::shared_ptr<const Approach> approach_;
+  /// Non-null while a Reshard() runs: the approach being migrated to
+  /// (inserts enrich for it in addition to the live approach).
+  std::shared_ptr<const Approach> reshard_target_;
+  /// Non-null while a Reshard() runs: a baseline-config translator whose
+  /// predicates (spatial + time only) are correct on either layout.
+  std::shared_ptr<const Approach> reshard_translate_;
+  std::vector<std::shared_ptr<const Approach>> retired_approaches_;
   /// Owned pointer (not a value) so Recover can hand over a cluster rebuilt
   /// by cluster::RecoverCluster — Cluster itself is not movable.
   std::unique_ptr<cluster::Cluster> cluster_;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/lz.h"
+#include "common/percentile.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -362,6 +363,53 @@ TEST(StopwatchTest, RestartResets) {
   const int64_t before = sw.ElapsedNanos();
   sw.Restart();
   EXPECT_LE(sw.ElapsedNanos(), before);
+}
+
+// ---------- Percentile ----------
+
+TEST(PercentileTest, NearestRankOnKnownArray) {
+  // The canonical nearest-rank example: 5 samples. ceil(p/100 * 5) gives
+  // ranks 2, 3, 4, 5, 5 for p = 30, 40, 75, 95, 99.
+  const std::vector<double> v = {15, 20, 35, 40, 50};
+  EXPECT_EQ(PercentileOf(v, 30), 20);
+  EXPECT_EQ(PercentileOf(v, 40), 20);   // ceil(2.0) = 2 -> second sample
+  EXPECT_EQ(PercentileOf(v, 50), 35);
+  EXPECT_EQ(PercentileOf(v, 75), 40);
+  EXPECT_EQ(PercentileOf(v, 95), 50);
+  EXPECT_EQ(PercentileOf(v, 99), 50);
+  EXPECT_EQ(PercentileOf(v, 100), 50);
+  EXPECT_EQ(PercentileOf(v, 0), 15);
+}
+
+TEST(PercentileTest, P50P95P99OnHundredSamples) {
+  // 1..100: rank for p is exactly ceil(p), so pN == N for integer p.
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_EQ(PercentileOf(v, 50), 50);
+  EXPECT_EQ(PercentileOf(v, 95), 95);
+  EXPECT_EQ(PercentileOf(v, 99), 99);
+}
+
+TEST(PercentileTest, AlwaysReturnsAnObservedSample) {
+  // Two widely separated samples: interpolation would invent values in
+  // between; nearest rank must return one of the two.
+  const std::vector<double> v = {1.0, 1000.0};
+  for (double p : {1.0, 49.0, 50.0, 51.0, 99.0}) {
+    const double got = PercentileOf(v, p);
+    EXPECT_TRUE(got == 1.0 || got == 1000.0) << "p=" << p << " got " << got;
+  }
+  EXPECT_EQ(PercentileOf(v, 50), 1.0);   // ceil(0.5 * 2) = 1 -> first
+  EXPECT_EQ(PercentileOf(v, 51), 1000.0);
+}
+
+TEST(PercentileTest, EmptyAndSingleton) {
+  EXPECT_EQ(PercentileOf({}, 99), 0.0);
+  EXPECT_EQ(PercentileOf({7.5}, 1), 7.5);
+  EXPECT_EQ(PercentileOf({7.5}, 99), 7.5);
+}
+
+TEST(PercentileTest, UnsortedInputIsSorted) {
+  EXPECT_EQ(PercentileOf({50, 15, 40, 20, 35}, 50), 35);
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 // classic run-to-completion Query() results and metrics exactly, at every
 // batch size.
 
+#include <atomic>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -676,6 +678,119 @@ TEST_F(ClusterCursorTest, KillAndAbandonmentCloseEveryShardCursor) {
     EXPECT_GT(open.value(), baseline);
   }
   EXPECT_EQ(open.value(), baseline);
+}
+
+TEST_F(ClusterCursorTest, ConcurrentSessionsKeepPerCursorAccountingExact) {
+  Cluster cluster(Options(/*parallel_fanout=*/true));
+  BuildAndLoad(&cluster);
+  Gauge& open = MetricsRegistry::Instance().GetGauge("cluster.open_cursors");
+  const int64_t baseline = open.value();
+  const ExprPtr q = WideQuery();
+  const ClusterQueryResult reference = cluster.Query(q);
+  ASSERT_EQ(reference.docs.size(), 901u);
+  const std::multiset<int64_t> expected = Ids(reference.docs);
+
+  // Many sessions stream the same query concurrently at staggered batch
+  // sizes; every third one walks away mid-stream via Kill(). Per-cursor
+  // accounting must stay private to its session: batches delivered to
+  // *this* cursor, documents returned by *this* cursor — never a
+  // neighbour's.
+  constexpr int kSessions = 9;
+  std::vector<std::thread> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      CursorOptions copts;
+      copts.batch_size = size_t(40 + 13 * s);
+      auto cursor = cluster.OpenCursor(q, copts);
+      std::vector<bson::Document> docs;
+      int delivered = 0;
+      bool killed = false;
+      while (true) {
+        std::vector<bson::Document> batch = cursor->NextBatch();
+        if (batch.empty()) break;
+        ++delivered;
+        for (bson::Document& d : batch) docs.push_back(std::move(d));
+        if (s % 3 == 2 && delivered == 2) {
+          cursor->Kill();
+          killed = true;
+          break;
+        }
+      }
+      const ClusterQueryResult summary = cursor->Summary();
+      EXPECT_EQ(summary.num_batches, delivered);
+      EXPECT_EQ(summary.n_returned, docs.size());
+      EXPECT_GE(summary.first_result_millis, 0.0);
+      if (killed) {
+        EXPECT_FALSE(summary.status.ok());
+        EXPECT_LT(docs.size(), expected.size());
+      } else {
+        EXPECT_TRUE(summary.status.ok()) << summary.status.ToString();
+        EXPECT_EQ(Ids(docs), expected);
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  EXPECT_EQ(open.value(), baseline);
+}
+
+TEST_F(ClusterCursorTest, ConcurrentSessionsUnderGetMoreFaultsReturnGaugeToBaseline) {
+  Cluster cluster(Options(/*parallel_fanout=*/true));
+  BuildAndLoad(&cluster);
+  Gauge& open = MetricsRegistry::Instance().GetGauge("cluster.open_cursors");
+  const int64_t baseline = open.value();
+  const ExprPtr q = WideQuery();
+  const std::multiset<int64_t> expected = Ids(cluster.Query(q).docs);
+
+  // Arm a burst of getMore faults. Which concurrent session absorbs them is
+  // a race by design — every session must either stream the exact result or
+  // surface the fault, and either way its per-cursor accounting stays
+  // consistent and its shard cursors close.
+  FailPoint* fp = FailPointRegistry::Instance().Find("shardGetMore");
+  ASSERT_NE(fp, nullptr);
+  FailPoint::Config config;
+  config.mode = FailPoint::Mode::kTimes;
+  config.count = 6;
+  config.error_code = StatusCode::kInternal;
+  config.error_message = "injected getMore fault under concurrency";
+  fp->Enable(config);
+
+  constexpr int kSessions = 8;
+  std::atomic<int> faulted{0};
+  std::vector<std::thread> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      CursorOptions copts;
+      copts.batch_size = size_t(30 + 7 * s);
+      auto cursor = cluster.OpenCursor(q, copts);
+      std::vector<bson::Document> docs;
+      int delivered = 0;
+      while (true) {
+        std::vector<bson::Document> batch = cursor->NextBatch();
+        if (batch.empty()) break;
+        ++delivered;
+        for (bson::Document& d : batch) docs.push_back(std::move(d));
+      }
+      const ClusterQueryResult summary = cursor->Summary();
+      EXPECT_EQ(summary.num_batches, delivered);
+      EXPECT_EQ(summary.n_returned, docs.size());
+      EXPECT_TRUE(cursor->exhausted());
+      if (summary.status.ok()) {
+        EXPECT_EQ(Ids(docs), expected);
+      } else {
+        faulted.fetch_add(1);
+        EXPECT_LE(docs.size(), expected.size());
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  fp->Disable();
+
+  EXPECT_GT(faulted.load(), 0);      // the burst hit someone
+  EXPECT_LT(faulted.load(), kSessions);  // and someone streamed clean
+  EXPECT_EQ(open.value(), baseline);
+
+  // The cluster is unharmed: a fresh one-shot query is exact.
+  EXPECT_EQ(Ids(cluster.Query(q).docs), expected);
 }
 
 }  // namespace

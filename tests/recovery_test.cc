@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "st/st_store.h"
 #include "storage/checkpoint.h"
@@ -407,6 +408,66 @@ TEST_F(RecoveryScenarioTest, WritesAfterRecoverySurviveNextRecovery) {
         << (bucketed ? "bucket" : "row")
         << " layout lost post-recovery writes";
   }
+}
+
+// Regression: recovery replays the WAL/checkpoint straight into the record
+// store without feeding ShardStatistics::Observe, so a recovered shard's
+// statistics report zero documents. MarkStale() alone cannot repair that —
+// zero-doc statistics take the "empty shard" short-circuit and claim to be
+// reliable, so the cost model would happily estimate 0 keys/docs for every
+// plan over a populated shard. Recovery must rebuild the statistics from
+// the record store outright; this locks that in.
+TEST_F(RecoveryScenarioTest, RecoveredShardStatsAreRebuiltAndReliable) {
+  StStoreOptions options = DurableOptions(dir_.path(), false);
+  options.approach.kind = ApproachKind::kBslST;  // two candidate plans
+  {
+    StStore store(options);
+    ASSERT_TRUE(store.Setup().ok());
+    for (int64_t id = 0; id < 150; ++id) {
+      const double lon = 0.5 + (id % 90) / 10.0;
+      ASSERT_TRUE(store.Insert(ScenarioDoc(id, lon, 5.0)).ok());
+    }
+    ASSERT_TRUE(store.FinishLoad().ok());
+    ASSERT_TRUE(store.Checkpoint().ok());
+  }
+
+  const Result<std::unique_ptr<StStore>> recovered = StStore::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  // Before any query runs: every populated shard's statistics must already
+  // agree with its record store and admit to being usable for estimation.
+  for (const auto& shard : (*recovered)->cluster().shards()) {
+    const uint64_t stored = shard->collection().records().num_records();
+    const query::stats::ShardStatistics& stats = shard->statistics();
+    EXPECT_EQ(stats.total_docs(), stored) << "shard " << shard->id();
+    EXPECT_TRUE(stats.ReliableForEstimation()) << "shard " << shard->id();
+    if (stored > 0) {
+      // The whole date span must estimate roughly the full shard, not 0.
+      EXPECT_GT(stats.EstimateRange(kDateField, 0, 30000LL * 1000000), 0.0)
+          << "shard " << shard->id();
+    }
+  }
+
+  // And a cost-planned query must actually use them: plans_estimated moves
+  // and the cost-picked shards carry non-zero key estimates (the broken
+  // behaviour was "reliable" zero-histograms estimating 0 for everything).
+  const uint64_t estimated_before =
+      MetricsRegistry::Instance().GetCounter("planner.plans_estimated")
+          .value();
+  const StExplain explain =
+      (*recovered)->Explain({{0.0, 4.0}, {10.0, 6.0}}, 0, 30000LL * 1000000);
+  EXPECT_GT(MetricsRegistry::Instance()
+                .GetCounter("planner.plans_estimated")
+                .value(),
+            estimated_before);
+  bool saw_positive_estimate = false;
+  for (const cluster::ShardExplain& se : explain.cluster.shards) {
+    if (se.planned_by == "cost" && se.estimated_keys > 0.0) {
+      saw_positive_estimate = true;
+    }
+  }
+  EXPECT_TRUE(saw_positive_estimate)
+      << "no shard planned by cost with a positive estimate after recovery";
 }
 
 }  // namespace

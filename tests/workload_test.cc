@@ -1,8 +1,12 @@
+#include <algorithm>
 #include <map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "st/st_store.h"
 #include "workload/query_workload.h"
+#include "workload/traffic.h"
 #include "workload/trajectory_generator.h"
 #include "workload/uniform_generator.h"
 
@@ -210,6 +214,131 @@ TEST(QueryWorkloadTest, NamesFollowPaperNotation) {
   EXPECT_EQ(qs[0].name, "Q1^s");
   const auto qb = MakeQuerySet(true, 0, 40LL * 24 * 3600 * 1000);
   EXPECT_EQ(qb[3].name, "Q4^b");
+}
+
+// ---------- open-loop traffic harness ----------
+
+TrafficConfig SmallTrafficConfig(uint64_t seed) {
+  TrafficConfig config;
+  config.seed = seed;
+  config.num_sessions = 60;
+  config.total_ops = 600;
+  config.preload_per_session = 2;
+  config.arrivals_per_sec = 3000.0;
+  return config;
+}
+
+TEST(TrafficTest, SameSeedYieldsByteIdenticalPlan) {
+  const TrafficConfig config = SmallTrafficConfig(12345);
+  const TrafficPlan a = GenerateTrafficPlan(config);
+  const TrafficPlan b = GenerateTrafficPlan(config);
+  EXPECT_EQ(a.SerializeOps(), b.SerializeOps());
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  TrafficConfig other = config;
+  other.seed = 12346;
+  const TrafficPlan c = GenerateTrafficPlan(other);
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_NE(a.SerializeOps(), c.SerializeOps());
+}
+
+TEST(TrafficTest, PlanRespectsStructuralInvariants) {
+  const TrafficPlan plan = GenerateTrafficPlan(SmallTrafficConfig(7));
+  ASSERT_EQ(plan.ops.size(), size_t(plan.config.total_ops));
+  ASSERT_EQ(plan.sessions.size(), size_t(plan.config.num_sessions));
+  ASSERT_EQ(plan.preload.size(),
+            size_t(plan.config.num_sessions * plan.config.preload_per_session));
+
+  double prev_arrival = 0.0;
+  for (const TrafficOp& op : plan.ops) {
+    EXPECT_GE(op.arrival_ms, prev_arrival);
+    prev_arrival = op.arrival_ms;
+    ASSERT_GE(op.session, 0);
+    ASSERT_LT(op.session, plan.config.num_sessions);
+    const TrafficSession& session = plan.sessions[size_t(op.session)];
+    switch (op.op_class) {
+      case TrafficOpClass::kUpdate:
+        EXPECT_GE(op.del_fid, 0);
+        EXPECT_TRUE(session.cell.Contains({op.del_lon, op.del_lat}));
+        [[fallthrough]];
+      case TrafficOpClass::kInsert:
+        // Every write lands inside the session's private cell — the
+        // invariant the parity oracle stands on.
+        EXPECT_GE(op.fid, 0);
+        EXPECT_TRUE(session.cell.Contains({op.lon, op.lat}));
+        break;
+      case TrafficOpClass::kRectQuery:
+      case TrafficOpClass::kPolygonQuery:
+        EXPECT_LE(op.t_begin_ms, op.t_end_ms);
+        break;
+      case TrafficOpClass::kKnnQuery:
+        EXPECT_GT(op.k, 0u);
+        break;
+    }
+  }
+
+  // Session cells are pairwise disjoint (shrunken grid cells), so one
+  // session's writes can never leak into another session's oracle query.
+  for (size_t i = 0; i < plan.sessions.size(); ++i) {
+    for (size_t j = i + 1; j < plan.sessions.size(); ++j) {
+      EXPECT_FALSE(plan.sessions[i].cell.Intersects(plan.sessions[j].cell))
+          << "sessions " << i << " and " << j << " overlap";
+    }
+    // Ground truth is sorted — VerifyTrafficParity compares sorted fids.
+    EXPECT_TRUE(std::is_sorted(plan.sessions[i].live_fids.begin(),
+                               plan.sessions[i].live_fids.end()));
+  }
+}
+
+TEST(TrafficTest, ZipfSamplerConcentratesOnLowRanks) {
+  ZipfSampler zipf(64, 1.1);
+  ASSERT_EQ(zipf.size(), 64u);
+  Rng rng(99);
+  std::vector<int> counts(64, 0);
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const size_t rank = zipf.Sample(&rng);
+    ASSERT_LT(rank, 64u);
+    ++counts[rank];
+  }
+  // Rank 0 is the hottest key by a wide margin, and the head dominates the
+  // tail — the defining Zipf properties, tested loosely enough to never
+  // flake on a fixed seed.
+  EXPECT_GT(counts[0], counts[16] * 4);
+  const int head = counts[0] + counts[1] + counts[2] + counts[3];
+  int tail = 0;
+  for (size_t i = 32; i < 64; ++i) tail += counts[size_t(i)];
+  EXPECT_GT(head, tail);
+}
+
+TEST(TrafficTest, ReshardMidwayRunKeepsExactParity) {
+  TrafficConfig config = SmallTrafficConfig(31337);
+  const TrafficPlan plan = GenerateTrafficPlan(config);
+
+  st::StStoreOptions options;
+  options.approach.kind = st::ApproachKind::kBslTS;
+  options.approach.dataset_mbr = config.region;
+  options.cluster.num_shards = 4;
+  options.cluster.chunk_max_bytes = 16 * 1024;
+  options.cluster.seed = 5;
+  st::StStore store(options);
+  ASSERT_TRUE(store.Setup().ok());
+  ASSERT_TRUE(PreloadTraffic(&store, plan).ok());
+
+  TrafficRunOptions run;
+  run.threads = 4;
+  run.time_scale = 8.0;  // compress the schedule; this is a regression test
+  run.reshard_midway = true;
+  run.reshard_to = st::ApproachKind::kHil;
+  const TrafficReport report = RunTraffic(&store, plan, run);
+
+  EXPECT_EQ(report.total_ops, uint64_t(config.total_ops));
+  EXPECT_EQ(report.total_errors, 0u);
+  EXPECT_TRUE(report.reshard_ran);
+  EXPECT_TRUE(report.reshard_status.ok()) << report.reshard_status.ToString();
+  EXPECT_EQ(store.approach().kind(), st::ApproachKind::kHil);
+  EXPECT_FALSE(store.resharding());
+  EXPECT_EQ(VerifyTrafficParity(store, plan), 0u);
 }
 
 }  // namespace

@@ -79,6 +79,10 @@ struct FuzzConfig {
   bool check_counters = false;
   /// Writer threads for the concurrent phase; 0 disables it.
   int threads = 0;
+  /// Reshard phase: live shard-key migrations (bsl* <-> hil*) under a
+  /// writer storm, then the exact-oracle battery over the migrated stores.
+  /// Replaces the plain concurrent phase (threads picks the storm size).
+  bool reshard = false;
   /// Crash-recovery mode: each seed runs a durable store in a scratch
   /// directory, kills it at a sampled crash point mid-workload, recovers
   /// from disk (twice — replay must be idempotent), and asserts the
@@ -162,10 +166,11 @@ struct SeedContext {
     }
     std::fprintf(stderr,
                  "REPRO: stix_fuzz --seed=%" PRIu64
-                 " --docs=%d --queries=%d --layout=%s --planner=%s%s%s\n",
+                 " --docs=%d --queries=%d --layout=%s --planner=%s%s%s%s\n",
                  seed, config->docs, config->queries, config->layout.c_str(),
                  config->planner.c_str(), threads_arg,
-                 config->crash ? " --crash" : "");
+                 config->crash ? " --crash" : "",
+                 config->reshard ? " --reshard" : "");
   }
 };
 
@@ -744,6 +749,169 @@ bool CheckConcurrent(const std::vector<StStore*>& stores,
   return true;
 }
 
+// Reshard phase (--reshard): live shard-key migrations under a writer
+// storm. One baseline-keyed and one hilbert-keyed row store reshard onto
+// the opposite family's shard key while writer threads insert fresh
+// documents into every store, each cluster's online balancer runs, and the
+// main thread streams queries with the monotone bounds checks (duplicate-
+// free, superset of the pre-storm oracle, subset of the final oracle).
+// After the storm quiesces the migrated stores must have swapped
+// approaches, report the migration finished, and the full differential
+// battery must pass over the combined document set — proving the reshard
+// lost, duplicated and misrouted nothing.
+bool CheckReshardPhase(const std::vector<StStore*>& stores,
+                       const std::vector<StStore*>& row_stores,
+                       const std::vector<FuzzDoc>& base, const geo::Rect& mbr,
+                       int64_t t0, int64_t span, const FuzzConfig& config,
+                       Rng* rng, SeedContext* ctx) {
+  // Victims: the first baseline-keyed and the first hilbert-keyed row
+  // store, migrated onto the opposite family (bslST <-> bslTS share {date}
+  // and would be rejected as a same-key reshard).
+  std::vector<std::pair<StStore*, ApproachKind>> migrations;
+  bool have_baseline = false, have_hilbert = false;
+  for (StStore* const store : row_stores) {
+    const ApproachKind kind = store->approach().kind();
+    const bool hilbert =
+        kind == ApproachKind::kHil || kind == ApproachKind::kHilStar;
+    if (hilbert && !have_hilbert) {
+      migrations.emplace_back(store, ApproachKind::kBslTS);
+      have_hilbert = true;
+    } else if (!hilbert && !have_baseline) {
+      migrations.emplace_back(store, ApproachKind::kHil);
+      have_baseline = true;
+    }
+  }
+  if (migrations.empty()) return true;
+
+  const int num_writers = std::max(2, config.threads);
+  const int extra_per_writer =
+      std::max(1, config.docs / (4 * num_writers));
+  std::vector<std::vector<FuzzDoc>> extra(static_cast<size_t>(num_writers));
+  std::vector<FuzzDoc> all = base;
+  int32_t next_fid = static_cast<int32_t>(base.size());
+  for (std::vector<FuzzDoc>& bucket : extra) {
+    bucket.reserve(static_cast<size_t>(extra_per_writer));
+    for (int i = 0; i < extra_per_writer; ++i) {
+      FuzzDoc d;
+      d.lon = rng->NextDouble(mbr.lo.lon, mbr.hi.lon);
+      d.lat = rng->NextDouble(mbr.lo.lat, mbr.hi.lat);
+      d.t_ms = t0 + static_cast<int64_t>(
+                        rng->NextBounded(static_cast<uint64_t>(span) + 1));
+      d.fid = next_fid++;
+      bucket.push_back(d);
+      all.push_back(d);
+    }
+  }
+  std::vector<FuzzQuery> queries;
+  const int num_queries = std::max(4, config.queries);
+  queries.reserve(static_cast<size_t>(num_queries));
+  for (int i = 0; i < num_queries; ++i) {
+    queries.push_back(GenerateQuery(rng, mbr, t0, span));
+  }
+
+  for (const auto& store : stores) store->cluster().StartBalancer();
+
+  std::vector<Status> reshard_status(migrations.size());
+  std::vector<std::thread> reshard_threads;
+  reshard_threads.reserve(migrations.size());
+  for (size_t m = 0; m < migrations.size(); ++m) {
+    reshard_threads.emplace_back([&migrations, &reshard_status, m] {
+      reshard_status[m] = migrations[m].first->Reshard(migrations[m].second);
+    });
+  }
+
+  std::atomic<bool> write_failed{false};
+  std::vector<std::thread> writers;
+  writers.reserve(static_cast<size_t>(num_writers));
+  for (int t = 0; t < num_writers; ++t) {
+    writers.emplace_back([&stores, &extra, t, &write_failed] {
+      for (const FuzzDoc& d : extra[static_cast<size_t>(t)]) {
+        for (const auto& store : stores) {
+          if (!store->Insert(MakeDoc(d)).ok()) {
+            write_failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  bool ok = true;
+  for (const FuzzQuery& q : queries) {
+    const std::vector<int32_t> lower = OracleFids(base, q);
+    const std::vector<int32_t> upper = OracleFids(all, q);
+    const std::set<int32_t> upper_set(upper.begin(), upper.end());
+    for (const auto& store : stores) {
+      const char* name = store->approach().name();
+      st::StCursorOptions copts;
+      copts.batch_size = 17;
+      Status status;
+      const std::vector<int32_t> got = DrainFids(
+          store->OpenQuery(q.rect, q.t_begin_ms, q.t_end_ms, copts), &status);
+      if (!status.ok()) {
+        ctx->Report(name, "reshard-mid-status", q, 0, 1);
+        ok = false;
+        break;
+      }
+      if (HasDuplicates(got)) {
+        ctx->Report(name, "reshard-mid-duplicates", q, lower.size(),
+                    got.size());
+        ok = false;
+        break;
+      }
+      bool bounds_ok =
+          std::includes(got.begin(), got.end(), lower.begin(), lower.end());
+      for (const int32_t fid : got) {
+        if (upper_set.count(fid) == 0) bounds_ok = false;
+      }
+      if (!bounds_ok) {
+        ctx->Report(name, "reshard-mid-bounds", q, lower.size(), got.size());
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) break;
+  }
+
+  for (std::thread& w : writers) w.join();
+  for (std::thread& r : reshard_threads) r.join();
+  for (const auto& store : stores) store->cluster().StopBalancer();
+  if (write_failed.load()) {
+    std::fprintf(stderr,
+                 "FATAL: reshard-phase insert failed (seed=%" PRIu64 ")\n",
+                 ctx->seed);
+    ++ctx->divergences;
+    return false;
+  }
+  if (!ok) return false;
+
+  const FuzzQuery full{mbr, t0, t0 + span};
+  for (size_t m = 0; m < migrations.size(); ++m) {
+    StStore* const store = migrations[m].first;
+    if (!reshard_status[m].ok()) {
+      std::fprintf(stderr, "reshard failed: %s\n",
+                   reshard_status[m].ToString().c_str());
+      ctx->Report(store->approach().name(), "reshard-status", full, 0, 1);
+      return false;
+    }
+    if (store->approach().kind() != migrations[m].second ||
+        store->resharding() || store->cluster().resharding()) {
+      ctx->Report(store->approach().name(), "reshard-not-swapped", full, 1,
+                  0);
+      return false;
+    }
+  }
+
+  // Quiesced: the migrated stores answer from the new layout; the full
+  // battery (oracle, batch invariance, limits, explain sums, additivity)
+  // must hold over base + extra.
+  for (int i = 0; i < 2; ++i) {
+    const FuzzQuery q = GenerateQuery(rng, mbr, t0, span);
+    if (!CheckQuery(stores, all, q, rng, ctx)) return false;
+  }
+  return true;
+}
+
 // Crash-recovery phase (--crash): one durable store per seed, killed at a
 // sampled crash point mid-load, then recovered from disk. The oracle is the
 // durability contract rather than a query result:
@@ -1133,7 +1301,13 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config,
     return false;
   }
 
-  if (config.threads > 0) {
+  if (config.reshard) {
+    Rng reshard_rng = rng.Fork();
+    if (!CheckReshardPhase(stores, row_stores, docs, mbr, t0, span, config,
+                           &reshard_rng, &ctx)) {
+      return false;
+    }
+  } else if (config.threads > 0) {
     Rng concurrent_rng = rng.Fork();
     if (!CheckConcurrent(stores, docs, mbr, t0, span, config, &concurrent_rng,
                          &ctx)) {
@@ -1190,6 +1364,8 @@ int FuzzMain(int argc, char** argv) {
       config.threads = std::atoi(value("--threads="));
     } else if (arg == "--crash") {
       config.crash = true;
+    } else if (arg == "--reshard") {
+      config.reshard = true;
     } else if (arg.rfind("--layout=", 0) == 0) {
       config.layout = value("--layout=");
       if (config.layout != "row" && config.layout != "bucket" &&
@@ -1213,6 +1389,7 @@ int FuzzMain(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: stix_fuzz [--seed=N | --seeds=N --seed-base=N] "
                    "[--docs=N] [--queries=N] [--threads=N] [--crash] "
+                   "[--reshard] "
                    "[--layout=row|bucket|both] [--planner=race|cost|both] "
                    "[--no-failpoints] [--verbose] [--profile] "
                    "[--server-status] [--check-counters] "
