@@ -54,6 +54,128 @@ struct CellSpan {
   uint32_t x0, y0, x1, y1;  // inclusive
 };
 
+bool SpanContains(const CellSpan& s, uint32_t x, uint32_t y) {
+  return x >= s.x0 && x <= s.x1 && y >= s.y0 && y <= s.y1;
+}
+
+// ---- Continuous curves without quadtree blocks: boundary walk. ----
+//
+// The Onion curve visits cells in one continuous path (consecutive d values
+// are edge-adjacent cells) but an aligned block's d values are not one
+// aligned interval, so the quadtree descent below does not apply. For any
+// continuous curve the d values of the cells inside the query span still
+// form a union of maximal intervals, and an interval can only *begin* at a
+// cell whose predecessor cell (d - 1) lies outside the span, and *end* at
+// one whose successor lies outside. By continuity those neighbours are grid
+// neighbours, so qualifying cells always sit on the span's perimeter:
+// enumerate the perimeter (O(width + height) cells, never the area),
+// classify each cell, sort the starts and ends, and zip them into ranges —
+// maximal, sorted, disjoint and non-adjacent by construction.
+
+void ClassifyPerimeterCell(const Curve2D& curve, const CellSpan& span,
+                           uint32_t x, uint32_t y,
+                           std::vector<uint64_t>* starts,
+                           std::vector<uint64_t>* ends) {
+  const uint64_t d = curve.XyToD(x, y);
+  uint32_t nx, ny;
+  bool is_start = d == 0;
+  if (!is_start) {
+    curve.DToXy(d - 1, &nx, &ny);
+    is_start = !SpanContains(span, nx, ny);
+  }
+  if (is_start) starts->push_back(d);
+  bool is_end = d == curve.num_cells() - 1;
+  if (!is_end) {
+    curve.DToXy(d + 1, &nx, &ny);
+    is_end = !SpanContains(span, nx, ny);
+  }
+  if (is_end) ends->push_back(d);
+}
+
+// Coarsens `covering` to at most `max_ranges` ranges by bridging the
+// smallest inter-range gaps (keeping the max_ranges - 1 widest gaps as the
+// surviving splits). Bridged gap cells join num_cells — the same sound-
+// superset budget contract as the descent's whole-frontier-block emission:
+// fewer, wider ranges, never a missed cell.
+void MergeSmallestGaps(Covering* covering, size_t max_ranges) {
+  const std::vector<DRange>& ranges = covering->ranges;
+  std::vector<std::pair<uint64_t, size_t>> gaps;  // (width, follower index)
+  gaps.reserve(ranges.size() - 1);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    gaps.emplace_back(ranges[i].lo - ranges[i - 1].hi - 1, i);
+  }
+  // Deterministic: widest gaps survive, ties broken by position.
+  std::sort(gaps.begin(), gaps.end(),
+            [](const std::pair<uint64_t, size_t>& a,
+               const std::pair<uint64_t, size_t>& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  std::vector<bool> split(ranges.size(), false);
+  for (size_t i = 0; i + 1 < max_ranges && i < gaps.size(); ++i) {
+    split[gaps[i].second] = true;
+  }
+  std::vector<DRange> merged;
+  merged.reserve(max_ranges);
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (i == 0 || split[i]) {
+      merged.push_back(ranges[i]);
+    } else {
+      merged.back().hi = ranges[i].hi;
+    }
+  }
+  covering->ranges = std::move(merged);
+  covering->num_cells = 0;
+  for (const DRange& r : covering->ranges) {
+    covering->num_cells += r.hi - r.lo + 1;
+  }
+}
+
+Covering CoverSpanByBoundaryWalk(const Curve2D& curve, const CellSpan& span,
+                                 size_t max_ranges) {
+  std::vector<uint64_t> starts, ends;
+  for (uint32_t x = span.x0; x <= span.x1; ++x) {
+    ClassifyPerimeterCell(curve, span, x, span.y0, &starts, &ends);
+    if (span.y1 != span.y0) {
+      ClassifyPerimeterCell(curve, span, x, span.y1, &starts, &ends);
+    }
+  }
+  for (uint32_t y = span.y0 + 1; y < span.y1; ++y) {
+    ClassifyPerimeterCell(curve, span, span.x0, y, &starts, &ends);
+    if (span.x1 != span.x0) {
+      ClassifyPerimeterCell(curve, span, span.x1, y, &starts, &ends);
+    }
+  }
+  // The walk's globally-first and -last cells start/end an interval without
+  // an outside neighbour to betray it, and they need not sit on the span's
+  // perimeter: Onion's last d is the grid's *center* cell, strictly interior
+  // to any span containing it. Classify them explicitly when the perimeter
+  // loops missed them.
+  for (const uint64_t extreme : {uint64_t{0}, curve.num_cells() - 1}) {
+    uint32_t ex, ey;
+    curve.DToXy(extreme, &ex, &ey);
+    const bool on_perimeter =
+        ex == span.x0 || ex == span.x1 || ey == span.y0 || ey == span.y1;
+    if (SpanContains(span, ex, ey) && !on_perimeter) {
+      ClassifyPerimeterCell(curve, span, ex, ey, &starts, &ends);
+    }
+  }
+  std::sort(starts.begin(), starts.end());
+  std::sort(ends.begin(), ends.end());
+  // Maximal intervals pair one start with one end; because the intervals
+  // are disjoint, the i-th smallest start closes at the i-th smallest end.
+  Covering covering;
+  covering.ranges.reserve(starts.size());
+  for (size_t i = 0; i < starts.size() && i < ends.size(); ++i) {
+    covering.ranges.push_back(DRange{starts[i], ends[i]});
+    covering.num_cells += ends[i] - starts[i] + 1;
+  }
+  if (max_ranges > 0 && covering.ranges.size() > max_ranges) {
+    MergeSmallestGaps(&covering, max_ranges);
+  }
+  return covering;
+}
+
 struct RectDescentState {
   const Curve2D* curve;
   CellSpan span;
@@ -126,10 +248,19 @@ Covering CoverRect(const Curve2D& curve, const Rect& query,
   span.x1 = grid.LonToX(std::max(query.lo.lon, query.hi.lon));
   span.y0 = grid.LatToY(std::min(query.lo.lat, query.hi.lat));
   span.y1 = grid.LatToY(std::max(query.lo.lat, query.hi.lat));
+  if (!curve.quadtree_blocks()) {
+    return CoverSpanByBoundaryWalk(curve, span, options.max_ranges);
+  }
   Covering covering;
   RectDescentState state{&curve, span, options.max_ranges, &covering.ranges};
   DescendCells(state, 0, 0, curve.order());
   SortMergeCount(&covering);
+  // The descent's early-out keeps the budget approximately (whole frontier
+  // blocks can merge into more than max_ranges intervals); the gap-bridging
+  // pass makes it a hard cap — the same contract the boundary walk honours.
+  if (options.max_ranges > 0 && covering.ranges.size() > options.max_ranges) {
+    MergeSmallestGaps(&covering, options.max_ranges);
+  }
   return covering;
 }
 
@@ -137,11 +268,20 @@ Covering CoverRegion(const Curve2D& curve, const Region& region,
                      const CoveringOptions& options) {
   Rect rect;
   if (region.AsRect(&rect)) return CoverRect(curve, rect, options);
+  if (!curve.quadtree_blocks()) {
+    // Non-quadtree curves cover the region's bounding box: a sound superset
+    // (the caller's residual geo predicate refines at FETCH), and the
+    // boundary walk stays O(perimeter).
+    return CoverRect(curve, region.BoundingBox(), options);
+  }
   Covering covering;
   RegionDescentState state{&curve, &region, options.max_ranges,
                            &covering.ranges};
   DescendRegion(state, 0, 0, curve.order());
   SortMergeCount(&covering);
+  if (options.max_ranges > 0 && covering.ranges.size() > options.max_ranges) {
+    MergeSmallestGaps(&covering, options.max_ranges);
+  }
   return covering;
 }
 

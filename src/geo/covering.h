@@ -34,17 +34,29 @@ struct Covering {
 
 /// Covering options.
 struct CoveringOptions {
-  /// If > 0, stop refining once this many ranges exist; remaining frontier
-  /// blocks are emitted whole. More ranges = tighter covering = fewer false
-  /// positives but a bigger $or. 0 = exact covering.
+  /// If > 0, coarsen the covering to at most this many ranges — a hard cap,
+  /// identical for both strategies below: the result is a *sound superset*
+  /// of the exact covering (the quadtree descent emits frontier blocks
+  /// whole, then both strategies bridge the smallest inter-range gaps until
+  /// the cap holds), so a capped covering can add false positives but never
+  /// drop a cell. More ranges = tighter covering = fewer false positives
+  /// but a bigger $or. 0 = exact covering.
   size_t max_ranges = 0;
 };
 
-/// Computes the covering of `query` under `curve` by quadtree descent:
-/// blocks disjoint from the query are pruned, fully contained blocks emit
-/// their whole (contiguous, aligned) d-range, partial blocks recurse. Cost
-/// is O(perimeter cells * order), never proportional to the query area —
-/// this is the "Hilbert algorithm" whose runtime Table 8 reports.
+/// Computes the covering of `query` under `curve`, picking one of two
+/// strategies by `curve.quadtree_blocks()`:
+///
+/// * Quadtree descent (Hilbert, Z-order, EGeoHash): blocks disjoint from
+///   the query are pruned, fully contained blocks emit their whole
+///   (contiguous, aligned) d-range, partial blocks recurse. Cost is
+///   O(perimeter cells * order), never proportional to the query area —
+///   this is the "Hilbert algorithm" whose runtime Table 8 reports.
+/// * Boundary walk (Onion): valid for any *continuous* curve — a maximal
+///   d-interval of in-span cells can only start/end where the predecessor/
+///   successor cell leaves the span, and by continuity those cells sit on
+///   the span's perimeter. Classify the perimeter cells, sort, zip into
+///   ranges. Also O(perimeter cells).
 ///
 /// Rectangles descend in *integer cell coordinates*: the query is mapped to
 /// the inclusive cell span [LonToX(lo.lon), LonToX(hi.lon)] x

@@ -1,8 +1,36 @@
 #include "geo/curve.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace stix::geo {
+
+const char* CurveKindName(CurveKind kind) {
+  switch (kind) {
+    case CurveKind::kHilbert:
+      return "hilbert";
+    case CurveKind::kZOrder:
+      return "zorder";
+    case CurveKind::kOnion:
+      return "onion";
+    case CurveKind::kEGeoHash:
+      return "egeohash";
+  }
+  return "?";
+}
+
+bool CurveKindFromName(const char* name, CurveKind* out) {
+  for (const CurveKind kind :
+       {CurveKind::kHilbert, CurveKind::kZOrder, CurveKind::kOnion,
+        CurveKind::kEGeoHash}) {
+    if (std::strcmp(name, CurveKindName(kind)) == 0) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
 
 GridMapping::GridMapping(int order, const Rect& domain)
     : order_(order), domain_(domain) {
@@ -11,28 +39,80 @@ GridMapping::GridMapping(int order, const Rect& domain)
   cell_h_ = domain_.height() / static_cast<double>(grid_size());
 }
 
+GridMapping::GridMapping(int order, const Rect& domain,
+                         std::vector<double> x_edges,
+                         std::vector<double> y_edges)
+    : GridMapping(order, domain) {
+  const size_t n = static_cast<size_t>(grid_size()) + 1;
+  assert(x_edges.size() == n && y_edges.size() == n &&
+         "edge tables need grid_size() + 1 boundaries");
+  x_edges_ = std::move(x_edges);
+  y_edges_ = std::move(y_edges);
+  // Pin the endpoints to the domain exactly and force monotonicity, so the
+  // clamping contract (max edge -> last cell, BlockRect ends at domain.hi)
+  // holds regardless of how the caller fitted the interior boundaries.
+  x_edges_.front() = domain_.lo.lon;
+  x_edges_.back() = domain_.hi.lon;
+  y_edges_.front() = domain_.lo.lat;
+  y_edges_.back() = domain_.hi.lat;
+  for (size_t i = 1; i < n; ++i) {
+    x_edges_[i] = std::max(x_edges_[i], x_edges_[i - 1]);
+    y_edges_[i] = std::max(y_edges_[i], y_edges_[i - 1]);
+  }
+}
+
+uint32_t GridMapping::EdgeToCell(const std::vector<double>& edges,
+                                 double v) const {
+  // Cell i spans [edges[i], edges[i+1]); the last cell is closed on both
+  // sides. Searching only the interior boundaries clamps out-of-domain
+  // values (and the max edge itself) into the boundary cells for free.
+  const auto first = edges.begin() + 1;
+  const auto last = edges.end() - 1;
+  return static_cast<uint32_t>(std::upper_bound(first, last, v) - first);
+}
+
 uint32_t GridMapping::LonToX(double lon) const {
+  if (warped()) return EdgeToCell(x_edges_, lon);
   const double t = (lon - domain_.lo.lon) / cell_w_;
   if (t <= 0.0) return 0;
   const uint32_t max = grid_size() - 1;
-  const uint32_t x = static_cast<uint32_t>(t);
-  return x > max ? max : x;
+  // Clamp in double space *before* the integer cast: casting a value at or
+  // beyond 2^32 to uint32_t is undefined, and the domain's max edge
+  // (t == grid_size) must land in the last cell, not one past it.
+  if (t >= static_cast<double>(max)) return max;
+  return static_cast<uint32_t>(t);
 }
 
 uint32_t GridMapping::LatToY(double lat) const {
+  if (warped()) return EdgeToCell(y_edges_, lat);
   const double t = (lat - domain_.lo.lat) / cell_h_;
   if (t <= 0.0) return 0;
   const uint32_t max = grid_size() - 1;
-  const uint32_t y = static_cast<uint32_t>(t);
-  return y > max ? max : y;
+  if (t >= static_cast<double>(max)) return max;
+  return static_cast<uint32_t>(t);
 }
 
 Rect GridMapping::BlockRect(uint32_t x, uint32_t y, uint32_t size) const {
+  const uint32_t n = grid_size();
+  const uint32_t x1 = x + size >= n ? n : x + size;
+  const uint32_t y1 = y + size >= n ? n : y + size;
   Rect r;
+  if (warped()) {
+    r.lo.lon = x_edges_[x];
+    r.lo.lat = y_edges_[y];
+    r.hi.lon = x_edges_[x1];
+    r.hi.lat = y_edges_[y1];
+    return r;
+  }
   r.lo.lon = domain_.lo.lon + cell_w_ * static_cast<double>(x);
   r.lo.lat = domain_.lo.lat + cell_h_ * static_cast<double>(y);
-  r.hi.lon = r.lo.lon + cell_w_ * static_cast<double>(size);
-  r.hi.lat = r.lo.lat + cell_h_ * static_cast<double>(size);
+  // Blocks on the grid's max edge end exactly at domain.hi: accumulating
+  // cell_w_ * n can fall an ulp short of it, which would put a point keyed
+  // into the last cell outside that cell's reported extent.
+  r.hi.lon = x1 == n ? domain_.hi.lon
+                     : domain_.lo.lon + cell_w_ * static_cast<double>(x1);
+  r.hi.lat = y1 == n ? domain_.hi.lat
+                     : domain_.lo.lat + cell_h_ * static_cast<double>(y1);
   return r;
 }
 

@@ -2,22 +2,65 @@
 #define STIX_GEO_CURVE_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "geo/geo.h"
 
 namespace stix::geo {
 
+/// The pluggable 1D linearizations behind hilbertIndex. `kHilbert` is the
+/// paper's choice; the others are the ROADMAP's curve-lab alternatives
+/// (Onion: Xu/Nguyen/Tirthapura; entropy-maximizing GeoHash: Arnold — see
+/// PAPERS.md). Every kind is a Curve2D, so stores, covering, fuzzing and
+/// benches treat them uniformly.
+enum class CurveKind {
+  kHilbert,   ///< Hilbert curve (paper default).
+  kZOrder,    ///< Z-order / Morton (GeoHash bit layout).
+  kOnion,     ///< Onion curve: concentric rings, near-optimal clustering.
+  kEGeoHash,  ///< Z-order over skew-fitted equi-depth cell boundaries.
+};
+
+/// Canonical lower-case name ("hilbert", "zorder", "onion", "egeohash") —
+/// matches Curve2D::name() of the corresponding implementation.
+const char* CurveKindName(CurveKind kind);
+
+/// Parses a CurveKindName back; returns false on unknown names.
+bool CurveKindFromName(const char* name, CurveKind* out);
+
 /// Maps geographic coordinates onto a 2^order x 2^order integer grid over a
-/// domain rectangle. Both curves (Hilbert, Z-order) and the GeoHash cells
+/// domain rectangle. Curves (Hilbert, Z-order, Onion) and the GeoHash cells
 /// share this mapping, so `hil` vs `hil*` differ only in the domain passed
 /// here (globe vs dataset MBR) — exactly the paper's setup.
+///
+/// By default cells are uniform (domain / grid_size per axis). A mapping may
+/// instead carry per-axis *edge tables* — monotone boundary arrays of
+/// grid_size()+1 entries fitted to the data distribution (the
+/// entropy-maximizing GeoHash) — in which case LonToX/LatToY binary-search
+/// the tables and BlockRect reads extents straight from them, keeping the
+/// two views of a cell bit-identical.
+///
+/// Clamping contract (the covering layer and the key generator both rely on
+/// it): out-of-domain coordinates clamp to the boundary cells, and a point
+/// exactly on the domain's max edge lands in the *last* cell — whose
+/// BlockRect extent ends exactly at domain().hi, so the point lies inside
+/// its own cell's rectangle.
 class GridMapping {
  public:
   GridMapping(int order, const Rect& domain);
 
+  /// Warped mapping: `x_edges`/`y_edges` hold grid_size()+1 non-decreasing
+  /// cell boundaries per axis with first == domain.lo and last == domain.hi
+  /// on that axis (endpoints are overwritten to guarantee it).
+  GridMapping(int order, const Rect& domain, std::vector<double> x_edges,
+              std::vector<double> y_edges);
+
   int order() const { return order_; }
   uint32_t grid_size() const { return static_cast<uint32_t>(1) << order_; }
   const Rect& domain() const { return domain_; }
+
+  /// True when this mapping carries fitted edge tables.
+  bool warped() const { return !x_edges_.empty(); }
 
   /// Longitude -> column, clamped into the grid.
   uint32_t LonToX(double lon) const;
@@ -25,31 +68,49 @@ class GridMapping {
   uint32_t LatToY(double lat) const;
 
   /// Geographic extent of the aligned block with corner cell (x, y) spanning
-  /// `size` cells per side.
+  /// `size` cells per side. Blocks touching the grid's max edge extend
+  /// exactly to domain().hi (never an ulp short), so max-edge points agree
+  /// with the cells LonToX/LatToY assign them.
   Rect BlockRect(uint32_t x, uint32_t y, uint32_t size) const;
 
  private:
+  uint32_t EdgeToCell(const std::vector<double>& edges, double v) const;
+
   int order_;
   Rect domain_;
   double cell_w_;
   double cell_h_;
+  /// Empty for uniform mappings; grid_size()+1 boundaries otherwise.
+  std::vector<double> x_edges_;
+  std::vector<double> y_edges_;
 };
 
 /// A 2D space-filling curve over a grid: a bijection between cells (x, y)
-/// and positions d in [0, 4^order). Implementations must satisfy the
-/// quadtree-block property: every aligned 2^k x 2^k block occupies a
-/// contiguous, 4^k-aligned range of d values — this is what makes covering
-/// a query rectangle with 1D ranges cheap (see covering.h).
+/// and positions d in [0, 4^order).
+///
+/// Curves advertising quadtree_blocks() (Hilbert, Z-order, EGeoHash)
+/// guarantee the quadtree-block property: every aligned 2^k x 2^k block
+/// occupies a contiguous, 4^k-aligned range of d values — which makes
+/// covering a query rectangle cheap by quadtree descent. Curves without it
+/// (Onion) must instead be *continuous* (consecutive d values are
+/// edge-adjacent cells) so the covering layer can fall back to its
+/// boundary-walk strategy (see covering.h).
 class Curve2D {
  public:
   Curve2D(int order, const Rect& domain) : grid_(order, domain) {}
+  explicit Curve2D(GridMapping grid) : grid_(std::move(grid)) {}
   virtual ~Curve2D() = default;
 
   virtual uint64_t XyToD(uint32_t x, uint32_t y) const = 0;
   virtual void DToXy(uint64_t d, uint32_t* x, uint32_t* y) const = 0;
 
-  /// Human-readable curve name for benchmark tables ("hilbert", "zorder").
+  /// Human-readable curve name for benchmark tables and explain() — equals
+  /// CurveKindName of the implementing kind.
   virtual const char* name() const = 0;
+
+  /// Whether aligned blocks map to aligned contiguous d-ranges (see class
+  /// comment). Selects the covering strategy.
+  virtual bool quadtree_blocks() const { return true; }
 
   const GridMapping& grid() const { return grid_; }
   int order() const { return grid_.order(); }

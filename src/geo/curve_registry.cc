@@ -1,0 +1,31 @@
+#include "geo/curve_registry.h"
+
+#include "geo/egeohash.h"
+#include "geo/hilbert.h"
+#include "geo/onion.h"
+#include "geo/zorder.h"
+
+namespace stix::geo {
+
+std::unique_ptr<Curve2D> MakeCurve(CurveKind kind, int order,
+                                   const Rect& domain,
+                                   const std::vector<Point>& fit_sample) {
+  switch (kind) {
+    case CurveKind::kHilbert:
+      return std::make_unique<HilbertCurve>(order, domain);
+    case CurveKind::kZOrder:
+      return std::make_unique<ZOrderCurve>(order, domain);
+    case CurveKind::kOnion:
+      return std::make_unique<OnionCurve>(order, domain);
+    case CurveKind::kEGeoHash:
+      return std::make_unique<EntropyGeoHashCurve>(order, domain, fit_sample);
+  }
+  return nullptr;
+}
+
+std::vector<CurveKind> AllCurveKinds() {
+  return {CurveKind::kHilbert, CurveKind::kZOrder, CurveKind::kOnion,
+          CurveKind::kEGeoHash};
+}
+
+}  // namespace stix::geo

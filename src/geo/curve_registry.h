@@ -1,0 +1,27 @@
+#ifndef STIX_GEO_CURVE_REGISTRY_H_
+#define STIX_GEO_CURVE_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "geo/curve.h"
+
+namespace stix::geo {
+
+/// Builds the Curve2D implementation for `kind` over a 2^order grid spanning
+/// `domain`. `fit_sample` is consulted only by kEGeoHash (equi-depth
+/// boundary fit; empty = uniform boundaries — plain GeoHash cell layout).
+/// This is the one place that knows every concrete curve class; stores,
+/// benches and the fuzzer go through it so a new curve is one registry case
+/// away from running everywhere.
+std::unique_ptr<Curve2D> MakeCurve(CurveKind kind, int order,
+                                   const Rect& domain,
+                                   const std::vector<Point>& fit_sample = {});
+
+/// Every registered kind, in a stable order — the "all" axis of benches and
+/// the fuzzer.
+std::vector<CurveKind> AllCurveKinds();
+
+}  // namespace stix::geo
+
+#endif  // STIX_GEO_CURVE_REGISTRY_H_

@@ -1,0 +1,55 @@
+#include "geo/egeohash.h"
+
+#include <algorithm>
+
+#include "geo/zorder.h"
+
+namespace stix::geo {
+namespace {
+
+// Equi-depth boundaries over one axis: edge i sits at the i/n quantile of
+// the sorted sample. Duplicate quantiles (heavy ties) produce empty cells,
+// which are harmless: the mapping stays monotone and the covering just
+// carries a few zero-width members. Endpoints are pinned by GridMapping.
+std::vector<double> EquiDepthEdges(std::vector<double> values, uint32_t n,
+                                   double lo, double hi) {
+  std::vector<double> edges(static_cast<size_t>(n) + 1);
+  edges.front() = lo;
+  edges.back() = hi;
+  std::sort(values.begin(), values.end());
+  for (uint32_t i = 1; i < n; ++i) {
+    const size_t idx = static_cast<size_t>(
+        (static_cast<uint64_t>(i) * values.size()) / n);
+    edges[i] = values[std::min(idx, values.size() - 1)];
+  }
+  return edges;
+}
+
+}  // namespace
+
+GridMapping EntropyGeoHashCurve::FitMapping(int order, const Rect& domain,
+                                            const std::vector<Point>& sample) {
+  if (sample.empty()) return GridMapping(order, domain);
+  const uint32_t n = static_cast<uint32_t>(1) << order;
+  std::vector<double> lons, lats;
+  lons.reserve(sample.size());
+  lats.reserve(sample.size());
+  for (const Point& p : sample) {
+    lons.push_back(std::clamp(p.lon, domain.lo.lon, domain.hi.lon));
+    lats.push_back(std::clamp(p.lat, domain.lo.lat, domain.hi.lat));
+  }
+  return GridMapping(
+      order, domain,
+      EquiDepthEdges(std::move(lons), n, domain.lo.lon, domain.hi.lon),
+      EquiDepthEdges(std::move(lats), n, domain.lo.lat, domain.hi.lat));
+}
+
+uint64_t EntropyGeoHashCurve::XyToD(uint32_t x, uint32_t y) const {
+  return MortonInterleave(order(), x, y);
+}
+
+void EntropyGeoHashCurve::DToXy(uint64_t d, uint32_t* x, uint32_t* y) const {
+  MortonDeinterleave(order(), d, x, y);
+}
+
+}  // namespace stix::geo

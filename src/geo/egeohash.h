@@ -1,0 +1,49 @@
+#ifndef STIX_GEO_EGEOHASH_H_
+#define STIX_GEO_EGEOHASH_H_
+
+#include <vector>
+
+#include "geo/curve.h"
+
+namespace stix::geo {
+
+/// The entropy-maximizing GeoHash (Arnold — see PAPERS.md): GeoHash's
+/// Z-order bit interleaving kept as-is, but over per-axis *equi-depth* cell
+/// boundaries fitted to a point sample instead of uniform splits. Each of
+/// the 2^order columns (rows) then holds roughly the same number of sampled
+/// points, which maximizes the entropy of the cell histogram — under skew,
+/// hot regions get many small cells and empty oceans collapse into a few
+/// wide ones, so a covering of a hot query rect selects far fewer false
+///-positive keys than plain GeoHash.
+///
+/// In *cell* space this is still plain Morton order, so the quadtree-block
+/// property holds (blocks are aligned d-intervals) and the standard descent
+/// covering applies unchanged; only the coordinate->cell transform is
+/// warped, via GridMapping's edge tables.
+class EntropyGeoHashCurve : public Curve2D {
+ public:
+  /// Unfitted: uniform boundaries — behaves exactly like ZOrderCurve.
+  EntropyGeoHashCurve(int order, const Rect& domain)
+      : Curve2D(order, domain) {}
+
+  /// Fitted: equi-depth boundaries from `sample` (points outside `domain`
+  /// clamp to it first). An empty sample degenerates to uniform boundaries.
+  EntropyGeoHashCurve(int order, const Rect& domain,
+                      const std::vector<Point>& sample)
+      : Curve2D(FitMapping(order, domain, sample)) {}
+
+  uint64_t XyToD(uint32_t x, uint32_t y) const override;
+  void DToXy(uint64_t d, uint32_t* x, uint32_t* y) const override;
+  const char* name() const override { return "egeohash"; }
+
+  /// Equi-depth mapping fit: per axis, sorts the sample's (clamped)
+  /// coordinates and places boundary i at the i/grid_size quantile,
+  /// de-duplicated into a monotone edge table. Exposed so callers (and the
+  /// refit path) can fit once and inspect the result.
+  static GridMapping FitMapping(int order, const Rect& domain,
+                                const std::vector<Point>& sample);
+};
+
+}  // namespace stix::geo
+
+#endif  // STIX_GEO_EGEOHASH_H_

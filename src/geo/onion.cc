@@ -1,0 +1,80 @@
+#include "geo/onion.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace stix::geo {
+namespace {
+
+// Ring r of an n x n grid is the square perimeter of [r, n-1-r]^2; its side
+// is m = n - 2r and it holds 4(m-1) cells (m >= 2 always: n is a power of
+// two, so the innermost ring is the 2x2 center). The walk starts at local
+// (0, 0), runs along the bottom edge, up the right edge, back along the top
+// and down the left edge, ending at local (0, 1) — edge-adjacent to the
+// next ring's start at (1, 1) in this ring's local frame, which keeps the
+// whole curve continuous across rings.
+//
+// base(r) = cells in rings 0..r-1 = n^2 - (n - 2r)^2.
+
+uint64_t Square(uint64_t v) { return v * v; }
+
+}  // namespace
+
+uint64_t OnionCurve::XyToD(uint32_t x, uint32_t y) const {
+  const uint32_t n = grid().grid_size();
+  const uint32_t r =
+      std::min(std::min(x, y), std::min(n - 1 - x, n - 1 - y));
+  const uint32_t m = n - 2 * r;
+  const uint32_t lx = x - r;
+  const uint32_t ly = y - r;
+  const uint64_t base = Square(n) - Square(m);
+  uint64_t pos;
+  if (ly == 0) {
+    pos = lx;
+  } else if (lx == m - 1) {
+    pos = (m - 1) + ly;
+  } else if (ly == m - 1) {
+    pos = 2ULL * (m - 1) + (m - 1 - lx);
+  } else {
+    pos = 3ULL * (m - 1) + (m - 1 - ly);
+  }
+  return base + pos;
+}
+
+void OnionCurve::DToXy(uint64_t d, uint32_t* x, uint32_t* y) const {
+  const uint32_t n = grid().grid_size();
+  const uint64_t n2 = Square(n);
+  assert(d < n2 && "d out of range");
+  // Find the ring: the smallest even-offset side m with m^2 >= n^2 - d.
+  // Seed from a double sqrt, then fix up in +/-2 steps (the seed is at most
+  // one step off for any representable n <= 2^16).
+  const uint64_t q = n2 - d;
+  uint64_t m = static_cast<uint64_t>(
+      std::ceil(std::sqrt(static_cast<double>(q))));
+  if ((m ^ n) & 1) ++m;  // ring sides share the grid side's parity
+  if (m < 2) m = 2;
+  if (m > n) m = n;
+  while (m > 2 && Square(m - 2) >= q) m -= 2;
+  while (Square(m) < q) m += 2;
+  const uint32_t r = (n - static_cast<uint32_t>(m)) / 2;
+  const uint64_t pos = d - (n2 - Square(m));
+  const uint64_t side = m - 1;
+  uint64_t lx, ly;
+  if (pos <= side) {
+    lx = pos;
+    ly = 0;
+  } else if (pos <= 2 * side) {
+    lx = side;
+    ly = pos - side;
+  } else if (pos <= 3 * side) {
+    lx = side - (pos - 2 * side);
+    ly = side;
+  } else {
+    lx = 0;
+    ly = side - (pos - 3 * side);
+  }
+  *x = r + static_cast<uint32_t>(lx);
+  *y = r + static_cast<uint32_t>(ly);
+}
+
+}  // namespace stix::geo

@@ -37,6 +37,7 @@ std::string StExplain::ToJson() const {
   std::snprintf(millis, sizeof(millis), "%.3f", cover_millis);
   std::ostringstream out;
   out << "{\"approach\": \"" << query::JsonEscape(approach)
+      << "\", \"curve\": \"" << query::JsonEscape(curve)
       << "\", \"covering\": {\"coverMillis\": " << millis
       << ", \"numRanges\": " << num_ranges
       << ", \"numSingletons\": " << num_singletons
@@ -286,7 +287,7 @@ size_t StStore::CoverBudgetFor(const Approach& ap, const geo::Rect& rect,
   const double time_fraction =
       cluster_->EstimateFraction(kDateField, t_begin_ms, t_end_ms);
   if (time_fraction < 0.0) return ap.PickCoverBudget(-1.0);
-  const geo::Rect& domain = ap.hilbert()->grid().domain();
+  const geo::Rect domain = ap.curve()->grid().domain();
   geo::Rect clipped;
   clipped.lo.lon = std::max(rect.lo.lon, domain.lo.lon);
   clipped.lo.lat = std::max(rect.lo.lat, domain.lo.lat);
@@ -323,6 +324,7 @@ StExplain StStore::Explain(const geo::Rect& rect, int64_t t_begin_ms,
       CoverBudgetFor(*ap, rect, t_begin_ms, t_end_ms));
   StExplain explain;
   explain.approach = ap->name();
+  if (const auto curve = ap->curve()) explain.curve = curve->name();
   explain.cover_millis = translated.cover_millis;
   explain.num_ranges = translated.num_ranges;
   explain.num_singletons = translated.num_singletons;

@@ -45,6 +45,7 @@ struct StQueryResult {
 /// from execution time.
 struct StExplain {
   std::string approach;  ///< ApproachName of the translating approach.
+  std::string curve;     ///< Curve2D::name() of the curve; "" for baselines.
   double cover_millis = 0.0;
   size_t num_ranges = 0;
   size_t num_singletons = 0;

@@ -7,8 +7,11 @@
 
 #include "common/rng.h"
 #include "geo/covering.h"
+#include "geo/curve_registry.h"
+#include "geo/egeohash.h"
 #include "geo/geohash.h"
 #include "geo/hilbert.h"
+#include "geo/onion.h"
 #include "geo/zorder.h"
 
 namespace stix::geo {
@@ -75,17 +78,15 @@ TEST(GridMappingTest, CellBoundariesAlign) {
 
 class CurveParamTest : public ::testing::TestWithParam<const char*> {
  protected:
-  std::unique_ptr<Curve2D> MakeCurve(int order) const {
-    const Rect domain{{-180, -90}, {180, 90}};
-    if (std::string(GetParam()) == "hilbert") {
-      return std::make_unique<HilbertCurve>(order, domain);
-    }
-    return std::make_unique<ZOrderCurve>(order, domain);
+  std::unique_ptr<Curve2D> MakeTestCurve(int order) const {
+    CurveKind kind;
+    EXPECT_TRUE(CurveKindFromName(GetParam(), &kind)) << GetParam();
+    return MakeCurve(kind, order, Rect{{-180, -90}, {180, 90}});
   }
 };
 
 TEST_P(CurveParamTest, BijectionOnSmallGrid) {
-  const auto curve = MakeCurve(4);  // 16x16
+  const auto curve = MakeTestCurve(4);  // 16x16
   std::set<uint64_t> seen;
   for (uint32_t x = 0; x < 16; ++x) {
     for (uint32_t y = 0; y < 16; ++y) {
@@ -102,7 +103,7 @@ TEST_P(CurveParamTest, BijectionOnSmallGrid) {
 }
 
 TEST_P(CurveParamTest, RoundTripAtOrder13) {
-  const auto curve = MakeCurve(13);
+  const auto curve = MakeTestCurve(13);
   Rng rng(3);
   for (int i = 0; i < 2000; ++i) {
     const uint32_t x = static_cast<uint32_t>(rng.NextBounded(1u << 13));
@@ -118,7 +119,12 @@ TEST_P(CurveParamTest, QuadtreeBlocksAreAlignedContiguousRanges) {
   // The property the covering algorithm exploits: any aligned 2^k x 2^k
   // block occupies exactly one aligned d-range of width 4^k.
   const int order = 5;
-  const auto curve = MakeCurve(order);
+  const auto curve = MakeTestCurve(order);
+  if (!curve->quadtree_blocks()) {
+    GTEST_SKIP() << curve->name()
+                 << " does not claim the quadtree-block property (its"
+                    " coverings use the boundary walk instead)";
+  }
   for (int k = 0; k <= order; ++k) {
     const uint32_t size = 1u << k;
     const uint64_t width = 1ull << (2 * k);
@@ -138,7 +144,8 @@ TEST_P(CurveParamTest, QuadtreeBlocksAreAlignedContiguousRanges) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Curves, CurveParamTest,
-                         ::testing::Values("hilbert", "zorder"));
+                         ::testing::Values("hilbert", "zorder", "onion",
+                                           "egeohash"));
 
 // ---------- Hilbert specifics ----------
 
@@ -499,6 +506,8 @@ void CheckCoveringProperties(const Curve2D& curve, Rng& rng) {
     opts.max_ranges = budget;
     const Covering coarse = CoverRect(curve, query, opts);
     ExpectWellFormedCovering(coarse);
+    EXPECT_LE(coarse.ranges.size(), budget)
+        << curve.name() << " order " << curve.order();
     EXPECT_GE(coarse.num_cells, covering.num_cells);
     for (int i = 0; i < 8; ++i) {
       const double lon = rng.NextDouble(query.lo.lon, query.hi.lon);
@@ -661,6 +670,316 @@ TEST(CoveringPropertyTest, DatasetMbrDomains) {
         CheckCoveringProperties(hilbert, rng);
         CheckCoveringProperties(zorder, rng);
       }
+    }
+  }
+}
+
+// ---------- Onion curve specifics ----------
+
+TEST(OnionTest, Order1MatchesRingLayout) {
+  // A single ring walked counter-clockwise from its south-west corner:
+  // (0,0) -> (1,0) -> (1,1) -> (0,1).
+  const OnionCurve curve(1, Rect{{0, 0}, {2, 2}});
+  EXPECT_EQ(curve.XyToD(0, 0), 0u);
+  EXPECT_EQ(curve.XyToD(1, 0), 1u);
+  EXPECT_EQ(curve.XyToD(1, 1), 2u);
+  EXPECT_EQ(curve.XyToD(0, 1), 3u);
+}
+
+TEST(OnionTest, ConsecutiveDsAreAdjacentCells) {
+  // Onion is a *continuous* curve (the property the boundary-walk covering
+  // strategy relies on): successive positions are edge neighbours, including
+  // across the seam from one ring to the next.
+  const OnionCurve curve(6, GlobeRect());
+  uint32_t px, py;
+  curve.DToXy(0, &px, &py);
+  for (uint64_t d = 1; d < curve.num_cells(); ++d) {
+    uint32_t x, y;
+    curve.DToXy(d, &x, &y);
+    const uint32_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    ASSERT_EQ(manhattan, 1u) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(OnionTest, RingsArePeeledOutsideIn) {
+  // Every cell of ring r precedes every cell of ring r+1 (d orders cells by
+  // ring depth — the layout that clusters the periphery away from the core).
+  const int order = 3;
+  const OnionCurve curve(order, Rect{{0, 0}, {8, 8}});
+  const uint32_t n = 1u << order;
+  for (uint32_t x = 0; x < n; ++x) {
+    for (uint32_t y = 0; y < n; ++y) {
+      const uint32_t ring =
+          std::min(std::min(x, y), std::min(n - 1 - x, n - 1 - y));
+      const uint32_t m = n - 2 * ring;
+      const uint64_t ring_base =
+          static_cast<uint64_t>(n) * n - static_cast<uint64_t>(m) * m;
+      const uint64_t ring_cells =
+          m == 1 ? 1 : 4ull * (m - 1);  // innermost odd core is one cell
+      const uint64_t d = curve.XyToD(x, y);
+      EXPECT_GE(d, ring_base) << "(" << x << "," << y << ")";
+      EXPECT_LT(d, ring_base + ring_cells) << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(OnionTest, DoesNotClaimQuadtreeBlocks) {
+  const OnionCurve curve(4, GlobeRect());
+  EXPECT_FALSE(curve.quadtree_blocks());
+  EXPECT_STREQ(curve.name(), "onion");
+}
+
+// ---------- curve registry ----------
+
+TEST(CurveRegistryTest, NamesRoundTripThroughTheRegistry) {
+  const Rect domain = GlobeRect();
+  for (const CurveKind kind : AllCurveKinds()) {
+    const auto curve = MakeCurve(kind, 4, domain);
+    ASSERT_NE(curve, nullptr);
+    EXPECT_STREQ(curve->name(), CurveKindName(kind));
+    CurveKind parsed;
+    ASSERT_TRUE(CurveKindFromName(curve->name(), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  CurveKind parsed;
+  EXPECT_FALSE(CurveKindFromName("peano", &parsed));
+  EXPECT_FALSE(CurveKindFromName("", &parsed));
+}
+
+TEST(CurveRegistryTest, EGeoHashUsesTheFitSample) {
+  // The registry threads the fit sample only into EntropyGeoHash; all other
+  // curves ignore it and keep uniform boundaries.
+  std::vector<Point> sample;
+  Rng rng(52);
+  for (int i = 0; i < 512; ++i) {
+    sample.push_back({rng.NextGaussian() * 2.0, rng.NextGaussian() * 2.0});
+  }
+  const Rect domain{{-100, -80}, {100, 80}};
+  const auto fitted = MakeCurve(CurveKind::kEGeoHash, 5, domain, sample);
+  EXPECT_TRUE(fitted->grid().warped());
+  for (const CurveKind kind :
+       {CurveKind::kHilbert, CurveKind::kZOrder, CurveKind::kOnion}) {
+    EXPECT_FALSE(MakeCurve(kind, 5, domain, sample)->grid().warped())
+        << CurveKindName(kind);
+  }
+  EXPECT_FALSE(MakeCurve(CurveKind::kEGeoHash, 5, domain)->grid().warped())
+      << "no sample -> uniform boundaries (plain GeoHash cells)";
+}
+
+// ---------- max-edge clamp agreement (the GridMapping bugfix) ----------
+
+TEST(GridMappingTest, MaxEdgeClampAgreesWithBlockExtents) {
+  // The bug class this pins down: LonToX(domain.hi.lon) must land in the
+  // last cell (not one past it, and not UB for huge inputs), and the last
+  // cell's BlockRect must extend exactly to domain.hi so covering membership
+  // and key generation agree at the far edge. Orders 1..16, globe and
+  // dataset-MBR domains, every registered curve.
+  const Rect domains[] = {GlobeRect(), Rect{{23.0, 37.0}, {25.0, 39.0}},
+                          Rect{{-74.3, 40.4}, {-73.6, 41.0}}};
+  for (const Rect& domain : domains) {
+    for (int order = 1; order <= 16; ++order) {
+      for (const CurveKind kind : AllCurveKinds()) {
+        const auto curve = MakeCurve(kind, order, domain);
+        const GridMapping& grid = curve->grid();
+        const uint32_t n = grid.grid_size();
+        ASSERT_EQ(grid.LonToX(domain.hi.lon), n - 1)
+            << curve->name() << " order " << order;
+        ASSERT_EQ(grid.LatToY(domain.hi.lat), n - 1)
+            << curve->name() << " order " << order;
+        // Far beyond the domain clamps to the same boundary cell (and huge
+        // magnitudes stay defined, not cast-UB).
+        ASSERT_EQ(grid.LonToX(1e18), n - 1);
+        ASSERT_EQ(grid.LatToY(1e18), n - 1);
+        const Rect last = grid.BlockRect(n - 1, n - 1, 1);
+        EXPECT_TRUE(last.Contains(domain.hi))
+            << curve->name() << " order " << order << " block hi ("
+            << last.hi.lon << "," << last.hi.lat << ") domain hi ("
+            << domain.hi.lon << "," << domain.hi.lat << ")";
+        EXPECT_DOUBLE_EQ(last.hi.lon, domain.hi.lon);
+        EXPECT_DOUBLE_EQ(last.hi.lat, domain.hi.lat);
+        // And the covering of a rect touching the max corner reaches the
+        // cell the max-corner point is keyed into.
+        const Rect corner{{domain.lo.lon + domain.width() * 0.9,
+                           domain.lo.lat + domain.height() * 0.9},
+                          domain.hi};
+        const Covering covering = CoverRect(*curve, corner);
+        EXPECT_TRUE(CoveringContains(
+            covering, curve->PointToD(domain.hi.lon, domain.hi.lat)))
+            << curve->name() << " order " << order;
+      }
+    }
+  }
+}
+
+// ---------- warped (entropy-maximizing) mapping ----------
+
+TEST(EGeoHashTest, FitMappingBalancesPointsPerCell) {
+  // Equi-depth boundaries: on a heavily skewed sample, each column/row of
+  // the fitted grid holds roughly the same number of sample points — the
+  // entropy-maximizing property (uniform cell occupancy).
+  Rng rng(61);
+  std::vector<Point> sample;
+  for (int i = 0; i < 8000; ++i) {
+    // 80% in a tight hotspot, 20% uniform background.
+    if (rng.NextBool(0.8)) {
+      sample.push_back({23.7 + rng.NextGaussian() * 0.05,
+                        37.9 + rng.NextGaussian() * 0.05});
+    } else {
+      sample.push_back({rng.NextDouble(-180, 180), rng.NextDouble(-90, 90)});
+    }
+  }
+  const int order = 3;  // 8x8 cells
+  const GridMapping grid =
+      EntropyGeoHashCurve::FitMapping(order, GlobeRect(), sample);
+  ASSERT_TRUE(grid.warped());
+  const uint32_t n = grid.grid_size();
+  std::vector<int> per_x(n, 0), per_y(n, 0);
+  for (const Point& p : sample) {
+    ++per_x[grid.LonToX(p.lon)];
+    ++per_y[grid.LatToY(p.lat)];
+  }
+  const int mean = static_cast<int>(sample.size() / n);
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_GT(per_x[i], mean / 4) << "x cell " << i;
+    EXPECT_LT(per_x[i], mean * 4) << "x cell " << i;
+    EXPECT_GT(per_y[i], mean / 4) << "y cell " << i;
+    EXPECT_LT(per_y[i], mean * 4) << "y cell " << i;
+  }
+  // A uniform grid at the same order would dump ~80% of the sample into the
+  // hotspot's single column; the fitted one never concentrates like that.
+  const GridMapping uniform(order, GlobeRect());
+  std::vector<int> uniform_x(n, 0);
+  for (const Point& p : sample) ++uniform_x[uniform.LonToX(p.lon)];
+  EXPECT_GT(*std::max_element(uniform_x.begin(), uniform_x.end()),
+            *std::max_element(per_x.begin(), per_x.end()));
+}
+
+TEST(EGeoHashTest, WarpedCellMembershipAgreesWithBlockRects) {
+  // The same clamp-agreement contract as the uniform mapping, under warped
+  // boundaries: a point's cell (via LonToX/LatToY) and that cell's
+  // BlockRect must agree, for interior points and for the domain corners.
+  Rng rng(62);
+  std::vector<Point> sample;
+  for (int i = 0; i < 2000; ++i) {
+    sample.push_back({23.7 + rng.NextGaussian() * 0.2,
+                      37.9 + rng.NextGaussian() * 0.2});
+  }
+  const Rect domain{{20.0, 35.0}, {28.0, 41.0}};
+  const EntropyGeoHashCurve curve(8, domain, sample);
+  const GridMapping& grid = curve.grid();
+  ASSERT_TRUE(grid.warped());
+  for (int i = 0; i < 2000; ++i) {
+    const double lon = rng.NextDouble(domain.lo.lon, domain.hi.lon);
+    const double lat = rng.NextDouble(domain.lo.lat, domain.hi.lat);
+    const uint32_t x = grid.LonToX(lon);
+    const uint32_t y = grid.LatToY(lat);
+    const Rect cell = grid.BlockRect(x, y, 1);
+    EXPECT_TRUE(cell.Contains({lon, lat}))
+        << "(" << lon << "," << lat << ") cell (" << x << "," << y << ")";
+    // And round-trip through the curve lands in the same cell.
+    uint32_t rx, ry;
+    curve.DToXy(curve.PointToD(lon, lat), &rx, &ry);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+  }
+  // Domain corners behave exactly like the uniform mapping's.
+  EXPECT_EQ(grid.LonToX(domain.lo.lon), 0u);
+  EXPECT_EQ(grid.LatToY(domain.lo.lat), 0u);
+  EXPECT_EQ(grid.LonToX(domain.hi.lon), grid.grid_size() - 1);
+  EXPECT_EQ(grid.LatToY(domain.hi.lat), grid.grid_size() - 1);
+}
+
+// ---------- covering properties for the new curves ----------
+
+TEST(CoveringPropertyTest, OnionAllOrdersGlobeDomain) {
+  // Onion coverings come from the boundary-walk strategy, not the quadtree
+  // descent — same soundness/exactness/budget contract.
+  Rng rng(9004);
+  for (int order = 1; order <= 16; ++order) {
+    const OnionCurve curve(order, GlobeRect());
+    for (int trial = 0; trial < 3; ++trial) CheckCoveringProperties(curve, rng);
+  }
+}
+
+TEST(CoveringPropertyTest, EGeoHashFittedAllOrdersGlobeDomain) {
+  Rng rng(9005);
+  std::vector<Point> sample;
+  for (int i = 0; i < 4096; ++i) {
+    sample.push_back({23.7 + rng.NextGaussian() * 3.0,
+                      37.9 + rng.NextGaussian() * 3.0});
+  }
+  for (int order = 1; order <= 16; ++order) {
+    const EntropyGeoHashCurve curve(order, GlobeRect(), sample);
+    for (int trial = 0; trial < 3; ++trial) CheckCoveringProperties(curve, rng);
+  }
+}
+
+TEST(CoveringPropertyTest, NewCurvesOnDatasetMbrDomains) {
+  const Rect mbrs[] = {Rect{{23.0, 37.0}, {25.0, 39.0}},
+                       Rect{{-74.3, 40.4}, {-73.6, 41.0}}};
+  Rng rng(9006);
+  for (const Rect& mbr : mbrs) {
+    std::vector<Point> sample;
+    for (int i = 0; i < 1024; ++i) {
+      sample.push_back({rng.NextDouble(mbr.lo.lon, mbr.hi.lon),
+                        rng.NextDouble(mbr.lo.lat, mbr.hi.lat)});
+    }
+    for (int order : {1, 2, 5, 9, 13, 16}) {
+      for (const CurveKind kind : {CurveKind::kOnion, CurveKind::kEGeoHash}) {
+        const auto curve = MakeCurve(kind, order, mbr, sample);
+        for (int trial = 0; trial < 3; ++trial) {
+          CheckCoveringProperties(*curve, rng);
+        }
+      }
+    }
+  }
+}
+
+TEST(CoveringEdgeTest, NewCurvesAntimeridianAndPoleRects) {
+  // The same domain-edge soundness sweep the quadtree curves get, against
+  // the boundary-walk (onion) and warped (egeohash) coverings.
+  Rng rng(9103);
+  const Rect edge_rects[] = {
+      Rect{{179.0, 10.0}, {180.0, 20.0}},
+      Rect{{-180.0, -20.0}, {-179.0, -10.0}},
+      Rect{{170.0, 80.0}, {180.0, 90.0}},
+      Rect{{-180.0, -90.0}, {-170.0, -80.0}},
+      Rect{{-180.0, 89.9}, {180.0, 90.0}},
+      Rect{{180.0, 90.0}, {180.0, 90.0}},
+      Rect{{-180.0, -90.0}, {180.0, 90.0}},
+  };
+  std::vector<Point> sample;
+  for (int i = 0; i < 1024; ++i) {
+    sample.push_back({rng.NextGaussian() * 40.0, rng.NextGaussian() * 20.0});
+  }
+  for (const int order : {1, 4, 9, 13}) {
+    for (const CurveKind kind : {CurveKind::kOnion, CurveKind::kEGeoHash}) {
+      const auto curve = MakeCurve(kind, order, GlobeRect(), sample);
+      for (const Rect& q : edge_rects) CheckEdgeRect(*curve, q, rng);
+    }
+  }
+}
+
+TEST(CoveringTest, BoundaryWalkRespectsMaxRangesBudget) {
+  // The onion covering of a mid-grid rect fragments into many ranges; every
+  // budget must be respected exactly and the coarse covering must stay a
+  // superset of the exact one.
+  const OnionCurve curve(10, GlobeRect());
+  const Rect query{{23.606039, 38.023982}, {60.0, 70.0}};
+  const Covering exact = CoverRect(curve, query);
+  ASSERT_GT(exact.ranges.size(), 16u) << "query too easy to exercise budgets";
+  for (const size_t budget : {size_t{1}, size_t{2}, size_t{8}, size_t{16}}) {
+    CoveringOptions opts;
+    opts.max_ranges = budget;
+    const Covering coarse = CoverRect(curve, query, opts);
+    EXPECT_LE(coarse.ranges.size(), budget);
+    EXPECT_GE(coarse.num_cells, exact.num_cells);
+    for (const DRange& r : exact.ranges) {
+      EXPECT_TRUE(CoveringContains(coarse, r.lo));
+      EXPECT_TRUE(CoveringContains(coarse, r.hi));
     }
   }
 }

@@ -31,7 +31,7 @@ TEST(ApproachTest, BaselineShardsOnDate) {
   EXPECT_EQ(a.zone_path(), kDateField);
   EXPECT_EQ(a.secondary_indexes().size(), 1u);
   EXPECT_EQ(a.secondary_indexes()[0].fields()[0].path, kLocationField);
-  EXPECT_EQ(a.hilbert(), nullptr);
+  EXPECT_EQ(a.curve(), nullptr);
 }
 
 TEST(ApproachTest, BslTSIndexOrderIsTimeFirst) {
@@ -52,8 +52,8 @@ TEST(ApproachTest, HilbertShardsOnHilbertAndDate) {
             (std::vector<std::string>{kHilbertField, kDateField}));
   EXPECT_EQ(a.zone_path(), kHilbertField);
   EXPECT_TRUE(a.secondary_indexes().empty());
-  ASSERT_NE(a.hilbert(), nullptr);
-  EXPECT_EQ(a.hilbert()->order(), 13);
+  ASSERT_NE(a.curve(), nullptr);
+  EXPECT_EQ(a.curve()->order(), 13);
 }
 
 TEST(ApproachTest, HilUsesGlobeHilStarUsesMbr) {
@@ -62,19 +62,19 @@ TEST(ApproachTest, HilUsesGlobeHilStarUsesMbr) {
   hil_config.kind = ApproachKind::kHil;
   hil_config.dataset_mbr = mbr;
   const Approach hil(hil_config);
-  EXPECT_DOUBLE_EQ(hil.hilbert()->grid().domain().lo.lon, -180.0);
+  EXPECT_DOUBLE_EQ(hil.curve()->grid().domain().lo.lon, -180.0);
 
   ApproachConfig star_config = hil_config;
   star_config.kind = ApproachKind::kHilStar;
   const Approach star(star_config);
-  EXPECT_DOUBLE_EQ(star.hilbert()->grid().domain().lo.lon, 23.3);
+  EXPECT_DOUBLE_EQ(star.curve()->grid().domain().lo.lon, 23.3);
 
   // Same point, much finer effective resolution for hil*: nearby points
   // that share a hil cell get distinct hil* cells.
-  const uint64_t hil_a = hil.hilbert()->PointToD(23.75, 37.99);
-  const uint64_t hil_b = hil.hilbert()->PointToD(23.7504, 37.9904);
-  const uint64_t star_a = star.hilbert()->PointToD(23.75, 37.99);
-  const uint64_t star_b = star.hilbert()->PointToD(23.7504, 37.9904);
+  const uint64_t hil_a = hil.curve()->PointToD(23.75, 37.99);
+  const uint64_t hil_b = hil.curve()->PointToD(23.7504, 37.9904);
+  const uint64_t star_a = star.curve()->PointToD(23.75, 37.99);
+  const uint64_t star_b = star.curve()->PointToD(23.7504, 37.9904);
   EXPECT_EQ(hil_a, hil_b);
   EXPECT_NE(star_a, star_b);
 }
@@ -91,7 +91,7 @@ TEST(ApproachTest, EnrichmentAddsHilbertIndex) {
   const Value* h = doc.Get(kHilbertField);
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->AsInt64(),
-            static_cast<int64_t>(a.hilbert()->PointToD(23.7275, 37.9838)));
+            static_cast<int64_t>(a.curve()->PointToD(23.7275, 37.9838)));
 }
 
 TEST(ApproachTest, EnrichmentFailsWithoutLocation) {
@@ -154,6 +154,113 @@ TEST(ApproachTest, HilbertQueryConstraintCoversExactlyTheRectCells) {
     ASSERT_TRUE(a.EnrichDocument(&doc).ok());
     EXPECT_TRUE(t.expr->Matches(doc));
   }
+}
+
+// ---------- pluggable curves behind hilbertIndex ----------
+
+TEST(ApproachTest, CurveKindSelectsTheLinearization) {
+  for (const geo::CurveKind kind : geo::AllCurveKinds()) {
+    ApproachConfig config;
+    config.kind = ApproachKind::kHil;
+    config.curve_kind = kind;
+    const Approach a(config);
+    const auto curve = a.curve();
+    ASSERT_NE(curve, nullptr);
+    EXPECT_STREQ(curve->name(), geo::CurveKindName(kind));
+    EXPECT_EQ(a.curve_generation(), 0u);
+
+    bson::Document doc;
+    doc.Append(kLocationField,
+               Value::MakeDocument(bson::GeoJsonPoint(23.7275, 37.9838)));
+    doc.Append(kDateField, Value::DateTime(1));
+    ASSERT_TRUE(a.EnrichDocument(&doc).ok());
+    EXPECT_EQ(doc.Get(kHilbertField)->AsInt64(),
+              static_cast<int64_t>(curve->PointToD(23.7275, 37.9838)));
+  }
+  ApproachConfig baseline;
+  baseline.kind = ApproachKind::kBslST;
+  baseline.curve_kind = geo::CurveKind::kOnion;  // ignored by baselines
+  EXPECT_EQ(Approach(baseline).curve(), nullptr);
+}
+
+TEST(ApproachTest, QueryConstraintCoversRectCellsForEveryCurve) {
+  // The HilbertQueryConstraintCoversExactlyTheRectCells contract holds for
+  // every registered curve: any enriched in-rect document matches the
+  // translated expression (covering soundness through the full query path).
+  const geo::Rect rect{{23.606039, 38.023982}, {24.032754, 38.353926}};
+  Rng rng(45);
+  std::vector<geo::Point> sample;
+  for (int i = 0; i < 400; ++i) {
+    sample.push_back({rng.NextDouble(23.0, 25.0), rng.NextDouble(37.0, 39.0)});
+  }
+  for (const geo::CurveKind kind : geo::AllCurveKinds()) {
+    ApproachConfig config;
+    config.kind = ApproachKind::kHilStar;
+    config.dataset_mbr = geo::Rect{{23.0, 37.0}, {25.0, 39.0}};
+    config.curve_kind = kind;
+    config.curve_fit_sample = sample;
+    const Approach a(config);
+    const TranslatedQuery t = a.TranslateQuery(rect, 0, 1000);
+    EXPECT_GT(t.num_ranges + t.num_singletons, 0u)
+        << geo::CurveKindName(kind);
+    for (int i = 0; i < 150; ++i) {
+      const double lon = rng.NextDouble(rect.lo.lon, rect.hi.lon);
+      const double lat = rng.NextDouble(rect.lo.lat, rect.hi.lat);
+      bson::Document doc;
+      doc.Append(kLocationField,
+                 Value::MakeDocument(bson::GeoJsonPoint(lon, lat)));
+      doc.Append(kDateField, Value::DateTime(500));
+      ASSERT_TRUE(a.EnrichDocument(&doc).ok());
+      EXPECT_TRUE(t.expr->Matches(doc))
+          << geo::CurveKindName(kind) << " (" << lon << "," << lat << ")";
+    }
+  }
+}
+
+TEST(ApproachTest, RefitCurveInvalidatesCachedCovers) {
+  // The cover-cache staleness regression: a cover computed under one
+  // mapping must never be served after a refit changed the cell
+  // boundaries. The mapping generation is part of the cache key, so the
+  // refit turns the warm entry into a miss.
+  ApproachConfig config;
+  config.kind = ApproachKind::kHilStar;
+  config.dataset_mbr = geo::Rect{{23.0, 37.0}, {25.0, 39.0}};
+  config.curve_kind = geo::CurveKind::kEGeoHash;
+  Approach a(config);  // no sample: starts on uniform boundaries
+  EXPECT_EQ(a.curve_generation(), 0u);
+
+  const geo::Rect rect{{23.606039, 38.023982}, {24.032754, 38.353926}};
+  EXPECT_FALSE(a.TranslateQuery(rect, 0, 1000).cache_hit);
+  EXPECT_TRUE(a.TranslateQuery(rect, 0, 1000).cache_hit);
+
+  Rng rng(46);
+  std::vector<geo::Point> sample;
+  for (int i = 0; i < 600; ++i) {
+    sample.push_back({23.65 + rng.NextGaussian() * 0.05,
+                      38.1 + rng.NextGaussian() * 0.05});
+  }
+  ASSERT_TRUE(a.RefitCurve(sample).ok());
+  EXPECT_EQ(a.curve_generation(), 1u);
+  EXPECT_TRUE(a.curve()->grid().warped());
+
+  // Same rect, same window: the old cover is unreachable now — the query
+  // re-translates against the refitted mapping and matches refitted keys.
+  const TranslatedQuery refitted = a.TranslateQuery(rect, 0, 1000);
+  EXPECT_FALSE(refitted.cache_hit);
+  bson::Document doc;
+  doc.Append(kLocationField,
+             Value::MakeDocument(bson::GeoJsonPoint(23.65, 38.1)));
+  doc.Append(kDateField, Value::DateTime(500));
+  ASSERT_TRUE(a.EnrichDocument(&doc).ok());
+  EXPECT_TRUE(refitted.expr->Matches(doc));
+
+  // Refitting anything but an EntropyGeoHash curve is rejected.
+  ApproachConfig hil;
+  hil.kind = ApproachKind::kHil;
+  EXPECT_FALSE(Approach(hil).RefitCurve(sample).ok());
+  ApproachConfig baseline;
+  baseline.kind = ApproachKind::kBslTS;
+  EXPECT_FALSE(Approach(baseline).RefitCurve(sample).ok());
 }
 
 // ---------- StStore end-to-end over all four approaches ----------
@@ -411,6 +518,82 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return "unknown";
     });
+
+// ---------- end-to-end sweep over every registered curve ----------
+
+TEST(StCurveSweepTest, EveryCurveMatchesNaiveAndSurfacesItsName) {
+  // The full store path — enrichment, sharding, covering translation,
+  // scatter/gather — under each registered curve kind, checked against a
+  // naive scan and against explain()'s reported curve name.
+  const geo::Rect mbr{{23.0, 37.0}, {25.0, 39.0}};
+  constexpr int kDocs = 800;
+  constexpr int64_t kBegin = 1530403200000;
+  constexpr int64_t kStep = 60000;
+
+  for (const geo::CurveKind kind : geo::AllCurveKinds()) {
+    StStoreOptions opts;
+    opts.approach.kind = ApproachKind::kHilStar;
+    opts.approach.dataset_mbr = mbr;
+    opts.approach.curve_kind = kind;
+    opts.cluster.num_shards = 4;
+    opts.cluster.chunk_max_bytes = 16 * 1024;
+    opts.cluster.seed = 3;
+
+    Rng sample_rng(77);
+    for (int i = 0; i < 300; ++i) {
+      opts.approach.curve_fit_sample.push_back(
+          {23.6 + sample_rng.NextGaussian() * 0.2,
+           38.0 + sample_rng.NextGaussian() * 0.2});
+    }
+
+    StStore store(opts);
+    ASSERT_TRUE(store.Setup().ok());
+    Rng rng(55);
+    std::vector<double> lons, lats;
+    for (int i = 0; i < kDocs; ++i) {
+      bson::Document doc;
+      doc.Append("seq", Value::Int32(i));
+      // Hotspot-skewed load, so egeohash's warp actually matters.
+      const double lon = rng.NextBool(0.7)
+                             ? 23.6 + rng.NextGaussian() * 0.15
+                             : rng.NextDouble(23.0, 25.0);
+      const double lat = rng.NextBool(0.7)
+                             ? 38.0 + rng.NextGaussian() * 0.15
+                             : rng.NextDouble(37.0, 39.0);
+      doc.Append(kLocationField,
+                 Value::MakeDocument(bson::GeoJsonPoint(lon, lat)));
+      doc.Append(kDateField, Value::DateTime(kBegin + i * kStep));
+      lons.push_back(lon);
+      lats.push_back(lat);
+      ASSERT_TRUE(store.Insert(std::move(doc)).ok());
+    }
+    ASSERT_TRUE(store.FinishLoad().ok());
+
+    const geo::Rect queries[] = {{{23.5, 37.8}, {23.8, 38.2}},
+                                 {{23.1, 37.1}, {24.9, 38.9}},
+                                 {{24.5, 38.5}, {26.0, 40.0}}};
+    for (const geo::Rect& q : queries) {
+      const int64_t t0 = kBegin, t1 = kBegin + kDocs * kStep;
+      std::set<int> expected;
+      for (int i = 0; i < kDocs; ++i) {
+        if (q.Contains({lons[i], lats[i]})) expected.insert(i);
+      }
+      const StQueryResult r = store.Query(q, t0, t1);
+      std::set<int> got;
+      for (const bson::Document& doc : r.cluster.docs) {
+        got.insert(doc.Get("seq")->AsInt32());
+      }
+      EXPECT_EQ(got, expected) << "curve=" << geo::CurveKindName(kind);
+    }
+
+    const StExplain explain =
+        store.Explain(queries[0], kBegin, kBegin + kDocs * kStep);
+    EXPECT_EQ(explain.curve, geo::CurveKindName(kind));
+    EXPECT_NE(explain.ToJson().find(
+                  std::string("\"curve\": \"") + geo::CurveKindName(kind)),
+              std::string::npos);
+  }
+}
 
 // The headline claim at test scale: for a big spatial query with a short
 // time window, hil touches fewer nodes and examines fewer keys on its

@@ -49,6 +49,7 @@
 #include "common/fs.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "geo/curve_registry.h"
 #include "st/st_store.h"
 
 namespace stix {
@@ -99,6 +100,12 @@ struct FuzzConfig {
   /// sets byte-for-byte (cost-based selection must never change results,
   /// only how the winning plan is chosen).
   std::string planner = "cost";
+  /// Curve(s) behind hilbertIndex on the hil/hil* stores:
+  /// "hilbert" | "zorder" | "onion" | "egeohash", or "all" — which builds
+  /// one hil + hil* store *per registered curve* and runs every one against
+  /// the same brute-force oracle. The egeohash stores fit their equi-depth
+  /// boundaries from a deterministic sample of the generated documents.
+  std::string curve = "hilbert";
 };
 
 // Ground-truth record of one generated document.
@@ -164,15 +171,43 @@ struct SeedContext {
       std::snprintf(threads_arg, sizeof(threads_arg), " --threads=%d",
                     config->threads);
     }
+    char curve_arg[32] = "";
+    if (config->curve != "hilbert") {
+      std::snprintf(curve_arg, sizeof(curve_arg), " --curve=%s",
+                    config->curve.c_str());
+    }
     std::fprintf(stderr,
                  "REPRO: stix_fuzz --seed=%" PRIu64
-                 " --docs=%d --queries=%d --layout=%s --planner=%s%s%s%s\n",
+                 " --docs=%d --queries=%d --layout=%s --planner=%s%s%s%s%s\n",
                  seed, config->docs, config->queries, config->layout.c_str(),
-                 config->planner.c_str(), threads_arg,
+                 config->planner.c_str(), threads_arg, curve_arg,
                  config->crash ? " --crash" : "",
                  config->reshard ? " --reshard" : "");
   }
 };
+
+// Curve kinds a --curve value selects for the hil/hil* stores ("all" runs
+// every registered curve against the same oracle).
+std::vector<geo::CurveKind> CurveKindsFor(const std::string& curve) {
+  if (curve == "all") return geo::AllCurveKinds();
+  geo::CurveKind kind = geo::CurveKind::kHilbert;
+  geo::CurveKindFromName(curve.c_str(), &kind);  // validated at arg parse
+  return {kind};
+}
+
+// Deterministic fit sample for egeohash stores: every k-th generated point,
+// capped so the equi-depth fit stays cheap at any --docs.
+std::vector<geo::Point> FitSampleFor(const std::vector<FuzzDoc>& docs) {
+  constexpr size_t kMaxSample = 1024;
+  const size_t stride =
+      docs.size() > kMaxSample ? docs.size() / kMaxSample : 1;
+  std::vector<geo::Point> sample;
+  sample.reserve(kMaxSample + 1);
+  for (size_t i = 0; i < docs.size(); i += stride) {
+    sample.push_back({docs[i].lon, docs[i].lat});
+  }
+  return sample;
+}
 
 // Generates the per-seed document workload: a few Gaussian hot spots over a
 // random MBR plus uniform background, all timestamps within a random span.
@@ -962,6 +997,20 @@ bool RunCrashSeed(uint64_t seed, const FuzzConfig& config) {
   options.approach.hilbert_order =
       4 + static_cast<int>(knob_rng.NextBounded(8));
   options.approach.dataset_mbr = mbr;
+  // One curve per crash seed: the named one, or a sampled one for "all"
+  // (the extra draw only happens under --curve=all, so default-seed
+  // determinism is untouched).
+  if (config.curve == "all") {
+    const std::vector<geo::CurveKind> kinds = geo::AllCurveKinds();
+    options.approach.curve_kind =
+        kinds[knob_rng.NextBounded(static_cast<uint64_t>(kinds.size()))];
+  } else {
+    (void)geo::CurveKindFromName(config.curve.c_str(),
+                                 &options.approach.curve_kind);
+  }
+  if (options.approach.curve_kind == geo::CurveKind::kEGeoHash) {
+    options.approach.curve_fit_sample = FitSampleFor(docs);
+  }
   options.cluster.num_shards = 2 + static_cast<int>(knob_rng.NextBounded(2));
   options.cluster.chunk_max_bytes = 8192 + knob_rng.NextBounded(24 * 1024);
   options.cluster.balance_every_inserts =
@@ -1217,35 +1266,53 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config,
   std::vector<StStore*> bucket_stores;
   std::vector<StStore*> race_stores;
   std::vector<StStore*> cost_stores;
+  const std::vector<geo::CurveKind> curve_kinds = CurveKindsFor(config.curve);
+  std::vector<geo::Point> fit_sample;
+  for (const geo::CurveKind kind : curve_kinds) {
+    if (kind == geo::CurveKind::kEGeoHash) fit_sample = FitSampleFor(docs);
+  }
   for (const bool bucketed : {false, true}) {
     if (bucketed ? !want_bucket : !want_row) continue;
     for (const query::PlanSelectionMode mode : modes) {
       for (const ApproachKind kind : kApproaches) {
-        StStoreOptions options;
-        options.approach.kind = kind;
-        options.approach.hilbert_order = hilbert_order;
-        options.approach.dataset_mbr = mbr;
-        options.cluster.num_shards = num_shards;
-        options.cluster.chunk_max_bytes = chunk_max_bytes;
-        options.cluster.balance_every_inserts = balance_every;
-        options.cluster.seed = seed;
-        options.cluster.exec.plan_selection = mode;
-        if (bucketed) options.bucket = bucket_layout;
-        if (config.profile) {
-          options.cluster.profiler.enabled = true;
-          options.cluster.profiler.slow_millis = 0.0;  // record every op
-          options.cluster.profiler.capacity = 64;
-        }
-        owned_stores.push_back(std::make_unique<StStore>(options));
-        stores.push_back(owned_stores.back().get());
-        (bucketed ? bucket_stores : row_stores).push_back(stores.back());
-        (mode == query::PlanSelectionMode::kRace ? race_stores : cost_stores)
-            .push_back(stores.back());
-        if (!stores.back()->Setup().ok()) {
-          std::fprintf(stderr, "FATAL: store setup failed (seed=%" PRIu64
-                               ")\n",
-                       seed);
-          return false;
+        // Baselines carry no curve: one instance regardless of --curve.
+        const bool curve_backed = kind == ApproachKind::kHil ||
+                                  kind == ApproachKind::kHilStar;
+        const size_t num_curves = curve_backed ? curve_kinds.size() : 1;
+        for (size_t c = 0; c < num_curves; ++c) {
+          StStoreOptions options;
+          options.approach.kind = kind;
+          options.approach.hilbert_order = hilbert_order;
+          options.approach.dataset_mbr = mbr;
+          if (curve_backed) {
+            options.approach.curve_kind = curve_kinds[c];
+            if (curve_kinds[c] == geo::CurveKind::kEGeoHash) {
+              options.approach.curve_fit_sample = fit_sample;
+            }
+          }
+          options.cluster.num_shards = num_shards;
+          options.cluster.chunk_max_bytes = chunk_max_bytes;
+          options.cluster.balance_every_inserts = balance_every;
+          options.cluster.seed = seed;
+          options.cluster.exec.plan_selection = mode;
+          if (bucketed) options.bucket = bucket_layout;
+          if (config.profile) {
+            options.cluster.profiler.enabled = true;
+            options.cluster.profiler.slow_millis = 0.0;  // record every op
+            options.cluster.profiler.capacity = 64;
+          }
+          owned_stores.push_back(std::make_unique<StStore>(options));
+          stores.push_back(owned_stores.back().get());
+          (bucketed ? bucket_stores : row_stores).push_back(stores.back());
+          (mode == query::PlanSelectionMode::kRace ? race_stores
+                                                   : cost_stores)
+              .push_back(stores.back());
+          if (!stores.back()->Setup().ok()) {
+            std::fprintf(stderr, "FATAL: store setup failed (seed=%" PRIu64
+                                 ")\n",
+                         seed);
+            return false;
+          }
         }
       }
     }
@@ -1321,9 +1388,10 @@ bool RunSeed(uint64_t seed, const FuzzConfig& config,
 
   if (config.verbose) {
     std::printf("seed %" PRIu64 ": ok (%d docs, %d queries, %d shards, "
-                "order %d, layout %s, planner %s%s)\n",
+                "order %d, layout %s, planner %s, curve %s%s)\n",
                 seed, config.docs, config.queries, num_shards, hilbert_order,
                 config.layout.c_str(), config.planner.c_str(),
+                config.curve.c_str(),
                 use_zones ? (mid_run_zones ? ", mid-run zones" : ", zones")
                           : "");
   }
@@ -1380,6 +1448,16 @@ int FuzzMain(int argc, char** argv) {
         std::fprintf(stderr, "--planner must be race, cost or both\n");
         return 2;
       }
+    } else if (arg.rfind("--curve=", 0) == 0) {
+      config.curve = value("--curve=");
+      geo::CurveKind parsed;
+      if (config.curve != "all" &&
+          !geo::CurveKindFromName(config.curve.c_str(), &parsed)) {
+        std::fprintf(stderr,
+                     "--curve must be hilbert, zorder, onion, egeohash or "
+                     "all\n");
+        return 2;
+      }
     } else if (arg == "--list-failpoints") {
       for (const std::string& name : FailPointRegistry::Instance().Names()) {
         std::printf("%s\n", name.c_str());
@@ -1391,6 +1469,7 @@ int FuzzMain(int argc, char** argv) {
                    "[--docs=N] [--queries=N] [--threads=N] [--crash] "
                    "[--reshard] "
                    "[--layout=row|bucket|both] [--planner=race|cost|both] "
+                   "[--curve=hilbert|zorder|onion|egeohash|all] "
                    "[--no-failpoints] [--verbose] [--profile] "
                    "[--server-status] [--check-counters] "
                    "[--list-failpoints]\n");
@@ -1446,10 +1525,11 @@ int FuzzMain(int argc, char** argv) {
   }
 
   std::printf("stix_fuzz: %d seed%s, %d divergence%s (docs=%d queries=%d "
-              "layout=%s planner=%s failpoints=%s threads=%d)\n",
+              "layout=%s planner=%s curve=%s failpoints=%s threads=%d)\n",
               config.num_seeds, config.num_seeds == 1 ? "" : "s", failures,
               failures == 1 ? "" : "s", config.docs, config.queries,
               config.layout.c_str(), config.planner.c_str(),
+              config.curve.c_str(),
               config.failpoints ? "on" : "off", config.threads);
   return failures == 0 ? 0 : 1;
 }
